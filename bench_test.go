@@ -1,0 +1,148 @@
+// Root benchmark harness: one testing.B benchmark per evaluation table and
+// figure (DESIGN.md §4). Each benchmark regenerates its experiment at Quick
+// fidelity per iteration, so `go test -bench=. -benchmem` both exercises
+// the full pipeline and measures the cost of each experiment; the full
+// tables behind EXPERIMENTS.md come from `go run ./cmd/noisebench`.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/liberty"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(id, experiments.Config{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkT1Pessimism regenerates Table 1: violations and total noise
+// under the three combination policies.
+func BenchmarkT1Pessimism(b *testing.B) { benchExperiment(b, "T1") }
+
+// BenchmarkT2Accuracy regenerates Table 2: analytical glitch model versus
+// the transient MNA simulator.
+func BenchmarkT2Accuracy(b *testing.B) { benchExperiment(b, "T2") }
+
+// BenchmarkT3Runtime regenerates Table 3: analysis runtime scaling.
+func BenchmarkT3Runtime(b *testing.B) { benchExperiment(b, "T3") }
+
+// BenchmarkT4Convergence regenerates Table 4: propagation fixpoint
+// iteration counts.
+func BenchmarkT4Convergence(b *testing.B) { benchExperiment(b, "T4") }
+
+// BenchmarkT5Filtering regenerates Table 5: aggressor filter threshold
+// sweep.
+func BenchmarkT5Filtering(b *testing.B) { benchExperiment(b, "T5") }
+
+// BenchmarkT6Combination regenerates Table 6: windowed combination
+// statistics.
+func BenchmarkT6Combination(b *testing.B) { benchExperiment(b, "T6") }
+
+// BenchmarkT7DeltaDelay regenerates Table 7: windowed crosstalk delta-delay
+// versus the classical estimate.
+func BenchmarkT7DeltaDelay(b *testing.B) { benchExperiment(b, "T7") }
+
+// BenchmarkF1Alignment regenerates Figure 1: combined peak versus
+// aggressor window offset.
+func BenchmarkF1Alignment(b *testing.B) { benchExperiment(b, "F1") }
+
+// BenchmarkF2Propagation regenerates Figure 2: glitch propagation down a
+// gate chain.
+func BenchmarkF2Propagation(b *testing.B) { benchExperiment(b, "F2") }
+
+// BenchmarkF3Waveform regenerates Figure 3: combined-waveform
+// reconstruction versus the golden simulator.
+func BenchmarkF3Waveform(b *testing.B) { benchExperiment(b, "F3") }
+
+// BenchmarkT8Shielding regenerates Table 8: shield insertion versus
+// analysis policy.
+func BenchmarkT8Shielding(b *testing.B) { benchExperiment(b, "T8") }
+
+// BenchmarkT9Correlation regenerates Table 9: logic-correlation filtering
+// on complementary aggressor pairs.
+func BenchmarkT9Correlation(b *testing.B) { benchExperiment(b, "T9") }
+
+// BenchmarkT10Iteration regenerates Table 10: the joint noise-timing
+// fixpoint loop.
+func BenchmarkT10Iteration(b *testing.B) { benchExperiment(b, "T10") }
+
+// BenchmarkT11MonteCarlo regenerates Table 11: sampled alignment versus
+// the static bounds.
+func BenchmarkT11MonteCarlo(b *testing.B) { benchExperiment(b, "T11") }
+
+// BenchmarkA1Widening regenerates the occupancy-policy ablation: peak
+// alignment versus width-widened noise windows.
+func BenchmarkA1Widening(b *testing.B) { benchExperiment(b, "A1") }
+
+// BenchmarkA2Multiphase regenerates the set-vs-hull window ablation on a
+// two-phase bus.
+func BenchmarkA2Multiphase(b *testing.B) { benchExperiment(b, "A2") }
+
+// BenchmarkA3Corners regenerates the process-corner sweep.
+func BenchmarkA3Corners(b *testing.B) { benchExperiment(b, "A3") }
+
+// BenchmarkAnalyzeBus64 measures the core analysis alone (no experiment
+// scaffolding) on a 64-bit bus under the paper's policy — the number that
+// tracks engine-level regressions.
+func BenchmarkAnalyzeBus64(b *testing.B) {
+	g, err := workload.Bus(workload.BusSpec{
+		Bits: 64, Segs: 2,
+		WindowSep: 60 * units.Pico, WindowWidth: 80 * units.Pico,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bd, err := g.Bind(liberty.Generic())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Mode: core.ModeNoiseWindows, STA: g.STAOptions()}
+	if _, err := core.Analyze(bd, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(bd, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeFabric measures the engine on irregular logic with
+// propagation, the other workload family.
+func BenchmarkAnalyzeFabric(b *testing.B) {
+	g, err := workload.Fabric(workload.FabricSpec{Width: 12, Levels: 8, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bd, err := g.Bind(liberty.Generic())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Mode: core.ModeNoiseWindows, STA: g.STAOptions()}
+	if _, err := core.Analyze(bd, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(bd, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// netgen generates synthetic crosstalk workloads — coupled buses, random
+// logic fabrics, driver chains, and star clusters — as a netlist (.net),
+// parasitics (.spef), and input timing (.win) triple consumable by sna.
+//
+// Usage:
+//
+//	netgen -kind bus    -bits 32 -segs 2 -sep 100e-12 -width 80e-12 -out bus32
+//	netgen -kind fabric -fwidth 16 -levels 10 -seed 7 -out fab
+//	netgen -kind chain  -depth 8 -out chain8
+//	netgen -kind star   -aggressors 4 -sep 50e-12 -width 40e-12 -out star4
+//
+// Writes <out>.net, <out>.spef, and <out>.win.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/interval"
+	"repro/internal/netlist"
+	"repro/internal/spef"
+	"repro/internal/sta"
+	"repro/internal/vlog"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "bus", "workload kind: bus | fabric | chain | star")
+		out      = flag.String("out", "design", "output file prefix")
+		bits     = flag.Int("bits", 16, "bus: number of lines")
+		segs     = flag.Int("segs", 2, "bus: RC segments per line")
+		sep      = flag.Float64("sep", 100e-12, "bus/star: window stagger between lines, seconds")
+		width    = flag.Float64("width", 80e-12, "bus/star: window width, seconds")
+		random   = flag.Bool("random", false, "bus: scatter windows randomly instead of staggering")
+		coupleC  = flag.Float64("couplec", 0, "bus: coupling cap per segment, farads (0 = default)")
+		groundC  = flag.Float64("groundc", 0, "bus: ground cap per segment, farads (0 = default)")
+		phaseGap = flag.Float64("phasegap", 0, "bus: second switching phase this long after the first, seconds")
+		shield   = flag.Int("shield", 0, "bus: insert a grounded shield after every Nth line (0 = none)")
+		fwidth   = flag.Int("fwidth", 12, "fabric: signals per rank")
+		levels   = flag.Int("levels", 8, "fabric: gate ranks")
+		depth    = flag.Int("depth", 8, "chain: gate stages")
+		aggs     = flag.Int("aggressors", 4, "star: aggressor count")
+		seed     = flag.Int64("seed", 1, "random seed")
+		format   = flag.String("format", "net", "netlist format: net | verilog")
+	)
+	flag.Parse()
+
+	g, err := generate(genParams{
+		kind: *kind, bits: *bits, segs: *segs,
+		sep: *sep, width: *width, random: *random,
+		fwidth: *fwidth, levels: *levels, depth: *depth, aggs: *aggs,
+		seed: *seed, coupleC: *coupleC, groundC: *groundC,
+		phaseGap: *phaseGap, shield: *shield,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := writeAll(*out, g, *format); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s.net (%d insts, %d nets), %s.spef (%d nets), %s.win (%d inputs)\n",
+		*out, g.Design.NumInsts(), g.Design.NumNets(),
+		*out, g.Paras.NumNets(), *out, len(g.Inputs))
+}
+
+// genParams carries the flag values to the workload constructors.
+type genParams struct {
+	kind             string
+	bits, segs       int
+	sep, width       float64
+	random           bool
+	fwidth, levels   int
+	depth, aggs      int
+	seed             int64
+	coupleC, groundC float64
+	phaseGap         float64
+	shield           int
+}
+
+func generate(p genParams) (*workload.Generated, error) {
+	switch p.kind {
+	case "bus":
+		return workload.Bus(workload.BusSpec{
+			Bits: p.bits, Segs: p.segs,
+			CoupleC: p.coupleC, GroundC: p.groundC,
+			WindowSep: p.sep, WindowWidth: p.width,
+			RandomWindows: p.random, Seed: p.seed,
+			PhaseGap: p.phaseGap, ShieldEvery: p.shield,
+		})
+	case "fabric":
+		return workload.Fabric(workload.FabricSpec{Width: p.fwidth, Levels: p.levels, Seed: p.seed})
+	case "chain":
+		return workload.Chain(workload.ChainSpec{Depth: p.depth})
+	case "star":
+		ws := make([]interval.Window, p.aggs)
+		for i := range ws {
+			lo := float64(i) * p.sep
+			ws[i] = interval.New(lo, lo+p.width)
+		}
+		return workload.Star(workload.StarSpec{Windows: ws})
+	}
+	return nil, fmt.Errorf("netgen: unknown kind %q", p.kind)
+}
+
+func writeAll(prefix string, g *workload.Generated, format string) error {
+	switch format {
+	case "net":
+		if err := writeFile(prefix+".net", func(f *os.File) error {
+			return netlist.Write(f, g.Design)
+		}); err != nil {
+			return err
+		}
+	case "verilog":
+		if err := writeFile(prefix+".v", func(f *os.File) error {
+			return vlog.Write(f, g.Design)
+		}); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("netgen: unknown format %q (want net|verilog)", format)
+	}
+	if err := writeFile(prefix+".spef", func(f *os.File) error {
+		return spef.Write(f, g.Paras)
+	}); err != nil {
+		return err
+	}
+	return writeFile(prefix+".win", func(f *os.File) error {
+		return sta.WriteInputTiming(f, g.Inputs)
+	})
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netgen:", err)
+	os.Exit(1)
+}

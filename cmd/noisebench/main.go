@@ -1,0 +1,68 @@
+// noisebench regenerates the evaluation tables and figures indexed in
+// DESIGN.md §4 and recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	noisebench              # run everything at full fidelity
+//	noisebench -run T1      # one experiment
+//	noisebench -quick       # shrunken sweeps (seconds instead of minutes)
+//	noisebench -list        # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment ID to run (default: all)")
+		quick = flag.Bool("quick", false, "shrink sweeps for a fast pass")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	cfg := experiments.Config{Quick: *quick}
+	emit := func(t *report.Table) {
+		if *csv {
+			fmt.Printf("# %s\n", t.Title)
+			t.RenderCSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+	if *run != "" {
+		ts, err := experiments.Run(*run, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range ts {
+			emit(t)
+		}
+		return
+	}
+	ts, err := experiments.All(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, t := range ts {
+		emit(t)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "noisebench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,248 @@
+// sna is the static noise analyzer: it loads a netlist, parasitics, cell
+// library, and input timing, runs windowed crosstalk analysis, and prints
+// the violation report.
+//
+// Usage:
+//
+//	sna -net design.net -spef design.spef [-lib lib.nlib] [-win design.win] \
+//	    [-mode all|timing|noise] [-threshold 0.02] [-dump net1,net2] \
+//	    [-repair] [-delay] [-corr]
+//
+// The netlist may also be structural Verilog (a .v file).
+//
+// Without -lib the built-in generic library is used. The -mode flag picks
+// the combination policy: "all" (classical pessimistic), "timing"
+// (switching-window filtering), or "noise" (the paper's noise windows,
+// default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bind"
+	"repro/internal/core"
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+	"repro/internal/report"
+	"repro/internal/spef"
+	"repro/internal/sta"
+	"repro/internal/vlog"
+)
+
+func main() {
+	var (
+		netPath   = flag.String("net", "", "netlist file (.net), required")
+		spefPath  = flag.String("spef", "", "parasitics file (.spef)")
+		libPath   = flag.String("lib", "", "cell library (.nlib); default: built-in generic")
+		winPath   = flag.String("win", "", "input timing file (.win)")
+		modeFlag  = flag.String("mode", "noise", "combination policy: all | timing | noise")
+		threshold = flag.Float64("threshold", 0, "aggressor coupling-ratio filter threshold")
+		dump      = flag.String("dump", "", "comma-separated nets to dump in detail")
+		noProp    = flag.Bool("noprop", false, "disable noise propagation through gates")
+		repair    = flag.Bool("repair", false, "suggest a physical fix per violation")
+		corr      = flag.Bool("corr", false, "enable logic-correlation aggressor filtering")
+		delay     = flag.Bool("delay", false, "also run crosstalk delta-delay analysis")
+		iterate   = flag.Bool("iterate", false, "run the joint noise-timing fixpoint loop")
+		slacks    = flag.Int("slacks", 0, "also print the N tightest receiver noise margins")
+		period    = flag.Float64("period", 0, "clock period in seconds; enables timing slacks in the delta-delay report")
+		jsonOut   = flag.String("json", "", "write the full result as JSON to this file")
+	)
+	flag.Parse()
+	if *netPath == "" {
+		fatal(fmt.Errorf("-net is required"))
+	}
+
+	lib := liberty.Generic()
+	var err error
+	if *libPath != "" {
+		if lib, err = loadLibrary(*libPath); err != nil {
+			fatal(err)
+		}
+	}
+	design, err := loadNetlist(*netPath, lib)
+	if err != nil {
+		fatal(err)
+	}
+	var paras *spef.Parasitics
+	if *spefPath != "" {
+		if paras, err = loadSPEF(*spefPath); err != nil {
+			fatal(err)
+		}
+	}
+	var inputs map[string]*sta.Timing
+	if *winPath != "" {
+		if inputs, err = loadTiming(*winPath); err != nil {
+			fatal(err)
+		}
+	}
+
+	mode, err := parseMode(*modeFlag)
+	if err != nil {
+		fatal(err)
+	}
+	b, err := bind.New(design, lib, paras)
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.Options{
+		Mode:             mode,
+		FilterThreshold:  *threshold,
+		NoPropagation:    *noProp,
+		LogicCorrelation: *corr,
+		STA:              sta.Options{InputTiming: inputs, ClockPeriod: *period},
+	}
+	var res *core.Result
+	if *iterate {
+		iter, err := core.AnalyzeIterative(b, opts, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("noise-timing loop: %d rounds, converged=%v, max window padding %s\n",
+			iter.Rounds, iter.Converged, report.SI(iter.MaxPadding(), "s"))
+		res = iter.Noise
+	} else {
+		var err error
+		res, err = core.Analyze(b, opts)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	report.Violations(os.Stdout, res)
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := report.WriteJSON(f, res); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *slacks > 0 {
+		report.SlackTable(os.Stdout, res, *slacks)
+	}
+	if *repair && len(res.Violations) > 0 {
+		repairs, err := core.SuggestRepairs(b, res, 0.05)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("suggested repairs (5% margin):")
+		for _, r := range repairs {
+			fmt.Println("  " + r.Describe())
+		}
+	}
+	if *delay {
+		dres, err := core.AnalyzeDelay(b, opts)
+		if err != nil {
+			fatal(err)
+		}
+		cols := []string{"net", "edge", "noise", "delta", "members"}
+		if *period > 0 {
+			cols = append(cols, "slack-before", "slack-after")
+		}
+		t := report.NewTable(
+			fmt.Sprintf("crosstalk delta-delay (%s): %d impacted edges, worst %s",
+				dres.Mode, len(dres.Impacts), report.SI(dres.WorstDelta(), "s")),
+			cols...)
+		limit := 20
+		for i, im := range dres.Impacts {
+			if i == limit {
+				t.AddRow("...")
+				break
+			}
+			edge := "fall"
+			if im.Rise {
+				edge = "rise"
+			}
+			row := []string{im.Net, edge, report.SI(im.NoisePeak, "V"),
+				report.SI(im.Delta, "s"), strings.Join(im.Members, "+")}
+			if *period > 0 {
+				if slack, ok := res.STA.TimingSlack(im.Net); ok {
+					row = append(row, report.SI(slack, "s"), report.SI(slack-im.Delta, "s"))
+				} else {
+					row = append(row, "-", "-")
+				}
+			}
+			t.AddRow(row...)
+		}
+		t.Render(os.Stdout)
+	}
+	if *dump != "" {
+		for _, name := range strings.Split(*dump, ",") {
+			name = strings.TrimSpace(name)
+			nn := res.NoiseOf(name)
+			if nn == nil {
+				fmt.Printf("net %s: not analyzed\n", name)
+				continue
+			}
+			report.NetSummary(os.Stdout, nn)
+		}
+	}
+	if len(res.Violations) > 0 {
+		os.Exit(2)
+	}
+}
+
+func parseMode(s string) (core.Mode, error) {
+	switch s {
+	case "all":
+		return core.ModeAllAggressors, nil
+	case "timing":
+		return core.ModeTimingWindows, nil
+	case "noise":
+		return core.ModeNoiseWindows, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want all|timing|noise)", s)
+}
+
+// loadNetlist accepts both the native .net format and structural Verilog
+// (by .v extension), resolving pin directions against the library.
+func loadNetlist(path string, lib *liberty.Library) (*netlist.Design, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".v") {
+		return vlog.Parse(f, lib)
+	}
+	return netlist.Parse(f)
+}
+
+func loadLibrary(path string) (*liberty.Library, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return liberty.Parse(f)
+}
+
+func loadSPEF(path string) (*spef.Parasitics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return spef.Parse(f)
+}
+
+func loadTiming(path string) (map[string]*sta.Timing, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return sta.ParseInputTiming(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sna:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,226 @@
+// Package bind composes the three input databases — the logical netlist,
+// the cell library, and the extracted parasitics — into one resolved design
+// the timing and noise engines analyze.
+//
+// Binding resolves every instance to its library cell, checks pin
+// directions, builds an rc.Network per net (from SPEF when present,
+// otherwise a lumped stand-in), and attaches receiver pin capacitances at
+// the right RC nodes. SPEF node names follow the extractor convention
+// "inst:pin" for instance connections and the bare port name for ports.
+package bind
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+	"repro/internal/rc"
+	"repro/internal/spef"
+)
+
+// Design is the resolved, analyzable view of one design. After New it is
+// safe for concurrent readers: the networks are immutable and the lazy
+// analysis cache is mutex-guarded, so parallel noise analysis can share
+// one Design.
+type Design struct {
+	Net *netlist.Design
+	Lib *liberty.Library
+
+	nets map[string]*rc.Network
+
+	mu       sync.Mutex
+	analyses map[string]*rc.Analysis
+}
+
+// PinNode returns the RC node name a connection lands on.
+func PinNode(c *netlist.Conn) string {
+	if c.Inst == nil {
+		return c.Port
+	}
+	return c.Inst.Name + ":" + c.Pin
+}
+
+// New binds the databases. Parasitics may be nil; nets absent from the
+// parasitics get a lumped zero-resistance network carrying only pin loads.
+func New(d *netlist.Design, lib *liberty.Library, p *spef.Parasitics) (*Design, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+	b := &Design{
+		Net:      d,
+		Lib:      lib,
+		nets:     make(map[string]*rc.Network, d.NumNets()),
+		analyses: make(map[string]*rc.Analysis, d.NumNets()),
+	}
+	// Resolve instances against the library and check pin directions.
+	for _, inst := range d.Insts() {
+		cell := lib.Cell(inst.Cell)
+		if cell == nil {
+			return nil, fmt.Errorf("bind: instance %q references unknown cell %q", inst.Name, inst.Cell)
+		}
+		for pinName, conn := range inst.Conns {
+			pin := cell.Pin(pinName)
+			if pin == nil {
+				return nil, fmt.Errorf("bind: %s.%s: cell %s has no such pin", inst.Name, pinName, cell.Name)
+			}
+			wantOut := pin.Dir == liberty.Output
+			isOut := conn.Dir == netlist.Out
+			if wantOut != isOut {
+				return nil, fmt.Errorf("bind: %s.%s: direction mismatch with cell %s", inst.Name, pinName, cell.Name)
+			}
+		}
+	}
+	// Build an RC network per net.
+	for _, net := range d.Nets() {
+		var nw *rc.Network
+		if p != nil {
+			if sn := p.Net(net.Name); sn != nil {
+				var err error
+				nw, err = rc.FromSPEF(sn)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		if nw == nil {
+			nw = lumpedNetwork(net)
+		}
+		// Attach receiver pin capacitances at their nodes.
+		for _, lc := range net.Loads() {
+			if lc.Inst == nil {
+				continue // output port: no pin cap
+			}
+			cell := lib.Cell(lc.Inst.Cell)
+			pin := cell.Pin(lc.Pin)
+			node := PinNode(lc)
+			if !nw.HasNode(node) {
+				// Extractor omitted the pin node; lump the cap at the
+				// driver so it still loads the net.
+				node = nw.Root()
+			}
+			nw.AddLoadCap(node, pin.Cap)
+		}
+		b.nets[net.Name] = nw
+	}
+	return b, nil
+}
+
+// lumpedNetwork synthesizes a single-node network for a net without
+// extracted parasitics: driver and loads share one node, wire cap zero.
+func lumpedNetwork(net *netlist.Net) *rc.Network {
+	nw := rc.NewNetwork(net.Name)
+	drv := net.Driver()
+	root := "root"
+	if drv != nil {
+		root = PinNode(drv)
+	}
+	nw.SetRoot(root)
+	for _, lc := range net.Loads() {
+		// Loads sit on the root node (zero wire resistance); interning
+		// their names keeps PinNode lookups working.
+		node := PinNode(lc)
+		if node != root {
+			nw.AddRes(root, node, 1e-3) // negligible series resistance
+		}
+	}
+	return nw
+}
+
+// Network returns the RC network of a net.
+func (b *Design) Network(net string) (*rc.Network, error) {
+	nw, ok := b.nets[net]
+	if !ok {
+		return nil, fmt.Errorf("bind: no network for net %q", net)
+	}
+	return nw, nil
+}
+
+// Analysis returns the (cached) RC tree analysis of a net. It is safe to
+// call from concurrent goroutines.
+func (b *Design) Analysis(net string) (*rc.Analysis, error) {
+	b.mu.Lock()
+	a, ok := b.analyses[net]
+	b.mu.Unlock()
+	if ok {
+		return a, nil
+	}
+	nw, err := b.Network(net)
+	if err != nil {
+		return nil, err
+	}
+	a, err = nw.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	b.analyses[net] = a
+	b.mu.Unlock()
+	return a, nil
+}
+
+// Cell resolves an instance's library cell (known valid after New).
+func (b *Design) Cell(inst *netlist.Inst) *liberty.Cell {
+	return b.Lib.Cell(inst.Cell)
+}
+
+// DriverCell returns the cell and connection driving a net, or nil for
+// port-driven nets.
+func (b *Design) DriverCell(net *netlist.Net) (*liberty.Cell, *netlist.Conn) {
+	drv := net.Driver()
+	if drv == nil || drv.Inst == nil {
+		return nil, drv
+	}
+	return b.Cell(drv.Inst), drv
+}
+
+// LoadCapOf returns the total capacitive load the driver of a net sees:
+// wire capacitance plus receiver pin capacitances plus coupling lumped to
+// ground. This is the load axis value for NLDM table lookups.
+func (b *Design) LoadCapOf(net string) (float64, error) {
+	nw, err := b.Network(net)
+	if err != nil {
+		return 0, err
+	}
+	return nw.TotalCap(), nil
+}
+
+// WireDelayTo returns the Elmore delay from a net's driver to a load
+// connection's pin node.
+func (b *Design) WireDelayTo(lc *netlist.Conn) (float64, error) {
+	a, err := b.Analysis(lc.Net.Name)
+	if err != nil {
+		return 0, err
+	}
+	node := PinNode(lc)
+	nw, _ := b.Network(lc.Net.Name)
+	if !nw.HasNode(node) {
+		// Pin cap was lumped at the driver; no extra wire delay.
+		return 0, nil
+	}
+	return a.ElmoreTo(node)
+}
+
+// HoldRes returns the holding resistance of a net's driver — the quiet
+// victim's fight against injected charge. Port-driven nets use a strong
+// default (the tester's source impedance) of 50 Ω.
+func (b *Design) HoldRes(net *netlist.Net) float64 {
+	cell, _ := b.DriverCell(net)
+	if cell == nil {
+		return 50
+	}
+	return cell.HoldRes
+}
+
+// DriveRes returns the switching drive resistance of a net's driver, with
+// the same 50 Ω default for ports.
+func (b *Design) DriveRes(net *netlist.Net) float64 {
+	cell, _ := b.DriverCell(net)
+	if cell == nil {
+		return 50
+	}
+	return cell.DriveRes
+}

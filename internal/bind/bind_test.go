@@ -1,0 +1,230 @@
+package bind
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+	"repro/internal/spef"
+)
+
+// twoInv builds in -> u0(INV_X1) -> mid -> u1(INV_X2) -> out.
+func twoInv(t testing.TB) *netlist.Design {
+	t.Helper()
+	d := netlist.New("two")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := d.AddPort("in", netlist.In)
+	must(err)
+	_, err = d.AddPort("out", netlist.Out)
+	must(err)
+	_, err = d.AddInst("u0", "INV_X1")
+	must(err)
+	_, err = d.AddInst("u1", "INV_X2")
+	must(err)
+	must(d.Connect("u0", "A", "in", netlist.In))
+	must(d.Connect("u0", "Y", "mid", netlist.Out))
+	must(d.Connect("u1", "A", "mid", netlist.In))
+	must(d.Connect("u1", "Y", "out", netlist.Out))
+	return d
+}
+
+const midSpef = `*SPEF "x"
+*DESIGN "two"
+*D_NET mid 6.0e-15
+*CONN
+*I u0:Y O
+*I u1:A I
+*CAP
+1 mid:1 3.0e-15
+2 mid:1 agg:1 1.0e-15
+*RES
+1 u0:Y mid:1 120
+2 mid:1 u1:A 80
+*END
+`
+
+func TestBindWithSPEF(t *testing.T) {
+	d := twoInv(t)
+	lib := liberty.Generic()
+	p, err := spef.Parse(strings.NewReader(midSpef))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(d, lib, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := b.Network("mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Root() != "u0:Y" {
+		t.Fatalf("root = %q", nw.Root())
+	}
+	// Load cap = wire 3fF + coupling 1fF + u1 pin cap.
+	pinCap := lib.MustCell("INV_X2").Pin("A").Cap
+	want := 3e-15 + 1e-15 + pinCap
+	got, err := b.LoadCapOf("mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := got - want; diff > 1e-21 || diff < -1e-21 {
+		t.Fatalf("LoadCapOf = %g, want %g", got, want)
+	}
+	// Wire delay to the receiver pin is positive.
+	var loadConn *netlist.Conn
+	for _, lc := range d.FindNet("mid").Loads() {
+		loadConn = lc
+	}
+	wd, err := b.WireDelayTo(loadConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wd <= 0 {
+		t.Fatalf("wire delay = %g", wd)
+	}
+}
+
+func TestBindLumpedFallback(t *testing.T) {
+	d := twoInv(t)
+	b, err := New(d, liberty.Generic(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without SPEF every net is lumped: load = receiver pin caps only.
+	got, err := b.LoadCapOf("mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinCap := liberty.Generic().MustCell("INV_X2").Pin("A").Cap
+	if diff := got - pinCap; diff > 1e-21 || diff < -1e-21 {
+		t.Fatalf("lumped LoadCapOf = %g, want %g", got, pinCap)
+	}
+	if _, err := b.Analysis("mid"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBindUnknownCell(t *testing.T) {
+	d := netlist.New("bad")
+	if _, err := d.AddPort("in", netlist.In); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddInst("u", "MYSTERY_CELL"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect("u", "A", "in", netlist.In); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect("u", "Y", "y", netlist.Out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(d, liberty.Generic(), nil); err == nil {
+		t.Fatal("unknown cell accepted")
+	}
+}
+
+func TestBindBadPinAndDirection(t *testing.T) {
+	d := netlist.New("bad")
+	if _, err := d.AddPort("in", netlist.In); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddInst("u", "INV_X1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect("u", "Q", "in", netlist.In); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect("u", "Y", "y", netlist.Out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(d, liberty.Generic(), nil); err == nil {
+		t.Fatal("bad pin name accepted")
+	}
+
+	d2 := netlist.New("bad2")
+	if _, err := d2.AddInst("u", "INV_X1"); err != nil {
+		t.Fatal(err)
+	}
+	// A connected as output: direction mismatch. Give Y a driver role on
+	// another net so validation passes structurally.
+	if err := d2.Connect("u", "A", "x", netlist.Out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(d2, liberty.Generic(), nil); err == nil {
+		t.Fatal("direction mismatch accepted")
+	}
+}
+
+func TestBindValidatesNetlist(t *testing.T) {
+	d := netlist.New("invalid")
+	if _, err := d.AddInst("u", "INV_X1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect("u", "A", "floating", netlist.In); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect("u", "Y", "y", netlist.Out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(d, liberty.Generic(), nil); err == nil {
+		t.Fatal("undriven net accepted")
+	}
+}
+
+func TestHoldAndDriveRes(t *testing.T) {
+	d := twoInv(t)
+	lib := liberty.Generic()
+	b, err := New(d, lib, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := d.FindNet("mid")
+	if got := b.HoldRes(mid); got != lib.MustCell("INV_X1").HoldRes {
+		t.Fatalf("HoldRes = %g", got)
+	}
+	if got := b.DriveRes(mid); got != lib.MustCell("INV_X1").DriveRes {
+		t.Fatalf("DriveRes = %g", got)
+	}
+	// Port-driven net uses the 50 Ω default.
+	in := d.FindNet("in")
+	if got := b.HoldRes(in); got != 50 {
+		t.Fatalf("port HoldRes = %g", got)
+	}
+	if got := b.DriveRes(in); got != 50 {
+		t.Fatalf("port DriveRes = %g", got)
+	}
+}
+
+func TestPinNode(t *testing.T) {
+	d := twoInv(t)
+	mid := d.FindNet("mid")
+	drv := mid.Driver()
+	if got := PinNode(drv); got != "u0:Y" {
+		t.Fatalf("PinNode(driver) = %q", got)
+	}
+	in := d.FindNet("in")
+	if got := PinNode(in.Driver()); got != "in" {
+		t.Fatalf("PinNode(port) = %q", got)
+	}
+}
+
+func TestNetworkUnknownNet(t *testing.T) {
+	d := twoInv(t)
+	b, err := New(d, liberty.Generic(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Network("ghost"); err == nil {
+		t.Fatal("unknown net accepted")
+	}
+	if _, err := b.Analysis("ghost"); err == nil {
+		t.Fatal("unknown net analysis accepted")
+	}
+}

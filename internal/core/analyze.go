@@ -1,0 +1,554 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bind"
+	"repro/internal/interval"
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+	"repro/internal/noise"
+	"repro/internal/sta"
+	"repro/internal/units"
+)
+
+// Options tunes an analysis run.
+type Options struct {
+	// Mode selects the combination policy (default ModeNoiseWindows).
+	Mode Mode
+	// Vdd overrides the library supply voltage when non-zero.
+	Vdd float64
+	// FilterThreshold drops couplings with C_x/C_v below it; the dropped
+	// capacitance is lumped into a virtual always-on aggressor unless
+	// DisableVirtual is set. Zero keeps every aggressor.
+	FilterThreshold float64
+	// DisableVirtual turns off the conservative lumping of filtered
+	// couplings.
+	DisableVirtual bool
+	// NoPropagation disables noise propagation through gates (coupled
+	// noise only).
+	NoPropagation bool
+	// MaxIter bounds the propagation fixpoint iteration (default 16).
+	MaxIter int
+	// Workers sets the number of goroutines used for the per-victim
+	// context and coupled-event construction (the dominant cost on big
+	// designs). 0 or 1 runs serially; results are identical either way
+	// because victims are independent at that stage.
+	Workers int
+	// DefaultAggSlew is the aggressor edge rate assumed when timing gives
+	// none (default 20 ps).
+	DefaultAggSlew float64
+	// HullWindows collapses set-valued (multi-phase) switching windows to
+	// their single-window hull before deriving noise windows — the
+	// approximation a tool without set support is forced into. Kept as
+	// an ablation knob (experiment A2).
+	HullWindows bool
+	// LogicCorrelation enables mutual-exclusion filtering: aggressors
+	// whose transitions are logically contradictory (both depending on
+	// the same single primary input with opposite polarity, e.g. a
+	// signal and its complement) are never combined. The combination
+	// becomes a constrained maximum-overlap query.
+	LogicCorrelation bool
+	// Occupancy selects the combination semantics: OccupancyTent
+	// (default, sound against partial waveform overlap), OccupancyPeak
+	// (classical peak-window alignment), or OccupancyWiden (coarse
+	// conservative plateau). Experiment A1 quantifies the three; T11
+	// demonstrates why tent is the default.
+	Occupancy Occupancy
+	// STA configures the underlying timing run.
+	STA sta.Options
+}
+
+func (o *Options) fill() {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 16
+	}
+	if o.DefaultAggSlew <= 0 {
+		o.DefaultAggSlew = 20 * units.Pico
+	}
+}
+
+// analyzer carries per-run state.
+type analyzer struct {
+	b      *bind.Design
+	opts   Options
+	vdd    float64
+	staRes *sta.Result
+	ctxs   map[string]*noise.Context
+	// coupled events are timing-dependent but iteration-invariant.
+	coupled map[string]*[2][]Event
+	// corr maps nets to their primary-input dependence for logic
+	// correlation (nil when the option is off).
+	corr  map[string]sourceMap
+	stats Stats
+}
+
+// newAnalyzer runs the shared setup — timing, victim ordering, context and
+// coupled-event construction — used by both Analyze and AnalyzeDelay.
+func newAnalyzer(b *bind.Design, opts Options) (*analyzer, []*netlist.Net, error) {
+	opts.fill()
+	a := &analyzer{
+		b:       b,
+		opts:    opts,
+		vdd:     opts.Vdd,
+		ctxs:    make(map[string]*noise.Context),
+		coupled: make(map[string]*[2][]Event),
+	}
+	if a.vdd <= 0 {
+		a.vdd = b.Lib.Vdd
+	}
+	staRes, err := sta.Run(b, opts.STA)
+	if err != nil {
+		return nil, nil, err
+	}
+	a.staRes = staRes
+	if opts.LogicCorrelation {
+		a.corr = buildCorrelations(b)
+	}
+
+	order := a.victimOrder()
+	if err := a.prepareAll(order); err != nil {
+		return nil, nil, err
+	}
+	return a, order, nil
+}
+
+// prepareAll builds every victim's context and coupled events, optionally
+// across Options.Workers goroutines. Victims are independent here, so the
+// parallel and serial paths produce identical results.
+func (a *analyzer) prepareAll(order []*netlist.Net) error {
+	workers := a.opts.Workers
+	if workers <= 1 || len(order) < 2 {
+		for _, net := range order {
+			p, err := a.prepareNet(net)
+			if err != nil {
+				return err
+			}
+			a.commitPrepared(net, p)
+		}
+		return nil
+	}
+	if workers > len(order) {
+		workers = len(order)
+	}
+	prepared := make([]*preparedNet, len(order))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	var next int64 = -1
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(order) {
+					return
+				}
+				p, err := a.prepareNet(order[i])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				prepared[i] = p
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for i, net := range order {
+		if prepared[i] == nil {
+			return fmt.Errorf("core: net %s was not prepared", net.Name)
+		}
+		a.commitPrepared(net, prepared[i])
+	}
+	return nil
+}
+
+// preparedNet is the output of the per-victim preparation stage.
+type preparedNet struct {
+	ctx      *noise.Context
+	events   [2][]Event
+	pairs    int
+	filtered int
+}
+
+// commitPrepared stores one victim's preparation into the analyzer state
+// (serially, so maps and stats need no locks).
+func (a *analyzer) commitPrepared(net *netlist.Net, p *preparedNet) {
+	a.ctxs[net.Name] = p.ctx
+	a.coupled[net.Name] = &p.events
+	a.stats.AggressorPairs += p.pairs
+	a.stats.Filtered += p.filtered
+}
+
+// Analyze runs static noise analysis over the whole design.
+func Analyze(b *bind.Design, opts Options) (*Result, error) {
+	a, order, err := newAnalyzer(b, opts)
+	if err != nil {
+		return nil, err
+	}
+	opts = a.opts
+
+	res := &Result{
+		Mode: opts.Mode,
+		Nets: make(map[string]*NetNoise, len(order)),
+		STA:  a.staRes,
+	}
+	for _, net := range order {
+		res.Nets[net.Name] = &NetNoise{Net: net.Name}
+	}
+
+	// Propagation fixpoint: each pass recomputes every net's event list
+	// (coupled events are cached; propagated events derive from the
+	// current fanin combinations) and its windowed combination.
+	converged := false
+	iterations := 0
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		iterations++
+		a.stats.Propagated = 0
+		changed := false
+		for _, net := range order {
+			nn := res.Nets[net.Name]
+			events := a.buildEvents(net, res)
+			var comb [2]Combined
+			for _, k := range Kinds {
+				comb[k] = combineConstrained(events[k], a.vdd, a.conflictFunc(events[k], k), a.occupancy())
+			}
+			if !combEqual(comb[KindLow], nn.Comb[KindLow], 1e-7) ||
+				!combEqual(comb[KindHigh], nn.Comb[KindHigh], 1e-7) {
+				changed = true
+			}
+			nn.Events = events
+			nn.Comb = comb
+		}
+		if !changed {
+			converged = true
+			break
+		}
+		if opts.NoPropagation {
+			// Without propagation one pass is exact.
+			converged = true
+			break
+		}
+	}
+	a.stats.Iterations = iterations
+	a.stats.Converged = converged
+	a.stats.Victims = len(order)
+	res.Stats = a.stats
+
+	a.checkViolations(res)
+	return res, nil
+}
+
+// occupancy resolves the effective combination policy: the baselines keep
+// the classical peak semantics (that is what they are baselines of); only
+// the paper's noise-window mode uses the configured occupancy.
+func (a *analyzer) occupancy() Occupancy {
+	if a.opts.Mode != ModeNoiseWindows {
+		return OccupancyPeak
+	}
+	return a.opts.Occupancy
+}
+
+// victimOrder returns the analyzable nets in propagation-friendly order:
+// port-driven nets first, then by driving instance level (feedback last).
+func (a *analyzer) victimOrder() []*netlist.Net {
+	a.b.Net.Levelize()
+	nets := a.b.Net.Nets()
+	out := make([]*netlist.Net, 0, len(nets))
+	for _, n := range nets {
+		if n.Driver() == nil {
+			continue // unconnected; Validate would have flagged real designs
+		}
+		out = append(out, n)
+	}
+	level := func(n *netlist.Net) int {
+		drv := n.Driver()
+		if drv.Inst == nil {
+			return -1
+		}
+		if drv.Inst.Level < 0 {
+			return 1 << 30 // feedback: last
+		}
+		return drv.Inst.Level
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		li, lj := level(out[i]), level(out[j])
+		if li != lj {
+			return li < lj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// prepareNet builds the noise context and the coupled (plus virtual)
+// events for one victim. It only reads shared state, so prepareAll may run
+// it concurrently for different victims.
+func (a *analyzer) prepareNet(net *netlist.Net) (*preparedNet, error) {
+	ctx, err := noise.BuildContext(a.b, net)
+	if err != nil {
+		return nil, err
+	}
+	kept, dropped := ctx.Filter(a.opts.FilterThreshold)
+	out := &preparedNet{
+		ctx:      ctx,
+		pairs:    len(ctx.Couplings),
+		filtered: len(ctx.Couplings) - len(kept),
+	}
+
+	var events [2][]Event
+	for i := range kept {
+		cpl := &kept[i]
+		aggT := a.staRes.TimingOfNet(cpl.Aggressor)
+		for _, k := range Kinds {
+			rise := k == KindLow // rising aggressor endangers a low victim
+			var winSet interval.Set
+			slew := a.opts.DefaultAggSlew
+			switch a.opts.Mode {
+			case ModeAllAggressors:
+				winSet = interval.InfiniteSet()
+				if s := aggT.Slew(rise); s.Min <= s.Max {
+					slew = s.Min
+				}
+			default: // timing- and noise-window modes use real windows
+				winSet = aggT.Window(rise)
+				if winSet.IsEmpty() {
+					continue // this aggressor can never make that edge
+				}
+				if s := aggT.Slew(rise); s.Min <= s.Max {
+					slew = s.Min
+				}
+			}
+			if a.opts.HullWindows && !winSet.IsEmpty() {
+				winSet = interval.NewSet(winSet.Hull())
+			}
+			p := ctx.ParamsFor(cpl, slew, a.vdd)
+			if err := p.Validate(); err != nil {
+				return nil, fmt.Errorf("core: net %s aggressor %s: %w", net.Name, cpl.Aggressor, err)
+			}
+			peak, width := p.Peak(), p.Width()
+			if peak <= 0 {
+				continue
+			}
+			// One event per disjoint switching opportunity. The shift
+			// and widening can make neighbouring fragments overlap, so
+			// the shifted windows are re-normalized into a Set first —
+			// its members never overlap, so at any alignment instant at
+			// most one event contributes and the aggressor is never
+			// double-counted.
+			shifted := make([]interval.Window, 0, winSet.Len())
+			for _, win := range winSet.Windows() {
+				shifted = append(shifted, a.eventWindow(win, cpl.AggWireDelay, slew))
+			}
+			for _, win := range interval.NewSet(shifted...).Windows() {
+				events[k] = append(events[k], Event{
+					Peak:   peak,
+					Width:  width,
+					Window: win,
+					Source: cpl.Aggressor,
+				})
+			}
+		}
+	}
+	if dropped > 0 && !a.opts.DisableVirtual {
+		p := noise.Params{
+			HoldRes: ctx.HoldRes,
+			CoupleC: dropped,
+			VictimC: ctx.VictimC,
+			AggSlew: a.opts.DefaultAggSlew,
+			Vdd:     a.vdd,
+		}
+		if peak := p.Peak(); peak > 0 {
+			for _, k := range Kinds {
+				events[k] = append(events[k], Event{
+					Peak:   peak,
+					Width:  p.Width(),
+					Window: interval.Infinite(),
+					Source: "virtual",
+				})
+			}
+		}
+	}
+	out.events = events
+	return out, nil
+}
+
+// eventWindow turns an aggressor switching window into the glitch's noise
+// window: the edge reaches the coupling site after the aggressor wire
+// delay and the peak lands at the end of the edge (up to one slew later).
+// Waveform extent around the peak is the combination policy's concern
+// (Options.Occupancy), not the window's.
+func (a *analyzer) eventWindow(aggWin interval.Window, wireDelay, slew float64) interval.Window {
+	if aggWin.IsInfinite() {
+		return aggWin
+	}
+	return aggWin.ShiftRange(wireDelay, wireDelay+slew)
+}
+
+// buildEvents assembles the full event list for a net in the current
+// iteration: cached coupled events plus freshly derived propagated events.
+func (a *analyzer) buildEvents(net *netlist.Net, res *Result) [2][]Event {
+	var events [2][]Event
+	if c := a.coupled[net.Name]; c != nil {
+		events[KindLow] = append([]Event(nil), c[KindLow]...)
+		events[KindHigh] = append([]Event(nil), c[KindHigh]...)
+	}
+	if a.opts.NoPropagation {
+		return events
+	}
+	drv := net.Driver()
+	if drv == nil || drv.Inst == nil {
+		return events
+	}
+	cell := a.b.Cell(drv.Inst)
+	load, err := a.b.LoadCapOf(net.Name)
+	if err != nil {
+		return events
+	}
+	for _, arc := range cell.ArcsTo(drv.Pin) {
+		if arc.Transfer == nil {
+			continue // cell blocks noise through this arc
+		}
+		ic := drv.Inst.Conns[arc.From]
+		if ic == nil {
+			continue
+		}
+		inNoise := res.Nets[ic.Net.Name]
+		if inNoise == nil {
+			continue
+		}
+		for _, inKind := range Kinds {
+			comb := inNoise.Comb[inKind]
+			if comb.Peak <= 0 {
+				continue
+			}
+			outPeak := arc.Transfer.OutputPeak(comb.Peak, comb.Width)
+			if outPeak <= 0 {
+				continue
+			}
+			// Gate delay range for the glitch, using its width as the
+			// effective input transition time.
+			d1 := arc.DelayRise.Eval(comb.Width, load)
+			d2 := arc.DelayFall.Eval(comb.Width, load)
+			dMin, dMax := math.Min(d1, d2), math.Max(d1, d2)
+			outWidth := comb.Width + (dMax - dMin)
+			var win interval.Window
+			if a.opts.Mode == ModeNoiseWindows {
+				win = comb.Window.ShiftRange(dMin, dMax)
+			} else {
+				// Baselines carry no window information for
+				// propagated noise: it may appear any time.
+				win = interval.Infinite()
+			}
+			for _, outKind := range propagateKind(arc.Unate, inKind) {
+				a.stats.Propagated++
+				events[outKind] = append(events[outKind], Event{
+					Peak:   outPeak,
+					Width:  outWidth,
+					Window: win,
+					Source: "prop:" + ic.Net.Name,
+				})
+			}
+		}
+	}
+	return events
+}
+
+// propagateKind maps a glitch's victim-state kind through an arc's
+// unateness. An upward glitch on a low input of an inverter (negative
+// unate) appears as a downward glitch on its high output, and so on.
+func propagateKind(u liberty.Unateness, in Kind) []Kind {
+	other := KindHigh
+	if in == KindHigh {
+		other = KindLow
+	}
+	switch u {
+	case liberty.PositiveUnate:
+		return []Kind{in}
+	case liberty.NegativeUnate:
+		return []Kind{other}
+	default:
+		return []Kind{in, other}
+	}
+}
+
+// checkViolations evaluates every receiver's immunity curve against its
+// net's combined noise and records failures sorted by slack.
+func (a *analyzer) checkViolations(res *Result) {
+	for _, netName := range sortedNetNames(res.Nets) {
+		nn := res.Nets[netName]
+		ctx := a.ctxs[netName]
+		if ctx == nil {
+			continue
+		}
+		for _, rcv := range ctx.Receivers {
+			var pin *liberty.Pin
+			if rcv.Inst != nil {
+				pin = a.b.Cell(rcv.Inst).Pin(rcv.Pin)
+			}
+			curve := a.b.Lib.Immunity(pin)
+			if curve == nil {
+				continue
+			}
+			for _, k := range Kinds {
+				comb := nn.Comb[k]
+				if comb.Peak <= 0 {
+					continue
+				}
+				limit := curve.MaxPeak(comb.Width)
+				slack := limit - comb.Peak
+				res.Slacks = append(res.Slacks, ReceiverSlack{
+					Net:      netName,
+					Receiver: rcv.Name(),
+					Kind:     k,
+					Peak:     comb.Peak,
+					Limit:    limit,
+					Slack:    slack,
+				})
+				if slack < 0 {
+					res.Violations = append(res.Violations, Violation{
+						Net:      netName,
+						Receiver: rcv.Name(),
+						Kind:     k,
+						Peak:     comb.Peak,
+						Width:    comb.Width,
+						Limit:    limit,
+						Slack:    slack,
+						At:       comb.At,
+						Members:  comb.Members,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(res.Violations, func(i, j int) bool {
+		if res.Violations[i].Slack != res.Violations[j].Slack {
+			return res.Violations[i].Slack < res.Violations[j].Slack
+		}
+		return res.Violations[i].Net < res.Violations[j].Net
+	})
+	sort.Slice(res.Slacks, func(i, j int) bool {
+		if res.Slacks[i].Slack != res.Slacks[j].Slack {
+			return res.Slacks[i].Slack < res.Slacks[j].Slack
+		}
+		return res.Slacks[i].Net < res.Slacks[j].Net
+	})
+}
+
+func sortedNetNames(m map[string]*NetNoise) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

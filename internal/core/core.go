@@ -1,0 +1,437 @@
+// Package core implements the paper's contribution: static noise analysis
+// with noise windows (Tseng & Kariat, DAC 2003).
+//
+// Classical static noise analysis assumes every aggressor of a victim net
+// can switch at any time, aligns all their glitches at one instant, and sums
+// the peaks — maximally pessimistic. The noise-window method attaches to
+// every glitch the time interval during which its peak can actually occur:
+//
+//   - A *coupled* glitch inherits its window from the inducing aggressor's
+//     STA switching window, shifted by the aggressor's wire delay and edge
+//     time and widened by the glitch's own width.
+//
+//   - A *propagated* glitch (noise passing through a gate from a noisy
+//     input to the gate output) inherits the input glitch's window shifted
+//     by the gate's [min, max] delay.
+//
+// Combination is a maximum over alignment instants of the summed glitch
+// contributions. By default each glitch contributes its full peak when the
+// instant lies in its noise window and a linearly decaying tail outside it
+// (the "tent" occupancy — the exact worst case over the analyzer's own
+// triangular glitch templates, sound against partial overlap; see
+// Occupancy and experiment T11). The analyzer supports three combination
+// policies so the pessimism the windows remove is measurable:
+//
+//	ModeAllAggressors — no timing at all (classical upper bound),
+//	ModeTimingWindows — coupled glitches respect switching windows, but
+//	                    propagated noise combines unconditionally,
+//	ModeNoiseWindows  — full noise-window propagation (the paper).
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/interval"
+	"repro/internal/sta"
+	"repro/internal/units"
+)
+
+// Mode selects the combination policy.
+type Mode int
+
+const (
+	// ModeAllAggressors is the classical no-timing analysis: every
+	// aggressor may switch at any time (infinite windows everywhere).
+	ModeAllAggressors Mode = iota
+	// ModeTimingWindows filters and aligns coupled glitches by the
+	// aggressors' switching windows but treats propagated noise as
+	// unconstrained — the state of the art the paper improves on.
+	ModeTimingWindows
+	// ModeNoiseWindows is the paper's method: every glitch, coupled or
+	// propagated, carries a noise window, and only window-overlapping
+	// glitches combine.
+	ModeNoiseWindows
+)
+
+// String names the mode for reports.
+func (m Mode) String() string {
+	switch m {
+	case ModeTimingWindows:
+		return "timing-windows"
+	case ModeNoiseWindows:
+		return "noise-windows"
+	}
+	return "all-aggressors"
+}
+
+// Kind is the victim state a glitch endangers.
+type Kind int
+
+const (
+	// KindLow: victim holds logic 0; rising aggressors inject an upward
+	// glitch that can falsely turn on receivers.
+	KindLow Kind = iota
+	// KindHigh: victim holds logic 1; falling aggressors inject a
+	// downward glitch.
+	KindHigh
+)
+
+// String returns "low" or "high".
+func (k Kind) String() string {
+	if k == KindHigh {
+		return "high"
+	}
+	return "low"
+}
+
+// Kinds lists both victim states for iteration.
+var Kinds = [2]Kind{KindLow, KindHigh}
+
+// Event is a single glitch hypothesis on a net: a peak magnitude, the
+// glitch's half-peak width, and the noise window during which the peak can
+// occur.
+type Event struct {
+	// Peak is the glitch magnitude in volts (always positive; Kind
+	// carries the polarity).
+	Peak float64
+	// Width is the half-peak width in seconds.
+	Width float64
+	// Window is the noise window: the interval of possible peak instants.
+	Window interval.Window
+	// Source describes provenance: an aggressor net name for coupled
+	// noise, "prop:<net>" for noise propagated from a fanin net,
+	// "virtual" for the lumped filtered-aggressor pedestal.
+	Source string
+}
+
+// Combined is the worst achievable superposition of a net's events of one
+// kind.
+type Combined struct {
+	// Peak is the maximum summed glitch magnitude (clamped to Vdd).
+	Peak float64
+	// Width is the widest member glitch's width — the conservative width
+	// for the immunity-curve check.
+	Width float64
+	// Window is the set of instants at which this combination is
+	// achievable: the intersection of the member windows.
+	Window interval.Window
+	// At is one instant achieving the peak (NaN when Peak is 0).
+	At float64
+	// Members lists the sources that align to produce Peak.
+	Members []string
+	// MemberEvents holds the aligned events themselves, for waveform
+	// reconstruction.
+	MemberEvents []Event
+}
+
+// NetNoise is the analysis result for one victim net.
+type NetNoise struct {
+	Net string
+	// Events per kind: individual coupled, virtual, and propagated
+	// glitches.
+	Events [2][]Event
+	// Comb per kind: the worst windowed combination.
+	Comb [2]Combined
+}
+
+// WorstPeak returns the larger combined peak across both kinds.
+func (n *NetNoise) WorstPeak() float64 {
+	return math.Max(n.Comb[KindLow].Peak, n.Comb[KindHigh].Peak)
+}
+
+// Violation is a failed noise check at one receiver input.
+type Violation struct {
+	Net      string  // victim net
+	Receiver string  // receiving pin, "inst.pin" form
+	Kind     Kind    // victim state
+	Peak     float64 // combined glitch peak, volts
+	Width    float64 // combined glitch width, seconds
+	Limit    float64 // immunity-curve allowance at that width
+	Slack    float64 // Limit − Peak (negative)
+	At       float64 // an alignment instant achieving the peak
+	Members  []string
+}
+
+// ReceiverSlack is the noise margin at one receiver input for one victim
+// state — recorded for every checked receiver, passing or failing, so
+// reports can show how close the design is to trouble, not only where it
+// already failed.
+type ReceiverSlack struct {
+	Net      string
+	Receiver string
+	Kind     Kind
+	Peak     float64 // combined glitch peak, volts (0 when quiet)
+	Limit    float64 // immunity allowance at the combined width
+	Slack    float64 // Limit − Peak
+}
+
+// Stats summarizes an analysis run.
+type Stats struct {
+	Victims        int // nets analyzed
+	AggressorPairs int // victim-aggressor couplings considered
+	Filtered       int // couplings dropped by the threshold filter
+	Propagated     int // propagated glitch events created (last pass)
+	Iterations     int // propagation passes until fixpoint
+	Converged      bool
+}
+
+// Result is a full-design noise analysis.
+type Result struct {
+	Mode       Mode
+	Nets       map[string]*NetNoise
+	Violations []Violation
+	// Slacks records the noise margin of every checked receiver/state,
+	// sorted tightest first (violations included, negative).
+	Slacks []ReceiverSlack
+	Stats  Stats
+	// STA is the timing annotation used (switching windows, slews).
+	STA *sta.Result
+}
+
+// NoiseOf returns the noise record for a net (nil if not analyzed).
+func (r *Result) NoiseOf(net string) *NetNoise { return r.Nets[net] }
+
+// TotalNoise sums every net's worst combined peak — the aggregate
+// pessimism metric the experiments track across modes.
+func (r *Result) TotalNoise() float64 {
+	var s float64
+	for _, n := range r.Nets {
+		s += n.WorstPeak()
+	}
+	return s
+}
+
+// ViolationsOn returns the violations for one net.
+func (r *Result) ViolationsOn(net string) []Violation {
+	var out []Violation
+	for _, v := range r.Violations {
+		if v.Net == net {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// WorstSlack returns the smallest noise slack across all checked
+// receivers, +Inf when nothing was checked.
+func (r *Result) WorstSlack() float64 {
+	if len(r.Slacks) == 0 {
+		return math.Inf(1)
+	}
+	return r.Slacks[0].Slack
+}
+
+// TightestSlacks returns the n smallest receiver margins.
+func (r *Result) TightestSlacks(n int) []ReceiverSlack {
+	if n > len(r.Slacks) {
+		n = len(r.Slacks)
+	}
+	return r.Slacks[:n]
+}
+
+// Occupancy selects how much of a glitch's waveform extent participates in
+// combination — the soundness/tightness axis the Monte Carlo experiment
+// (T11) probes.
+type Occupancy int
+
+const (
+	// OccupancyTent is the default and the sound one: a glitch whose
+	// peak window is d away from the alignment instant still contributes
+	// its triangular tail, peak·(1 − d/width)⁺. The combined bound is
+	// the exact worst case achievable by the analyzer's own glitch
+	// templates, so random alignment sampling can never exceed it.
+	OccupancyTent Occupancy = iota
+	// OccupancyPeak combines only glitches whose peak windows share the
+	// alignment instant — the classical windowed-combination semantics.
+	// It is tighter but optimistic against partial (tail-under-peak)
+	// overlap; kept as the historical baseline and ablation A1.
+	OccupancyPeak
+	// OccupancyWiden counts a glitch at full peak whenever the instant
+	// is within width/2 of its peak window — a coarse conservative
+	// over-approximation of the tent (ablation A1).
+	OccupancyWiden
+)
+
+// String names the policy for reports.
+func (o Occupancy) String() string {
+	switch o {
+	case OccupancyPeak:
+		return "peak"
+	case OccupancyWiden:
+		return "widen"
+	}
+	return "tent"
+}
+
+// combine runs the windowed combination with the default (tent) occupancy.
+func combine(events []Event, vdd float64) Combined {
+	return combineConstrained(events, vdd, nil, OccupancyTent)
+}
+
+// contribution returns how much of event e's peak can appear at instant t
+// under the given occupancy policy.
+func contribution(e *Event, t float64, occ Occupancy) float64 {
+	if e.Window.IsEmpty() || e.Peak <= 0 {
+		return 0
+	}
+	var d float64
+	switch {
+	case e.Window.Contains(t):
+		d = 0
+	case t < e.Window.Lo:
+		d = e.Window.Lo - t
+	default:
+		d = t - e.Window.Hi
+	}
+	switch occ {
+	case OccupancyPeak:
+		if d == 0 {
+			return e.Peak
+		}
+		return 0
+	case OccupancyWiden:
+		if d <= e.Width/2 {
+			return e.Peak
+		}
+		return 0
+	default: // OccupancyTent
+		if d == 0 {
+			return e.Peak
+		}
+		if e.Width <= 0 || d >= e.Width {
+			return 0
+		}
+		return e.Peak * (1 - d/e.Width)
+	}
+}
+
+// combineConstrained finds the worst achievable superposition of the
+// events under the occupancy policy and optional pairwise exclusions. The
+// objective max_t Σ_i contribution_i(t) is piecewise linear in t, so the
+// maximum lies at a breakpoint: a window edge, or a window edge offset by
+// the event's (half-)width. Each candidate instant is evaluated exactly;
+// with exclusions the best conflict-free subset at each instant comes from
+// an exact branch-and-bound independent-set query.
+func combineConstrained(events []Event, vdd float64, conflict func(i, j int) bool, occ Occupancy) Combined {
+	if len(events) == 0 {
+		return Combined{At: math.NaN(), Window: interval.Empty()}
+	}
+	var candidates []float64
+	addCand := func(t float64) {
+		if !math.IsInf(t, 0) && !math.IsNaN(t) {
+			candidates = append(candidates, t)
+		}
+	}
+	for i := range events {
+		e := &events[i]
+		if e.Window.IsEmpty() || e.Peak <= 0 {
+			continue
+		}
+		addCand(e.Window.Lo)
+		addCand(e.Window.Hi)
+		switch occ {
+		case OccupancyWiden:
+			addCand(e.Window.Lo - e.Width/2)
+			addCand(e.Window.Hi + e.Width/2)
+		case OccupancyTent:
+			addCand(e.Window.Lo - e.Width)
+			addCand(e.Window.Hi + e.Width)
+		}
+	}
+	if len(candidates) == 0 {
+		// All contributing windows are infinite (or none contribute):
+		// any instant is as good as any other.
+		candidates = append(candidates, 0)
+	}
+
+	// A net transitions at most once per edge direction per cycle, so two
+	// events with the same source — one aggressor's alternative switching
+	// phases, or one input glitch reaching the output through parallel
+	// arcs — are mutually exclusive and must never sum. Under the peak
+	// policy their disjoint windows make that automatic; tails make it
+	// explicit.
+	dupSources := false
+	seen := make(map[string]bool, len(events))
+	for i := range events {
+		if seen[events[i].Source] {
+			dupSources = true
+			break
+		}
+		seen[events[i].Source] = true
+	}
+	fullConflict := conflict
+	if dupSources {
+		fullConflict = func(i, j int) bool {
+			if events[i].Source == events[j].Source {
+				return true
+			}
+			return conflict != nil && conflict(i, j)
+		}
+	}
+
+	weights := make([]float64, len(events))
+	var bestSum float64
+	bestAt := math.NaN()
+	var bestMembers []int
+	for _, t := range candidates {
+		var active []int
+		for i := range events {
+			weights[i] = contribution(&events[i], t, occ)
+			if weights[i] > 0 {
+				active = append(active, i)
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		var sum float64
+		var members []int
+		if fullConflict == nil {
+			for _, i := range active {
+				sum += weights[i]
+			}
+			members = active
+		} else {
+			sum, members = interval.MaxWeightIndependentSet(weights, active, fullConflict)
+		}
+		if sum > bestSum {
+			bestSum = sum
+			bestAt = t
+			bestMembers = append(bestMembers[:0], members...)
+		}
+	}
+	if math.IsNaN(bestAt) || bestSum <= 0 {
+		return Combined{At: math.NaN(), Window: interval.Empty()}
+	}
+	out := Combined{Peak: math.Min(bestSum, vdd), At: bestAt}
+	win := interval.Infinite()
+	containing := 0
+	for _, idx := range bestMembers {
+		e := events[idx]
+		out.Members = append(out.Members, e.Source)
+		out.MemberEvents = append(out.MemberEvents, e)
+		if e.Width > out.Width {
+			out.Width = e.Width
+		}
+		// Only members whose peak can actually sit at the alignment
+		// instant constrain the combined window; tail contributors peak
+		// elsewhere.
+		if e.Window.Contains(bestAt) {
+			win = win.Intersect(e.Window)
+			containing++
+		}
+	}
+	if containing == 0 {
+		win = interval.Point(bestAt)
+	}
+	sort.Strings(out.Members)
+	out.Window = win
+	return out
+}
+
+// eventsApproxEqualPeak reports whether two combined results agree on peak
+// within tolerance — the fixpoint test for the propagation iteration.
+func combEqual(a, b Combined, tol float64) bool {
+	return math.Abs(a.Peak-b.Peak) <= tol && math.Abs(a.Width-b.Width) <= tol+units.Pico/1000
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/bind"
+	"repro/internal/interval"
+	"repro/internal/units"
+)
+
+// Crosstalk does not only create glitches on quiet nets — it also changes
+// the delay of *switching* nets. An aggressor switching in the opposite
+// direction while the victim transitions fights the victim's edge through
+// the coupling capacitance (the Miller effect) and pushes the victim's
+// delay out. The same window machinery applies: an aggressor can only
+// disturb the victim's transition if its noise window overlaps the
+// victim's own switching window, so the worst-case delay change is again a
+// windowed maximum-overlap query instead of an all-aggressors sum.
+//
+// The push-out model is first order: the opposing glitch sum Vn stretches
+// the victim's transition by
+//
+//	Δd = slew_victim · Vn / Vdd
+//
+// which is the standard linearized bump-on-ramp estimate used for
+// screening (a signoff tool would re-simulate the worst cluster; the
+// golden path for that here is ckt).
+
+// DelayImpact is the crosstalk delay change estimated for one victim
+// transition direction.
+type DelayImpact struct {
+	Net string
+	// Rise marks the victim transition direction analyzed.
+	Rise bool
+	// VictimWindow is the victim's own switching-window set for this
+	// edge.
+	VictimWindow interval.Set
+	// NoisePeak is the worst opposing glitch sum overlapping the victim
+	// transition, volts.
+	NoisePeak float64
+	// Delta is the estimated delay push-out, seconds.
+	Delta float64
+	// At is an instant achieving the worst overlap (NaN when none).
+	At float64
+	// Members lists the aggressors that align against this edge.
+	Members []string
+}
+
+// DelayResult is the design-wide crosstalk delay analysis.
+type DelayResult struct {
+	Mode Mode
+	// Impacts holds per-net, per-direction impacts (only for nets that
+	// actually switch and see opposing noise).
+	Impacts []DelayImpact
+}
+
+// WorstDelta returns the largest estimated push-out.
+func (r *DelayResult) WorstDelta() float64 {
+	var worst float64
+	for _, im := range r.Impacts {
+		if im.Delta > worst {
+			worst = im.Delta
+		}
+	}
+	return worst
+}
+
+// ImpactOn returns the impact for one net and direction, or nil.
+func (r *DelayResult) ImpactOn(net string, rise bool) *DelayImpact {
+	for i := range r.Impacts {
+		if r.Impacts[i].Net == net && r.Impacts[i].Rise == rise {
+			return &r.Impacts[i]
+		}
+	}
+	return nil
+}
+
+// TotalDelta sums every impact — the aggregate delay-pessimism metric the
+// experiments track across modes.
+func (r *DelayResult) TotalDelta() float64 {
+	var s float64
+	for _, im := range r.Impacts {
+		s += im.Delta
+	}
+	return s
+}
+
+// AnalyzeDelay estimates crosstalk-induced delay changes for every
+// switching net. Mode semantics mirror Analyze: ModeAllAggressors lets
+// every opposing aggressor attack every victim edge; the window modes
+// require the aggressor's noise window to overlap the victim's switching
+// window (peak semantics — the linearized bump-on-ramp model this uses is
+// itself first order, so tent tails and logic correlation are not applied
+// here). Only coupled (not propagated) noise disturbs delay — a glitch
+// arriving through the victim's own driver is already part of its input
+// arrival, not an independent disturbance.
+func AnalyzeDelay(b *bind.Design, opts Options) (*DelayResult, error) {
+	a, order, err := newAnalyzer(b, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &DelayResult{Mode: a.opts.Mode}
+	for _, net := range order {
+		events := a.coupled[net.Name]
+		if events == nil {
+			continue
+		}
+		vt := a.staRes.TimingOfNet(net.Name)
+		for _, rise := range []bool{true, false} {
+			vw := vt.Window(rise)
+			if vw.IsEmpty() {
+				continue
+			}
+			// A rising victim is opposed by falling aggressors, whose
+			// glitches are the KindHigh events, and vice versa.
+			opposing := events[KindHigh]
+			if !rise {
+				opposing = events[KindLow]
+			}
+			if len(opposing) == 0 {
+				continue
+			}
+			items := make([]interval.Weighted, 0, len(opposing))
+			idx := make([]int, 0, len(opposing))
+			for i, e := range opposing {
+				if e.Peak <= 0 {
+					continue
+				}
+				if a.opts.Mode == ModeAllAggressors {
+					items = append(items, interval.Weighted{W: e.Window, Weight: e.Peak})
+					idx = append(idx, i)
+					continue
+				}
+				// Clip the glitch window against every phase of the
+				// victim's switching set; disjoint pieces cannot both
+				// contain an alignment instant, so the aggressor is
+				// never double-counted.
+				for _, piece := range vw.IntersectWindow(e.Window).Windows() {
+					items = append(items, interval.Weighted{W: piece, Weight: e.Peak})
+					idx = append(idx, i)
+				}
+			}
+			if len(items) == 0 {
+				continue
+			}
+			comb := interval.MaxOverlapSum(items)
+			if comb.Sum <= 0 || math.IsNaN(comb.At) {
+				continue
+			}
+			slew := vt.Slew(rise)
+			s := a.opts.DefaultAggSlew
+			if slew.Min <= slew.Max {
+				s = slew.Max
+			}
+			noisePeak := math.Min(comb.Sum, a.vdd)
+			im := DelayImpact{
+				Net:          net.Name,
+				Rise:         rise,
+				VictimWindow: vw,
+				NoisePeak:    noisePeak,
+				Delta:        s * noisePeak / a.vdd,
+				At:           comb.At,
+			}
+			for _, ci := range comb.Members {
+				im.Members = append(im.Members, opposing[idx[ci]].Source)
+			}
+			sort.Strings(im.Members)
+			res.Impacts = append(res.Impacts, im)
+		}
+	}
+	sort.Slice(res.Impacts, func(i, j int) bool {
+		if res.Impacts[i].Delta != res.Impacts[j].Delta {
+			return res.Impacts[i].Delta > res.Impacts[j].Delta
+		}
+		if res.Impacts[i].Net != res.Impacts[j].Net {
+			return res.Impacts[i].Net < res.Impacts[j].Net
+		}
+		return res.Impacts[i].Rise && !res.Impacts[j].Rise
+	})
+	return res, nil
+}
+
+// delayTol is the comparison tolerance used by delta-delay tests.
+const delayTol = units.Pico / 100

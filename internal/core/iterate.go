@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bind"
+	"repro/internal/units"
+)
+
+// Noise and timing are mutually dependent: switching windows determine
+// which glitches combine, but crosstalk also pushes transitions out
+// (delta-delay), which widens the switching windows themselves. The
+// signoff flow therefore iterates: analyze with the current windows,
+// convert the worst per-net push-out into late-edge window padding, and
+// reanalyze until the padding stops growing. Padding only grows (the
+// maximum over rounds is kept) and each net's delta is bounded by
+// slew·Vdd/Vdd, so the loop converges; non-convergence within the round
+// budget is reported rather than hidden.
+
+// IterativeResult is the converged joint noise/timing analysis.
+type IterativeResult struct {
+	// Noise and Delay are the final round's analyses.
+	Noise *Result
+	Delay *DelayResult
+	// Padding is the final per-net late-edge widening applied, seconds.
+	Padding map[string]float64
+	// Rounds is the number of analysis rounds run.
+	Rounds int
+	// Converged reports whether the padding reached a fixpoint within
+	// the round budget.
+	Converged bool
+}
+
+// AnalyzeIterative runs the noise–timing loop. maxRounds bounds the outer
+// iteration (default 8 when zero). The tolerance for padding convergence
+// is 0.01 ps.
+func AnalyzeIterative(b *bind.Design, opts Options, maxRounds int) (*IterativeResult, error) {
+	if maxRounds <= 0 {
+		maxRounds = 8
+	}
+	const tol = units.Pico / 100
+	padding := make(map[string]float64)
+	out := &IterativeResult{Padding: padding}
+	for round := 1; round <= maxRounds; round++ {
+		out.Rounds = round
+		o := opts
+		o.STA.WindowPadding = padding
+		noiseRes, err := Analyze(b, o)
+		if err != nil {
+			return nil, fmt.Errorf("core: iterative round %d: %w", round, err)
+		}
+		delayRes, err := AnalyzeDelay(b, o)
+		if err != nil {
+			return nil, fmt.Errorf("core: iterative round %d: %w", round, err)
+		}
+		out.Noise = noiseRes
+		out.Delay = delayRes
+
+		grew := false
+		for _, im := range delayRes.Impacts {
+			if im.Delta > padding[im.Net]+tol {
+				padding[im.Net] = im.Delta
+				grew = true
+			}
+		}
+		if !grew {
+			out.Converged = true
+			return out, nil
+		}
+	}
+	return out, nil
+}
+
+// MaxPadding returns the largest applied window padding.
+func (r *IterativeResult) MaxPadding() float64 {
+	var worst float64
+	for _, p := range r.Padding {
+		worst = math.Max(worst, p)
+	}
+	return worst
+}

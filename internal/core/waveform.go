@@ -1,0 +1,31 @@
+package core
+
+import (
+	"repro/internal/waveform"
+)
+
+// CombinedWaveform reconstructs the worst-case superposed glitch of one
+// victim state as a piecewise-linear waveform: every member of the winning
+// combination contributes a triangular template (its peak and half-peak
+// width) centered at the alignment instant, and the templates are summed.
+// The reconstruction is for reporting and visualization — the signed
+// polarity follows the kind (upward for a low victim, downward for high).
+func (n *NetNoise) CombinedWaveform(k Kind) waveform.PWL {
+	comb := n.Comb[k]
+	if comb.Peak <= 0 || len(comb.MemberEvents) == 0 {
+		return waveform.PWL{}
+	}
+	var sum waveform.PWL
+	for _, e := range comb.MemberEvents {
+		w := e.Width
+		if w <= 0 {
+			continue
+		}
+		tri := waveform.Triangle(comb.At-w, comb.At, comb.At+w, e.Peak)
+		sum = sum.Add(tri)
+	}
+	if k == KindHigh {
+		return sum.Negate()
+	}
+	return sum
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/noise"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+// T2Accuracy validates the analytical glitch model against the transient
+// MNA simulator over coupling-ratio and slew sweeps. Expected shape: the
+// model tracks the golden peak within ~10–20 % and errs on the conservative
+// (high) side; the Devgan bound is always an upper bound and is loose for
+// fast edges.
+func T2Accuracy(cfg Config) ([]*report.Table, error) {
+	t := report.NewTable(
+		"T2: glitch model accuracy vs transient simulation",
+		"Cx/Cv", "slew", "model-peak", "golden-peak", "rel-err", "devgan-bound", "conservative")
+
+	ratios := []float64{0.05, 0.1, 0.2, 0.3, 0.45}
+	slews := []float64{10, 20, 50, 100, 200} // picoseconds
+	if cfg.Quick {
+		ratios = []float64{0.1, 0.3}
+		slews = []float64{20, 100}
+	}
+
+	const (
+		victimC = 20 * units.Femto
+		holdRes = 3000.0
+		vdd     = 1.2
+	)
+	for _, ratio := range ratios {
+		cx := ratio * victimC
+		for _, slewPS := range slews {
+			slew := slewPS * units.Pico
+			ctx := &noise.Context{
+				Victim:    "v",
+				HoldRes:   holdRes,
+				VictimC:   victimC,
+				Couplings: []noise.Coupling{{Aggressor: "a", CoupleC: cx}},
+			}
+			p := ctx.ParamsFor(&ctx.Couplings[0], slew, vdd)
+			if err := p.Validate(); err != nil {
+				return nil, err
+			}
+			model := p.Peak()
+			golden, err := noise.SimulateCluster(ctx, []noise.ClusterAggressor{
+				{Coupling: &ctx.Couplings[0], Slew: slew, Rise: true},
+			}, 1, vdd)
+			if err != nil {
+				return nil, err
+			}
+			relErr := units.RelErr(model, golden.Peak, 1e-3)
+			t.AddRow(
+				fmt.Sprintf("%.2f", ratio),
+				report.SI(slew, "s"),
+				report.SI(model, "V"),
+				report.SI(golden.Peak, "V"),
+				report.Percent(relErr),
+				report.SI(p.DevganBound(), "V"),
+				fmt.Sprintf("%v", model >= golden.Peak*0.98),
+			)
+		}
+	}
+
+	// Width accuracy on a second table: the immunity check depends on
+	// width as well as peak.
+	tw := report.NewTable(
+		"T2b: glitch width accuracy vs transient simulation",
+		"Cx/Cv", "slew", "model-width", "golden-width", "rel-err")
+	for _, ratio := range ratios {
+		cx := ratio * victimC
+		for _, slewPS := range slews {
+			slew := slewPS * units.Pico
+			ctx := &noise.Context{
+				Victim:    "v",
+				HoldRes:   holdRes,
+				VictimC:   victimC,
+				Couplings: []noise.Coupling{{Aggressor: "a", CoupleC: cx}},
+			}
+			p := ctx.ParamsFor(&ctx.Couplings[0], slew, vdd)
+			m := p.Metrics()
+			golden, err := noise.SimulateCluster(ctx, []noise.ClusterAggressor{
+				{Coupling: &ctx.Couplings[0], Slew: slew, Rise: true},
+			}, 1, vdd)
+			if err != nil {
+				return nil, err
+			}
+			tw.AddRow(
+				fmt.Sprintf("%.2f", ratio),
+				report.SI(slew, "s"),
+				report.SI(m.Width, "s"),
+				report.SI(golden.Width, "s"),
+				report.Percent(units.RelErr(m.Width, golden.Width, 1e-13)),
+			)
+		}
+	}
+	return []*report.Table{t, tw}, nil
+}

@@ -1,0 +1,146 @@
+package interval
+
+import (
+	"math"
+	"sort"
+)
+
+// Weighted couples a window with a non-negative weight. In noise combination
+// the weight is a glitch's peak voltage and the window is its noise window:
+// the instants at which that peak can occur.
+type Weighted struct {
+	W      Window
+	Weight float64
+}
+
+// Combination is the result of a scan-line max-overlap-sum query.
+type Combination struct {
+	// Sum is the maximum achievable total weight at a single instant.
+	Sum float64
+	// At is an instant achieving Sum. When a whole interval achieves it,
+	// At is that interval's left edge. NaN when Sum is 0 and no window
+	// contributed.
+	At float64
+	// Members lists the indices (into the query slice) of the windows that
+	// contain At, i.e. the glitches that align to produce Sum.
+	Members []int
+}
+
+// MaxOverlapSum computes the classical windowed-combination query: over all
+// instants t, the maximum of the summed weights of the windows containing t.
+//
+// This is exactly the paper's noise-window combination step — aggressor and
+// propagated glitches may only superpose when their noise windows share an
+// instant, and the worst combined glitch is the heaviest overlapping subset.
+// Without windows (all windows infinite) it degenerates to the pessimistic
+// sum of all weights.
+//
+// Windows with empty intervals or non-positive weights contribute nothing.
+// The scan runs in O(n log n).
+func MaxOverlapSum(items []Weighted) Combination {
+	type event struct {
+		t     float64
+		start bool
+		w     float64
+	}
+	events := make([]event, 0, 2*len(items))
+	for _, it := range items {
+		if it.W.IsEmpty() || it.Weight <= 0 {
+			continue
+		}
+		events = append(events, event{t: it.W.Lo, start: true, w: it.Weight})
+		events = append(events, event{t: it.W.Hi, start: false, w: it.Weight})
+	}
+	if len(events) == 0 {
+		return Combination{Sum: 0, At: math.NaN()}
+	}
+	// Closed intervals: at a tie instant, starts are processed before ends
+	// so that windows touching at a point are counted as overlapping there.
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].start && !events[j].start
+	})
+	var cur, best float64
+	bestAt := events[0].t
+	for _, e := range events {
+		if e.start {
+			cur += e.w
+			if cur > best {
+				best = cur
+				bestAt = e.t
+			}
+		} else {
+			cur -= e.w
+		}
+	}
+	members := make([]int, 0, 4)
+	for i, it := range items {
+		if it.Weight > 0 && it.W.Contains(bestAt) {
+			members = append(members, i)
+		}
+	}
+	return Combination{Sum: best, At: bestAt, Members: members}
+}
+
+// MaxOverlapSumAnchored answers the anchored variant used when one glitch is
+// mandatory: the maximum summed weight over instants inside anchor's window,
+// always including anchor's own weight. It is used when combining coupled
+// noise against a specific propagated glitch, or when evaluating the worst
+// aggressor alignment against a victim transition constrained to its own
+// switching window.
+//
+// The anchor index addresses items; the query considers only instants in
+// items[anchor].W. If the anchor window is empty the result is the zero
+// Combination.
+func MaxOverlapSumAnchored(items []Weighted, anchor int) Combination {
+	aw := items[anchor].W
+	if aw.IsEmpty() {
+		return Combination{Sum: 0, At: math.NaN()}
+	}
+	clipped := make([]Weighted, 0, len(items))
+	idx := make([]int, 0, len(items))
+	for i, it := range items {
+		if i == anchor {
+			continue
+		}
+		c := it.W.Intersect(aw)
+		if c.IsEmpty() || it.Weight <= 0 {
+			continue
+		}
+		clipped = append(clipped, Weighted{W: c, Weight: it.Weight})
+		idx = append(idx, i)
+	}
+	comb := MaxOverlapSum(clipped)
+	if math.IsNaN(comb.At) {
+		// No other window overlaps the anchor: the anchor stands alone.
+		return Combination{
+			Sum:     items[anchor].Weight,
+			At:      aw.Midpoint(),
+			Members: []int{anchor},
+		}
+	}
+	members := make([]int, 0, len(comb.Members)+1)
+	members = append(members, anchor)
+	for _, ci := range comb.Members {
+		members = append(members, idx[ci])
+	}
+	sort.Ints(members)
+	return Combination{
+		Sum:     comb.Sum + items[anchor].Weight,
+		At:      comb.At,
+		Members: members,
+	}
+}
+
+// SumAt returns the total weight of the windows containing instant t.
+func SumAt(items []Weighted, t float64) float64 {
+	var sum float64
+	for _, it := range items {
+		if it.Weight > 0 && it.W.Contains(t) {
+			sum += it.Weight
+		}
+	}
+	return sum
+}

@@ -1,0 +1,235 @@
+package interval
+
+import (
+	"sort"
+	"strings"
+)
+
+// Set is a union of pairwise-disjoint, sorted, non-empty windows. The zero
+// value is the empty set. Sets model switching opportunities split across
+// multiple clock phases or mode conditions: a net clocked by a gated clock
+// may switch in [0,200ps] or [600,800ps] but never between.
+//
+// All Set operations return normalized sets and never mutate their
+// receivers.
+type Set struct {
+	ws []Window
+}
+
+// SetOf returns the one-window set [lo, hi].
+func SetOf(lo, hi float64) Set {
+	return NewSet(New(lo, hi))
+}
+
+// EmptySet returns the set with no instants.
+func EmptySet() Set { return Set{} }
+
+// InfiniteSet returns the set covering the whole time axis.
+func InfiniteSet() Set { return NewSet(Infinite()) }
+
+// IsInfinite reports whether the set covers the whole axis.
+func (s Set) IsInfinite() bool {
+	return len(s.ws) == 1 && s.ws[0].IsInfinite()
+}
+
+// NewSet builds a normalized set from arbitrary windows: empties are
+// dropped, the rest are sorted and overlapping or touching windows are
+// merged.
+func NewSet(windows ...Window) Set {
+	ws := make([]Window, 0, len(windows))
+	for _, w := range windows {
+		if !w.IsEmpty() {
+			ws = append(ws, w)
+		}
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].Lo != ws[j].Lo {
+			return ws[i].Lo < ws[j].Lo
+		}
+		return ws[i].Hi < ws[j].Hi
+	})
+	merged := ws[:0]
+	for _, w := range ws {
+		if n := len(merged); n > 0 && merged[n-1].Hi >= w.Lo {
+			if w.Hi > merged[n-1].Hi {
+				merged[n-1].Hi = w.Hi
+			}
+			continue
+		}
+		merged = append(merged, w)
+	}
+	return Set{ws: append([]Window(nil), merged...)}
+}
+
+// Windows returns a copy of the set's windows in ascending order.
+func (s Set) Windows() []Window {
+	return append([]Window(nil), s.ws...)
+}
+
+// IsEmpty reports whether the set contains no instants.
+func (s Set) IsEmpty() bool { return len(s.ws) == 0 }
+
+// Len returns the number of disjoint windows in the set.
+func (s Set) Len() int { return len(s.ws) }
+
+// Hull returns the smallest single window containing the whole set.
+func (s Set) Hull() Window {
+	if s.IsEmpty() {
+		return Empty()
+	}
+	return Window{Lo: s.ws[0].Lo, Hi: s.ws[len(s.ws)-1].Hi}
+}
+
+// TotalLength returns the summed lengths of the member windows.
+func (s Set) TotalLength() float64 {
+	var sum float64
+	for _, w := range s.ws {
+		sum += w.Length()
+	}
+	return sum
+}
+
+// Contains reports whether instant t lies in any member window. It runs in
+// O(log n) by binary search on the sorted member list.
+func (s Set) Contains(t float64) bool {
+	i := sort.Search(len(s.ws), func(i int) bool { return s.ws[i].Hi >= t })
+	return i < len(s.ws) && s.ws[i].Contains(t)
+}
+
+// Overlaps reports whether the set shares any instant with window w.
+func (s Set) Overlaps(w Window) bool {
+	if w.IsEmpty() {
+		return false
+	}
+	i := sort.Search(len(s.ws), func(i int) bool { return s.ws[i].Hi >= w.Lo })
+	return i < len(s.ws) && s.ws[i].Overlaps(w)
+}
+
+// Union returns the set covering every instant in s or o.
+func (s Set) Union(o Set) Set {
+	return NewSet(append(s.Windows(), o.ws...)...)
+}
+
+// Add returns the set with window w merged in.
+func (s Set) Add(w Window) Set {
+	return NewSet(append(s.Windows(), w)...)
+}
+
+// Intersect returns the set of instants present in both s and o, using a
+// linear merge over the two sorted member lists.
+func (s Set) Intersect(o Set) Set {
+	var out []Window
+	i, j := 0, 0
+	for i < len(s.ws) && j < len(o.ws) {
+		if x := s.ws[i].Intersect(o.ws[j]); !x.IsEmpty() {
+			out = append(out, x)
+		}
+		if s.ws[i].Hi < o.ws[j].Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return Set{ws: out}
+}
+
+// IntersectWindow returns the part of the set inside w.
+func (s Set) IntersectWindow(w Window) Set {
+	return s.Intersect(NewSet(w))
+}
+
+// Shift translates every member window by dt.
+func (s Set) Shift(dt float64) Set {
+	out := make([]Window, len(s.ws))
+	for i, w := range s.ws {
+		out[i] = w.Shift(dt)
+	}
+	return Set{ws: out}
+}
+
+// ShiftRange translates every member by an uncertain delay in [dMin, dMax]
+// and re-normalizes (widened members may now touch).
+func (s Set) ShiftRange(dMin, dMax float64) Set {
+	out := make([]Window, len(s.ws))
+	for i, w := range s.ws {
+		out[i] = w.ShiftRange(dMin, dMax)
+	}
+	return NewSet(out...)
+}
+
+// Complement returns the instants of span not covered by the set.
+func (s Set) Complement(span Window) Set {
+	if span.IsEmpty() {
+		return Set{}
+	}
+	var out []Window
+	cursor := span.Lo
+	for _, w := range s.ws {
+		x := w.Intersect(span)
+		if x.IsEmpty() {
+			continue
+		}
+		if x.Lo > cursor {
+			out = append(out, Window{Lo: cursor, Hi: x.Lo})
+		}
+		if x.Hi > cursor {
+			cursor = x.Hi
+		}
+	}
+	if cursor < span.Hi {
+		out = append(out, Window{Lo: cursor, Hi: span.Hi})
+	}
+	return NewSet(out...)
+}
+
+// Simplify reduces the set to at most max member windows by repeatedly
+// merging the pair separated by the smallest gap — a conservative
+// over-approximation (the result covers a superset of the instants). It
+// bounds window fragmentation during fixpoint iteration over loops.
+func (s Set) Simplify(max int) Set {
+	if max < 1 {
+		max = 1
+	}
+	if len(s.ws) <= max {
+		return s
+	}
+	ws := append([]Window(nil), s.ws...)
+	for len(ws) > max {
+		// Find the smallest inter-window gap.
+		best := 1
+		bestGap := ws[1].Lo - ws[0].Hi
+		for i := 2; i < len(ws); i++ {
+			if gap := ws[i].Lo - ws[i-1].Hi; gap < bestGap {
+				best, bestGap = i, gap
+			}
+		}
+		ws[best-1] = Window{Lo: ws[best-1].Lo, Hi: ws[best].Hi}
+		ws = append(ws[:best], ws[best+1:]...)
+	}
+	return Set{ws: ws}
+}
+
+// Equal reports whether two sets cover exactly the same instants.
+func (s Set) Equal(o Set) bool {
+	if len(s.ws) != len(o.ws) {
+		return false
+	}
+	for i := range s.ws {
+		if !s.ws[i].Equal(o.ws[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set for reports.
+func (s Set) String() string {
+	if s.IsEmpty() {
+		return "{}"
+	}
+	parts := make([]string, len(s.ws))
+	for i, w := range s.ws {
+		parts[i] = w.String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

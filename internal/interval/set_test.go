@@ -1,0 +1,264 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSetMergesOverlap(t *testing.T) {
+	s := NewSet(New(0, 5), New(3, 8), New(10, 12))
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2: %v", s.Len(), s)
+	}
+	ws := s.Windows()
+	if !ws[0].Equal(New(0, 8)) || !ws[1].Equal(New(10, 12)) {
+		t.Fatalf("windows = %v", ws)
+	}
+}
+
+func TestNewSetMergesTouching(t *testing.T) {
+	s := NewSet(New(0, 5), New(5, 8))
+	if s.Len() != 1 || !s.Windows()[0].Equal(New(0, 8)) {
+		t.Fatalf("touching not merged: %v", s)
+	}
+}
+
+func TestNewSetDropsEmpty(t *testing.T) {
+	s := NewSet(Empty(), New(1, 2), Empty())
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestSetContains(t *testing.T) {
+	s := NewSet(New(0, 2), New(5, 7), New(10, 11))
+	for _, tc := range []struct {
+		t    float64
+		want bool
+	}{{-1, false}, {0, true}, {2, true}, {3, false}, {5, true}, {7, true}, {8, false}, {11, true}, {12, false}} {
+		if got := s.Contains(tc.t); got != tc.want {
+			t.Errorf("Contains(%g) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestSetOverlapsWindow(t *testing.T) {
+	s := NewSet(New(0, 2), New(5, 7))
+	if !s.Overlaps(New(2, 3)) {
+		t.Error("should overlap at touching point 2")
+	}
+	if s.Overlaps(New(3, 4)) {
+		t.Error("should not overlap gap")
+	}
+	if s.Overlaps(Empty()) {
+		t.Error("overlaps empty")
+	}
+}
+
+func TestSetIntersect(t *testing.T) {
+	a := NewSet(New(0, 5), New(10, 15))
+	b := NewSet(New(3, 12))
+	x := a.Intersect(b)
+	want := NewSet(New(3, 5), New(10, 12))
+	if !x.Equal(want) {
+		t.Fatalf("Intersect = %v, want %v", x, want)
+	}
+}
+
+func TestSetUnion(t *testing.T) {
+	a := NewSet(New(0, 2))
+	b := NewSet(New(1, 5), New(8, 9))
+	u := a.Union(b)
+	want := NewSet(New(0, 5), New(8, 9))
+	if !u.Equal(want) {
+		t.Fatalf("Union = %v, want %v", u, want)
+	}
+}
+
+func TestSetComplement(t *testing.T) {
+	s := NewSet(New(2, 4), New(6, 8))
+	c := s.Complement(New(0, 10))
+	want := NewSet(New(0, 2), New(4, 6), New(8, 10))
+	if !c.Equal(want) {
+		t.Fatalf("Complement = %v, want %v", c, want)
+	}
+	if got := NewSet().Complement(New(0, 1)); !got.Equal(NewSet(New(0, 1))) {
+		t.Fatalf("complement of empty set = %v", got)
+	}
+	if got := s.Complement(Empty()); !got.IsEmpty() {
+		t.Fatalf("complement within empty span = %v", got)
+	}
+}
+
+func TestSetShift(t *testing.T) {
+	s := NewSet(New(0, 1), New(4, 5)).Shift(10)
+	want := NewSet(New(10, 11), New(14, 15))
+	if !s.Equal(want) {
+		t.Fatalf("Shift = %v", s)
+	}
+}
+
+func TestSetShiftRangeMerges(t *testing.T) {
+	// Widening by the delay spread can make members touch; result must be
+	// normalized.
+	s := NewSet(New(0, 2), New(3, 5)).ShiftRange(0, 1)
+	if s.Len() != 1 || !s.Hull().Equal(New(0, 6)) {
+		t.Fatalf("ShiftRange = %v", s)
+	}
+}
+
+func TestSetHullAndLength(t *testing.T) {
+	s := NewSet(New(1, 2), New(5, 9))
+	if !s.Hull().Equal(New(1, 9)) {
+		t.Fatalf("Hull = %v", s.Hull())
+	}
+	if got := s.TotalLength(); got != 5 {
+		t.Fatalf("TotalLength = %g", got)
+	}
+	if !NewSet().Hull().IsEmpty() {
+		t.Fatal("empty set hull not empty")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	if s := NewSet().String(); s != "{}" {
+		t.Fatalf("empty set string = %q", s)
+	}
+	if s := NewSet(New(1, 2)).String(); s == "" {
+		t.Fatal("blank render")
+	}
+}
+
+func randSet(r *rand.Rand) Set {
+	n := r.Intn(5)
+	ws := make([]Window, n)
+	for i := range ws {
+		ws[i] = randWindow(r)
+	}
+	return NewSet(ws...)
+}
+
+func TestQuickSetMembersDisjointSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randSet(r)
+		ws := s.Windows()
+		for i := 1; i < len(ws); i++ {
+			// Strictly increasing with a genuine gap (touching merged).
+			if !(ws[i-1].Hi < ws[i].Lo) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSetUnionCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randSet(r), randSet(r)
+		return a.Union(b).Equal(b.Union(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSetIntersectSubset(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randSet(r), randSet(r)
+		x := a.Intersect(b)
+		for _, w := range x.Windows() {
+			mid := w.Midpoint()
+			if !a.Contains(mid) || !b.Contains(mid) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSetComplementPartition(t *testing.T) {
+	// complement(s, span) and s∩span together cover span exactly.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randSet(r)
+		span := New(-50, 50)
+		c := s.Complement(span)
+		inSpan := s.IntersectWindow(span)
+		u := c.Union(inSpan)
+		return u.Equal(NewSet(span)) || (inSpan.IsEmpty() && c.Equal(NewSet(span)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetHelpers(t *testing.T) {
+	if s := SetOf(1, 2); s.Len() != 1 || !s.Contains(1.5) {
+		t.Fatalf("SetOf = %v", s)
+	}
+	if !EmptySet().IsEmpty() {
+		t.Fatal("EmptySet not empty")
+	}
+	if !InfiniteSet().IsInfinite() {
+		t.Fatal("InfiniteSet not infinite")
+	}
+	if SetOf(0, 1).IsInfinite() {
+		t.Fatal("finite set reported infinite")
+	}
+}
+
+func TestSetSimplify(t *testing.T) {
+	s := NewSet(New(0, 1), New(2, 3), New(2.5, 4), New(10, 11), New(20, 21))
+	// Normalized: [0,1] [2,4] [10,11] [20,21].
+	if s.Len() != 4 {
+		t.Fatalf("setup Len = %d", s.Len())
+	}
+	s2 := s.Simplify(2)
+	if s2.Len() != 2 {
+		t.Fatalf("Simplify(2) Len = %d: %v", s2.Len(), s2)
+	}
+	// Coverage only grows.
+	for _, w := range s.Windows() {
+		if !s2.Contains(w.Midpoint()) {
+			t.Fatalf("Simplify lost coverage of %v", w)
+		}
+	}
+	// Smallest gaps merged first: [0,1]+[2,4] merge before the far ones.
+	if !s2.Contains(1.5) {
+		t.Fatalf("smallest gap not merged: %v", s2)
+	}
+	if s.Simplify(10).Len() != 4 {
+		t.Fatal("Simplify above size changed set")
+	}
+	if s.Simplify(0).Len() != 1 {
+		t.Fatal("Simplify(0) should clamp to 1")
+	}
+}
+
+func TestQuickSimplifyCoverage(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randSet(r)
+		s2 := s.Simplify(1 + r.Intn(3))
+		for k := 0; k < 30; k++ {
+			x := r.Float64()*220 - 110
+			if s.Contains(x) && !s2.Contains(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

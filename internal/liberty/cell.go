@@ -1,0 +1,237 @@
+package liberty
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PinDir is the direction of a library pin.
+type PinDir int
+
+const (
+	// Input pins load their net and receive noise.
+	Input PinDir = iota
+	// Output pins drive their net.
+	Output
+)
+
+// String returns "in" or "out".
+func (d PinDir) String() string {
+	if d == Output {
+		return "out"
+	}
+	return "in"
+}
+
+// Unateness describes how an input transition maps to an output transition
+// through a timing arc.
+type Unateness int
+
+const (
+	// PositiveUnate: input rise causes output rise (buffers, AND, OR).
+	PositiveUnate Unateness = iota
+	// NegativeUnate: input rise causes output fall (inverters, NAND, NOR).
+	NegativeUnate
+	// NonUnate: either transition can cause either (XOR, MUX select).
+	NonUnate
+)
+
+// String returns "pos", "neg", or "both".
+func (u Unateness) String() string {
+	switch u {
+	case NegativeUnate:
+		return "neg"
+	case NonUnate:
+		return "both"
+	}
+	return "pos"
+}
+
+// Pin is a library cell pin.
+type Pin struct {
+	Name string
+	Dir  PinDir
+	// Cap is the input pin capacitance in farads (zero for outputs; the
+	// output's own parasitics live in the wire model).
+	Cap float64
+	// Immunity is the noise-rejection curve for input pins; nil means the
+	// library default applies.
+	Immunity *ImmunityCurve
+}
+
+// Arc is one characterized input→output timing/noise arc.
+type Arc struct {
+	From, To string
+	Unate    Unateness
+	// Delay and output-slew surfaces per output transition direction.
+	DelayRise, DelayFall *Table2D
+	SlewRise, SlewFall   *Table2D
+	// Transfer is the noise-transfer curve through this arc; nil means
+	// the cell blocks noise entirely (e.g., a flop's D input).
+	Transfer *TransferCurve
+}
+
+// Cell is a library cell.
+type Cell struct {
+	Name string
+	Pins map[string]*Pin
+	Arcs []*Arc
+	// DriveRes is the equivalent output resistance while switching, used
+	// for wire delay estimation (ohms).
+	DriveRes float64
+	// HoldRes is the equivalent output resistance while holding a stable
+	// logic value — the resistance through which a quiet victim fights
+	// injected crosstalk charge. Stronger (smaller) holding resistance
+	// means smaller glitches.
+	HoldRes float64
+}
+
+// Pin returns the named pin or nil.
+func (c *Cell) Pin(name string) *Pin { return c.Pins[name] }
+
+// InputPins returns the cell's input pins sorted by name.
+func (c *Cell) InputPins() []*Pin {
+	return c.pinsByDir(Input)
+}
+
+// OutputPins returns the cell's output pins sorted by name.
+func (c *Cell) OutputPins() []*Pin {
+	return c.pinsByDir(Output)
+}
+
+func (c *Cell) pinsByDir(d PinDir) []*Pin {
+	names := make([]string, 0, len(c.Pins))
+	for n, p := range c.Pins {
+		if p.Dir == d {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	out := make([]*Pin, len(names))
+	for i, n := range names {
+		out[i] = c.Pins[n]
+	}
+	return out
+}
+
+// ArcsFrom returns the arcs departing the named input pin.
+func (c *Cell) ArcsFrom(pin string) []*Arc {
+	var out []*Arc
+	for _, a := range c.Arcs {
+		if a.From == pin {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ArcsTo returns the arcs arriving at the named output pin.
+func (c *Cell) ArcsTo(pin string) []*Arc {
+	var out []*Arc
+	for _, a := range c.Arcs {
+		if a.To == pin {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Arc returns the arc from one pin to another, or nil.
+func (c *Cell) Arc(from, to string) *Arc {
+	for _, a := range c.Arcs {
+		if a.From == from && a.To == to {
+			return a
+		}
+	}
+	return nil
+}
+
+// Validate checks internal consistency: arcs reference existing pins with
+// the right directions and all tables are present.
+func (c *Cell) Validate() error {
+	for _, a := range c.Arcs {
+		from, to := c.Pins[a.From], c.Pins[a.To]
+		if from == nil || from.Dir != Input {
+			return fmt.Errorf("liberty: cell %s arc %s->%s: bad from-pin", c.Name, a.From, a.To)
+		}
+		if to == nil || to.Dir != Output {
+			return fmt.Errorf("liberty: cell %s arc %s->%s: bad to-pin", c.Name, a.From, a.To)
+		}
+		if a.DelayRise == nil || a.DelayFall == nil || a.SlewRise == nil || a.SlewFall == nil {
+			return fmt.Errorf("liberty: cell %s arc %s->%s: missing tables", c.Name, a.From, a.To)
+		}
+	}
+	if c.DriveRes <= 0 || c.HoldRes <= 0 {
+		return fmt.Errorf("liberty: cell %s: non-positive drive/hold resistance", c.Name)
+	}
+	return nil
+}
+
+// Library is a named collection of cells sharing a supply voltage.
+type Library struct {
+	Name string
+	// Vdd is the supply voltage in volts; glitch peaks are bounded by it.
+	Vdd float64
+	// DefaultImmunity applies to input pins without their own curve.
+	DefaultImmunity *ImmunityCurve
+	cells           map[string]*Cell
+}
+
+// NewLibrary returns an empty library.
+func NewLibrary(name string, vdd float64) *Library {
+	return &Library{Name: name, Vdd: vdd, cells: make(map[string]*Cell)}
+}
+
+// AddCell inserts a cell, rejecting duplicates.
+func (l *Library) AddCell(c *Cell) error {
+	if _, dup := l.cells[c.Name]; dup {
+		return fmt.Errorf("liberty: duplicate cell %q", c.Name)
+	}
+	l.cells[c.Name] = c
+	return nil
+}
+
+// Cell returns the named cell or nil.
+func (l *Library) Cell(name string) *Cell { return l.cells[name] }
+
+// Cells returns all cells sorted by name.
+func (l *Library) Cells() []*Cell {
+	names := make([]string, 0, len(l.cells))
+	for n := range l.cells {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Cell, len(names))
+	for i, n := range names {
+		out[i] = l.cells[n]
+	}
+	return out
+}
+
+// NumCells returns the number of cells.
+func (l *Library) NumCells() int { return len(l.cells) }
+
+// Immunity resolves the effective immunity curve for a pin: the pin's own
+// curve, else the library default.
+func (l *Library) Immunity(p *Pin) *ImmunityCurve {
+	if p != nil && p.Immunity != nil {
+		return p.Immunity
+	}
+	return l.DefaultImmunity
+}
+
+// Validate checks every cell and that a default immunity exists.
+func (l *Library) Validate() error {
+	if l.Vdd <= 0 {
+		return fmt.Errorf("liberty: non-positive vdd")
+	}
+	if l.DefaultImmunity == nil {
+		return fmt.Errorf("liberty: missing default immunity curve")
+	}
+	for _, c := range l.Cells() {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

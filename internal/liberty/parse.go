@@ -1,0 +1,317 @@
+package liberty
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The ".nlib" text format carries a library in a line-oriented form:
+//
+//	library NAME
+//	vdd 1.2
+//	default_immunity N w1..wN p1..pN
+//	cell NAME
+//	pin NAME in CAP | pin NAME out
+//	drive OHMS
+//	hold OHMS
+//	immunity PIN N w1..wN p1..pN
+//	arc FROM TO pos|neg|both
+//	transfer THRESHOLD DCGAIN TCHAR      (attaches to the latest arc)
+//	table KIND NS NL s1..sNS l1..lNL v(1,1)..v(NS,NL)   (row-major)
+//	end                                   (closes the cell)
+//
+// KIND is one of delay_rise, delay_fall, slew_rise, slew_fall. Blank lines
+// and #-comments are ignored. All quantities are base SI units.
+
+// Parse reads a library in .nlib format.
+func Parse(r io.Reader) (*Library, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	var lib *Library
+	var cell *Cell
+	var arc *Arc
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("liberty: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch f[0] {
+		case "library":
+			if len(f) != 2 || lib != nil {
+				return nil, fail("bad or duplicate library line")
+			}
+			lib = NewLibrary(f[1], 0)
+		case "vdd":
+			if lib == nil || len(f) != 2 {
+				return nil, fail("bad vdd line")
+			}
+			v, err := strconv.ParseFloat(f[1], 64)
+			if err != nil {
+				return nil, fail("bad vdd: %v", err)
+			}
+			lib.Vdd = v
+		case "default_immunity":
+			if lib == nil {
+				return nil, fail("default_immunity before library")
+			}
+			ic, err := parseImmunity(f[1:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			lib.DefaultImmunity = ic
+		case "cell":
+			if lib == nil || len(f) != 2 {
+				return nil, fail("bad cell line")
+			}
+			if cell != nil {
+				return nil, fail("cell %q not closed with end", cell.Name)
+			}
+			cell = &Cell{Name: f[1], Pins: make(map[string]*Pin)}
+			arc = nil
+		case "pin":
+			if cell == nil {
+				return nil, fail("pin outside cell")
+			}
+			switch {
+			case len(f) == 4 && f[2] == "in":
+				c, err := strconv.ParseFloat(f[3], 64)
+				if err != nil {
+					return nil, fail("bad pin cap: %v", err)
+				}
+				cell.Pins[f[1]] = &Pin{Name: f[1], Dir: Input, Cap: c}
+			case len(f) == 3 && f[2] == "out":
+				cell.Pins[f[1]] = &Pin{Name: f[1], Dir: Output}
+			default:
+				return nil, fail("pin wants NAME in CAP or NAME out")
+			}
+		case "drive", "hold":
+			if cell == nil || len(f) != 2 {
+				return nil, fail("bad %s line", f[0])
+			}
+			v, err := strconv.ParseFloat(f[1], 64)
+			if err != nil {
+				return nil, fail("bad %s: %v", f[0], err)
+			}
+			if f[0] == "drive" {
+				cell.DriveRes = v
+			} else {
+				cell.HoldRes = v
+			}
+		case "immunity":
+			if cell == nil || len(f) < 3 {
+				return nil, fail("bad immunity line")
+			}
+			pin := cell.Pins[f[1]]
+			if pin == nil || pin.Dir != Input {
+				return nil, fail("immunity for unknown input pin %q", f[1])
+			}
+			ic, err := parseImmunity(f[2:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			pin.Immunity = ic
+		case "arc":
+			if cell == nil || len(f) != 4 {
+				return nil, fail("arc wants FROM TO pos|neg|both")
+			}
+			var u Unateness
+			switch f[3] {
+			case "pos":
+				u = PositiveUnate
+			case "neg":
+				u = NegativeUnate
+			case "both":
+				u = NonUnate
+			default:
+				return nil, fail("bad unateness %q", f[3])
+			}
+			arc = &Arc{From: f[1], To: f[2], Unate: u}
+			cell.Arcs = append(cell.Arcs, arc)
+		case "transfer":
+			if arc == nil || len(f) != 4 {
+				return nil, fail("transfer wants THRESHOLD DCGAIN TCHAR after an arc")
+			}
+			nums, err := parseFloats(f[1:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			tc, err := NewTransferCurve(nums[0], nums[1], nums[2])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			arc.Transfer = tc
+		case "table":
+			if arc == nil || len(f) < 4 {
+				return nil, fail("table outside arc")
+			}
+			tbl, err := parseTable(f[2:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			switch f[1] {
+			case "delay_rise":
+				arc.DelayRise = tbl
+			case "delay_fall":
+				arc.DelayFall = tbl
+			case "slew_rise":
+				arc.SlewRise = tbl
+			case "slew_fall":
+				arc.SlewFall = tbl
+			default:
+				return nil, fail("unknown table kind %q", f[1])
+			}
+		case "end":
+			if cell == nil {
+				return nil, fail("end outside cell")
+			}
+			if err := lib.AddCell(cell); err != nil {
+				return nil, fail("%v", err)
+			}
+			cell, arc = nil, nil
+		default:
+			return nil, fail("unknown keyword %q", f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("liberty: %w", err)
+	}
+	if lib == nil {
+		return nil, fmt.Errorf("liberty: no library line")
+	}
+	if cell != nil {
+		return nil, fmt.Errorf("liberty: cell %q not closed with end", cell.Name)
+	}
+	return lib, nil
+}
+
+func parseFloats(fields []string) ([]float64, error) {
+	out := make([]float64, len(fields))
+	for i, s := range fields {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", s)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func parseImmunity(fields []string) (*ImmunityCurve, error) {
+	if len(fields) < 1 {
+		return nil, fmt.Errorf("immunity wants N w1..wN p1..pN")
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil || n < 1 || len(fields) != 1+2*n {
+		return nil, fmt.Errorf("immunity wants N then %d numbers", 2*n)
+	}
+	nums, err := parseFloats(fields[1:])
+	if err != nil {
+		return nil, err
+	}
+	return NewImmunityCurve(nums[:n], nums[n:])
+}
+
+func parseTable(fields []string) (*Table2D, error) {
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("table wants NS NL then values")
+	}
+	ns, err1 := strconv.Atoi(fields[0])
+	nl, err2 := strconv.Atoi(fields[1])
+	if err1 != nil || err2 != nil || ns < 1 || nl < 1 {
+		return nil, fmt.Errorf("bad table dimensions %q %q", fields[0], fields[1])
+	}
+	want := ns + nl + ns*nl
+	if len(fields) != 2+want {
+		return nil, fmt.Errorf("table wants %d numbers, has %d", want, len(fields)-2)
+	}
+	nums, err := parseFloats(fields[2:])
+	if err != nil {
+		return nil, err
+	}
+	slews := nums[:ns]
+	loads := nums[ns : ns+nl]
+	vals := make([][]float64, ns)
+	for i := 0; i < ns; i++ {
+		vals[i] = nums[ns+nl+i*nl : ns+nl+(i+1)*nl]
+	}
+	return NewTable2D(slews, loads, vals)
+}
+
+// Write renders the library in .nlib format.
+func Write(w io.Writer, lib *Library) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "library %s\n", lib.Name)
+	fmt.Fprintf(bw, "vdd %g\n", lib.Vdd)
+	if lib.DefaultImmunity != nil {
+		fmt.Fprintf(bw, "default_immunity %s\n", immunityFields(lib.DefaultImmunity))
+	}
+	for _, c := range lib.Cells() {
+		fmt.Fprintf(bw, "cell %s\n", c.Name)
+		for _, p := range c.InputPins() {
+			fmt.Fprintf(bw, "pin %s in %g\n", p.Name, p.Cap)
+		}
+		for _, p := range c.OutputPins() {
+			fmt.Fprintf(bw, "pin %s out\n", p.Name)
+		}
+		fmt.Fprintf(bw, "drive %g\n", c.DriveRes)
+		fmt.Fprintf(bw, "hold %g\n", c.HoldRes)
+		for _, p := range c.InputPins() {
+			if p.Immunity != nil {
+				fmt.Fprintf(bw, "immunity %s %s\n", p.Name, immunityFields(p.Immunity))
+			}
+		}
+		for _, a := range c.Arcs {
+			fmt.Fprintf(bw, "arc %s %s %s\n", a.From, a.To, a.Unate)
+			if a.Transfer != nil {
+				fmt.Fprintf(bw, "transfer %g %g %g\n", a.Transfer.Threshold, a.Transfer.DCGain, a.Transfer.TChar)
+			}
+			writeTable(bw, "delay_rise", a.DelayRise)
+			writeTable(bw, "delay_fall", a.DelayFall)
+			writeTable(bw, "slew_rise", a.SlewRise)
+			writeTable(bw, "slew_fall", a.SlewFall)
+		}
+		fmt.Fprintln(bw, "end")
+	}
+	return bw.Flush()
+}
+
+func immunityFields(ic *ImmunityCurve) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d", len(ic.Widths))
+	for _, v := range ic.Widths {
+		fmt.Fprintf(&sb, " %g", v)
+	}
+	for _, v := range ic.Peaks {
+		fmt.Fprintf(&sb, " %g", v)
+	}
+	return sb.String()
+}
+
+func writeTable(w io.Writer, kind string, t *Table2D) {
+	if t == nil {
+		return
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "table %s %d %d", kind, len(t.Slews), len(t.Loads))
+	for _, v := range t.Slews {
+		fmt.Fprintf(&sb, " %g", v)
+	}
+	for _, v := range t.Loads {
+		fmt.Fprintf(&sb, " %g", v)
+	}
+	for _, row := range t.Vals {
+		for _, v := range row {
+			fmt.Fprintf(&sb, " %g", v)
+		}
+	}
+	fmt.Fprintln(w, sb.String())
+}

@@ -1,0 +1,125 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The .net text format is a minimal line-oriented netlist interchange
+// format used by cmd/netgen and cmd/sna:
+//
+//	# comment
+//	design NAME
+//	port NAME in|out
+//	inst NAME CELLNAME
+//	conn INST PIN NET in|out
+//
+// Lines may appear in any order except that `design` must come first and
+// `conn` must follow its `inst`. Blank lines and #-comments are ignored.
+
+// Parse reads a design in .net format.
+func Parse(r io.Reader) (*Design, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var d *Design
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("netlist: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch f[0] {
+		case "design":
+			if len(f) != 2 {
+				return nil, fail("design wants 1 argument")
+			}
+			if d != nil {
+				return nil, fail("duplicate design line")
+			}
+			d = New(f[1])
+		case "port":
+			if d == nil {
+				return nil, fail("port before design")
+			}
+			if len(f) != 3 {
+				return nil, fail("port wants NAME in|out")
+			}
+			dir, err := parseDir(f[2])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if _, err := d.AddPort(f[1], dir); err != nil {
+				return nil, fail("%v", err)
+			}
+		case "inst":
+			if d == nil {
+				return nil, fail("inst before design")
+			}
+			if len(f) != 3 {
+				return nil, fail("inst wants NAME CELL")
+			}
+			if _, err := d.AddInst(f[1], f[2]); err != nil {
+				return nil, fail("%v", err)
+			}
+		case "conn":
+			if d == nil {
+				return nil, fail("conn before design")
+			}
+			if len(f) != 5 {
+				return nil, fail("conn wants INST PIN NET in|out")
+			}
+			dir, err := parseDir(f[4])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if err := d.Connect(f[1], f[2], f[3], dir); err != nil {
+				return nil, fail("%v", err)
+			}
+		default:
+			return nil, fail("unknown keyword %q", f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	if d == nil {
+		return nil, fmt.Errorf("netlist: no design line")
+	}
+	return d, nil
+}
+
+func parseDir(s string) (Dir, error) {
+	switch s {
+	case "in":
+		return In, nil
+	case "out":
+		return Out, nil
+	}
+	return In, fmt.Errorf("bad direction %q (want in|out)", s)
+}
+
+// Write renders the design in .net format, deterministically sorted.
+func Write(w io.Writer, d *Design) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "design %s\n", d.Name)
+	for _, p := range d.Ports() {
+		fmt.Fprintf(bw, "port %s %s\n", p.Name, p.Dir)
+	}
+	for _, i := range d.Insts() {
+		fmt.Fprintf(bw, "inst %s %s\n", i.Name, i.Cell)
+		for _, c := range i.Inputs() {
+			fmt.Fprintf(bw, "conn %s %s %s %s\n", i.Name, c.Pin, c.Net.Name, c.Dir)
+		}
+		for _, c := range i.Outputs() {
+			fmt.Fprintf(bw, "conn %s %s %s %s\n", i.Name, c.Pin, c.Net.Name, c.Dir)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,100 @@
+package netlist
+
+import "sort"
+
+// Levelization is the topological structure of the combinational netlist.
+type Levelization struct {
+	// Levels[k] holds the instances at topological depth k (all of whose
+	// fanin instances are at depths < k), sorted by name within a level.
+	Levels [][]*Inst
+	// Feedback holds the instances that could not be assigned a finite
+	// level: those on combinational cycles and everything downstream of
+	// one. The noise and timing engines handle these by fixpoint
+	// iteration.
+	Feedback []*Inst
+}
+
+// NumLeveled returns the count of acyclic (leveled) instances.
+func (l *Levelization) NumLeveled() int {
+	n := 0
+	for _, lv := range l.Levels {
+		n += len(lv)
+	}
+	return n
+}
+
+// Ordered returns every leveled instance in a valid topological order.
+func (l *Levelization) Ordered() []*Inst {
+	out := make([]*Inst, 0, l.NumLeveled())
+	for _, lv := range l.Levels {
+		out = append(out, lv...)
+	}
+	return out
+}
+
+// Levelize computes the topological levels of the design's instances using
+// Kahn's algorithm over the instance graph (edge A→B when A drives a net B
+// reads). Instances left over after the peel are on combinational cycles
+// and are reported in Feedback with Level == -1. Each instance's Level
+// field is updated in place.
+func (d *Design) Levelize() *Levelization {
+	insts := d.Insts()
+	indeg := make(map[*Inst]int, len(insts))
+	for _, i := range insts {
+		i.Level = -1
+		indeg[i] = 0
+	}
+	// Count fanin edges: one per (driving instance, reading instance)
+	// pair, with multiplicity — multiplicity is harmless for Kahn as long
+	// as decrements match.
+	for _, i := range insts {
+		for _, c := range i.Inputs() {
+			if drv := c.Net.Driver(); drv != nil && drv.Inst != nil && drv.Inst != i {
+				indeg[i]++
+			}
+		}
+	}
+	frontier := make([]*Inst, 0, len(insts))
+	for _, i := range insts {
+		if indeg[i] == 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	var lev Levelization
+	level := 0
+	for len(frontier) > 0 {
+		sort.Slice(frontier, func(a, b int) bool { return frontier[a].Name < frontier[b].Name })
+		for _, i := range frontier {
+			i.Level = level
+		}
+		lev.Levels = append(lev.Levels, frontier)
+		var next []*Inst
+		for _, i := range frontier {
+			for _, fo := range d.FanoutInsts(i) {
+				if fo.Level >= 0 {
+					continue
+				}
+				// Decrement once per edge from i to fo.
+				edges := 0
+				for _, c := range fo.Inputs() {
+					if drv := c.Net.Driver(); drv != nil && drv.Inst == i {
+						edges++
+					}
+				}
+				indeg[fo] -= edges
+				if indeg[fo] == 0 {
+					next = append(next, fo)
+				}
+			}
+		}
+		frontier = next
+		level++
+	}
+	for _, i := range insts {
+		if i.Level < 0 {
+			lev.Feedback = append(lev.Feedback, i)
+		}
+	}
+	sort.Slice(lev.Feedback, func(a, b int) bool { return lev.Feedback[a].Name < lev.Feedback[b].Name })
+	return &lev
+}

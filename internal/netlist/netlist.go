@@ -1,0 +1,326 @@
+// Package netlist implements the gate-level design database: cells
+// referenced by name, instances, pins, nets, and top-level ports, plus the
+// graph algorithms the analyses need (levelization, combinational-loop
+// detection, fanin/fanout traversal).
+//
+// The package is deliberately independent of the cell library: pin
+// directions are recorded at connect time, and cell names are resolved
+// against a liberty.Library only by the analysis layers. This keeps the
+// design database usable for structural tooling (generators, format
+// conversion) without library bindings.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dir is the direction of a pin or port from the perspective of the
+// instance (an Output pin drives its net) or of the design (an In port
+// drives its net from outside).
+type Dir int
+
+const (
+	// In marks a pin that reads its net, or a port through which the
+	// outside drives the design.
+	In Dir = iota
+	// Out marks a pin that drives its net, or a port through which the
+	// design drives the outside.
+	Out
+)
+
+// String returns "in" or "out".
+func (d Dir) String() string {
+	if d == Out {
+		return "out"
+	}
+	return "in"
+}
+
+// Conn is one connection of an instance pin (or design port) to a net.
+// Inst is nil for port connections.
+type Conn struct {
+	Inst *Inst  // nil for a top-level port connection
+	Port string // port name when Inst is nil
+	Pin  string // pin name when Inst is non-nil
+	Dir  Dir
+	Net  *Net
+}
+
+// Driver reports whether this connection drives the net: an instance
+// output pin, or a design input port.
+func (c *Conn) Driver() bool {
+	if c.Inst == nil {
+		return c.Dir == In // input port drives the net from outside
+	}
+	return c.Dir == Out
+}
+
+// Name identifies the connection for messages, e.g. "u3.Y" or "port clk".
+func (c *Conn) Name() string {
+	if c.Inst == nil {
+		return "port " + c.Port
+	}
+	return c.Inst.Name + "." + c.Pin
+}
+
+// Net is a single electrical node at the logical level. Physically it may
+// be an RC network (bound by name through the parasitics database).
+type Net struct {
+	Name  string
+	Conns []*Conn
+}
+
+// Driver returns the unique driving connection, or nil if the net is
+// undriven. Validate enforces uniqueness.
+func (n *Net) Driver() *Conn {
+	for _, c := range n.Conns {
+		if c.Driver() {
+			return c
+		}
+	}
+	return nil
+}
+
+// Loads returns the non-driving connections in insertion order.
+func (n *Net) Loads() []*Conn {
+	out := make([]*Conn, 0, len(n.Conns))
+	for _, c := range n.Conns {
+		if !c.Driver() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Inst is a placed occurrence of a library cell.
+type Inst struct {
+	Name string
+	Cell string // library cell name, resolved by the analysis layers
+	// Conns maps pin name to its connection.
+	Conns map[string]*Conn
+	// Level is filled in by Levelize: topological depth from primary
+	// inputs, or -1 for instances on combinational loops.
+	Level int
+}
+
+// Inputs returns the instance's input connections sorted by pin name.
+func (i *Inst) Inputs() []*Conn {
+	return i.connsByDir(In)
+}
+
+// Outputs returns the instance's output connections sorted by pin name.
+func (i *Inst) Outputs() []*Conn {
+	return i.connsByDir(Out)
+}
+
+func (i *Inst) connsByDir(d Dir) []*Conn {
+	names := make([]string, 0, len(i.Conns))
+	for name, c := range i.Conns {
+		if c.Dir == d {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	out := make([]*Conn, len(names))
+	for k, name := range names {
+		out[k] = i.Conns[name]
+	}
+	return out
+}
+
+// Port is a top-level design port.
+type Port struct {
+	Name string
+	Dir  Dir
+	Conn *Conn
+}
+
+// Design is the netlist database. Construct with New and the Add/Connect
+// builder methods, then call Validate before analysis.
+type Design struct {
+	Name  string
+	ports map[string]*Port
+	nets  map[string]*Net
+	insts map[string]*Inst
+}
+
+// New returns an empty design.
+func New(name string) *Design {
+	return &Design{
+		Name:  name,
+		ports: make(map[string]*Port),
+		nets:  make(map[string]*Net),
+		insts: make(map[string]*Inst),
+	}
+}
+
+// AddPort declares a top-level port and connects it to the net of the same
+// name (created if needed). It errors on duplicates.
+func (d *Design) AddPort(name string, dir Dir) (*Port, error) {
+	if _, dup := d.ports[name]; dup {
+		return nil, fmt.Errorf("netlist: duplicate port %q", name)
+	}
+	net := d.Net(name)
+	c := &Conn{Port: name, Dir: dir, Net: net}
+	net.Conns = append(net.Conns, c)
+	p := &Port{Name: name, Dir: dir, Conn: c}
+	d.ports[name] = p
+	return p, nil
+}
+
+// AddInst declares an instance of the named cell. It errors on duplicates.
+func (d *Design) AddInst(name, cell string) (*Inst, error) {
+	if _, dup := d.insts[name]; dup {
+		return nil, fmt.Errorf("netlist: duplicate instance %q", name)
+	}
+	i := &Inst{Name: name, Cell: cell, Conns: make(map[string]*Conn), Level: -1}
+	d.insts[name] = i
+	return i, nil
+}
+
+// Net returns the net with the given name, creating it on first use.
+func (d *Design) Net(name string) *Net {
+	if n, ok := d.nets[name]; ok {
+		return n
+	}
+	n := &Net{Name: name}
+	d.nets[name] = n
+	return n
+}
+
+// FindNet returns the named net or nil.
+func (d *Design) FindNet(name string) *Net { return d.nets[name] }
+
+// FindInst returns the named instance or nil.
+func (d *Design) FindInst(name string) *Inst { return d.insts[name] }
+
+// FindPort returns the named port or nil.
+func (d *Design) FindPort(name string) *Port { return d.ports[name] }
+
+// Connect attaches pin pin of instance inst to net net with direction dir.
+// The net is created if needed. It errors if the instance is unknown or the
+// pin is already connected.
+func (d *Design) Connect(inst, pin, net string, dir Dir) error {
+	i, ok := d.insts[inst]
+	if !ok {
+		return fmt.Errorf("netlist: connect to unknown instance %q", inst)
+	}
+	if _, dup := i.Conns[pin]; dup {
+		return fmt.Errorf("netlist: pin %s.%s already connected", inst, pin)
+	}
+	n := d.Net(net)
+	c := &Conn{Inst: i, Pin: pin, Dir: dir, Net: n}
+	i.Conns[pin] = c
+	n.Conns = append(n.Conns, c)
+	return nil
+}
+
+// Ports returns the ports sorted by name.
+func (d *Design) Ports() []*Port {
+	names := make([]string, 0, len(d.ports))
+	for n := range d.ports {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Port, len(names))
+	for i, n := range names {
+		out[i] = d.ports[n]
+	}
+	return out
+}
+
+// Nets returns the nets sorted by name.
+func (d *Design) Nets() []*Net {
+	names := make([]string, 0, len(d.nets))
+	for n := range d.nets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Net, len(names))
+	for i, n := range names {
+		out[i] = d.nets[n]
+	}
+	return out
+}
+
+// Insts returns the instances sorted by name.
+func (d *Design) Insts() []*Inst {
+	names := make([]string, 0, len(d.insts))
+	for n := range d.insts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Inst, len(names))
+	for i, n := range names {
+		out[i] = d.insts[n]
+	}
+	return out
+}
+
+// NumNets, NumInsts, NumPorts report database sizes.
+func (d *Design) NumNets() int  { return len(d.nets) }
+func (d *Design) NumInsts() int { return len(d.insts) }
+func (d *Design) NumPorts() int { return len(d.ports) }
+
+// Validate checks structural sanity: every net has exactly one driver,
+// every instance pin is connected to a net that knows about it, and every
+// port net exists. It returns all problems found, or nil.
+func (d *Design) Validate() error {
+	var errs []error
+	for _, n := range d.Nets() {
+		drivers := 0
+		for _, c := range n.Conns {
+			if c.Driver() {
+				drivers++
+			}
+		}
+		switch {
+		case drivers == 0 && len(n.Conns) > 0:
+			errs = append(errs, fmt.Errorf("net %q has no driver", n.Name))
+		case drivers > 1:
+			errs = append(errs, fmt.Errorf("net %q has %d drivers", n.Name, drivers))
+		}
+	}
+	for _, i := range d.Insts() {
+		if len(i.Conns) == 0 {
+			errs = append(errs, fmt.Errorf("instance %q has no connections", i.Name))
+		}
+		for pin, c := range i.Conns {
+			if c.Net == nil {
+				errs = append(errs, fmt.Errorf("pin %s.%s connected to nil net", i.Name, pin))
+			}
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	msg := fmt.Sprintf("netlist: %d problems:", len(errs))
+	for _, e := range errs {
+		msg += "\n  " + e.Error()
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// FanoutInsts returns the instances that read any output net of i, sorted
+// by name, without duplicates.
+func (d *Design) FanoutInsts(i *Inst) []*Inst {
+	seen := make(map[string]*Inst)
+	for _, oc := range i.Outputs() {
+		for _, lc := range oc.Net.Loads() {
+			if lc.Inst != nil {
+				seen[lc.Inst.Name] = lc.Inst
+			}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Inst, len(names))
+	for k, n := range names {
+		out[k] = seen[n]
+	}
+	return out
+}

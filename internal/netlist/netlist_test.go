@@ -1,0 +1,396 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildChain constructs in -> u0 -> u1 -> ... -> u(n-1) -> out.
+func buildChain(t testing.TB, n int) *Design {
+	t.Helper()
+	d := New("chain")
+	if _, err := d.AddPort("in", In); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddPort("out", Out); err != nil {
+		t.Fatal(err)
+	}
+	prev := "in"
+	for i := 0; i < n; i++ {
+		name := "u" + string(rune('0'+i))
+		if _, err := d.AddInst(name, "INV"); err != nil {
+			t.Fatal(err)
+		}
+		next := "n" + string(rune('0'+i))
+		if i == n-1 {
+			next = "out"
+		}
+		if err := d.Connect(name, "A", prev, In); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Connect(name, "Y", next, Out); err != nil {
+			t.Fatal(err)
+		}
+		prev = next
+	}
+	return d
+}
+
+func TestBuilderAndAccessors(t *testing.T) {
+	d := buildChain(t, 3)
+	if d.NumInsts() != 3 || d.NumPorts() != 2 || d.NumNets() != 4 {
+		t.Fatalf("sizes: insts=%d ports=%d nets=%d", d.NumInsts(), d.NumPorts(), d.NumNets())
+	}
+	u1 := d.FindInst("u1")
+	if u1 == nil || u1.Cell != "INV" {
+		t.Fatalf("u1 = %+v", u1)
+	}
+	if got := len(u1.Inputs()); got != 1 {
+		t.Fatalf("u1 inputs = %d", got)
+	}
+	if got := u1.Outputs()[0].Net.Name; got != "n1" {
+		t.Fatalf("u1 output net = %s", got)
+	}
+	if d.FindPort("in") == nil || d.FindPort("zz") != nil {
+		t.Fatal("FindPort misbehaves")
+	}
+	if d.FindNet("n0") == nil {
+		t.Fatal("FindNet misses n0")
+	}
+}
+
+func TestDuplicateErrors(t *testing.T) {
+	d := New("t")
+	if _, err := d.AddPort("p", In); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddPort("p", In); err == nil {
+		t.Fatal("duplicate port accepted")
+	}
+	if _, err := d.AddInst("i", "INV"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddInst("i", "INV"); err == nil {
+		t.Fatal("duplicate instance accepted")
+	}
+	if err := d.Connect("i", "A", "p", In); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect("i", "A", "p", In); err == nil {
+		t.Fatal("duplicate pin connection accepted")
+	}
+	if err := d.Connect("nope", "A", "p", In); err == nil {
+		t.Fatal("connect to unknown instance accepted")
+	}
+}
+
+func TestNetDriverAndLoads(t *testing.T) {
+	d := buildChain(t, 2)
+	n0 := d.FindNet("n0")
+	drv := n0.Driver()
+	if drv == nil || drv.Inst.Name != "u0" || drv.Pin != "Y" {
+		t.Fatalf("driver = %+v", drv)
+	}
+	loads := n0.Loads()
+	if len(loads) != 1 || loads[0].Inst.Name != "u1" {
+		t.Fatalf("loads = %+v", loads)
+	}
+	// Input port drives its net.
+	in := d.FindNet("in")
+	if got := in.Driver(); got == nil || got.Inst != nil || got.Port != "in" {
+		t.Fatalf("port driver = %+v", got)
+	}
+	// Output port is a load on its net.
+	out := d.FindNet("out")
+	if got := out.Driver(); got == nil || got.Inst == nil {
+		t.Fatalf("out net driver = %+v", got)
+	}
+}
+
+func TestConnName(t *testing.T) {
+	d := buildChain(t, 1)
+	if got := d.FindNet("in").Driver().Name(); got != "port in" {
+		t.Fatalf("port conn name = %q", got)
+	}
+	if got := d.FindNet("out").Driver().Name(); got != "u0.Y" {
+		t.Fatalf("inst conn name = %q", got)
+	}
+}
+
+func TestValidateClean(t *testing.T) {
+	d := buildChain(t, 3)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateNoDriver(t *testing.T) {
+	d := New("t")
+	if _, err := d.AddInst("i", "INV"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect("i", "A", "floating", In); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect("i", "Y", "y", Out); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Validate()
+	if err == nil || !strings.Contains(err.Error(), "no driver") {
+		t.Fatalf("Validate = %v", err)
+	}
+}
+
+func TestValidateMultiDriver(t *testing.T) {
+	d := New("t")
+	for _, n := range []string{"a", "b"} {
+		if _, err := d.AddInst(n, "INV"); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Connect(n, "Y", "shared", Out); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Connect(n, "A", "in_"+n, In); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.AddPort("in_a", In); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddPort("in_b", In); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Validate()
+	if err == nil || !strings.Contains(err.Error(), "2 drivers") {
+		t.Fatalf("Validate = %v", err)
+	}
+}
+
+func TestValidateUnconnectedInst(t *testing.T) {
+	d := New("t")
+	if _, err := d.AddInst("lonely", "INV"); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Validate()
+	if err == nil || !strings.Contains(err.Error(), "no connections") {
+		t.Fatalf("Validate = %v", err)
+	}
+}
+
+func TestLevelizeChain(t *testing.T) {
+	d := buildChain(t, 4)
+	lev := d.Levelize()
+	if len(lev.Feedback) != 0 {
+		t.Fatalf("feedback = %v", lev.Feedback)
+	}
+	if len(lev.Levels) != 4 {
+		t.Fatalf("levels = %d, want 4", len(lev.Levels))
+	}
+	for i, want := range []string{"u0", "u1", "u2", "u3"} {
+		if lev.Levels[i][0].Name != want || lev.Levels[i][0].Level != i {
+			t.Fatalf("level %d = %v", i, lev.Levels[i][0])
+		}
+	}
+	if lev.NumLeveled() != 4 {
+		t.Fatalf("NumLeveled = %d", lev.NumLeveled())
+	}
+	if got := lev.Ordered(); len(got) != 4 || got[0].Name != "u0" {
+		t.Fatalf("Ordered = %v", got)
+	}
+}
+
+func TestLevelizeDiamond(t *testing.T) {
+	// in -> a; a -> b, c; b,c -> d
+	d := New("diamond")
+	mustPort(t, d, "in", In)
+	mustInst(t, d, "a", "INV")
+	mustConn(t, d, "a", "A", "in", In)
+	mustConn(t, d, "a", "Y", "na", Out)
+	for _, n := range []string{"b", "c"} {
+		mustInst(t, d, n, "INV")
+		mustConn(t, d, n, "A", "na", In)
+		mustConn(t, d, n, "Y", "n"+n, Out)
+	}
+	mustInst(t, d, "d", "NAND2")
+	mustConn(t, d, "d", "A", "nb", In)
+	mustConn(t, d, "d", "B", "nc", In)
+	mustConn(t, d, "d", "Y", "out", Out)
+	lev := d.Levelize()
+	if len(lev.Levels) != 3 {
+		t.Fatalf("levels = %d, want 3", len(lev.Levels))
+	}
+	if len(lev.Levels[1]) != 2 {
+		t.Fatalf("level 1 size = %d", len(lev.Levels[1]))
+	}
+	if d.FindInst("d").Level != 2 {
+		t.Fatalf("d level = %d", d.FindInst("d").Level)
+	}
+}
+
+func TestLevelizeLoop(t *testing.T) {
+	// Cross-coupled pair: a.Y -> b.A, b.Y -> a.A, plus an acyclic tail.
+	d := New("loop")
+	mustPort(t, d, "in", In)
+	mustInst(t, d, "a", "NAND2")
+	mustInst(t, d, "b", "NAND2")
+	mustConn(t, d, "a", "A", "in", In)
+	mustConn(t, d, "a", "B", "q", In)
+	mustConn(t, d, "a", "Y", "p", Out)
+	mustConn(t, d, "b", "A", "p", In)
+	mustConn(t, d, "b", "Y", "q", Out)
+	mustInst(t, d, "tail", "INV")
+	mustConn(t, d, "tail", "A", "q", In)
+	mustConn(t, d, "tail", "Y", "out", Out)
+	lev := d.Levelize()
+	if len(lev.Feedback) != 3 {
+		t.Fatalf("feedback count = %d, want 3 (a, b, and downstream tail)", len(lev.Feedback))
+	}
+	for _, i := range lev.Feedback {
+		if i.Level != -1 {
+			t.Fatalf("feedback inst %s has level %d", i.Name, i.Level)
+		}
+	}
+	// tail reads the loop, so it is blocked too.
+	if d.FindInst("tail").Level != -1 {
+		t.Fatalf("tail level = %d, want -1 (downstream of loop)", d.FindInst("tail").Level)
+	}
+}
+
+func TestLevelizeSelfLoopIgnored(t *testing.T) {
+	// A self-loop (output feeding own input) must not deadlock Kahn.
+	d := New("self")
+	mustInst(t, d, "a", "BUF")
+	mustConn(t, d, "a", "A", "x", In)
+	mustConn(t, d, "a", "Y", "x", Out)
+	lev := d.Levelize()
+	if lev.NumLeveled() != 1 || d.FindInst("a").Level != 0 {
+		t.Fatalf("self-loop inst not leveled: %+v", lev)
+	}
+}
+
+func TestFanoutInsts(t *testing.T) {
+	d := buildChain(t, 3)
+	fo := d.FanoutInsts(d.FindInst("u0"))
+	if len(fo) != 1 || fo[0].Name != "u1" {
+		t.Fatalf("fanout = %v", fo)
+	}
+	if fo := d.FanoutInsts(d.FindInst("u2")); len(fo) != 0 {
+		t.Fatalf("sink fanout = %v", fo)
+	}
+}
+
+func mustPort(t *testing.T, d *Design, name string, dir Dir) {
+	t.Helper()
+	if _, err := d.AddPort(name, dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustInst(t *testing.T, d *Design, name, cell string) {
+	t.Helper()
+	if _, err := d.AddInst(name, cell); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustConn(t *testing.T, d *Design, inst, pin, net string, dir Dir) {
+	t.Helper()
+	if err := d.Connect(inst, pin, net, dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseWriteRoundTrip(t *testing.T) {
+	src := `# a tiny design
+design top
+port in in
+port out out
+inst u0 INV
+conn u0 A in in
+conn u0 Y mid out
+inst u1 BUF
+conn u1 A mid in
+conn u1 Y out out
+`
+	d, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "top" || d.NumInsts() != 2 {
+		t.Fatalf("parsed: %s insts=%d", d.Name, d.NumInsts())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, sb.String())
+	}
+	if d2.NumInsts() != d.NumInsts() || d2.NumNets() != d.NumNets() || d2.NumPorts() != d.NumPorts() {
+		t.Fatal("round trip changed design size")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"port p in",                        // before design
+		"design a\ndesign b",               // duplicate design
+		"design a\nport p sideways",        // bad dir
+		"design a\nconn i A n in",          // unknown inst
+		"design a\nfrobnicate x",           // unknown keyword
+		"design a\nport p",                 // arity
+		"design a\ninst i",                 // arity
+		"design a\ninst i INV\nconn i A n", // arity
+		"",                                 // no design
+	}
+	for _, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func BenchmarkLevelizeChain100(b *testing.B) {
+	d := New("chain")
+	if _, err := d.AddPort("in", In); err != nil {
+		b.Fatal(err)
+	}
+	prev := "in"
+	for i := 0; i < 100; i++ {
+		name := "u" + itoa(i)
+		if _, err := d.AddInst(name, "INV"); err != nil {
+			b.Fatal(err)
+		}
+		next := "n" + itoa(i)
+		if err := d.Connect(name, "A", prev, In); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Connect(name, "Y", next, Out); err != nil {
+			b.Fatal(err)
+		}
+		prev = next
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Levelize()
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}

@@ -1,0 +1,400 @@
+// Package rc models per-net distributed RC networks and computes the
+// reduced quantities delay and noise analysis consume: Elmore delays,
+// second moments, path resistances, total and coupling capacitances, and
+// the O'Brien–Savarino π-model of the driving-point admittance.
+//
+// A Network is built either programmatically or from a spef.Net via
+// FromSPEF. Analysis assumes the resistive topology is a tree rooted at the
+// driver node (the overwhelmingly common case for extracted signal nets);
+// Analyze reports an error for meshes.
+package rc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/spef"
+)
+
+// Coupling is a cross-coupling capacitor from a node of this net to a node
+// of another net.
+type Coupling struct {
+	Node      string  // node on this net
+	OtherNet  string  // the aggressor/victim partner net
+	OtherNode string  // node on the partner net
+	F         float64 // farads
+}
+
+type edge struct {
+	a, b int
+	ohms float64
+}
+
+// Network is one net's RC parasitics plus attached pin load capacitances.
+type Network struct {
+	Name  string
+	names []string
+	idx   map[string]int
+	root  int // -1 until set
+	res   []edge
+	gcap  []float64 // grounded wire cap per node
+	load  []float64 // attached pin load cap per node
+	coup  []Coupling
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork(name string) *Network {
+	return &Network{Name: name, idx: make(map[string]int), root: -1}
+}
+
+// Node interns a node name and returns its index.
+func (n *Network) Node(name string) int {
+	if i, ok := n.idx[name]; ok {
+		return i
+	}
+	i := len(n.names)
+	n.names = append(n.names, name)
+	n.idx[name] = i
+	n.gcap = append(n.gcap, 0)
+	n.load = append(n.load, 0)
+	return i
+}
+
+// HasNode reports whether the named node exists.
+func (n *Network) HasNode(name string) bool {
+	_, ok := n.idx[name]
+	return ok
+}
+
+// NumNodes returns the node count.
+func (n *Network) NumNodes() int { return len(n.names) }
+
+// NodeNames returns the node names in index order.
+func (n *Network) NodeNames() []string { return append([]string(nil), n.names...) }
+
+// SetRoot marks the driver node. FromSPEF does this automatically from the
+// *CONN section.
+func (n *Network) SetRoot(name string) {
+	n.root = n.Node(name)
+}
+
+// Root returns the driver node name, or "" if unset.
+func (n *Network) Root() string {
+	if n.root < 0 {
+		return ""
+	}
+	return n.names[n.root]
+}
+
+// AddRes adds a resistor between two nodes (created on demand).
+func (n *Network) AddRes(a, b string, ohms float64) {
+	n.res = append(n.res, edge{a: n.Node(a), b: n.Node(b), ohms: ohms})
+}
+
+// AddCap adds grounded wire capacitance at a node.
+func (n *Network) AddCap(node string, f float64) {
+	n.gcap[n.Node(node)] += f
+}
+
+// AddLoadCap attaches pin load capacitance (a receiver input) at a node.
+// It is kept separate from wire cap so callers can re-bind libraries.
+func (n *Network) AddLoadCap(node string, f float64) {
+	n.load[n.Node(node)] += f
+}
+
+// AddCoupling adds a cross-coupling capacitor at a node.
+func (n *Network) AddCoupling(node, otherNet, otherNode string, f float64) {
+	n.Node(node)
+	n.coup = append(n.coup, Coupling{Node: node, OtherNet: otherNet, OtherNode: otherNode, F: f})
+}
+
+// Couplings returns the coupling capacitors.
+func (n *Network) Couplings() []Coupling { return append([]Coupling(nil), n.coup...) }
+
+// GroundCap returns total grounded wire capacitance.
+func (n *Network) GroundCap() float64 {
+	var s float64
+	for _, c := range n.gcap {
+		s += c
+	}
+	return s
+}
+
+// LoadCap returns total attached pin capacitance.
+func (n *Network) LoadCap() float64 {
+	var s float64
+	for _, c := range n.load {
+		s += c
+	}
+	return s
+}
+
+// CouplingCap returns total cross-coupling capacitance.
+func (n *Network) CouplingCap() float64 {
+	var s float64
+	for _, c := range n.coup {
+		s += c.F
+	}
+	return s
+}
+
+// CouplingTo returns the summed coupling capacitance toward one other net.
+func (n *Network) CouplingTo(other string) float64 {
+	var s float64
+	for _, c := range n.coup {
+		if c.OtherNet == other {
+			s += c.F
+		}
+	}
+	return s
+}
+
+// TotalCap is the capacitance a quiet victim's driver must hold: grounded
+// wire cap + pin loads + coupling caps (a switching-aggressor boundary
+// treats Cx as connected to a source, but for time-constant purposes the
+// conservative lumping includes it).
+func (n *Network) TotalCap() float64 {
+	return n.GroundCap() + n.LoadCap() + n.CouplingCap()
+}
+
+// capAt returns the effective grounded cap at node i including coupling
+// caps lumped to ground and pin loads.
+func (n *Network) capAt(i int) float64 {
+	c := n.gcap[i] + n.load[i]
+	for _, x := range n.coup {
+		if n.idx[x.Node] == i {
+			c += x.F
+		}
+	}
+	return c
+}
+
+// FromSPEF builds a Network from parsed SPEF, rooting it at the first
+// driver (*CONN direction O) entry. Connection nodes are created even when
+// no RC entry references them so single-segment nets still resolve.
+func FromSPEF(sn *spef.Net) (*Network, error) {
+	n := NewNetwork(sn.Name)
+	for _, c := range sn.Conns {
+		n.Node(c.Node)
+		if c.Dir == spef.DirOut && n.root < 0 {
+			n.SetRoot(c.Node)
+		}
+	}
+	for _, r := range sn.Ress {
+		n.AddRes(r.A, r.B, r.Ohms)
+	}
+	for _, c := range sn.Caps {
+		if c.Other == "" {
+			n.AddCap(c.Node, c.F)
+		} else {
+			n.AddCoupling(c.Node, spef.NetOfNode(c.Other), c.Other, c.F)
+		}
+	}
+	if n.root < 0 {
+		return nil, fmt.Errorf("rc: net %q has no driver connection", sn.Name)
+	}
+	return n, nil
+}
+
+// Analysis holds the tree-derived quantities for one network.
+type Analysis struct {
+	net *Network
+	// per node, by index:
+	elmore []float64 // first moment of the step response (Elmore delay)
+	m2     []float64 // second moment
+	rpath  []float64 // total resistance from root to node
+	ctotal float64
+}
+
+// Analyze orients the resistive tree from the root and computes Elmore
+// delays, second moments, and path resistances to every node. It errors if
+// the root is unset, the resistive graph is disconnected from the root, or
+// the topology is not a tree.
+func (n *Network) Analyze() (*Analysis, error) {
+	if n.root < 0 {
+		return nil, fmt.Errorf("rc: net %q: root not set", n.Name)
+	}
+	nn := len(n.names)
+	adj := make([][]edge, nn)
+	for _, e := range n.res {
+		if e.ohms < 0 {
+			return nil, fmt.Errorf("rc: net %q: negative resistance", n.Name)
+		}
+		adj[e.a] = append(adj[e.a], e)
+		adj[e.b] = append(adj[e.b], edge{a: e.b, b: e.a, ohms: e.ohms})
+	}
+	// BFS orientation from root.
+	parent := make([]int, nn)
+	parentR := make([]float64, nn)
+	order := make([]int, 0, nn)
+	seen := make([]bool, nn)
+	for i := range parent {
+		parent[i] = -1
+	}
+	queue := []int{n.root}
+	seen[n.root] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, e := range adj[u] {
+			v := e.b
+			if v == u {
+				continue
+			}
+			if seen[v] {
+				if v != parent[u] {
+					return nil, fmt.Errorf("rc: net %q: resistive loop involving node %q", n.Name, n.names[v])
+				}
+				continue
+			}
+			seen[v] = true
+			parent[v] = u
+			parentR[v] = e.ohms
+			queue = append(queue, v)
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			return nil, fmt.Errorf("rc: net %q: node %q unreachable from driver", n.Name, n.names[i])
+		}
+	}
+
+	a := &Analysis{net: n}
+	a.rpath = pathAccumulateConst(order, parent, parentR)
+	caps := make([]float64, nn)
+	for i := range caps {
+		caps[i] = n.capAt(i)
+		a.ctotal += caps[i]
+	}
+	a.elmore = pathAccumulate(order, parent, parentR, caps)
+	// Second moments reuse the same accumulation with weights C_j·m1_j.
+	w2 := make([]float64, nn)
+	for i := range w2 {
+		w2[i] = caps[i] * a.elmore[i]
+	}
+	a.m2 = pathAccumulate(order, parent, parentR, w2)
+	return a, nil
+}
+
+// pathAccumulate computes, for each node v,
+//
+//	val(v) = Σ_{edges e on path root→v} R_e · (Σ_{j in subtree below e} w_j)
+//
+// which is the Elmore form for w = node caps and the second-moment form for
+// w = C·m1. order must be a BFS/DFS order from the root (parents precede
+// children).
+func pathAccumulate(order, parent []int, parentR, w []float64) []float64 {
+	nn := len(order)
+	sub := append([]float64(nil), w...)
+	// Bottom-up subtree sums: reverse BFS order visits children first.
+	for i := nn - 1; i >= 1; i-- {
+		v := order[i]
+		sub[parent[v]] += sub[v]
+	}
+	val := make([]float64, nn)
+	for i := 1; i < nn; i++ {
+		v := order[i]
+		val[v] = val[parent[v]] + parentR[v]*sub[v]
+	}
+	return val
+}
+
+// pathAccumulateConst computes plain path resistance from root to each
+// node.
+func pathAccumulateConst(order, parent []int, parentR []float64) []float64 {
+	val := make([]float64, len(order))
+	for i := 1; i < len(order); i++ {
+		v := order[i]
+		val[v] = val[parent[v]] + parentR[v]
+	}
+	return val
+}
+
+// ElmoreTo returns the Elmore delay from the driver to the named node.
+func (a *Analysis) ElmoreTo(node string) (float64, error) {
+	i, ok := a.net.idx[node]
+	if !ok {
+		return 0, fmt.Errorf("rc: net %q: unknown node %q", a.net.Name, node)
+	}
+	return a.elmore[i], nil
+}
+
+// M2To returns the second moment of the step response at the named node.
+func (a *Analysis) M2To(node string) (float64, error) {
+	i, ok := a.net.idx[node]
+	if !ok {
+		return 0, fmt.Errorf("rc: net %q: unknown node %q", a.net.Name, node)
+	}
+	return a.m2[i], nil
+}
+
+// ResTo returns the path resistance from the driver to the named node.
+func (a *Analysis) ResTo(node string) (float64, error) {
+	i, ok := a.net.idx[node]
+	if !ok {
+		return 0, fmt.Errorf("rc: net %q: unknown node %q", a.net.Name, node)
+	}
+	return a.rpath[i], nil
+}
+
+// TotalCap returns the total effective grounded capacitance seen in the
+// analysis (wire + load + lumped coupling).
+func (a *Analysis) TotalCap() float64 { return a.ctotal }
+
+// MaxElmore returns the largest Elmore delay over all nodes — the
+// conservative wire-delay number for the net.
+func (a *Analysis) MaxElmore() float64 {
+	var best float64
+	for _, d := range a.elmore {
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// SlewDegradation estimates the additional output slew introduced by the
+// wire at a node using the PERI-style two-moment metric
+// sqrt(2·m2 − m1²)·ln(9) when the discriminant is positive, falling back to
+// the Elmore delay otherwise.
+func (a *Analysis) SlewDegradation(node string) (float64, error) {
+	i, ok := a.net.idx[node]
+	if !ok {
+		return 0, fmt.Errorf("rc: net %q: unknown node %q", a.net.Name, node)
+	}
+	d := 2*a.m2[i] - a.elmore[i]*a.elmore[i]
+	if d <= 0 {
+		return a.elmore[i], nil
+	}
+	return math.Sqrt(d) * math.Log(9), nil
+}
+
+// Pi returns the O'Brien–Savarino π-model (near cap, resistance, far cap)
+// of the driving-point admittance: the three-moment match
+//
+//	Cfar = y2²/y3, R = −y3²/y2³, Cnear = y1 − Cfar
+//
+// with y1 = ΣC, y2 = −ΣC·m1, y3 = ΣC·m2. Degenerate nets (no resistance or
+// no capacitance) collapse to a single near capacitor.
+func (a *Analysis) Pi() (cnear, r, cfar float64) {
+	var y1, y2, y3 float64
+	for i := range a.elmore {
+		c := a.net.capAt(i)
+		y1 += c
+		y2 -= c * a.elmore[i]
+		y3 += c * a.m2[i]
+	}
+	if y2 == 0 || y3 == 0 {
+		return y1, 0, 0
+	}
+	cfar = y2 * y2 / y3
+	r = -y3 * y3 / (y2 * y2 * y2)
+	cnear = y1 - cfar
+	if cnear < 0 || r < 0 || cfar < 0 {
+		// Moment match went unphysical (can happen for exotic cap
+		// distributions); fall back to the lumped model.
+		return y1, 0, 0
+	}
+	return cnear, r, cfar
+}

@@ -1,0 +1,350 @@
+package rc
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/spef"
+)
+
+// ladder builds root -r1- n1 -r2- n2 with caps c1 at n1, c2 at n2.
+func ladder(r1, c1, r2, c2 float64) *Network {
+	n := NewNetwork("lad")
+	n.SetRoot("root")
+	n.AddRes("root", "n1", r1)
+	n.AddRes("n1", "n2", r2)
+	n.AddCap("n1", c1)
+	n.AddCap("n2", c2)
+	return n
+}
+
+func TestElmoreLadder(t *testing.T) {
+	// Classic: D(n1) = r1(c1+c2); D(n2) = r1(c1+c2) + r2 c2.
+	r1, c1, r2, c2 := 100.0, 1e-15, 200.0, 2e-15
+	n := ladder(r1, c1, r2, c2)
+	a, err := n.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := a.ElmoreTo("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1 := r1 * (c1 + c2)
+	if math.Abs(d1-want1) > 1e-21 {
+		t.Fatalf("Elmore(n1) = %g, want %g", d1, want1)
+	}
+	d2, _ := a.ElmoreTo("n2")
+	want2 := want1 + r2*c2
+	if math.Abs(d2-want2) > 1e-21 {
+		t.Fatalf("Elmore(n2) = %g, want %g", d2, want2)
+	}
+	if got := a.MaxElmore(); got != d2 {
+		t.Fatalf("MaxElmore = %g, want %g", got, d2)
+	}
+	d0, _ := a.ElmoreTo("root")
+	if d0 != 0 {
+		t.Fatalf("Elmore(root) = %g", d0)
+	}
+}
+
+func TestResTo(t *testing.T) {
+	n := ladder(100, 1e-15, 200, 2e-15)
+	a, err := n.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := a.ResTo("n2")
+	if r != 300 {
+		t.Fatalf("ResTo(n2) = %g", r)
+	}
+	if _, err := a.ResTo("ghost"); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestBranchedTreeElmore(t *testing.T) {
+	// root -100- a; a -200- b (1fF); a -300- c (2fF); cap at a: 0.5fF.
+	n := NewNetwork("tee")
+	n.SetRoot("root")
+	n.AddRes("root", "a", 100)
+	n.AddRes("a", "b", 200)
+	n.AddRes("a", "c", 300)
+	n.AddCap("a", 0.5e-15)
+	n.AddCap("b", 1e-15)
+	n.AddCap("c", 2e-15)
+	a, err := n.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D(b) = 100*(3.5fF) + 200*1fF
+	db, _ := a.ElmoreTo("b")
+	want := 100*3.5e-15 + 200*1e-15
+	if math.Abs(db-want) > 1e-21 {
+		t.Fatalf("Elmore(b) = %g, want %g", db, want)
+	}
+	dc, _ := a.ElmoreTo("c")
+	want = 100*3.5e-15 + 300*2e-15
+	if math.Abs(dc-want) > 1e-21 {
+		t.Fatalf("Elmore(c) = %g, want %g", dc, want)
+	}
+}
+
+func TestSingleNodeNet(t *testing.T) {
+	n := NewNetwork("dot")
+	n.SetRoot("p")
+	n.AddCap("p", 5e-15)
+	a, err := n.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := a.ElmoreTo("p")
+	if d != 0 {
+		t.Fatalf("Elmore = %g", d)
+	}
+	if a.TotalCap() != 5e-15 {
+		t.Fatalf("TotalCap = %g", a.TotalCap())
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	n := NewNetwork("noroot")
+	n.AddRes("a", "b", 1)
+	if _, err := n.Analyze(); err == nil || !strings.Contains(err.Error(), "root not set") {
+		t.Fatalf("err = %v", err)
+	}
+
+	loop := NewNetwork("loop")
+	loop.SetRoot("a")
+	loop.AddRes("a", "b", 1)
+	loop.AddRes("b", "c", 1)
+	loop.AddRes("c", "a", 1)
+	if _, err := loop.Analyze(); err == nil || !strings.Contains(err.Error(), "loop") {
+		t.Fatalf("err = %v", err)
+	}
+
+	disc := NewNetwork("disc")
+	disc.SetRoot("a")
+	disc.AddCap("island", 1e-15)
+	if _, err := disc.Analyze(); err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("err = %v", err)
+	}
+
+	neg := NewNetwork("neg")
+	neg.SetRoot("a")
+	neg.AddRes("a", "b", -5)
+	if _, err := neg.Analyze(); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCapAccounting(t *testing.T) {
+	n := NewNetwork("caps")
+	n.SetRoot("r")
+	n.AddRes("r", "x", 100)
+	n.AddCap("x", 3e-15)
+	n.AddLoadCap("x", 2e-15)
+	n.AddCoupling("x", "agg", "agg:1", 4e-15)
+	if got := n.GroundCap(); got != 3e-15 {
+		t.Fatalf("GroundCap = %g", got)
+	}
+	if got := n.LoadCap(); got != 2e-15 {
+		t.Fatalf("LoadCap = %g", got)
+	}
+	if got := n.CouplingCap(); got != 4e-15 {
+		t.Fatalf("CouplingCap = %g", got)
+	}
+	if got := n.TotalCap(); got != 9e-15 {
+		t.Fatalf("TotalCap = %g", got)
+	}
+	if got := n.CouplingTo("agg"); got != 4e-15 {
+		t.Fatalf("CouplingTo = %g", got)
+	}
+	if got := n.CouplingTo("other"); got != 0 {
+		t.Fatalf("CouplingTo(other) = %g", got)
+	}
+	// Coupling counts toward node cap in the analysis.
+	a, err := n.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := a.ElmoreTo("x")
+	if want := 100 * 9e-15; math.Abs(d-want) > 1e-21 {
+		t.Fatalf("Elmore with coupling = %g, want %g", d, want)
+	}
+}
+
+func TestSecondMomentLadder(t *testing.T) {
+	// Single RC: m1 = RC, m2 = m1·RC = R²C² (for one cap).
+	n := NewNetwork("single")
+	n.SetRoot("r")
+	n.AddRes("r", "x", 1000)
+	n.AddCap("x", 1e-15)
+	a, err := n.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := a.ElmoreTo("x")
+	m2, _ := a.M2To("x")
+	if math.Abs(m1-1e-12) > 1e-24 {
+		t.Fatalf("m1 = %g", m1)
+	}
+	if math.Abs(m2-1e-24) > 1e-36 {
+		t.Fatalf("m2 = %g, want %g", m2, 1e-24)
+	}
+	if _, err := a.M2To("ghost"); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestPiSingleRC(t *testing.T) {
+	// One R, one C: the π model must reproduce (0, R, C) or an equivalent
+	// exact match: y1=C, y2=-RC², y3=R²C³ → Cfar=C, R=R, Cnear=0.
+	n := NewNetwork("pi1")
+	n.SetRoot("r")
+	n.AddRes("r", "x", 500)
+	n.AddCap("x", 2e-15)
+	a, err := n.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, r, cf := a.Pi()
+	if math.Abs(cf-2e-15) > 1e-21 || math.Abs(r-500) > 1e-6 || math.Abs(cn) > 1e-21 {
+		t.Fatalf("Pi = (%g, %g, %g), want (0, 500, 2e-15)", cn, r, cf)
+	}
+}
+
+func TestPiPreservesTotalCap(t *testing.T) {
+	n := ladder(100, 1e-15, 200, 2e-15)
+	a, err := n.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, r, cf := a.Pi()
+	if math.Abs(cn+cf-3e-15) > 1e-21 {
+		t.Fatalf("Pi total cap = %g, want 3e-15", cn+cf)
+	}
+	if r <= 0 || cn < 0 || cf < 0 {
+		t.Fatalf("unphysical Pi = (%g, %g, %g)", cn, r, cf)
+	}
+}
+
+func TestPiDegenerateNoRes(t *testing.T) {
+	n := NewNetwork("lump")
+	n.SetRoot("p")
+	n.AddCap("p", 7e-15)
+	a, err := n.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, r, cf := a.Pi()
+	if cn != 7e-15 || r != 0 || cf != 0 {
+		t.Fatalf("degenerate Pi = (%g, %g, %g)", cn, r, cf)
+	}
+}
+
+func TestSlewDegradation(t *testing.T) {
+	n := ladder(100, 1e-15, 200, 2e-15)
+	a, err := n.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := a.SlewDegradation("n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 {
+		t.Fatalf("slew degradation = %g", s)
+	}
+	if _, err := a.SlewDegradation("ghost"); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestFromSPEF(t *testing.T) {
+	src := `*SPEF "x"
+*DESIGN "d"
+*D_NET v 3.0e-15
+*CONN
+*I drv:Y O
+*I rcv:A I
+*CAP
+1 v:1 1.0e-15
+2 v:1 a:1 2.0e-15
+*RES
+1 drv:Y v:1 150
+2 v:1 rcv:A 50
+*END
+`
+	p, err := spef.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := FromSPEF(p.Net("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Root() != "drv:Y" {
+		t.Fatalf("root = %q", n.Root())
+	}
+	if got := n.CouplingTo("a"); got != 2e-15 {
+		t.Fatalf("CouplingTo(a) = %g", got)
+	}
+	a, err := n.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := a.ElmoreTo("rcv:A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Elmore to rcv:A = 150*(3fF) + 50*0 (no cap at rcv:A).
+	if want := 150 * 3e-15; math.Abs(d-want) > 1e-21 {
+		t.Fatalf("Elmore = %g, want %g", d, want)
+	}
+}
+
+func TestFromSPEFNoDriver(t *testing.T) {
+	sn := &spef.Net{Name: "x", Conns: []spef.Conn{{Pin: "rcv:A", Dir: spef.DirIn, Node: "rcv:A"}}}
+	if _, err := FromSPEF(sn); err == nil {
+		t.Fatal("driverless net accepted")
+	}
+}
+
+func TestNodeInterning(t *testing.T) {
+	n := NewNetwork("x")
+	a := n.Node("a")
+	if n.Node("a") != a {
+		t.Fatal("re-interning changed index")
+	}
+	if !n.HasNode("a") || n.HasNode("b") {
+		t.Fatal("HasNode wrong")
+	}
+	if n.NumNodes() != 1 {
+		t.Fatalf("NumNodes = %d", n.NumNodes())
+	}
+	if names := n.NodeNames(); len(names) != 1 || names[0] != "a" {
+		t.Fatalf("NodeNames = %v", names)
+	}
+}
+
+func BenchmarkAnalyzeLadder64(b *testing.B) {
+	n := NewNetwork("bench")
+	n.SetRoot(nodeName(0))
+	for i := 0; i < 64; i++ {
+		n.AddRes(nodeName(i), nodeName(i+1), 10)
+		n.AddCap(nodeName(i+1), 0.5e-15)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Analyze(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func nodeName(i int) string {
+	return "n" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}

@@ -1,0 +1,143 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/interval"
+)
+
+// JSON export: a stable, self-describing schema for piping analysis
+// results into other tools (dashboards, waiver systems, regression
+// tracking). Quantities are base SI units; absent windows are null.
+
+type jsonWindow struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+func jsonWin(w interval.Window) *jsonWindow {
+	if w.IsEmpty() {
+		return nil
+	}
+	return &jsonWindow{Lo: w.Lo, Hi: w.Hi}
+}
+
+type jsonEvent struct {
+	Source string      `json:"source"`
+	Peak   float64     `json:"peakV"`
+	Width  float64     `json:"widthS"`
+	Window *jsonWindow `json:"window"`
+}
+
+type jsonCombined struct {
+	Peak    float64     `json:"peakV"`
+	Width   float64     `json:"widthS"`
+	At      *float64    `json:"atS"`
+	Window  *jsonWindow `json:"window"`
+	Members []string    `json:"members,omitempty"`
+}
+
+type jsonNet struct {
+	Net  string       `json:"net"`
+	Low  jsonCombined `json:"low"`
+	High jsonCombined `json:"high"`
+	// Events are included only for nets with any noise, to keep exports
+	// of big clean designs small.
+	LowEvents  []jsonEvent `json:"lowEvents,omitempty"`
+	HighEvents []jsonEvent `json:"highEvents,omitempty"`
+}
+
+type jsonViolation struct {
+	Net      string   `json:"net"`
+	Receiver string   `json:"receiver"`
+	State    string   `json:"state"`
+	Peak     float64  `json:"peakV"`
+	Limit    float64  `json:"limitV"`
+	Slack    float64  `json:"slackV"`
+	At       *float64 `json:"atS"`
+	Members  []string `json:"members,omitempty"`
+}
+
+type jsonResult struct {
+	Mode       string          `json:"mode"`
+	Stats      core.Stats      `json:"stats"`
+	Violations []jsonViolation `json:"violations"`
+	Nets       []jsonNet       `json:"nets"`
+}
+
+func jsonComb(c core.Combined) jsonCombined {
+	out := jsonCombined{
+		Peak:    c.Peak,
+		Width:   c.Width,
+		Window:  jsonWin(c.Window),
+		Members: c.Members,
+	}
+	if !math.IsNaN(c.At) {
+		at := c.At
+		out.At = &at
+	}
+	return out
+}
+
+func jsonEvents(events []core.Event) []jsonEvent {
+	out := make([]jsonEvent, 0, len(events))
+	for _, e := range events {
+		out = append(out, jsonEvent{
+			Source: e.Source,
+			Peak:   e.Peak,
+			Width:  e.Width,
+			Window: jsonWin(e.Window),
+		})
+	}
+	return out
+}
+
+// WriteJSON serializes a full analysis result. Nets are sorted by name for
+// deterministic output.
+func WriteJSON(w io.Writer, res *core.Result) error {
+	out := jsonResult{
+		Mode:  res.Mode.String(),
+		Stats: res.Stats,
+	}
+	for _, v := range res.Violations {
+		jv := jsonViolation{
+			Net:      v.Net,
+			Receiver: v.Receiver,
+			State:    v.Kind.String(),
+			Peak:     v.Peak,
+			Limit:    v.Limit,
+			Slack:    v.Slack,
+			Members:  v.Members,
+		}
+		if !math.IsNaN(v.At) {
+			at := v.At
+			jv.At = &at
+		}
+		out.Violations = append(out.Violations, jv)
+	}
+	names := make([]string, 0, len(res.Nets))
+	for n := range res.Nets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		nn := res.Nets[name]
+		jn := jsonNet{
+			Net:  name,
+			Low:  jsonComb(nn.Comb[core.KindLow]),
+			High: jsonComb(nn.Comb[core.KindHigh]),
+		}
+		if nn.WorstPeak() > 0 {
+			jn.LowEvents = jsonEvents(nn.Events[core.KindLow])
+			jn.HighEvents = jsonEvents(nn.Events[core.KindHigh])
+		}
+		out.Nets = append(out.Nets, jn)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,103 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interval"
+)
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	at := 1.5e-10
+	res := &core.Result{
+		Mode: core.ModeNoiseWindows,
+		Nets: map[string]*core.NetNoise{
+			"v": {
+				Net: "v",
+				Events: [2][]core.Event{
+					{{Peak: 0.3, Width: 2e-11, Window: interval.New(1e-10, 2e-10), Source: "a0"}},
+					nil,
+				},
+				Comb: [2]core.Combined{
+					{Peak: 0.3, Width: 2e-11, Window: interval.New(1e-10, 2e-10), At: at, Members: []string{"a0"}},
+					{At: math.NaN(), Window: interval.Empty()},
+				},
+			},
+			"quiet": {Net: "quiet", Comb: [2]core.Combined{
+				{At: math.NaN(), Window: interval.Empty()},
+				{At: math.NaN(), Window: interval.Empty()},
+			}},
+		},
+		Violations: []core.Violation{{
+			Net: "v", Receiver: "r.A", Kind: core.KindLow,
+			Peak: 0.3, Limit: 0.25, Slack: -0.05, At: at, Members: []string{"a0"},
+		}},
+		Stats: core.Stats{Victims: 2, Converged: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	// Must be valid JSON with the documented fields.
+	var back map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if back["mode"] != "noise-windows" {
+		t.Fatalf("mode = %v", back["mode"])
+	}
+	viols := back["violations"].([]any)
+	if len(viols) != 1 {
+		t.Fatalf("violations = %v", viols)
+	}
+	v0 := viols[0].(map[string]any)
+	if v0["slackV"].(float64) != -0.05 || v0["state"] != "low" {
+		t.Fatalf("violation = %v", v0)
+	}
+	nets := back["nets"].([]any)
+	if len(nets) != 2 {
+		t.Fatalf("nets = %d", len(nets))
+	}
+	// Sorted: quiet before v.
+	if nets[0].(map[string]any)["net"] != "quiet" {
+		t.Fatal("nets not sorted")
+	}
+	// Quiet net: null window, no events, null at.
+	q := nets[0].(map[string]any)["low"].(map[string]any)
+	if q["window"] != nil || q["atS"] != nil {
+		t.Fatalf("quiet low = %v", q)
+	}
+	// Noisy net carries its events.
+	vn := nets[1].(map[string]any)
+	if _, has := vn["lowEvents"]; !has {
+		t.Fatalf("noisy net missing events: %v", vn)
+	}
+	// NaN must never leak into the output.
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatal("NaN leaked into JSON")
+	}
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	res := &core.Result{
+		Mode: core.ModeAllAggressors,
+		Nets: map[string]*core.NetNoise{
+			"b": {Net: "b", Comb: [2]core.Combined{{At: math.NaN()}, {At: math.NaN()}}},
+			"a": {Net: "a", Comb: [2]core.Combined{{At: math.NaN()}, {At: math.NaN()}}},
+		},
+	}
+	var x, y bytes.Buffer
+	if err := WriteJSON(&x, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&y, res); err != nil {
+		t.Fatal(err)
+	}
+	if x.String() != y.String() {
+		t.Fatal("nondeterministic JSON")
+	}
+}

@@ -1,0 +1,397 @@
+// Package spef reads and writes a practical subset of the Standard
+// Parasitic Exchange Format (IEEE 1481): per-net distributed RC sections
+// with cross-coupling capacitors between nets. This is the parasitic data
+// model crosstalk analysis runs on.
+//
+// Supported constructs:
+//
+//	*SPEF, *DESIGN, *T_UNIT, *C_UNIT, *R_UNIT  (header; units are scaled)
+//	*NAME_MAP with *<index> references expanded wherever nodes appear
+//	*D_NET <net> <totalCap>
+//	*CONN  with *P (port) and *I (instance pin) entries
+//	*CAP   with grounded (node cap) and coupling (node other cap) entries
+//	*RES
+//	*END
+//
+// Node names are <net>:<index> as produced by extractors; the special node
+// equal to the bare net name refers to the net's root (driver) node.
+package spef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ConnDir is the direction recorded for a *CONN entry.
+type ConnDir int
+
+const (
+	// DirIn marks a load (input pin of a cell, or design output port).
+	DirIn ConnDir = iota
+	// DirOut marks a driver (output pin of a cell, or design input port).
+	DirOut
+)
+
+// String renders the SPEF direction token.
+func (d ConnDir) String() string {
+	if d == DirOut {
+		return "O"
+	}
+	return "I"
+}
+
+// Conn is one *CONN entry: where the net attaches to the logical design.
+type Conn struct {
+	// Pin is "inst:pin" for instance connections or the port name.
+	Pin    string
+	IsPort bool
+	Dir    ConnDir
+	// Node is the RC node the connection lands on; defaults to the pin
+	// name itself.
+	Node string
+}
+
+// CapEntry is a *CAP line. Other == "" means a grounded capacitor; a
+// non-empty Other names a node on another net and makes this a coupling
+// capacitor.
+type CapEntry struct {
+	Node  string
+	Other string
+	F     float64
+}
+
+// ResEntry is a *RES line.
+type ResEntry struct {
+	A, B string
+	Ohms float64
+}
+
+// Net is the parasitic description of one net.
+type Net struct {
+	Name     string
+	TotalCap float64
+	Conns    []Conn
+	Caps     []CapEntry
+	Ress     []ResEntry
+}
+
+// GroundCap sums the grounded capacitance entries.
+func (n *Net) GroundCap() float64 {
+	var sum float64
+	for _, c := range n.Caps {
+		if c.Other == "" {
+			sum += c.F
+		}
+	}
+	return sum
+}
+
+// CouplingCap sums the coupling capacitance entries.
+func (n *Net) CouplingCap() float64 {
+	var sum float64
+	for _, c := range n.Caps {
+		if c.Other != "" {
+			sum += c.F
+		}
+	}
+	return sum
+}
+
+// CouplingByNet returns total coupling capacitance grouped by the other
+// net's name (the prefix of the other node before ':').
+func (n *Net) CouplingByNet() map[string]float64 {
+	out := make(map[string]float64)
+	for _, c := range n.Caps {
+		if c.Other == "" {
+			continue
+		}
+		out[NetOfNode(c.Other)] += c.F
+	}
+	return out
+}
+
+// NetOfNode extracts the net name from a <net>:<index> node name; a bare
+// name maps to itself.
+func NetOfNode(node string) string {
+	if i := strings.IndexByte(node, ':'); i >= 0 {
+		return node[:i]
+	}
+	return node
+}
+
+// Parasitics is a parsed SPEF file.
+type Parasitics struct {
+	Design string
+	nets   map[string]*Net
+}
+
+// NewParasitics returns an empty database.
+func NewParasitics(design string) *Parasitics {
+	return &Parasitics{Design: design, nets: make(map[string]*Net)}
+}
+
+// AddNet inserts a net, rejecting duplicates.
+func (p *Parasitics) AddNet(n *Net) error {
+	if _, dup := p.nets[n.Name]; dup {
+		return fmt.Errorf("spef: duplicate net %q", n.Name)
+	}
+	p.nets[n.Name] = n
+	return nil
+}
+
+// Net returns the named net's parasitics or nil.
+func (p *Parasitics) Net(name string) *Net { return p.nets[name] }
+
+// Nets returns all nets sorted by name.
+func (p *Parasitics) Nets() []*Net {
+	names := make([]string, 0, len(p.nets))
+	for n := range p.nets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Net, len(names))
+	for i, n := range names {
+		out[i] = p.nets[n]
+	}
+	return out
+}
+
+// NumNets returns the number of nets with parasitics.
+func (p *Parasitics) NumNets() int { return len(p.nets) }
+
+// Parse reads the SPEF subset.
+func Parse(r io.Reader) (*Parasitics, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	p := NewParasitics("")
+	var cur *Net
+	section := ""
+	cScale, rScale := 1.0, 1.0
+	nameMap := make(map[string]string)
+	// expand resolves *<index> name-map references anywhere in a node
+	// path, including the prefix of an "*1:3"-style pin node.
+	expand := func(tok string) string {
+		if !strings.HasPrefix(tok, "*") {
+			return tok
+		}
+		key := tok[1:]
+		suffix := ""
+		if i := strings.IndexByte(key, ':'); i >= 0 {
+			key, suffix = key[:i], key[i:]
+		}
+		if mapped, ok := nameMap[key]; ok {
+			return mapped + suffix
+		}
+		return tok
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		f := strings.Fields(line)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("spef: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch f[0] {
+		case "*SPEF":
+			// Version string; ignored.
+		case "*DESIGN":
+			if len(f) < 2 {
+				return nil, fail("*DESIGN wants a name")
+			}
+			p.Design = strings.Trim(f[1], `"`)
+		case "*NAME_MAP":
+			section = "*NAME_MAP"
+		case "*T_UNIT", "*C_UNIT", "*R_UNIT":
+			if len(f) != 3 {
+				return nil, fail("%s wants VALUE UNIT", f[0])
+			}
+			v, err := strconv.ParseFloat(f[1], 64)
+			if err != nil {
+				return nil, fail("bad unit value: %v", err)
+			}
+			scale, err := unitScale(f[2])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			switch f[0] {
+			case "*C_UNIT":
+				cScale = v * scale
+			case "*R_UNIT":
+				rScale = v * scale
+			}
+		case "*D_NET":
+			if len(f) != 3 {
+				return nil, fail("*D_NET wants NET TOTALCAP")
+			}
+			f[1] = expand(f[1])
+			if cur != nil {
+				return nil, fail("*D_NET %q inside unterminated net %q", f[1], cur.Name)
+			}
+			tc, err := strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fail("bad total cap: %v", err)
+			}
+			cur = &Net{Name: f[1], TotalCap: tc * cScale}
+			section = ""
+		case "*CONN", "*CAP", "*RES":
+			if cur == nil {
+				return nil, fail("%s outside *D_NET", f[0])
+			}
+			section = f[0]
+		case "*END":
+			if cur == nil {
+				return nil, fail("*END outside *D_NET")
+			}
+			if err := p.AddNet(cur); err != nil {
+				return nil, fail("%v", err)
+			}
+			cur, section = nil, ""
+		case "*P", "*I":
+			if cur == nil || section != "*CONN" {
+				return nil, fail("%s outside *CONN", f[0])
+			}
+			if len(f) != 3 {
+				return nil, fail("%s wants PIN DIR", f[0])
+			}
+			dir, err := parseConnDir(f[2])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			pin := expand(f[1])
+			cur.Conns = append(cur.Conns, Conn{
+				Pin:    pin,
+				IsPort: f[0] == "*P",
+				Dir:    dir,
+				Node:   pin,
+			})
+		default:
+			switch section {
+			case "*NAME_MAP":
+				// Entries look like "*12 actual/name".
+				if cur != nil {
+					return nil, fail("*NAME_MAP entry inside *D_NET")
+				}
+				if len(f) != 2 || !strings.HasPrefix(f[0], "*") {
+					return nil, fail("bad *NAME_MAP entry %q", line)
+				}
+				nameMap[f[0][1:]] = f[1]
+			case "*CAP":
+				switch len(f) {
+				case 3: // idx node cap
+					v, err := strconv.ParseFloat(f[2], 64)
+					if err != nil {
+						return nil, fail("bad cap: %v", err)
+					}
+					cur.Caps = append(cur.Caps, CapEntry{Node: expand(f[1]), F: v * cScale})
+				case 4: // idx node other cap
+					v, err := strconv.ParseFloat(f[3], 64)
+					if err != nil {
+						return nil, fail("bad coupling cap: %v", err)
+					}
+					cur.Caps = append(cur.Caps, CapEntry{Node: expand(f[1]), Other: expand(f[2]), F: v * cScale})
+				default:
+					return nil, fail("bad *CAP entry")
+				}
+			case "*RES":
+				if len(f) != 4 {
+					return nil, fail("bad *RES entry")
+				}
+				v, err := strconv.ParseFloat(f[3], 64)
+				if err != nil {
+					return nil, fail("bad resistance: %v", err)
+				}
+				cur.Ress = append(cur.Ress, ResEntry{A: expand(f[1]), B: expand(f[2]), Ohms: v * rScale})
+			default:
+				return nil, fail("unexpected line %q", line)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("spef: %w", err)
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("spef: net %q not terminated with *END", cur.Name)
+	}
+	return p, nil
+}
+
+func parseConnDir(s string) (ConnDir, error) {
+	switch s {
+	case "I":
+		return DirIn, nil
+	case "O":
+		return DirOut, nil
+	}
+	return DirIn, fmt.Errorf("bad direction %q (want I|O)", s)
+}
+
+func unitScale(u string) (float64, error) {
+	switch strings.ToUpper(u) {
+	case "S", "OHM", "F":
+		return 1, nil
+	case "MS":
+		return 1e-3, nil
+	case "US":
+		return 1e-6, nil
+	case "NS":
+		return 1e-9, nil
+	case "PS":
+		return 1e-12, nil
+	case "KOHM":
+		return 1e3, nil
+	case "PF":
+		return 1e-12, nil
+	case "FF":
+		return 1e-15, nil
+	}
+	return 0, fmt.Errorf("unknown unit %q", u)
+}
+
+// Write renders the database in the SPEF subset with base SI units.
+func Write(w io.Writer, p *Parasitics) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, `*SPEF "IEEE 1481-1998 subset"`)
+	fmt.Fprintf(bw, "*DESIGN \"%s\"\n", p.Design)
+	fmt.Fprintln(bw, "*T_UNIT 1 S")
+	fmt.Fprintln(bw, "*C_UNIT 1 F")
+	fmt.Fprintln(bw, "*R_UNIT 1 OHM")
+	for _, n := range p.Nets() {
+		fmt.Fprintf(bw, "*D_NET %s %g\n", n.Name, n.TotalCap)
+		if len(n.Conns) > 0 {
+			fmt.Fprintln(bw, "*CONN")
+			for _, c := range n.Conns {
+				tag := "*I"
+				if c.IsPort {
+					tag = "*P"
+				}
+				fmt.Fprintf(bw, "%s %s %s\n", tag, c.Pin, c.Dir)
+			}
+		}
+		if len(n.Caps) > 0 {
+			fmt.Fprintln(bw, "*CAP")
+			for i, c := range n.Caps {
+				if c.Other == "" {
+					fmt.Fprintf(bw, "%d %s %g\n", i+1, c.Node, c.F)
+				} else {
+					fmt.Fprintf(bw, "%d %s %s %g\n", i+1, c.Node, c.Other, c.F)
+				}
+			}
+		}
+		if len(n.Ress) > 0 {
+			fmt.Fprintln(bw, "*RES")
+			for i, r := range n.Ress {
+				fmt.Fprintf(bw, "%d %s %s %g\n", i+1, r.A, r.B, r.Ohms)
+			}
+		}
+		fmt.Fprintln(bw, "*END")
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,242 @@
+package spef
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sample = `*SPEF "IEEE 1481-1998 subset"
+*DESIGN "bus2"
+*T_UNIT 1 PS
+*C_UNIT 1 FF
+*R_UNIT 1 KOHM
+*D_NET a 12.0
+*CONN
+*I drv_a:Y O
+*I rcv_a:A I
+*CAP
+1 a:1 4.0
+2 a:2 4.0
+3 a:2 b:2 4.0
+*RES
+1 drv_a:Y a:1 0.1
+2 a:1 a:2 0.2
+3 a:2 rcv_a:A 0.1
+*END
+*D_NET b 8.0
+*CONN
+*I drv_b:Y O
+*I rcv_b:A I
+*CAP
+1 b:1 4.0
+2 b:2 b:1 0.0
+*RES
+1 drv_b:Y b:1 0.15
+*END
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Design != "bus2" {
+		t.Fatalf("design = %q", p.Design)
+	}
+	if p.NumNets() != 2 {
+		t.Fatalf("nets = %d", p.NumNets())
+	}
+	a := p.Net("a")
+	if a == nil {
+		t.Fatal("missing net a")
+	}
+	// Units: FF and KOHM scaling applied.
+	if math.Abs(a.TotalCap-12e-15) > 1e-24 {
+		t.Fatalf("total cap = %g", a.TotalCap)
+	}
+	if got := a.GroundCap(); math.Abs(got-8e-15) > 1e-24 {
+		t.Fatalf("ground cap = %g", got)
+	}
+	if got := a.CouplingCap(); math.Abs(got-4e-15) > 1e-24 {
+		t.Fatalf("coupling cap = %g", got)
+	}
+	if len(a.Ress) != 3 || math.Abs(a.Ress[1].Ohms-200) > 1e-9 {
+		t.Fatalf("res = %+v", a.Ress)
+	}
+	if len(a.Conns) != 2 || a.Conns[0].Dir != DirOut || a.Conns[0].IsPort {
+		t.Fatalf("conns = %+v", a.Conns)
+	}
+}
+
+func TestCouplingByNet(t *testing.T) {
+	p, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Net("a").CouplingByNet()
+	if len(m) != 1 || math.Abs(m["b"]-4e-15) > 1e-24 {
+		t.Fatalf("coupling map = %v", m)
+	}
+}
+
+func TestNetOfNode(t *testing.T) {
+	if NetOfNode("bus:3") != "bus" {
+		t.Fatal("prefix extraction")
+	}
+	if NetOfNode("plain") != "plain" {
+		t.Fatal("bare name")
+	}
+	if NetOfNode("a:b:c") != "a" {
+		t.Fatal("first colon wins")
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	p, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, p); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, sb.String())
+	}
+	if p2.NumNets() != p.NumNets() || p2.Design != p.Design {
+		t.Fatal("round trip changed database")
+	}
+	a1, a2 := p.Net("a"), p2.Net("a")
+	if math.Abs(a1.TotalCap-a2.TotalCap) > 1e-27 {
+		t.Fatalf("total cap drift: %g vs %g", a1.TotalCap, a2.TotalCap)
+	}
+	if len(a1.Caps) != len(a2.Caps) || len(a1.Ress) != len(a2.Ress) {
+		t.Fatal("entry counts changed")
+	}
+	for i := range a1.Caps {
+		if math.Abs(a1.Caps[i].F-a2.Caps[i].F) > 1e-27 || a1.Caps[i].Other != a2.Caps[i].Other {
+			t.Fatalf("cap %d drift", i)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"*D_NET a x",                      // bad total cap
+		"*D_NET a 1\n*D_NET b 1",          // nested D_NET
+		"*END",                            // stray END
+		"*P p I",                          // CONN entry outside section
+		"*D_NET a 1\n*CAP\n1 a:1 bogus",   // bad cap value
+		"*D_NET a 1\n*RES\n1 a:1 a:2",     // short RES
+		"*D_NET a 1\nrandom words here x", // junk inside net
+		"*T_UNIT 1 FURLONG",               // bad unit
+		"*T_UNIT x PS",                    // bad unit value
+		"*D_NET a 1",                      // unterminated
+		"*D_NET a 1\n*CONN\n*I p Q",       // bad direction
+		"junk",                            // junk outside net
+	}
+	for _, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestAddNetDuplicate(t *testing.T) {
+	p := NewParasitics("t")
+	if err := p.AddNet(&Net{Name: "n"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddNet(&Net{Name: "n"}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestNetsSorted(t *testing.T) {
+	p := NewParasitics("t")
+	for _, n := range []string{"z", "a", "m"} {
+		if err := p.AddNet(&Net{Name: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nets := p.Nets()
+	if nets[0].Name != "a" || nets[1].Name != "m" || nets[2].Name != "z" {
+		t.Fatalf("order: %v", []string{nets[0].Name, nets[1].Name, nets[2].Name})
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	src := "// header comment\n\n*SPEF \"x\"\n*DESIGN \"d\"\n*D_NET n 1.0\n*END\n"
+	p, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Net("n") == nil {
+		t.Fatal("net missing")
+	}
+}
+
+func TestNameMapExpansion(t *testing.T) {
+	src := `*SPEF "x"
+*DESIGN "mapped"
+*NAME_MAP
+*1 very/long/victim
+*2 agg_net
+*3 drv_cell
+*D_NET *1 5.0e-15
+*CONN
+*I *3:Y O
+*CAP
+1 *1:1 3.0e-15
+2 *1:1 *2:1 2.0e-15
+*RES
+1 *3:Y *1:1 100
+*END
+`
+	p, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.Net("very/long/victim")
+	if n == nil {
+		t.Fatalf("mapped net missing; have %v", p.Nets())
+	}
+	if n.Conns[0].Pin != "drv_cell:Y" {
+		t.Fatalf("conn pin = %q", n.Conns[0].Pin)
+	}
+	if n.Caps[0].Node != "very/long/victim:1" {
+		t.Fatalf("cap node = %q", n.Caps[0].Node)
+	}
+	if n.Caps[1].Other != "agg_net:1" {
+		t.Fatalf("coupling other = %q", n.Caps[1].Other)
+	}
+	if got := n.CouplingByNet()["agg_net"]; got != 2e-15 {
+		t.Fatalf("coupling by net = %v", n.CouplingByNet())
+	}
+}
+
+func TestNameMapErrors(t *testing.T) {
+	cases := []string{
+		"*NAME_MAP\nbogus entry here",       // missing *index
+		"*D_NET a 1\n*NAME_MAP\n*1 x\n*END", // map inside net? NAME_MAP resets section
+	}
+	// The first is a hard error; the second is legal-ish per our grammar
+	// (section switch), so only assert the first.
+	if _, err := Parse(strings.NewReader(cases[0])); err == nil {
+		t.Error("malformed NAME_MAP entry accepted")
+	}
+}
+
+func TestUnmappedReferencePassesThrough(t *testing.T) {
+	// A *N token with no map entry is kept verbatim rather than dropped.
+	src := "*D_NET *9 1.0\n*END\n"
+	p, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Net("*9") == nil {
+		t.Fatal("unmapped reference lost")
+	}
+}

@@ -1,0 +1,112 @@
+package sta
+
+import (
+	"math"
+
+	"repro/internal/netlist"
+)
+
+// Required-time computation: with a clock period set, every output port
+// must settle by the end of the cycle. Required times propagate backward
+// through the levelized netlist (required at a net = the tightest fanout
+// requirement minus the worst arc and wire delay on the way there), and a
+// net's timing slack is its required time minus its latest possible
+// arrival. Crosstalk delta-delay then has a currency: a push-out of Δ on a
+// net eats Δ of that net's slack.
+
+// computeRequired fills res.required for every net reachable backward from
+// an output port. Feedback instances are skipped (their nets keep +Inf
+// required, i.e. unconstrained) — loops already received fully pessimistic
+// arrival windows.
+func (res *Result) computeRequired(opts *Options) error {
+	b := res.design
+	res.required = make(map[string]float64, b.Net.NumNets())
+	req := func(net string) float64 {
+		if v, ok := res.required[net]; ok {
+			return v
+		}
+		return math.Inf(1)
+	}
+	for _, p := range b.Net.Ports() {
+		if p.Dir == netlist.Out {
+			res.required[p.Name] = opts.ClockPeriod
+		}
+	}
+	lev := b.Net.Levelize()
+	ordered := lev.Ordered()
+	for i := len(ordered) - 1; i >= 0; i-- {
+		inst := ordered[i]
+		cell := b.Cell(inst)
+		for _, oc := range inst.Outputs() {
+			outReq := req(oc.Net.Name)
+			if math.IsInf(outReq, 1) {
+				continue
+			}
+			load, err := b.LoadCapOf(oc.Net.Name)
+			if err != nil {
+				return err
+			}
+			for _, arc := range cell.ArcsTo(oc.Pin) {
+				ic := inst.Conns[arc.From]
+				if ic == nil {
+					continue
+				}
+				in := res.TimingOfPin(ic)
+				slew := opts.DefaultInputSlew
+				if s := in.SlewRise.union(in.SlewFall); s.valid() {
+					slew = s.Max
+				}
+				d := math.Max(arc.DelayRise.Eval(slew, load), arc.DelayFall.Eval(slew, load))
+				d *= res.late
+				wd, err := b.WireDelayTo(ic)
+				if err != nil {
+					return err
+				}
+				cand := outReq - d - wd*res.late
+				if cand < req(ic.Net.Name) {
+					res.required[ic.Net.Name] = cand
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TimingSlack returns the net's timing slack — required time minus latest
+// arrival — and whether a meaningful slack exists (the net switches and a
+// clock period constrained it). Negative slack is a setup violation.
+func (r *Result) TimingSlack(net string) (float64, bool) {
+	if r.required == nil {
+		return 0, false
+	}
+	reqT, ok := r.required[net]
+	if !ok || math.IsInf(reqT, 1) {
+		return 0, false
+	}
+	t := r.TimingOfNet(net)
+	if !t.HasActivity() {
+		return 0, false
+	}
+	latest := math.Inf(-1)
+	for _, rise := range []bool{true, false} {
+		if h := t.Window(rise).Hull(); !h.IsEmpty() && h.Hi > latest {
+			latest = h.Hi
+		}
+	}
+	if math.IsInf(latest, 0) {
+		return 0, false
+	}
+	return reqT - latest, true
+}
+
+// WorstTimingSlack returns the smallest slack across constrained nets, or
+// +Inf when no net is constrained.
+func (r *Result) WorstTimingSlack() float64 {
+	worst := math.Inf(1)
+	for net := range r.required {
+		if s, ok := r.TimingSlack(net); ok && s < worst {
+			worst = s
+		}
+	}
+	return worst
+}

@@ -1,0 +1,451 @@
+// Package sta is a static timing analyzer specialized for what noise
+// analysis needs: per-net switching windows. It propagates, for each net
+// and each transition direction (rise/fall), the earliest and latest
+// possible arrival time — an interval.Window — together with the range of
+// possible transition slews, from the primary inputs through NLDM table
+// delays and Elmore wire delays to every pin of the design.
+//
+// A net's switching window answers the question windowed noise analysis
+// asks about every aggressor: *when can this net switch at all?* Without
+// timing, that answer is "any time" (an infinite window), which is exactly
+// the pessimistic classical assumption; sta replaces it with a bounded
+// interval.
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bind"
+	"repro/internal/interval"
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+	"repro/internal/units"
+)
+
+// maxWindowFragments bounds how many disjoint windows a single arrival
+// annotation may carry; beyond it the closest fragments are merged
+// (conservatively) by interval.Set.Simplify. Eight phases comfortably
+// covers realistic multi-phase clocking without letting loop fixpoints
+// fragment without bound.
+const maxWindowFragments = 8
+
+// Range is a [Min, Max] scalar pair (slews, delays).
+type Range struct {
+	Min, Max float64
+}
+
+// valid reports whether the range was ever updated.
+func (r Range) valid() bool { return r.Min <= r.Max }
+
+// emptyRange is the identity for widen.
+func emptyRange() Range {
+	return Range{Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+func (r Range) widen(v float64) Range {
+	return Range{Min: math.Min(r.Min, v), Max: math.Max(r.Max, v)}
+}
+
+func (r Range) union(o Range) Range {
+	return Range{Min: math.Min(r.Min, o.Min), Max: math.Max(r.Max, o.Max)}
+}
+
+// Timing is the switching information at one point (net source or pin):
+// arrival windows and slew ranges per transition direction. Windows are
+// interval.Sets so a point may legitimately switch in several disjoint
+// intervals (multi-phase clocks, gated activity) — the general form the
+// noise-window method exploits.
+type Timing struct {
+	Rise, Fall         interval.Set
+	SlewRise, SlewFall Range
+}
+
+// emptyTiming returns a Timing with empty windows and inverted slews.
+func emptyTiming() *Timing {
+	return &Timing{
+		SlewRise: emptyRange(),
+		SlewFall: emptyRange(),
+	}
+}
+
+// Window returns the arrival window set for one direction.
+func (t *Timing) Window(rise bool) interval.Set {
+	if rise {
+		return t.Rise
+	}
+	return t.Fall
+}
+
+// Slew returns the slew range for one direction.
+func (t *Timing) Slew(rise bool) Range {
+	if rise {
+		return t.SlewRise
+	}
+	return t.SlewFall
+}
+
+// SwitchingWindow is the union of both directions' arrival windows: the
+// instants at which the point can be transitioning at all.
+func (t *Timing) SwitchingWindow() interval.Set {
+	return t.Rise.Union(t.Fall)
+}
+
+// HasActivity reports whether any transition can occur here.
+func (t *Timing) HasActivity() bool {
+	return !t.Rise.IsEmpty() || !t.Fall.IsEmpty()
+}
+
+// equalWithin compares two timings to tolerance, for fixpoint detection.
+func (t *Timing) equalWithin(o *Timing, tol float64) bool {
+	wEq := func(a, b interval.Set) bool {
+		aw, bw := a.Windows(), b.Windows()
+		if len(aw) != len(bw) {
+			return false
+		}
+		for i := range aw {
+			if math.Abs(aw[i].Lo-bw[i].Lo) > tol || math.Abs(aw[i].Hi-bw[i].Hi) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	rEq := func(a, b Range) bool {
+		if a.valid() != b.valid() {
+			return false
+		}
+		if !a.valid() {
+			return true
+		}
+		return math.Abs(a.Min-b.Min) <= tol && math.Abs(a.Max-b.Max) <= tol
+	}
+	return wEq(t.Rise, o.Rise) && wEq(t.Fall, o.Fall) &&
+		rEq(t.SlewRise, o.SlewRise) && rEq(t.SlewFall, o.SlewFall)
+}
+
+// Options tunes an analysis run.
+type Options struct {
+	// DefaultInputWindow is the arrival window assumed for primary inputs
+	// without an explicit constraint. The zero value means [0,0]: inputs
+	// switch exactly at t=0.
+	DefaultInputWindow interval.Window
+	// DefaultInputSlew is the transition time assumed at primary inputs
+	// (default 20 ps).
+	DefaultInputSlew float64
+	// InputTiming overrides timing per input port name.
+	InputTiming map[string]*Timing
+	// MaxLoopIter bounds the fixpoint iteration over combinational loops
+	// before giving up and assigning infinite windows (default 32).
+	MaxLoopIter int
+	// EarlyDerate and LateDerate scale every gate and wire delay at the
+	// early (minimum) and late (maximum) edge respectively, the standard
+	// OCV-style corner treatment: EarlyDerate ≤ 1 ≤ LateDerate widens
+	// every switching window to cover on-chip variation. Zero means 1.0.
+	EarlyDerate, LateDerate float64
+	// ClockPeriod, when positive, enables the backward required-time pass:
+	// every output port must settle by this time, and per-net timing
+	// slacks become available through Result.TimingSlack.
+	ClockPeriod float64
+	// WindowPadding extends the named nets' arrival windows by the given
+	// amount at the late edge. This is how crosstalk delta-delay feeds
+	// back into timing: a net whose transition can be pushed out by Δ may
+	// arrive up to Δ later, which widens every downstream switching
+	// window on the next analysis round.
+	WindowPadding map[string]float64
+}
+
+func (o *Options) fill() {
+	if o.DefaultInputSlew <= 0 {
+		o.DefaultInputSlew = 20 * units.Pico
+	}
+	if o.MaxLoopIter <= 0 {
+		o.MaxLoopIter = 32
+	}
+	if o.EarlyDerate <= 0 {
+		o.EarlyDerate = 1
+	}
+	if o.LateDerate <= 0 {
+		o.LateDerate = 1
+	}
+}
+
+// Result is the timing annotation of a design.
+type Result struct {
+	design      *bind.Design
+	nets        map[string]*Timing        // at net source (driver output)
+	pins        map[*netlist.Conn]*Timing // at load pins, wire delay applied
+	early, late float64                   // delay derates
+	// required times per net (present only when ClockPeriod was set).
+	required map[string]float64
+}
+
+// TimingOfNet returns the switching information at a net's source, or an
+// inactive Timing if the net never switches (e.g. untied inputs).
+func (r *Result) TimingOfNet(net string) *Timing {
+	if t, ok := r.nets[net]; ok {
+		return t
+	}
+	return emptyTiming()
+}
+
+// TimingOfPin returns the switching information at a specific load pin.
+func (r *Result) TimingOfPin(c *netlist.Conn) *Timing {
+	if t, ok := r.pins[c]; ok {
+		return t
+	}
+	return emptyTiming()
+}
+
+// SwitchingWindow returns the switching-window set of a net.
+func (r *Result) SwitchingWindow(net string) interval.Set {
+	return r.TimingOfNet(net).SwitchingWindow()
+}
+
+// Run performs the analysis.
+func Run(b *bind.Design, opts Options) (*Result, error) {
+	opts.fill()
+	res := &Result{
+		design: b,
+		nets:   make(map[string]*Timing, b.Net.NumNets()),
+		pins:   make(map[*netlist.Conn]*Timing),
+		early:  opts.EarlyDerate,
+		late:   opts.LateDerate,
+	}
+
+	// Seed primary inputs.
+	for _, p := range b.Net.Ports() {
+		if p.Dir != netlist.In {
+			continue
+		}
+		t := opts.InputTiming[p.Name]
+		if t == nil {
+			dw := interval.NewSet(opts.DefaultInputWindow)
+			t = &Timing{
+				Rise:     dw,
+				Fall:     dw,
+				SlewRise: Range{Min: opts.DefaultInputSlew, Max: opts.DefaultInputSlew},
+				SlewFall: Range{Min: opts.DefaultInputSlew, Max: opts.DefaultInputSlew},
+			}
+		}
+		res.nets[p.Name] = t
+		if err := res.propagateNetToPins(p.Conn.Net); err != nil {
+			return nil, err
+		}
+	}
+
+	lev := b.Net.Levelize()
+	for _, inst := range lev.Ordered() {
+		if err := res.evalInst(inst, &opts); err != nil {
+			return nil, err
+		}
+	}
+
+	// Fixpoint over combinational loops: repeat passes while anything
+	// changes; windows only grow (hull), so divergence shows up as
+	// non-convergence and is resolved conservatively.
+	if len(lev.Feedback) > 0 {
+		converged := false
+		for iter := 0; iter < opts.MaxLoopIter; iter++ {
+			changed := false
+			for _, inst := range lev.Feedback {
+				before := snapshotOutputs(res, inst)
+				if err := res.evalInst(inst, &opts); err != nil {
+					return nil, err
+				}
+				if !outputsEqual(res, inst, before, units.Pico/1000) {
+					changed = true
+				}
+			}
+			if !changed {
+				converged = true
+				break
+			}
+		}
+		if !converged {
+			// Loops that keep widening get the fully pessimistic
+			// annotation: they may switch at any time.
+			for _, inst := range lev.Feedback {
+				for _, oc := range inst.Outputs() {
+					t := res.TimingOfNet(oc.Net.Name)
+					inf := interval.InfiniteSet()
+					nt := &Timing{Rise: inf, Fall: inf, SlewRise: t.SlewRise, SlewFall: t.SlewFall}
+					if !nt.SlewRise.valid() {
+						nt.SlewRise = Range{Min: opts.DefaultInputSlew, Max: opts.DefaultInputSlew}
+					}
+					if !nt.SlewFall.valid() {
+						nt.SlewFall = Range{Min: opts.DefaultInputSlew, Max: opts.DefaultInputSlew}
+					}
+					res.nets[oc.Net.Name] = nt
+					if err := res.propagateNetToPins(oc.Net); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	if opts.ClockPeriod > 0 {
+		if err := res.computeRequired(&opts); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func snapshotOutputs(res *Result, inst *netlist.Inst) []*Timing {
+	outs := inst.Outputs()
+	snap := make([]*Timing, len(outs))
+	for i, oc := range outs {
+		t := res.TimingOfNet(oc.Net.Name)
+		cp := *t
+		snap[i] = &cp
+	}
+	return snap
+}
+
+func outputsEqual(res *Result, inst *netlist.Inst, snap []*Timing, tol float64) bool {
+	for i, oc := range inst.Outputs() {
+		if !res.TimingOfNet(oc.Net.Name).equalWithin(snap[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// evalInst computes the output timing of one instance from its input pin
+// timings, then updates downstream pin annotations.
+func (res *Result) evalInst(inst *netlist.Inst, opts *Options) error {
+	cell := res.design.Cell(inst)
+	for _, oc := range inst.Outputs() {
+		load, err := res.design.LoadCapOf(oc.Net.Name)
+		if err != nil {
+			return err
+		}
+		out := emptyTiming()
+		for _, arc := range cell.ArcsTo(oc.Pin) {
+			ic := inst.Conns[arc.From]
+			if ic == nil {
+				return fmt.Errorf("sta: %s.%s unconnected arc input", inst.Name, arc.From)
+			}
+			in := res.TimingOfPin(ic)
+			if !in.HasActivity() {
+				continue
+			}
+			for _, inRise := range []bool{true, false} {
+				win := in.Window(inRise)
+				if win.IsEmpty() {
+					continue
+				}
+				slew := in.Slew(inRise)
+				if !slew.valid() {
+					slew = Range{Min: opts.DefaultInputSlew, Max: opts.DefaultInputSlew}
+				}
+				for _, outRise := range outDirections(arc.Unate, inRise) {
+					dT, sT := arc.DelayFall, arc.SlewFall
+					if outRise {
+						dT, sT = arc.DelayRise, arc.SlewRise
+					}
+					d1 := dT.Eval(slew.Min, load)
+					d2 := dT.Eval(slew.Max, load)
+					if d1 > d2 {
+						d1, d2 = d2, d1
+					}
+					d1 *= opts.EarlyDerate
+					d2 *= opts.LateDerate
+					w := win.ShiftRange(d1, d2)
+					s1 := sT.Eval(slew.Min, load)
+					s2 := sT.Eval(slew.Max, load)
+					if s1 > s2 {
+						s1, s2 = s2, s1
+					}
+					if outRise {
+						out.Rise = out.Rise.Union(w)
+						out.SlewRise = out.SlewRise.union(Range{Min: s1, Max: s2})
+					} else {
+						out.Fall = out.Fall.Union(w)
+						out.SlewFall = out.SlewFall.union(Range{Min: s1, Max: s2})
+					}
+				}
+			}
+		}
+		// Merge with any existing annotation (loop iteration): windows
+		// only grow. Simplify bounds set fragmentation so the fixpoint
+		// stays cheap on loops.
+		if prev, ok := res.nets[oc.Net.Name]; ok {
+			out.Rise = out.Rise.Union(prev.Rise)
+			out.Fall = out.Fall.Union(prev.Fall)
+			if prev.SlewRise.valid() {
+				out.SlewRise = out.SlewRise.union(prev.SlewRise)
+			}
+			if prev.SlewFall.valid() {
+				out.SlewFall = out.SlewFall.union(prev.SlewFall)
+			}
+		}
+		if pad := opts.WindowPadding[oc.Net.Name]; pad > 0 {
+			out.Rise = out.Rise.ShiftRange(0, pad)
+			out.Fall = out.Fall.ShiftRange(0, pad)
+		}
+		out.Rise = out.Rise.Simplify(maxWindowFragments)
+		out.Fall = out.Fall.Simplify(maxWindowFragments)
+		res.nets[oc.Net.Name] = out
+		if err := res.propagateNetToPins(oc.Net); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// outDirections maps an input transition through an arc's unateness.
+func outDirections(u liberty.Unateness, inRise bool) []bool {
+	switch u {
+	case liberty.PositiveUnate:
+		return []bool{inRise}
+	case liberty.NegativeUnate:
+		return []bool{!inRise}
+	default:
+		return []bool{true, false}
+	}
+}
+
+// propagateNetToPins annotates each load pin of a net with the source
+// timing delayed by the wire (Elmore) and degraded in slew.
+func (res *Result) propagateNetToPins(net *netlist.Net) error {
+	src := res.TimingOfNet(net.Name)
+	a, err := res.design.Analysis(net.Name)
+	if err != nil {
+		return err
+	}
+	nw, err := res.design.Network(net.Name)
+	if err != nil {
+		return err
+	}
+	for _, lc := range net.Loads() {
+		node := bind.PinNode(lc)
+		var wd, sd float64
+		if nw.HasNode(node) {
+			if wd, err = a.ElmoreTo(node); err != nil {
+				return err
+			}
+			if sd, err = a.SlewDegradation(node); err != nil {
+				return err
+			}
+		}
+		t := &Timing{
+			Rise:     src.Rise.ShiftRange(wd*res.early, wd*res.late),
+			Fall:     src.Fall.ShiftRange(wd*res.early, wd*res.late),
+			SlewRise: addSlew(src.SlewRise, sd),
+			SlewFall: addSlew(src.SlewFall, sd),
+		}
+		res.pins[lc] = t
+	}
+	return nil
+}
+
+// addSlew combines driver slew with wire degradation by root-sum-square,
+// the standard PERI composition.
+func addSlew(r Range, sd float64) Range {
+	if !r.valid() {
+		return r
+	}
+	f := func(s float64) float64 { return math.Sqrt(s*s + sd*sd) }
+	return Range{Min: f(r.Min), Max: f(r.Max)}
+}

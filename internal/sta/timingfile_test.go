@@ -1,0 +1,128 @@
+package sta
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/units"
+)
+
+func TestTimingFileRoundTrip(t *testing.T) {
+	m := map[string]*Timing{
+		"in0": {
+			Rise:     interval.SetOf(0, 40*units.Pico),
+			Fall:     interval.SetOf(10*units.Pico, 50*units.Pico),
+			SlewRise: Range{Min: 20 * units.Pico, Max: 30 * units.Pico},
+			SlewFall: Range{Min: 20 * units.Pico, Max: 30 * units.Pico},
+		},
+		"quiet": {
+			SlewRise: emptyRange(),
+			SlewFall: emptyRange(),
+		},
+		"twophase": {
+			Rise: interval.NewSet(
+				interval.New(5*units.Pico, 15*units.Pico),
+				interval.New(600*units.Pico, 640*units.Pico),
+			),
+			SlewRise: Range{Min: 10 * units.Pico, Max: 10 * units.Pico},
+			SlewFall: emptyRange(),
+		},
+	}
+	var sb strings.Builder
+	if err := WriteInputTiming(&sb, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseInputTiming(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, sb.String())
+	}
+	if len(got) != 3 {
+		t.Fatalf("entries = %d", len(got))
+	}
+	in0 := got["in0"]
+	if !in0.Rise.Equal(m["in0"].Rise) || !in0.Fall.Equal(m["in0"].Fall) {
+		t.Fatalf("in0 windows = %+v", in0)
+	}
+	if in0.SlewRise != m["in0"].SlewRise {
+		t.Fatalf("in0 slew = %+v", in0.SlewRise)
+	}
+	quiet := got["quiet"]
+	if quiet.HasActivity() {
+		t.Fatalf("quiet became active: %+v", quiet)
+	}
+	tp := got["twophase"]
+	if tp.Rise.Len() != 2 || !tp.Fall.IsEmpty() {
+		t.Fatalf("twophase = %+v", tp)
+	}
+	if !tp.Rise.Equal(m["twophase"].Rise) {
+		t.Fatalf("twophase windows = %v", tp.Rise)
+	}
+	if tp.SlewFall.valid() {
+		t.Fatal("twophase fall slew should be invalid")
+	}
+}
+
+func TestTimingFileInfinity(t *testing.T) {
+	src := "input loop -inf:+inf -inf:+inf 2e-11 2e-11\n"
+	got, err := ParseInputTiming(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["loop"].Rise.IsInfinite() {
+		t.Fatalf("rise = %v", got["loop"].Rise)
+	}
+	// Round trip preserves infinities.
+	var sb strings.Builder
+	if err := WriteInputTiming(&sb, got); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseInputTiming(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again["loop"].Fall.IsInfinite() {
+		t.Fatalf("fall after round trip = %v", again["loop"].Fall)
+	}
+}
+
+func TestTimingFileComments(t *testing.T) {
+	src := "# header\n\ninput a 0:1e-11 - 1e-11 2e-11\n"
+	got, err := ParseInputTiming(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["a"] == nil || !got["a"].Fall.IsEmpty() {
+		t.Fatalf("got = %+v", got["a"])
+	}
+}
+
+func TestTimingFileErrors(t *testing.T) {
+	cases := []string{
+		"output a 0:1 0:1 1 1", // unknown keyword
+		"input",                // missing name
+		"input a 0:1",          // truncated line
+		"input a x:y - 1 1",    // bad bounds
+		"input a 5:1 - 1 1",    // inverted window
+		"input a 0 1 - 1 1",    // window missing colon
+		"input a - - 1",        // missing slew
+		"input a - - x y",      // bad slew
+		"input a 0:1,2 - 1 1",  // malformed list entry
+		"input a 0:1 0:1 1 1\ninput a 0:1 0:1 1 1", // duplicate
+	}
+	for _, src := range cases {
+		if _, err := ParseInputTiming(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseInputTiming(%q) succeeded", src)
+		}
+	}
+}
+
+func TestNumFieldFormats(t *testing.T) {
+	if numField(math.Inf(1)) != "+inf" || numField(math.Inf(-1)) != "-inf" {
+		t.Fatal("infinity formatting")
+	}
+	if numField(1.5e-12) != "1.5e-12" {
+		t.Fatalf("numField = %q", numField(1.5e-12))
+	}
+}

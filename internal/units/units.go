@@ -1,0 +1,71 @@
+// Package units defines the physical unit conventions used throughout the
+// repository and small helpers for working with them.
+//
+// All quantities are carried as float64 in base SI units:
+//
+//	time        seconds   (typical magnitudes: ps = 1e-12)
+//	voltage     volts
+//	capacitance farads    (typical magnitudes: fF = 1e-15)
+//	resistance  ohms
+//	current     amperes
+//
+// The scale constants below exist so that call sites read naturally, e.g.
+// 50*units.Pico for a 50 ps slew or 3*units.Femto for a 3 fF coupling cap.
+package units
+
+import "math"
+
+// Metric scale factors.
+const (
+	Femto = 1e-15
+	Pico  = 1e-12
+	Nano  = 1e-9
+	Micro = 1e-6
+	Milli = 1e-3
+	Kilo  = 1e3
+	Mega  = 1e6
+	Giga  = 1e9
+)
+
+// Eps is the default absolute tolerance used when comparing times and
+// voltages produced by different code paths (analytical model versus
+// simulation, for example). It is deliberately loose relative to float64
+// precision because the quantities being compared pass through iterative
+// solvers.
+const Eps = 1e-12
+
+// ApproxEqual reports whether a and b are equal within tol absolutely or
+// within tol relatively (whichever is looser). A NaN never compares equal.
+func ApproxEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}
+
+// Clamp returns v limited to the closed range [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// RelErr returns |a-b| / max(|b|, floor). It is used by the accuracy
+// experiments to compare the analytical noise model against transient
+// simulation without blowing up when the reference value is near zero.
+func RelErr(a, b, floor float64) float64 {
+	den := math.Abs(b)
+	if den < floor {
+		den = floor
+	}
+	return math.Abs(a-b) / den
+}

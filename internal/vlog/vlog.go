@@ -1,0 +1,369 @@
+// Package vlog reads and writes the structural gate-level Verilog subset
+// that synthesis netlists use — one module of cell instances with named
+// port connections:
+//
+//	module top (a, b, y);
+//	  input a, b;
+//	  output y;
+//	  wire n1;
+//	  NAND2_X1 u0 (.A(a), .B(b), .Y(n1));
+//	  INV_X1   u1 (.A(n1), .Y(y));
+//	endmodule
+//
+// Pin directions come from the cell library, so Parse takes the
+// liberty.Library the netlist is implemented in. Unsupported Verilog
+// (behavioral code, buses/vectors, parameters, assigns, multiple modules)
+// is rejected with a positioned error rather than misread.
+package vlog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+)
+
+// Parse reads one structural module against the given library.
+func Parse(r io.Reader, lib *liberty.Library) (*netlist.Design, error) {
+	toks, err := tokenize(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, lib: lib}
+	return p.module()
+}
+
+type token struct {
+	text string
+	line int
+}
+
+// tokenize splits the source into identifiers, punctuation, and escaped
+// names, stripping // and /* */ comments.
+func tokenize(r io.Reader) ([]token, error) {
+	br := bufio.NewReader(r)
+	var toks []token
+	line := 1
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, token{text: cur.String(), line: line})
+			cur.Reset()
+		}
+	}
+	for {
+		c, _, err := br.ReadRune()
+		if err == io.EOF {
+			flush()
+			return toks, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("vlog: %w", err)
+		}
+		switch {
+		case c == '\n':
+			flush()
+			line++
+		case unicode.IsSpace(c):
+			flush()
+		case c == '/':
+			n, _, err := br.ReadRune()
+			if err == nil && n == '/' {
+				flush()
+				for {
+					c2, _, err2 := br.ReadRune()
+					if err2 != nil || c2 == '\n' {
+						line++
+						break
+					}
+				}
+			} else if err == nil && n == '*' {
+				flush()
+				prev := rune(0)
+				for {
+					c2, _, err2 := br.ReadRune()
+					if err2 != nil {
+						return nil, fmt.Errorf("vlog: line %d: unterminated block comment", line)
+					}
+					if c2 == '\n' {
+						line++
+					}
+					if prev == '*' && c2 == '/' {
+						break
+					}
+					prev = c2
+				}
+			} else {
+				return nil, fmt.Errorf("vlog: line %d: stray '/'", line)
+			}
+		case strings.ContainsRune("(),;.", c):
+			flush()
+			toks = append(toks, token{text: string(c), line: line})
+		case c == '\\':
+			// Escaped identifier: runs to whitespace.
+			flush()
+			for {
+				c2, _, err2 := br.ReadRune()
+				if err2 != nil || unicode.IsSpace(c2) {
+					if c2 == '\n' {
+						line++
+					}
+					break
+				}
+				cur.WriteRune(c2)
+			}
+			flush()
+		default:
+			cur.WriteRune(c)
+		}
+	}
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	lib  *liberty.Library
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) next() (token, error) {
+	t, ok := p.peek()
+	if !ok {
+		return token{}, fmt.Errorf("vlog: unexpected end of input")
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) expect(text string) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.text != text {
+		return fmt.Errorf("vlog: line %d: expected %q, found %q", t.line, text, t.text)
+	}
+	return nil
+}
+
+func (p *parser) module() (*netlist.Design, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	name, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	d := netlist.New(name.text)
+	// Header port list (names only; directions come from declarations).
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	headerPorts := []string{}
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.text == ")" {
+			break
+		}
+		if t.text == "," {
+			continue
+		}
+		headerPorts = append(headerPorts, t.text)
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	declared := map[string]bool{}
+
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("vlog: missing endmodule")
+		}
+		switch t.text {
+		case "endmodule":
+			p.pos++
+			for _, hp := range headerPorts {
+				if !declared[hp] {
+					return nil, fmt.Errorf("vlog: port %q in header but never declared", hp)
+				}
+			}
+			return d, nil
+		case "input", "output":
+			p.pos++
+			names, err := p.nameList()
+			if err != nil {
+				return nil, err
+			}
+			dir := netlist.In
+			if t.text == "output" {
+				dir = netlist.Out
+			}
+			for _, n := range names {
+				if _, err := d.AddPort(n, dir); err != nil {
+					return nil, fmt.Errorf("vlog: line %d: %w", t.line, err)
+				}
+				declared[n] = true
+			}
+		case "wire":
+			p.pos++
+			names, err := p.nameList()
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range names {
+				d.Net(n)
+			}
+		default:
+			if err := p.instance(d); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// nameList consumes "a, b, c ;".
+func (p *parser) nameList() ([]string, error) {
+	var out []string
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch t.text {
+		case ";":
+			return out, nil
+		case ",":
+		case "(", ")", ".":
+			return nil, fmt.Errorf("vlog: line %d: unexpected %q in declaration", t.line, t.text)
+		default:
+			out = append(out, t.text)
+		}
+	}
+}
+
+// instance consumes "CELL name ( .PIN(net), ... ) ;".
+func (p *parser) instance(d *netlist.Design) error {
+	cellTok, err := p.next()
+	if err != nil {
+		return err
+	}
+	cell := p.lib.Cell(cellTok.text)
+	if cell == nil {
+		return fmt.Errorf("vlog: line %d: unknown cell %q (behavioral Verilog is not supported)", cellTok.line, cellTok.text)
+	}
+	nameTok, err := p.next()
+	if err != nil {
+		return err
+	}
+	inst, err := d.AddInst(nameTok.text, cell.Name)
+	if err != nil {
+		return fmt.Errorf("vlog: line %d: %w", nameTok.line, err)
+	}
+	_ = inst
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	for {
+		t, err := p.next()
+		if err != nil {
+			return err
+		}
+		if t.text == ")" {
+			break
+		}
+		if t.text == "," {
+			continue
+		}
+		if t.text != "." {
+			return fmt.Errorf("vlog: line %d: positional connections are not supported (found %q)", t.line, t.text)
+		}
+		pinTok, err := p.next()
+		if err != nil {
+			return err
+		}
+		pin := cell.Pin(pinTok.text)
+		if pin == nil {
+			return fmt.Errorf("vlog: line %d: cell %s has no pin %q", pinTok.line, cell.Name, pinTok.text)
+		}
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		netTok, err := p.next()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		dir := netlist.In
+		if pin.Dir == liberty.Output {
+			dir = netlist.Out
+		}
+		if err := d.Connect(nameTok.text, pinTok.text, netTok.text, dir); err != nil {
+			return fmt.Errorf("vlog: line %d: %w", netTok.line, err)
+		}
+	}
+	return p.expect(";")
+}
+
+// Write renders the design as one structural module.
+func Write(w io.Writer, d *netlist.Design) error {
+	bw := bufio.NewWriter(w)
+	ports := d.Ports()
+	names := make([]string, len(ports))
+	for i, p := range ports {
+		names[i] = p.Name
+	}
+	fmt.Fprintf(bw, "module %s (%s);\n", d.Name, strings.Join(names, ", "))
+	var ins, outs []string
+	portNet := map[string]bool{}
+	for _, p := range ports {
+		portNet[p.Name] = true
+		if p.Dir == netlist.In {
+			ins = append(ins, p.Name)
+		} else {
+			outs = append(outs, p.Name)
+		}
+	}
+	if len(ins) > 0 {
+		fmt.Fprintf(bw, "  input %s;\n", strings.Join(ins, ", "))
+	}
+	if len(outs) > 0 {
+		fmt.Fprintf(bw, "  output %s;\n", strings.Join(outs, ", "))
+	}
+	var wires []string
+	for _, n := range d.Nets() {
+		if !portNet[n.Name] {
+			wires = append(wires, n.Name)
+		}
+	}
+	if len(wires) > 0 {
+		fmt.Fprintf(bw, "  wire %s;\n", strings.Join(wires, ", "))
+	}
+	for _, inst := range d.Insts() {
+		var conns []string
+		for _, c := range inst.Inputs() {
+			conns = append(conns, fmt.Sprintf(".%s(%s)", c.Pin, c.Net.Name))
+		}
+		for _, c := range inst.Outputs() {
+			conns = append(conns, fmt.Sprintf(".%s(%s)", c.Pin, c.Net.Name))
+		}
+		fmt.Fprintf(bw, "  %s %s (%s);\n", inst.Cell, inst.Name, strings.Join(conns, ", "))
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/interval"
+	"repro/internal/netlist"
+	"repro/internal/spef"
+	"repro/internal/sta"
+	"repro/internal/units"
+)
+
+// DifferentialSpec parameterizes the logic-correlation workload: Pairs
+// complementary signal pairs attack one quiet victim. Each pair is one
+// input fanning out into a buffered true branch ("p<i>") and an inverted
+// branch ("n<i>") — within one input transition the two branches always
+// switch in opposite directions, so their same-direction glitches on the
+// victim are logically mutually exclusive. A correlation-blind analysis
+// combines all 2·Pairs aggressors; correlation caps the combination at
+// Pairs.
+type DifferentialSpec struct {
+	// Pairs is the number of complementary aggressor pairs (≥ 1).
+	Pairs int
+	// CoupleC is each branch's coupling capacitance to the victim
+	// (default 3 fF); GroundC is the victim's grounded wire cap
+	// (default 4 fF).
+	CoupleC, GroundC float64
+	// Window is the shared input switching window (default [0, 80 ps]).
+	Window interval.Window
+}
+
+func (s *DifferentialSpec) fill() error {
+	if s.Pairs < 1 {
+		return fmt.Errorf("workload: differential needs at least one pair")
+	}
+	if s.CoupleC == 0 {
+		s.CoupleC = 3 * units.Femto
+	}
+	if s.GroundC == 0 {
+		s.GroundC = 4 * units.Femto
+	}
+	if s.Window.IsEmpty() && s.Window.Lo == 0 && s.Window.Hi == 0 {
+		s.Window = interval.New(0, 80*units.Pico)
+	}
+	return nil
+}
+
+// Differential generates the workload. Victim net "v" is driven by a quiet
+// INV_X1; pair i contributes nets "p<i>" (BUF_X2 from input "in<i>") and
+// "n<i>" (INV_X2 from the same input), each coupled CoupleC to the victim.
+func Differential(spec DifferentialSpec) (*Generated, error) {
+	if err := spec.fill(); err != nil {
+		return nil, err
+	}
+	d := netlist.New(fmt.Sprintf("diff%d", spec.Pairs))
+	para := spef.NewParasitics(d.Name)
+	inputs := make(map[string]*sta.Timing)
+
+	line := func(inst, cell, inNet, outNet string) error {
+		if _, err := d.AddInst(inst, cell); err != nil {
+			return err
+		}
+		if err := d.Connect(inst, "A", inNet, netlist.In); err != nil {
+			return err
+		}
+		return d.Connect(inst, "Y", outNet, netlist.Out)
+	}
+	sink := func(name, net string) error {
+		if _, err := d.AddPort("o_"+name, netlist.Out); err != nil {
+			return err
+		}
+		return line("r"+name, "INV_X1", net, "o_"+name)
+	}
+	wire := func(name string, coupleToV bool) *spef.Net {
+		n := &spef.Net{
+			Name: name,
+			Conns: []spef.Conn{
+				{Pin: "d" + name + ":Y", Dir: spef.DirOut, Node: "d" + name + ":Y"},
+				{Pin: "r" + name + ":A", Dir: spef.DirIn, Node: "r" + name + ":A"},
+			},
+			Caps: []spef.CapEntry{{Node: name + ":1", F: 3 * units.Femto}},
+			Ress: []spef.ResEntry{
+				{A: "d" + name + ":Y", B: name + ":1", Ohms: 40},
+				{A: name + ":1", B: "r" + name + ":A", Ohms: 40},
+			},
+		}
+		if coupleToV {
+			n.Caps = append(n.Caps, spef.CapEntry{Node: name + ":1", Other: "v:1", F: spec.CoupleC})
+		}
+		return n
+	}
+
+	// Quiet victim.
+	if _, err := d.AddPort("i_v", netlist.In); err != nil {
+		return nil, err
+	}
+	if err := line("dv", "INV_X1", "i_v", "v"); err != nil {
+		return nil, err
+	}
+	if err := sink("v", "v"); err != nil {
+		return nil, err
+	}
+	inputs["i_v"] = &sta.Timing{
+		SlewRise: sta.Range{Min: 1, Max: -1}, SlewFall: sta.Range{Min: 1, Max: -1},
+	}
+	vcaps := []spef.CapEntry{{Node: "v:1", F: spec.GroundC}}
+	slew := sta.Range{Min: 20 * units.Pico, Max: 25 * units.Pico}
+	w := interval.NewSet(spec.Window)
+
+	for i := 0; i < spec.Pairs; i++ {
+		in := fmt.Sprintf("in%d", i)
+		if _, err := d.AddPort(in, netlist.In); err != nil {
+			return nil, err
+		}
+		inputs[in] = &sta.Timing{Rise: w, Fall: w, SlewRise: slew, SlewFall: slew}
+		for _, branch := range []struct {
+			name, cell string
+		}{
+			{fmt.Sprintf("p%d", i), "BUF_X2"},
+			{fmt.Sprintf("n%d", i), "INV_X2"},
+		} {
+			if err := line("d"+branch.name, branch.cell, in, branch.name); err != nil {
+				return nil, err
+			}
+			if err := sink(branch.name, branch.name); err != nil {
+				return nil, err
+			}
+			if err := para.AddNet(wire(branch.name, true)); err != nil {
+				return nil, err
+			}
+			vcaps = append(vcaps, spef.CapEntry{
+				Node: "v:1", Other: branch.name + ":1", F: spec.CoupleC,
+			})
+		}
+	}
+	if err := para.AddNet(&spef.Net{
+		Name: "v",
+		Conns: []spef.Conn{
+			{Pin: "dv:Y", Dir: spef.DirOut, Node: "dv:Y"},
+			{Pin: "rv:A", Dir: spef.DirIn, Node: "rv:A"},
+		},
+		Caps: vcaps,
+		Ress: []spef.ResEntry{
+			{A: "dv:Y", B: "v:1", Ohms: 40},
+			{A: "v:1", B: "rv:A", Ohms: 40},
+		},
+	}); err != nil {
+		return nil, err
+	}
+	return &Generated{Design: d, Paras: para, Inputs: inputs}, nil
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/interval"
+	"repro/internal/netlist"
+	"repro/internal/spef"
+	"repro/internal/sta"
+	"repro/internal/units"
+)
+
+// StarSpec parameterizes the minimal crosstalk arrangement: one victim net
+// "v" attacked by N aggressors "a0..a(N-1)", each with its own switching
+// window. Used by the alignment-sweep and combination experiments where
+// full control over individual windows matters.
+type StarSpec struct {
+	// Windows gives each aggressor's switching window; its length sets
+	// the aggressor count (≥ 1).
+	Windows []interval.Window
+	// CoupleC is the per-aggressor coupling capacitance (default 3 fF).
+	CoupleC float64
+	// GroundC is the victim's grounded wire capacitance (default 6 fF).
+	GroundC float64
+	// VictimDriver is the victim's driving cell (default INV_X1: a weak
+	// holder, large glitches).
+	VictimDriver string
+	// Slew is the aggressor edge rate at the driver (default 20 ps).
+	Slew float64
+}
+
+func (s *StarSpec) fill() error {
+	if len(s.Windows) == 0 {
+		return fmt.Errorf("workload: star needs at least one aggressor window")
+	}
+	if s.CoupleC == 0 {
+		s.CoupleC = 3 * units.Femto
+	}
+	if s.GroundC == 0 {
+		s.GroundC = 6 * units.Femto
+	}
+	if s.VictimDriver == "" {
+		s.VictimDriver = "INV_X1"
+	}
+	if s.Slew == 0 {
+		s.Slew = 20 * units.Pico
+	}
+	return nil
+}
+
+// Star generates the star workload. The victim's own input is quiet, so
+// all noise on "v" is aggressor-induced.
+func Star(spec StarSpec) (*Generated, error) {
+	if err := spec.fill(); err != nil {
+		return nil, err
+	}
+	d := netlist.New(fmt.Sprintf("star%d", len(spec.Windows)))
+	para := spef.NewParasitics(d.Name)
+	inputs := make(map[string]*sta.Timing)
+
+	addLine := func(name, driver string) error {
+		if _, err := d.AddPort("i_"+name, netlist.In); err != nil {
+			return err
+		}
+		if _, err := d.AddInst("d"+name, driver); err != nil {
+			return err
+		}
+		if _, err := d.AddInst("r"+name, "INV_X1"); err != nil {
+			return err
+		}
+		if _, err := d.AddPort("o_"+name, netlist.Out); err != nil {
+			return err
+		}
+		for _, c := range []struct {
+			inst, pin, net string
+			dir            netlist.Dir
+		}{
+			{"d" + name, "A", "i_" + name, netlist.In},
+			{"d" + name, "Y", name, netlist.Out},
+			{"r" + name, "A", name, netlist.In},
+			{"r" + name, "Y", "o_" + name, netlist.Out},
+		} {
+			if err := d.Connect(c.inst, c.pin, c.net, c.dir); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := addLine("v", spec.VictimDriver); err != nil {
+		return nil, err
+	}
+	vcaps := []spef.CapEntry{{Node: "v:1", F: spec.GroundC}}
+	slew := sta.Range{Min: spec.Slew, Max: spec.Slew}
+	for i, w := range spec.Windows {
+		name := fmt.Sprintf("a%d", i)
+		if err := addLine(name, "INV_X2"); err != nil {
+			return nil, err
+		}
+		vcaps = append(vcaps, spef.CapEntry{Node: "v:1", Other: name + ":1", F: spec.CoupleC})
+		if err := para.AddNet(&spef.Net{
+			Name: name,
+			Conns: []spef.Conn{
+				{Pin: "d" + name + ":Y", Dir: spef.DirOut, Node: "d" + name + ":Y"},
+				{Pin: "r" + name + ":A", Dir: spef.DirIn, Node: "r" + name + ":A"},
+			},
+			Caps: []spef.CapEntry{
+				{Node: name + ":1", F: 3 * units.Femto},
+				{Node: name + ":1", Other: "v:1", F: spec.CoupleC},
+			},
+			Ress: []spef.ResEntry{
+				{A: "d" + name + ":Y", B: name + ":1", Ohms: 40},
+				{A: name + ":1", B: "r" + name + ":A", Ohms: 40},
+			},
+		}); err != nil {
+			return nil, err
+		}
+		ws := interval.NewSet(w)
+		inputs["i_"+name] = &sta.Timing{Rise: ws, Fall: ws, SlewRise: slew, SlewFall: slew}
+	}
+	if err := para.AddNet(&spef.Net{
+		Name: "v",
+		Conns: []spef.Conn{
+			{Pin: "dv:Y", Dir: spef.DirOut, Node: "dv:Y"},
+			{Pin: "rv:A", Dir: spef.DirIn, Node: "rv:A"},
+		},
+		Caps: vcaps,
+		Ress: []spef.ResEntry{
+			{A: "dv:Y", B: "v:1", Ohms: 40},
+			{A: "v:1", B: "rv:A", Ohms: 40},
+		},
+	}); err != nil {
+		return nil, err
+	}
+	inputs["i_v"] = &sta.Timing{
+		SlewRise: sta.Range{Min: 1, Max: -1}, SlewFall: sta.Range{Min: 1, Max: -1},
+	}
+	return &Generated{Design: d, Paras: para, Inputs: inputs}, nil
+}

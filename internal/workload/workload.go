@@ -1,0 +1,242 @@
+// Package workload generates the parameterized synthetic designs the
+// experiments run on: coupled parallel buses (the canonical crosstalk
+// victim/aggressor arrangement), random logic fabrics (for propagation and
+// scaling), and driver chains (for noise-propagation depth studies).
+//
+// These stand in for the proprietary industrial designs of the original
+// evaluation: each generator produces a netlist, matching SPEF parasitics,
+// and per-port input timing so the full analysis pipeline — binding, STA,
+// windowed noise analysis — runs exactly as it would on real data.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bind"
+	"repro/internal/interval"
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+	"repro/internal/spef"
+	"repro/internal/sta"
+	"repro/internal/units"
+)
+
+// Generated bundles a workload's outputs ready for analysis.
+type Generated struct {
+	Design *netlist.Design
+	Paras  *spef.Parasitics
+	Inputs map[string]*sta.Timing
+}
+
+// Bind resolves the generated design against a library.
+func (g *Generated) Bind(lib *liberty.Library) (*bind.Design, error) {
+	return bind.New(g.Design, lib, g.Paras)
+}
+
+// STAOptions returns sta options carrying the generated input timing.
+func (g *Generated) STAOptions() sta.Options {
+	return sta.Options{InputTiming: g.Inputs}
+}
+
+// BusSpec parameterizes a coupled parallel bus.
+type BusSpec struct {
+	// Bits is the number of bus lines (≥ 2).
+	Bits int
+	// Segs is the number of RC segments per line (≥ 1).
+	Segs int
+	// CoupleC is the coupling capacitance between adjacent lines per
+	// segment (default 2 fF).
+	CoupleC float64
+	// GroundC is the grounded wire capacitance per segment (default 3 fF).
+	GroundC float64
+	// SegRes is the wire resistance per segment (default 40 Ω).
+	SegRes float64
+	// Driver and Receiver are library cell names (defaults INV_X2 /
+	// INV_X1).
+	Driver, Receiver string
+	// WindowSep staggers adjacent bits' input windows by this much;
+	// WindowWidth is each window's length (defaults 0 / 100 ps).
+	WindowSep, WindowWidth float64
+	// RandomWindows scatters windows uniformly in [0, WindowSep·Bits]
+	// instead of the regular stagger, using Seed.
+	RandomWindows bool
+	// ShieldEvery inserts a grounded shield wire after every Nth signal
+	// line (0 = no shields). A shield converts the coupling capacitance
+	// across it into grounded capacitance on both neighbours — the
+	// classical routing fix for crosstalk, at the cost of track area.
+	ShieldEvery int
+	// PhaseGap, when positive, gives every line a second switching
+	// opportunity PhaseGap after its first (a two-phase clocking
+	// pattern): the input window becomes the set {w, w+PhaseGap}. This
+	// exercises set-valued noise windows — a hull-based tool would smear
+	// each aggressor across the whole gap.
+	PhaseGap float64
+	Seed     int64
+}
+
+func (s *BusSpec) fill() error {
+	if s.Bits < 2 {
+		return fmt.Errorf("workload: bus needs at least 2 bits, have %d", s.Bits)
+	}
+	if s.Segs < 1 {
+		s.Segs = 1
+	}
+	if s.CoupleC == 0 {
+		s.CoupleC = 2 * units.Femto
+	}
+	if s.GroundC == 0 {
+		s.GroundC = 3 * units.Femto
+	}
+	if s.SegRes == 0 {
+		s.SegRes = 40
+	}
+	if s.Driver == "" {
+		s.Driver = "INV_X2"
+	}
+	if s.Receiver == "" {
+		s.Receiver = "INV_X1"
+	}
+	if s.WindowWidth == 0 {
+		s.WindowWidth = 100 * units.Pico
+	}
+	return nil
+}
+
+// Bus generates a Bits-line coupled bus. Line i is net "b<i>", driven by
+// instance "d<i>" from input port "in<i>" and received by "r<i>" into net
+// "q<i>" loaded by output port "out<i>". Adjacent lines couple at every
+// segment boundary.
+func Bus(spec BusSpec) (*Generated, error) {
+	if err := spec.fill(); err != nil {
+		return nil, err
+	}
+	d := netlist.New(fmt.Sprintf("bus%d", spec.Bits))
+	para := spef.NewParasitics(d.Name)
+	inputs := make(map[string]*sta.Timing, spec.Bits)
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	for i := 0; i < spec.Bits; i++ {
+		in, bnet, qnet, out := fmt.Sprintf("in%d", i), busNet(i), fmt.Sprintf("q%d", i), fmt.Sprintf("out%d", i)
+		drv, rcv := fmt.Sprintf("d%d", i), fmt.Sprintf("r%d", i)
+		if _, err := d.AddPort(in, netlist.In); err != nil {
+			return nil, err
+		}
+		if _, err := d.AddPort(out, netlist.Out); err != nil {
+			return nil, err
+		}
+		if _, err := d.AddInst(drv, spec.Driver); err != nil {
+			return nil, err
+		}
+		if _, err := d.AddInst(rcv, spec.Receiver); err != nil {
+			return nil, err
+		}
+		for _, c := range []struct {
+			inst, pin, net string
+			dir            netlist.Dir
+		}{
+			{drv, "A", in, netlist.In}, {drv, "Y", bnet, netlist.Out},
+			{rcv, "A", bnet, netlist.In}, {rcv, "Y", qnet, netlist.Out},
+		} {
+			if err := d.Connect(c.inst, c.pin, c.net, c.dir); err != nil {
+				return nil, err
+			}
+		}
+		_ = qnet
+		// Window assignment.
+		var w interval.Window
+		if spec.RandomWindows {
+			span := spec.WindowSep * float64(spec.Bits)
+			if span <= 0 {
+				span = spec.WindowWidth * float64(spec.Bits)
+			}
+			lo := rng.Float64() * span
+			w = interval.New(lo, lo+spec.WindowWidth)
+		} else {
+			lo := float64(i) * spec.WindowSep
+			w = interval.New(lo, lo+spec.WindowWidth)
+		}
+		slew := sta.Range{Min: 20 * units.Pico, Max: 30 * units.Pico}
+		ws := interval.NewSet(w)
+		if spec.PhaseGap > 0 {
+			ws = ws.Add(w.Shift(spec.PhaseGap))
+		}
+		inputs[in] = &sta.Timing{Rise: ws, Fall: ws, SlewRise: slew, SlewFall: slew}
+	}
+	// A buffer stage carries each received value to its output port so
+	// every net in the design has exactly one driver.
+	for i := 0; i < spec.Bits; i++ {
+		bufName := fmt.Sprintf("ob%d", i)
+		if _, err := d.AddInst(bufName, "BUF_X1"); err != nil {
+			return nil, err
+		}
+		if err := d.Connect(bufName, "A", fmt.Sprintf("q%d", i), netlist.In); err != nil {
+			return nil, err
+		}
+		if err := d.Connect(bufName, "Y", fmt.Sprintf("out%d", i), netlist.Out); err != nil {
+			return nil, err
+		}
+	}
+
+	// Parasitics for the bus nets.
+	for i := 0; i < spec.Bits; i++ {
+		name := busNet(i)
+		n := &spef.Net{Name: name}
+		drvNode := fmt.Sprintf("d%d:Y", i)
+		rcvNode := fmt.Sprintf("r%d:A", i)
+		n.Conns = []spef.Conn{
+			{Pin: drvNode, Dir: spef.DirOut, Node: drvNode},
+			{Pin: rcvNode, Dir: spef.DirIn, Node: rcvNode},
+		}
+		prev := drvNode
+		for s := 1; s <= spec.Segs; s++ {
+			node := fmt.Sprintf("%s:%d", name, s)
+			n.Ress = append(n.Ress, spef.ResEntry{A: prev, B: node, Ohms: spec.SegRes})
+			n.Caps = append(n.Caps, spef.CapEntry{Node: node, F: spec.GroundC})
+			// Couple to both neighbours at the same segment. The same
+			// physical capacitor is listed in each partner's section,
+			// as extractors emit it, so every victim sees all of its
+			// aggressors. A shield between the pair grounds the
+			// capacitance instead.
+			for _, j := range []int{i - 1, i + 1} {
+				if j < 0 || j >= spec.Bits {
+					continue
+				}
+				if spec.shielded(i, j) {
+					n.Caps = append(n.Caps, spef.CapEntry{Node: node, F: spec.CoupleC})
+					continue
+				}
+				n.Caps = append(n.Caps, spef.CapEntry{
+					Node:  node,
+					Other: fmt.Sprintf("%s:%d", busNet(j), s),
+					F:     spec.CoupleC,
+				})
+			}
+			prev = node
+		}
+		n.Ress = append(n.Ress, spef.ResEntry{A: prev, B: rcvNode, Ohms: spec.SegRes / 2})
+		n.TotalCap = float64(spec.Segs) * spec.GroundC
+		if err := para.AddNet(n); err != nil {
+			return nil, err
+		}
+	}
+	return &Generated{Design: d, Paras: para, Inputs: inputs}, nil
+}
+
+func busNet(i int) string { return fmt.Sprintf("b%d", i) }
+
+// shielded reports whether a grounded shield separates adjacent lines i
+// and j (|i−j| == 1): shields sit after lines ShieldEvery−1, 2·ShieldEvery−1, …
+func (s *BusSpec) shielded(i, j int) bool {
+	if s.ShieldEvery <= 0 {
+		return false
+	}
+	lo := i
+	if j < i {
+		lo = j
+	}
+	return (lo+1)%s.ShieldEvery == 0
+}
+
+// MiddleBusNet names the most-attacked line of a bus (both neighbours).
+func MiddleBusNet(bits int) string { return busNet(bits / 2) }

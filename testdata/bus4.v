@@ -1,0 +1,17 @@
+module bus4 (in0, in1, in2, in3, out0, out1, out2, out3);
+  input in0, in1, in2, in3;
+  output out0, out1, out2, out3;
+  wire b0, b1, b2, b3, q0, q1, q2, q3;
+  INV_X2 d0 (.A(in0), .Y(b0));
+  INV_X2 d1 (.A(in1), .Y(b1));
+  INV_X2 d2 (.A(in2), .Y(b2));
+  INV_X2 d3 (.A(in3), .Y(b3));
+  BUF_X1 ob0 (.A(q0), .Y(out0));
+  BUF_X1 ob1 (.A(q1), .Y(out1));
+  BUF_X1 ob2 (.A(q2), .Y(out2));
+  BUF_X1 ob3 (.A(q3), .Y(out3));
+  INV_X1 r0 (.A(b0), .Y(q0));
+  INV_X1 r1 (.A(b1), .Y(q1));
+  INV_X1 r2 (.A(b2), .Y(q2));
+  INV_X1 r3 (.A(b3), .Y(q3));
+endmodule

@@ -44,6 +44,7 @@ func main() {
 		aggs     = flag.Int("aggressors", 4, "star: aggressor count")
 		seed     = flag.Int64("seed", 1, "random seed")
 		format   = flag.String("format", "net", "netlist format: net | verilog")
+		defects  = flag.String("inject-defects", "", "comma-separated defects to plant for lint testing (see workload.DefectNames; \"all\" for every kind)")
 	)
 	flag.Parse()
 
@@ -56,6 +57,16 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *defects != "" {
+		d, err := workload.ParseDefects(*defects)
+		if err != nil {
+			fatal(err)
+		}
+		if err := g.Inject(d); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("injected defects: %s\n", *defects)
 	}
 	if err := writeAll(*out, g, *format); err != nil {
 		fatal(err)

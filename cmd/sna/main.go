@@ -1,11 +1,12 @@
 // sna is the static noise analyzer: it loads a netlist, parasitics, cell
-// library, and input timing, runs windowed crosstalk analysis, and prints
-// the violation report.
+// library, and input timing, lints the combined database, runs windowed
+// crosstalk analysis, and prints the violation report.
 //
 // Usage:
 //
 //	sna -net design.net -spef design.spef [-lib lib.nlib] [-win design.win] \
 //	    [-mode all|timing|noise] [-threshold 0.02] [-dump net1,net2] \
+//	    [-lint-only] [-werror] [-suppress NL003,SPF001] \
 //	    [-repair] [-delay] [-corr]
 //
 // The netlist may also be structural Verilog (a .v file).
@@ -14,17 +15,32 @@
 // the combination policy: "all" (classical pessimistic), "timing"
 // (switching-window filtering), or "noise" (the paper's noise windows,
 // default).
+//
+// Every run starts with the lint pre-flight (internal/lint): error-severity
+// findings abort the run before analysis, because noise results computed
+// from a broken database are worse than no results. -lint-only stops after
+// the pre-flight and prints every diagnostic including infos.
+//
+// Exit codes:
+//
+//	0  clean: lint passed and no noise violations
+//	1  analysis found noise violations
+//	2  lint found error-severity problems (analysis not run)
+//	3  usage error (bad flags, missing -net, unknown mode or rule ID)
+//	4  load or analysis failure (unreadable/unparsable input, engine error)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/bind"
 	"repro/internal/core"
 	"repro/internal/liberty"
+	"repro/internal/lint"
 	"repro/internal/netlist"
 	"repro/internal/report"
 	"repro/internal/spef"
@@ -32,60 +48,109 @@ import (
 	"repro/internal/vlog"
 )
 
+// Exit codes; documented in the package comment and pinned by the
+// integration test.
+const (
+	exitClean      = 0
+	exitViolations = 1
+	exitLint       = 2
+	exitUsage      = 3
+	exitFail       = 4
+)
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sna", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		netPath   = flag.String("net", "", "netlist file (.net), required")
-		spefPath  = flag.String("spef", "", "parasitics file (.spef)")
-		libPath   = flag.String("lib", "", "cell library (.nlib); default: built-in generic")
-		winPath   = flag.String("win", "", "input timing file (.win)")
-		modeFlag  = flag.String("mode", "noise", "combination policy: all | timing | noise")
-		threshold = flag.Float64("threshold", 0, "aggressor coupling-ratio filter threshold")
-		dump      = flag.String("dump", "", "comma-separated nets to dump in detail")
-		noProp    = flag.Bool("noprop", false, "disable noise propagation through gates")
-		repair    = flag.Bool("repair", false, "suggest a physical fix per violation")
-		corr      = flag.Bool("corr", false, "enable logic-correlation aggressor filtering")
-		delay     = flag.Bool("delay", false, "also run crosstalk delta-delay analysis")
-		iterate   = flag.Bool("iterate", false, "run the joint noise-timing fixpoint loop")
-		slacks    = flag.Int("slacks", 0, "also print the N tightest receiver noise margins")
-		period    = flag.Float64("period", 0, "clock period in seconds; enables timing slacks in the delta-delay report")
-		jsonOut   = flag.String("json", "", "write the full result as JSON to this file")
+		netPath   = fs.String("net", "", "netlist file (.net or .v), required")
+		spefPath  = fs.String("spef", "", "parasitics file (.spef)")
+		libPath   = fs.String("lib", "", "cell library (.nlib); default: built-in generic")
+		winPath   = fs.String("win", "", "input timing file (.win)")
+		modeFlag  = fs.String("mode", "noise", "combination policy: all | timing | noise")
+		threshold = fs.Float64("threshold", 0, "aggressor coupling-ratio filter threshold")
+		dump      = fs.String("dump", "", "comma-separated nets to dump in detail")
+		noProp    = fs.Bool("noprop", false, "disable noise propagation through gates")
+		repair    = fs.Bool("repair", false, "suggest a physical fix per violation")
+		corr      = fs.Bool("corr", false, "enable logic-correlation aggressor filtering")
+		delay     = fs.Bool("delay", false, "also run crosstalk delta-delay analysis")
+		iterate   = fs.Bool("iterate", false, "run the joint noise-timing fixpoint loop")
+		slacks    = fs.Int("slacks", 0, "also print the N tightest receiver noise margins")
+		period    = fs.Float64("period", 0, "clock period in seconds; enables timing slacks in the delta-delay report")
+		jsonOut   = fs.String("json", "", "write the full result as JSON to this file")
+		lintOnly  = fs.Bool("lint-only", false, "run the lint pre-flight and stop")
+		werror    = fs.Bool("werror", false, "treat lint warnings as errors")
+		suppress  = fs.String("suppress", "", "comma-separated lint rule IDs to suppress")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
 	if *netPath == "" {
-		fatal(fmt.Errorf("-net is required"))
+		fmt.Fprintln(stderr, "sna: -net is required")
+		return exitUsage
+	}
+	mode, err := parseMode(*modeFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "sna:", err)
+		return exitUsage
+	}
+	lintCfg, err := lintConfig(*suppress, *werror)
+	if err != nil {
+		fmt.Fprintln(stderr, "sna:", err)
+		return exitUsage
 	}
 
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "sna:", err)
+		return exitFail
+	}
 	lib := liberty.Generic()
-	var err error
 	if *libPath != "" {
 		if lib, err = loadLibrary(*libPath); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	design, err := loadNetlist(*netPath, lib)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	var paras *spef.Parasitics
 	if *spefPath != "" {
 		if paras, err = loadSPEF(*spefPath); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	var inputs map[string]*sta.Timing
 	if *winPath != "" {
 		if inputs, err = loadTiming(*winPath); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 
-	mode, err := parseMode(*modeFlag)
-	if err != nil {
-		fatal(err)
+	// Lint pre-flight: always runs; error findings gate the analysis.
+	lres := lint.Run(&lint.Input{Design: design, Lib: lib, Paras: paras, Inputs: inputs}, lintCfg)
+	if *lintOnly {
+		report.Lint(stdout, lres)
+		if lres.HasErrors() {
+			return exitLint
+		}
+		return exitClean
 	}
+	if lres.HasErrors() {
+		report.Lint(stderr, lres)
+		fmt.Fprintln(stderr, "sna: design rejected by lint; fix the errors above or suppress the rules (-suppress)")
+		return exitLint
+	}
+	if lres.Warnings() > 0 {
+		report.Lint(stderr, lres)
+	}
+
 	b, err := bind.New(design, lib, paras)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	opts := core.Options{
 		Mode:             mode,
@@ -98,95 +163,127 @@ func main() {
 	if *iterate {
 		iter, err := core.AnalyzeIterative(b, opts, 0)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("noise-timing loop: %d rounds, converged=%v, max window padding %s\n",
+		fmt.Fprintf(stdout, "noise-timing loop: %d rounds, converged=%v, max window padding %s\n",
 			iter.Rounds, iter.Converged, report.SI(iter.MaxPadding(), "s"))
 		res = iter.Noise
 	} else {
-		var err error
-		res, err = core.Analyze(b, opts)
-		if err != nil {
-			fatal(err)
+		if res, err = core.Analyze(b, opts); err != nil {
+			return fail(err)
 		}
 	}
-	report.Violations(os.Stdout, res)
+	report.Violations(stdout, res)
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := report.WriteJSON(f, res); err != nil {
 			f.Close()
-			fatal(err)
+			return fail(err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	if *slacks > 0 {
-		report.SlackTable(os.Stdout, res, *slacks)
+		report.SlackTable(stdout, res, *slacks)
 	}
 	if *repair && len(res.Violations) > 0 {
 		repairs, err := core.SuggestRepairs(b, res, 0.05)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Println("suggested repairs (5% margin):")
+		fmt.Fprintln(stdout, "suggested repairs (5% margin):")
 		for _, r := range repairs {
-			fmt.Println("  " + r.Describe())
+			fmt.Fprintln(stdout, "  "+r.Describe())
 		}
 	}
 	if *delay {
-		dres, err := core.AnalyzeDelay(b, opts)
-		if err != nil {
-			fatal(err)
+		if err := runDelay(stdout, b, res, opts, *period); err != nil {
+			return fail(err)
 		}
-		cols := []string{"net", "edge", "noise", "delta", "members"}
-		if *period > 0 {
-			cols = append(cols, "slack-before", "slack-after")
-		}
-		t := report.NewTable(
-			fmt.Sprintf("crosstalk delta-delay (%s): %d impacted edges, worst %s",
-				dres.Mode, len(dres.Impacts), report.SI(dres.WorstDelta(), "s")),
-			cols...)
-		limit := 20
-		for i, im := range dres.Impacts {
-			if i == limit {
-				t.AddRow("...")
-				break
-			}
-			edge := "fall"
-			if im.Rise {
-				edge = "rise"
-			}
-			row := []string{im.Net, edge, report.SI(im.NoisePeak, "V"),
-				report.SI(im.Delta, "s"), strings.Join(im.Members, "+")}
-			if *period > 0 {
-				if slack, ok := res.STA.TimingSlack(im.Net); ok {
-					row = append(row, report.SI(slack, "s"), report.SI(slack-im.Delta, "s"))
-				} else {
-					row = append(row, "-", "-")
-				}
-			}
-			t.AddRow(row...)
-		}
-		t.Render(os.Stdout)
 	}
 	if *dump != "" {
 		for _, name := range strings.Split(*dump, ",") {
 			name = strings.TrimSpace(name)
 			nn := res.NoiseOf(name)
 			if nn == nil {
-				fmt.Printf("net %s: not analyzed\n", name)
+				fmt.Fprintf(stdout, "net %s: not analyzed\n", name)
 				continue
 			}
-			report.NetSummary(os.Stdout, nn)
+			report.NetSummary(stdout, nn)
 		}
 	}
 	if len(res.Violations) > 0 {
-		os.Exit(2)
+		return exitViolations
 	}
+	return exitClean
+}
+
+func runDelay(stdout io.Writer, b *bind.Design, res *core.Result, opts core.Options, period float64) error {
+	dres, err := core.AnalyzeDelay(b, opts)
+	if err != nil {
+		return err
+	}
+	cols := []string{"net", "edge", "noise", "delta", "members"}
+	if period > 0 {
+		cols = append(cols, "slack-before", "slack-after")
+	}
+	t := report.NewTable(
+		fmt.Sprintf("crosstalk delta-delay (%s): %d impacted edges, worst %s",
+			dres.Mode, len(dres.Impacts), report.SI(dres.WorstDelta(), "s")),
+		cols...)
+	limit := 20
+	for i, im := range dres.Impacts {
+		if i == limit {
+			t.AddRow("...")
+			break
+		}
+		edge := "fall"
+		if im.Rise {
+			edge = "rise"
+		}
+		row := []string{im.Net, edge, report.SI(im.NoisePeak, "V"),
+			report.SI(im.Delta, "s"), strings.Join(im.Members, "+")}
+		if period > 0 {
+			if slack, ok := res.STA.TimingSlack(im.Net); ok {
+				row = append(row, report.SI(slack, "s"), report.SI(slack-im.Delta, "s"))
+			} else {
+				row = append(row, "-", "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Render(stdout)
+	return nil
+}
+
+// lintConfig builds the lint configuration from the CLI flags, validating
+// suppressed rule IDs against the registry so typos surface as usage
+// errors instead of silently suppressing nothing.
+func lintConfig(suppress string, werror bool) (lint.Config, error) {
+	cfg := lint.Config{Werror: werror}
+	if suppress == "" {
+		return cfg, nil
+	}
+	known := make(map[string]bool)
+	for _, r := range lint.Rules() {
+		known[r.ID()] = true
+	}
+	cfg.Suppress = make(map[string]bool)
+	for _, id := range strings.Split(suppress, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if !known[id] {
+			return cfg, fmt.Errorf("unknown lint rule %q in -suppress", id)
+		}
+		cfg.Suppress[id] = true
+	}
+	return cfg, nil
 }
 
 func parseMode(s string) (core.Mode, error) {
@@ -240,9 +337,4 @@ func loadTiming(path string) (map[string]*sta.Timing, error) {
 	}
 	defer f.Close()
 	return sta.ParseInputTiming(f)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sna:", err)
-	os.Exit(1)
 }

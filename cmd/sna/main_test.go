@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/spef"
+	"repro/internal/sta"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// writeBus generates a 4-bit bus, optionally injects defects, serializes
+// it to <dir>/bus.{net,spef,win}, and returns the three paths.
+func writeBus(t *testing.T, dir string, spec workload.BusSpec, defects string) (netPath, spefPath, winPath string) {
+	t.Helper()
+	if spec.Bits == 0 {
+		spec.Bits = 4
+	}
+	if spec.Segs == 0 {
+		spec.Segs = 2
+	}
+	g, err := workload.Bus(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defects != "" {
+		d, err := workload.ParseDefects(defects)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Inject(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	netPath = filepath.Join(dir, "bus.net")
+	spefPath = filepath.Join(dir, "bus.spef")
+	winPath = filepath.Join(dir, "bus.win")
+	writeTo(t, netPath, func(f *os.File) error { return netlist.Write(f, g.Design) })
+	writeTo(t, spefPath, func(f *os.File) error { return spef.Write(f, g.Paras) })
+	writeTo(t, winPath, func(f *os.File) error { return sta.WriteInputTiming(f, g.Inputs) })
+	return netPath, spefPath, winPath
+}
+
+func writeTo(t *testing.T, path string, fn func(*os.File) error) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runSna(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitUsage(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                      // missing -net
+		{"-bogusflag"},                          // unknown flag
+		{"-net", "x", "-mode", "warp"},          // bad mode
+		{"-net", "x", "-suppress", "NOSUCH999"}, // unknown rule ID
+	} {
+		if code, _, _ := runSna(args...); code != exitUsage {
+			t.Errorf("run(%v) = %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+func TestExitLoadFailure(t *testing.T) {
+	code, _, stderr := runSna("-net", filepath.Join(t.TempDir(), "nope.net"))
+	if code != exitFail {
+		t.Fatalf("exit = %d, want %d; stderr: %s", code, exitFail, stderr)
+	}
+}
+
+func TestExitClean(t *testing.T) {
+	dir := t.TempDir()
+	n, s, w := writeBus(t, dir, workload.BusSpec{WindowSep: 500 * units.Pico}, "")
+	code, stdout, stderr := runSna("-net", n, "-spef", s, "-win", w)
+	if code != exitClean {
+		t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", code, exitClean, stdout, stderr)
+	}
+}
+
+func TestExitLintErrors(t *testing.T) {
+	dir := t.TempDir()
+	n, s, w := writeBus(t, dir, workload.BusSpec{}, "multi-driven")
+	// Normal mode: the pre-flight rejects the design before analysis.
+	code, _, stderr := runSna("-net", n, "-spef", s, "-win", w)
+	if code != exitLint {
+		t.Fatalf("exit = %d, want %d; stderr: %s", code, exitLint, stderr)
+	}
+	if !strings.Contains(stderr, "NL001") {
+		t.Fatalf("stderr does not name the violated rule:\n%s", stderr)
+	}
+	// -lint-only reports on stdout with the same exit code.
+	code, stdout, _ := runSna("-net", n, "-spef", s, "-win", w, "-lint-only")
+	if code != exitLint || !strings.Contains(stdout, "NL001") {
+		t.Fatalf("lint-only exit = %d, want %d; stdout:\n%s", code, exitLint, stdout)
+	}
+}
+
+func TestLintOnlyClean(t *testing.T) {
+	dir := t.TempDir()
+	n, s, w := writeBus(t, dir, workload.BusSpec{}, "")
+	code, stdout, _ := runSna("-net", n, "-spef", s, "-win", w, "-lint-only")
+	if code != exitClean {
+		t.Fatalf("exit = %d, want %d; stdout:\n%s", code, exitClean, stdout)
+	}
+	if !strings.HasPrefix(stdout, "lint: 0 error(s)") {
+		t.Fatalf("lint-only summary missing:\n%s", stdout)
+	}
+}
+
+func TestExitViolations(t *testing.T) {
+	dir := t.TempDir()
+	// Aligned windows, strong coupling, weak receivers: classical
+	// pessimistic combination must flag violations.
+	n, s, w := writeBus(t, dir, workload.BusSpec{
+		Bits: 6, CoupleC: 30 * units.Femto, GroundC: 1 * units.Femto,
+	}, "")
+	code, stdout, stderr := runSna("-net", n, "-spef", s, "-win", w, "-mode", "all")
+	if code != exitViolations {
+		t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", code, exitViolations, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "violations") {
+		t.Fatalf("violation report missing:\n%s", stdout)
+	}
+}
+
+func TestWerrorEscalation(t *testing.T) {
+	dir := t.TempDir()
+	n, s, w := writeBus(t, dir, workload.BusSpec{}, "quiet-input")
+	// A quiet input is only a warning: analysis proceeds.
+	code, _, stderr := runSna("-net", n, "-spef", s, "-win", w)
+	if code != exitClean {
+		t.Fatalf("exit = %d, want %d; stderr: %s", code, exitClean, stderr)
+	}
+	if !strings.Contains(stderr, "STA001") {
+		t.Fatalf("warning not surfaced on stderr:\n%s", stderr)
+	}
+	// -werror turns it into a gate.
+	code, _, stderr = runSna("-net", n, "-spef", s, "-win", w, "-werror")
+	if code != exitLint || !strings.Contains(stderr, "STA001") {
+		t.Fatalf("werror exit = %d, want %d; stderr:\n%s", code, exitLint, stderr)
+	}
+	// Suppressing the rule restores the clean exit even under -werror.
+	code, _, _ = runSna("-net", n, "-spef", s, "-win", w, "-werror", "-suppress", "STA001")
+	if code != exitClean {
+		t.Fatalf("suppressed werror exit = %d, want %d", code, exitClean)
+	}
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/spef"
+	"repro/internal/sta"
+	"repro/internal/workload"
+)
+
+func writeBus(t *testing.T, dir, defects string) (netPath, spefPath, winPath string) {
+	t.Helper()
+	g, err := workload.Bus(workload.BusSpec{Bits: 4, Segs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defects != "" {
+		d, err := workload.ParseDefects(defects)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Inject(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	netPath = filepath.Join(dir, "bus.net")
+	spefPath = filepath.Join(dir, "bus.spef")
+	winPath = filepath.Join(dir, "bus.win")
+	for _, w := range []struct {
+		path string
+		fn   func(*os.File) error
+	}{
+		{netPath, func(f *os.File) error { return netlist.Write(f, g.Design) }},
+		{spefPath, func(f *os.File) error { return spef.Write(f, g.Paras) }},
+		{winPath, func(f *os.File) error { return sta.WriteInputTiming(f, g.Inputs) }},
+	} {
+		f, err := os.Create(w.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.fn(f); err != nil {
+			f.Close()
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return netPath, spefPath, winPath
+}
+
+func runLint(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRulesListing(t *testing.T) {
+	code, stdout, _ := runLint("-rules")
+	if code != exitClean {
+		t.Fatalf("exit = %d, want %d", code, exitClean)
+	}
+	for _, id := range []string{"NL001", "NL002", "NL003", "LIB001", "LIB002", "BND001", "SPF001", "SPF002", "RC001", "STA001"} {
+		if !strings.Contains(stdout, id) {
+			t.Errorf("rule listing missing %s:\n%s", id, stdout)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-badflag"},
+		{"-net", "x", "-suppress", "NOPE42"},
+	} {
+		if code, _, _ := runLint(args...); code != exitUsage {
+			t.Errorf("run(%v) = %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+func TestCleanDesign(t *testing.T) {
+	n, s, w := writeBus(t, t.TempDir(), "")
+	code, stdout, _ := runLint("-net", n, "-spef", s, "-win", w)
+	if code != exitClean {
+		t.Fatalf("exit = %d, want %d; stdout:\n%s", code, exitClean, stdout)
+	}
+}
+
+func TestDefectiveDesign(t *testing.T) {
+	n, s, w := writeBus(t, t.TempDir(), "multi-driven,floating-input")
+	code, stdout, _ := runLint("-net", n, "-spef", s, "-win", w)
+	if code != exitLint {
+		t.Fatalf("exit = %d, want %d; stdout:\n%s", code, exitLint, stdout)
+	}
+	for _, id := range []string{"NL001", "NL002"} {
+		if !strings.Contains(stdout, id) {
+			t.Errorf("report missing %s:\n%s", id, stdout)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	n, s, w := writeBus(t, t.TempDir(), "multi-driven")
+	code, stdout, _ := runLint("-net", n, "-spef", s, "-win", w, "-json")
+	if code != exitLint {
+		t.Fatalf("exit = %d, want %d", code, exitLint)
+	}
+	var got struct {
+		Errors      int `json:"errors"`
+		Diagnostics []struct {
+			Rule string `json:"rule"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout)
+	}
+	if got.Errors == 0 || len(got.Diagnostics) == 0 || !strings.HasPrefix(got.Diagnostics[0].Rule, "NL001") {
+		t.Fatalf("JSON payload = %+v", got)
+	}
+}
+
+func TestLoadFailure(t *testing.T) {
+	if code, _, _ := runLint("-net", filepath.Join(t.TempDir(), "ghost.net")); code != exitFail {
+		t.Fatalf("exit = %d, want %d", code, exitFail)
+	}
+}

@@ -1,0 +1,234 @@
+// Package lint is the design-rule static analysis pass that runs over the
+// full input database — netlist, cell library, parasitics, and input
+// timing — before noise analysis. Static noise analysis is only as
+// trustworthy as its inputs: a silently multi-driven net, a dangling
+// coupling cap, or a non-monotone immunity table corrupts every window and
+// violation downstream. The lint pass refuses such designs with actionable
+// diagnostics instead of letting the engines produce wrong reports.
+//
+// Each check is a Rule with a stable ID (NL001, SPF002, ...). Rules report
+// Diagnostics carrying a severity, the offending design-object path, and a
+// fix hint. Run applies a Config (per-rule suppression, severity
+// overrides, warnings-as-errors) and returns a deterministic, sorted
+// Result that cmd/sna and cmd/snalint render through internal/report.
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+	"repro/internal/spef"
+	"repro/internal/sta"
+)
+
+// Severity grades a diagnostic. Errors make a design unanalyzable (or the
+// analysis meaningless); warnings are suspicious but survivable; infos are
+// observations that never affect exit status.
+type Severity int
+
+const (
+	// Info is a benign observation (e.g. a net analyzed with a lumped
+	// model because it has no extracted parasitics).
+	Info Severity = iota
+	// Warn marks a construct that is probably a mistake but has defined
+	// analysis semantics (e.g. a combinational loop handled by fixpoint).
+	Warn
+	// Error marks a defect that makes analysis results untrustworthy.
+	Error
+)
+
+// String returns "info", "warn", or "error".
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warn:
+		return "warn"
+	}
+	return "info"
+}
+
+// Diagnostic is one finding of one rule.
+type Diagnostic struct {
+	// Rule is the stable rule ID, e.g. "NL001".
+	Rule string
+	// Sev is the effective severity after Config adjustments.
+	Sev Severity
+	// Object is the design-object path, e.g. "net b3" or
+	// "lib cell INV_X1 arc A->Y".
+	Object string
+	// Msg states the defect.
+	Msg string
+	// Hint suggests a fix.
+	Hint string
+}
+
+// Rule is one registered design-rule check.
+type Rule interface {
+	// ID returns the stable rule identifier (used for suppression and in
+	// reports); Title is the one-line rule description for the reference
+	// listing.
+	ID() string
+	Title() string
+	// Severity is the rule's default diagnostic severity.
+	Severity() Severity
+	// Check inspects the input database and reports findings.
+	Check(in *Input, rep *Reporter)
+}
+
+// Input bundles the databases the pass runs over. Design and Lib are
+// required; Paras and Inputs may be nil when the run has no parasitics or
+// input-timing constraints.
+type Input struct {
+	Design *netlist.Design
+	Lib    *liberty.Library
+	Paras  *spef.Parasitics
+	Inputs map[string]*sta.Timing
+}
+
+// Config tunes a lint run.
+type Config struct {
+	// Suppress disables rules by ID.
+	Suppress map[string]bool
+	// Severity overrides a rule's default severity by ID.
+	Severity map[string]Severity
+	// Werror escalates every warning to an error.
+	Werror bool
+}
+
+// Result is the outcome of one lint run: all diagnostics, sorted by
+// severity (errors first), then rule ID, then object.
+type Result struct {
+	Diags []Diagnostic
+}
+
+// Count returns the number of diagnostics at the given severity.
+func (r *Result) Count(s Severity) int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Sev == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Errors, Warnings, and Infos count diagnostics per severity; Total
+// counts them all.
+func (r *Result) Errors() int   { return r.Count(Error) }
+func (r *Result) Warnings() int { return r.Count(Warn) }
+func (r *Result) Infos() int    { return r.Count(Info) }
+func (r *Result) Total() int    { return len(r.Diags) }
+
+// HasErrors reports whether any error-severity diagnostic was found; this
+// is what gates analysis and drives the lint exit code.
+func (r *Result) HasErrors() bool { return r.Errors() > 0 }
+
+// ByRule returns the diagnostics of one rule.
+func (r *Result) ByRule(id string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Rule == id {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Has reports whether the rule produced any diagnostic.
+func (r *Result) Has(id string) bool { return len(r.ByRule(id)) > 0 }
+
+// Reporter collects diagnostics for one rule during Check, applying the
+// run's severity policy.
+type Reporter struct {
+	rule string
+	sev  Severity // effective default severity for this rule
+	cfg  *Config
+	out  *Result
+}
+
+// Report records a finding at the rule's (possibly overridden) severity.
+func (rep *Reporter) Report(object, msg, hint string) {
+	rep.ReportAt(rep.sev, object, msg, hint)
+}
+
+// ReportAt records a finding at an explicit severity (rules with mixed
+// severities, e.g. SPF001's info-level missing-parasitics direction).
+// Werror escalation still applies.
+func (rep *Reporter) ReportAt(sev Severity, object, msg, hint string) {
+	if sev == Warn && rep.cfg.Werror {
+		sev = Error
+	}
+	rep.out.Diags = append(rep.out.Diags, Diagnostic{
+		Rule:   rep.rule,
+		Sev:    sev,
+		Object: object,
+		Msg:    msg,
+		Hint:   hint,
+	})
+}
+
+// registry holds the built-in rules in registration (ID) order.
+var registry []Rule
+
+// Register adds a rule to the registry. Built-in rules register from init;
+// duplicates panic because rule IDs must be stable and unique.
+func Register(r Rule) {
+	for _, have := range registry {
+		if have.ID() == r.ID() {
+			panic(fmt.Sprintf("lint: duplicate rule %s", r.ID()))
+		}
+	}
+	registry = append(registry, r)
+	sort.Slice(registry, func(i, j int) bool { return registry[i].ID() < registry[j].ID() })
+}
+
+// Rules returns the registered rules sorted by ID.
+func Rules() []Rule {
+	return append([]Rule(nil), registry...)
+}
+
+// Run executes every registered, non-suppressed rule over the input and
+// returns the sorted result.
+func Run(in *Input, cfg Config) *Result {
+	res := &Result{}
+	for _, rule := range Rules() {
+		if cfg.Suppress[rule.ID()] {
+			continue
+		}
+		sev := rule.Severity()
+		if over, ok := cfg.Severity[rule.ID()]; ok {
+			sev = over
+		}
+		rule.Check(in, &Reporter{rule: rule.ID(), sev: sev, cfg: &cfg, out: res})
+	}
+	sort.SliceStable(res.Diags, func(i, j int) bool {
+		a, b := res.Diags[i], res.Diags[j]
+		if a.Sev != b.Sev {
+			return a.Sev > b.Sev // errors first
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		return a.Msg < b.Msg
+	})
+	return res
+}
+
+// rule is the common implementation embedded by the built-in checks.
+type rule struct {
+	id    string
+	title string
+	sev   Severity
+	check func(in *Input, rep *Reporter)
+}
+
+func (r *rule) ID() string                     { return r.id }
+func (r *rule) Title() string                  { return r.title }
+func (r *rule) Severity() Severity             { return r.sev }
+func (r *rule) Check(in *Input, rep *Reporter) { r.check(in, rep) }

@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/spef"
+)
+
+// Parasitic-database rules: netlist↔SPEF correspondence, capacitor
+// sanity, and RC connectivity.
+
+func init() {
+	Register(&rule{
+		id:    "SPF001",
+		title: "netlist/SPEF mismatch: parasitic net absent from the netlist, or vice versa",
+		sev:   Error,
+		check: checkSpefCorrespondence,
+	})
+	Register(&rule{
+		id:    "SPF002",
+		title: "bad capacitor or resistor: dangling coupling partner or negative value",
+		sev:   Error,
+		check: checkSpefValues,
+	})
+	Register(&rule{
+		id:    "RC001",
+		title: "broken RC topology: no driver node, disconnected subtree, or resistive loop",
+		sev:   Error,
+		check: checkRCTopology,
+	})
+}
+
+func checkSpefCorrespondence(in *Input, rep *Reporter) {
+	if in.Paras == nil {
+		return
+	}
+	for _, sn := range in.Paras.Nets() {
+		if in.Design.FindNet(sn.Name) == nil {
+			rep.Report("spef net "+sn.Name,
+				"parasitic net is not present in the netlist",
+				"fix the extractor's name mapping or re-extract against this netlist")
+		}
+	}
+	// The reverse direction is informational: a net without extracted
+	// parasitics falls back to the lumped zero-resistance model, which is
+	// routine pre-layout but worth surfacing on signoff runs.
+	for _, n := range in.Design.Nets() {
+		if len(n.Conns) == 0 || in.Paras.Net(n.Name) != nil {
+			continue
+		}
+		rep.ReportAt(Info, "net "+n.Name,
+			"no extracted parasitics; a lumped zero-resistance model will be used",
+			"extract the net, or ignore for pre-layout runs")
+	}
+}
+
+func checkSpefValues(in *Input, rep *Reporter) {
+	if in.Paras == nil {
+		return
+	}
+	// couplingsOf memoizes each net's per-partner coupling totals for the
+	// reciprocity check.
+	memo := make(map[string]map[string]float64)
+	couplingsOf := func(n *spef.Net) map[string]float64 {
+		if m, ok := memo[n.Name]; ok {
+			return m
+		}
+		m := n.CouplingByNet()
+		memo[n.Name] = m
+		return m
+	}
+	for _, sn := range in.Paras.Nets() {
+		for i, c := range sn.Caps {
+			object := fmt.Sprintf("spef net %s cap %d", sn.Name, i+1)
+			if c.F < 0 {
+				rep.Report(object,
+					fmt.Sprintf("negative capacitance %g F", c.F),
+					"fix the extraction; negative capacitance is unphysical")
+				continue
+			}
+			if c.Other == "" {
+				continue
+			}
+			partner := spef.NetOfNode(c.Other)
+			pn := in.Paras.Net(partner)
+			if pn == nil && in.Design.FindNet(partner) == nil {
+				rep.Report(object,
+					fmt.Sprintf("dangling coupling cap: partner net %q exists in neither the parasitics nor the netlist", partner),
+					"remove the capacitor or restore the missing aggressor net")
+				continue
+			}
+			if pn != nil {
+				if _, reciprocal := couplingsOf(pn)[sn.Name]; !reciprocal {
+					rep.ReportAt(Info, object,
+						fmt.Sprintf("coupling to %q has no reciprocal entry in that net's section", partner),
+						"extractors list each coupling cap in both partners' sections; the partner will not see this aggressor")
+				}
+			}
+		}
+		for i, r := range sn.Ress {
+			if r.Ohms < 0 {
+				rep.Report(fmt.Sprintf("spef net %s res %d", sn.Name, i+1),
+					fmt.Sprintf("negative resistance %g ohm", r.Ohms),
+					"fix the extraction; negative resistance is unphysical")
+			}
+		}
+	}
+}
+
+// checkRCTopology verifies, per parasitic net, what rc.Network.Analyze
+// will require: a driver root exists, every node is reachable from it
+// through the resistive tree, and the tree is acyclic. Reporting it here
+// turns a mid-analysis abort into a pre-flight diagnostic.
+func checkRCTopology(in *Input, rep *Reporter) {
+	if in.Paras == nil {
+		return
+	}
+	for _, sn := range in.Paras.Nets() {
+		if in.Design.FindNet(sn.Name) == nil {
+			continue // SPF001 already reports the mismatch
+		}
+		lintRCNet(sn, rep)
+	}
+}
+
+func lintRCNet(sn *spef.Net, rep *Reporter) {
+	object := "spef net " + sn.Name
+	// Collect the node universe exactly as rc.FromSPEF interns it.
+	idx := make(map[string]int)
+	var names []string
+	node := func(name string) int {
+		if i, ok := idx[name]; ok {
+			return i
+		}
+		i := len(names)
+		idx[name] = i
+		names = append(names, name)
+		return i
+	}
+	root := -1
+	for _, c := range sn.Conns {
+		i := node(c.Node)
+		if c.Dir == spef.DirOut && root < 0 {
+			root = i
+		}
+	}
+	type edge struct{ a, b int }
+	var edges []edge
+	for _, r := range sn.Ress {
+		edges = append(edges, edge{node(r.A), node(r.B)})
+	}
+	for _, c := range sn.Caps {
+		if c.F >= 0 { // negative caps are SPF002's finding
+			node(c.Node)
+		}
+	}
+	if root < 0 {
+		rep.Report(object,
+			"no driver connection (*CONN entry with direction O)",
+			"add the driver pin to the net's *CONN section")
+		return
+	}
+	adj := make([][]int, len(names))
+	for _, e := range edges {
+		adj[e.a] = append(adj[e.a], e.b)
+		adj[e.b] = append(adj[e.b], e.a)
+	}
+	seen := make([]bool, len(names))
+	seen[root] = true
+	queue := []int{root}
+	reached, compEdges := 0, 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		reached++
+		compEdges += len(adj[u])
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	compEdges /= 2 // each undirected edge was counted from both endpoints
+	if compEdges >= reached && reached > 0 && compEdges > 0 {
+		rep.Report(object,
+			fmt.Sprintf("resistive loop: %d resistors span only %d reachable nodes", compEdges, reached),
+			"RC reduction assumes a tree; remove the redundant resistor or merge parallel segments")
+	}
+	var orphans []string
+	for i, s := range seen {
+		if !s {
+			orphans = append(orphans, names[i])
+		}
+	}
+	if len(orphans) > 0 {
+		rep.Report(object,
+			fmt.Sprintf("%d node(s) unreachable from the driver: %s", len(orphans), truncList(orphans, 3)),
+			"connect the subtree with a resistor or drop the stray nodes")
+	}
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// Input-timing rules: every provided window annotation must describe a
+// real input port and a physically sensible switching opportunity.
+
+func init() {
+	Register(&rule{
+		id:    "STA001",
+		title: "degenerate switching window: empty/inverted annotation or unknown port",
+		sev:   Warn,
+		check: checkInputTiming,
+	})
+}
+
+func checkInputTiming(in *Input, rep *Reporter) {
+	if len(in.Inputs) == 0 {
+		return
+	}
+	names := make([]string, 0, len(in.Inputs))
+	for n := range in.Inputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := in.Inputs[name]
+		object := "input " + name
+		p := in.Design.FindPort(name)
+		if p == nil || p.Dir != netlist.In {
+			rep.Report(object,
+				"timing annotation names no input port of the design",
+				"fix the port name or drop the stale annotation")
+			continue
+		}
+		if t == nil || !t.HasActivity() {
+			rep.Report(object,
+				"switching windows are empty in both directions: this input can never transition",
+				"give the port a rise or fall window, or confirm it is intentionally quiet")
+			continue
+		}
+		// Sets normalize inverted windows away, but annotations built
+		// programmatically can still carry raw inverted bounds.
+		for _, dir := range []struct {
+			label string
+			rise  bool
+		}{{"rise", true}, {"fall", false}} {
+			for _, w := range t.Window(dir.rise).Windows() {
+				if w.Lo > w.Hi {
+					rep.ReportAt(Error, object,
+						fmt.Sprintf("inverted %s window [%g, %g]", dir.label, w.Lo, w.Hi),
+						"swap the bounds; windows are [lo, hi] with lo <= hi")
+				}
+			}
+			slew := t.Slew(dir.rise)
+			if !t.Window(dir.rise).IsEmpty() && slew.Min <= slew.Max && slew.Min < 0 {
+				rep.ReportAt(Error, object,
+					fmt.Sprintf("negative %s slew %g s", dir.label, slew.Min),
+					"transition times must be non-negative")
+			}
+		}
+	}
+}

@@ -46,10 +46,14 @@ func (d *Design) Levelize() *Levelization {
 	}
 	// Count fanin edges: one per (driving instance, reading instance)
 	// pair, with multiplicity — multiplicity is harmless for Kahn as long
-	// as decrements match.
+	// as decrements match. Self-edges count too: an instance driving its
+	// own input is a one-gate combinational cycle, and its indegree can
+	// never reach zero (the decrement below only runs when the driver is
+	// leveled), so it correctly lands in Feedback rather than getting a
+	// bogus finite level.
 	for _, i := range insts {
 		for _, c := range i.Inputs() {
-			if drv := c.Net.Driver(); drv != nil && drv.Inst != nil && drv.Inst != i {
+			if drv := c.Net.Driver(); drv != nil && drv.Inst != nil {
 				indeg[i]++
 			}
 		}

@@ -256,15 +256,90 @@ func TestLevelizeLoop(t *testing.T) {
 	}
 }
 
-func TestLevelizeSelfLoopIgnored(t *testing.T) {
-	// A self-loop (output feeding own input) must not deadlock Kahn.
+func TestLevelizeSelfLoop(t *testing.T) {
+	// An instance driving its own input is a one-gate combinational cycle:
+	// it must land in Feedback, not get a finite level. (A previous version
+	// skipped self-edges in the indegree count, which leveled the instance
+	// at the depth of its other fanins.) A downstream reader is dragged
+	// into Feedback with it; an independent gate still levels normally.
 	d := New("self")
+	mustPort(t, d, "in", In)
 	mustInst(t, d, "a", "BUF")
 	mustConn(t, d, "a", "A", "x", In)
 	mustConn(t, d, "a", "Y", "x", Out)
+	mustInst(t, d, "tail", "INV")
+	mustConn(t, d, "tail", "A", "x", In)
+	mustConn(t, d, "tail", "Y", "out", Out)
+	mustInst(t, d, "free", "INV")
+	mustConn(t, d, "free", "A", "in", In)
+	mustConn(t, d, "free", "Y", "q", Out)
 	lev := d.Levelize()
-	if lev.NumLeveled() != 1 || d.FindInst("a").Level != 0 {
-		t.Fatalf("self-loop inst not leveled: %+v", lev)
+	if len(lev.Feedback) != 2 {
+		t.Fatalf("feedback = %v, want [a tail]", lev.Feedback)
+	}
+	for _, name := range []string{"a", "tail"} {
+		if got := d.FindInst(name).Level; got != -1 {
+			t.Fatalf("%s level = %d, want -1", name, got)
+		}
+	}
+	if got := d.FindInst("free").Level; got != 0 {
+		t.Fatalf("free level = %d, want 0", got)
+	}
+	if lev.NumLeveled() != 1 {
+		t.Fatalf("NumLeveled = %d, want 1", lev.NumLeveled())
+	}
+}
+
+func TestLevelizeMultiDriver(t *testing.T) {
+	// Two outputs on one net is an NL001 lint error, but Levelize must
+	// still terminate and produce a sane order: Net.Driver() returns the
+	// first driver connection, so the reader levels after that driver.
+	d := New("multidrv")
+	mustPort(t, d, "in", In)
+	mustInst(t, d, "a", "INV")
+	mustConn(t, d, "a", "A", "in", In)
+	mustConn(t, d, "a", "Y", "x", Out)
+	mustInst(t, d, "b", "INV")
+	mustConn(t, d, "b", "A", "in", In)
+	mustConn(t, d, "b", "Y", "x", Out)
+	mustInst(t, d, "sink", "INV")
+	mustConn(t, d, "sink", "A", "x", In)
+	mustConn(t, d, "sink", "Y", "out", Out)
+	lev := d.Levelize()
+	if len(lev.Feedback) != 0 {
+		t.Fatalf("feedback = %v, want none", lev.Feedback)
+	}
+	if got := d.FindInst("sink").Level; got != 1 {
+		t.Fatalf("sink level = %d, want 1", got)
+	}
+	if d.FindInst("a").Level != 0 || d.FindInst("b").Level != 0 {
+		t.Fatalf("driver levels = %d, %d, want 0, 0",
+			d.FindInst("a").Level, d.FindInst("b").Level)
+	}
+}
+
+func TestLevelizeMultiEdge(t *testing.T) {
+	// One driver feeding two pins of the same sink contributes two
+	// parallel edges; the indegree increments and decrements must agree so
+	// the sink levels exactly one step after the driver.
+	d := New("multiedge")
+	mustPort(t, d, "in", In)
+	mustInst(t, d, "a", "INV")
+	mustConn(t, d, "a", "A", "in", In)
+	mustConn(t, d, "a", "Y", "x", Out)
+	mustInst(t, d, "g", "NAND2")
+	mustConn(t, d, "g", "A", "x", In)
+	mustConn(t, d, "g", "B", "x", In)
+	mustConn(t, d, "g", "Y", "out", Out)
+	lev := d.Levelize()
+	if len(lev.Feedback) != 0 {
+		t.Fatalf("feedback = %v, want none", lev.Feedback)
+	}
+	if got := d.FindInst("g").Level; got != 1 {
+		t.Fatalf("g level = %d, want 1", got)
+	}
+	if len(lev.Levels) != 2 {
+		t.Fatalf("levels = %d, want 2", len(lev.Levels))
 	}
 }
 

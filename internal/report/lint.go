@@ -1,0 +1,63 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/lint"
+)
+
+// Lint writes a lint result as an aligned-text report: a one-line summary
+// followed by one table row per diagnostic (already sorted by Run:
+// severity first, then rule, then object).
+func Lint(w io.Writer, res *lint.Result) {
+	fmt.Fprintf(w, "lint: %d error(s), %d warning(s), %d info(s)\n",
+		res.Errors(), res.Warnings(), res.Infos())
+	if res.Total() == 0 {
+		return
+	}
+	t := NewTable("", "severity", "rule", "object", "message", "hint")
+	for _, d := range res.Diags {
+		t.AddRow(d.Sev.String(), d.Rule, d.Object, d.Msg, d.Hint)
+	}
+	t.Render(w)
+}
+
+type jsonDiag struct {
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	Object   string `json:"object"`
+	Message  string `json:"message"`
+	Hint     string `json:"hint,omitempty"`
+}
+
+type jsonLint struct {
+	Errors      int        `json:"errors"`
+	Warnings    int        `json:"warnings"`
+	Infos       int        `json:"infos"`
+	Diagnostics []jsonDiag `json:"diagnostics"`
+}
+
+// WriteLintJSON serializes a lint result with the same stable-schema
+// conventions as WriteJSON.
+func WriteLintJSON(w io.Writer, res *lint.Result) error {
+	out := jsonLint{
+		Errors:      res.Errors(),
+		Warnings:    res.Warnings(),
+		Infos:       res.Infos(),
+		Diagnostics: make([]jsonDiag, 0, res.Total()),
+	}
+	for _, d := range res.Diags {
+		out.Diagnostics = append(out.Diagnostics, jsonDiag{
+			Rule:     d.Rule,
+			Severity: d.Sev.String(),
+			Object:   d.Object,
+			Message:  d.Msg,
+			Hint:     d.Hint,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

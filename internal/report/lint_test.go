@@ -1,0 +1,67 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func lintResult() *lint.Result {
+	return &lint.Result{Diags: []lint.Diagnostic{
+		{Rule: "NL001", Sev: lint.Error, Object: "net b0", Msg: "2 drivers: d0:Y, defect_md:Y", Hint: "keep exactly one driver"},
+		{Rule: "STA001", Sev: lint.Warn, Object: "input in0", Msg: "switching windows are empty", Hint: "give the port a window"},
+		{Rule: "SPF001", Sev: lint.Info, Object: "net q0", Msg: "no extracted parasitics", Hint: "extract the net"},
+	}}
+}
+
+func TestLintRender(t *testing.T) {
+	var sb strings.Builder
+	Lint(&sb, lintResult())
+	out := sb.String()
+	if !strings.HasPrefix(out, "lint: 1 error(s), 1 warning(s), 1 info(s)\n") {
+		t.Fatalf("summary line wrong:\n%s", out)
+	}
+	for _, want := range []string{"NL001", "net b0", "error", "warn", "STA001", "keep exactly one driver"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLintRenderClean(t *testing.T) {
+	var sb strings.Builder
+	Lint(&sb, &lint.Result{})
+	if got := sb.String(); got != "lint: 0 error(s), 0 warning(s), 0 info(s)\n" {
+		t.Fatalf("clean render = %q", got)
+	}
+}
+
+func TestLintJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteLintJSON(&sb, lintResult()); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Errors      int `json:"errors"`
+		Warnings    int `json:"warnings"`
+		Infos       int `json:"infos"`
+		Diagnostics []struct {
+			Rule     string `json:"rule"`
+			Severity string `json:"severity"`
+			Object   string `json:"object"`
+			Message  string `json:"message"`
+			Hint     string `json:"hint"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if got.Errors != 1 || got.Warnings != 1 || got.Infos != 1 {
+		t.Fatalf("counts = %+v", got)
+	}
+	if len(got.Diagnostics) != 3 || got.Diagnostics[0].Rule != "NL001" || got.Diagnostics[0].Severity != "error" {
+		t.Fatalf("diagnostics = %+v", got.Diagnostics)
+	}
+}

@@ -239,6 +239,9 @@ func Parse(r io.Reader) (*Parasitics, error) {
 			if err != nil {
 				return nil, fail("bad total cap: %v", err)
 			}
+			if tc < 0 {
+				return nil, fail("negative total cap %g on net %q", tc, f[1])
+			}
 			cur = &Net{Name: f[1], TotalCap: tc * cScale}
 			section = ""
 		case "*CONN", "*CAP", "*RES":
@@ -290,11 +293,17 @@ func Parse(r io.Reader) (*Parasitics, error) {
 					if err != nil {
 						return nil, fail("bad cap: %v", err)
 					}
+					if v < 0 {
+						return nil, fail("negative cap %g at node %q", v, f[1])
+					}
 					cur.Caps = append(cur.Caps, CapEntry{Node: expand(f[1]), F: v * cScale})
 				case 4: // idx node other cap
 					v, err := strconv.ParseFloat(f[3], 64)
 					if err != nil {
 						return nil, fail("bad coupling cap: %v", err)
+					}
+					if v < 0 {
+						return nil, fail("negative coupling cap %g at node %q", v, f[1])
 					}
 					cur.Caps = append(cur.Caps, CapEntry{Node: expand(f[1]), Other: expand(f[2]), F: v * cScale})
 				default:
@@ -307,6 +316,9 @@ func Parse(r io.Reader) (*Parasitics, error) {
 				v, err := strconv.ParseFloat(f[3], 64)
 				if err != nil {
 					return nil, fail("bad resistance: %v", err)
+				}
+				if v < 0 {
+					return nil, fail("negative resistance %g between %q and %q", v, f[1], f[2])
 				}
 				cur.Ress = append(cur.Ress, ResEntry{A: expand(f[1]), B: expand(f[2]), Ohms: v * rScale})
 			default:

@@ -144,6 +144,44 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseRejectsNegativeValues pins the physicality checks: negative
+// capacitance or resistance marks a broken extraction and must be
+// rejected at parse time, with the offending line number in the error.
+func TestParseRejectsNegativeValues(t *testing.T) {
+	cases := []struct {
+		src      string
+		wantLine string
+		wantMsg  string
+	}{
+		{"*D_NET a -1.0\n*END", "line 1", "negative total cap"},
+		{"*D_NET a 1\n*CAP\n1 a:1 -4.0\n*END", "line 3", "negative cap"},
+		{"*D_NET a 1\n*CAP\n1 a:1 b:1 -2.0\n*END", "line 3", "negative coupling cap"},
+		{"*D_NET a 1\n*RES\n1 a:1 a:2 -0.5\n*END", "line 3", "negative resistance"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(strings.NewReader(tc.src))
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", tc.src)
+			continue
+		}
+		for _, want := range []string{tc.wantLine, tc.wantMsg} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("Parse(%q) error = %q, want it to mention %q", tc.src, err, want)
+			}
+		}
+	}
+}
+
+// TestParseErrorsCarryLineNumbers spot-checks that structural errors
+// report where they happened.
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	src := "*DESIGN \"d\"\n*D_NET a 1\n*CAP\n1 a:1 bogus\n*END"
+	_, err := Parse(strings.NewReader(src))
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("error = %v, want mention of line 4", err)
+	}
+}
+
 func TestAddNetDuplicate(t *testing.T) {
 	p := NewParasitics("t")
 	if err := p.AddNet(&Net{Name: "n"}); err != nil {

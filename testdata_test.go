@@ -8,6 +8,7 @@ import (
 	"repro/internal/bind"
 	"repro/internal/core"
 	"repro/internal/liberty"
+	"repro/internal/lint"
 	"repro/internal/netlist"
 	"repro/internal/spef"
 	"repro/internal/sta"
@@ -103,6 +104,36 @@ func TestTestdataVerilogMatchesNet(t *testing.T) {
 		other := dV.FindInst(inst.Name)
 		if other == nil || other.Cell != inst.Cell {
 			t.Fatalf("instance %s differs between formats", inst.Name)
+		}
+	}
+}
+
+// TestTestdataLintsClean pins the shipped sample inputs against the lint
+// pass: the files the README points users at must never trip an
+// error-severity rule (in either netlist format).
+func TestTestdataLintsClean(t *testing.T) {
+	lib := liberty.Generic()
+	p, err := spef.Parse(open(t, "bus4.spef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := sta.ParseInputTiming(open(t, "bus4.win"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []string{"bus4.net", "bus4.v"} {
+		var d *netlist.Design
+		if filepath.Ext(src) == ".v" {
+			d, err = vlog.Parse(open(t, src), lib)
+		} else {
+			d, err = netlist.Parse(open(t, src))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := lint.Run(&lint.Input{Design: d, Lib: lib, Paras: p, Inputs: in}, lint.Config{})
+		if res.HasErrors() {
+			t.Fatalf("%s has lint errors:\n%+v", src, res.Diags)
 		}
 	}
 }

@@ -7,11 +7,15 @@
 //	noisebench -run T1      # one experiment
 //	noisebench -quick       # shrunken sweeps (seconds instead of minutes)
 //	noisebench -list        # list experiment IDs
+//	noisebench -timeout 5m  # bound the whole sweep's wall clock
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/experiments"
@@ -19,50 +23,66 @@ import (
 )
 
 func main() {
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("noisebench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		run   = flag.String("run", "", "experiment ID to run (default: all)")
-		quick = flag.Bool("quick", false, "shrink sweeps for a fast pass")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		runID   = fs.String("run", "", "experiment ID to run (default: all)")
+		quick   = fs.Bool("quick", false, "shrink sweeps for a fast pass")
+		list    = fs.Bool("list", false, "list experiment IDs and exit")
+		csv     = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		timeout = fs.Duration("timeout", 0, "wall-clock budget for the sweep; 0 = unbounded")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return 0
 	}
-	cfg := experiments.Config{Quick: *quick}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	cfg := experiments.Config{Quick: *quick, Ctx: ctx}
 	emit := func(t *report.Table) {
 		if *csv {
-			fmt.Printf("# %s\n", t.Title)
-			t.RenderCSV(os.Stdout)
+			fmt.Fprintf(stdout, "# %s\n", t.Title)
+			t.RenderCSV(stdout)
 		} else {
-			t.Render(os.Stdout)
+			t.Render(stdout)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
-	if *run != "" {
-		ts, err := experiments.Run(*run, cfg)
-		if err != nil {
-			fatal(err)
+	fail := func(err error) int {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			fmt.Fprintln(stderr, "noisebench: sweep cancelled:", err)
+		} else {
+			fmt.Fprintln(stderr, "noisebench:", err)
 		}
-		for _, t := range ts {
-			emit(t)
-		}
-		return
+		return 1
 	}
-	ts, err := experiments.All(cfg)
+	var (
+		ts  []*report.Table
+		err error
+	)
+	if *runID != "" {
+		ts, err = experiments.Run(*runID, cfg)
+	} else {
+		ts, err = experiments.All(cfg)
+	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	for _, t := range ts {
 		emit(t)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "noisebench:", err)
-	os.Exit(1)
+	return 0
 }

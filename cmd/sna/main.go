@@ -7,7 +7,7 @@
 //	sna -net design.net -spef design.spef [-lib lib.nlib] [-win design.win] \
 //	    [-mode all|timing|noise] [-threshold 0.02] [-dump net1,net2] \
 //	    [-lint-only] [-werror] [-suppress NL003,SPF001] \
-//	    [-repair] [-delay] [-corr]
+//	    [-repair] [-delay] [-corr] [-timeout 30s] [-fail-fast]
 //
 // The netlist may also be structural Verilog (a .v file).
 //
@@ -21,16 +21,27 @@
 // from a broken database are worse than no results. -lint-only stops after
 // the pre-flight and prints every diagnostic including infos.
 //
+// The engine runs fail-soft by default: a victim whose analysis fails is
+// degraded to a conservative full-rail bound and reported in the
+// degradation section instead of killing the whole run. -fail-fast
+// restores abort-on-first-error. -timeout bounds the wall clock; a run
+// over its deadline is cancelled cooperatively and exits with code 4.
+//
 // Exit codes:
 //
 //	0  clean: lint passed and no noise violations
 //	1  analysis found noise violations
 //	2  lint found error-severity problems (analysis not run)
 //	3  usage error (bad flags, missing -net, unknown mode or rule ID)
-//	4  load or analysis failure (unreadable/unparsable input, engine error)
+//	4  load or analysis failure (unreadable/unparsable input, engine
+//	   error, deadline exceeded)
+//	5  degraded-clean: no violations, but one or more nets were degraded
+//	   to conservative fallbacks — the result is incomplete, not clean
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -46,6 +57,7 @@ import (
 	"repro/internal/spef"
 	"repro/internal/sta"
 	"repro/internal/vlog"
+	"repro/internal/workload"
 )
 
 // Exit codes; documented in the package comment and pinned by the
@@ -56,6 +68,7 @@ const (
 	exitLint       = 2
 	exitUsage      = 3
 	exitFail       = 4
+	exitDegraded   = 5
 )
 
 func main() {
@@ -84,6 +97,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		lintOnly  = fs.Bool("lint-only", false, "run the lint pre-flight and stop")
 		werror    = fs.Bool("werror", false, "treat lint warnings as errors")
 		suppress  = fs.String("suppress", "", "comma-separated lint rule IDs to suppress")
+		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the analysis; 0 = unbounded")
+		failFast  = fs.Bool("fail-fast", false, "abort on the first per-net analysis failure instead of degrading")
+		faultSpec = fs.String("inject-fault", "", "inject runtime faults, e.g. panic:b1,error:b2,sleep:* (testing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -102,9 +118,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "sna:", err)
 		return exitUsage
 	}
-
-	fail := func(err error) int {
+	faults, err := workload.ParseRuntimeFaults(*faultSpec)
+	if err != nil {
 		fmt.Fprintln(stderr, "sna:", err)
+		return exitUsage
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	fail := func(err error) int {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(stderr, "sna: analysis cancelled: %s deadline exceeded\n", *timeout)
+		} else {
+			fmt.Fprintln(stderr, "sna:", err)
+		}
 		return exitFail
 	}
 	lib := liberty.Generic()
@@ -157,23 +188,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		FilterThreshold:  *threshold,
 		NoPropagation:    *noProp,
 		LogicCorrelation: *corr,
+		FailSoft:         !*failFast,
+		PrepareHook:      faults.Hook(),
 		STA:              sta.Options{InputTiming: inputs, ClockPeriod: *period},
 	}
 	var res *core.Result
 	if *iterate {
-		iter, err := core.AnalyzeIterative(b, opts, 0)
+		iter, err := core.AnalyzeIterativeCtx(ctx, b, opts, 0)
 		if err != nil {
 			return fail(err)
 		}
 		fmt.Fprintf(stdout, "noise-timing loop: %d rounds, converged=%v, max window padding %s\n",
 			iter.Rounds, iter.Converged, report.SI(iter.MaxPadding(), "s"))
+		if iter.Diverging {
+			fmt.Fprintf(stdout, "noise-timing loop diverging: %s\n", iter.DivergeReason)
+		}
 		res = iter.Noise
 	} else {
-		if res, err = core.Analyze(b, opts); err != nil {
+		if res, err = core.AnalyzeCtx(ctx, b, opts); err != nil {
 			return fail(err)
 		}
 	}
 	report.Violations(stdout, res)
+	report.Degradations(stdout, res.Diags)
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
 		if err != nil {
@@ -201,7 +238,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *delay {
-		if err := runDelay(stdout, b, res, opts, *period); err != nil {
+		if err := runDelay(ctx, stdout, b, res, opts, *period); err != nil {
 			return fail(err)
 		}
 	}
@@ -219,11 +256,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(res.Violations) > 0 {
 		return exitViolations
 	}
+	// A run with degraded nets and no violations is NOT clean: the
+	// degraded victims were never actually analyzed, so signoff must
+	// distinguish "checked and passed" from "gave up conservatively".
+	if len(res.Diags) > 0 {
+		return exitDegraded
+	}
 	return exitClean
 }
 
-func runDelay(stdout io.Writer, b *bind.Design, res *core.Result, opts core.Options, period float64) error {
-	dres, err := core.AnalyzeDelay(b, opts)
+func runDelay(ctx context.Context, stdout io.Writer, b *bind.Design, res *core.Result, opts core.Options, period float64) error {
+	dres, err := core.AnalyzeDelayCtx(ctx, b, opts)
 	if err != nil {
 		return err
 	}

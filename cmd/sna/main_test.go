@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/netlist"
 	"repro/internal/spef"
@@ -162,5 +163,82 @@ func TestWerrorEscalation(t *testing.T) {
 	code, _, _ = runSna("-net", n, "-spef", s, "-win", w, "-werror", "-suppress", "STA001")
 	if code != exitClean {
 		t.Fatalf("suppressed werror exit = %d, want %d", code, exitClean)
+	}
+}
+
+func TestExitDegraded(t *testing.T) {
+	dir := t.TempDir()
+	n, s, w := writeBus(t, dir, workload.BusSpec{WindowSep: 500 * units.Pico}, "")
+	// An injected per-net failure on an otherwise clean design: the run
+	// completes, reports the degradation, and exits degraded-clean.
+	// -noprop keeps the conservative full-rail bound from propagating
+	// into real downstream violations (which would rightly exit 1).
+	code, stdout, stderr := runSna("-net", n, "-spef", s, "-win", w, "-noprop", "-inject-fault", "error:b1")
+	if code != exitDegraded {
+		t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", code, exitDegraded, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "degraded nets: 1") || !strings.Contains(stdout, "b1") {
+		t.Fatalf("degradation not reported:\n%s", stdout)
+	}
+}
+
+func TestFailFastFlag(t *testing.T) {
+	dir := t.TempDir()
+	n, s, w := writeBus(t, dir, workload.BusSpec{WindowSep: 500 * units.Pico}, "")
+	code, _, stderr := runSna("-net", n, "-spef", s, "-win", w, "-inject-fault", "error:b1", "-fail-fast")
+	if code != exitFail {
+		t.Fatalf("exit = %d, want %d; stderr: %s", code, exitFail, stderr)
+	}
+	if !strings.Contains(stderr, "b1") {
+		t.Fatalf("failure does not name the net:\n%s", stderr)
+	}
+}
+
+func TestBadFaultSpecIsUsageError(t *testing.T) {
+	if code, _, _ := runSna("-net", "x", "-inject-fault", "explode:b1"); code != exitUsage {
+		t.Fatalf("exit = %d, want %d", code, exitUsage)
+	}
+}
+
+func TestTimeoutCancelsPromptly(t *testing.T) {
+	dir := t.TempDir()
+	n, s, w := writeBus(t, dir, workload.BusSpec{WindowSep: 500 * units.Pico}, "")
+	// Every net sleeps 10ms in preparation; the 50ms deadline fires
+	// mid-run and the engine must stop within a second of it.
+	const deadline = 50 * time.Millisecond
+	start := time.Now()
+	code, _, stderr := runSna("-net", n, "-spef", s, "-win", w,
+		"-inject-fault", "sleep:*", "-timeout", deadline.String())
+	elapsed := time.Since(start)
+	if code != exitFail {
+		t.Fatalf("exit = %d, want %d; stderr: %s", code, exitFail, stderr)
+	}
+	if !strings.Contains(stderr, "deadline exceeded") {
+		t.Fatalf("stderr does not report the deadline:\n%s", stderr)
+	}
+	if elapsed > deadline+time.Second {
+		t.Fatalf("run took %s, want exit within 1s of the %s deadline", elapsed, deadline)
+	}
+}
+
+func TestJSONIncludesDegradations(t *testing.T) {
+	dir := t.TempDir()
+	n, s, w := writeBus(t, dir, workload.BusSpec{WindowSep: 500 * units.Pico}, "")
+	jsonPath := filepath.Join(dir, "out.json")
+	// -noprop keeps the degraded net's full-rail bound from propagating
+	// into real downstream violations, so the run stays degraded-clean.
+	code, _, stderr := runSna("-net", n, "-spef", s, "-win", w,
+		"-inject-fault", "error:b2", "-noprop", "-json", jsonPath)
+	if code != exitDegraded {
+		t.Fatalf("exit = %d; stderr: %s", code, stderr)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"degradations"`, `"b2"`, `"prepare"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("JSON missing %s:\n%s", want, data)
+		}
 	}
 }

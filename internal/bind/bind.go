@@ -58,9 +58,9 @@ func New(d *netlist.Design, lib *liberty.Library, p *spef.Parasitics) (*Design, 
 	}
 	// Resolve instances against the library and check pin directions.
 	for _, inst := range d.Insts() {
-		cell := lib.Cell(inst.Cell)
-		if cell == nil {
-			return nil, fmt.Errorf("bind: instance %q references unknown cell %q", inst.Name, inst.Cell)
+		cell, err := lib.ResolveCell(inst.Name, inst.Cell)
+		if err != nil {
+			return nil, fmt.Errorf("bind: %w", err)
 		}
 		for pinName, conn := range inst.Conns {
 			pin := cell.Pin(pinName)

@@ -9,6 +9,17 @@ import (
 	"repro/internal/spef"
 )
 
+// genericCell resolves a cell from the generic library, failing the test
+// when it is missing.
+func genericCell(t *testing.T, name string) *liberty.Cell {
+	t.Helper()
+	c, err := liberty.Generic().ResolveCell("", name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 // twoInv builds in -> u0(INV_X1) -> mid -> u1(INV_X2) -> out.
 func twoInv(t testing.TB) *netlist.Design {
 	t.Helper()
@@ -68,7 +79,7 @@ func TestBindWithSPEF(t *testing.T) {
 		t.Fatalf("root = %q", nw.Root())
 	}
 	// Load cap = wire 3fF + coupling 1fF + u1 pin cap.
-	pinCap := lib.MustCell("INV_X2").Pin("A").Cap
+	pinCap := genericCell(t, "INV_X2").Pin("A").Cap
 	want := 3e-15 + 1e-15 + pinCap
 	got, err := b.LoadCapOf("mid")
 	if err != nil {
@@ -102,7 +113,7 @@ func TestBindLumpedFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pinCap := liberty.Generic().MustCell("INV_X2").Pin("A").Cap
+	pinCap := genericCell(t, "INV_X2").Pin("A").Cap
 	if diff := got - pinCap; diff > 1e-21 || diff < -1e-21 {
 		t.Fatalf("lumped LoadCapOf = %g, want %g", got, pinCap)
 	}
@@ -186,10 +197,10 @@ func TestHoldAndDriveRes(t *testing.T) {
 		t.Fatal(err)
 	}
 	mid := d.FindNet("mid")
-	if got := b.HoldRes(mid); got != lib.MustCell("INV_X1").HoldRes {
+	if got := b.HoldRes(mid); got != genericCell(t, "INV_X1").HoldRes {
 		t.Fatalf("HoldRes = %g", got)
 	}
-	if got := b.DriveRes(mid); got != lib.MustCell("INV_X1").DriveRes {
+	if got := b.DriveRes(mid); got != genericCell(t, "INV_X1").DriveRes {
 		t.Fatalf("DriveRes = %g", got)
 	}
 	// Port-driven net uses the 50 Ω default.

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bind"
 	"repro/internal/interval"
@@ -59,6 +61,22 @@ type Options struct {
 	// conservative plateau). Experiment A1 quantifies the three; T11
 	// demonstrates why tent is the default.
 	Occupancy Occupancy
+	// FailSoft keeps the run alive when a single victim cannot be
+	// analyzed: the failure is recorded as a Diag and the victim gets the
+	// conservative full-rail fallback (combined noise pinned at Vdd over
+	// an infinite window) instead of aborting the whole analysis. Off by
+	// default: the historical fail-fast behaviour returns the first error.
+	FailSoft bool
+	// PrepareHook, when non-nil, runs at the start of every victim's
+	// preparation. It exists for runtime fault injection in robustness
+	// tests (see workload.RuntimeFaults): a hook may return an error,
+	// panic, or block to simulate a malformed or pathological victim. Not
+	// consulted on any other path.
+	PrepareHook func(net string) error
+	// RoundBudget bounds each round's wall clock in AnalyzeIterative;
+	// a round exceeding it stops the loop with a Diverging diagnostic.
+	// Zero means no budget.
+	RoundBudget time.Duration
 	// STA configures the underlying timing run.
 	STA sta.Options
 }
@@ -85,23 +103,28 @@ type analyzer struct {
 	// correlation (nil when the option is off).
 	corr  map[string]sourceMap
 	stats Stats
+	// degraded marks nets substituted with the full-rail fallback; diags
+	// records why. Both are written serially (commit or fixpoint loop).
+	degraded map[string]bool
+	diags    []Diag
 }
 
 // newAnalyzer runs the shared setup — timing, victim ordering, context and
 // coupled-event construction — used by both Analyze and AnalyzeDelay.
-func newAnalyzer(b *bind.Design, opts Options) (*analyzer, []*netlist.Net, error) {
+func newAnalyzer(ctx context.Context, b *bind.Design, opts Options) (*analyzer, []*netlist.Net, error) {
 	opts.fill()
 	a := &analyzer{
-		b:       b,
-		opts:    opts,
-		vdd:     opts.Vdd,
-		ctxs:    make(map[string]*noise.Context),
-		coupled: make(map[string]*[2][]Event),
+		b:        b,
+		opts:     opts,
+		vdd:      opts.Vdd,
+		ctxs:     make(map[string]*noise.Context),
+		coupled:  make(map[string]*[2][]Event),
+		degraded: make(map[string]bool),
 	}
 	if a.vdd <= 0 {
 		a.vdd = b.Lib.Vdd
 	}
-	staRes, err := sta.Run(b, opts.STA)
+	staRes, err := sta.RunCtx(ctx, b, opts.STA)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -111,22 +134,50 @@ func newAnalyzer(b *bind.Design, opts Options) (*analyzer, []*netlist.Net, error
 	}
 
 	order := a.victimOrder()
-	if err := a.prepareAll(order); err != nil {
+	if err := a.prepareAll(ctx, order); err != nil {
 		return nil, nil, err
 	}
 	return a, order, nil
 }
 
+// safePrepare runs prepareNet with panics converted into errors, so one
+// malformed victim (a corrupt RC tree, an unphysical parameter, an
+// injected fault) surfaces as a per-net failure instead of crashing the
+// whole engine.
+func (a *analyzer) safePrepare(net *netlist.Net) (p *preparedNet, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: panic preparing net %s: %v", net.Name, r)
+		}
+	}()
+	if h := a.opts.PrepareHook; h != nil {
+		if err := h(net.Name); err != nil {
+			return nil, err
+		}
+	}
+	return a.prepareNet(net)
+}
+
 // prepareAll builds every victim's context and coupled events, optionally
 // across Options.Workers goroutines. Victims are independent here, so the
-// parallel and serial paths produce identical results.
-func (a *analyzer) prepareAll(order []*netlist.Net) error {
+// parallel and serial paths produce identical results. Cancellation is
+// checked between victims; under fail-soft a per-net failure degrades
+// that net, under fail-fast it stops the remaining workers promptly so an
+// early error on a huge design does not keep preparing doomed work.
+func (a *analyzer) prepareAll(ctx context.Context, order []*netlist.Net) error {
 	workers := a.opts.Workers
 	if workers <= 1 || len(order) < 2 {
 		for _, net := range order {
-			p, err := a.prepareNet(net)
-			if err != nil {
+			if err := ctx.Err(); err != nil {
 				return err
+			}
+			p, err := a.safePrepare(net)
+			if err != nil {
+				if !a.opts.FailSoft {
+					return err
+				}
+				a.degradeNet(net.Name, StagePrepare, err)
+				continue
 			}
 			a.commitPrepared(net, p)
 		}
@@ -136,40 +187,105 @@ func (a *analyzer) prepareAll(order []*netlist.Net) error {
 		workers = len(order)
 	}
 	prepared := make([]*preparedNet, len(order))
-	errs := make([]error, workers)
+	errs := make([]error, len(order))
+	var stop atomic.Bool
 	var wg sync.WaitGroup
 	var next int64 = -1
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
 			for {
+				if stop.Load() {
+					return
+				}
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(order) {
 					return
 				}
-				p, err := a.prepareNet(order[i])
-				if err != nil {
-					errs[w] = err
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					stop.Store(true)
 					return
+				}
+				p, err := a.safePrepare(order[i])
+				if err != nil {
+					errs[i] = err
+					// Fail-soft keeps the other victims coming; fail-fast
+					// drains the queue so the run aborts promptly.
+					if !a.opts.FailSoft {
+						stop.Store(true)
+						return
+					}
+					continue
 				}
 				prepared[i] = p
 			}
-		}(w)
+		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
+	// Commit serially in victim order so maps, stats, and diagnostics are
+	// deterministic regardless of worker scheduling.
 	for i, net := range order {
+		if errs[i] != nil {
+			if !a.opts.FailSoft {
+				return errs[i]
+			}
+			a.degradeNet(net.Name, StagePrepare, errs[i])
+			continue
+		}
 		if prepared[i] == nil {
+			// Only reachable when a fail-fast stop drained the queue, and
+			// then the error above has already returned.
 			return fmt.Errorf("core: net %s was not prepared", net.Name)
 		}
 		a.commitPrepared(net, prepared[i])
 	}
 	return nil
+}
+
+// degradedWidth is the glitch width assumed for the full-rail fallback: a
+// wide glitch, because immunity allowances only shrink with width, so the
+// substituted bound stays conservative for any receiver.
+const degradedWidth = 1 * units.Nano
+
+// fullRailEvent is the conservative fallback glitch for a victim the
+// engine could not analyze: the full supply rail, achievable at any time.
+func (a *analyzer) fullRailEvent() Event {
+	return Event{Peak: a.vdd, Width: degradedWidth, Window: interval.Infinite(), Source: "degraded"}
+}
+
+// fullRailComb is the combined form of the fallback, used when a net
+// degrades after preparation (evaluate stage).
+func (a *analyzer) fullRailComb() Combined {
+	e := a.fullRailEvent()
+	return Combined{
+		Peak:         e.Peak,
+		Width:        e.Width,
+		Window:       e.Window,
+		At:           0,
+		Members:      []string{e.Source},
+		MemberEvents: []Event{e},
+	}
+}
+
+// degradeNet substitutes the conservative fallback for one victim and
+// records the diagnostic. The net's receivers are not individually
+// checked (its noise context may not exist); the Diag plus the full-rail
+// bound mark the whole net as failing, which downstream propagation and
+// the exit-code policy treat conservatively.
+func (a *analyzer) degradeNet(net, stage string, err error) {
+	if a.degraded[net] {
+		return
+	}
+	a.degraded[net] = true
+	a.diags = append(a.diags, Diag{Net: net, Stage: stage, Err: err, Degraded: true})
+	e := a.fullRailEvent()
+	a.ctxs[net] = nil
+	a.coupled[net] = &[2][]Event{{e}, {e}}
 }
 
 // preparedNet is the output of the per-victim preparation stage.
@@ -191,7 +307,16 @@ func (a *analyzer) commitPrepared(net *netlist.Net, p *preparedNet) {
 
 // Analyze runs static noise analysis over the whole design.
 func Analyze(b *bind.Design, opts Options) (*Result, error) {
-	a, order, err := newAnalyzer(b, opts)
+	return AnalyzeCtx(context.Background(), b, opts)
+}
+
+// AnalyzeCtx is Analyze with cooperative cancellation: the context is
+// checked during victim preparation and between propagation passes, and
+// its error is returned as soon as it fires. A cancelled run returns no
+// partial result — partial results come from fail-soft degradation
+// (Options.FailSoft), not from cancellation.
+func AnalyzeCtx(ctx context.Context, b *bind.Design, opts Options) (*Result, error) {
+	a, order, err := newAnalyzer(ctx, b, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -212,22 +337,34 @@ func Analyze(b *bind.Design, opts Options) (*Result, error) {
 	converged := false
 	iterations := 0
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		iterations++
 		a.stats.Propagated = 0
 		changed := false
-		for _, net := range order {
+		for ni, net := range order {
+			if ni&0x3f == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			nn := res.Nets[net.Name]
-			events := a.buildEvents(net, res)
-			var comb [2]Combined
-			for _, k := range Kinds {
-				comb[k] = combineConstrained(events[k], a.vdd, a.conflictFunc(events[k], k), a.occupancy())
-			}
-			if !combEqual(comb[KindLow], nn.Comb[KindLow], 1e-7) ||
-				!combEqual(comb[KindHigh], nn.Comb[KindHigh], 1e-7) {
+			netChanged, err := a.safeEval(net, nn, res)
+			if err != nil {
+				if !opts.FailSoft {
+					return nil, err
+				}
+				// Pin the net at the fallback; its events are replaced so
+				// later passes (and delay analysis) see the same bound.
+				a.degradeNet(net.Name, StageEvaluate, err)
+				fallback := a.fullRailComb()
+				nn.Events = *a.coupled[net.Name]
+				nn.Comb = [2]Combined{fallback, fallback}
 				changed = true
+				continue
 			}
-			nn.Events = events
-			nn.Comb = comb
+			changed = changed || netChanged
 		}
 		if !changed {
 			converged = true
@@ -242,10 +379,47 @@ func Analyze(b *bind.Design, opts Options) (*Result, error) {
 	a.stats.Iterations = iterations
 	a.stats.Converged = converged
 	a.stats.Victims = len(order)
+	a.stats.DegradedNets = len(a.diags)
 	res.Stats = a.stats
 
 	a.checkViolations(res)
+	sortDiags(a.diags)
+	res.Diags = a.diags
 	return res, nil
+}
+
+// safeEval recomputes one net's event list and windowed combination for
+// the current pass, converting panics into errors so fail-soft runs can
+// degrade the victim instead of crashing. Degraded nets keep their pinned
+// fallback combination and report no change.
+func (a *analyzer) safeEval(net *netlist.Net, nn *NetNoise, res *Result) (changed bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: panic evaluating net %s: %v", net.Name, r)
+		}
+	}()
+	if a.degraded[net.Name] {
+		// Pin the fallback once (a prepare-stage degradation reaches the
+		// fixpoint loop before any combination was stored); afterwards the
+		// net is inert.
+		if nn.Comb[KindLow].Peak != a.vdd {
+			fallback := a.fullRailComb()
+			nn.Events = *a.coupled[net.Name]
+			nn.Comb = [2]Combined{fallback, fallback}
+			return true, nil
+		}
+		return false, nil
+	}
+	events := a.buildEvents(net, res)
+	var comb [2]Combined
+	for _, k := range Kinds {
+		comb[k] = combineConstrained(events[k], a.vdd, a.conflictFunc(events[k], k), a.occupancy())
+	}
+	changed = !combEqual(comb[KindLow], nn.Comb[KindLow], 1e-7) ||
+		!combEqual(comb[KindHigh], nn.Comb[KindHigh], 1e-7)
+	nn.Events = events
+	nn.Comb = comb
+	return changed, nil
 }
 
 // occupancy resolves the effective combination policy: the baselines keep

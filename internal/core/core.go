@@ -174,6 +174,9 @@ type Stats struct {
 	Propagated     int // propagated glitch events created (last pass)
 	Iterations     int // propagation passes until fixpoint
 	Converged      bool
+	// DegradedNets counts victims substituted with the conservative
+	// full-rail fallback under fail-soft (equals len(Result.Diags)).
+	DegradedNets int
 }
 
 // Result is a full-design noise analysis.
@@ -185,6 +188,13 @@ type Result struct {
 	// sorted tightest first (violations included, negative).
 	Slacks []ReceiverSlack
 	Stats  Stats
+	// Diags lists the victims the engine could not analyze and degraded
+	// to the conservative full-rail bound (fail-soft runs only; a
+	// fail-fast run aborts on the first such failure instead). Sorted by
+	// net name. Degraded nets appear in Nets with Peak pinned at Vdd but
+	// carry no per-receiver Violations — the Diag marks the whole net
+	// failing.
+	Diags []Diag
 	// STA is the timing annotation used (switching windows, slews).
 	STA *sta.Result
 }

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/bind"
 	"repro/internal/interval"
+	"repro/internal/netlist"
 	"repro/internal/units"
 )
 
@@ -53,6 +56,11 @@ type DelayResult struct {
 	// Impacts holds per-net, per-direction impacts (only for nets that
 	// actually switch and see opposing noise).
 	Impacts []DelayImpact
+	// Diags lists victims degraded during preparation or delay
+	// evaluation (fail-soft runs only), sorted by net name. A degraded
+	// victim's fallback events are full-rail and always-on, so its
+	// impacts are maximally conservative.
+	Diags []Diag
 }
 
 // WorstDelta returns the largest estimated push-out.
@@ -96,77 +104,28 @@ func (r *DelayResult) TotalDelta() float64 {
 // arriving through the victim's own driver is already part of its input
 // arrival, not an independent disturbance.
 func AnalyzeDelay(b *bind.Design, opts Options) (*DelayResult, error) {
-	a, order, err := newAnalyzer(b, opts)
+	return AnalyzeDelayCtx(context.Background(), b, opts)
+}
+
+// AnalyzeDelayCtx is AnalyzeDelay with cooperative cancellation, checked
+// during preparation and between victims.
+func AnalyzeDelayCtx(ctx context.Context, b *bind.Design, opts Options) (*DelayResult, error) {
+	a, order, err := newAnalyzer(ctx, b, opts)
 	if err != nil {
 		return nil, err
 	}
 	res := &DelayResult{Mode: a.opts.Mode}
-	for _, net := range order {
-		events := a.coupled[net.Name]
-		if events == nil {
-			continue
+	for ni, net := range order {
+		if ni&0x3f == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
-		vt := a.staRes.TimingOfNet(net.Name)
-		for _, rise := range []bool{true, false} {
-			vw := vt.Window(rise)
-			if vw.IsEmpty() {
-				continue
+		if err := a.safeDelayNet(net, res); err != nil {
+			if !a.opts.FailSoft {
+				return nil, err
 			}
-			// A rising victim is opposed by falling aggressors, whose
-			// glitches are the KindHigh events, and vice versa.
-			opposing := events[KindHigh]
-			if !rise {
-				opposing = events[KindLow]
-			}
-			if len(opposing) == 0 {
-				continue
-			}
-			items := make([]interval.Weighted, 0, len(opposing))
-			idx := make([]int, 0, len(opposing))
-			for i, e := range opposing {
-				if e.Peak <= 0 {
-					continue
-				}
-				if a.opts.Mode == ModeAllAggressors {
-					items = append(items, interval.Weighted{W: e.Window, Weight: e.Peak})
-					idx = append(idx, i)
-					continue
-				}
-				// Clip the glitch window against every phase of the
-				// victim's switching set; disjoint pieces cannot both
-				// contain an alignment instant, so the aggressor is
-				// never double-counted.
-				for _, piece := range vw.IntersectWindow(e.Window).Windows() {
-					items = append(items, interval.Weighted{W: piece, Weight: e.Peak})
-					idx = append(idx, i)
-				}
-			}
-			if len(items) == 0 {
-				continue
-			}
-			comb := interval.MaxOverlapSum(items)
-			if comb.Sum <= 0 || math.IsNaN(comb.At) {
-				continue
-			}
-			slew := vt.Slew(rise)
-			s := a.opts.DefaultAggSlew
-			if slew.Min <= slew.Max {
-				s = slew.Max
-			}
-			noisePeak := math.Min(comb.Sum, a.vdd)
-			im := DelayImpact{
-				Net:          net.Name,
-				Rise:         rise,
-				VictimWindow: vw,
-				NoisePeak:    noisePeak,
-				Delta:        s * noisePeak / a.vdd,
-				At:           comb.At,
-			}
-			for _, ci := range comb.Members {
-				im.Members = append(im.Members, opposing[idx[ci]].Source)
-			}
-			sort.Strings(im.Members)
-			res.Impacts = append(res.Impacts, im)
+			a.degradeNet(net.Name, StageDelay, err)
 		}
 	}
 	sort.Slice(res.Impacts, func(i, j int) bool {
@@ -178,7 +137,86 @@ func AnalyzeDelay(b *bind.Design, opts Options) (*DelayResult, error) {
 		}
 		return res.Impacts[i].Rise && !res.Impacts[j].Rise
 	})
+	sortDiags(a.diags)
+	res.Diags = a.diags
 	return res, nil
+}
+
+// safeDelayNet evaluates one victim's delta-delay impacts with panics
+// converted into errors for fail-soft isolation.
+func (a *analyzer) safeDelayNet(net *netlist.Net, res *DelayResult) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: panic in delay analysis of net %s: %v", net.Name, r)
+		}
+	}()
+	events := a.coupled[net.Name]
+	if events == nil {
+		return nil
+	}
+	vt := a.staRes.TimingOfNet(net.Name)
+	for _, rise := range []bool{true, false} {
+		vw := vt.Window(rise)
+		if vw.IsEmpty() {
+			continue
+		}
+		// A rising victim is opposed by falling aggressors, whose
+		// glitches are the KindHigh events, and vice versa.
+		opposing := events[KindHigh]
+		if !rise {
+			opposing = events[KindLow]
+		}
+		if len(opposing) == 0 {
+			continue
+		}
+		items := make([]interval.Weighted, 0, len(opposing))
+		idx := make([]int, 0, len(opposing))
+		for i, e := range opposing {
+			if e.Peak <= 0 {
+				continue
+			}
+			if a.opts.Mode == ModeAllAggressors {
+				items = append(items, interval.Weighted{W: e.Window, Weight: e.Peak})
+				idx = append(idx, i)
+				continue
+			}
+			// Clip the glitch window against every phase of the
+			// victim's switching set; disjoint pieces cannot both
+			// contain an alignment instant, so the aggressor is
+			// never double-counted.
+			for _, piece := range vw.IntersectWindow(e.Window).Windows() {
+				items = append(items, interval.Weighted{W: piece, Weight: e.Peak})
+				idx = append(idx, i)
+			}
+		}
+		if len(items) == 0 {
+			continue
+		}
+		comb := interval.MaxOverlapSum(items)
+		if comb.Sum <= 0 || math.IsNaN(comb.At) {
+			continue
+		}
+		slew := vt.Slew(rise)
+		s := a.opts.DefaultAggSlew
+		if slew.Min <= slew.Max {
+			s = slew.Max
+		}
+		noisePeak := math.Min(comb.Sum, a.vdd)
+		im := DelayImpact{
+			Net:          net.Name,
+			Rise:         rise,
+			VictimWindow: vw,
+			NoisePeak:    noisePeak,
+			Delta:        s * noisePeak / a.vdd,
+			At:           comb.At,
+		}
+		for _, ci := range comb.Members {
+			im.Members = append(im.Members, opposing[idx[ci]].Source)
+		}
+		sort.Strings(im.Members)
+		res.Impacts = append(res.Impacts, im)
+	}
+	return nil
 }
 
 // delayTol is the comparison tolerance used by delta-delay tests.

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Fail-soft degradation: a signoff run over a whole design must not be
+// aborted by one malformed victim. When Options.FailSoft is set, a panic
+// or error while preparing or evaluating a single net is caught, recorded
+// as a Diag, and the victim is substituted with the conservative full-rail
+// fallback — its combined noise is pinned at the supply rail over an
+// infinite window, so the degradation can hide a violation but never
+// invent a pass. Cancellation (context errors) is never degraded: a
+// cancelled run returns the context error, not a partial result.
+
+// Degradation stages, recorded in Diag.Stage.
+const (
+	// StagePrepare covers context and coupled-event construction
+	// (prepareNet): RC analysis, parameter validation, fault hooks.
+	StagePrepare = "prepare"
+	// StageEvaluate covers the per-net windowed combination inside the
+	// propagation fixpoint.
+	StageEvaluate = "evaluate"
+	// StageDelay covers the per-net crosstalk delta-delay evaluation.
+	StageDelay = "delay"
+)
+
+// Diag records one net the engine could not analyze and what it did about
+// it.
+type Diag struct {
+	// Net is the victim the failure occurred on.
+	Net string
+	// Stage names where it failed (StagePrepare, StageEvaluate, StageDelay).
+	Stage string
+	// Err is the recovered panic or returned error.
+	Err error
+	// Degraded reports that the conservative full-rail fallback was
+	// substituted (always true under fail-soft; a Diag is only recorded
+	// at all when the run continued).
+	Degraded bool
+}
+
+// String renders the diagnostic for logs and reports.
+func (d Diag) String() string {
+	action := "aborted"
+	if d.Degraded {
+		action = "degraded to full-rail bound"
+	}
+	return fmt.Sprintf("net %s: %s failed (%s): %v", d.Net, d.Stage, action, d.Err)
+}
+
+// sortDiags orders diagnostics by net name then stage for deterministic
+// reports regardless of worker scheduling.
+func sortDiags(diags []Diag) {
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Net != diags[j].Net {
+			return diags[i].Net < diags[j].Net
+		}
+		return diags[i].Stage < diags[j].Stage
+	})
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/bind"
 	"repro/internal/units"
@@ -16,7 +18,10 @@ import (
 // reanalyze until the padding stops growing. Padding only grows (the
 // maximum over rounds is kept) and each net's delta is bounded by
 // slew·Vdd/Vdd, so the loop converges; non-convergence within the round
-// budget is reported rather than hidden.
+// budget is reported rather than hidden, and a divergence watchdog stops
+// the loop early when the padding growth is not contracting or a round
+// blows its wall-clock budget — a run that will not converge should say
+// so instead of silently burning rounds.
 
 // IterativeResult is the converged joint noise/timing analysis.
 type IterativeResult struct {
@@ -30,36 +35,59 @@ type IterativeResult struct {
 	// Converged reports whether the padding reached a fixpoint within
 	// the round budget.
 	Converged bool
+	// Diverging reports that the watchdog cut the loop short (padding
+	// growth not contracting, a round over Options.RoundBudget) or that
+	// the padding was still growing when the rounds ran out. Always false
+	// when Converged.
+	Diverging bool
+	// DivergeReason explains the watchdog trigger ("" unless Diverging).
+	DivergeReason string
 }
 
 // AnalyzeIterative runs the noise–timing loop. maxRounds bounds the outer
 // iteration (default 8 when zero). The tolerance for padding convergence
 // is 0.01 ps.
 func AnalyzeIterative(b *bind.Design, opts Options, maxRounds int) (*IterativeResult, error) {
+	return AnalyzeIterativeCtx(context.Background(), b, opts, maxRounds)
+}
+
+// AnalyzeIterativeCtx is AnalyzeIterative with cooperative cancellation,
+// checked between rounds and inside each round's analyses.
+func AnalyzeIterativeCtx(ctx context.Context, b *bind.Design, opts Options, maxRounds int) (*IterativeResult, error) {
 	if maxRounds <= 0 {
 		maxRounds = 8
 	}
 	const tol = units.Pico / 100
 	padding := make(map[string]float64)
 	out := &IterativeResult{Padding: padding}
+	// Watchdog state: the largest per-net padding increase of the
+	// previous round, and how many consecutive rounds failed to contract.
+	prevGrowth := math.Inf(1)
+	stalled := 0
 	for round := 1; round <= maxRounds; round++ {
-		out.Rounds = round
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		start := time.Now()
 		o := opts
 		o.STA.WindowPadding = padding
-		noiseRes, err := Analyze(b, o)
+		noiseRes, err := AnalyzeCtx(ctx, b, o)
 		if err != nil {
 			return nil, fmt.Errorf("core: iterative round %d: %w", round, err)
 		}
-		delayRes, err := AnalyzeDelay(b, o)
+		delayRes, err := AnalyzeDelayCtx(ctx, b, o)
 		if err != nil {
 			return nil, fmt.Errorf("core: iterative round %d: %w", round, err)
 		}
+		out.Rounds = round
 		out.Noise = noiseRes
 		out.Delay = delayRes
 
 		grew := false
+		var growth float64
 		for _, im := range delayRes.Impacts {
 			if im.Delta > padding[im.Net]+tol {
+				growth = math.Max(growth, im.Delta-padding[im.Net])
 				padding[im.Net] = im.Delta
 				grew = true
 			}
@@ -68,7 +96,36 @@ func AnalyzeIterative(b *bind.Design, opts Options, maxRounds int) (*IterativeRe
 			out.Converged = true
 			return out, nil
 		}
+		if opts.RoundBudget > 0 {
+			if elapsed := time.Since(start); elapsed > opts.RoundBudget {
+				out.Diverging = true
+				out.DivergeReason = fmt.Sprintf("round %d took %s, over the %s budget",
+					round, elapsed.Round(time.Millisecond), opts.RoundBudget)
+				return out, nil
+			}
+		}
+		// Contraction check: a healthy loop's padding increments shrink
+		// every round (the feedback gain is < 1). Two consecutive rounds
+		// of non-shrinking growth mean the loop is chasing its own tail.
+		if growth >= prevGrowth-tol {
+			stalled++
+		} else {
+			stalled = 0
+		}
+		if stalled >= 2 {
+			out.Diverging = true
+			out.DivergeReason = fmt.Sprintf(
+				"padding growth not contracting for %d rounds (latest %.3gps/round)",
+				stalled, growth/units.Pico)
+			return out, nil
+		}
+		prevGrowth = growth
 	}
+	// The budget ran out with padding still growing: the loop did not
+	// converge and was still moving — report it as diverging rather than
+	// letting a silent Converged=false look like a near-miss.
+	out.Diverging = true
+	out.DivergeReason = fmt.Sprintf("padding still growing after %d rounds", maxRounds)
 	return out, nil
 }
 

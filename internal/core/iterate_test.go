@@ -1,7 +1,9 @@
 package core
 
 import (
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/sta"
 	"repro/internal/units"
@@ -80,5 +82,62 @@ func TestIterativePaddingMonotone(t *testing.T) {
 	if iter.Noise.TotalNoise() < plain.TotalNoise()-1e-9 {
 		t.Fatalf("padded analysis lost noise: %g vs %g",
 			iter.Noise.TotalNoise(), plain.TotalNoise())
+	}
+}
+
+func TestIterativeNonConvergenceReportsDiverging(t *testing.T) {
+	// The delta-feedback fixture needs at least two rounds to settle;
+	// capping at one round leaves the padding still growing when the
+	// budget runs out, which must surface as Diverging, never as a
+	// silent Converged=false.
+	b := busFixture(t, 3, 4*units.Femto, 8*units.Femto)
+	inputs := staggeredInputs(3, 0, 60*units.Pico)
+	inputs["i_v"] = timingAt(0, 60*units.Pico)
+	res, err := AnalyzeIterative(b, Options{Mode: ModeNoiseWindows, STA: sta.Options{InputTiming: inputs}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("one round cannot converge this fixture")
+	}
+	if !res.Diverging || res.DivergeReason == "" {
+		t.Fatalf("Diverging=%v reason=%q, want divergence diagnostic", res.Diverging, res.DivergeReason)
+	}
+	if res.Rounds != 1 || res.MaxPadding() <= 0 {
+		t.Fatalf("rounds=%d padding=%g", res.Rounds, res.MaxPadding())
+	}
+}
+
+func TestIterativeRoundBudgetTripsWatchdog(t *testing.T) {
+	// A one-nanosecond budget is blown by any real round; the watchdog
+	// must stop after the first growing round and say why.
+	b := busFixture(t, 3, 4*units.Femto, 8*units.Femto)
+	inputs := staggeredInputs(3, 0, 60*units.Pico)
+	inputs["i_v"] = timingAt(0, 60*units.Pico)
+	opts := Options{Mode: ModeNoiseWindows, RoundBudget: time.Nanosecond, STA: sta.Options{InputTiming: inputs}}
+	res, err := AnalyzeIterative(b, opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || !res.Diverging {
+		t.Fatalf("converged=%v diverging=%v, want budget trip", res.Converged, res.Diverging)
+	}
+	if !strings.Contains(res.DivergeReason, "budget") {
+		t.Fatalf("reason = %q, want round-budget explanation", res.DivergeReason)
+	}
+	if res.Rounds != 1 {
+		t.Fatalf("rounds = %d, want watchdog stop after round 1", res.Rounds)
+	}
+}
+
+func TestIterativeConvergedNeverDiverging(t *testing.T) {
+	b := busFixture(t, 2, 4*units.Femto, 10*units.Femto)
+	inputs := staggeredInputs(2, 0, 60*units.Pico)
+	res, err := AnalyzeIterative(b, Options{Mode: ModeNoiseWindows, STA: sta.Options{InputTiming: inputs}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Diverging || res.DivergeReason != "" {
+		t.Fatalf("converged=%v diverging=%v reason=%q", res.Converged, res.Diverging, res.DivergeReason)
 	}
 }

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -19,6 +20,18 @@ type Config struct {
 	// Quick shrinks sweeps so the whole suite runs in seconds (used by
 	// unit tests); the full runs back EXPERIMENTS.md.
 	Quick bool
+	// Ctx cancels a sweep between experiments (nil = background). Long
+	// full-fidelity runs check it so noisebench -timeout can stop a
+	// stuck sweep instead of hanging CI.
+	Ctx context.Context
+}
+
+// Context returns the configured context, defaulting to background.
+func (c Config) Context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // Runner is one experiment's entry point.
@@ -61,13 +74,20 @@ func Run(id string, cfg Config) ([]*report.Table, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
 	}
+	if err := cfg.Context().Err(); err != nil {
+		return nil, err
+	}
 	return r(cfg)
 }
 
-// All executes every experiment in ID order.
+// All executes every experiment in ID order, stopping at the first
+// cancellation or failure.
 func All(cfg Config) ([]*report.Table, error) {
 	var out []*report.Table
 	for _, id := range IDs() {
+		if err := cfg.Context().Err(); err != nil {
+			return nil, err
+		}
 		ts, err := Run(id, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", id, err)

@@ -7,6 +7,17 @@ import (
 	"repro/internal/units"
 )
 
+// mustCell resolves a cell the test depends on, failing the test (not
+// the process) when the library is missing it.
+func mustCell(t testing.TB, lib *Library, name string) *Cell {
+	t.Helper()
+	c, err := lib.ResolveCell("", name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 func TestGenericLibraryValidates(t *testing.T) {
 	lib := Generic()
 	if err := lib.Validate(); err != nil {
@@ -32,7 +43,7 @@ func TestGenericCellStructure(t *testing.T) {
 	if inv.Pin("A").Cap <= 0 {
 		t.Fatal("INV input cap not positive")
 	}
-	nand := lib.MustCell("NAND2_X1")
+	nand := mustCell(t, lib, "NAND2_X1")
 	if len(nand.InputPins()) != 2 {
 		t.Fatalf("NAND2 inputs = %d", len(nand.InputPins()))
 	}
@@ -49,8 +60,8 @@ func TestGenericCellStructure(t *testing.T) {
 
 func TestGenericDriveStrengthOrdering(t *testing.T) {
 	lib := Generic()
-	x1 := lib.MustCell("INV_X1")
-	x4 := lib.MustCell("INV_X4")
+	x1 := mustCell(t, lib, "INV_X1")
+	x4 := mustCell(t, lib, "INV_X4")
 	if !(x4.DriveRes < x1.DriveRes) {
 		t.Fatalf("X4 drive %g not stronger than X1 %g", x4.DriveRes, x1.DriveRes)
 	}
@@ -68,7 +79,7 @@ func TestGenericDriveStrengthOrdering(t *testing.T) {
 
 func TestGenericDelayMonotoneInLoad(t *testing.T) {
 	lib := Generic()
-	arc := lib.MustCell("BUF_X1").Arc("A", "Y")
+	arc := mustCell(t, lib, "BUF_X1").Arc("A", "Y")
 	prev := -1.0
 	for _, load := range []float64{1e-15, 1e-14, 5e-14, 1e-13} {
 		d := arc.DelayFall.Eval(20*units.Pico, load)
@@ -81,20 +92,20 @@ func TestGenericDelayMonotoneInLoad(t *testing.T) {
 
 func TestGenericUnateness(t *testing.T) {
 	lib := Generic()
-	if lib.MustCell("INV_X1").Arcs[0].Unate != NegativeUnate {
+	if mustCell(t, lib, "INV_X1").Arcs[0].Unate != NegativeUnate {
 		t.Error("INV not negative unate")
 	}
-	if lib.MustCell("BUF_X1").Arcs[0].Unate != PositiveUnate {
+	if mustCell(t, lib, "BUF_X1").Arcs[0].Unate != PositiveUnate {
 		t.Error("BUF not positive unate")
 	}
-	if lib.MustCell("XOR2_X1").Arcs[0].Unate != NonUnate {
+	if mustCell(t, lib, "XOR2_X1").Arcs[0].Unate != NonUnate {
 		t.Error("XOR not non-unate")
 	}
 }
 
 func TestLibraryImmunityFallback(t *testing.T) {
 	lib := Generic()
-	pin := lib.MustCell("INV_X1").Pin("A")
+	pin := mustCell(t, lib, "INV_X1").Pin("A")
 	if lib.Immunity(pin) != lib.DefaultImmunity {
 		t.Fatal("pin without own curve should use default")
 	}
@@ -160,14 +171,25 @@ func TestLibraryValidateErrors(t *testing.T) {
 	}
 }
 
-func TestMustCellPanics(t *testing.T) {
+func TestResolveCellUnknown(t *testing.T) {
 	lib := Generic()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustCell on unknown did not panic")
+	if _, err := lib.ResolveCell("u42", "DOES_NOT_EXIST"); err == nil {
+		t.Fatal("ResolveCell on unknown did not error")
+	} else {
+		msg := err.Error()
+		if !strings.Contains(msg, "DOES_NOT_EXIST") || !strings.Contains(msg, "u42") {
+			t.Fatalf("error does not name cell and instance: %v", err)
 		}
-	}()
-	lib.MustCell("DOES_NOT_EXIST")
+	}
+	// Without an instance the error still names the cell and library.
+	if _, err := lib.ResolveCell("", "DOES_NOT_EXIST"); err == nil {
+		t.Fatal("ResolveCell without instance did not error")
+	} else if !strings.Contains(err.Error(), "DOES_NOT_EXIST") {
+		t.Fatalf("error does not name cell: %v", err)
+	}
+	if c, err := lib.ResolveCell("u1", "INV_X1"); err != nil || c == nil || c.Name != "INV_X1" {
+		t.Fatalf("ResolveCell(INV_X1) = %v, %v", c, err)
+	}
 }
 
 func TestGenericCellNamesResolve(t *testing.T) {
@@ -198,8 +220,8 @@ func TestParseWriteRoundTrip(t *testing.T) {
 		t.Fatal("round trip changed library")
 	}
 	// Spot-check numeric fidelity through a table evaluation.
-	a1 := lib.MustCell("NAND2_X1").Arc("A", "Y")
-	a2 := lib2.MustCell("NAND2_X1").Arc("A", "Y")
+	a1 := mustCell(t, lib, "NAND2_X1").Arc("A", "Y")
+	a2 := mustCell(t, lib2, "NAND2_X1").Arc("A", "Y")
 	s, l := 37*units.Pico, 13*units.Femto
 	if g1, g2 := a1.DelayRise.Eval(s, l), a2.DelayRise.Eval(s, l); g1 != g2 {
 		t.Fatalf("table fidelity: %g vs %g", g1, g2)
@@ -254,7 +276,7 @@ end
 	if err != nil {
 		t.Fatal(err)
 	}
-	pin := lib.MustCell("C").Pin("A")
+	pin := mustCell(t, lib, "C").Pin("A")
 	if pin.Immunity == nil || pin.Immunity.MaxPeak(0) != 0.8 {
 		t.Fatalf("per-pin immunity not parsed: %+v", pin.Immunity)
 	}
@@ -265,7 +287,7 @@ end
 
 func BenchmarkTableEval(b *testing.B) {
 	lib := Generic()
-	arc := lib.MustCell("INV_X1").Arc("A", "Y")
+	arc := mustCell(b, lib, "INV_X1").Arc("A", "Y")
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -282,8 +304,8 @@ func TestScaleCorners(t *testing.T) {
 	if slow.Name != "slow" || slow.Vdd != base.Vdd*0.9 {
 		t.Fatalf("header: %s vdd=%g", slow.Name, slow.Vdd)
 	}
-	bi := base.MustCell("INV_X1")
-	si := slow.MustCell("INV_X1")
+	bi := mustCell(t, base, "INV_X1")
+	si := mustCell(t, slow, "INV_X1")
 	if si.HoldRes != bi.HoldRes*1.3 {
 		t.Fatalf("hold res = %g", si.HoldRes)
 	}
@@ -304,7 +326,7 @@ func TestScaleCorners(t *testing.T) {
 		t.Fatalf("threshold scale: %g vs %g", st, bt*0.9)
 	}
 	// The base library is untouched.
-	if base.MustCell("INV_X1").HoldRes != bi.HoldRes {
+	if mustCell(t, base, "INV_X1").HoldRes != bi.HoldRes {
 		t.Fatal("Scale mutated the source library")
 	}
 }

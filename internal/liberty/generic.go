@@ -132,14 +132,21 @@ func GenericCellNames() map[string][]string {
 	}
 }
 
-// MustCell returns the named cell or panics; for generator code working
-// against the generic library.
-func (l *Library) MustCell(name string) *Cell {
+// ResolveCell returns the named cell, or an error naming both the cell
+// and the instance that referenced it. A missing cell is a property of
+// the input (a netlist referencing a library it was not built against),
+// not an internal invariant, so it is reported as an error the caller
+// can attach to a diagnostic instead of a panic that takes the whole
+// run down.
+func (l *Library) ResolveCell(instance, name string) (*Cell, error) {
 	c := l.Cell(name)
 	if c == nil {
-		panic(fmt.Sprintf("liberty: unknown cell %q", name))
+		if instance == "" {
+			return nil, fmt.Errorf("liberty: unknown cell %q in library %s", name, l.Name)
+		}
+		return nil, fmt.Errorf("liberty: instance %q references unknown cell %q in library %s", instance, name, l.Name)
 	}
-	return c
+	return c, nil
 }
 
 // Scale derives a process-corner variant of a library: delay and slew

@@ -14,6 +14,17 @@ import (
 	"repro/internal/units"
 )
 
+// genericCell resolves a cell from the generic library, failing the test
+// when it is missing.
+func genericCell(t *testing.T, name string) *liberty.Cell {
+	t.Helper()
+	c, err := liberty.Generic().ResolveCell("", name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 func baseParams() Params {
 	return Params{
 		HoldRes: 3000,
@@ -258,7 +269,7 @@ func TestBuildContextFromDesign(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ctx.HoldRes != liberty.Generic().MustCell("INV_X1").HoldRes {
+	if ctx.HoldRes != genericCell(t, "INV_X1").HoldRes {
 		t.Fatalf("HoldRes = %g", ctx.HoldRes)
 	}
 	if len(ctx.Couplings) != 2 {
@@ -285,7 +296,7 @@ func TestBuildContextFromDesign(t *testing.T) {
 		t.Fatalf("receivers = %d", len(ctx.Receivers))
 	}
 	// Victim cap: wire 4fF + coupling 4fF + receiver pin cap.
-	pinCap := liberty.Generic().MustCell("INV_X1").Pin("A").Cap
+	pinCap := genericCell(t, "INV_X1").Pin("A").Cap
 	want := 4e-15 + 4e-15 + pinCap
 	if math.Abs(ctx.VictimC-want) > 1e-22 {
 		t.Fatalf("VictimC = %g, want %g", ctx.VictimC, want)

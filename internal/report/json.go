@@ -14,16 +14,28 @@ import (
 // results into other tools (dashboards, waiver systems, regression
 // tracking). Quantities are base SI units; absent windows are null.
 
+// jsonWindow bounds are pointers because windows may be unbounded (a
+// virtual aggressor or a degraded net is "always on"): an infinite end
+// serializes as null, which JSON can carry and ±Inf cannot.
 type jsonWindow struct {
-	Lo float64 `json:"lo"`
-	Hi float64 `json:"hi"`
+	Lo *float64 `json:"lo"`
+	Hi *float64 `json:"hi"`
 }
 
 func jsonWin(w interval.Window) *jsonWindow {
 	if w.IsEmpty() {
 		return nil
 	}
-	return &jsonWindow{Lo: w.Lo, Hi: w.Hi}
+	out := &jsonWindow{}
+	if !math.IsInf(w.Lo, -1) {
+		lo := w.Lo
+		out.Lo = &lo
+	}
+	if !math.IsInf(w.Hi, 1) {
+		hi := w.Hi
+		out.Hi = &hi
+	}
+	return out
 }
 
 type jsonEvent struct {
@@ -62,11 +74,21 @@ type jsonViolation struct {
 	Members  []string `json:"members,omitempty"`
 }
 
+type jsonDegradation struct {
+	Net      string `json:"net"`
+	Stage    string `json:"stage"`
+	Error    string `json:"error"`
+	Degraded bool   `json:"degraded"`
+}
+
 type jsonResult struct {
 	Mode       string          `json:"mode"`
 	Stats      core.Stats      `json:"stats"`
 	Violations []jsonViolation `json:"violations"`
-	Nets       []jsonNet       `json:"nets"`
+	// Degradations lists nets the fail-soft engine could not analyze;
+	// their entries in nets carry conservative full-rail bounds.
+	Degradations []jsonDegradation `json:"degradations,omitempty"`
+	Nets         []jsonNet         `json:"nets"`
 }
 
 func jsonComb(c core.Combined) jsonCombined {
@@ -118,6 +140,13 @@ func WriteJSON(w io.Writer, res *core.Result) error {
 			jv.At = &at
 		}
 		out.Violations = append(out.Violations, jv)
+	}
+	for _, d := range res.Diags {
+		jd := jsonDegradation{Net: d.Net, Stage: d.Stage, Degraded: d.Degraded}
+		if d.Err != nil {
+			jd.Error = d.Err.Error()
+		}
+		out.Degradations = append(out.Degradations, jd)
 	}
 	names := make([]string, 0, len(res.Nets))
 	for n := range res.Nets {

@@ -3,6 +3,7 @@ package report
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -99,5 +100,39 @@ func TestWriteJSONDeterministic(t *testing.T) {
 	}
 	if x.String() != y.String() {
 		t.Fatal("nondeterministic JSON")
+	}
+}
+
+func TestWriteJSONDegradations(t *testing.T) {
+	res := &core.Result{
+		Mode: core.ModeNoiseWindows,
+		Nets: map[string]*core.NetNoise{},
+		Diags: []core.Diag{
+			{Net: "b3", Stage: core.StagePrepare, Err: errors.New("boom"), Degraded: true},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	degs := back["degradations"].([]any)
+	if len(degs) != 1 {
+		t.Fatalf("degradations = %v", degs)
+	}
+	d0 := degs[0].(map[string]any)
+	if d0["net"] != "b3" || d0["stage"] != "prepare" || d0["error"] != "boom" || d0["degraded"] != true {
+		t.Fatalf("degradation = %v", d0)
+	}
+	// Clean runs omit the section entirely.
+	var clean bytes.Buffer
+	if err := WriteJSON(&clean, &core.Result{Nets: map[string]*core.NetNoise{}}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(clean.String(), "degradations") {
+		t.Fatal("clean run emitted degradations section")
 	}
 }

@@ -140,6 +140,27 @@ func Violations(w io.Writer, res *core.Result) {
 	t.Render(w)
 }
 
+// Degradations writes the fail-soft degradation report: which victims
+// the engine could not analyze, at what stage, and why. Degraded nets
+// carry conservative full-rail bounds, so the section is the signoff
+// reviewer's cue that those nets need a rerun or a waiver — a silent
+// fallback would read as a real full-rail violation.
+func Degradations(w io.Writer, diags []core.Diag) {
+	if len(diags) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "degraded nets: %d (conservative full-rail bounds substituted)\n", len(diags))
+	t := NewTable("", "net", "stage", "error")
+	for _, d := range diags {
+		msg := ""
+		if d.Err != nil {
+			msg = d.Err.Error()
+		}
+		t.AddRow(d.Net, d.Stage, msg)
+	}
+	t.Render(w)
+}
+
 // NetSummary writes one net's noise record: every event and the combined
 // result per victim state.
 func NetSummary(w io.Writer, nn *core.NetNoise) {

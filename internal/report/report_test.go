@@ -1,6 +1,8 @@
 package report
 
 import (
+	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -174,5 +176,27 @@ func TestRenderCSV(t *testing.T) {
 	}
 	if strings.Contains(sb.String(), "ignored") {
 		t.Fatal("title leaked into CSV")
+	}
+}
+
+func TestDegradationsOutput(t *testing.T) {
+	var buf bytes.Buffer
+	Degradations(&buf, nil)
+	if buf.Len() != 0 {
+		t.Fatalf("clean run wrote %q", buf.String())
+	}
+	diags := []core.Diag{
+		{Net: "b1", Stage: core.StageEvaluate, Err: errors.New("injected"), Degraded: true},
+		{Net: "b2", Stage: core.StagePrepare, Err: errors.New("panic: oops"), Degraded: true},
+	}
+	Degradations(&buf, diags)
+	out := buf.String()
+	if !strings.Contains(out, "degraded nets: 2") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	for _, want := range []string{"b1", "evaluate", "injected", "b2", "prepare", "full-rail"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -13,6 +13,7 @@
 package sta
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -203,6 +204,14 @@ func (r *Result) SwitchingWindow(net string) interval.Set {
 
 // Run performs the analysis.
 func Run(b *bind.Design, opts Options) (*Result, error) {
+	return RunCtx(context.Background(), b, opts)
+}
+
+// RunCtx is Run with cooperative cancellation: the context is checked
+// while walking the levelized instance list and between loop-fixpoint
+// passes, so a timing run over a huge design stops within a bounded
+// amount of work of the deadline.
+func RunCtx(ctx context.Context, b *bind.Design, opts Options) (*Result, error) {
 	opts.fill()
 	res := &Result{
 		design: b,
@@ -234,7 +243,12 @@ func Run(b *bind.Design, opts Options) (*Result, error) {
 	}
 
 	lev := b.Net.Levelize()
-	for _, inst := range lev.Ordered() {
+	for i, inst := range lev.Ordered() {
+		if i&0x3f == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if err := res.evalInst(inst, &opts); err != nil {
 			return nil, err
 		}
@@ -246,6 +260,9 @@ func Run(b *bind.Design, opts Options) (*Result, error) {
 	if len(lev.Feedback) > 0 {
 		converged := false
 		for iter := 0; iter < opts.MaxLoopIter; iter++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			changed := false
 			for _, inst := range lev.Feedback {
 				before := snapshotOutputs(res, inst)

@@ -66,7 +66,11 @@ func TestChainWindowsMatchTables(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	arc := lib.MustCell("INV_X1").Arc("A", "Y")
+	cell, err := lib.ResolveCell("", "INV_X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arc := cell.Arc("A", "Y")
 	// Input [0,0] both dirs; INV is negative unate, so mid fall comes
 	// from in rise and mid rise from in fall.
 	wantFall := arc.DelayFall.Eval(slew, load)

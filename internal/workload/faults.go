@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RuntimeFaults injects failures into the analysis engine itself, as
+// opposed to Defects, which corrupt the *input* databases. They drive
+// the fail-soft machinery: a fault fires from inside core's per-victim
+// preparation (via Options.PrepareHook), so the engine's isolation and
+// degradation reporting can be exercised on otherwise healthy designs.
+//
+// Each list selects victim nets by exact name; the single entry "*"
+// matches every net.
+type RuntimeFaults struct {
+	// Panic makes preparation of the named nets panic, exercising the
+	// engine's recover-and-degrade path.
+	Panic []string
+	// Error makes preparation of the named nets return a plain error.
+	Error []string
+	// Sleep delays preparation of the named nets by SleepFor, for
+	// deadline and cancellation tests.
+	Sleep []string
+	// SleepFor is the per-net delay for Sleep faults (default 10ms).
+	SleepFor time.Duration
+}
+
+// Any reports whether at least one fault is configured.
+func (f RuntimeFaults) Any() bool {
+	return len(f.Panic) > 0 || len(f.Error) > 0 || len(f.Sleep) > 0
+}
+
+// Victims returns the sorted union of all named victim nets ("*"
+// included verbatim when present).
+func (f RuntimeFaults) Victims() []string {
+	seen := make(map[string]bool)
+	for _, l := range [][]string{f.Panic, f.Error, f.Sleep} {
+		for _, n := range l {
+			seen[n] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func matches(list []string, net string) bool {
+	for _, n := range list {
+		if n == "*" || n == net {
+			return true
+		}
+	}
+	return false
+}
+
+// Hook returns a function suitable for core's Options.PrepareHook: it
+// panics, errors, or sleeps when called for a selected net and is a
+// no-op otherwise. A nil receiver-equivalent (no faults) returns nil so
+// the engine takes its zero-overhead path.
+func (f RuntimeFaults) Hook() func(net string) error {
+	if !f.Any() {
+		return nil
+	}
+	sleepFor := f.SleepFor
+	if sleepFor <= 0 {
+		sleepFor = 10 * time.Millisecond
+	}
+	return func(net string) error {
+		if matches(f.Sleep, net) {
+			time.Sleep(sleepFor)
+		}
+		if matches(f.Panic, net) {
+			panic(fmt.Sprintf("workload: injected panic on net %s", net))
+		}
+		if matches(f.Error, net) {
+			return fmt.Errorf("workload: injected error on net %s", net)
+		}
+		return nil
+	}
+}
+
+// ParseRuntimeFaults parses a comma-separated fault spec of
+// kind:net entries, e.g. "panic:b1,error:b2,sleep:*". Kinds are panic,
+// error, and sleep; the net "*" selects every net.
+func ParseRuntimeFaults(spec string) (RuntimeFaults, error) {
+	var f RuntimeFaults
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		kind, net, ok := strings.Cut(item, ":")
+		if !ok || net == "" {
+			return RuntimeFaults{}, fmt.Errorf("workload: bad fault %q (want kind:net, e.g. panic:b1)", item)
+		}
+		switch kind {
+		case "panic":
+			f.Panic = append(f.Panic, net)
+		case "error":
+			f.Error = append(f.Error, net)
+		case "sleep":
+			f.Sleep = append(f.Sleep, net)
+		default:
+			return RuntimeFaults{}, fmt.Errorf("workload: unknown fault kind %q (want panic|error|sleep)", kind)
+		}
+	}
+	return f, nil
+}

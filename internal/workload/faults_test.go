@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRuntimeFaults(t *testing.T) {
+	f, err := ParseRuntimeFaults("panic:b1, error:b2,sleep:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Panic) != 1 || f.Panic[0] != "b1" {
+		t.Fatalf("Panic = %v", f.Panic)
+	}
+	if len(f.Error) != 1 || f.Error[0] != "b2" {
+		t.Fatalf("Error = %v", f.Error)
+	}
+	if len(f.Sleep) != 1 || f.Sleep[0] != "*" {
+		t.Fatalf("Sleep = %v", f.Sleep)
+	}
+	if !f.Any() {
+		t.Fatal("Any = false")
+	}
+	if got := f.Victims(); len(got) != 3 || got[0] != "*" {
+		t.Fatalf("Victims = %v", got)
+	}
+}
+
+func TestParseRuntimeFaultsErrors(t *testing.T) {
+	for _, spec := range []string{"panic", "panic:", "boom:b1"} {
+		if _, err := ParseRuntimeFaults(spec); err == nil {
+			t.Errorf("ParseRuntimeFaults(%q) succeeded, want error", spec)
+		}
+	}
+	f, err := ParseRuntimeFaults("")
+	if err != nil || f.Any() {
+		t.Fatalf("empty spec: %v %v", f, err)
+	}
+	if f.Hook() != nil {
+		t.Fatal("empty faults should yield nil hook")
+	}
+}
+
+func TestRuntimeFaultHook(t *testing.T) {
+	f := RuntimeFaults{Panic: []string{"p"}, Error: []string{"e"}}
+	hook := f.Hook()
+	if err := hook("healthy"); err != nil {
+		t.Fatalf("healthy net: %v", err)
+	}
+	if err := hook("e"); err == nil || !strings.Contains(err.Error(), "net e") {
+		t.Fatalf("error fault: %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic fault did not panic")
+			}
+		}()
+		hook("p") //nolint:errcheck // panics before returning
+	}()
+}
+
+func TestRuntimeFaultHookWildcardAndSleep(t *testing.T) {
+	f := RuntimeFaults{Sleep: []string{"*"}, SleepFor: 5 * time.Millisecond}
+	hook := f.Hook()
+	start := time.Now()
+	if err := hook("anything"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Fatalf("sleep fault returned after %s", elapsed)
+	}
+}

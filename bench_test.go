@@ -8,6 +8,7 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/bind"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/liberty"
@@ -120,6 +121,86 @@ func BenchmarkAnalyzeBus64(b *testing.B) {
 		if _, err := core.Analyze(bd, opts); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ladderFixture binds the multi-round convergence workload shared by the
+// iterative benchmarks.
+func ladderFixture(b *testing.B) (*bind.Design, core.Options) {
+	b.Helper()
+	g, err := workload.Ladder(workload.LadderSpec{Lines: 64, Steps: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bd, err := g.Bind(liberty.Generic())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bd, core.Options{Mode: core.ModeNoiseWindows, STA: g.STAOptions()}
+}
+
+// BenchmarkAnalyzeIterative measures the incremental noise–timing loop on
+// a workload that takes six rounds to converge: round one is a full
+// analysis, every later round re-analyzes only the padded victim's dirty
+// set while the 64-line background bus is reused untouched.
+func BenchmarkAnalyzeIterative(b *testing.B) {
+	bd, opts := ladderFixture(b)
+	iter, err := core.AnalyzeIterative(bd, opts, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if iter.Rounds < 4 || !iter.Converged {
+		b.Fatalf("fixture converged in %d rounds (conv=%v), want ≥ 4 for a meaningful loop",
+			iter.Rounds, iter.Converged)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AnalyzeIterative(bd, opts, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeIterativeScratch is the pre-incremental reference: the
+// same loop re-run from scratch every round (a fresh full analysis per
+// round, as AnalyzeIterative did before the dirty-set engine). The ratio
+// to BenchmarkAnalyzeIterative is the incremental speedup.
+func BenchmarkAnalyzeIterativeScratch(b *testing.B) {
+	bd, opts := ladderFixture(b)
+	run := func() int {
+		const tol = units.Pico / 100
+		padding := make(map[string]float64)
+		ropts := opts
+		ropts.STA.WindowPadding = padding
+		for round := 1; round <= 8; round++ {
+			if _, err := core.Analyze(bd, ropts); err != nil {
+				b.Fatal(err)
+			}
+			delay, err := core.AnalyzeDelay(bd, ropts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			grew := false
+			for _, im := range delay.Impacts {
+				if im.Delta > padding[im.Net]+tol {
+					padding[im.Net] = im.Delta
+					grew = true
+				}
+			}
+			if !grew {
+				return round
+			}
+		}
+		return -1
+	}
+	if rounds := run(); rounds < 4 {
+		b.Fatalf("scratch loop converged in %d rounds, want ≥ 4", rounds)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
 	}
 }
 

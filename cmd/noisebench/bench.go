@@ -1,0 +1,194 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bind"
+	"repro/internal/core"
+	"repro/internal/liberty"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// The engine benchmark suite behind -bench-out: wall-clock and allocation
+// numbers for the core analysis entry points, written as JSON so CI and
+// the checked-in BENCH_core.json can diff engine-level performance without
+// parsing `go test -bench` output. The headline metric is the incremental
+// speedup: the iterative loop on the ladder workload versus the same loop
+// re-analyzed from scratch every round.
+
+// benchRecord is one benchmark's result.
+type benchRecord struct {
+	Name        string             `json:"name"`
+	Runs        int                `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// measure times fn over runs iterations (after one warmup) and reports
+// mean wall clock and heap allocations per iteration.
+func measure(ctx context.Context, name string, runs int, fn func() error) (benchRecord, error) {
+	rec := benchRecord{Name: name, Runs: runs}
+	if err := fn(); err != nil {
+		return rec, fmt.Errorf("%s: %w", name, err)
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		if err := ctx.Err(); err != nil {
+			return rec, err
+		}
+		if err := fn(); err != nil {
+			return rec, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	rec.NsPerOp = float64(elapsed.Nanoseconds()) / float64(runs)
+	rec.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(runs)
+	return rec, nil
+}
+
+// scratchRounds runs the pre-incremental reference loop — a fresh full
+// analysis every round — and returns the round count at convergence.
+func scratchRounds(ctx context.Context, bd *bind.Design, opts core.Options) (int, error) {
+	const tol = units.Pico / 100
+	padding := make(map[string]float64)
+	opts.STA.WindowPadding = padding
+	for round := 1; round <= 8; round++ {
+		if _, err := core.AnalyzeCtx(ctx, bd, opts); err != nil {
+			return 0, err
+		}
+		delay, err := core.AnalyzeDelayCtx(ctx, bd, opts)
+		if err != nil {
+			return 0, err
+		}
+		grew := false
+		for _, im := range delay.Impacts {
+			if im.Delta > padding[im.Net]+tol {
+				padding[im.Net] = im.Delta
+				grew = true
+			}
+		}
+		if !grew {
+			return round, nil
+		}
+	}
+	return 0, fmt.Errorf("scratch loop did not converge in 8 rounds")
+}
+
+// runBench executes the suite and writes the records to path.
+func runBench(ctx context.Context, path string, quick bool, stdout io.Writer) error {
+	runs := func(full int) int {
+		if quick {
+			if full >= 10 {
+				return full / 10
+			}
+			return 1
+		}
+		return full
+	}
+	bindGen := func(g *workload.Generated, err error) (*bind.Design, core.Options, error) {
+		if err != nil {
+			return nil, core.Options{}, err
+		}
+		bd, err := g.Bind(liberty.Generic())
+		if err != nil {
+			return nil, core.Options{}, err
+		}
+		return bd, core.Options{Mode: core.ModeNoiseWindows, STA: g.STAOptions()}, nil
+	}
+
+	bus, busOpts, err := bindGen(workload.Bus(workload.BusSpec{
+		Bits: 64, Segs: 2,
+		WindowSep: 60 * units.Pico, WindowWidth: 80 * units.Pico,
+	}))
+	if err != nil {
+		return err
+	}
+	fabric, fabricOpts, err := bindGen(workload.Fabric(workload.FabricSpec{Width: 12, Levels: 8, Seed: 3}))
+	if err != nil {
+		return err
+	}
+	ladder, ladderOpts, err := bindGen(workload.Ladder(workload.LadderSpec{Lines: 64, Steps: 5}))
+	if err != nil {
+		return err
+	}
+
+	var records []benchRecord
+	add := func(rec benchRecord, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%-24s %8d runs  %12.0f ns/op  %10.0f allocs/op\n",
+			rec.Name, rec.Runs, rec.NsPerOp, rec.AllocsPerOp)
+		records = append(records, rec)
+		return nil
+	}
+
+	if err := add(measure(ctx, "analyze_bus64", runs(100), func() error {
+		_, err := core.AnalyzeCtx(ctx, bus, busOpts)
+		return err
+	})); err != nil {
+		return err
+	}
+	if err := add(measure(ctx, "analyze_fabric", runs(100), func() error {
+		_, err := core.AnalyzeCtx(ctx, fabric, fabricOpts)
+		return err
+	})); err != nil {
+		return err
+	}
+
+	iter, err := core.AnalyzeIterativeCtx(ctx, ladder, ladderOpts, 0)
+	if err != nil {
+		return err
+	}
+	if !iter.Converged {
+		return fmt.Errorf("ladder workload did not converge (%d rounds)", iter.Rounds)
+	}
+	inc, err := measure(ctx, "iterative_incremental", runs(50), func() error {
+		_, err := core.AnalyzeIterativeCtx(ctx, ladder, ladderOpts, 0)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	inc.Extra = map[string]float64{"rounds": float64(iter.Rounds)}
+	if err := add(inc, nil); err != nil {
+		return err
+	}
+	rounds, err := scratchRounds(ctx, ladder, ladderOpts)
+	if err != nil {
+		return err
+	}
+	scr, err := measure(ctx, "iterative_scratch", runs(20), func() error {
+		_, err := scratchRounds(ctx, ladder, ladderOpts)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	scr.Extra = map[string]float64{
+		"rounds":  float64(rounds),
+		"speedup": scr.NsPerOp / inc.NsPerOp,
+	}
+	if err := add(scr, nil); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "incremental speedup over from-scratch loop: %.2fx\n",
+		scr.Extra["speedup"])
+
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

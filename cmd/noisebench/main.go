@@ -8,6 +8,8 @@
 //	noisebench -quick       # shrunken sweeps (seconds instead of minutes)
 //	noisebench -list        # list experiment IDs
 //	noisebench -timeout 5m  # bound the whole sweep's wall clock
+//	noisebench -bench-out BENCH_core.json   # engine benchmarks, JSON out
+//	noisebench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/prof"
 	"repro/internal/report"
 )
 
@@ -30,15 +33,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("noisebench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runID   = fs.String("run", "", "experiment ID to run (default: all)")
-		quick   = fs.Bool("quick", false, "shrink sweeps for a fast pass")
-		list    = fs.Bool("list", false, "list experiment IDs and exit")
-		csv     = fs.Bool("csv", false, "emit CSV instead of aligned tables")
-		timeout = fs.Duration("timeout", 0, "wall-clock budget for the sweep; 0 = unbounded")
+		runID    = fs.String("run", "", "experiment ID to run (default: all)")
+		quick    = fs.Bool("quick", false, "shrink sweeps for a fast pass")
+		list     = fs.Bool("list", false, "list experiment IDs and exit")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		timeout  = fs.Duration("timeout", 0, "wall-clock budget for the sweep; 0 = unbounded")
+		benchOut = fs.String("bench-out", "", "run the engine benchmark suite and write JSON records to this file")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	stopProf, profErr := prof.Start(*cpuProf, *memProf)
+	if profErr != nil {
+		fmt.Fprintln(stderr, "noisebench:", profErr)
+		return 2
+	}
+	defer stopProf()
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -50,6 +62,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	if *benchOut != "" {
+		if err := runBench(ctx, *benchOut, *quick, stdout); err != nil {
+			fmt.Fprintln(stderr, "noisebench:", err)
+			return 1
+		}
+		return 0
 	}
 	cfg := experiments.Config{Quick: *quick, Ctx: ctx}
 	emit := func(t *report.Table) {

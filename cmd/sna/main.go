@@ -7,7 +7,8 @@
 //	sna -net design.net -spef design.spef [-lib lib.nlib] [-win design.win] \
 //	    [-mode all|timing|noise] [-threshold 0.02] [-dump net1,net2] \
 //	    [-lint-only] [-werror] [-suppress NL003,SPF001] \
-//	    [-repair] [-delay] [-corr] [-timeout 30s] [-fail-fast]
+//	    [-repair] [-delay] [-corr] [-timeout 30s] [-fail-fast] \
+//	    [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The netlist may also be structural Verilog (a .v file).
 //
@@ -53,6 +54,7 @@ import (
 	"repro/internal/liberty"
 	"repro/internal/lint"
 	"repro/internal/netlist"
+	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/spef"
 	"repro/internal/sta"
@@ -100,10 +102,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the analysis; 0 = unbounded")
 		failFast  = fs.Bool("fail-fast", false, "abort on the first per-net analysis failure instead of degrading")
 		faultSpec = fs.String("inject-fault", "", "inject runtime faults, e.g. panic:b1,error:b2,sleep:* (testing)")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		workers   = fs.Int("workers", 0, "parallel analysis workers (0 = serial); results are identical")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(stderr, "sna:", err)
+		return exitUsage
+	}
+	defer stopProf()
 	if *netPath == "" {
 		fmt.Fprintln(stderr, "sna: -net is required")
 		return exitUsage
@@ -185,6 +196,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	opts := core.Options{
 		Mode:             mode,
+		Workers:          *workers,
 		FilterThreshold:  *threshold,
 		NoPropagation:    *noProp,
 		LogicCorrelation: *corr,

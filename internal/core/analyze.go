@@ -37,9 +37,11 @@ type Options struct {
 	// MaxIter bounds the propagation fixpoint iteration (default 16).
 	MaxIter int
 	// Workers sets the number of goroutines used for the per-victim
-	// context and coupled-event construction (the dominant cost on big
-	// designs). 0 or 1 runs serially; results are identical either way
-	// because victims are independent at that stage.
+	// context and coupled-event construction and for the propagation
+	// fixpoint's level wavefronts (the dominant costs on big designs).
+	// 0 or 1 runs serially; results are identical either way — victims
+	// are independent during preparation, and within one level wavefront
+	// no net's events depend on another's combination.
 	Workers int
 	// DefaultAggSlew is the aggressor edge rate assumed when timing gives
 	// none (default 20 ps).
@@ -90,15 +92,57 @@ func (o *Options) fill() {
 	}
 }
 
-// analyzer carries per-run state.
+// wave is one level of the propagation schedule: the contiguous run
+// a.order[lo:hi] of nets whose drivers share a levelization level. Every
+// fanin of a wave's nets lives in a strictly earlier wave, so the nets of
+// one wave never read each other's combinations and may be evaluated
+// concurrently. The feedback wave (cyclic nets) is the exception — its
+// nets can read each other within a pass, so it keeps the serial
+// Gauss–Seidel order.
+type wave struct {
+	lo, hi int
+	serial bool
+}
+
+// prepCount remembers one victim's preparation statistics so re-preparing
+// it in a later iterative round replaces its contribution instead of
+// double-counting it.
+type prepCount struct {
+	pairs, filtered int
+}
+
+// analyzer carries per-run state. Under AnalyzeIterative one analyzer
+// persists across rounds and is shared between the noise and delay passes:
+// the timing result is updated in place, contexts and coupled events are
+// re-prepared only for dirty victims, and committed combinations carry
+// over for everything else.
 type analyzer struct {
 	b      *bind.Design
 	opts   Options
 	vdd    float64
 	staRes *sta.Result
-	ctxs   map[string]*noise.Context
-	// coupled events are timing-dependent but iteration-invariant.
-	coupled map[string]*[2][]Event
+	// order is the victim evaluation order (victimOrder); orderIdx maps a
+	// net name back to its position; waves partitions order into level
+	// wavefronts; namesSorted caches the alphabetical net order used by
+	// the violation check.
+	order       []*netlist.Net
+	orderIdx    map[string]int
+	waves       []wave
+	namesSorted []string
+	ctxs        map[string]*noise.Context
+	// coupled events are timing-dependent but iteration-invariant within
+	// a round.
+	coupled    map[string]*[2][]Event
+	prepCounts map[string]prepCount
+	// propCount tracks the propagated events each net's latest evaluation
+	// built; propTotal is their running sum, so Stats.Propagated reflects
+	// the final pass without a per-pass recount even when an incremental
+	// round skips clean nets.
+	propCount map[string]int
+	propTotal int
+	// impacts holds the latest delta-delay impacts per net (0–2 entries);
+	// assembleDelay flattens and sorts them into a DelayResult.
+	impacts map[string][]DelayImpact
 	// corr maps nets to their primary-input dependence for logic
 	// correlation (nil when the option is off).
 	corr  map[string]sourceMap
@@ -107,37 +151,102 @@ type analyzer struct {
 	// records why. Both are written serially (commit or fixpoint loop).
 	degraded map[string]bool
 	diags    []Diag
+	// Reusable buffers: the serial-path combiner scratch, per-worker
+	// combiner scratch for parallel waves, and the wave work/result
+	// arrays.
+	scratch  combiner
+	wscratch []combiner
+	todo     []int
+	evals    []netEval
+	evalErrs []error
+	// Incremental indexes, built lazily on the first dirty-set query.
+	aggIndex map[string][]string
+	fanout   map[string][]string
+	// delayItems/delayIdx are the serial delay pass's per-net scratch.
+	delayItems []interval.Weighted
+	delayIdx   []int
 }
 
 // newAnalyzer runs the shared setup — timing, victim ordering, context and
-// coupled-event construction — used by both Analyze and AnalyzeDelay.
-func newAnalyzer(ctx context.Context, b *bind.Design, opts Options) (*analyzer, []*netlist.Net, error) {
+// coupled-event construction — used by Analyze, AnalyzeDelay, and the
+// iterative engine.
+func newAnalyzer(ctx context.Context, b *bind.Design, opts Options) (*analyzer, error) {
 	opts.fill()
 	a := &analyzer{
-		b:        b,
-		opts:     opts,
-		vdd:      opts.Vdd,
-		ctxs:     make(map[string]*noise.Context),
-		coupled:  make(map[string]*[2][]Event),
-		degraded: make(map[string]bool),
+		b:          b,
+		opts:       opts,
+		vdd:        opts.Vdd,
+		ctxs:       make(map[string]*noise.Context),
+		coupled:    make(map[string]*[2][]Event),
+		prepCounts: make(map[string]prepCount),
+		propCount:  make(map[string]int),
+		degraded:   make(map[string]bool),
 	}
 	if a.vdd <= 0 {
 		a.vdd = b.Lib.Vdd
 	}
 	staRes, err := sta.RunCtx(ctx, b, opts.STA)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	a.staRes = staRes
 	if opts.LogicCorrelation {
 		a.corr = buildCorrelations(b)
 	}
 
-	order := a.victimOrder()
-	if err := a.prepareAll(ctx, order); err != nil {
-		return nil, nil, err
+	a.order = a.victimOrder()
+	a.orderIdx = make(map[string]int, len(a.order))
+	a.namesSorted = make([]string, len(a.order))
+	for i, net := range a.order {
+		a.orderIdx[net.Name] = i
+		a.namesSorted[i] = net.Name
 	}
-	return a, order, nil
+	sort.Strings(a.namesSorted)
+	a.buildWaves()
+	if err := a.prepareAll(ctx, a.order); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// buildWaves groups the level-sorted victim order into contiguous
+// same-level runs. Feedback nets (netLevel 1<<30) form a serial wave.
+func (a *analyzer) buildWaves() {
+	a.waves = a.waves[:0]
+	for lo := 0; lo < len(a.order); {
+		lvl := netLevel(a.order[lo])
+		hi := lo + 1
+		for hi < len(a.order) && netLevel(a.order[hi]) == lvl {
+			hi++
+		}
+		a.waves = append(a.waves, wave{lo: lo, hi: hi, serial: lvl == feedbackLevel})
+		lo = hi
+	}
+}
+
+// newResult allocates the Result shell the fixpoint fills in.
+func (a *analyzer) newResult() *Result {
+	res := &Result{
+		Mode: a.opts.Mode,
+		Nets: make(map[string]*NetNoise, len(a.order)),
+		STA:  a.staRes,
+	}
+	for _, net := range a.order {
+		res.Nets[net.Name] = &NetNoise{Net: net.Name}
+	}
+	return res
+}
+
+// finishNoise finalizes a Result after the fixpoint: statistics, the
+// violation sweep, and the sorted diagnostics.
+func (a *analyzer) finishNoise(res *Result) {
+	a.stats.Propagated = a.propTotal
+	a.stats.Victims = len(a.order)
+	a.stats.DegradedNets = len(a.diags)
+	res.Stats = a.stats
+	a.checkViolations(res)
+	sortDiags(a.diags)
+	res.Diags = a.diags
 }
 
 // safePrepare runs prepareNet with panics converted into errors, so one
@@ -297,12 +406,22 @@ type preparedNet struct {
 }
 
 // commitPrepared stores one victim's preparation into the analyzer state
-// (serially, so maps and stats need no locks).
+// (serially, so maps and stats need no locks). Re-committing a victim in a
+// later iterative round replaces its statistics contribution.
 func (a *analyzer) commitPrepared(net *netlist.Net, p *preparedNet) {
 	a.ctxs[net.Name] = p.ctx
 	a.coupled[net.Name] = &p.events
-	a.stats.AggressorPairs += p.pairs
-	a.stats.Filtered += p.filtered
+	old := a.prepCounts[net.Name]
+	a.stats.AggressorPairs += p.pairs - old.pairs
+	a.stats.Filtered += p.filtered - old.filtered
+	a.prepCounts[net.Name] = prepCount{pairs: p.pairs, filtered: p.filtered}
+}
+
+// setPropCount records the propagated-event count of one net's latest
+// evaluation, keeping the running total in sync.
+func (a *analyzer) setPropCount(net string, n int) {
+	a.propTotal += n - a.propCount[net]
+	a.propCount[net] = n
 }
 
 // Analyze runs static noise analysis over the whole design.
@@ -316,61 +435,46 @@ func Analyze(b *bind.Design, opts Options) (*Result, error) {
 // partial result — partial results come from fail-soft degradation
 // (Options.FailSoft), not from cancellation.
 func AnalyzeCtx(ctx context.Context, b *bind.Design, opts Options) (*Result, error) {
-	a, order, err := newAnalyzer(ctx, b, opts)
+	a, err := newAnalyzer(ctx, b, opts)
 	if err != nil {
 		return nil, err
 	}
-	opts = a.opts
-
-	res := &Result{
-		Mode: opts.Mode,
-		Nets: make(map[string]*NetNoise, len(order)),
-		STA:  a.staRes,
+	res := a.newResult()
+	if err := a.runFixpoint(ctx, res, nil); err != nil {
+		return nil, err
 	}
-	for _, net := range order {
-		res.Nets[net.Name] = &NetNoise{Net: net.Name}
-	}
+	a.finishNoise(res)
+	return res, nil
+}
 
-	// Propagation fixpoint: each pass recomputes every net's event list
-	// (coupled events are cached; propagated events derive from the
-	// current fanin combinations) and its windowed combination.
+// runFixpoint iterates the propagation fixpoint: each pass recomputes
+// every (dirty) net's event list (coupled events are cached; propagated
+// events derive from the current fanin combinations) and its windowed
+// combination, level wavefront by level wavefront. A nil dirty set means
+// every net; a non-nil set must be closed under structural fanout, which
+// makes the per-pass filter exact — a net outside the set has no fanin
+// inside it, so its inputs can never change.
+func (a *analyzer) runFixpoint(ctx context.Context, res *Result, dirty map[string]bool) error {
 	converged := false
 	iterations := 0
-	for iter := 0; iter < opts.MaxIter; iter++ {
+	for iter := 0; iter < a.opts.MaxIter; iter++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
 		iterations++
-		a.stats.Propagated = 0
 		changed := false
-		for ni, net := range order {
-			if ni&0x3f == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			nn := res.Nets[net.Name]
-			netChanged, err := a.safeEval(net, nn, res)
+		for _, w := range a.waves {
+			wc, err := a.evalWave(ctx, res, w, dirty)
 			if err != nil {
-				if !opts.FailSoft {
-					return nil, err
-				}
-				// Pin the net at the fallback; its events are replaced so
-				// later passes (and delay analysis) see the same bound.
-				a.degradeNet(net.Name, StageEvaluate, err)
-				fallback := a.fullRailComb()
-				nn.Events = *a.coupled[net.Name]
-				nn.Comb = [2]Combined{fallback, fallback}
-				changed = true
-				continue
+				return err
 			}
-			changed = changed || netChanged
+			changed = changed || wc
 		}
 		if !changed {
 			converged = true
 			break
 		}
-		if opts.NoPropagation {
+		if a.opts.NoPropagation {
 			// Without propagation one pass is exact.
 			converged = true
 			break
@@ -378,48 +482,197 @@ func AnalyzeCtx(ctx context.Context, b *bind.Design, opts Options) (*Result, err
 	}
 	a.stats.Iterations = iterations
 	a.stats.Converged = converged
-	a.stats.Victims = len(order)
-	a.stats.DegradedNets = len(a.diags)
-	res.Stats = a.stats
-
-	a.checkViolations(res)
-	sortDiags(a.diags)
-	res.Diags = a.diags
-	return res, nil
+	return nil
 }
 
-// safeEval recomputes one net's event list and windowed combination for
+// evalWave evaluates one level wavefront. The serial path is the
+// reference; the parallel path computes the same per-net evaluations
+// concurrently (safe because a wave's nets only read strictly earlier
+// waves) and then commits them serially in victim order, so results,
+// statistics, diagnostics, and fail-fast error selection are identical to
+// the serial engine.
+func (a *analyzer) evalWave(ctx context.Context, res *Result, w wave, dirty map[string]bool) (bool, error) {
+	todo := a.todo[:0]
+	for i := w.lo; i < w.hi; i++ {
+		if dirty == nil || dirty[a.order[i].Name] {
+			todo = append(todo, i)
+		}
+	}
+	a.todo = todo
+	if len(todo) == 0 {
+		return false, nil
+	}
+	workers := a.opts.Workers
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	if w.serial || workers <= 1 {
+		changed := false
+		for k, oi := range todo {
+			if k&0x3f == 0 {
+				if err := ctx.Err(); err != nil {
+					return changed, err
+				}
+			}
+			net := a.order[oi]
+			nn := res.Nets[net.Name]
+			ev, err := a.evalNet(net, nn, res, &a.scratch)
+			c, cerr := a.commitEval(net, nn, ev, err)
+			if cerr != nil {
+				return changed, cerr
+			}
+			changed = changed || c
+		}
+		return changed, nil
+	}
+
+	if len(a.wscratch) < workers {
+		a.wscratch = make([]combiner, workers)
+	}
+	if cap(a.evals) < len(todo) {
+		a.evals = make([]netEval, len(todo))
+		a.evalErrs = make([]error, len(todo))
+	}
+	evals := a.evals[:len(todo)]
+	errs := a.evalErrs[:len(todo)]
+	for i := range evals {
+		evals[i] = netEval{}
+		errs[i] = nil
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var next int64 = -1
+	for wk := 0; wk < workers; wk++ {
+		cb := &a.wscratch[wk]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(todo) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					stop.Store(true)
+					return
+				}
+				net := a.order[todo[i]]
+				evals[i], errs[i] = a.evalNet(net, res.Nets[net.Name], res, cb)
+				if errs[i] != nil && !a.opts.FailSoft {
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	changed := false
+	for i, oi := range todo {
+		net := a.order[oi]
+		if errs[i] == nil && !evals[i].done {
+			// Only reachable when a fail-fast stop drained the queue;
+			// every item before the stopping error is claimed and
+			// completed, so the recorded error is ahead of us.
+			for j := i; j < len(todo); j++ {
+				if errs[j] != nil {
+					return changed, errs[j]
+				}
+			}
+			return changed, fmt.Errorf("core: net %s was not evaluated", net.Name)
+		}
+		c, cerr := a.commitEval(net, res.Nets[net.Name], evals[i], errs[i])
+		if cerr != nil {
+			return changed, cerr
+		}
+		changed = changed || c
+	}
+	return changed, nil
+}
+
+// netEval is one victim's freshly computed pass state, produced by evalNet
+// (possibly concurrently) and applied serially by commitEval.
+type netEval struct {
+	comb       [2]Combined
+	propagated int
+	changed    bool
+	// pin marks a degraded net that has not yet received its fallback
+	// combination; skip marks one that has (inert).
+	pin, skip bool
+	// done distinguishes a computed evaluation from a zero value left by
+	// a drained worker queue.
+	done bool
+}
+
+// evalNet recomputes one net's event list and windowed combination for
 // the current pass, converting panics into errors so fail-soft runs can
-// degrade the victim instead of crashing. Degraded nets keep their pinned
-// fallback combination and report no change.
-func (a *analyzer) safeEval(net *netlist.Net, nn *NetNoise, res *Result) (changed bool, err error) {
+// degrade the victim instead of crashing. It mutates only nn (the net's
+// own record, owned by its worker during a parallel wave) and reads other
+// nets' committed combinations from strictly earlier waves; all shared
+// analyzer state it touches is immutable during a wave.
+func (a *analyzer) evalNet(net *netlist.Net, nn *NetNoise, res *Result, cb *combiner) (ev netEval, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("core: panic evaluating net %s: %v", net.Name, r)
 		}
 	}()
+	ev.done = true
 	if a.degraded[net.Name] {
 		// Pin the fallback once (a prepare-stage degradation reaches the
 		// fixpoint loop before any combination was stored); afterwards the
 		// net is inert.
 		if nn.Comb[KindLow].Peak != a.vdd {
-			fallback := a.fullRailComb()
-			nn.Events = *a.coupled[net.Name]
-			nn.Comb = [2]Combined{fallback, fallback}
-			return true, nil
+			ev.pin = true
+		} else {
+			ev.skip = true
 		}
+		return ev, nil
+	}
+	ev.propagated = a.buildEvents(net, nn, res)
+	for _, k := range Kinds {
+		ev.comb[k] = cb.combineConstrained(nn.Events[k], a.vdd, a.conflictFunc(nn.Events[k], k), a.occupancy())
+	}
+	ev.changed = !combEqual(ev.comb[KindLow], nn.Comb[KindLow], 1e-7) ||
+		!combEqual(ev.comb[KindHigh], nn.Comb[KindHigh], 1e-7)
+	return ev, nil
+}
+
+// commitEval applies one computed evaluation to the shared state. It runs
+// serially in victim order, which keeps stats, degradation bookkeeping,
+// and fail-fast error selection deterministic.
+func (a *analyzer) commitEval(net *netlist.Net, nn *NetNoise, ev netEval, evalErr error) (bool, error) {
+	if evalErr != nil {
+		if !a.opts.FailSoft {
+			return false, evalErr
+		}
+		// Pin the net at the fallback; its events are replaced so later
+		// passes (and delay analysis) see the same bound.
+		a.degradeNet(net.Name, StageEvaluate, evalErr)
+		fallback := a.fullRailComb()
+		nn.Events = *a.coupled[net.Name]
+		nn.Comb = [2]Combined{fallback, fallback}
+		a.setPropCount(net.Name, 0)
+		return true, nil
+	}
+	if ev.skip {
 		return false, nil
 	}
-	events := a.buildEvents(net, res)
-	var comb [2]Combined
-	for _, k := range Kinds {
-		comb[k] = combineConstrained(events[k], a.vdd, a.conflictFunc(events[k], k), a.occupancy())
+	if ev.pin {
+		fallback := a.fullRailComb()
+		nn.Events = *a.coupled[net.Name]
+		nn.Comb = [2]Combined{fallback, fallback}
+		a.setPropCount(net.Name, 0)
+		return true, nil
 	}
-	changed = !combEqual(comb[KindLow], nn.Comb[KindLow], 1e-7) ||
-		!combEqual(comb[KindHigh], nn.Comb[KindHigh], 1e-7)
-	nn.Events = events
-	nn.Comb = comb
-	return changed, nil
+	nn.Comb = ev.comb
+	a.setPropCount(net.Name, ev.propagated)
+	return ev.changed, nil
 }
 
 // occupancy resolves the effective combination policy: the baselines keep
@@ -430,6 +683,26 @@ func (a *analyzer) occupancy() Occupancy {
 		return OccupancyPeak
 	}
 	return a.opts.Occupancy
+}
+
+// feedbackLevel is the pseudo-level of nets driven by feedback instances:
+// they sort (and wave) after every levelized net.
+const feedbackLevel = 1 << 30
+
+// netLevel is the propagation level of a net: its driving instance's
+// levelization level, -1 for port-driven nets, feedbackLevel for cyclic
+// ones. A net's fanin nets always have strictly smaller levels (ports
+// have no fanin), which is what makes same-level wavefronts safe to
+// evaluate concurrently.
+func netLevel(n *netlist.Net) int {
+	drv := n.Driver()
+	if drv.Inst == nil {
+		return -1
+	}
+	if drv.Inst.Level < 0 {
+		return feedbackLevel
+	}
+	return drv.Inst.Level
 }
 
 // victimOrder returns the analyzable nets in propagation-friendly order:
@@ -444,18 +717,8 @@ func (a *analyzer) victimOrder() []*netlist.Net {
 		}
 		out = append(out, n)
 	}
-	level := func(n *netlist.Net) int {
-		drv := n.Driver()
-		if drv.Inst == nil {
-			return -1
-		}
-		if drv.Inst.Level < 0 {
-			return 1 << 30 // feedback: last
-		}
-		return drv.Inst.Level
-	}
 	sort.SliceStable(out, func(i, j int) bool {
-		li, lj := level(out[i]), level(out[j])
+		li, lj := netLevel(out[i]), netLevel(out[j])
 		if li != lj {
 			return li < lj
 		}
@@ -472,6 +735,14 @@ func (a *analyzer) prepareNet(net *netlist.Net) (*preparedNet, error) {
 	if err != nil {
 		return nil, err
 	}
+	return a.prepareEvents(net, ctx)
+}
+
+// prepareEvents derives the coupled (plus virtual) events for one victim
+// from an existing noise context. The context is RC-derived and timing
+// independent, so iterative rounds reuse it and only re-derive the events
+// (which depend on the aggressors' switching windows).
+func (a *analyzer) prepareEvents(net *netlist.Net, ctx *noise.Context) (*preparedNet, error) {
 	kept, dropped := ctx.Filter(a.opts.FilterThreshold)
 	out := &preparedNet{
 		ctx:      ctx,
@@ -569,25 +840,30 @@ func (a *analyzer) eventWindow(aggWin interval.Window, wireDelay, slew float64) 
 }
 
 // buildEvents assembles the full event list for a net in the current
-// iteration: cached coupled events plus freshly derived propagated events.
-func (a *analyzer) buildEvents(net *netlist.Net, res *Result) [2][]Event {
-	var events [2][]Event
+// iteration into nn.Events, reusing its backing arrays: cached coupled
+// events plus freshly derived propagated events. It returns the number of
+// propagated events built.
+func (a *analyzer) buildEvents(net *netlist.Net, nn *NetNoise, res *Result) int {
+	events := &nn.Events
+	events[KindLow] = events[KindLow][:0]
+	events[KindHigh] = events[KindHigh][:0]
 	if c := a.coupled[net.Name]; c != nil {
-		events[KindLow] = append([]Event(nil), c[KindLow]...)
-		events[KindHigh] = append([]Event(nil), c[KindHigh]...)
+		events[KindLow] = append(events[KindLow], c[KindLow]...)
+		events[KindHigh] = append(events[KindHigh], c[KindHigh]...)
 	}
 	if a.opts.NoPropagation {
-		return events
+		return 0
 	}
 	drv := net.Driver()
 	if drv == nil || drv.Inst == nil {
-		return events
+		return 0
 	}
 	cell := a.b.Cell(drv.Inst)
 	load, err := a.b.LoadCapOf(net.Name)
 	if err != nil {
-		return events
+		return 0
 	}
+	propagated := 0
 	for _, arc := range cell.ArcsTo(drv.Pin) {
 		if arc.Transfer == nil {
 			continue // cell blocks noise through this arc
@@ -624,7 +900,7 @@ func (a *analyzer) buildEvents(net *netlist.Net, res *Result) [2][]Event {
 				win = interval.Infinite()
 			}
 			for _, outKind := range propagateKind(arc.Unate, inKind) {
-				a.stats.Propagated++
+				propagated++
 				events[outKind] = append(events[outKind], Event{
 					Peak:   outPeak,
 					Width:  outWidth,
@@ -634,7 +910,7 @@ func (a *analyzer) buildEvents(net *netlist.Net, res *Result) [2][]Event {
 			}
 		}
 	}
-	return events
+	return propagated
 }
 
 // propagateKind maps a glitch's victim-state kind through an arc's
@@ -656,9 +932,12 @@ func propagateKind(u liberty.Unateness, in Kind) []Kind {
 }
 
 // checkViolations evaluates every receiver's immunity curve against its
-// net's combined noise and records failures sorted by slack.
+// net's combined noise and records failures sorted by slack. Iterative
+// rounds call it repeatedly; the result slices are reused.
 func (a *analyzer) checkViolations(res *Result) {
-	for _, netName := range sortedNetNames(res.Nets) {
+	res.Violations = res.Violations[:0]
+	res.Slacks = res.Slacks[:0]
+	for _, netName := range a.namesSorted {
 		nn := res.Nets[netName]
 		ctx := a.ctxs[netName]
 		if ctx == nil {
@@ -716,13 +995,4 @@ func (a *analyzer) checkViolations(res *Result) {
 		}
 		return res.Slacks[i].Net < res.Slacks[j].Net
 	})
-}
-
-func sortedNetNames(m map[string]*NetNoise) []string {
-	names := make([]string, 0, len(m))
-	for n := range m {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
 }

@@ -279,6 +279,18 @@ func combine(events []Event, vdd float64) Combined {
 	return combineConstrained(events, vdd, nil, OccupancyTent)
 }
 
+// combiner holds the scratch buffers one combination query needs, so the
+// fixpoint's hot loop (every net, every pass, every round) does not
+// reallocate them. One combiner serves one goroutine; the analyzer keeps
+// one per worker.
+type combiner struct {
+	candidates []float64
+	weights    []float64
+	active     []int
+	members    []int
+	seen       map[string]bool
+}
+
 // contribution returns how much of event e's peak can appear at instant t
 // under the given occupancy policy.
 func contribution(e *Event, t float64, occ Occupancy) float64 {
@@ -324,10 +336,15 @@ func contribution(e *Event, t float64, occ Occupancy) float64 {
 // with exclusions the best conflict-free subset at each instant comes from
 // an exact branch-and-bound independent-set query.
 func combineConstrained(events []Event, vdd float64, conflict func(i, j int) bool, occ Occupancy) Combined {
+	var cb combiner
+	return cb.combineConstrained(events, vdd, conflict, occ)
+}
+
+func (cb *combiner) combineConstrained(events []Event, vdd float64, conflict func(i, j int) bool, occ Occupancy) Combined {
 	if len(events) == 0 {
 		return Combined{At: math.NaN(), Window: interval.Empty()}
 	}
-	var candidates []float64
+	candidates := cb.candidates[:0]
 	addCand := func(t float64) {
 		if !math.IsInf(t, 0) && !math.IsNaN(t) {
 			candidates = append(candidates, t)
@@ -354,6 +371,7 @@ func combineConstrained(events []Event, vdd float64, conflict func(i, j int) boo
 		// any instant is as good as any other.
 		candidates = append(candidates, 0)
 	}
+	cb.candidates = candidates
 
 	// A net transitions at most once per edge direction per cycle, so two
 	// events with the same source — one aggressor's alternative switching
@@ -362,7 +380,12 @@ func combineConstrained(events []Event, vdd float64, conflict func(i, j int) boo
 	// policy their disjoint windows make that automatic; tails make it
 	// explicit.
 	dupSources := false
-	seen := make(map[string]bool, len(events))
+	if cb.seen == nil {
+		cb.seen = make(map[string]bool, len(events))
+	} else {
+		clear(cb.seen)
+	}
+	seen := cb.seen
 	for i := range events {
 		if seen[events[i].Source] {
 			dupSources = true
@@ -380,18 +403,22 @@ func combineConstrained(events []Event, vdd float64, conflict func(i, j int) boo
 		}
 	}
 
-	weights := make([]float64, len(events))
+	if cap(cb.weights) < len(events) {
+		cb.weights = make([]float64, len(events))
+	}
+	weights := cb.weights[:len(events)]
 	var bestSum float64
 	bestAt := math.NaN()
-	var bestMembers []int
+	bestMembers := cb.members[:0]
 	for _, t := range candidates {
-		var active []int
+		active := cb.active[:0]
 		for i := range events {
 			weights[i] = contribution(&events[i], t, occ)
 			if weights[i] > 0 {
 				active = append(active, i)
 			}
 		}
+		cb.active = active
 		if len(active) == 0 {
 			continue
 		}
@@ -411,6 +438,7 @@ func combineConstrained(events []Event, vdd float64, conflict func(i, j int) boo
 			bestMembers = append(bestMembers[:0], members...)
 		}
 	}
+	cb.members = bestMembers
 	if math.IsNaN(bestAt) || bestSum <= 0 {
 		return Combined{At: math.NaN(), Window: interval.Empty()}
 	}

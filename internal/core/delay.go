@@ -110,23 +110,50 @@ func AnalyzeDelay(b *bind.Design, opts Options) (*DelayResult, error) {
 // AnalyzeDelayCtx is AnalyzeDelay with cooperative cancellation, checked
 // during preparation and between victims.
 func AnalyzeDelayCtx(ctx context.Context, b *bind.Design, opts Options) (*DelayResult, error) {
-	a, order, err := newAnalyzer(ctx, b, opts)
+	a, err := newAnalyzer(ctx, b, opts)
 	if err != nil {
 		return nil, err
 	}
-	res := &DelayResult{Mode: a.opts.Mode}
-	for ni, net := range order {
+	if err := a.delayPass(ctx, nil); err != nil {
+		return nil, err
+	}
+	return a.assembleDelay(), nil
+}
+
+// delayPass evaluates (or re-evaluates) the delta-delay impacts of the
+// dirty victims and stores them per net; a nil dirty set means every
+// victim. Iterative rounds call it on the shared analyzer with only the
+// round's dirty set.
+func (a *analyzer) delayPass(ctx context.Context, dirty map[string]bool) error {
+	if a.impacts == nil {
+		a.impacts = make(map[string][]DelayImpact, len(a.order))
+	}
+	for ni, net := range a.order {
 		if ni&0x3f == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
 		}
-		if err := a.safeDelayNet(net, res); err != nil {
+		if dirty != nil && !dirty[net.Name] {
+			continue
+		}
+		ims, err := a.safeDelayNet(net, a.impacts[net.Name][:0])
+		a.impacts[net.Name] = ims
+		if err != nil {
 			if !a.opts.FailSoft {
-				return nil, err
+				return err
 			}
 			a.degradeNet(net.Name, StageDelay, err)
 		}
+	}
+	return nil
+}
+
+// assembleDelay flattens the per-net impacts into a sorted DelayResult.
+func (a *analyzer) assembleDelay() *DelayResult {
+	res := &DelayResult{Mode: a.opts.Mode}
+	for _, net := range a.order {
+		res.Impacts = append(res.Impacts, a.impacts[net.Name]...)
 	}
 	sort.Slice(res.Impacts, func(i, j int) bool {
 		if res.Impacts[i].Delta != res.Impacts[j].Delta {
@@ -139,12 +166,16 @@ func AnalyzeDelayCtx(ctx context.Context, b *bind.Design, opts Options) (*DelayR
 	})
 	sortDiags(a.diags)
 	res.Diags = a.diags
-	return res, nil
+	return res
 }
 
 // safeDelayNet evaluates one victim's delta-delay impacts with panics
-// converted into errors for fail-soft isolation.
-func (a *analyzer) safeDelayNet(net *netlist.Net, res *DelayResult) (err error) {
+// converted into errors for fail-soft isolation. It appends into ims
+// (typically the net's previous slice, truncated) and returns it; on a
+// panic the impacts appended so far survive, matching the historical
+// partial-append behaviour.
+func (a *analyzer) safeDelayNet(net *netlist.Net, ims []DelayImpact) (out []DelayImpact, err error) {
+	out = ims
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("core: panic in delay analysis of net %s: %v", net.Name, r)
@@ -152,7 +183,7 @@ func (a *analyzer) safeDelayNet(net *netlist.Net, res *DelayResult) (err error) 
 	}()
 	events := a.coupled[net.Name]
 	if events == nil {
-		return nil
+		return out, nil
 	}
 	vt := a.staRes.TimingOfNet(net.Name)
 	for _, rise := range []bool{true, false} {
@@ -169,8 +200,8 @@ func (a *analyzer) safeDelayNet(net *netlist.Net, res *DelayResult) (err error) 
 		if len(opposing) == 0 {
 			continue
 		}
-		items := make([]interval.Weighted, 0, len(opposing))
-		idx := make([]int, 0, len(opposing))
+		items := a.delayItems[:0]
+		idx := a.delayIdx[:0]
 		for i, e := range opposing {
 			if e.Peak <= 0 {
 				continue
@@ -189,6 +220,7 @@ func (a *analyzer) safeDelayNet(net *netlist.Net, res *DelayResult) (err error) 
 				idx = append(idx, i)
 			}
 		}
+		a.delayItems, a.delayIdx = items, idx
 		if len(items) == 0 {
 			continue
 		}
@@ -214,9 +246,9 @@ func (a *analyzer) safeDelayNet(net *netlist.Net, res *DelayResult) (err error) 
 			im.Members = append(im.Members, opposing[idx[ci]].Source)
 		}
 		sort.Strings(im.Members)
-		res.Impacts = append(res.Impacts, im)
+		out = append(out, im)
 	}
-	return nil
+	return out, nil
 }
 
 // delayTol is the comparison tolerance used by delta-delay tests.

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Dirty-set derivation for the iterative engine. After a round, window
+// padding grows on the nets whose delay impact exceeded it; the STA update
+// reports the set of nets whose timing annotation was recomputed. From
+// that timing dirty set three analysis dirty sets follow:
+//
+//   - reprep: victims whose coupled events must be rebuilt — any victim
+//     with an aggressor whose timing changed (an aggressor's switching
+//     window is the only timing input of a coupled event). The noise
+//     context itself is RC-derived and timing-independent, so only the
+//     events are rebuilt. The coupling filter is also timing-independent,
+//     so indexing over all couplings (kept or filtered) is conservative
+//     and exact.
+//
+//   - evalDirty: nets whose fixpoint evaluation can change — the re-
+//     prepared victims plus their structural fanout closure (propagated
+//     noise flows only along driver arcs). A victim's own timing change
+//     does not move its noise (its windows enter only the delay pass and
+//     its role as an aggressor), so evalDirty needs no entry for a net
+//     whose aggressors all kept their timing. The closure makes the set
+//     closed under fanout, which is what lets runFixpoint filter every
+//     pass by it exactly.
+//
+//   - delayDirty: nets whose delta-delay impacts can change — evalDirty
+//     (their coupled events moved) plus any analyzed net whose own timing
+//     changed (the victim window is the other input of the delay query).
+
+// incrIndexes builds the static indexes the dirty-set derivation needs,
+// once per analyzer: victim lists per aggressor name, and the structural
+// fanout net graph restricted to analyzed nets.
+func (a *analyzer) incrIndexes() {
+	if a.aggIndex != nil {
+		return
+	}
+	a.aggIndex = make(map[string][]string)
+	for _, net := range a.order {
+		ctx := a.ctxs[net.Name]
+		if ctx == nil {
+			continue
+		}
+		for i := range ctx.Couplings {
+			agg := ctx.Couplings[i].Aggressor
+			a.aggIndex[agg] = append(a.aggIndex[agg], net.Name)
+		}
+	}
+	a.fanout = make(map[string][]string, len(a.order))
+	for _, net := range a.order {
+		for _, lc := range net.Loads() {
+			if lc.Inst == nil {
+				continue
+			}
+			for _, oc := range lc.Inst.Outputs() {
+				if _, ok := a.orderIdx[oc.Net.Name]; ok {
+					a.fanout[net.Name] = append(a.fanout[net.Name], oc.Net.Name)
+				}
+			}
+		}
+	}
+}
+
+// dirtyAfterPadding maps the STA dirty set of a round onto the analysis
+// dirty sets: the victims to re-prepare (in evaluation order), the nets to
+// re-run the noise fixpoint on, and the nets to re-run delay analysis on.
+func (a *analyzer) dirtyAfterPadding(staDirty map[string]bool) (reprep []*netlist.Net, evalDirty, delayDirty map[string]bool) {
+	a.incrIndexes()
+	reprepSet := make(map[string]bool)
+	for agg := range staDirty {
+		for _, victim := range a.aggIndex[agg] {
+			reprepSet[victim] = true
+		}
+	}
+	for _, net := range a.order {
+		if reprepSet[net.Name] {
+			reprep = append(reprep, net)
+		}
+	}
+	evalDirty = make(map[string]bool, len(reprepSet))
+	queue := make([]string, 0, len(reprepSet))
+	for name := range reprepSet {
+		evalDirty[name] = true
+		queue = append(queue, name)
+	}
+	if !a.opts.NoPropagation {
+		for len(queue) > 0 {
+			name := queue[0]
+			queue = queue[1:]
+			for _, out := range a.fanout[name] {
+				if !evalDirty[out] {
+					evalDirty[out] = true
+					queue = append(queue, out)
+				}
+			}
+		}
+	}
+	delayDirty = make(map[string]bool, len(evalDirty)+len(staDirty))
+	for name := range evalDirty {
+		delayDirty[name] = true
+	}
+	for name := range staDirty {
+		if _, ok := a.orderIdx[name]; ok {
+			delayDirty[name] = true
+		}
+	}
+	return reprep, evalDirty, delayDirty
+}
+
+// safeReprepare rebuilds one victim's coupled events from its cached
+// noise context, with the same panic isolation and fault-injection hook as
+// the initial preparation. Degraded victims (nil context) are skipped —
+// their full-rail fallback stands.
+func (a *analyzer) safeReprepare(net *netlist.Net) (p *preparedNet, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: panic preparing net %s: %v", net.Name, r)
+		}
+	}()
+	if h := a.opts.PrepareHook; h != nil {
+		if err := h(net.Name); err != nil {
+			return nil, err
+		}
+	}
+	nctx := a.ctxs[net.Name]
+	if nctx == nil {
+		return nil, nil
+	}
+	return a.prepareEvents(net, nctx)
+}
+
+// reprepare rebuilds the coupled events of the given victims on the shared
+// analyzer, committing serially in evaluation order.
+func (a *analyzer) reprepare(ctx context.Context, victims []*netlist.Net) error {
+	for i, net := range victims {
+		if i&0x3f == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		p, err := a.safeReprepare(net)
+		if err != nil {
+			if !a.opts.FailSoft {
+				return err
+			}
+			a.degradeNet(net.Name, StagePrepare, err)
+			continue
+		}
+		if p != nil {
+			a.commitPrepared(net, p)
+		}
+	}
+	return nil
+}

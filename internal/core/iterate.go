@@ -22,6 +22,18 @@ import (
 // the loop early when the padding growth is not contracting or a round
 // blows its wall-clock budget — a run that will not converge should say
 // so instead of silently burning rounds.
+//
+// The loop is incremental: one analyzer persists across rounds, shared
+// between the noise and delay passes. Round 1 is a full analysis; each
+// later round updates the timing annotation in place for the padded nets'
+// cones (sta.Result.UpdatePaddingCtx), derives the analysis dirty sets
+// from the timing dirty set (see incremental.go), re-prepares and
+// re-evaluates only those, and reuses every other victim's committed
+// results. The per-round results are identical to a from-scratch
+// re-analysis with the same padding, except for execution statistics
+// (Stats.Iterations counts only the incremental passes) and diagnostics
+// under fault injection (a hook that fires on clean victims fires only
+// for re-prepared ones).
 
 // IterativeResult is the converged joint noise/timing analysis.
 type IterativeResult struct {
@@ -60,6 +72,14 @@ func AnalyzeIterativeCtx(ctx context.Context, b *bind.Design, opts Options, maxR
 	const tol = units.Pico / 100
 	padding := make(map[string]float64)
 	out := &IterativeResult{Padding: padding}
+	// The analyzer and the timing engine alias this map: padding grown
+	// after a round is what the next round's incremental update applies.
+	opts.STA.WindowPadding = padding
+	var (
+		a       *analyzer
+		res     *Result
+		changed []string // nets whose padding grew last round
+	)
 	// Watchdog state: the largest per-net padding increase of the
 	// previous round, and how many consecutive rounds failed to contract.
 	prevGrowth := math.Inf(1)
@@ -69,26 +89,52 @@ func AnalyzeIterativeCtx(ctx context.Context, b *bind.Design, opts Options, maxR
 			return nil, err
 		}
 		start := time.Now()
-		o := opts
-		o.STA.WindowPadding = padding
-		noiseRes, err := AnalyzeCtx(ctx, b, o)
-		if err != nil {
-			return nil, fmt.Errorf("core: iterative round %d: %w", round, err)
+		wrap := func(err error) error {
+			return fmt.Errorf("core: iterative round %d: %w", round, err)
 		}
-		delayRes, err := AnalyzeDelayCtx(ctx, b, o)
-		if err != nil {
-			return nil, fmt.Errorf("core: iterative round %d: %w", round, err)
+		if a == nil {
+			var err error
+			if a, err = newAnalyzer(ctx, b, opts); err != nil {
+				return nil, wrap(err)
+			}
+			res = a.newResult()
+			if err := a.runFixpoint(ctx, res, nil); err != nil {
+				return nil, wrap(err)
+			}
+			a.finishNoise(res)
+			if err := a.delayPass(ctx, nil); err != nil {
+				return nil, wrap(err)
+			}
+		} else {
+			staDirty, err := a.staRes.UpdatePaddingCtx(ctx, a.opts.STA, changed)
+			if err != nil {
+				return nil, wrap(err)
+			}
+			reprep, evalDirty, delayDirty := a.dirtyAfterPadding(staDirty)
+			if err := a.reprepare(ctx, reprep); err != nil {
+				return nil, wrap(err)
+			}
+			if err := a.runFixpoint(ctx, res, evalDirty); err != nil {
+				return nil, wrap(err)
+			}
+			a.finishNoise(res)
+			if err := a.delayPass(ctx, delayDirty); err != nil {
+				return nil, wrap(err)
+			}
 		}
+		delayRes := a.assembleDelay()
 		out.Rounds = round
-		out.Noise = noiseRes
+		out.Noise = res
 		out.Delay = delayRes
 
 		grew := false
 		var growth float64
+		changed = changed[:0]
 		for _, im := range delayRes.Impacts {
 			if im.Delta > padding[im.Net]+tol {
 				growth = math.Max(growth, im.Delta-padding[im.Net])
 				padding[im.Net] = im.Delta
+				changed = append(changed, im.Net)
 				grew = true
 			}
 		}

@@ -167,6 +167,10 @@ type Context struct {
 	// Receivers are the victim's load connections (where glitches are
 	// checked against immunity curves).
 	Receivers []*netlist.Conn
+	// byAgg indexes Couplings by aggressor net name; BuildContext fills it
+	// so CouplingTo is a lookup instead of a scan (repair loops call it
+	// per victim-aggressor pair). Hand-built contexts may leave it nil.
+	byAgg map[string]int
 }
 
 // TotalCoupling sums coupling capacitance over all aggressors.
@@ -180,6 +184,12 @@ func (c *Context) TotalCoupling() float64 {
 
 // CouplingTo finds a coupling entry by aggressor net name.
 func (c *Context) CouplingTo(net string) *Coupling {
+	if c.byAgg != nil {
+		if i, ok := c.byAgg[net]; ok {
+			return &c.Couplings[i]
+		}
+		return nil
+	}
 	for i := range c.Couplings {
 		if c.Couplings[i].Aggressor == net {
 			return &c.Couplings[i]
@@ -212,7 +222,7 @@ func BuildContext(b *bind.Design, victim *netlist.Net) (*Context, error) {
 		c, rw float64
 	}
 	groups := make(map[string]*accum)
-	for _, x := range nw.Couplings() {
+	for _, x := range nw.CouplingsView() {
 		g := groups[x.OtherNet]
 		if g == nil {
 			g = &accum{}
@@ -243,6 +253,10 @@ func BuildContext(b *bind.Design, victim *netlist.Net) (*Context, error) {
 			cpl.AggWireDelay = aggA.MaxElmore()
 		}
 		ctx.Couplings = append(ctx.Couplings, cpl)
+	}
+	ctx.byAgg = make(map[string]int, len(ctx.Couplings))
+	for i := range ctx.Couplings {
+		ctx.byAgg[ctx.Couplings[i].Aggressor] = i
 	}
 	return ctx, nil
 }

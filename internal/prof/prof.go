@@ -1,0 +1,45 @@
+// Package prof wires the runtime CPU and heap profilers into the CLIs, so
+// performance work can be profiled on real inputs without recompiling.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by non-empty paths and returns a stop
+// function that finishes them. The stop function must run before the
+// process exits (defer it inside the run function, not around os.Exit).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+			}
+		}
+	}, nil
+}

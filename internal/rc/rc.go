@@ -40,11 +40,14 @@ type Network struct {
 	gcap  []float64 // grounded wire cap per node
 	load  []float64 // attached pin load cap per node
 	coup  []Coupling
+	// coupTo caches the summed coupling capacitance per partner net, so
+	// CouplingTo is a lookup instead of a scan over every capacitor.
+	coupTo map[string]float64
 }
 
 // NewNetwork returns an empty network.
 func NewNetwork(name string) *Network {
-	return &Network{Name: name, idx: make(map[string]int), root: -1}
+	return &Network{Name: name, idx: make(map[string]int), root: -1, coupTo: make(map[string]float64)}
 }
 
 // Node interns a node name and returns its index.
@@ -106,10 +109,19 @@ func (n *Network) AddLoadCap(node string, f float64) {
 func (n *Network) AddCoupling(node, otherNet, otherNode string, f float64) {
 	n.Node(node)
 	n.coup = append(n.coup, Coupling{Node: node, OtherNet: otherNet, OtherNode: otherNode, F: f})
+	if n.coupTo == nil {
+		n.coupTo = make(map[string]float64)
+	}
+	n.coupTo[otherNet] += f
 }
 
-// Couplings returns the coupling capacitors.
+// Couplings returns a copy of the coupling capacitors. Hot paths should
+// use CouplingsView, which does not allocate.
 func (n *Network) Couplings() []Coupling { return append([]Coupling(nil), n.coup...) }
+
+// CouplingsView returns the coupling capacitors without copying. The
+// returned slice is owned by the Network and must not be mutated.
+func (n *Network) CouplingsView() []Coupling { return n.coup }
 
 // GroundCap returns total grounded wire capacitance.
 func (n *Network) GroundCap() float64 {
@@ -140,13 +152,7 @@ func (n *Network) CouplingCap() float64 {
 
 // CouplingTo returns the summed coupling capacitance toward one other net.
 func (n *Network) CouplingTo(other string) float64 {
-	var s float64
-	for _, c := range n.coup {
-		if c.OtherNet == other {
-			s += c.F
-		}
-	}
-	return s
+	return n.coupTo[other]
 }
 
 // TotalCap is the capacitance a quiet victim's driver must hold: grounded

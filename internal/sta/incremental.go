@@ -1,0 +1,118 @@
+package sta
+
+import (
+	"context"
+
+	"repro/internal/netlist"
+)
+
+// Incremental padding update: the joint noise–timing loop grows
+// Options.WindowPadding on a handful of nets each round and re-runs
+// timing. A from-scratch run redoes every instance; but padding on net N
+// can only change the annotations of N itself and everything downstream of
+// it, so an incremental update re-evaluates just that cone and leaves the
+// rest of the annotation untouched.
+//
+// Correctness relies on two properties of the forward pass:
+//
+//   - evalInst merges the freshly computed output window with any previous
+//     annotation before applying padding (the union is for loop fixpoints).
+//     A padded stale annotation must therefore never be merged into a
+//     re-evaluation — the padding would be applied twice. The update
+//     deletes every dirty instance's output annotations before walking the
+//     levelized order, so each dirty instance computes exactly what a
+//     fresh run would.
+//
+//   - port-driven nets are seeded directly and never receive padding in
+//     the forward pass, so padding entries on them do not dirty anything.
+//
+// Designs with combinational feedback fall back to a full fresh run: a
+// loop fixpoint restarted from a padded annotation could settle elsewhere
+// than a fresh run's, and equality with the from-scratch engine is the
+// contract here.
+
+// UpdatePaddingCtx re-runs timing incrementally after opts.WindowPadding
+// changed on the named nets, mutating the Result in place. It returns the
+// set of nets whose annotation was recomputed (a superset of the nets
+// whose timing actually changed). opts must match the options of the run
+// that produced the Result, apart from the padding values.
+func (res *Result) UpdatePaddingCtx(ctx context.Context, opts Options, changed []string) (map[string]bool, error) {
+	opts.fill()
+	b := res.design
+	lev := b.Net.Levelize()
+	if len(lev.Feedback) > 0 {
+		fresh, err := RunCtx(ctx, b, opts)
+		if err != nil {
+			return nil, err
+		}
+		*res = *fresh
+		dirty := make(map[string]bool, len(res.nets))
+		for name := range res.nets {
+			dirty[name] = true
+		}
+		return dirty, nil
+	}
+
+	// Seed: the instances driving the changed nets. Port-driven nets are
+	// seeded, not evaluated, so padding never applies to them.
+	dirtyInst := make(map[*netlist.Inst]bool)
+	var queue []*netlist.Inst
+	mark := func(inst *netlist.Inst) {
+		if inst != nil && !dirtyInst[inst] {
+			dirtyInst[inst] = true
+			queue = append(queue, inst)
+		}
+	}
+	for _, name := range changed {
+		net := b.Net.FindNet(name)
+		if net == nil {
+			continue
+		}
+		if drv := net.Driver(); drv != nil {
+			mark(drv.Inst)
+		}
+	}
+	// Fanout closure over instances: a re-evaluated output perturbs every
+	// instance reading it.
+	for len(queue) > 0 {
+		inst := queue[0]
+		queue = queue[1:]
+		for _, oc := range inst.Outputs() {
+			for _, lc := range oc.Net.Loads() {
+				mark(lc.Inst)
+			}
+		}
+	}
+	dirtyNets := make(map[string]bool)
+	if len(dirtyInst) == 0 {
+		return dirtyNets, nil
+	}
+	// Clear the dirty annotations first (see the double-padding note
+	// above), then re-evaluate in levelized order so every dirty
+	// instance's inputs are final when it runs.
+	for inst := range dirtyInst {
+		for _, oc := range inst.Outputs() {
+			delete(res.nets, oc.Net.Name)
+			dirtyNets[oc.Net.Name] = true
+		}
+	}
+	for i, inst := range lev.Ordered() {
+		if i&0x3f == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if !dirtyInst[inst] {
+			continue
+		}
+		if err := res.evalInst(inst, &opts); err != nil {
+			return nil, err
+		}
+	}
+	if opts.ClockPeriod > 0 {
+		if err := res.computeRequired(&opts); err != nil {
+			return nil, err
+		}
+	}
+	return dirtyNets, nil
+}

@@ -1,0 +1,182 @@
+package sta
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/units"
+)
+
+// twoChains builds two independent inverter chains in one design, so an
+// incremental update on one chain must leave the other untouched.
+func twoChains(d *netlist.Design) error {
+	for _, s := range []string{"1", "2"} {
+		if _, err := d.AddPort("in"+s, netlist.In); err != nil {
+			return err
+		}
+		if _, err := d.AddPort("out"+s, netlist.Out); err != nil {
+			return err
+		}
+		if _, err := d.AddInst("u"+s, "INV_X1"); err != nil {
+			return err
+		}
+		if _, err := d.AddInst("v"+s, "INV_X2"); err != nil {
+			return err
+		}
+		for _, c := range [][4]string{
+			{"u" + s, "A", "in" + s, "in"}, {"u" + s, "Y", "mid" + s, "out"},
+			{"v" + s, "A", "mid" + s, "in"}, {"v" + s, "Y", "out" + s, "out"},
+		} {
+			dir := netlist.In
+			if c[3] == "out" {
+				dir = netlist.Out
+			}
+			if err := d.Connect(c[0], c[1], c[2], dir); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// requireEqualResults compares every net annotation of two results exactly
+// (tolerance zero: the incremental path must run the same arithmetic).
+func requireEqualResults(t *testing.T, got, want *Result) {
+	t.Helper()
+	if len(got.nets) != len(want.nets) {
+		t.Fatalf("net count %d != %d", len(got.nets), len(want.nets))
+	}
+	for name, wt := range want.nets {
+		gt, ok := got.nets[name]
+		if !ok {
+			t.Fatalf("net %s missing from incremental result", name)
+		}
+		if !gt.equalWithin(wt, 0) {
+			t.Fatalf("net %s: incremental %+v != fresh %+v", name, gt, wt)
+		}
+	}
+	if len(got.required) != len(want.required) {
+		t.Fatalf("required count %d != %d", len(got.required), len(want.required))
+	}
+	for name, wv := range want.required {
+		if gv, ok := got.required[name]; !ok || gv != wv {
+			t.Fatalf("required[%s] = %v, want %v", name, gv, wv)
+		}
+	}
+}
+
+func TestUpdatePaddingMatchesFreshRun(t *testing.T) {
+	b := mustDesign(t, twoChains)
+	padding := map[string]float64{}
+	opts := Options{WindowPadding: padding, ClockPeriod: 1 * units.Nano}
+	res, err := Run(b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	untouched := res.nets["mid2"]
+
+	padding["mid1"] = 30 * units.Pico
+	dirty, err := res.UpdatePaddingCtx(context.Background(), opts, []string{"mid1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dirty["mid1"] || !dirty["out1"] {
+		t.Fatalf("dirty = %v, want mid1 and out1", dirty)
+	}
+	if dirty["mid2"] || dirty["out2"] || dirty["in1"] {
+		t.Fatalf("dirty = %v leaked outside the padded cone", dirty)
+	}
+	if res.nets["mid2"] != untouched {
+		t.Fatal("untouched chain was recomputed")
+	}
+	fresh, err := Run(b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualResults(t, res, fresh)
+
+	// Growing the same net again keeps matching (the double-padding
+	// hazard: a stale padded annotation merged into the re-evaluation
+	// would pad twice).
+	padding["mid1"] = 55 * units.Pico
+	if _, err := res.UpdatePaddingCtx(context.Background(), opts, []string{"mid1"}); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err = Run(b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualResults(t, res, fresh)
+}
+
+func TestUpdatePaddingPortNetIsNoop(t *testing.T) {
+	b := mustDesign(t, twoChains)
+	padding := map[string]float64{}
+	opts := Options{WindowPadding: padding}
+	res, err := Run(b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Port-driven nets are seeded, never padded, so a padding entry on one
+	// dirties nothing.
+	padding["in1"] = 40 * units.Pico
+	dirty, err := res.UpdatePaddingCtx(context.Background(), opts, []string{"in1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) != 0 {
+		t.Fatalf("dirty = %v, want empty", dirty)
+	}
+	freshOpts := Options{WindowPadding: map[string]float64{}}
+	fresh, err := Run(b, freshOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualResults(t, res, fresh)
+}
+
+func TestUpdatePaddingFeedbackFallsBackToFullRun(t *testing.T) {
+	b := mustDesign(t, func(d *netlist.Design) error {
+		if _, err := d.AddPort("in", netlist.In); err != nil {
+			return err
+		}
+		for _, n := range []string{"g1", "g2"} {
+			if _, err := d.AddInst(n, "NAND2_X1"); err != nil {
+				return err
+			}
+		}
+		for _, c := range [][4]string{
+			{"g1", "A", "in", "in"}, {"g1", "B", "q", "in"}, {"g1", "Y", "p", "out"},
+			{"g2", "A", "p", "in"}, {"g2", "B", "in", "in"}, {"g2", "Y", "q", "out"},
+		} {
+			dir := netlist.In
+			if c[3] == "out" {
+				dir = netlist.Out
+			}
+			if err := d.Connect(c[0], c[1], c[2], dir); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	padding := map[string]float64{}
+	opts := Options{WindowPadding: padding, MaxLoopIter: 4}
+	res, err := Run(b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padding["p"] = 25 * units.Pico
+	dirty, err := res.UpdatePaddingCtx(context.Background(), opts, []string{"p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) != len(res.nets) {
+		t.Fatalf("feedback fallback dirtied %d of %d nets", len(dirty), len(res.nets))
+	}
+	fresh, err := Run(b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualResults(t, res, fresh)
+}

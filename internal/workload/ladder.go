@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/interval"
+	"repro/internal/netlist"
+	"repro/internal/spef"
+	"repro/internal/sta"
+	"repro/internal/units"
+)
+
+// LadderSpec parameterizes Ladder, the multi-round convergence workload
+// for the joint noise–timing loop.
+type LadderSpec struct {
+	// Lines is the number of quiet background bus lines (default 64).
+	// Their windows are far apart, so they never pad — they exist to give
+	// a from-scratch re-analysis per-round work that an incremental one
+	// can skip.
+	Lines int
+	// Steps is the number of ladder rungs, 1–5 (default 5). The loop
+	// converges after Steps+1 rounds: the victim captures one more rung
+	// per round until the growth dries up.
+	Steps int
+}
+
+// Ladder rung placement, calibrated for the fixed electrical parameters
+// below (INV_X2 drivers, 40 Ω segments, 3 fF ground / 8 fF·0.6^k coupling
+// caps, 20 ps input slews, the generic library):
+//
+//   - The victim switches at input [0, 60] ps, giving a net window of
+//     [118.2, 178.2] ps and a worst rise slew of 147 ps.
+//   - Rung k couples to the victim with 8·0.6^(k-1) fF, a glitch peak of
+//     {0.317, 0.190, 0.114, 0.069, 0.041} V, so each capture pads the
+//     victim's late edge to {38.8, 62.0, 75.9, 84.3, 89.3} ps in turn
+//     (Δd = slew·ΣV/Vdd), a strictly contracting growth sequence.
+//   - A rung's glitch window starts 33.6 ps after its input window. Rung
+//     k ≥ 2 is placed so that start falls midway between pad levels k−2
+//     and k−1 past the victim's window edge: inside the window only once
+//     round k−1's padding has been applied, captured exactly at round k.
+//   - Rung 1 is captured immediately (its glitch starts 13 ps before the
+//     unpadded edge) and switches for 120 ps instead of 60 ps, so its
+//     glitch spans the whole capture region — the max-overlap delay query
+//     needs a common instant shared by every captured rung.
+//
+// Values are input-window placements in picoseconds.
+var (
+	ladderRungLo    = []float64{131.60, 163.92, 194.93, 213.53, 224.69}
+	ladderRungWidth = []float64{120, 60, 60, 60, 60}
+)
+
+const (
+	ladderVictimWidth = 60 * units.Pico
+	ladderSlew        = 20 * units.Pico
+	ladderCouple0     = 8 * units.Femto
+	ladderDecay       = 0.6
+	ladderGround      = 3 * units.Femto
+	ladderRes         = 40.0
+)
+
+// Ladder generates a workload whose iterative noise–timing analysis takes
+// Steps+1 rounds to converge: a victim net "v" plus staggered aggressor
+// rungs "a1".."a<Steps>" with geometrically decaying coupling, arranged so
+// each round's window padding pulls exactly one more rung's glitch into
+// the victim's switching window. The rung coupling caps are listed only in
+// the victim's parasitic section (a one-sided extractor emission), so the
+// rungs themselves never pad and the growth sequence stays contracting.
+// Background lines "b<i>" form a conventionally coupled quiet bus.
+func Ladder(spec LadderSpec) (*Generated, error) {
+	if spec.Lines == 0 {
+		spec.Lines = 64
+	}
+	if spec.Lines < 2 {
+		return nil, fmt.Errorf("workload: ladder needs at least 2 background lines, have %d", spec.Lines)
+	}
+	if spec.Steps == 0 {
+		spec.Steps = len(ladderRungLo)
+	}
+	if spec.Steps < 1 || spec.Steps > len(ladderRungLo) {
+		return nil, fmt.Errorf("workload: ladder steps must be 1–%d, have %d", len(ladderRungLo), spec.Steps)
+	}
+	d := netlist.New(fmt.Sprintf("ladder%d", spec.Steps))
+	para := spef.NewParasitics(d.Name)
+	inputs := make(map[string]*sta.Timing)
+	slew := sta.Range{Min: ladderSlew, Max: ladderSlew}
+
+	// One driver/receiver stage per net, ladder and background alike.
+	stage := func(net string) error {
+		drv, rcv := "d_"+net, "r_"+net
+		if _, err := d.AddPort("in_"+net, netlist.In); err != nil {
+			return err
+		}
+		if _, err := d.AddInst(drv, "INV_X2"); err != nil {
+			return err
+		}
+		if _, err := d.AddInst(rcv, "INV_X1"); err != nil {
+			return err
+		}
+		for _, c := range []struct {
+			inst, pin, net string
+			dir            netlist.Dir
+		}{
+			{drv, "A", "in_" + net, netlist.In}, {drv, "Y", net, netlist.Out},
+			{rcv, "A", net, netlist.In}, {rcv, "Y", "q_" + net, netlist.Out},
+		} {
+			if err := d.Connect(c.inst, c.pin, c.net, c.dir); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	window := func(net string, lo, width float64) {
+		win := interval.SetOf(lo, lo+width)
+		inputs["in_"+net] = &sta.Timing{Rise: win, Fall: win, SlewRise: slew, SlewFall: slew}
+	}
+	parasitic := func(net string, coupling []spef.CapEntry) error {
+		n := &spef.Net{Name: net,
+			Conns: []spef.Conn{
+				{Pin: "d_" + net + ":Y", Dir: spef.DirOut, Node: "d_" + net + ":Y"},
+				{Pin: "r_" + net + ":A", Dir: spef.DirIn, Node: "r_" + net + ":A"},
+			},
+			Ress: []spef.ResEntry{
+				{A: "d_" + net + ":Y", B: net + ":1", Ohms: ladderRes},
+				{A: net + ":1", B: "r_" + net + ":A", Ohms: ladderRes},
+			},
+			Caps: append([]spef.CapEntry{{Node: net + ":1", F: ladderGround}}, coupling...),
+		}
+		return para.AddNet(n)
+	}
+
+	// The ladder cluster.
+	rung := func(k int) string { return fmt.Sprintf("a%d", k) }
+	var victimCoupling []spef.CapEntry
+	couple := ladderCouple0
+	for k := 1; k <= spec.Steps; k++ {
+		victimCoupling = append(victimCoupling, spef.CapEntry{
+			Node: "v:1", Other: rung(k) + ":1", F: couple,
+		})
+		couple *= ladderDecay
+	}
+	if err := stage("v"); err != nil {
+		return nil, err
+	}
+	window("v", 0, ladderVictimWidth)
+	if err := parasitic("v", victimCoupling); err != nil {
+		return nil, err
+	}
+	for k := 1; k <= spec.Steps; k++ {
+		if err := stage(rung(k)); err != nil {
+			return nil, err
+		}
+		window(rung(k), ladderRungLo[k-1]*units.Pico, ladderRungWidth[k-1]*units.Pico)
+		if err := parasitic(rung(k), nil); err != nil {
+			return nil, err
+		}
+	}
+
+	// The quiet background bus: conventional symmetric neighbour coupling,
+	// windows 1 ns apart so nothing ever aligns.
+	line := func(i int) string { return fmt.Sprintf("b%d", i) }
+	for i := 0; i < spec.Lines; i++ {
+		if err := stage(line(i)); err != nil {
+			return nil, err
+		}
+		window(line(i), float64(i)*units.Nano, 100*units.Pico)
+		var coupling []spef.CapEntry
+		for _, j := range []int{i - 1, i + 1} {
+			if j < 0 || j >= spec.Lines {
+				continue
+			}
+			coupling = append(coupling, spef.CapEntry{
+				Node: line(i) + ":1", Other: line(j) + ":1", F: 2 * units.Femto,
+			})
+		}
+		if err := parasitic(line(i), coupling); err != nil {
+			return nil, err
+		}
+	}
+	return &Generated{Design: d, Paras: para, Inputs: inputs}, nil
+}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -92,5 +94,38 @@ func TestBenchOutQuick(t *testing.T) {
 	}
 	if r := byName["iterative_incremental"].Extra["rounds"]; r < 4 {
 		t.Fatalf("ladder converged in %g rounds, want ≥ 4", r)
+	}
+}
+
+// TestInterruptSignalCancelsSweep pins the signal wiring in main: a real
+// SIGTERM caught by signal.NotifyContext cancels the sweep through the
+// same cooperative path as -timeout.
+func TestInterruptSignalCancelsSweep(t *testing.T) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	type result struct {
+		code   int
+		stderr string
+	}
+	done := make(chan result, 1)
+	go func() {
+		var out, errOut strings.Builder
+		code := run(ctx, nil, &out, &errOut) // full sweep: minutes of work
+		done <- result{code, errOut.String()}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-done:
+		if r.code == 0 {
+			t.Fatal("interrupted sweep should not exit 0")
+		}
+		if !strings.Contains(r.stderr, "cancelled") {
+			t.Fatalf("stderr should report the cancellation: %s", r.stderr)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep did not stop after SIGTERM")
 	}
 }

@@ -47,7 +47,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/bind"
 	"repro/internal/core"
@@ -74,10 +76,16 @@ const (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// SIGINT/SIGTERM take the same cooperative fail-soft cancellation path
+	// as -timeout: the engine stops at the next per-victim checkpoint and
+	// the process exits with the failure discipline (code 4) instead of
+	// being killed mid-analysis.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sna", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -135,16 +143,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 
-	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
 	fail := func(err error) int {
-		if errors.Is(err, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
 			fmt.Fprintf(stderr, "sna: analysis cancelled: %s deadline exceeded\n", *timeout)
-		} else {
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintln(stderr, "sna: interrupted: analysis cancelled by signal")
+		default:
 			fmt.Fprintln(stderr, "sna:", err)
 		}
 		return exitFail

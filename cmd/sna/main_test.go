@@ -2,9 +2,12 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -64,7 +67,7 @@ func writeTo(t *testing.T, path string, fn func(*os.File) error) {
 
 func runSna(args ...string) (code int, stdout, stderr string) {
 	var out, errb bytes.Buffer
-	code = run(args, &out, &errb)
+	code = run(context.Background(), args, &out, &errb)
 	return code, out.String(), errb.String()
 }
 
@@ -240,5 +243,45 @@ func TestJSONIncludesDegradations(t *testing.T) {
 		if !strings.Contains(string(data), want) {
 			t.Fatalf("JSON missing %s:\n%s", want, data)
 		}
+	}
+}
+
+// TestInterruptSignalCancelsAnalysis pins the signal wiring: a real SIGINT
+// during a slow analysis takes the cooperative fail-soft cancellation path
+// and exits with the failure code, not a mid-analysis kill.
+func TestInterruptSignalCancelsAnalysis(t *testing.T) {
+	dir := t.TempDir()
+	// 16 bits × 10ms injected sleep per net is seconds of work — plenty of
+	// window to land the signal.
+	n, s, w := writeBus(t, dir, workload.BusSpec{Bits: 16}, "")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	type result struct {
+		code   int
+		stderr string
+	}
+	done := make(chan result, 1)
+	go func() {
+		var out, errb bytes.Buffer
+		code := run(ctx, []string{"-net", n, "-spef", s, "-win", w, "-inject-fault", "sleep:*"}, &out, &errb)
+		done <- result{code, errb.String()}
+	}()
+	// Let the run get past flag parsing and into the engine before
+	// signalling.
+	time.Sleep(50 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-done:
+		if r.code != exitFail {
+			t.Fatalf("exit = %d, want %d\nstderr: %s", r.code, exitFail, r.stderr)
+		}
+		if !strings.Contains(r.stderr, "interrupted") {
+			t.Fatalf("stderr should name the interrupt: %s", r.stderr)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not return after SIGINT")
 	}
 }

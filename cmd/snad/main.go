@@ -1,0 +1,376 @@
+// snad is the static noise analysis daemon: a long-running HTTP/JSON
+// service that loads designs into named sessions — each holding the
+// persistent incremental analyzer warm — and serves analyze,
+// delta-reanalyze, and report queries. The binary is both the server
+// (`snad serve`) and a thin CLI over the retrying client for every
+// endpoint (`snad create|analyze|reanalyze|report|list|delete|health`).
+//
+// Usage:
+//
+//	snad serve   [-listen 127.0.0.1:8347] [-max-sessions 8]
+//	             [-max-concurrent N] [-queue N] [-max-timeout 30s]
+//	             [-drain-budget 10s] [-breaker-trips 3]
+//	             [-breaker-cooldown 10s]
+//	snad create  -server URL -name S -net design.net [-spef design.spef]
+//	             [-lib lib.nlib] [-win design.win] [-mode all|timing|noise]
+//	             [-threshold 0.02] [-corr] [-noprop] [-workers N]
+//	             [-fail-fast] [-inject-fault spec]
+//	snad analyze -server URL -name S [-delay] [-timeout 10s]
+//	snad reanalyze -server URL -name S -pad net=3e-12,net2=5e-12 [-delay]
+//	snad report  -server URL -name S
+//	snad list    -server URL
+//	snad delete  -server URL -name S
+//	snad health  -server URL
+//
+// The server sheds load instead of queueing it unboundedly: past its
+// concurrency cap and bounded queue, requests get 429 with a Retry-After
+// hint. The client commands absorb shedding with exponential backoff and
+// jitter. SIGTERM/SIGINT starts a graceful drain: the listener stops
+// accepting, in-flight analyses get -drain-budget to finish, and whatever
+// remains is cancelled through the engine's cooperative-cancellation path.
+//
+// Exit codes for serve:
+//
+//	0  clean drain: every in-flight request finished within the budget
+//	1  forced drain: in-flight work had to be cancelled
+//	3  usage error (bad flags)
+//	4  startup failure (listen error) or server crash
+//
+// Client commands reuse the sna discipline where it applies: 0 clean,
+// 1 violations (analyze/reanalyze), 3 usage, 4 request failure,
+// 5 degraded-clean (no violations but degraded nets — incomplete, not
+// clean).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/server"
+)
+
+const (
+	exitClean      = 0
+	exitViolations = 1 // client analyze: violations; serve: forced drain
+	exitForced     = 1
+	exitUsage      = 3
+	exitFail       = 4
+	exitDegraded   = 5
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "snad: a subcommand is required: serve | create | analyze | reanalyze | report | list | delete | health")
+		return exitUsage
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "serve":
+		return runServe(ctx, rest, stdout, stderr)
+	case "create", "analyze", "reanalyze", "report", "list", "delete", "health":
+		return runClient(ctx, cmd, rest, stdout, stderr)
+	}
+	fmt.Fprintf(stderr, "snad: unknown subcommand %q\n", cmd)
+	return exitUsage
+}
+
+// runServe starts the daemon and blocks until a signal (or server crash),
+// then performs the graceful drain.
+func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("snad serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen      = fs.String("listen", "127.0.0.1:8347", "listen address")
+		maxSessions = fs.Int("max-sessions", 0, "max loaded sessions; LRU-evicted past this (default 8)")
+		maxConc     = fs.Int("max-concurrent", 0, "max concurrent analyses (default GOMAXPROCS)")
+		queue       = fs.Int("queue", 0, "max queued requests past the concurrency cap (default 2x)")
+		maxTimeout  = fs.Duration("max-timeout", 0, "server-side cap on one request's analysis deadline (default 30s)")
+		drainBudget = fs.Duration("drain-budget", 10*time.Second, "grace period for in-flight work on shutdown")
+		trips       = fs.Int("breaker-trips", 0, "consecutive degraded results that trip a session breaker (default 3)")
+		cooldown    = fs.Duration("breaker-cooldown", 0, "breaker cooldown before going half-open (default 10s)")
+		quiet       = fs.Bool("quiet", false, "suppress operational logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(stderr, "snad: "+format+"\n", a...)
+	}
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv := server.New(server.Config{
+		MaxSessions:       *maxSessions,
+		MaxConcurrent:     *maxConc,
+		QueueDepth:        *queue,
+		MaxRequestTimeout: *maxTimeout,
+		BreakerTrips:      *trips,
+		BreakerCooldown:   *cooldown,
+		Logf:              logf,
+	})
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(stderr, "snad:", err)
+		return exitFail
+	}
+	// The bound address line is the startup handshake: scripts and tests
+	// read it to learn the port when -listen used :0.
+	fmt.Fprintf(stdout, "snad: listening on %s\n", ln.Addr())
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "snad: server failed:", err)
+		return exitFail
+	case <-ctx.Done():
+	}
+	logf("shutdown signal received; draining (budget %s)", *drainBudget)
+	clean := srv.Drain(*drainBudget)
+	httpSrv.Close()
+	if !clean {
+		fmt.Fprintln(stderr, "snad: forced drain: in-flight work was cancelled")
+		return exitForced
+	}
+	fmt.Fprintln(stdout, "snad: drained cleanly")
+	return exitClean
+}
+
+// runClient dispatches the thin CLI wrappers over the retrying client.
+func runClient(ctx context.Context, cmd string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("snad "+cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		serverURL = fs.String("server", "http://127.0.0.1:8347", "snad server base URL")
+		name      = fs.String("name", "", "session name")
+		retries   = fs.Int("retries", 0, "max attempts for retryable failures (default 4)")
+		timeout   = fs.Duration("timeout", 0, "per-request analysis deadline sent to the server")
+
+		// create flags
+		netPath   = fs.String("net", "", "netlist file (.net or .v)")
+		spefPath  = fs.String("spef", "", "parasitics file (.spef)")
+		libPath   = fs.String("lib", "", "cell library (.nlib); default: server's built-in generic")
+		winPath   = fs.String("win", "", "input timing file (.win)")
+		modeFlag  = fs.String("mode", "noise", "combination policy: all | timing | noise")
+		threshold = fs.Float64("threshold", 0, "aggressor coupling-ratio filter threshold")
+		noProp    = fs.Bool("noprop", false, "disable noise propagation through gates")
+		corr      = fs.Bool("corr", false, "enable logic-correlation aggressor filtering")
+		workers   = fs.Int("workers", 0, "parallel analysis workers (0 = serial)")
+		failFast  = fs.Bool("fail-fast", false, "abort a request on the first per-net failure instead of degrading")
+		faultSpec = fs.String("inject-fault", "", "inject runtime faults, e.g. panic:b1,sleep:* (testing)")
+
+		// analyze/reanalyze flags
+		delay = fs.Bool("delay", false, "include the crosstalk delta-delay section")
+		pad   = fs.String("pad", "", "reanalyze padding: net=seconds[,net=seconds...]")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	needName := cmd == "create" || cmd == "analyze" || cmd == "reanalyze" || cmd == "report" || cmd == "delete"
+	if needName && *name == "" {
+		fmt.Fprintln(stderr, "snad: -name is required")
+		return exitUsage
+	}
+	c := client.New(*serverURL, client.RetryPolicy{MaxAttempts: *retries})
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "snad:", err)
+		return exitFail
+	}
+	switch cmd {
+	case "create":
+		if *netPath == "" {
+			fmt.Fprintln(stderr, "snad: -net is required")
+			return exitUsage
+		}
+		req := &server.CreateSessionRequest{
+			Name: *name,
+			Options: server.SessionOptions{
+				Mode:             *modeFlag,
+				Threshold:        *threshold,
+				NoPropagation:    *noProp,
+				LogicCorrelation: *corr,
+				Workers:          *workers,
+				FailFast:         *failFast,
+				InjectFault:      *faultSpec,
+			},
+		}
+		text, err := os.ReadFile(*netPath)
+		if err != nil {
+			return fail(err)
+		}
+		if strings.HasSuffix(*netPath, ".v") {
+			req.Verilog = string(text)
+		} else {
+			req.Netlist = string(text)
+		}
+		for _, f := range []struct {
+			path string
+			dst  *string
+		}{{*spefPath, &req.SPEF}, {*libPath, &req.Liberty}, {*winPath, &req.Timing}} {
+			if f.path == "" {
+				continue
+			}
+			text, err := os.ReadFile(f.path)
+			if err != nil {
+				return fail(err)
+			}
+			*f.dst = string(text)
+		}
+		info, err := c.CreateSession(ctx, req)
+		if err != nil {
+			return clientFail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "session %s created\n", info.Name)
+		return exitClean
+	case "analyze":
+		resp, err := c.Analyze(ctx, *name, &server.AnalyzeRequest{Delay: *delay}, *timeout)
+		if err != nil {
+			return clientFail(stderr, err)
+		}
+		return printAnalysis(stdout, resp)
+	case "reanalyze":
+		padding, err := parsePadding(*pad)
+		if err != nil {
+			fmt.Fprintln(stderr, "snad:", err)
+			return exitUsage
+		}
+		resp, err := c.Reanalyze(ctx, *name, &server.ReanalyzeRequest{Padding: padding, Delay: *delay}, *timeout)
+		if err != nil {
+			return clientFail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "reanalyzed %s: %d net(s) changed\n", *name, resp.ChangedNets)
+		return printAnalysis(stdout, resp)
+	case "report":
+		resp, err := c.Report(ctx, *name)
+		if err != nil {
+			return clientFail(stderr, err)
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
+		return exitClean
+	case "list":
+		infos, err := c.List(ctx)
+		if err != nil {
+			return clientFail(stderr, err)
+		}
+		for _, info := range infos {
+			state := "idle"
+			if info.Analyzed {
+				state = fmt.Sprintf("%d victims, %d violations, %d degraded", info.Victims, info.Violations, info.DegradedNets)
+			}
+			if info.Breaker.Open {
+				state += " [breaker open]"
+			}
+			if info.Suspect {
+				state += " [suspect]"
+			}
+			fmt.Fprintf(stdout, "%s: %s\n", info.Name, state)
+		}
+		return exitClean
+	case "delete":
+		if err := c.Delete(ctx, *name); err != nil {
+			return clientFail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "session %s deleted\n", *name)
+		return exitClean
+	case "health":
+		h, err := c.Health(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "status=%s sessions=%d inflight=%d\n", h.Status, h.Sessions, h.Inflight)
+		return exitClean
+	}
+	return exitUsage
+}
+
+// clientFail renders a request failure, keeping the server's structured
+// error kind visible for scripting.
+func clientFail(stderr io.Writer, err error) int {
+	if ae, ok := err.(*client.APIError); ok {
+		fmt.Fprintf(stderr, "snad: %s: %s\n", ae.Info.Kind, ae.Info.Message)
+		for _, d := range ae.Info.Lint {
+			fmt.Fprintf(stderr, "snad:   [%s %s] %s: %s\n", d.Severity, d.Rule, d.Object, d.Message)
+		}
+		return exitFail
+	}
+	fmt.Fprintln(stderr, "snad:", err)
+	return exitFail
+}
+
+// printAnalysis renders an analysis summary and maps it onto the sna exit
+// discipline.
+func printAnalysis(stdout io.Writer, resp *server.AnalyzeResponse) int {
+	noise := resp.Noise
+	rebuilt := ""
+	if resp.Rebuilt {
+		rebuilt = " (session rebuilt)"
+	}
+	fmt.Fprintf(stdout, "session %s: %d victims, %d violations, %d degraded%s\n",
+		resp.Session, noise.Stats.Victims, len(noise.Violations), noise.Stats.DegradedNets, rebuilt)
+	for _, v := range noise.Violations {
+		at := "-"
+		if v.At != nil {
+			at = strconv.FormatFloat(*v.At, 'g', 4, 64) + "s"
+		}
+		fmt.Fprintf(stdout, "  VIOLATION %s @ %s (%s): peak %.4gV > limit %.4gV at %s [%s]\n",
+			v.Net, v.Receiver, v.State, v.Peak, v.Limit, at, strings.Join(v.Members, "+"))
+	}
+	for _, d := range noise.Degradations {
+		fmt.Fprintf(stdout, "  DEGRADED %s (%s): %s\n", d.Net, d.Stage, d.Error)
+	}
+	if resp.Delay != nil {
+		fmt.Fprintf(stdout, "  delta-delay: %d impacted edges\n", len(resp.Delay.Impacts))
+	}
+	if len(noise.Violations) > 0 {
+		return exitViolations
+	}
+	if noise.Stats.DegradedNets > 0 || len(noise.Degradations) > 0 {
+		return exitDegraded
+	}
+	return exitClean
+}
+
+// parsePadding parses "net=seconds,net=seconds" into a padding map.
+func parsePadding(spec string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		net, val, ok := strings.Cut(item, "=")
+		if !ok || net == "" {
+			return nil, fmt.Errorf("bad padding %q (want net=seconds)", item)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f < 0 {
+			return nil, fmt.Errorf("bad padding value %q for net %q (want finite seconds >= 0)", val, net)
+		}
+		out[net] = f
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-pad is required (net=seconds[,net=seconds...])")
+	}
+	return out, nil
+}

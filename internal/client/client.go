@@ -1,0 +1,333 @@
+// Package client is the Go client for the snad analysis service, with
+// the retry discipline the service's shedding design assumes: snad sheds
+// load fast (429/503 + Retry-After) expecting callers to back off and
+// retry, so the client owns exponential backoff with jitter, honors
+// Retry-After hints, and retries only requests that are safe to repeat.
+//
+// Retryability is decided from the response, not the method:
+//
+//	status              retried?  why
+//	429 overloaded      yes       request was shed before running
+//	503 draining        yes       another replica (or a drained restart)
+//	                              can serve it
+//	503 breaker_open    yes       the breaker reopens after its cooldown
+//	503 deadline        yes       analyze/reanalyze are idempotent —
+//	503 canceled        yes       padding is max-monotonic, repeating is
+//	                              safe
+//	409 conflict        no        the session already exists; repeating
+//	                              cannot help
+//	422 lint_rejected   no        the design is broken; fix it first
+//	400/404             no        caller bug
+//	500 engine/panic    no        repeating the same work repeats the
+//	                              failure; surface it
+//
+// Transport errors (connection refused, reset) are retried for GETs and
+// for the idempotent analysis POSTs, but not for session creation, where
+// the request may have been applied before the connection died.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/server"
+)
+
+// RetryPolicy tunes the backoff loop. The zero value gets defaults.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, first included
+	// (default 4).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff: attempt n waits about
+	// BaseDelay·2ⁿ, ±50% jitter (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps one backoff step (default 5s). A server Retry-After
+	// hint overrides the computed delay (it is the server saying exactly
+	// when capacity returns) but is still capped here.
+	MaxDelay time.Duration
+}
+
+func (p *RetryPolicy) fill() {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+}
+
+// APIError is a structured error response from the service.
+type APIError struct {
+	Status int
+	Info   server.ErrorInfo
+
+	// retryAfter carries the server's Retry-After hint into the backoff
+	// computation; it is advice, not payload.
+	retryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("snad: %s (%d): %s", e.Info.Kind, e.Status, e.Info.Message)
+}
+
+// Retryable reports whether repeating the request can succeed.
+func (e *APIError) Retryable() bool {
+	switch e.Info.Kind {
+	case "overloaded", "draining", "breaker_open", "deadline", "canceled":
+		return true
+	}
+	// A 503 without a parseable body is still a capacity signal.
+	return e.Info.Kind == "" && (e.Status == http.StatusServiceUnavailable || e.Status == http.StatusTooManyRequests)
+}
+
+// Client talks to one snad server.
+type Client struct {
+	base  string
+	http  *http.Client
+	retry RetryPolicy
+
+	// sleep and jitter are injectable for tests.
+	sleep  func(ctx context.Context, d time.Duration) error
+	jitter func(d time.Duration) time.Duration
+}
+
+// New builds a client for the server at base (e.g. "http://127.0.0.1:8347").
+func New(base string, policy RetryPolicy) *Client {
+	policy.fill()
+	return &Client{
+		base:  base,
+		http:  &http.Client{},
+		retry: policy,
+		sleep: func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+		jitter: func(d time.Duration) time.Duration {
+			// Full ±50% jitter: spreads synchronized retries (thundering
+			// herd after a drain or breaker trip) across the window.
+			return d/2 + time.Duration(rand.Int63n(int64(d)+1))
+		},
+	}
+}
+
+// backoff computes the wait before attempt n (0-based), preferring the
+// server's Retry-After hint when present.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		if retryAfter > c.retry.MaxDelay {
+			return c.retry.MaxDelay
+		}
+		return retryAfter
+	}
+	d := c.retry.BaseDelay << uint(attempt)
+	if d > c.retry.MaxDelay || d <= 0 {
+		d = c.retry.MaxDelay
+	}
+	return c.jitter(d)
+}
+
+// doRetry runs one request through the retry loop. retryTransport allows
+// retrying transport-level failures (safe only for idempotent requests);
+// body is re-marshaled per attempt via mkBody.
+func (c *Client) doRetry(ctx context.Context, method, path string, mkBody func() (io.Reader, error), out any, retryTransport bool) error {
+	var lastErr error
+	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			var wait time.Duration
+			if ae, ok := lastErr.(*APIError); ok {
+				wait = c.backoff(attempt-1, ae.retryAfter)
+			} else {
+				wait = c.backoff(attempt-1, 0)
+			}
+			if err := c.sleep(ctx, wait); err != nil {
+				return fmt.Errorf("snad: giving up after %d attempt(s): %w (last: %v)", attempt, err, lastErr)
+			}
+		}
+		err := c.doOnce(ctx, method, path, mkBody, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if ae, ok := err.(*APIError); ok {
+			if !ae.Retryable() {
+				return err
+			}
+			continue
+		}
+		if ctx.Err() != nil || !retryTransport {
+			return err
+		}
+	}
+	return fmt.Errorf("snad: giving up after %d attempts: %w", c.retry.MaxAttempts, lastErr)
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, mkBody func() (io.Reader, error), out any) error {
+	var body io.Reader
+	if mkBody != nil {
+		var err error
+		if body, err = mkBody(); err != nil {
+			return err
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		ae := &APIError{Status: resp.StatusCode}
+		var eb server.ErrorBody
+		if json.Unmarshal(data, &eb) == nil {
+			ae.Info = eb.Error
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.ParseInt(ra, 10, 64); err == nil && secs > 0 {
+				ae.retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return ae
+	}
+	if out != nil && len(data) > 0 {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("snad: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+func jsonBody(v any) func() (io.Reader, error) {
+	return func() (io.Reader, error) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return nil, err
+		}
+		return bytes.NewReader(b), nil
+	}
+}
+
+// CreateSession loads a design into a named session. Not retried on
+// transport failure: the create may have landed before the connection
+// died, and replaying it would read as a conflict.
+func (c *Client) CreateSession(ctx context.Context, req *server.CreateSessionRequest) (*server.SessionInfo, error) {
+	var info server.SessionInfo
+	if err := c.doRetry(ctx, "POST", "/v1/sessions", jsonBody(req), &info, false); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Analyze runs (or replays) the session's full analysis.
+func (c *Client) Analyze(ctx context.Context, name string, req *server.AnalyzeRequest, timeout time.Duration) (*server.AnalyzeResponse, error) {
+	var out server.AnalyzeResponse
+	path := "/v1/sessions/" + url.PathEscape(name) + "/analyze" + timeoutQuery(timeout)
+	if err := c.doRetry(ctx, "POST", path, jsonBody(req), &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Reanalyze applies window padding and incrementally re-analyzes. Padding
+// is max-monotonic server-side, so retrying a delta is safe.
+func (c *Client) Reanalyze(ctx context.Context, name string, req *server.ReanalyzeRequest, timeout time.Duration) (*server.AnalyzeResponse, error) {
+	var out server.AnalyzeResponse
+	path := "/v1/sessions/" + url.PathEscape(name) + "/reanalyze" + timeoutQuery(timeout)
+	if err := c.doRetry(ctx, "POST", path, jsonBody(req), &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Report fetches the cached last analysis of a session.
+func (c *Client) Report(ctx context.Context, name string) (*server.AnalyzeResponse, error) {
+	var out server.AnalyzeResponse
+	if err := c.doRetry(ctx, "GET", "/v1/sessions/"+url.PathEscape(name)+"/report", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Info fetches one session's state.
+func (c *Client) Info(ctx context.Context, name string) (*server.SessionInfo, error) {
+	var out server.SessionInfo
+	if err := c.doRetry(ctx, "GET", "/v1/sessions/"+url.PathEscape(name), nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// List fetches all sessions.
+func (c *Client) List(ctx context.Context) ([]server.SessionInfo, error) {
+	var out []server.SessionInfo
+	if err := c.doRetry(ctx, "GET", "/v1/sessions", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Delete unloads a session. Idempotent server-side except for the 404 on
+// replay, which callers can treat as success-after-retry.
+func (c *Client) Delete(ctx context.Context, name string) error {
+	return c.doRetry(ctx, "DELETE", "/v1/sessions/"+url.PathEscape(name), nil, nil, true)
+}
+
+// Health fetches liveness (200 even while draining).
+func (c *Client) Health(ctx context.Context) (*server.HealthResponse, error) {
+	var out server.HealthResponse
+	if err := c.doOnce(ctx, "GET", "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitReady polls /readyz until the server reports ready or ctx expires —
+// the startup handshake for scripts and tests.
+func (c *Client) WaitReady(ctx context.Context) error {
+	for {
+		var out server.ReadyResponse
+		err := c.doOnce(ctx, "GET", "/readyz", nil, &out)
+		if err == nil && out.Status == "ready" {
+			return nil
+		}
+		if serr := c.sleep(ctx, 20*time.Millisecond); serr != nil {
+			if err == nil {
+				err = fmt.Errorf("server not ready")
+			}
+			return fmt.Errorf("snad: server never became ready: %w (last: %v)", serr, err)
+		}
+	}
+}
+
+func timeoutQuery(d time.Duration) string {
+	if d <= 0 {
+		return ""
+	}
+	return "?timeout=" + url.QueryEscape(d.String())
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sort"
+
+	"repro/internal/bind"
+)
+
+// Session is the exported handle on the persistent incremental analyzer
+// that AnalyzeIterative uses internally. A long-running service keeps one
+// Session per loaded design: the first (full) analysis builds the timing
+// annotation, the noise contexts, and the coupled events once, and every
+// later delta re-analysis — new window padding from an ECO, a routing
+// iteration, or a what-if sweep — updates only the affected cones through
+// the same dirty-set machinery the joint noise–timing loop runs on. The
+// incremental results are identical to a from-scratch analysis under the
+// same padding (the oracle tests in session_test.go pin this), except for
+// execution statistics.
+//
+// A Session is NOT safe for concurrent use; callers serialize access (the
+// server wraps each session in a mutex). A Session whose incremental
+// update fails mid-flight is broken — its caches may be inconsistent — and
+// every later call returns ErrSessionBroken so the owner knows to rebuild
+// it rather than trust stale state.
+type Session struct {
+	a       *analyzer
+	res     *Result
+	padding map[string]float64
+	broken  error
+}
+
+// ErrSessionBroken marks a Session whose last incremental update did not
+// run to completion (cancellation, deadline, or an engine error). The
+// session's caches may be inconsistent with its timing annotation, so it
+// refuses further work; the owner must create a fresh Session.
+var ErrSessionBroken = errors.New("core: session broken by failed incremental update")
+
+// NewSession runs the full analysis (noise fixpoint plus the delta-delay
+// pass) and returns the persistent handle. Options semantics match
+// AnalyzeCtx; any WindowPadding already present in opts.STA seeds the
+// session's padding state.
+func NewSession(ctx context.Context, b *bind.Design, opts Options) (*Session, error) {
+	padding := make(map[string]float64)
+	for net, pad := range opts.STA.WindowPadding {
+		padding[net] = pad
+	}
+	// The analyzer and the timing engine alias this map, exactly as the
+	// iterative loop does: padding applied later is what the incremental
+	// timing update reads.
+	opts.STA.WindowPadding = padding
+	a, err := newAnalyzer(ctx, b, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := a.newResult()
+	if err := a.runFixpoint(ctx, res, nil); err != nil {
+		return nil, err
+	}
+	a.finishNoise(res)
+	if err := a.delayPass(ctx, nil); err != nil {
+		return nil, err
+	}
+	return &Session{a: a, res: res, padding: padding}, nil
+}
+
+// Noise returns the current noise result. The pointer stays valid across
+// Reanalyze calls (the result is updated in place, like the iterative
+// loop's), so callers that need a stable snapshot must serialize against
+// Reanalyze.
+func (s *Session) Noise() *Result { return s.res }
+
+// Delay assembles the current crosstalk delta-delay result from the
+// per-net impacts of the last (full or incremental) delay pass.
+func (s *Session) Delay() *DelayResult { return s.a.assembleDelay() }
+
+// Padding returns a copy of the per-net late-edge window padding currently
+// applied to the session's timing annotation.
+func (s *Session) Padding() map[string]float64 {
+	out := make(map[string]float64, len(s.padding))
+	for net, pad := range s.padding {
+		out[net] = pad
+	}
+	return out
+}
+
+// Err returns nil for a healthy session and ErrSessionBroken after a
+// failed incremental update.
+func (s *Session) Err() error { return s.broken }
+
+// Reanalyze applies the given per-net window padding and incrementally
+// re-analyzes the affected cones: the timing annotation is updated in
+// place for the padded nets' fanout, coupled events are rebuilt only for
+// victims with a re-timed aggressor, the noise fixpoint re-runs only on
+// the dirty closure, and the delay pass re-evaluates only the impacted
+// victims. Padding is max-monotonic — an entry smaller than the current
+// padding for that net is ignored — which makes Reanalyze idempotent: a
+// retried delta is absorbed without moving the result.
+//
+// It returns the updated noise result and the number of nets whose padding
+// actually changed. If nothing changed the session state is untouched. On
+// error the session is broken (see ErrSessionBroken) unless the error
+// occurred before any state was touched.
+func (s *Session) Reanalyze(ctx context.Context, padding map[string]float64) (*Result, int, error) {
+	if s.broken != nil {
+		return nil, 0, s.broken
+	}
+	changed := make([]string, 0, len(padding))
+	for net, pad := range padding {
+		if pad > s.padding[net] {
+			changed = append(changed, net)
+		}
+	}
+	if len(changed) == 0 {
+		return s.res, 0, nil
+	}
+	sort.Strings(changed)
+	// Commit the padding, then update. From here on a failure leaves the
+	// timing annotation, the event caches, and the committed combinations
+	// potentially out of sync, so any error breaks the session.
+	for _, net := range changed {
+		s.padding[net] = padding[net]
+	}
+	if err := s.incremental(ctx, changed); err != nil {
+		s.broken = ErrSessionBroken
+		return nil, len(changed), err
+	}
+	return s.res, len(changed), nil
+}
+
+// incremental is one dirty-set round: the same call sequence as a later
+// round of AnalyzeIterativeCtx.
+func (s *Session) incremental(ctx context.Context, changed []string) error {
+	staDirty, err := s.a.staRes.UpdatePaddingCtx(ctx, s.a.opts.STA, changed)
+	if err != nil {
+		return err
+	}
+	reprep, evalDirty, delayDirty := s.a.dirtyAfterPadding(staDirty)
+	if err := s.a.reprepare(ctx, reprep); err != nil {
+		return err
+	}
+	if err := s.a.runFixpoint(ctx, s.res, evalDirty); err != nil {
+		return err
+	}
+	s.a.finishNoise(s.res)
+	return s.a.delayPass(ctx, delayDirty)
+}

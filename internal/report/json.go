@@ -12,21 +12,34 @@ import (
 
 // JSON export: a stable, self-describing schema for piping analysis
 // results into other tools (dashboards, waiver systems, regression
-// tracking). Quantities are base SI units; absent windows are null.
+// tracking) and for the snad analysis service's responses. Quantities are
+// base SI units; absent windows are null.
+//
+// NaN discipline: encoding/json refuses NaN and ±Inf outright (the whole
+// marshal fails), so every field that can carry the engine's NaN sentinel
+// — Combined.At and Violation.At for quiet nets, DelayImpact.At from
+// interval.Combination's `At: math.NaN()` sentinel — is a *float64 that
+// encodes as null, and every window bound that can be infinite encodes as
+// a null endpoint. The regression tests in json_test.go pin both. The
+// remaining producers of the NaN sentinel (interval.MaxOverlapSum and
+// MaxOverlapSumConstrained) are guarded at their call sites: core's delay
+// pass drops combinations with a NaN instant before they become impacts.
+// The schema types are exported so clients can decode responses and so
+// ReadJSON can round-trip a report losslessly.
 
-// jsonWindow bounds are pointers because windows may be unbounded (a
-// virtual aggressor or a degraded net is "always on"): an infinite end
-// serializes as null, which JSON can carry and ±Inf cannot.
-type jsonWindow struct {
+// WindowJSON is a noise window; bounds are pointers because windows may be
+// unbounded (a virtual aggressor or a degraded net is "always on"): an
+// infinite end serializes as null, which JSON can carry and ±Inf cannot.
+type WindowJSON struct {
 	Lo *float64 `json:"lo"`
 	Hi *float64 `json:"hi"`
 }
 
-func jsonWin(w interval.Window) *jsonWindow {
+func jsonWin(w interval.Window) *WindowJSON {
 	if w.IsEmpty() {
 		return nil
 	}
-	out := &jsonWindow{}
+	out := &WindowJSON{}
 	if !math.IsInf(w.Lo, -1) {
 		lo := w.Lo
 		out.Lo = &lo
@@ -38,32 +51,57 @@ func jsonWin(w interval.Window) *jsonWindow {
 	return out
 }
 
-type jsonEvent struct {
+// jsonSet renders each disjoint window of a set.
+func jsonSet(s interval.Set) []*WindowJSON {
+	if s.IsEmpty() {
+		return nil
+	}
+	out := make([]*WindowJSON, 0, s.Len())
+	for _, w := range s.Windows() {
+		out = append(out, jsonWin(w))
+	}
+	return out
+}
+
+// finite returns a pointer to v, or nil when v is NaN or infinite — the
+// null encoding for "no meaningful instant".
+func finite(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// EventJSON is one glitch hypothesis.
+type EventJSON struct {
 	Source string      `json:"source"`
 	Peak   float64     `json:"peakV"`
 	Width  float64     `json:"widthS"`
-	Window *jsonWindow `json:"window"`
+	Window *WindowJSON `json:"window"`
 }
 
-type jsonCombined struct {
+// CombinedJSON is the worst windowed combination for one victim state.
+type CombinedJSON struct {
 	Peak    float64     `json:"peakV"`
 	Width   float64     `json:"widthS"`
 	At      *float64    `json:"atS"`
-	Window  *jsonWindow `json:"window"`
+	Window  *WindowJSON `json:"window"`
 	Members []string    `json:"members,omitempty"`
 }
 
-type jsonNet struct {
+// NetJSON is one victim net's analysis.
+type NetJSON struct {
 	Net  string       `json:"net"`
-	Low  jsonCombined `json:"low"`
-	High jsonCombined `json:"high"`
+	Low  CombinedJSON `json:"low"`
+	High CombinedJSON `json:"high"`
 	// Events are included only for nets with any noise, to keep exports
 	// of big clean designs small.
-	LowEvents  []jsonEvent `json:"lowEvents,omitempty"`
-	HighEvents []jsonEvent `json:"highEvents,omitempty"`
+	LowEvents  []EventJSON `json:"lowEvents,omitempty"`
+	HighEvents []EventJSON `json:"highEvents,omitempty"`
 }
 
-type jsonViolation struct {
+// ViolationJSON is one failed receiver check.
+type ViolationJSON struct {
 	Net      string   `json:"net"`
 	Receiver string   `json:"receiver"`
 	State    string   `json:"state"`
@@ -74,41 +112,60 @@ type jsonViolation struct {
 	Members  []string `json:"members,omitempty"`
 }
 
-type jsonDegradation struct {
+// DegradationJSON is one net the fail-soft engine could not analyze.
+type DegradationJSON struct {
 	Net      string `json:"net"`
 	Stage    string `json:"stage"`
 	Error    string `json:"error"`
 	Degraded bool   `json:"degraded"`
 }
 
-type jsonResult struct {
+// ResultJSON is the full noise-analysis report.
+type ResultJSON struct {
 	Mode       string          `json:"mode"`
 	Stats      core.Stats      `json:"stats"`
-	Violations []jsonViolation `json:"violations"`
+	Violations []ViolationJSON `json:"violations"`
 	// Degradations lists nets the fail-soft engine could not analyze;
 	// their entries in nets carry conservative full-rail bounds.
-	Degradations []jsonDegradation `json:"degradations,omitempty"`
-	Nets         []jsonNet         `json:"nets"`
+	Degradations []DegradationJSON `json:"degradations,omitempty"`
+	Nets         []NetJSON         `json:"nets"`
 }
 
-func jsonComb(c core.Combined) jsonCombined {
-	out := jsonCombined{
+// DelayImpactJSON is one crosstalk delay push-out.
+type DelayImpactJSON struct {
+	Net  string `json:"net"`
+	Edge string `json:"edge"` // "rise" | "fall"
+	// VictimWindow is the victim's own switching-window set for the edge.
+	VictimWindow []*WindowJSON `json:"victimWindow,omitempty"`
+	NoisePeak    float64       `json:"noisePeakV"`
+	Delta        float64       `json:"deltaS"`
+	// At is an instant achieving the worst overlap; null when the engine's
+	// NaN sentinel marked none.
+	At      *float64 `json:"atS"`
+	Members []string `json:"members,omitempty"`
+}
+
+// DelayResultJSON is the design-wide crosstalk delta-delay report.
+type DelayResultJSON struct {
+	Mode         string            `json:"mode"`
+	Impacts      []DelayImpactJSON `json:"impacts"`
+	Degradations []DegradationJSON `json:"degradations,omitempty"`
+}
+
+func jsonComb(c core.Combined) CombinedJSON {
+	return CombinedJSON{
 		Peak:    c.Peak,
 		Width:   c.Width,
+		At:      finite(c.At),
 		Window:  jsonWin(c.Window),
 		Members: c.Members,
 	}
-	if !math.IsNaN(c.At) {
-		at := c.At
-		out.At = &at
-	}
-	return out
 }
 
-func jsonEvents(events []core.Event) []jsonEvent {
-	out := make([]jsonEvent, 0, len(events))
+func jsonEvents(events []core.Event) []EventJSON {
+	out := make([]EventJSON, 0, len(events))
 	for _, e := range events {
-		out = append(out, jsonEvent{
+		out = append(out, EventJSON{
 			Source: e.Source,
 			Peak:   e.Peak,
 			Width:  e.Width,
@@ -118,35 +175,37 @@ func jsonEvents(events []core.Event) []jsonEvent {
 	return out
 }
 
-// WriteJSON serializes a full analysis result. Nets are sorted by name for
-// deterministic output.
-func WriteJSON(w io.Writer, res *core.Result) error {
-	out := jsonResult{
-		Mode:  res.Mode.String(),
-		Stats: res.Stats,
+func jsonDiags(diags []core.Diag) []DegradationJSON {
+	var out []DegradationJSON
+	for _, d := range diags {
+		jd := DegradationJSON{Net: d.Net, Stage: d.Stage, Degraded: d.Degraded}
+		if d.Err != nil {
+			jd.Error = d.Err.Error()
+		}
+		out = append(out, jd)
+	}
+	return out
+}
+
+// BuildJSON converts a result into the export schema. Nets are sorted by
+// name for deterministic output.
+func BuildJSON(res *core.Result) *ResultJSON {
+	out := &ResultJSON{
+		Mode:         res.Mode.String(),
+		Stats:        res.Stats,
+		Degradations: jsonDiags(res.Diags),
 	}
 	for _, v := range res.Violations {
-		jv := jsonViolation{
+		out.Violations = append(out.Violations, ViolationJSON{
 			Net:      v.Net,
 			Receiver: v.Receiver,
 			State:    v.Kind.String(),
 			Peak:     v.Peak,
 			Limit:    v.Limit,
 			Slack:    v.Slack,
+			At:       finite(v.At),
 			Members:  v.Members,
-		}
-		if !math.IsNaN(v.At) {
-			at := v.At
-			jv.At = &at
-		}
-		out.Violations = append(out.Violations, jv)
-	}
-	for _, d := range res.Diags {
-		jd := jsonDegradation{Net: d.Net, Stage: d.Stage, Degraded: d.Degraded}
-		if d.Err != nil {
-			jd.Error = d.Err.Error()
-		}
-		out.Degradations = append(out.Degradations, jd)
+		})
 	}
 	names := make([]string, 0, len(res.Nets))
 	for n := range res.Nets {
@@ -155,7 +214,7 @@ func WriteJSON(w io.Writer, res *core.Result) error {
 	sort.Strings(names)
 	for _, name := range names {
 		nn := res.Nets[name]
-		jn := jsonNet{
+		jn := NetJSON{
 			Net:  name,
 			Low:  jsonComb(nn.Comb[core.KindLow]),
 			High: jsonComb(nn.Comb[core.KindHigh]),
@@ -166,7 +225,58 @@ func WriteJSON(w io.Writer, res *core.Result) error {
 		}
 		out.Nets = append(out.Nets, jn)
 	}
+	return out
+}
+
+// BuildDelayJSON converts a delta-delay result into the export schema.
+func BuildDelayJSON(res *core.DelayResult) *DelayResultJSON {
+	out := &DelayResultJSON{
+		Mode:         res.Mode.String(),
+		Degradations: jsonDiags(res.Diags),
+	}
+	for _, im := range res.Impacts {
+		edge := "fall"
+		if im.Rise {
+			edge = "rise"
+		}
+		out.Impacts = append(out.Impacts, DelayImpactJSON{
+			Net:          im.Net,
+			Edge:         edge,
+			VictimWindow: jsonSet(im.VictimWindow),
+			NoisePeak:    im.NoisePeak,
+			Delta:        im.Delta,
+			At:           finite(im.At),
+			Members:      im.Members,
+		})
+	}
+	return out
+}
+
+// WriteJSON serializes a full analysis result.
+func WriteJSON(w io.Writer, res *core.Result) error {
+	return writeIndented(w, BuildJSON(res))
+}
+
+// WriteDelayJSON serializes a delta-delay result.
+func WriteDelayJSON(w io.Writer, res *core.DelayResult) error {
+	return writeIndented(w, BuildDelayJSON(res))
+}
+
+// ReadJSON parses a report previously written by WriteJSON (or returned
+// by the snad service). Together with WriteJSON it round-trips losslessly:
+// marshal → unmarshal → re-marshal is byte-identical, which is what makes
+// the server's JSON responses stable for downstream consumers.
+func ReadJSON(r io.Reader) (*ResultJSON, error) {
+	var out ResultJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func writeIndented(w io.Writer, v any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(v)
 }

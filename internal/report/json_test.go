@@ -10,6 +10,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/interval"
+	"repro/internal/liberty"
+	"repro/internal/units"
+	"repro/internal/workload"
 )
 
 func TestWriteJSONRoundTrips(t *testing.T) {
@@ -134,5 +137,133 @@ func TestWriteJSONDegradations(t *testing.T) {
 	}
 	if strings.Contains(clean.String(), "degradations") {
 		t.Fatal("clean run emitted degradations section")
+	}
+}
+
+// degradedRun produces a real engine result with every JSON edge case at
+// once: a degraded net (full-rail bound, infinite window), quiet nets
+// (NaN At sentinels), and noisy nets with violations.
+func degradedRun(t *testing.T) *core.Result {
+	t.Helper()
+	g, err := workload.Bus(workload.BusSpec{Bits: 4, Segs: 2, WindowWidth: 80 * units.Pico})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Bind(liberty.Generic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := workload.RuntimeFaults{Panic: []string{"b1"}}
+	res, err := core.Analyze(b, core.Options{
+		Mode:        core.ModeNoiseWindows,
+		STA:         g.STAOptions(),
+		FailSoft:    true,
+		PrepareHook: faults.Hook(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diags) == 0 || res.Stats.DegradedNets == 0 {
+		t.Fatal("fixture did not degrade any net")
+	}
+	return res
+}
+
+// TestJSONRoundTripDegradedRun pins the server's response stability:
+// marshal → unmarshal → re-marshal of a degraded run (Diags, DegradedNets,
+// infinite windows, NaN sentinels) must be byte-identical.
+func TestJSONRoundTripDegradedRun(t *testing.T) {
+	res := degradedRun(t)
+	var first bytes.Buffer
+	if err := WriteJSON(&first, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := writeIndented(&second, back); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("round trip not stable:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+	}
+	if strings.Contains(first.String(), "NaN") || strings.Contains(first.String(), "Inf") {
+		t.Fatal("non-finite value leaked into JSON")
+	}
+	if len(back.Degradations) != len(res.Diags) {
+		t.Fatalf("degradations lost in round trip: %d != %d", len(back.Degradations), len(res.Diags))
+	}
+}
+
+// TestDelayJSONNeverCarriesNaN is the regression test for the
+// interval.Combination `At: math.NaN()` sentinel: even an impact record
+// hand-built with the sentinel must encode as null, never as a NaN that
+// would make encoding/json fail the whole response.
+func TestDelayJSONNeverCarriesNaN(t *testing.T) {
+	res := &core.DelayResult{
+		Mode: core.ModeNoiseWindows,
+		Impacts: []core.DelayImpact{
+			{
+				Net: "b2", Rise: true,
+				VictimWindow: interval.NewSet(interval.New(1e-10, 2e-10)),
+				NoisePeak:    0.2, Delta: 3e-12,
+				At:      math.NaN(), // the conflict.go / scanline.go sentinel
+				Members: []string{"b1"},
+			},
+			{
+				Net: "b3", Rise: false,
+				VictimWindow: interval.NewSet(interval.Infinite()),
+				NoisePeak:    0.1, Delta: 1e-12,
+				At: 1.2e-10,
+			},
+		},
+		Diags: []core.Diag{{Net: "b9", Stage: core.StageDelay, Err: errors.New("boom"), Degraded: true}},
+	}
+	var buf bytes.Buffer
+	if err := WriteDelayJSON(&buf, res); err != nil {
+		t.Fatalf("WriteDelayJSON failed (NaN reached the encoder?): %v", err)
+	}
+	if strings.Contains(buf.String(), "NaN") || strings.Contains(buf.String(), "Inf") {
+		t.Fatalf("non-finite value leaked into delay JSON:\n%s", buf.String())
+	}
+	var back DelayResultJSON
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Impacts[0].At != nil {
+		t.Fatalf("sentinel At should encode as null, got %v", *back.Impacts[0].At)
+	}
+	if back.Impacts[1].At == nil || *back.Impacts[1].At != 1.2e-10 {
+		t.Fatal("finite At lost")
+	}
+	// The infinite victim window must encode as null endpoints.
+	w := back.Impacts[1].VictimWindow[0]
+	if w == nil || w.Lo != nil || w.Hi != nil {
+		t.Fatalf("infinite window endpoints should be null, got %+v", w)
+	}
+}
+
+// TestDelayJSONFromEngine: a real delay analysis must serialize cleanly.
+func TestDelayJSONFromEngine(t *testing.T) {
+	g, err := workload.Bus(workload.BusSpec{Bits: 4, Segs: 2, WindowWidth: 80 * units.Pico})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Bind(liberty.Generic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.AnalyzeDelay(b, core.Options{Mode: core.ModeNoiseWindows, STA: g.STAOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDelayJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) || strings.Contains(buf.String(), "NaN") {
+		t.Fatalf("bad delay JSON:\n%s", buf.String())
 	}
 }

@@ -1,0 +1,826 @@
+// Package server implements snad, the fail-soft static-noise-analysis
+// service: an HTTP/JSON daemon that loads designs into named sessions
+// (each wrapping core.Session, the persistent incremental analyzer) and
+// serves analyze / delta-reanalyze / report queries.
+//
+// Robustness is the point, not a feature:
+//
+//   - Bounded admission: at most MaxConcurrent analyses run at once and at
+//     most QueueDepth requests wait; overflow is shed immediately with
+//     429 and a Retry-After hint, so a traffic spike degrades into fast
+//     rejections instead of unbounded memory growth and timeouts.
+//
+//   - Per-request deadlines: the effective deadline is the tighter of the
+//     client's ?timeout and the server's MaxRequestTimeout, propagated
+//     into core.AnalyzeCtx's cooperative cancellation. No request can
+//     hold a worker forever.
+//
+//   - Per-request panic isolation: a recover barrier converts a handler
+//     panic into a structured 500 and marks the session suspect; other
+//     requests and other sessions are untouched. (Per-victim panics never
+//     even reach it — the engine's own fail-soft isolation degrades the
+//     victim and reports a diagnostic.)
+//
+//   - A degradation-aware circuit breaker per session: consecutive
+//     engine-degraded results trip the session to 503 for a cooldown, so
+//     a poisoned design stops burning worker time while healthy sessions
+//     keep serving.
+//
+//   - Graceful drain: Drain stops admission (readyz flips to 503), lets
+//     in-flight work finish within a budget, then cancels whatever is
+//     left through the same context plumbing. The caller (cmd/snad) maps
+//     a clean or forced drain onto the exit-code discipline.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bind"
+	"repro/internal/core"
+	"repro/internal/liberty"
+	"repro/internal/lint"
+	"repro/internal/netlist"
+	"repro/internal/report"
+	"repro/internal/spef"
+	"repro/internal/sta"
+	"repro/internal/vlog"
+	"repro/internal/workload"
+)
+
+// Config tunes the service. The zero value is usable: every field has a
+// production-shaped default.
+type Config struct {
+	// MaxSessions caps the number of loaded sessions; creating one past
+	// the cap evicts the least-recently-used idle session, and if every
+	// session is busy the create is shed (default 8).
+	MaxSessions int
+	// MaxConcurrent caps simultaneously running analyses (default
+	// GOMAXPROCS).
+	MaxConcurrent int
+	// QueueDepth caps requests waiting for a worker slot; overflow is
+	// shed with 429 (default 2×MaxConcurrent).
+	QueueDepth int
+	// MaxRequestTimeout is the server-side ceiling on one request's
+	// analysis deadline; a client ?timeout tighter than this wins
+	// (default 30s).
+	MaxRequestTimeout time.Duration
+	// RetryAfter is the hint attached to 429 shed responses (default 1s).
+	RetryAfter time.Duration
+	// BreakerTrips is the number of consecutive engine-degraded results
+	// that trip a session's circuit breaker (default 3).
+	BreakerTrips int
+	// BreakerCooldown is how long a tripped session sheds requests before
+	// going half-open (default 10s).
+	BreakerCooldown time.Duration
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+
+	// now is the clock, injectable for breaker tests.
+	now func() time.Time
+}
+
+func (c *Config) fill() {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 8
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.MaxConcurrent
+	}
+	if c.MaxRequestTimeout <= 0 {
+		c.MaxRequestTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.BreakerTrips <= 0 {
+		c.BreakerTrips = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+}
+
+// Server is the snad service state. Create one with New, serve
+// Handler(), and call Drain on shutdown.
+type Server struct {
+	cfg Config
+
+	// sem holds a token per running analysis; queue holds a token per
+	// waiting request. Together they are the bounded admission gate.
+	sem   chan struct{}
+	queue chan struct{}
+
+	// flightMu orders request entry against the drain flag so Drain's
+	// WaitGroup wait cannot race a late arrival.
+	flightMu  sync.Mutex
+	draining  atomic.Bool
+	inflight  sync.WaitGroup
+	inflightN atomic.Int64
+	queuedN   atomic.Int64
+	shedN     atomic.Int64
+
+	// forceCtx is cancelled when a drain exceeds its budget; every
+	// request context is derived to die with it.
+	forceCtx    context.Context
+	forceCancel context.CancelFunc
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	lastUsed map[string]time.Time
+
+	handler http.Handler
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		queue:    make(chan struct{}, cfg.QueueDepth),
+		sessions: make(map[string]*session),
+		lastUsed: make(map[string]time.Time),
+	}
+	s.forceCtx, s.forceCancel = context.WithCancel(context.Background())
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("GET /v1/sessions/{name}", s.handleInfo)
+	mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleDelete)
+	mux.HandleFunc("POST /v1/sessions/{name}/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/sessions/{name}/reanalyze", s.handleReanalyze)
+	mux.HandleFunc("GET /v1/sessions/{name}/report", s.handleReport)
+	s.handler = s.barrier(mux)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Draining reports whether a drain has started.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain performs the graceful-shutdown sequence: stop admitting work, wait
+// up to budget for in-flight requests, then cancel whatever is left and
+// wait (bounded) for the cancellation to take. It returns true for a
+// clean drain and false when work had to be cancelled.
+func (s *Server) Drain(budget time.Duration) bool {
+	s.flightMu.Lock()
+	s.draining.Store(true)
+	s.flightMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(budget):
+	}
+	s.cfg.Logf("drain budget %s exceeded with %d in flight; cancelling", budget, s.inflightN.Load())
+	s.forceCancel()
+	// The cancellation propagates through every request context; give the
+	// handlers one more budget to observe it, then give up either way —
+	// exiting late is worse than exiting with a goroutine mid-flight.
+	select {
+	case <-done:
+	case <-time.After(budget):
+		s.cfg.Logf("in-flight work ignored cancellation for %s; giving up", budget)
+	}
+	return false
+}
+
+// enter registers a request with the drain accounting; it fails once
+// draining has started.
+func (s *Server) enter() bool {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.inflight.Add(1)
+	s.inflightN.Add(1)
+	return true
+}
+
+func (s *Server) exit() {
+	s.inflightN.Add(-1)
+	s.inflight.Done()
+}
+
+// barrier is the outermost middleware: drain gating, in-flight
+// accounting, and the per-request panic barrier.
+func (s *Server) barrier(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Health probes stay answerable while draining (liveness and
+		// readiness are separate questions from admission); everything
+		// else is refused once the drain starts so the listener can empty
+		// out.
+		if probe := r.URL.Path == "/healthz" || r.URL.Path == "/readyz"; !probe {
+			if !s.enter() {
+				s.writeErr(w, http.StatusServiceUnavailable, ErrorInfo{
+					Kind: "draining", Message: "server is draining; no new work accepted",
+				}, s.cfg.RetryAfter)
+				return
+			}
+			defer s.exit()
+		}
+		ww := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				// The request dies; the process, the other sessions, and
+				// the other requests do not. The session (if the route
+				// names one) is marked suspect so operators can see which
+				// state absorbed a panic.
+				name := r.PathValue("name")
+				if name != "" {
+					if ss := s.lookup(name); ss != nil {
+						ss.markSuspect()
+					}
+				}
+				s.cfg.Logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				if !ww.wrote {
+					s.writeErr(ww, http.StatusInternalServerError, ErrorInfo{
+						Kind:    "panic",
+						Message: fmt.Sprintf("internal error: %v", p),
+						Session: name,
+					}, 0)
+				}
+			}
+		}()
+		next.ServeHTTP(ww, r)
+	})
+}
+
+// statusWriter remembers whether a handler already wrote headers, so the
+// panic barrier knows whether a structured 500 can still be sent.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+// admit implements bounded admission for the heavy endpoints. It returns
+// a release function on success; otherwise it has already written the
+// shed response. Waiting in the queue respects the request context and
+// the drain signal.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (func(), bool) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+	}
+	// No worker free: try to take a queue slot. A full queue means the
+	// server is past its configured backlog — shed immediately rather
+	// than building an invisible line of doomed requests.
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		s.shedN.Add(1)
+		s.writeErr(w, http.StatusTooManyRequests, ErrorInfo{
+			Kind:    "overloaded",
+			Message: fmt.Sprintf("all %d workers busy and queue of %d full", s.cfg.MaxConcurrent, s.cfg.QueueDepth),
+		}, s.cfg.RetryAfter)
+		return nil, false
+	}
+	s.queuedN.Add(1)
+	defer func() {
+		s.queuedN.Add(-1)
+		<-s.queue
+	}()
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	case <-r.Context().Done():
+		s.writeErr(w, http.StatusServiceUnavailable, ErrorInfo{
+			Kind: "deadline", Message: "request expired while queued for a worker",
+		}, s.cfg.RetryAfter)
+		return nil, false
+	case <-s.forceCtx.Done():
+		s.writeErr(w, http.StatusServiceUnavailable, ErrorInfo{
+			Kind: "draining", Message: "server drained while request was queued",
+		}, 0)
+		return nil, false
+	}
+}
+
+// requestCtx derives the analysis context: the client's connection
+// context, bounded by min(client ?timeout, MaxRequestTimeout), and tied to
+// the forced-drain signal.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	eff := s.cfg.MaxRequestTimeout
+	if q := r.URL.Query().Get("timeout"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil || d <= 0 {
+			return nil, nil, fmt.Errorf("bad timeout %q (want a positive duration like 5s)", q)
+		}
+		if d < eff {
+			eff = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), eff)
+	stop := context.AfterFunc(s.forceCtx, cancel)
+	return ctx, func() { stop(); cancel() }, nil
+}
+
+func (s *Server) lookup(name string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss := s.sessions[name]
+	if ss != nil {
+		s.lastUsed[name] = s.cfg.now()
+	}
+	return ss
+}
+
+// insert registers a new session, evicting the least-recently-used idle
+// session when the cap is reached. It fails with a conflict if the name
+// exists and with session_limit when every loaded session is busy.
+func (s *Server) insert(ss *session) *ErrorInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.sessions[ss.name]; dup {
+		return &ErrorInfo{Kind: "conflict", Message: fmt.Sprintf("session %q already exists", ss.name), Session: ss.name}
+	}
+	for len(s.sessions) >= s.cfg.MaxSessions {
+		victim := ""
+		var oldest time.Time
+		for name := range s.sessions {
+			if victim == "" || s.lastUsed[name].Before(oldest) {
+				// Only idle sessions are evictable: TryLock fails exactly
+				// when an analysis is running on it.
+				if s.sessions[name].mu.TryLock() {
+					s.sessions[name].mu.Unlock()
+					victim, oldest = name, s.lastUsed[name]
+				}
+			}
+		}
+		if victim == "" {
+			return &ErrorInfo{Kind: "session_limit", Message: fmt.Sprintf("session cap %d reached and every session is busy", s.cfg.MaxSessions)}
+		}
+		s.cfg.Logf("evicting idle session %q (LRU) for %q", victim, ss.name)
+		delete(s.sessions, victim)
+		delete(s.lastUsed, victim)
+	}
+	s.sessions[ss.name] = ss
+	s.lastUsed[ss.name] = s.cfg.now()
+	return nil
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	s.writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   status,
+		Draining: s.draining.Load(),
+		Sessions: n,
+		Inflight: int(s.inflightN.Load()),
+	})
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.sessions)
+	var open []string
+	now := s.cfg.now()
+	for name, ss := range s.sessions {
+		if _, isOpen := ss.breakerOpen(now); isOpen {
+			open = append(open, name)
+		}
+	}
+	s.mu.Unlock()
+	resp := ReadyResponse{
+		Status:       "ready",
+		Inflight:     len(s.sem),
+		Queued:       int(s.queuedN.Load()),
+		Capacity:     s.cfg.MaxConcurrent,
+		QueueDepth:   s.cfg.QueueDepth,
+		Sessions:     n,
+		Shed:         s.shedN.Load(),
+		OpenBreakers: open,
+	}
+	if s.draining.Load() {
+		resp.Status = "draining"
+		s.writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	var req CreateSessionRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, ErrorInfo{Kind: "bad_request", Message: err.Error()}, 0)
+		return
+	}
+	ss, einfo := s.buildSession(&req)
+	if einfo != nil {
+		status := http.StatusBadRequest
+		switch einfo.Kind {
+		case "lint_rejected":
+			status = http.StatusUnprocessableEntity
+		}
+		s.writeErr(w, status, *einfo, 0)
+		return
+	}
+	if einfo := s.insert(ss); einfo != nil {
+		status := http.StatusConflict
+		if einfo.Kind == "session_limit" {
+			status = http.StatusServiceUnavailable
+		}
+		var retry time.Duration
+		if status == http.StatusServiceUnavailable {
+			retry = s.cfg.RetryAfter
+		}
+		s.writeErr(w, status, *einfo, retry)
+		return
+	}
+	s.cfg.Logf("session %q created", ss.name)
+	s.writeJSON(w, http.StatusCreated, ss.info(s.cfg.now()))
+}
+
+// buildSession parses, lints, and binds the request's databases.
+func (s *Server) buildSession(req *CreateSessionRequest) (*session, *ErrorInfo) {
+	if req.Name == "" {
+		return nil, &ErrorInfo{Kind: "bad_request", Message: "session name is required"}
+	}
+	if (req.Netlist == "") == (req.Verilog == "") {
+		return nil, &ErrorInfo{Kind: "bad_request", Message: "exactly one of netlist or verilog is required", Session: req.Name}
+	}
+	bad := func(err error) *ErrorInfo {
+		return &ErrorInfo{Kind: "bad_request", Message: err.Error(), Session: req.Name}
+	}
+	lib := liberty.Generic()
+	if req.Liberty != "" {
+		var err error
+		if lib, err = liberty.Parse(strings.NewReader(req.Liberty)); err != nil {
+			return nil, bad(err)
+		}
+	}
+	var design *netlist.Design
+	var err error
+	if req.Verilog != "" {
+		design, err = vlog.Parse(strings.NewReader(req.Verilog), lib)
+	} else {
+		design, err = netlist.Parse(strings.NewReader(req.Netlist))
+	}
+	if err != nil {
+		return nil, bad(err)
+	}
+	var paras *spef.Parasitics
+	if req.SPEF != "" {
+		if paras, err = spef.Parse(strings.NewReader(req.SPEF)); err != nil {
+			return nil, bad(err)
+		}
+	}
+	var inputs map[string]*sta.Timing
+	if req.Timing != "" {
+		if inputs, err = sta.ParseInputTiming(strings.NewReader(req.Timing)); err != nil {
+			return nil, bad(err)
+		}
+	}
+	mode, err := parseMode(req.Options.Mode)
+	if err != nil {
+		return nil, bad(err)
+	}
+	faults, err := workload.ParseRuntimeFaults(req.Options.InjectFault)
+	if err != nil {
+		return nil, bad(err)
+	}
+	// The same pre-flight the CLI runs: noise results computed from a
+	// broken database are worse than no results, so error-severity lint
+	// findings reject the create with the findings attached.
+	lres := lint.Run(&lint.Input{Design: design, Lib: lib, Paras: paras, Inputs: inputs}, lint.Config{})
+	if lres.HasErrors() {
+		info := &ErrorInfo{
+			Kind:    "lint_rejected",
+			Message: fmt.Sprintf("design rejected by lint: %d error(s)", lres.Errors()),
+			Session: req.Name,
+		}
+		for _, d := range lres.Diags {
+			info.Lint = append(info.Lint, LintDiagJSON{
+				Rule: d.Rule, Severity: d.Sev.String(), Object: d.Object, Message: d.Msg, Hint: d.Hint,
+			})
+		}
+		return nil, info
+	}
+	b, err := bind.New(design, lib, paras)
+	if err != nil {
+		return nil, bad(err)
+	}
+	return &session{
+		name: req.Name,
+		b:    b,
+		opts: core.Options{
+			Mode:             mode,
+			FilterThreshold:  req.Options.Threshold,
+			NoPropagation:    req.Options.NoPropagation,
+			LogicCorrelation: req.Options.LogicCorrelation,
+			Workers:          req.Options.Workers,
+			FailSoft:         !req.Options.FailFast,
+			PrepareHook:      faults.Hook(),
+			STA:              sta.Options{InputTiming: inputs},
+		},
+	}, nil
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.sessions))
+	for name := range s.sessions {
+		names = append(names, name)
+	}
+	infos := make([]SessionInfo, 0, len(names))
+	now := s.cfg.now()
+	for _, name := range names {
+		infos = append(infos, s.sessions[name].info(now))
+	}
+	s.mu.Unlock()
+	sortInfos(infos)
+	s.writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	ss := s.lookup(r.PathValue("name"))
+	if ss == nil {
+		s.writeNotFound(w, r.PathValue("name"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ss.info(s.cfg.now()))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	_, ok := s.sessions[name]
+	delete(s.sessions, name)
+	delete(s.lastUsed, name)
+	s.mu.Unlock()
+	if !ok {
+		s.writeNotFound(w, name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	ss := s.lookup(r.PathValue("name"))
+	if ss == nil {
+		s.writeNotFound(w, r.PathValue("name"))
+		return
+	}
+	body := ss.report()
+	if body == nil {
+		s.writeErr(w, http.StatusNotFound, ErrorInfo{
+			Kind: "not_found", Message: "session has no completed analysis yet", Session: ss.name,
+		}, 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := decodeBodyOptional(r.Body, &req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, ErrorInfo{Kind: "bad_request", Message: err.Error()}, 0)
+		return
+	}
+	s.analysis(w, r, func(ctx context.Context, ss *session) (*AnalyzeResponse, error) {
+		eng, rebuilt, err := ss.ensureEngine(ctx)
+		if err != nil {
+			return nil, err
+		}
+		resp := &AnalyzeResponse{
+			Session: ss.name,
+			Noise:   report.BuildJSON(eng.Noise()),
+			Rebuilt: rebuilt,
+		}
+		if req.Delay {
+			resp.Delay = report.BuildDelayJSON(eng.Delay())
+		}
+		return resp, nil
+	})
+}
+
+func (s *Server) handleReanalyze(w http.ResponseWriter, r *http.Request) {
+	var req ReanalyzeRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, ErrorInfo{Kind: "bad_request", Message: err.Error()}, 0)
+		return
+	}
+	for net, pad := range req.Padding {
+		if pad < 0 || pad != pad || pad-pad != 0 { // negative, NaN, or Inf
+			s.writeErr(w, http.StatusBadRequest, ErrorInfo{
+				Kind: "bad_request", Message: fmt.Sprintf("bad padding %v for net %q (want finite seconds >= 0)", pad, net),
+			}, 0)
+			return
+		}
+	}
+	s.analysis(w, r, func(ctx context.Context, ss *session) (*AnalyzeResponse, error) {
+		eng, rebuilt, err := ss.ensureEngine(ctx)
+		if err != nil {
+			return nil, err
+		}
+		res, changed, err := eng.Reanalyze(ctx, req.Padding)
+		if err != nil {
+			return nil, err
+		}
+		resp := &AnalyzeResponse{
+			Session:     ss.name,
+			Noise:       report.BuildJSON(res),
+			ChangedNets: changed,
+			Rebuilt:     rebuilt,
+		}
+		if req.Delay {
+			resp.Delay = report.BuildDelayJSON(eng.Delay())
+		}
+		return resp, nil
+	})
+}
+
+// analysis is the shared harness of the two heavy endpoints: session
+// lookup, breaker check, admission, deadline plumbing, serialized engine
+// work, breaker accounting, and error mapping.
+func (s *Server) analysis(w http.ResponseWriter, r *http.Request, work func(context.Context, *session) (*AnalyzeResponse, error)) {
+	name := r.PathValue("name")
+	ss := s.lookup(name)
+	if ss == nil {
+		s.writeNotFound(w, name)
+		return
+	}
+	if remaining, open := ss.breakerOpen(s.cfg.now()); open {
+		s.writeErr(w, http.StatusServiceUnavailable, ErrorInfo{
+			Kind:    "breaker_open",
+			Message: fmt.Sprintf("session breaker open after %d consecutive degraded results", s.cfg.BreakerTrips),
+			Session: name,
+		}, remaining)
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel, err := s.requestCtx(r)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, ErrorInfo{Kind: "bad_request", Message: err.Error()}, 0)
+		return
+	}
+	defer cancel()
+
+	ss.mu.Lock()
+	resp, err := work(ctx, ss)
+	ss.mu.Unlock()
+
+	if err != nil {
+		// Cancellation is not session health: only engine failures feed
+		// the breaker.
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.writeErr(w, http.StatusServiceUnavailable, ErrorInfo{
+				Kind: "deadline", Message: fmt.Sprintf("analysis exceeded its deadline: %v", err), Session: name,
+			}, s.cfg.RetryAfter)
+		case errors.Is(err, context.Canceled):
+			s.writeErr(w, http.StatusServiceUnavailable, ErrorInfo{
+				Kind: "canceled", Message: fmt.Sprintf("analysis cancelled: %v", err), Session: name,
+			}, 0)
+		default:
+			ss.recordOutcome(true, s.cfg.now(), s.cfg.BreakerTrips, s.cfg.BreakerCooldown)
+			s.writeErr(w, http.StatusInternalServerError, ErrorInfo{
+				Kind: "engine", Message: err.Error(), Session: name,
+			}, 0)
+		}
+		return
+	}
+	degraded := resp.Noise.Stats.DegradedNets > 0
+	ss.recordOutcome(degraded, s.cfg.now(), s.cfg.BreakerTrips, s.cfg.BreakerCooldown)
+	body, err := json.Marshal(resp)
+	if err != nil {
+		// Unreachable as long as the report schema keeps its no-NaN
+		// discipline; fail loudly rather than hang the connection.
+		s.writeErr(w, http.StatusInternalServerError, ErrorInfo{
+			Kind: "engine", Message: fmt.Sprintf("encoding response: %v", err), Session: name,
+		}, 0)
+		return
+	}
+	ss.recordResult(resp, body)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// --- helpers ---
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, status int, info ErrorInfo, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		// Retry-After is integral seconds; round up so clients never
+		// retry into a still-closed window.
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	s.writeJSON(w, status, ErrorBody{Error: info})
+}
+
+func (s *Server) writeNotFound(w http.ResponseWriter, name string) {
+	s.writeErr(w, http.StatusNotFound, ErrorInfo{
+		Kind: "not_found", Message: fmt.Sprintf("no session %q", name), Session: name,
+	}, 0)
+}
+
+// decodeBody strictly decodes one JSON object.
+func decodeBody(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// decodeBodyOptional accepts an empty body as the zero value.
+func decodeBodyOptional(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func parseMode(s string) (core.Mode, error) {
+	switch s {
+	case "all":
+		return core.ModeAllAggressors, nil
+	case "timing":
+		return core.ModeTimingWindows, nil
+	case "", "noise":
+		return core.ModeNoiseWindows, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want all|timing|noise)", s)
+}
+
+func sortInfos(infos []SessionInfo) {
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && infos[j].Name < infos[j-1].Name; j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+}

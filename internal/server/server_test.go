@@ -1,0 +1,641 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netlist"
+	"repro/internal/spef"
+	"repro/internal/sta"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// busPayload serializes a generated coupled bus into a create-session
+// request body.
+func busPayload(t *testing.T, name string, bits int, opts SessionOptions) CreateSessionRequest {
+	t.Helper()
+	g, err := workload.Bus(workload.BusSpec{Bits: bits, Segs: 2, WindowWidth: 80 * units.Pico})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var net, sp, win bytes.Buffer
+	if err := netlist.Write(&net, g.Design); err != nil {
+		t.Fatal(err)
+	}
+	if err := spef.Write(&sp, g.Paras); err != nil {
+		t.Fatal(err)
+	}
+	if err := sta.WriteInputTiming(&win, g.Inputs); err != nil {
+		t.Fatal(err)
+	}
+	return CreateSessionRequest{
+		Name:    name,
+		Netlist: net.String(),
+		SPEF:    sp.String(),
+		Timing:  win.String(),
+		Options: opts,
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func do(t *testing.T, method, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func wantErrKind(t *testing.T, data []byte, kind string) ErrorInfo {
+	t.Helper()
+	var eb ErrorBody
+	if err := json.Unmarshal(data, &eb); err != nil {
+		t.Fatalf("error body is not structured JSON: %v\n%s", err, data)
+	}
+	if eb.Error.Kind != kind {
+		t.Fatalf("error kind = %q, want %q (%s)", eb.Error.Kind, kind, eb.Error.Message)
+	}
+	return eb.Error
+}
+
+func createSession(t *testing.T, base, name string, opts SessionOptions) {
+	t.Helper()
+	resp, data := do(t, "POST", base+"/v1/sessions", busPayload(t, name, 4, opts))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create %s: status %d: %s", name, resp.StatusCode, data)
+	}
+}
+
+func TestServerBasicFlow(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	createSession(t, ts.URL, "bus", SessionOptions{})
+
+	// Duplicate name conflicts.
+	resp, data := do(t, "POST", ts.URL+"/v1/sessions", busPayload(t, "bus", 4, SessionOptions{}))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate create: status %d", resp.StatusCode)
+	}
+	wantErrKind(t, data, "conflict")
+
+	// First analyze builds the engine.
+	resp, data = do(t, "POST", ts.URL+"/v1/sessions/bus/analyze", AnalyzeRequest{Delay: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: status %d: %s", resp.StatusCode, data)
+	}
+	var ar AnalyzeResponse
+	if err := json.Unmarshal(data, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if !ar.Rebuilt || ar.Noise == nil || ar.Noise.Stats.Victims == 0 || ar.Delay == nil {
+		t.Fatalf("analyze response: rebuilt=%v noise=%v delay=%v", ar.Rebuilt, ar.Noise, ar.Delay)
+	}
+	if strings.Contains(string(data), "NaN") || strings.Contains(string(data), "Inf") {
+		t.Fatal("non-finite value in response JSON")
+	}
+
+	// Incremental reanalyze on the persistent session.
+	resp, data = do(t, "POST", ts.URL+"/v1/sessions/bus/reanalyze",
+		ReanalyzeRequest{Padding: map[string]float64{"b1": 5 * units.Pico}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reanalyze: status %d: %s", resp.StatusCode, data)
+	}
+	var rr AnalyzeResponse
+	if err := json.Unmarshal(data, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Rebuilt || rr.ChangedNets == 0 {
+		t.Fatalf("reanalyze: rebuilt=%v changed=%d", rr.Rebuilt, rr.ChangedNets)
+	}
+
+	// Report replays the cached last analysis.
+	resp, data = do(t, "GET", ts.URL+"/v1/sessions/bus/report", nil)
+	if resp.StatusCode != http.StatusOK || !json.Valid(data) {
+		t.Fatalf("report: status %d", resp.StatusCode)
+	}
+
+	// Info and list agree.
+	resp, data = do(t, "GET", ts.URL+"/v1/sessions/bus", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("info: status %d", resp.StatusCode)
+	}
+	var info SessionInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		t.Fatal(err)
+	}
+	if !info.Analyzed || info.Victims == 0 {
+		t.Fatalf("info = %+v", info)
+	}
+	resp, data = do(t, "GET", ts.URL+"/v1/sessions", nil)
+	var list []SessionInfo
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Name != "bus" {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// Delete, then 404.
+	resp, _ = do(t, "DELETE", ts.URL+"/v1/sessions/bus", nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	resp, data = do(t, "GET", ts.URL+"/v1/sessions/bus", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("info after delete: status %d", resp.StatusCode)
+	}
+	wantErrKind(t, data, "not_found")
+}
+
+func TestServerBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Empty body.
+	resp, data := do(t, "POST", ts.URL+"/v1/sessions", CreateSessionRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	wantErrKind(t, data, "bad_request")
+	// Parser errors surface with line numbers.
+	resp, data = do(t, "POST", ts.URL+"/v1/sessions", CreateSessionRequest{
+		Name:    "broken",
+		Netlist: "module top\ngarbage here\n",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	ei := wantErrKind(t, data, "bad_request")
+	if !strings.Contains(ei.Message, "line") {
+		t.Fatalf("parser error without line number: %q", ei.Message)
+	}
+	// Bad padding values.
+	createSession(t, ts.URL, "bus", SessionOptions{})
+	resp, data = do(t, "POST", ts.URL+"/v1/sessions/bus/reanalyze",
+		ReanalyzeRequest{Padding: map[string]float64{"b1": -1}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative padding: status %d", resp.StatusCode)
+	}
+	wantErrKind(t, data, "bad_request")
+	// Bad timeout query.
+	resp, data = do(t, "POST", ts.URL+"/v1/sessions/bus/analyze?timeout=banana", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad timeout: status %d", resp.StatusCode)
+	}
+	wantErrKind(t, data, "bad_request")
+}
+
+func TestServerLintRejection(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	g, err := workload.Bus(workload.BusSpec{Bits: 4, Segs: 2, WindowWidth: 80 * units.Pico})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Inject(workload.Defects{MultiDriven: true}); err != nil {
+		t.Fatal(err)
+	}
+	var net, sp bytes.Buffer
+	if err := netlist.Write(&net, g.Design); err != nil {
+		t.Fatal(err)
+	}
+	if err := spef.Write(&sp, g.Paras); err != nil {
+		t.Fatal(err)
+	}
+	resp, data := do(t, "POST", ts.URL+"/v1/sessions", CreateSessionRequest{
+		Name: "defective", Netlist: net.String(), SPEF: sp.String(),
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	ei := wantErrKind(t, data, "lint_rejected")
+	if len(ei.Lint) == 0 {
+		t.Fatal("422 without lint findings")
+	}
+	found := false
+	for _, d := range ei.Lint {
+		if d.Severity == "error" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no error-severity finding in %+v", ei.Lint)
+	}
+}
+
+// TestServerPanicFaultIsolation is the headline acceptance test: under
+// panic fault injection one request fails with a structured error while a
+// concurrent request on another session succeeds.
+func TestServerPanicFaultIsolation(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 4})
+	// FailFast turns the injected per-victim panic into an engine error for
+	// the whole request — the hard-failure path.
+	createSession(t, ts.URL, "bad", SessionOptions{InjectFault: "panic:*", FailFast: true})
+	createSession(t, ts.URL, "good", SessionOptions{})
+
+	var wg sync.WaitGroup
+	type outcome struct {
+		status int
+		data   []byte
+	}
+	results := make([]outcome, 2)
+	for i, name := range []string{"bad", "good"} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, data := do(t, "POST", ts.URL+"/v1/sessions/"+name+"/analyze", nil)
+			results[i] = outcome{resp.StatusCode, data}
+		}()
+	}
+	wg.Wait()
+
+	if results[0].status != http.StatusInternalServerError {
+		t.Fatalf("bad session: status %d: %s", results[0].status, results[0].data)
+	}
+	ei := wantErrKind(t, results[0].data, "engine")
+	if !strings.Contains(ei.Message, "panic") {
+		t.Fatalf("engine error does not describe the panic: %q", ei.Message)
+	}
+	if results[1].status != http.StatusOK {
+		t.Fatalf("good session: status %d: %s", results[1].status, results[1].data)
+	}
+
+	// The failed session is not wedged: fail-soft sessions on the same
+	// design keep serving, and the bad session reports the failure again
+	// (structured, not hung) on retry.
+	resp, data := do(t, "POST", ts.URL+"/v1/sessions/bad/analyze", nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("bad session retry: status %d: %s", resp.StatusCode, data)
+	}
+	wantErrKind(t, data, "engine")
+}
+
+// TestServerRecoverBarrier exercises the handler-level panic barrier
+// directly: a panicking handler becomes a structured 500 and the session
+// named by the route is marked suspect.
+func TestServerRecoverBarrier(t *testing.T) {
+	s := New(Config{})
+	ss := &session{name: "victim"}
+	s.sessions["victim"] = ss
+
+	h := s.barrier(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("handler exploded")
+	}))
+	req := httptest.NewRequest("POST", "/v1/sessions/victim/analyze", nil)
+	req.SetPathValue("name", "victim")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d", rec.Code)
+	}
+	ei := wantErrKind(t, rec.Body.Bytes(), "panic")
+	if !strings.Contains(ei.Message, "handler exploded") || ei.Session != "victim" {
+		t.Fatalf("error = %+v", ei)
+	}
+	if !ss.info(time.Now()).Suspect {
+		t.Fatal("session not marked suspect after panic")
+	}
+}
+
+// TestServerAdmissionShedding pins bounded admission: with one worker and
+// a queue of one, a burst of slow requests sheds the overflow with 429 and
+// a Retry-After hint instead of queueing unboundedly.
+func TestServerAdmissionShedding(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 1, RetryAfter: 2 * time.Second})
+	createSession(t, ts.URL, "slow", SessionOptions{InjectFault: "sleep:*"})
+
+	const burst = 6
+	statuses := make([]int, burst)
+	retryAfter := make([]string, burst)
+	var wg sync.WaitGroup
+	for i := range statuses {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, err := http.NewRequest("POST", ts.URL+"/v1/sessions/slow/analyze", nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			statuses[i] = resp.StatusCode
+			retryAfter[i] = resp.Header.Get("Retry-After")
+		}()
+	}
+	wg.Wait()
+
+	ok, shed := 0, 0
+	for i, st := range statuses {
+		switch st {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+			if retryAfter[i] != "2" {
+				t.Fatalf("shed response Retry-After = %q, want 2", retryAfter[i])
+			}
+		default:
+			t.Fatalf("unexpected status %d", st)
+		}
+	}
+	// One runs, one queues, the rest shed. Exact counts depend on arrival
+	// order, but with 6 requests against capacity 2 at least 4 must shed
+	// and at least 1 must succeed.
+	if ok < 1 || shed < 4 {
+		t.Fatalf("ok=%d shed=%d, want >=1 ok and >=4 shed (statuses %v)", ok, shed, statuses)
+	}
+}
+
+// TestServerDeadline pins deadline propagation: a client timeout tighter
+// than the work cancels the engine run and maps to a structured 503.
+func TestServerDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	createSession(t, ts.URL, "slow", SessionOptions{InjectFault: "sleep:*"})
+	resp, data := do(t, "POST", ts.URL+"/v1/sessions/slow/analyze?timeout=20ms", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	wantErrKind(t, data, "deadline")
+}
+
+// TestServerBreaker pins the degradation circuit breaker: consecutive
+// fail-soft degraded results trip the session to 503 until the cooldown
+// elapses, after which it goes half-open.
+func TestServerBreaker(t *testing.T) {
+	clock := time.Now()
+	cfg := Config{BreakerTrips: 2, BreakerCooldown: 10 * time.Second}
+	cfg.now = func() time.Time { return clock }
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	// Fail-soft (default): the injected panic degrades one net per run,
+	// returning a 200 with DegradedNets > 0 — exactly what the breaker
+	// watches.
+	createSession(t, ts.URL, "flaky", SessionOptions{InjectFault: "panic:b1"})
+
+	for i := 0; i < 2; i++ {
+		resp, data := do(t, "POST", ts.URL+"/v1/sessions/flaky/analyze", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("degraded analyze %d: status %d: %s", i, resp.StatusCode, data)
+		}
+		var ar AnalyzeResponse
+		if err := json.Unmarshal(data, &ar); err != nil {
+			t.Fatal(err)
+		}
+		if ar.Noise.Stats.DegradedNets == 0 {
+			t.Fatal("expected a degraded result")
+		}
+	}
+
+	// Third request: breaker open.
+	resp, data := do(t, "POST", ts.URL+"/v1/sessions/flaky/analyze", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	wantErrKind(t, data, "breaker_open")
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("breaker 503 without Retry-After")
+	}
+
+	// Info reflects the open breaker.
+	_, data = do(t, "GET", ts.URL+"/v1/sessions/flaky", nil)
+	var info SessionInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		t.Fatal(err)
+	}
+	if !info.Breaker.Open || info.Breaker.ConsecutiveDegraded < 2 {
+		t.Fatalf("breaker info = %+v", info.Breaker)
+	}
+
+	// After the cooldown the breaker goes half-open: the probe request is
+	// admitted (and, still degraded, re-trips it).
+	clock = clock.Add(11 * time.Second)
+	resp, data = do(t, "POST", ts.URL+"/v1/sessions/flaky/analyze", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("half-open probe: status %d: %s", resp.StatusCode, data)
+	}
+	resp, data = do(t, "POST", ts.URL+"/v1/sessions/flaky/analyze", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("re-trip: status %d: %s", resp.StatusCode, data)
+	}
+	wantErrKind(t, data, "breaker_open")
+}
+
+// TestServerLRUEviction pins the session cap: creating past MaxSessions
+// evicts the least-recently-used idle session.
+func TestServerLRUEviction(t *testing.T) {
+	clock := time.Now()
+	cfg := Config{MaxSessions: 2}
+	cfg.now = func() time.Time { clock = clock.Add(time.Second); return clock }
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	createSession(t, ts.URL, "a", SessionOptions{})
+	createSession(t, ts.URL, "b", SessionOptions{})
+	// Touch "a" so "b" is the LRU.
+	if resp, _ := do(t, "GET", ts.URL+"/v1/sessions/a", nil); resp.StatusCode != http.StatusOK {
+		t.Fatal("touch a")
+	}
+	createSession(t, ts.URL, "c", SessionOptions{})
+
+	resp, data := do(t, "GET", ts.URL+"/v1/sessions/b", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("LRU session b should be evicted: status %d: %s", resp.StatusCode, data)
+	}
+	for _, name := range []string{"a", "c"} {
+		if resp, _ := do(t, "GET", ts.URL+"/v1/sessions/"+name, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("session %s should survive", name)
+		}
+	}
+}
+
+// TestServerSessionLimitBusy pins the no-evictable-session case: when
+// every loaded session is mid-analysis, a create is shed, not blocked.
+func TestServerSessionLimitBusy(t *testing.T) {
+	s := New(Config{MaxSessions: 1})
+	ss := &session{name: "busy"}
+	if einfo := s.insert(ss); einfo != nil {
+		t.Fatalf("insert: %+v", einfo)
+	}
+	ss.mu.Lock() // simulate a running analysis
+	defer ss.mu.Unlock()
+	einfo := s.insert(&session{name: "second"})
+	if einfo == nil || einfo.Kind != "session_limit" {
+		t.Fatalf("insert while busy = %+v, want session_limit", einfo)
+	}
+}
+
+// TestServerDrainClean: SIGTERM semantics — in-flight work finishes within
+// the budget, new work is refused, readiness flips, Drain reports clean.
+func TestServerDrainClean(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	createSession(t, ts.URL, "slow", SessionOptions{InjectFault: "sleep:*"})
+
+	started := make(chan struct{})
+	result := make(chan int, 1)
+	go func() {
+		req, _ := http.NewRequest("POST", ts.URL+"/v1/sessions/slow/analyze", nil)
+		close(started)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			result <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		result <- resp.StatusCode
+	}()
+	<-started
+	// Wait for the request to actually be in flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.inflightN.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never entered flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if !s.Drain(30 * time.Second) {
+		t.Fatal("drain with generous budget should be clean")
+	}
+	if st := <-result; st != http.StatusOK {
+		t.Fatalf("in-flight request during clean drain: status %d", st)
+	}
+
+	// Draining server refuses new work but stays live.
+	resp, data := do(t, "POST", ts.URL+"/v1/sessions/slow/analyze", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain analyze: status %d", resp.StatusCode)
+	}
+	wantErrKind(t, data, "draining")
+	if resp, _ := do(t, "GET", ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatal("healthz must stay 200 while draining")
+	}
+	resp, data = do(t, "GET", ts.URL+"/readyz", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: status %d", resp.StatusCode)
+	}
+	var ready ReadyResponse
+	if err := json.Unmarshal(data, &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Status != "draining" {
+		t.Fatalf("readyz status = %q", ready.Status)
+	}
+}
+
+// TestServerDrainForced: when in-flight work exceeds the budget, Drain
+// cancels it through the request context and reports a forced drain; the
+// cancelled request still gets a structured response.
+func TestServerDrainForced(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// A 16-bit bus with per-net sleeps is hundreds of ms of work — far
+	// beyond the 10ms budget.
+	resp, data := do(t, "POST", ts.URL+"/v1/sessions", busPayload(t, "slow", 16, SessionOptions{InjectFault: "sleep:*"}))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", resp.StatusCode, data)
+	}
+
+	result := make(chan struct {
+		status int
+		body   []byte
+	}, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/sessions/slow/analyze", "application/json", nil)
+		if err != nil {
+			result <- struct {
+				status int
+				body   []byte
+			}{-1, nil}
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		result <- struct {
+			status int
+			body   []byte
+		}{resp.StatusCode, body}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.inflightN.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never entered flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if s.Drain(10 * time.Millisecond) {
+		t.Fatal("drain should report forced, not clean")
+	}
+	r := <-result
+	if r.status != http.StatusServiceUnavailable {
+		t.Fatalf("cancelled request: status %d: %s", r.status, r.body)
+	}
+	ei := wantErrKind(t, r.body, "canceled")
+	if ei.Session != "slow" {
+		t.Fatalf("cancelled error = %+v", ei)
+	}
+}
+
+// TestServerFailSoftDegradedResponse: the default fail-soft path returns a
+// 200 whose body carries the degradation report — per-victim panics do not
+// fail the query.
+func TestServerFailSoftDegradedResponse(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	createSession(t, ts.URL, "flaky", SessionOptions{InjectFault: "panic:b1"})
+	resp, data := do(t, "POST", ts.URL+"/v1/sessions/flaky/analyze", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var ar AnalyzeResponse
+	if err := json.Unmarshal(data, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Noise.Stats.DegradedNets != 1 || len(ar.Noise.Degradations) != 1 {
+		t.Fatalf("degradations = %+v (stats %+v)", ar.Noise.Degradations, ar.Noise.Stats)
+	}
+	d := ar.Noise.Degradations[0]
+	if d.Net != "b1" || !d.Degraded || !strings.Contains(d.Error, "panic") {
+		t.Fatalf("degradation = %+v", d)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt linked for debug edits

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/bind"
+	"repro/internal/core"
+)
+
+// session owns one loaded design and its persistent incremental analyzer.
+//
+// Locking discipline: mu serializes the expensive engine work (exactly one
+// analysis runs per session at a time; core.Session is not concurrency
+// safe). stateMu guards the cheap observable state — breaker counters,
+// cached reports, suspect flag — which health and report endpoints read
+// without waiting behind a running analysis. lastUsed is guarded by the
+// server's registry lock, because LRU ordering is a registry concern.
+type session struct {
+	name string
+	b    *bind.Design
+	opts core.Options
+
+	// mu serializes engine work on this session.
+	mu sync.Mutex
+	// eng is the persistent incremental analyzer; nil until the first
+	// analyze request, rebuilt after a broken incremental update.
+	eng *core.Session
+
+	stateMu sync.Mutex
+	// suspect marks a handler-level panic observed on this session.
+	suspect bool
+	// analyzed and the summary counters describe the last completed
+	// analysis; lastResponse is its marshaled body for GET report.
+	analyzed     bool
+	victims      int
+	violations   int
+	degradedNets int
+	lastResponse []byte
+	// breaker state: consecutive engine-degraded results and the trip
+	// deadline.
+	consecDegraded int
+	trippedUntil   time.Time
+}
+
+// ensureEngine returns the session's persistent analyzer, building (or
+// rebuilding, after a broken update) it with a full analysis. Callers hold
+// s.mu. The returned bool reports whether a rebuild happened.
+func (s *session) ensureEngine(ctx context.Context) (*core.Session, bool, error) {
+	if s.eng != nil && s.eng.Err() == nil {
+		return s.eng, false, nil
+	}
+	s.eng = nil // drop broken state before the rebuild
+	eng, err := core.NewSession(ctx, s.b, s.opts)
+	if err != nil {
+		return nil, true, err
+	}
+	s.eng = eng
+	return eng, true, nil
+}
+
+// markSuspect records a handler-level panic against the session.
+func (s *session) markSuspect() {
+	s.stateMu.Lock()
+	s.suspect = true
+	s.stateMu.Unlock()
+}
+
+// breakerOpen reports whether the breaker currently rejects work and the
+// remaining cooldown. At the trip deadline the breaker goes half-open: the
+// next request is admitted, and its outcome decides whether the breaker
+// resets or re-trips.
+func (s *session) breakerOpen(now time.Time) (time.Duration, bool) {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if now.Before(s.trippedUntil) {
+		return s.trippedUntil.Sub(now), true
+	}
+	return 0, false
+}
+
+// recordOutcome feeds one completed analysis into the breaker: an
+// engine-degraded result (fail-soft Diags, or an outright engine error)
+// counts against the session; a clean result resets it. Tripping arms a
+// cooldown during which requests are shed with 503.
+func (s *session) recordOutcome(degraded bool, now time.Time, trips int, cooldown time.Duration) {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if !degraded {
+		s.consecDegraded = 0
+		return
+	}
+	s.consecDegraded++
+	if s.consecDegraded >= trips {
+		s.trippedUntil = now.Add(cooldown)
+	}
+}
+
+// recordResult caches the summary and marshaled body of a completed
+// analysis for the report and info endpoints.
+func (s *session) recordResult(resp *AnalyzeResponse, body []byte) {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	s.analyzed = true
+	s.victims = resp.Noise.Stats.Victims
+	s.violations = len(resp.Noise.Violations)
+	s.degradedNets = resp.Noise.Stats.DegradedNets
+	s.lastResponse = body
+}
+
+// report returns the cached last analysis body, or nil.
+func (s *session) report() []byte {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	return s.lastResponse
+}
+
+// info snapshots the session for the info and list endpoints.
+func (s *session) info(now time.Time) SessionInfo {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	bi := BreakerInfo{ConsecutiveDegraded: s.consecDegraded}
+	if now.Before(s.trippedUntil) {
+		bi.Open = true
+		bi.RetryAfterS = s.trippedUntil.Sub(now).Seconds()
+	}
+	return SessionInfo{
+		Name:         s.name,
+		Analyzed:     s.analyzed,
+		Suspect:      s.suspect,
+		Breaker:      bi,
+		Victims:      s.victims,
+		Violations:   s.violations,
+		DegradedNets: s.degradedNets,
+	}
+}

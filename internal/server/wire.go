@@ -1,0 +1,161 @@
+package server
+
+import (
+	"repro/internal/report"
+)
+
+// Wire types: the JSON request and response bodies of the snad HTTP API.
+// They live in their own file (and are exported) because the retrying
+// client and the CLI decode them too — one schema, one definition.
+
+// CreateSessionRequest loads a design into a named session. Database
+// payloads are inline text in the repo's native formats; exactly one of
+// Netlist (.net) or Verilog (structural .v) is required, the rest are
+// optional.
+type CreateSessionRequest struct {
+	Name    string `json:"name"`
+	Netlist string `json:"netlist,omitempty"`
+	Verilog string `json:"verilog,omitempty"`
+	SPEF    string `json:"spef,omitempty"`
+	// Liberty is the cell library source; empty uses the built-in generic
+	// library.
+	Liberty string `json:"liberty,omitempty"`
+	// Timing is input-timing (.win) text.
+	Timing  string         `json:"timing,omitempty"`
+	Options SessionOptions `json:"options"`
+}
+
+// SessionOptions mirrors the analysis knobs of the sna CLI.
+type SessionOptions struct {
+	// Mode is the combination policy: "all", "timing", or "noise"
+	// (default).
+	Mode string `json:"mode,omitempty"`
+	// Threshold is the aggressor coupling-ratio filter threshold.
+	Threshold float64 `json:"threshold,omitempty"`
+	// NoPropagation disables noise propagation through gates.
+	NoPropagation bool `json:"noPropagation,omitempty"`
+	// LogicCorrelation enables mutual-exclusion aggressor filtering.
+	LogicCorrelation bool `json:"logicCorrelation,omitempty"`
+	// Workers sets the engine's parallel worker count (0 = serial).
+	Workers int `json:"workers,omitempty"`
+	// FailFast aborts a request on the first per-net failure instead of
+	// degrading fail-soft. Fail-soft is the service default: one bad
+	// victim must not take down the query.
+	FailFast bool `json:"failFast,omitempty"`
+	// InjectFault is a workload.RuntimeFaults spec
+	// ("panic:b1,error:b2,sleep:*") wired into the engine's PrepareHook.
+	// It exists for robustness testing of the service itself.
+	InjectFault string `json:"injectFault,omitempty"`
+}
+
+// SessionInfo describes one loaded session.
+type SessionInfo struct {
+	Name string `json:"name"`
+	// Analyzed reports whether the session holds a completed analysis.
+	Analyzed bool `json:"analyzed"`
+	// Suspect marks a session on which a request panicked at the handler
+	// level; its in-memory state is still serving but deserves scrutiny.
+	Suspect bool `json:"suspect"`
+	// Breaker is the session's circuit-breaker state.
+	Breaker BreakerInfo `json:"breaker"`
+	// Victims/Violations/DegradedNets summarize the last analysis (zero
+	// until Analyzed).
+	Victims      int `json:"victims"`
+	Violations   int `json:"violations"`
+	DegradedNets int `json:"degradedNets"`
+}
+
+// BreakerInfo reports a session circuit breaker.
+type BreakerInfo struct {
+	// Open reports that the breaker is tripped: analysis requests are
+	// rejected with 503 until the cooldown elapses.
+	Open bool `json:"open"`
+	// ConsecutiveDegraded counts engine-degraded results in a row.
+	ConsecutiveDegraded int `json:"consecutiveDegraded"`
+	// RetryAfterS is the remaining cooldown in seconds when Open.
+	RetryAfterS float64 `json:"retryAfterS,omitempty"`
+}
+
+// AnalyzeRequest tunes one analyze query (all fields optional).
+type AnalyzeRequest struct {
+	// Delay includes the crosstalk delta-delay section in the response.
+	Delay bool `json:"delay,omitempty"`
+}
+
+// ReanalyzeRequest applies per-net late-edge window padding (seconds) and
+// incrementally re-analyzes the affected cones. Padding is max-monotonic,
+// so retrying a delta is safe.
+type ReanalyzeRequest struct {
+	Padding map[string]float64 `json:"padding"`
+	// Delay includes the delta-delay section in the response.
+	Delay bool `json:"delay,omitempty"`
+}
+
+// AnalyzeResponse is the result of an analyze or reanalyze query.
+type AnalyzeResponse struct {
+	Session string             `json:"session"`
+	Noise   *report.ResultJSON `json:"noise"`
+	// Delay is present when the request asked for it.
+	Delay *report.DelayResultJSON `json:"delay,omitempty"`
+	// ChangedNets is the number of nets whose padding changed
+	// (reanalyze only).
+	ChangedNets int `json:"changedNets,omitempty"`
+	// Rebuilt reports that the persistent session state was rebuilt from
+	// scratch for this request (first analysis, or recovery after a
+	// broken incremental update).
+	Rebuilt bool `json:"rebuilt,omitempty"`
+}
+
+// LintDiagJSON is one design-rule finding in a 422 rejection.
+type LintDiagJSON struct {
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	Object   string `json:"object"`
+	Message  string `json:"message"`
+	Hint     string `json:"hint,omitempty"`
+}
+
+// ErrorBody is the structured error envelope every non-2xx response
+// carries.
+type ErrorBody struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// ErrorInfo describes one failure.
+type ErrorInfo struct {
+	// Kind is a stable machine-readable class: bad_request, not_found,
+	// conflict, lint_rejected, overloaded, breaker_open, draining,
+	// deadline, canceled, panic, engine, session_limit.
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+	Session string `json:"session,omitempty"`
+	// Lint carries the findings of a lint_rejected error.
+	Lint []LintDiagJSON `json:"lint,omitempty"`
+}
+
+// HealthResponse is the /healthz body. The endpoint answers 200 as long
+// as the process is alive, including while draining — liveness and
+// readiness are separate questions.
+type HealthResponse struct {
+	Status   string `json:"status"` // "ok" | "draining"
+	Draining bool   `json:"draining"`
+	Sessions int    `json:"sessions"`
+	Inflight int    `json:"inflight"`
+}
+
+// ReadyResponse is the /readyz body; the endpoint answers 503 while
+// draining so load balancers stop routing new work here.
+type ReadyResponse struct {
+	Status string `json:"status"` // "ready" | "draining"
+	// Inflight and Queued are the admission gate's current occupancy;
+	// Capacity and QueueDepth its limits.
+	Inflight   int `json:"inflight"`
+	Queued     int `json:"queued"`
+	Capacity   int `json:"capacity"`
+	QueueDepth int `json:"queueDepth"`
+	Sessions   int `json:"sessions"`
+	// Shed counts requests rejected with 429 since startup.
+	Shed int64 `json:"shed"`
+	// OpenBreakers lists sessions whose breaker is currently open.
+	OpenBreakers []string `json:"openBreakers,omitempty"`
+}

@@ -327,10 +327,10 @@ func Parse(r io.Reader) (*Parasitics, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("spef: %w", err)
+		return nil, fmt.Errorf("spef: line %d: %w", lineNo+1, err)
 	}
 	if cur != nil {
-		return nil, fmt.Errorf("spef: net %q not terminated with *END", cur.Name)
+		return nil, fmt.Errorf("spef: line %d: net %q not terminated with *END", lineNo, cur.Name)
 	}
 	return p, nil
 }

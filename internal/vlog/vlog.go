@@ -136,10 +136,19 @@ func (p *parser) peek() (token, bool) {
 	return p.toks[p.pos], true
 }
 
+// lastLine is the line of the final token — the best position available
+// for truncated-input errors.
+func (p *parser) lastLine() int {
+	if len(p.toks) == 0 {
+		return 1
+	}
+	return p.toks[len(p.toks)-1].line
+}
+
 func (p *parser) next() (token, error) {
 	t, ok := p.peek()
 	if !ok {
-		return token{}, fmt.Errorf("vlog: unexpected end of input")
+		return token{}, fmt.Errorf("vlog: line %d: unexpected end of input", p.lastLine())
 	}
 	p.pos++
 	return t, nil
@@ -191,14 +200,14 @@ func (p *parser) module() (*netlist.Design, error) {
 	for {
 		t, ok := p.peek()
 		if !ok {
-			return nil, fmt.Errorf("vlog: missing endmodule")
+			return nil, fmt.Errorf("vlog: line %d: missing endmodule", p.lastLine())
 		}
 		switch t.text {
 		case "endmodule":
 			p.pos++
 			for _, hp := range headerPorts {
 				if !declared[hp] {
-					return nil, fmt.Errorf("vlog: port %q in header but never declared", hp)
+					return nil, fmt.Errorf("vlog: line %d: port %q in header but never declared", t.line, hp)
 				}
 			}
 			return d, nil

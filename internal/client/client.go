@@ -14,6 +14,8 @@
 //	503 deadline        yes       analyze/reanalyze are idempotent —
 //	503 canceled        yes       padding is max-monotonic, repeating is
 //	                              safe
+//	409 busy            yes       delete raced an in-flight request; the
+//	                              session quiesces shortly
 //	409 conflict        no        the session already exists; repeating
 //	                              cannot help
 //	422 lint_rejected   no        the design is broken; fix it first
@@ -84,7 +86,7 @@ func (e *APIError) Error() string {
 // Retryable reports whether repeating the request can succeed.
 func (e *APIError) Retryable() bool {
 	switch e.Info.Kind {
-	case "overloaded", "draining", "breaker_open", "deadline", "canceled":
+	case "overloaded", "draining", "breaker_open", "deadline", "canceled", "busy":
 		return true
 	}
 	// A 503 without a parseable body is still a capacity signal.
@@ -128,7 +130,9 @@ func New(base string, policy RetryPolicy) *Client {
 }
 
 // backoff computes the wait before attempt n (0-based), preferring the
-// server's Retry-After hint when present.
+// server's Retry-After hint when present. Jitter is applied before the
+// MaxDelay clamp so the cap holds absolutely: a +50% jittered step can
+// never sleep past MaxDelay.
 func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
 	if retryAfter > 0 {
 		if retryAfter > c.retry.MaxDelay {
@@ -140,7 +144,10 @@ func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
 	if d > c.retry.MaxDelay || d <= 0 {
 		d = c.retry.MaxDelay
 	}
-	return c.jitter(d)
+	if d = c.jitter(d); d > c.retry.MaxDelay {
+		d = c.retry.MaxDelay
+	}
+	return d
 }
 
 // doRetry runs one request through the retry loop. retryTransport allows

@@ -228,6 +228,23 @@ func TestTimeoutQueryPropagates(t *testing.T) {
 	}
 }
 
+// TestBackoffJitterClampedToMaxDelay pins the documented contract that
+// MaxDelay caps one backoff step absolutely: the +50% side of the jitter
+// applied to an at-cap delay must not push the sleep past the cap.
+func TestBackoffJitterClampedToMaxDelay(t *testing.T) {
+	c := New("http://unused", RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: 200 * time.Millisecond})
+	c.jitter = func(d time.Duration) time.Duration { return d + d/2 } // worst-case +50%
+	for attempt := 0; attempt < 8; attempt++ {
+		if d := c.backoff(attempt, 0); d > 200*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v exceeds MaxDelay", attempt, d)
+		}
+	}
+	// The Retry-After path stays capped too.
+	if d := c.backoff(0, time.Minute); d != 200*time.Millisecond {
+		t.Fatalf("backoff with huge Retry-After = %v, want the 200ms cap", d)
+	}
+}
+
 func TestJitterSpreadsDefaultBackoff(t *testing.T) {
 	c := New("http://unused", RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: 10 * time.Second})
 	for i := 0; i < 100; i++ {

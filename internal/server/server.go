@@ -366,12 +366,37 @@ func (s *Server) lookup(name string) *session {
 	return ss
 }
 
+// retain looks up a session and pins it against eviction and deletion for
+// the duration of a request; callers must releaseRef when done. Without
+// the pin, a request that passed lookup but is still queued in admit could
+// have its session evicted underneath it and complete against an orphaned
+// object whose cached result no report could ever see.
+func (s *Server) retain(name string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss := s.sessions[name]
+	if ss != nil {
+		s.lastUsed[name] = s.cfg.now()
+		ss.refs++
+	}
+	return ss
+}
+
+func (s *Server) releaseRef(ss *session) {
+	s.mu.Lock()
+	ss.refs--
+	s.mu.Unlock()
+}
+
 // insert registers a new session, evicting the least-recently-used idle
 // session when the cap is reached. It fails with a conflict if the name
 // exists and with session_limit when every loaded session is busy.
 func (s *Server) insert(ss *session) *ErrorInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if ss.busy == nil {
+		ss.busy = make(chan struct{}, 1)
+	}
 	if _, dup := s.sessions[ss.name]; dup {
 		return &ErrorInfo{Kind: "conflict", Message: fmt.Sprintf("session %q already exists", ss.name), Session: ss.name}
 	}
@@ -380,10 +405,11 @@ func (s *Server) insert(ss *session) *ErrorInfo {
 		var oldest time.Time
 		for name := range s.sessions {
 			if victim == "" || s.lastUsed[name].Before(oldest) {
-				// Only idle sessions are evictable: TryLock fails exactly
-				// when an analysis is running on it.
-				if s.sessions[name].mu.TryLock() {
-					s.sessions[name].mu.Unlock()
+				// Only unreferenced sessions are evictable: refs counts
+				// every in-flight request pinned to the session, including
+				// ones still waiting in the admission queue, so eviction
+				// can never orphan a request that already passed lookup.
+				if s.sessions[name].refs == 0 {
 					victim, oldest = name, s.lastUsed[name]
 				}
 			}
@@ -555,6 +581,7 @@ func (s *Server) buildSession(req *CreateSessionRequest) (*session, *ErrorInfo) 
 	}
 	return &session{
 		name: req.Name,
+		busy: make(chan struct{}, 1),
 		b:    b,
 		opts: core.Options{
 			Mode:             mode,
@@ -597,7 +624,17 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	s.mu.Lock()
-	_, ok := s.sessions[name]
+	ss, ok := s.sessions[name]
+	if ok && ss.refs > 0 {
+		// In-flight requests pin the session (see retain); deleting it now
+		// would let them complete against an orphaned object. Refuse and
+		// let the caller retry once the session quiesces.
+		s.mu.Unlock()
+		s.writeErr(w, http.StatusConflict, ErrorInfo{
+			Kind: "busy", Message: fmt.Sprintf("session %q has requests in flight", name), Session: name,
+		}, s.cfg.RetryAfter)
+		return
+	}
 	delete(s.sessions, name)
 	delete(s.lastUsed, name)
 	s.mu.Unlock()
@@ -690,18 +727,26 @@ func (s *Server) handleReanalyze(w http.ResponseWriter, r *http.Request) {
 // work, breaker accounting, and error mapping.
 func (s *Server) analysis(w http.ResponseWriter, r *http.Request, work func(context.Context, *session) (*AnalyzeResponse, error)) {
 	name := r.PathValue("name")
-	ss := s.lookup(name)
+	ss := s.retain(name)
 	if ss == nil {
 		s.writeNotFound(w, name)
 		return
 	}
-	if remaining, open := ss.breakerOpen(s.cfg.now()); open {
+	defer s.releaseRef(ss)
+	retryAfter, probe, open := ss.breakerAdmit(s.cfg.now(), s.cfg.RetryAfter)
+	if open {
 		s.writeErr(w, http.StatusServiceUnavailable, ErrorInfo{
 			Kind:    "breaker_open",
 			Message: fmt.Sprintf("session breaker open after %d consecutive degraded results", s.cfg.BreakerTrips),
 			Session: name,
-		}, remaining)
+		}, retryAfter)
 		return
+	}
+	if probe {
+		// The probe slot must be returned on every path out of this
+		// handler — including cancellation and panic — or the half-open
+		// breaker would reject requests forever.
+		defer ss.probeRelease()
 	}
 	release, ok := s.admit(w, r)
 	if !ok {
@@ -715,9 +760,29 @@ func (s *Server) analysis(w http.ResponseWriter, r *http.Request, work func(cont
 	}
 	defer cancel()
 
-	ss.mu.Lock()
-	resp, err := work(ctx, ss)
-	ss.mu.Unlock()
+	// Serialize engine work per session. The wait is a select against the
+	// request deadline and the drain signal, so a pile-up behind one slow
+	// session sheds at its deadline instead of pinning workers; a
+	// sync.Mutex here would block uncancellably.
+	if !ss.acquire(ctx, s.forceCtx) {
+		if s.forceCtx.Err() != nil || errors.Is(ctx.Err(), context.Canceled) {
+			s.writeErr(w, http.StatusServiceUnavailable, ErrorInfo{
+				Kind: "canceled", Message: "request cancelled while waiting for the session", Session: name,
+			}, 0)
+		} else {
+			s.writeErr(w, http.StatusServiceUnavailable, ErrorInfo{
+				Kind: "deadline", Message: "request deadline expired while waiting for the session", Session: name,
+			}, s.cfg.RetryAfter)
+		}
+		return
+	}
+	resp, err := func() (*AnalyzeResponse, error) {
+		// Release under defer so a panic in the engine or handler cannot
+		// leak the busy slot and wedge every later request to the session
+		// (the barrier turns the panic itself into a structured 500).
+		defer ss.release()
+		return work(ctx, ss)
+	}()
 
 	if err != nil {
 		// Cancellation is not session health: only engine failures feed

@@ -2,7 +2,9 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -488,18 +490,171 @@ func TestServerLRUEviction(t *testing.T) {
 }
 
 // TestServerSessionLimitBusy pins the no-evictable-session case: when
-// every loaded session is mid-analysis, a create is shed, not blocked.
+// every loaded session has requests in flight, a create is shed, not
+// blocked.
 func TestServerSessionLimitBusy(t *testing.T) {
 	s := New(Config{MaxSessions: 1})
-	ss := &session{name: "busy"}
-	if einfo := s.insert(ss); einfo != nil {
+	if einfo := s.insert(&session{name: "busy"}); einfo != nil {
 		t.Fatalf("insert: %+v", einfo)
 	}
-	ss.mu.Lock() // simulate a running analysis
-	defer ss.mu.Unlock()
+	ss := s.retain("busy") // pin it the way an in-flight request does
+	if ss == nil {
+		t.Fatal("retain failed")
+	}
 	einfo := s.insert(&session{name: "second"})
 	if einfo == nil || einfo.Kind != "session_limit" {
 		t.Fatalf("insert while busy = %+v, want session_limit", einfo)
+	}
+	// Once the request releases its pin the session is evictable again.
+	s.releaseRef(ss)
+	if einfo := s.insert(&session{name: "third"}); einfo != nil {
+		t.Fatalf("insert after release: %+v", einfo)
+	}
+}
+
+// TestServerDeleteBusySession pins the retain/delete interlock: a session
+// with a request in flight refuses deletion with a retryable 409, so the
+// request cannot complete against an orphaned session whose cached report
+// would be unreachable.
+func TestServerDeleteBusySession(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	createSession(t, ts.URL, "bus", SessionOptions{})
+	ss := s.retain("bus") // pin it the way an in-flight request does
+	resp, data := do(t, "DELETE", ts.URL+"/v1/sessions/bus", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("delete busy session: status %d: %s", resp.StatusCode, data)
+	}
+	wantErrKind(t, data, "busy")
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("busy 409 without Retry-After")
+	}
+	s.releaseRef(ss)
+	if resp, _ := do(t, "DELETE", ts.URL+"/v1/sessions/bus", nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete after release: status %d", resp.StatusCode)
+	}
+}
+
+// TestServerAnalysisPanicReleasesSession pins the panic path of the
+// serialized engine section: a panic inside the analysis work must release
+// the session's busy slot on the way out, or every later request to the
+// session would block forever waiting for it.
+func TestServerAnalysisPanicReleasesSession(t *testing.T) {
+	s := New(Config{MaxRequestTimeout: 100 * time.Millisecond})
+	if einfo := s.insert(&session{name: "p"}); einfo != nil {
+		t.Fatalf("insert: %+v", einfo)
+	}
+	run := func(work func(context.Context, *session) (*AnalyzeResponse, error)) *httptest.ResponseRecorder {
+		h := s.barrier(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			s.analysis(w, r, work)
+		}))
+		req := httptest.NewRequest("POST", "/v1/sessions/p/analyze", nil)
+		req.SetPathValue("name", "p")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+
+	rec := run(func(context.Context, *session) (*AnalyzeResponse, error) { panic("work exploded") })
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking analysis: status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	wantErrKind(t, rec.Body.Bytes(), "panic")
+
+	// The busy slot and the eviction pin must both be free again: a second
+	// analysis reaches its work function (engine 500) instead of timing
+	// out against a wedged session (deadline 503).
+	rec = run(func(context.Context, *session) (*AnalyzeResponse, error) { return nil, errors.New("engine says no") })
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("post-panic analysis: status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	wantErrKind(t, rec.Body.Bytes(), "engine")
+	s.mu.Lock()
+	refs := s.sessions["p"].refs
+	s.mu.Unlock()
+	if refs != 0 {
+		t.Fatalf("refs = %d after both requests finished, want 0", refs)
+	}
+}
+
+// TestServerSessionWaitRespectsDeadline pins cancellable per-session
+// serialization: a request queued behind a long analysis of the same
+// session sheds at its own deadline instead of pinning a worker
+// uncancellably until the session frees.
+func TestServerSessionWaitRespectsDeadline(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 4})
+	// A 16-bit bus with per-net sleeps is hundreds of ms of serial work.
+	resp, data := do(t, "POST", ts.URL+"/v1/sessions", busPayload(t, "slow", 16, SessionOptions{InjectFault: "sleep:*"}))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", resp.StatusCode, data)
+	}
+	ss := s.lookup("slow")
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Post(ts.URL+"/v1/sessions/slow/analyze", "application/json", nil)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(ss.busy) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never took the session")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, data = do(t, "POST", ts.URL+"/v1/sessions/slow/analyze?timeout=50ms", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("queued request: status %d: %s", resp.StatusCode, data)
+	}
+	ei := wantErrKind(t, data, "deadline")
+	if !strings.Contains(ei.Message, "waiting for the session") {
+		t.Fatalf("deadline error = %q, want the session-wait message", ei.Message)
+	}
+	<-done
+}
+
+// TestSessionBreakerHalfOpenSingleProbe pins half-open arbitration: past
+// the cooldown exactly one request is admitted as the probe, concurrent
+// requests keep shedding until its outcome lands, a degraded probe
+// re-trips immediately, and a clean probe closes the breaker for everyone.
+func TestSessionBreakerHalfOpenSingleProbe(t *testing.T) {
+	ss := &session{name: "x"}
+	const trips = 2
+	cooldown := 10 * time.Second
+	now := time.Now()
+	ss.recordOutcome(true, now, trips, cooldown)
+	ss.recordOutcome(true, now, trips, cooldown)
+	if _, _, open := ss.breakerAdmit(now.Add(time.Second), time.Second); !open {
+		t.Fatal("breaker should be open during the cooldown")
+	}
+
+	half := now.Add(cooldown + time.Second)
+	if _, probe, open := ss.breakerAdmit(half, time.Second); open || !probe {
+		t.Fatalf("first half-open caller: probe=%v open=%v, want the single probe", probe, open)
+	}
+	if retry, probe, open := ss.breakerAdmit(half, time.Second); !open || probe || retry != time.Second {
+		t.Fatalf("second half-open caller: retry=%v probe=%v open=%v, want shed with hint", retry, probe, open)
+	}
+
+	// One degraded probe re-trips immediately — not after `trips` more.
+	ss.recordOutcome(true, half, trips, cooldown)
+	ss.probeRelease()
+	if _, _, open := ss.breakerAdmit(half.Add(time.Second), time.Second); !open {
+		t.Fatal("degraded probe must re-trip the breaker")
+	}
+
+	half2 := half.Add(cooldown + time.Second)
+	if _, probe, open := ss.breakerAdmit(half2, time.Second); open || !probe {
+		t.Fatal("second probe not admitted after the re-trip cooldown")
+	}
+	ss.recordOutcome(false, half2, trips, cooldown)
+	ss.probeRelease()
+	if _, probe, open := ss.breakerAdmit(half2, time.Second); open || probe {
+		t.Fatal("clean probe must close the breaker")
 	}
 }
 

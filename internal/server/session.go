@@ -11,21 +11,34 @@ import (
 
 // session owns one loaded design and its persistent incremental analyzer.
 //
-// Locking discipline: mu serializes the expensive engine work (exactly one
-// analysis runs per session at a time; core.Session is not concurrency
-// safe). stateMu guards the cheap observable state — breaker counters,
-// cached reports, suspect flag — which health and report endpoints read
-// without waiting behind a running analysis. lastUsed is guarded by the
-// server's registry lock, because LRU ordering is a registry concern.
+// Locking discipline: busy is a one-slot semaphore serializing the
+// expensive engine work (exactly one analysis runs per session at a time;
+// core.Session is not concurrency safe). It is a channel rather than a
+// mutex for two reasons: acquisition is a select against the request and
+// drain contexts, so a deadline can interrupt the wait instead of pinning
+// a worker uncancellably behind a slow session, and release is deferred so
+// a panicking handler cannot leak the slot and wedge the session. stateMu
+// guards the cheap observable state — breaker counters, cached reports,
+// suspect flag — which health and report endpoints read without waiting
+// behind a running analysis. refs and lastUsed are guarded by the server's
+// registry lock, because eviction ordering is a registry concern.
 type session struct {
 	name string
 	b    *bind.Design
 	opts core.Options
 
-	// mu serializes engine work on this session.
-	mu sync.Mutex
+	// busy serializes engine work on this session; see the type comment.
+	busy chan struct{}
+
+	// refs counts in-flight requests pinned to this session (guarded by
+	// the server's registry mutex). Only a session with zero references
+	// may be evicted or deleted, so an admitted request never completes
+	// against an orphaned session whose cached result is unreachable.
+	refs int
+
 	// eng is the persistent incremental analyzer; nil until the first
-	// analyze request, rebuilt after a broken incremental update.
+	// analyze request, rebuilt after a broken incremental update. Guarded
+	// by busy.
 	eng *core.Session
 
 	stateMu sync.Mutex
@@ -38,15 +51,35 @@ type session struct {
 	violations   int
 	degradedNets int
 	lastResponse []byte
-	// breaker state: consecutive engine-degraded results and the trip
-	// deadline.
+	// breaker state: consecutive engine-degraded results, whether the
+	// breaker is tripped (it stays tripped through half-open until a clean
+	// probe closes it), whether a half-open probe is in flight, and the
+	// cooldown deadline.
 	consecDegraded int
+	tripped        bool
+	probing        bool
 	trippedUntil   time.Time
 }
 
+// acquire takes the session's busy slot, waiting until the slot frees, the
+// request context expires, or the drain force-cancel fires. It reports
+// whether the slot was taken; on success the caller must release().
+func (s *session) acquire(ctx context.Context, force context.Context) bool {
+	select {
+	case s.busy <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	case <-force.Done():
+		return false
+	}
+}
+
+func (s *session) release() { <-s.busy }
+
 // ensureEngine returns the session's persistent analyzer, building (or
 // rebuilding, after a broken update) it with a full analysis. Callers hold
-// s.mu. The returned bool reports whether a rebuild happened.
+// the busy slot. The returned bool reports whether a rebuild happened.
 func (s *session) ensureEngine(ctx context.Context) (*core.Session, bool, error) {
 	if s.eng != nil && s.eng.Err() == nil {
 		return s.eng, false, nil
@@ -68,9 +101,9 @@ func (s *session) markSuspect() {
 }
 
 // breakerOpen reports whether the breaker currently rejects work and the
-// remaining cooldown. At the trip deadline the breaker goes half-open: the
-// next request is admitted, and its outcome decides whether the breaker
-// resets or re-trips.
+// remaining cooldown. It is a pure read for the readiness and info
+// endpoints; analysis admission goes through breakerAdmit, which also
+// arbitrates the half-open probe.
 func (s *session) breakerOpen(now time.Time) (time.Duration, bool) {
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
@@ -80,19 +113,57 @@ func (s *session) breakerOpen(now time.Time) (time.Duration, bool) {
 	return 0, false
 }
 
+// breakerAdmit decides whether an analysis request may run. While the
+// cooldown is running every request is rejected with the remaining wait.
+// At the trip deadline the breaker goes half-open: exactly one request is
+// admitted as the probe (probe=true; the caller must probeRelease() when
+// it finishes) and concurrent requests are rejected with the hint until
+// the probe's outcome decides — via recordOutcome — whether the breaker
+// resets or re-trips.
+func (s *session) breakerAdmit(now time.Time, hint time.Duration) (retryAfter time.Duration, probe, open bool) {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if now.Before(s.trippedUntil) {
+		return s.trippedUntil.Sub(now), false, true
+	}
+	if !s.tripped {
+		return 0, false, false
+	}
+	if s.probing {
+		return hint, false, true
+	}
+	s.probing = true
+	return 0, true, false
+}
+
+// probeRelease ends a half-open probe, letting the next request probe (or
+// run freely, if the probe's outcome closed the breaker). It is safe to
+// call whether or not the probe reached recordOutcome — cancelled and
+// panicked probes must release too, or the breaker would reject forever.
+func (s *session) probeRelease() {
+	s.stateMu.Lock()
+	s.probing = false
+	s.stateMu.Unlock()
+}
+
 // recordOutcome feeds one completed analysis into the breaker: an
 // engine-degraded result (fail-soft Diags, or an outright engine error)
 // counts against the session; a clean result resets it. Tripping arms a
-// cooldown during which requests are shed with 503.
+// cooldown during which requests are shed with 503. A degraded result
+// while the breaker is tripped — i.e. a failed half-open probe — re-trips
+// immediately rather than waiting for the consecutive threshold again.
 func (s *session) recordOutcome(degraded bool, now time.Time, trips int, cooldown time.Duration) {
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
 	if !degraded {
 		s.consecDegraded = 0
+		s.tripped = false
+		s.trippedUntil = time.Time{}
 		return
 	}
 	s.consecDegraded++
-	if s.consecDegraded >= trips {
+	if s.tripped || s.consecDegraded >= trips {
+		s.tripped = true
 		s.trippedUntil = now.Add(cooldown)
 	}
 }

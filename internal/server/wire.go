@@ -124,7 +124,7 @@ type ErrorBody struct {
 // ErrorInfo describes one failure.
 type ErrorInfo struct {
 	// Kind is a stable machine-readable class: bad_request, not_found,
-	// conflict, lint_rejected, overloaded, breaker_open, draining,
+	// conflict, busy, lint_rejected, overloaded, breaker_open, draining,
 	// deadline, canceled, panic, engine, session_limit.
 	Kind    string `json:"kind"`
 	Message string `json:"message"`

@@ -10,7 +10,8 @@
 //	snad serve   [-listen 127.0.0.1:8347] [-max-sessions 8]
 //	             [-max-concurrent N] [-queue N] [-max-timeout 30s]
 //	             [-drain-budget 10s] [-breaker-trips 3]
-//	             [-breaker-cooldown 10s]
+//	             [-breaker-cooldown 10s] [-data-dir DIR]
+//	             [-compact-every 64]
 //	snad create  -server URL -name S -net design.net [-spef design.spef]
 //	             [-lib lib.nlib] [-win design.win] [-mode all|timing|noise]
 //	             [-threshold 0.02] [-corr] [-noprop] [-workers N]
@@ -21,6 +22,14 @@
 //	snad list    -server URL
 //	snad delete  -server URL -name S
 //	snad health  -server URL
+//	snad recovery -server URL
+//
+// With -data-dir, session lifecycle (creates, reanalyze padding, deletes)
+// is journaled to disk before it is acknowledged and replayed on the next
+// boot: sessions survive restarts and crashes, corrupt records are
+// quarantined into DIR/quarantine with a reason instead of refusing the
+// boot, and `snad recovery` reports what the last boot restored and
+// quarantined.
 //
 // The server sheds load instead of queueing it unboundedly: past its
 // concurrency cap and bounded queue, requests get 429 with a Retry-After
@@ -58,6 +67,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/report"
 	"repro/internal/server"
 )
 
@@ -78,14 +88,14 @@ func main() {
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
-		fmt.Fprintln(stderr, "snad: a subcommand is required: serve | create | analyze | reanalyze | report | list | delete | health")
+		fmt.Fprintln(stderr, "snad: a subcommand is required: serve | create | analyze | reanalyze | report | list | delete | health | recovery")
 		return exitUsage
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "serve":
 		return runServe(ctx, rest, stdout, stderr)
-	case "create", "analyze", "reanalyze", "report", "list", "delete", "health":
+	case "create", "analyze", "reanalyze", "report", "list", "delete", "health", "recovery":
 		return runClient(ctx, cmd, rest, stdout, stderr)
 	}
 	fmt.Fprintf(stderr, "snad: unknown subcommand %q\n", cmd)
@@ -98,15 +108,18 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	fs := flag.NewFlagSet("snad serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		listen      = fs.String("listen", "127.0.0.1:8347", "listen address")
-		maxSessions = fs.Int("max-sessions", 0, "max loaded sessions; LRU-evicted past this (default 8)")
-		maxConc     = fs.Int("max-concurrent", 0, "max concurrent analyses (default GOMAXPROCS)")
-		queue       = fs.Int("queue", 0, "max queued requests past the concurrency cap (default 2x)")
-		maxTimeout  = fs.Duration("max-timeout", 0, "server-side cap on one request's analysis deadline (default 30s)")
-		drainBudget = fs.Duration("drain-budget", 10*time.Second, "grace period for in-flight work on shutdown")
-		trips       = fs.Int("breaker-trips", 0, "consecutive degraded results that trip a session breaker (default 3)")
-		cooldown    = fs.Duration("breaker-cooldown", 0, "breaker cooldown before going half-open (default 10s)")
-		quiet       = fs.Bool("quiet", false, "suppress operational logging")
+		listen       = fs.String("listen", "127.0.0.1:8347", "listen address")
+		maxSessions  = fs.Int("max-sessions", 0, "max loaded sessions; LRU-evicted past this (default 8)")
+		maxConc      = fs.Int("max-concurrent", 0, "max concurrent analyses (default GOMAXPROCS)")
+		queue        = fs.Int("queue", 0, "max queued requests past the concurrency cap (default 2x)")
+		maxTimeout   = fs.Duration("max-timeout", 0, "server-side cap on one request's analysis deadline (default 30s)")
+		drainBudget  = fs.Duration("drain-budget", 10*time.Second, "grace period for in-flight work on shutdown")
+		trips        = fs.Int("breaker-trips", 0, "consecutive degraded results that trip a session breaker (default 3)")
+		cooldown     = fs.Duration("breaker-cooldown", 0, "breaker cooldown before going half-open (default 10s)")
+		quiet        = fs.Bool("quiet", false, "suppress operational logging")
+		dataDir      = fs.String("data-dir", "", "durable session directory; empty runs memory-only")
+		compactEvery = fs.Int("compact-every", 0, "journal records between compactions (default 64)")
+		storeFaults  = fs.String("store-inject-fault", "", "inject store write-path faults, e.g. torn:append:2 (chaos testing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -117,7 +130,7 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		MaxSessions:       *maxSessions,
 		MaxConcurrent:     *maxConc,
 		QueueDepth:        *queue,
@@ -125,7 +138,17 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		BreakerTrips:      *trips,
 		BreakerCooldown:   *cooldown,
 		Logf:              logf,
+		DataDir:           *dataDir,
+		CompactEvery:      *compactEvery,
+		StoreFaultSpec:    *storeFaults,
 	})
+	if err != nil {
+		// Only a structurally unusable data directory gets here; corrupt
+		// durable state is quarantined and the server boots anyway.
+		fmt.Fprintln(stderr, "snad:", err)
+		return exitFail
+	}
+	defer srv.Close()
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(stderr, "snad:", err)
@@ -275,7 +298,9 @@ func runClient(ctx context.Context, cmd string, args []string, stdout, stderr io
 		}
 		for _, info := range infos {
 			state := "idle"
-			if info.Analyzed {
+			if !info.Loaded {
+				state = "on disk (reloads on access)"
+			} else if info.Analyzed {
 				state = fmt.Sprintf("%d victims, %d violations, %d degraded", info.Victims, info.Violations, info.DegradedNets)
 			}
 			if info.Breaker.Open {
@@ -283,6 +308,9 @@ func runClient(ctx context.Context, cmd string, args []string, stdout, stderr io
 			}
 			if info.Suspect {
 				state += " [suspect]"
+			}
+			if info.Restored {
+				state += " [restored]"
 			}
 			fmt.Fprintf(stdout, "%s: %s\n", info.Name, state)
 		}
@@ -299,6 +327,13 @@ func runClient(ctx context.Context, cmd string, args []string, stdout, stderr io
 			return fail(err)
 		}
 		fmt.Fprintf(stdout, "status=%s sessions=%d inflight=%d\n", h.Status, h.Sessions, h.Inflight)
+		return exitClean
+	case "recovery":
+		rec, err := c.Recovery(ctx)
+		if err != nil {
+			return clientFail(stderr, err)
+		}
+		report.RecoveryText(stdout, rec)
 		return exitClean
 	}
 	return exitUsage

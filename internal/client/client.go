@@ -16,6 +16,9 @@
 //	                              safe
 //	409 busy            yes       delete raced an in-flight request; the
 //	                              session quiesces shortly
+//	503 storage         yes       a journal append failed before the change
+//	                              was acknowledged; nothing was applied, so
+//	                              repeating is safe once the disk recovers
 //	409 conflict        no        the session already exists; repeating
 //	                              cannot help
 //	422 lint_rejected   no        the design is broken; fix it first
@@ -40,6 +43,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/report"
 	"repro/internal/server"
 )
 
@@ -86,7 +90,7 @@ func (e *APIError) Error() string {
 // Retryable reports whether repeating the request can succeed.
 func (e *APIError) Retryable() bool {
 	switch e.Info.Kind {
-	case "overloaded", "draining", "breaker_open", "deadline", "canceled", "busy":
+	case "overloaded", "draining", "breaker_open", "deadline", "canceled", "busy", "storage":
 		return true
 	}
 	// A 503 without a parseable body is still a capacity signal.
@@ -303,6 +307,17 @@ func (c *Client) List(ctx context.Context) ([]server.SessionInfo, error) {
 // replay, which callers can treat as success-after-retry.
 func (c *Client) Delete(ctx context.Context, name string) error {
 	return c.doRetry(ctx, "DELETE", "/v1/sessions/"+url.PathEscape(name), nil, nil, true)
+}
+
+// Recovery fetches the server's boot replay report: which sessions were
+// restored from the durable store, which records were quarantined and
+// why. A memory-only server answers 404 not_found.
+func (c *Client) Recovery(ctx context.Context) (*report.RecoveryJSON, error) {
+	var out report.RecoveryJSON
+	if err := c.doRetry(ctx, "GET", "/v1/recovery", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Health fetches liveness (200 even while draining).

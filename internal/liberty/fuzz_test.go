@@ -1,0 +1,40 @@
+package liberty
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts two invariants over arbitrary .nlib input: Parse
+// never panics (it returns a positioned "liberty:" error instead), and
+// any library it accepts survives a Write/Parse round-trip. Seeds cover
+// the generic library, a minimal hand-written cell, and past crashers
+// (table dimensions whose product overflows int).
+func FuzzParse(f *testing.F) {
+	var generic bytes.Buffer
+	if err := Write(&generic, Generic()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(generic.String())
+	f.Add("library l\nvdd 1.2\ncell c\npin a in 1e-15\npin z out\ndrive 100\nhold 200\narc a z pos\ntable delay_rise 2 2 1e-12 2e-12 1e-15 2e-15 1 2 3 4\nend\n")
+	f.Add("library l\ncell c\narc a z pos\ntable delay_rise 274177 67280421310721 1\nend\n")
+	f.Add("library l\ndefault_immunity 2 1 2 3 4\n")
+	f.Add("# comment\n\nlibrary l\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		lib, err := Parse(strings.NewReader(src))
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "liberty:") {
+				t.Fatalf("unpositioned error: %v", err)
+			}
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, lib); err != nil {
+			t.Fatalf("rendering an accepted library: %v", err)
+		}
+		if _, err := Parse(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("accepted library failed the round-trip: %v\nrendered:\n%s", err, out.Bytes())
+		}
+	})
+}

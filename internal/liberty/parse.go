@@ -182,7 +182,7 @@ func Parse(r io.Reader) (*Library, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("liberty: %w", err)
+		return nil, fmt.Errorf("liberty: line %d: %w", lineNo+1, err)
 	}
 	if lib == nil {
 		return nil, fmt.Errorf("liberty: no library line")
@@ -228,6 +228,13 @@ func parseTable(fields []string) (*Table2D, error) {
 	nl, err2 := strconv.Atoi(fields[1])
 	if err1 != nil || err2 != nil || ns < 1 || nl < 1 {
 		return nil, fmt.Errorf("bad table dimensions %q %q", fields[0], fields[1])
+	}
+	// Bound each dimension by the field count before forming ns*nl:
+	// dimensions large enough to overflow the product could wrap it into
+	// agreement with the length check below and send the slicing past the
+	// end of nums.
+	if ns > len(fields) || nl > len(fields) {
+		return nil, fmt.Errorf("table dimensions %d x %d exceed the %d values provided", ns, nl, len(fields)-2)
 	}
 	want := ns + nl + ns*nl
 	if len(fields) != 2+want {

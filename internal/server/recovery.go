@@ -1,0 +1,353 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/report"
+)
+
+// Recovery: opening a data directory replays the durable state back into
+// a Store. The state machine, in order:
+//
+//	sweep     remove stray *.tmp files (a crash between temp and rename)
+//	manifest  read the framed MANIFEST for the journal generation; a
+//	          corrupt or missing manifest falls back to the highest
+//	          journal generation on disk (quarantining the bad manifest)
+//	snapshots load every sessions/*.snap (corrupt ones quarantined)
+//	replay    apply the generation's journal records in file order on
+//	          top of the snapshots: create overwrites, padding merges
+//	          max-monotonically, delete tombstones; a torn tail is the
+//	          crash signature and is discarded after replaying everything
+//	          before it, any other corruption is quarantined
+//	compact   fold the replayed state into a fresh generation, so the
+//	          new journal never appends after a torn frame and
+//	          quarantined garbage cannot resurface on the next boot
+//
+// Nothing in this path refuses the boot: unreadable pieces are moved to
+// quarantine/ with a structured reason and the server comes up with
+// every healthy session. The one exception is the directory itself being
+// unusable (cannot create, cannot open the journal for append) — that is
+// a configuration error the operator must see, not a recovery problem.
+
+// OpenStore opens (creating if needed) the data directory, replays the
+// journal, and returns the store plus the recovery report that
+// /v1/recovery serves.
+func OpenStore(dir string, faults *storeFaultAdapter, compactEvery int, logf func(string, ...any)) (*Store, *report.RecoveryJSON, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if compactEvery <= 0 {
+		compactEvery = defaultCompactEvery
+	}
+	for _, d := range []string{dir, filepath.Join(dir, sessionsDir), filepath.Join(dir, quarantineDir)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	st := &Store{
+		dir:          dir,
+		logf:         logf,
+		specs:        make(map[string]*sessionSpec),
+		compactEvery: compactEvery,
+	}
+	if faults != nil {
+		st.hooks = faults.hooks()
+	}
+	rep := &report.RecoveryJSON{DataDir: dir}
+
+	st.sweepTempFiles()
+	gen, genOK := st.readManifest(rep)
+	st.gen = gen
+
+	restoredAt := time.Now().UTC()
+	st.loadSnapshots(rep, restoredAt)
+	st.replayJournal(rep, restoredAt)
+	st.sweepStaleJournals()
+
+	// Fold everything into a fresh generation before accepting writes:
+	// the old journal may end in a torn frame, and appending after one
+	// would shadow every later record from the next replay.
+	if err := st.compactLocked(); err != nil {
+		// Fail-soft is for corrupt *records*; being unable to write the
+		// new generation means nothing can be persisted at all.
+		return nil, nil, fmt.Errorf("store: starting generation %d: %w", gen+1, err)
+	}
+	rep.Compacted = true
+	if !genOK {
+		logf("store: manifest unreadable; recovered from journal generation %d", gen)
+	}
+
+	rep.RecoveredAt = restoredAt.Format(time.RFC3339Nano)
+	rep.Generation = st.gen
+	rep.Restored = st.Names()
+	st.quarantined = len(rep.Quarantined)
+	return st, rep, nil
+}
+
+// storeFaultAdapter narrows workload.StoreFaults (or anything shaped like
+// it) into the store's hook seam without the workload package having to
+// import server types.
+type storeFaultAdapter struct {
+	BeforeWrite  func(op string, size int) (int, error)
+	BeforeSync   func(op string) error
+	BeforeRename func(op string) error
+}
+
+func (a *storeFaultAdapter) hooks() storeHooks {
+	return storeHooks{beforeWrite: a.BeforeWrite, beforeSync: a.BeforeSync, beforeRename: a.BeforeRename}
+}
+
+// sweepTempFiles removes stranded *.tmp files — the debris of a crash
+// between an atomic write's temp file and its rename.
+func (st *Store) sweepTempFiles() {
+	for _, dir := range []string{st.dir, filepath.Join(st.dir, sessionsDir)} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".tmp") {
+				path := filepath.Join(dir, e.Name())
+				if err := os.Remove(path); err != nil {
+					st.logf("store: sweeping %s: %v", path, err)
+				} else {
+					st.logf("store: swept stranded temp file %s", path)
+				}
+			}
+		}
+	}
+}
+
+// readManifest returns the journal generation, quarantining an unreadable
+// manifest and falling back to the highest journal file present. The
+// bool reports whether the manifest itself was usable.
+func (st *Store) readManifest(rep *report.RecoveryJSON) (uint64, bool) {
+	path := filepath.Join(st.dir, manifestName)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return st.highestJournalGen(), true // fresh directory
+	}
+	if err == nil {
+		payload, ferr := readFrame(bytes.NewReader(data))
+		if ferr == nil {
+			var m manifest
+			if json.Unmarshal(payload, &m) == nil && m.Version == 1 {
+				return m.Generation, true
+			}
+			ferr = fmt.Errorf("undecodable manifest payload")
+		}
+		st.quarantineFile(rep, path, "manifest", "", ferr.Error())
+	} else {
+		st.quarantineFile(rep, path, "manifest", "", err.Error())
+	}
+	return st.highestJournalGen(), false
+}
+
+// highestJournalGen scans for journal-*.wal files and returns the highest
+// generation found (0 when none).
+func (st *Store) highestJournalGen() uint64 {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return 0
+	}
+	var best uint64
+	for _, e := range entries {
+		var gen uint64
+		if n, _ := fmt.Sscanf(e.Name(), "journal-%d.wal", &gen); n == 1 && gen > best {
+			best = gen
+		}
+	}
+	return best
+}
+
+// sweepStaleJournals removes journals of other generations — leftovers of
+// a compaction that crashed after the manifest flip.
+func (st *Store) sweepStaleJournals() {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return
+	}
+	current := journalName(st.gen)
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "journal-") && strings.HasSuffix(name, ".wal") && name != current {
+			path := filepath.Join(st.dir, name)
+			if err := os.Remove(path); err != nil {
+				st.logf("store: sweeping stale journal %s: %v", path, err)
+			} else {
+				st.logf("store: swept stale journal %s", path)
+			}
+		}
+	}
+}
+
+// loadSnapshots reads every sessions/*.snap into the spec index.
+func (st *Store) loadSnapshots(rep *report.RecoveryJSON, restoredAt time.Time) {
+	dir := filepath.Join(st.dir, sessionsDir)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		st.logf("store: reading %s: %v", dir, err)
+		return
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".snap") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			st.quarantineFile(rep, path, "snapshot", "", err.Error())
+			continue
+		}
+		payload, ferr := readFrame(bytes.NewReader(data))
+		if ferr != nil {
+			st.quarantineFile(rep, path, "snapshot", "", ferr.Error())
+			continue
+		}
+		var sp sessionSpec
+		if derr := json.Unmarshal(payload, &sp); derr != nil || sp.Create == nil || sp.Create.Name == "" {
+			reason := "snapshot names no session"
+			if derr != nil {
+				reason = fmt.Sprintf("undecodable snapshot: %v", derr)
+			}
+			st.quarantineFile(rep, path, "snapshot", "", reason)
+			continue
+		}
+		sp.restoredAt = restoredAt
+		st.specs[sp.Create.Name] = &sp
+		rep.Snapshots++
+	}
+}
+
+// replayJournal applies the active generation's records on top of the
+// snapshots.
+func (st *Store) replayJournal(rep *report.RecoveryJSON, restoredAt time.Time) {
+	path := filepath.Join(st.dir, journalName(st.gen))
+	scan, err := scanJournal(path)
+	if err != nil {
+		st.quarantineFile(rep, path, "journal", "", err.Error())
+		return
+	}
+	if scan.torn {
+		rep.TornTail = true
+		st.logf("store: journal %s ends in a torn frame (crash mid-append); tail discarded", path)
+	}
+	if scan.corrupt != "" {
+		st.quarantineBytes(rep, "journal", "", 0, nil, scan.corrupt)
+	}
+	for _, bad := range scan.badRecords {
+		st.quarantineBytes(rep, "journal", "", 0, bad.payload, bad.reason)
+	}
+	for _, rec := range scan.records {
+		if reason := st.applyRecord(rec, restoredAt); reason != "" {
+			st.quarantineBytes(rep, "journal", rec.Name, rec.Seq, mustJSON(rec), reason)
+			continue
+		}
+		if rec.Seq > st.seq {
+			st.seq = rec.Seq
+		}
+		rep.Records++
+	}
+}
+
+// applyRecord applies one replayed record to the spec index, returning a
+// quarantine reason for unreplayable records.
+func (st *Store) applyRecord(rec *record, restoredAt time.Time) string {
+	switch rec.Type {
+	case "create":
+		if rec.Create == nil || rec.Create.Name == "" {
+			return "create record without a request payload"
+		}
+		st.specs[rec.Create.Name] = &sessionSpec{Create: rec.Create, restoredAt: restoredAt}
+	case "padding":
+		sp := st.specs[rec.Name]
+		if sp == nil {
+			return fmt.Sprintf("padding for unknown session %q", rec.Name)
+		}
+		if sp.Padding == nil {
+			sp.Padding = make(map[string]float64, len(rec.Padding))
+		}
+		// Max-monotonic merge: replaying records out of compaction order
+		// (snapshot already ahead of an old record) is absorbed.
+		for net, pad := range rec.Padding {
+			if pad > sp.Padding[net] {
+				sp.Padding[net] = pad
+			}
+		}
+	case "delete":
+		if rec.Name == "" {
+			return "delete record without a session name"
+		}
+		delete(st.specs, rec.Name)
+	default:
+		return fmt.Sprintf("unknown record type %q", rec.Type)
+	}
+	return ""
+}
+
+// --- quarantine -------------------------------------------------------
+
+// quarantineFile moves an unreadable file into quarantine/ and records
+// it.
+func (st *Store) quarantineFile(rep *report.RecoveryJSON, path, source, session, reason string) {
+	dst := st.quarantinePath(filepath.Base(path))
+	if err := os.Rename(path, dst); err != nil {
+		st.logf("store: quarantining %s: %v", path, err)
+		dst = path // report where it still is
+	}
+	st.addQuarantine(rep, dst, source, session, 0, reason)
+}
+
+// quarantineBytes writes an unreplayable record's bytes into quarantine/
+// and records it. A nil payload records the event without a body (e.g. a
+// corrupt region whose bytes are unrecoverable).
+func (st *Store) quarantineBytes(rep *report.RecoveryJSON, source, session string, seq uint64, payload []byte, reason string) {
+	dst := st.quarantinePath(fmt.Sprintf("%s-gen%06d-%d.rec", source, st.gen, len(rep.Quarantined)+1))
+	if payload != nil {
+		if err := os.WriteFile(dst, payload, 0o644); err != nil {
+			st.logf("store: writing quarantine record %s: %v", dst, err)
+		}
+	}
+	st.addQuarantine(rep, dst, source, session, seq, reason)
+}
+
+func (st *Store) quarantinePath(base string) string {
+	return filepath.Join(st.dir, quarantineDir, base)
+}
+
+func (st *Store) addQuarantine(rep *report.RecoveryJSON, dst, source, session string, seq uint64, reason string) {
+	rel, err := filepath.Rel(st.dir, dst)
+	if err != nil {
+		rel = dst
+	}
+	st.logf("store: QUARANTINED %s (%s): %s", rel, source, reason)
+	rep.Quarantined = append(rep.Quarantined, report.QuarantineJSON{
+		File:    rel,
+		Source:  source,
+		Session: session,
+		Seq:     seq,
+		Reason:  reason,
+	})
+	// A sidecar reason file makes the quarantine self-describing on disk.
+	meta, merr := json.Marshal(rep.Quarantined[len(rep.Quarantined)-1])
+	if merr == nil {
+		if werr := os.WriteFile(dst+".reason.json", meta, 0o644); werr != nil {
+			st.logf("store: writing quarantine reason for %s: %v", rel, werr)
+		}
+	}
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return []byte(fmt.Sprintf("%+v", v))
+	}
+	return b
+}

@@ -30,6 +30,15 @@
 //     in-flight work finish within a budget, then cancels whatever is
 //     left through the same context plumbing. The caller (cmd/snad) maps
 //     a clean or forced drain onto the exit-code discipline.
+//
+//   - Durable sessions: with Config.DataDir set, session lifecycle events
+//     (create, cumulative reanalyze padding, delete) are journaled —
+//     fsynced and CRC-framed — before the response is acknowledged, and
+//     boot replays the journal fail-soft: corrupt records are quarantined
+//     with a reason, healthy sessions come back, and a SIGKILL at any
+//     instant never prevents the next boot (store.go, recovery.go).
+//     LRU-evicting a persisted session keeps it reloadable: a later
+//     request transparently re-materializes it from its stored sources.
 package server
 
 import (
@@ -86,6 +95,18 @@ type Config struct {
 	BreakerCooldown time.Duration
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
+
+	// DataDir enables durable sessions: lifecycle events are journaled
+	// here and replayed on boot. Empty runs memory-only (sessions die
+	// with the process), the pre-persistence behavior.
+	DataDir string
+	// CompactEvery bounds journal growth: the store folds the journal
+	// into snapshots after this many records (default 64).
+	CompactEvery int
+	// StoreFaultSpec injects faults into the store's write path (see
+	// workload.ParseStoreFaults). It exists for chaos-testing the
+	// recovery machinery; production leaves it empty.
+	StoreFaultSpec string
 
 	// now is the clock, injectable for breaker tests.
 	now func() time.Time
@@ -149,11 +170,20 @@ type Server struct {
 	sessions map[string]*session
 	lastUsed map[string]time.Time
 
+	// store is the durable session store (nil when DataDir is empty);
+	// recovery is the boot replay report /v1/recovery serves.
+	store         *Store
+	recovery      *report.RecoveryJSON
+	storeDegraded atomic.Bool
+
 	handler http.Handler
 }
 
-// New builds a Server.
-func New(cfg Config) *Server {
+// New builds a Server. It fails only when the configured data directory
+// is structurally unusable (cannot be created, journal cannot be opened
+// for append) — corrupt durable state never fails New; it is quarantined
+// and reported through /v1/recovery instead.
+func New(cfg Config) (*Server, error) {
 	cfg.fill()
 	s := &Server{
 		cfg:      cfg,
@@ -163,9 +193,30 @@ func New(cfg Config) *Server {
 		lastUsed: make(map[string]time.Time),
 	}
 	s.forceCtx, s.forceCancel = context.WithCancel(context.Background())
+	if cfg.DataDir != "" {
+		faults, err := workload.ParseStoreFaults(cfg.StoreFaultSpec)
+		if err != nil {
+			return nil, err
+		}
+		var adapter *storeFaultAdapter
+		if faults != nil {
+			adapter = &storeFaultAdapter{
+				BeforeWrite:  faults.BeforeWrite,
+				BeforeSync:   faults.BeforeSync,
+				BeforeRename: faults.BeforeRename,
+			}
+		}
+		st, rep, err := OpenStore(cfg.DataDir, adapter, cfg.CompactEvery, cfg.Logf)
+		if err != nil {
+			return nil, err
+		}
+		s.store, s.recovery = st, rep
+		s.restoreSessions()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("GET /v1/recovery", s.handleRecovery)
 	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	mux.HandleFunc("GET /v1/sessions", s.handleList)
 	mux.HandleFunc("GET /v1/sessions/{name}", s.handleInfo)
@@ -174,7 +225,87 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/sessions/{name}/reanalyze", s.handleReanalyze)
 	mux.HandleFunc("GET /v1/sessions/{name}/report", s.handleReport)
 	s.handler = s.barrier(mux)
-	return s
+	return s, nil
+}
+
+// restoreSessions eagerly re-materializes recovered sessions into memory,
+// up to the session cap; the remainder stay on disk and re-materialize
+// lazily on first access. A spec whose sources no longer build is
+// quarantined — the server still boots with every healthy session.
+func (s *Server) restoreSessions() {
+	names := s.store.Names()
+	loaded := 0
+	for _, name := range names {
+		if loaded >= s.cfg.MaxSessions {
+			s.cfg.Logf("restore: %d session(s) beyond the cap of %d stay on disk, reloadable on access", len(names)-loaded, s.cfg.MaxSessions)
+			break
+		}
+		sp := s.store.Spec(name)
+		if sp == nil {
+			continue
+		}
+		ss, einfo := s.materialize(name, sp)
+		if einfo != nil {
+			s.quarantineSpec(name, einfo.Message)
+			continue
+		}
+		if einfo := s.insert(ss); einfo != nil {
+			s.cfg.Logf("restore: %q stays on disk: %s", name, einfo.Message)
+			continue
+		}
+		loaded++
+		s.cfg.Logf("restore: session %q re-materialized from %s", name, s.cfg.DataDir)
+	}
+}
+
+// materialize builds an in-memory session from a persisted spec: the same
+// parse/lint/bind pipeline as a create, plus the restored padding, which
+// seeds the engine on first analyze (core.NewSession applies seeded
+// padding in its full analysis, and the session oracle pins that this
+// equals create-then-reanalyze).
+func (s *Server) materialize(name string, sp *sessionSpec) (*session, *ErrorInfo) {
+	ss, einfo := s.buildSession(sp.Create)
+	if einfo != nil {
+		return nil, einfo
+	}
+	ss.padding = sp.Padding
+	ss.persisted = true
+	ss.restored = true
+	if !sp.restoredAt.IsZero() {
+		ss.recoveredAt = sp.restoredAt
+	} else {
+		ss.recoveredAt = s.cfg.now()
+	}
+	return ss, nil
+}
+
+// quarantineSpec moves an unreplayable persisted session out of the
+// store: its spec bytes land in quarantine/ with the reason, a tombstone
+// is journaled so it never resurfaces, and the recovery report gains the
+// entry. The registry mutex guards the report against concurrent revives
+// and /v1/recovery reads.
+func (s *Server) quarantineSpec(name, reason string) {
+	s.cfg.Logf("restore: session %q quarantined: %s", name, reason)
+	if rep := s.store.QuarantineSpec(name, reason); rep != nil {
+		s.mu.Lock()
+		s.recovery.Quarantined = append(s.recovery.Quarantined, *rep)
+		for i, n := range s.recovery.Restored {
+			if n == name {
+				s.recovery.Restored = append(s.recovery.Restored[:i], s.recovery.Restored[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Close releases the store's journal handle. The server stays usable for
+// in-memory reads; call it after Drain.
+func (s *Server) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Close()
 }
 
 // Handler returns the service's HTTP handler.
@@ -360,9 +491,10 @@ func (s *Server) lookup(name string) *session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ss := s.sessions[name]
-	if ss != nil {
-		s.lastUsed[name] = s.cfg.now()
+	if ss == nil || ss.pending || ss.deleting {
+		return nil
 	}
+	s.lastUsed[name] = s.cfg.now()
 	return ss
 }
 
@@ -375,11 +507,78 @@ func (s *Server) retain(name string) *session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ss := s.sessions[name]
-	if ss != nil {
-		s.lastUsed[name] = s.cfg.now()
-		ss.refs++
+	if ss == nil || ss.pending || ss.deleting {
+		return nil
 	}
+	s.lastUsed[name] = s.cfg.now()
+	ss.refs++
 	return ss
+}
+
+// revive transparently re-materializes a persisted session that is not in
+// memory — LRU-evicted under pressure, or never loaded since the last
+// restart. The rebuild (parse, lint, bind) happens outside the registry
+// lock; insertion tolerates losing a race with a concurrent revive of the
+// same name. Returns (nil, nil) when the store has no such session.
+func (s *Server) revive(name string) (*session, *ErrorInfo) {
+	if s.store == nil {
+		return nil, nil
+	}
+	for {
+		sp := s.store.Spec(name)
+		if sp == nil {
+			return nil, nil
+		}
+		sp.restoredAt = time.Time{} // a revive is recovered "now", not at boot
+		ss, einfo := s.materialize(name, sp)
+		if einfo != nil {
+			s.quarantineSpec(name, einfo.Message)
+			return nil, &ErrorInfo{
+				Kind:    "unreplayable",
+				Message: fmt.Sprintf("session %q could not be re-materialized from disk and was quarantined: %s", name, einfo.Message),
+				Session: name,
+			}
+		}
+		if einfo := s.insert(ss); einfo != nil {
+			if einfo.Kind == "conflict" {
+				// A concurrent request revived it first; use theirs.
+				if cur := s.lookup(name); cur != nil {
+					return cur, nil
+				}
+				continue
+			}
+			return nil, einfo
+		}
+		// A DELETE may have tombstoned the spec between our read and the
+		// insert; honor the tombstone rather than resurrecting.
+		if s.store.Spec(name) == nil {
+			s.mu.Lock()
+			if s.sessions[name] == ss {
+				delete(s.sessions, name)
+				delete(s.lastUsed, name)
+			}
+			s.mu.Unlock()
+			return nil, nil
+		}
+		s.cfg.Logf("session %q re-materialized from disk", name)
+		return ss, nil
+	}
+}
+
+// retainOrRevive pins the named session, re-materializing it from the
+// store when it is not in memory.
+func (s *Server) retainOrRevive(name string) (*session, *ErrorInfo) {
+	if ss := s.retain(name); ss != nil {
+		return ss, nil
+	}
+	ss, einfo := s.revive(name)
+	if einfo != nil || ss == nil {
+		return nil, einfo
+	}
+	if ss = s.retain(name); ss != nil {
+		return ss, nil
+	}
+	return nil, nil
 }
 
 func (s *Server) releaseRef(ss *session) {
@@ -417,7 +616,15 @@ func (s *Server) insert(ss *session) *ErrorInfo {
 		if victim == "" {
 			return &ErrorInfo{Kind: "session_limit", Message: fmt.Sprintf("session cap %d reached and every session is busy", s.cfg.MaxSessions)}
 		}
-		s.cfg.Logf("evicting idle session %q (LRU) for %q", victim, ss.name)
+		if s.store != nil && s.sessions[victim].persisted {
+			// Eviction under persistence is memory-only: the spec stays in
+			// the store and the session re-materializes transparently on
+			// its next access (losing only warm engine state and the
+			// cached report).
+			s.cfg.Logf("evicting idle session %q (LRU, still on disk) for %q", victim, ss.name)
+		} else {
+			s.cfg.Logf("evicting idle session %q (LRU) for %q", victim, ss.name)
+		}
 		delete(s.sessions, victim)
 		delete(s.lastUsed, victim)
 	}
@@ -456,14 +663,16 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	resp := ReadyResponse{
-		Status:       "ready",
-		Inflight:     len(s.sem),
-		Queued:       int(s.queuedN.Load()),
-		Capacity:     s.cfg.MaxConcurrent,
-		QueueDepth:   s.cfg.QueueDepth,
-		Sessions:     n,
-		Shed:         s.shedN.Load(),
-		OpenBreakers: open,
+		Status:          "ready",
+		Inflight:        len(s.sem),
+		Queued:          int(s.queuedN.Load()),
+		Capacity:        s.cfg.MaxConcurrent,
+		QueueDepth:      s.cfg.QueueDepth,
+		Sessions:        n,
+		Shed:            s.shedN.Load(),
+		OpenBreakers:    open,
+		Durable:         s.store != nil,
+		StorageDegraded: s.storeDegraded.Load(),
 	}
 	if s.draining.Load() {
 		resp.Status = "draining"
@@ -471,6 +680,24 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRecovery serves the boot replay report: what was restored, what
+// was quarantined and why, and whether the journal ended in a torn tail.
+// Memory-only servers answer 404 — there is no durable state to recover.
+func (s *Server) handleRecovery(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		s.writeErr(w, http.StatusNotFound, ErrorInfo{
+			Kind: "not_found", Message: "server is running memory-only (no -data-dir); nothing to recover",
+		}, 0)
+		return
+	}
+	s.mu.Lock()
+	rep := *s.recovery
+	rep.Restored = append([]string(nil), s.recovery.Restored...)
+	rep.Quarantined = append([]report.QuarantineJSON(nil), s.recovery.Quarantined...)
+	s.mu.Unlock()
+	s.writeJSON(w, http.StatusOK, rep)
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -494,6 +721,25 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, status, *einfo, 0)
 		return
 	}
+	if s.store != nil {
+		// A persisted session that was LRU-evicted from memory still
+		// exists; its name is not reusable until it is deleted.
+		if s.store.Spec(req.Name) != nil {
+			s.writeErr(w, http.StatusConflict, ErrorInfo{
+				Kind: "conflict", Message: fmt.Sprintf("session %q already exists (persisted)", req.Name), Session: req.Name,
+			}, 0)
+			return
+		}
+		// Reserve the name first (pending sessions are invisible to
+		// lookups and pinned against eviction), then journal, then
+		// publish: the 201 is not sent until the create record is fsynced,
+		// so an acknowledged session survives a crash; and a journaling
+		// failure unwinds the reservation, so the in-memory state never
+		// runs ahead of the durable state.
+		ss.pending = true
+		ss.persisted = true
+		ss.refs = 1
+	}
 	if einfo := s.insert(ss); einfo != nil {
 		status := http.StatusConflict
 		if einfo.Kind == "session_limit" {
@@ -505,6 +751,26 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		}
 		s.writeErr(w, status, *einfo, retry)
 		return
+	}
+	if s.store != nil {
+		if err := s.store.Create(&req); err != nil {
+			s.storeDegraded.Store(true)
+			s.mu.Lock()
+			delete(s.sessions, ss.name)
+			delete(s.lastUsed, ss.name)
+			s.mu.Unlock()
+			s.cfg.Logf("session %q create not journaled, refused: %v", ss.name, err)
+			s.writeErr(w, http.StatusServiceUnavailable, ErrorInfo{
+				Kind:    "storage",
+				Message: fmt.Sprintf("session could not be journaled: %v", err),
+				Session: ss.name,
+			}, s.cfg.RetryAfter)
+			return
+		}
+		s.mu.Lock()
+		ss.pending = false
+		ss.refs--
+		s.mu.Unlock()
 	}
 	s.cfg.Logf("session %q created", ss.name)
 	s.writeJSON(w, http.StatusCreated, ss.info(s.cfg.now()))
@@ -603,20 +869,47 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		names = append(names, name)
 	}
 	infos := make([]SessionInfo, 0, len(names))
+	loaded := make(map[string]bool, len(names))
 	now := s.cfg.now()
 	for _, name := range names {
-		infos = append(infos, s.sessions[name].info(now))
+		ss := s.sessions[name]
+		loaded[name] = true
+		if ss.pending || ss.deleting {
+			// Mid-create and mid-delete sessions are invisible until their
+			// journal record lands, like they are to lookups.
+			continue
+		}
+		infos = append(infos, ss.info(now))
 	}
 	s.mu.Unlock()
+	if s.store != nil {
+		// Persisted sessions that are not in memory (LRU-evicted, or beyond
+		// the cap at boot) are still part of the session list: any request
+		// to one transparently reloads it.
+		for _, name := range s.store.Names() {
+			if !loaded[name] {
+				infos = append(infos, SessionInfo{Name: name, Persisted: true})
+			}
+		}
+	}
 	sortInfos(infos)
 	s.writeJSON(w, http.StatusOK, infos)
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	ss := s.lookup(r.PathValue("name"))
+	name := r.PathValue("name")
+	ss := s.lookup(name)
 	if ss == nil {
-		s.writeNotFound(w, r.PathValue("name"))
-		return
+		var einfo *ErrorInfo
+		ss, einfo = s.revive(name)
+		if einfo != nil {
+			s.writeErr(w, http.StatusNotFound, *einfo, 0)
+			return
+		}
+		if ss == nil {
+			s.writeNotFound(w, name)
+			return
+		}
 	}
 	s.writeJSON(w, http.StatusOK, ss.info(s.cfg.now()))
 }
@@ -624,8 +917,8 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	s.mu.Lock()
-	ss, ok := s.sessions[name]
-	if ok && ss.refs > 0 {
+	ss, inMem := s.sessions[name]
+	if inMem && (ss.refs > 0 || ss.deleting) {
 		// In-flight requests pin the session (see retain); deleting it now
 		// would let them complete against an orphaned object. Refuse and
 		// let the caller retry once the session quiesces.
@@ -635,26 +928,76 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		}, s.cfg.RetryAfter)
 		return
 	}
-	delete(s.sessions, name)
-	delete(s.lastUsed, name)
-	s.mu.Unlock()
-	if !ok {
+	// A persisted session may exist on disk only (LRU-evicted); it is
+	// deletable without reloading it.
+	persisted := s.store != nil && s.store.Spec(name) != nil
+	if !inMem && !persisted {
+		s.mu.Unlock()
 		s.writeNotFound(w, name)
 		return
 	}
+	if inMem {
+		// Block new retains/revives of the name while the tombstone is
+		// journaled outside the lock.
+		ss.deleting = true
+	}
+	s.mu.Unlock()
+
+	if persisted {
+		// The tombstone must be durable BEFORE the 200: a crash right
+		// after the reply must not resurrect the session on replay.
+		if err := s.store.Delete(name); err != nil {
+			s.storeDegraded.Store(true)
+			s.mu.Lock()
+			if inMem {
+				ss.deleting = false
+			}
+			s.mu.Unlock()
+			s.cfg.Logf("session %q delete not journaled, refused: %v", name, err)
+			s.writeErr(w, http.StatusServiceUnavailable, ErrorInfo{
+				Kind:    "storage",
+				Message: fmt.Sprintf("tombstone could not be journaled: %v", err),
+				Session: name,
+			}, s.cfg.RetryAfter)
+			return
+		}
+	}
+	s.mu.Lock()
+	if cur := s.sessions[name]; cur == ss || !inMem {
+		delete(s.sessions, name)
+		delete(s.lastUsed, name)
+	}
+	s.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	ss := s.lookup(r.PathValue("name"))
+	name := r.PathValue("name")
+	ss := s.lookup(name)
 	if ss == nil {
-		s.writeNotFound(w, r.PathValue("name"))
-		return
+		var einfo *ErrorInfo
+		ss, einfo = s.revive(name)
+		if einfo != nil {
+			s.writeErr(w, http.StatusNotFound, *einfo, 0)
+			return
+		}
+		if ss == nil {
+			s.writeNotFound(w, name)
+			return
+		}
 	}
 	body := ss.report()
 	if body == nil {
+		// The report cache is warm state, not durable state: a session
+		// re-materialized from disk has no cached analysis until the next
+		// analyze regenerates it (deterministically — the engine oracle
+		// pins scratch-vs-incremental equality).
+		msg := "session has no completed analysis yet"
+		if ss.isRestored() {
+			msg = "session was re-materialized from disk and has no cached analysis yet; POST analyze to regenerate it"
+		}
 		s.writeErr(w, http.StatusNotFound, ErrorInfo{
-			Kind: "not_found", Message: "session has no completed analysis yet", Session: ss.name,
+			Kind: "not_found", Message: msg, Session: ss.name,
 		}, 0)
 		return
 	}
@@ -709,6 +1052,13 @@ func (s *Server) handleReanalyze(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		if changed > 0 {
+			// Mirror the engine's cumulative padding (we hold the busy slot)
+			// and journal it, so a rebuild — in this process or the next —
+			// replays the session to exactly this state.
+			ss.padding = eng.Padding()
+			s.persistPadding(ss)
+		}
 		resp := &AnalyzeResponse{
 			Session:     ss.name,
 			Noise:       report.BuildJSON(res),
@@ -722,12 +1072,32 @@ func (s *Server) handleReanalyze(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// persistPadding journals a session's cumulative reanalyze padding.
+// Failure is deliberately fail-soft — unlike create and delete, the
+// client-visible operation (the analysis) already succeeded, and padding
+// is max-monotonic, so a replay missing this record merely loses a delta
+// the client can re-apply verbatim. Degrade and log instead of failing a
+// correct response.
+func (s *Server) persistPadding(ss *session) {
+	if s.store == nil || !ss.persisted {
+		return
+	}
+	if err := s.store.Padding(ss.name, ss.padding); err != nil {
+		s.storeDegraded.Store(true)
+		s.cfg.Logf("session %q padding not journaled (analysis succeeded; the delta is safely re-appliable): %v", ss.name, err)
+	}
+}
+
 // analysis is the shared harness of the two heavy endpoints: session
 // lookup, breaker check, admission, deadline plumbing, serialized engine
 // work, breaker accounting, and error mapping.
 func (s *Server) analysis(w http.ResponseWriter, r *http.Request, work func(context.Context, *session) (*AnalyzeResponse, error)) {
 	name := r.PathValue("name")
-	ss := s.retain(name)
+	ss, einfo := s.retainOrRevive(name)
+	if einfo != nil {
+		s.writeErr(w, http.StatusNotFound, *einfo, 0)
+		return
+	}
 	if ss == nil {
 		s.writeNotFound(w, name)
 		return

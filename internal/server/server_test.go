@@ -50,10 +50,25 @@ func busPayload(t *testing.T, name string, bits int, opts SessionOptions) Create
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
+}
+
+// mustNew builds a Server for tests that drive the handler directly.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
 }
 
 func do(t *testing.T, method, url string, body any) (*http.Response, []byte) {
@@ -306,7 +321,7 @@ func TestServerPanicFaultIsolation(t *testing.T) {
 // directly: a panicking handler becomes a structured 500 and the session
 // named by the route is marked suspect.
 func TestServerRecoverBarrier(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	ss := &session{name: "victim"}
 	s.sessions["victim"] = ss
 
@@ -404,7 +419,7 @@ func TestServerBreaker(t *testing.T) {
 	clock := time.Now()
 	cfg := Config{BreakerTrips: 2, BreakerCooldown: 10 * time.Second}
 	cfg.now = func() time.Time { return clock }
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	// Fail-soft (default): the injected panic degrades one net per run,
@@ -466,7 +481,7 @@ func TestServerLRUEviction(t *testing.T) {
 	clock := time.Now()
 	cfg := Config{MaxSessions: 2}
 	cfg.now = func() time.Time { clock = clock.Add(time.Second); return clock }
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -493,7 +508,7 @@ func TestServerLRUEviction(t *testing.T) {
 // every loaded session has requests in flight, a create is shed, not
 // blocked.
 func TestServerSessionLimitBusy(t *testing.T) {
-	s := New(Config{MaxSessions: 1})
+	s := mustNew(t, Config{MaxSessions: 1})
 	if einfo := s.insert(&session{name: "busy"}); einfo != nil {
 		t.Fatalf("insert: %+v", einfo)
 	}
@@ -539,7 +554,7 @@ func TestServerDeleteBusySession(t *testing.T) {
 // the session's busy slot on the way out, or every later request to the
 // session would block forever waiting for it.
 func TestServerAnalysisPanicReleasesSession(t *testing.T) {
-	s := New(Config{MaxRequestTimeout: 100 * time.Millisecond})
+	s := mustNew(t, Config{MaxRequestTimeout: 100 * time.Millisecond})
 	if einfo := s.insert(&session{name: "p"}); einfo != nil {
 		t.Fatalf("insert: %+v", einfo)
 	}

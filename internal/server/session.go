@@ -27,6 +27,29 @@ type session struct {
 	b    *bind.Design
 	opts core.Options
 
+	// padding is the cumulative per-net window padding every reanalyze has
+	// applied, mirrored from the engine after each successful delta. It is
+	// what the durable store journals, and what re-seeds the engine when a
+	// restored or re-materialized session rebuilds (guarded by busy, like
+	// the engine it mirrors).
+	padding map[string]float64
+
+	// persisted marks a session backed by the durable store: evicting it
+	// only drops the in-memory copy, and deleting it requires a journaled
+	// tombstone. restored/recoveredAt report that this in-memory object was
+	// rebuilt from disk (at boot or on a lazy revive) rather than created
+	// by a client in this process's lifetime.
+	persisted   bool
+	restored    bool
+	recoveredAt time.Time
+
+	// pending hides a session whose create record is being journaled;
+	// deleting hides one whose tombstone is. Both are guarded by the
+	// server's registry mutex and make the session invisible to lookups
+	// while durable state catches up with in-memory state.
+	pending  bool
+	deleting bool
+
 	// busy serializes engine work on this session; see the type comment.
 	busy chan struct{}
 
@@ -80,18 +103,36 @@ func (s *session) release() { <-s.busy }
 // ensureEngine returns the session's persistent analyzer, building (or
 // rebuilding, after a broken update) it with a full analysis. Callers hold
 // the busy slot. The returned bool reports whether a rebuild happened.
+//
+// The rebuild seeds the engine with the session's cumulative padding, so a
+// session restored from the durable store — or rebuilt after a broken
+// incremental update — lands on exactly the state its reanalyze history
+// reached: core.NewSession applies seeded padding inside its full
+// analysis, and the engine oracle pins that this equals applying the same
+// deltas incrementally.
 func (s *session) ensureEngine(ctx context.Context) (*core.Session, bool, error) {
 	if s.eng != nil && s.eng.Err() == nil {
 		return s.eng, false, nil
 	}
 	s.eng = nil // drop broken state before the rebuild
-	eng, err := core.NewSession(ctx, s.b, s.opts)
+	opts := s.opts
+	if len(s.padding) > 0 {
+		seed := make(map[string]float64, len(s.padding))
+		for net, pad := range s.padding {
+			seed[net] = pad
+		}
+		opts.STA.WindowPadding = seed
+	}
+	eng, err := core.NewSession(ctx, s.b, opts)
 	if err != nil {
 		return nil, true, err
 	}
 	s.eng = eng
 	return eng, true, nil
 }
+
+// isRestored reports that the session was rebuilt from the durable store.
+func (s *session) isRestored() bool { return s.restored }
 
 // markSuspect records a handler-level panic against the session.
 func (s *session) markSuspect() {
@@ -196,7 +237,7 @@ func (s *session) info(now time.Time) SessionInfo {
 		bi.Open = true
 		bi.RetryAfterS = s.trippedUntil.Sub(now).Seconds()
 	}
-	return SessionInfo{
+	info := SessionInfo{
 		Name:         s.name,
 		Analyzed:     s.analyzed,
 		Suspect:      s.suspect,
@@ -204,5 +245,12 @@ func (s *session) info(now time.Time) SessionInfo {
 		Victims:      s.victims,
 		Violations:   s.violations,
 		DegradedNets: s.degradedNets,
+		Persisted:    s.persisted,
+		Loaded:       true,
+		Restored:     s.restored,
 	}
+	if s.restored && !s.recoveredAt.IsZero() {
+		info.RecoveredAt = s.recoveredAt.UTC().Format(time.RFC3339Nano)
+	}
+	return info
 }

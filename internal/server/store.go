@@ -1,0 +1,459 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/report"
+)
+
+// Store is the durable session store: an append-only write-ahead journal
+// of session lifecycle events plus per-session snapshot files, under one
+// data directory. Its contract to the server:
+//
+//   - An acknowledged Create/Delete/Padding is durable: the record is
+//     framed (length + CRC32), appended, and fsynced before the call
+//     returns, so a crash immediately after cannot lose (or, for Delete,
+//     resurrect) the session.
+//
+//   - Every multi-byte file replacement (snapshots, the manifest) is
+//     atomic: written to a temp file, fsynced, renamed into place, and
+//     the directory fsynced. A crash at any instant leaves either the
+//     old file or the new one, never a hybrid; stray temp files are
+//     swept on boot.
+//
+//   - Recovery is fail-soft: a corrupt or unreplayable record is moved
+//     to quarantine/ with a structured reason and the boot continues
+//     with every healthy session (see recovery.go).
+//
+// Layout of the data directory:
+//
+//	MANIFEST            framed JSON {version, generation}
+//	journal-NNNNNN.wal  the active journal for generation NNNNNN
+//	sessions/HASH.snap  framed JSON snapshot per persisted session
+//	quarantine/*        unreplayable records/files + reasons
+//
+// Compaction folds the journal into snapshots: every live session is
+// snapshotted, stale snapshots of deleted sessions are removed, a fresh
+// empty journal for generation+1 is created, and the manifest flips to
+// the new generation — in that order, so a crash at any point between
+// steps replays to the same state from either generation.
+//
+// Store methods are safe for concurrent use. The in-memory spec index
+// mirrors the durable state so the server can list and lazily
+// re-materialize persisted sessions (including ones LRU-evicted from
+// memory) without touching disk on the read path.
+type Store struct {
+	dir   string
+	logf  func(format string, args ...any)
+	hooks storeHooks
+
+	mu      sync.Mutex
+	journal *journalWriter
+	gen     uint64
+	seq     uint64
+	specs   map[string]*sessionSpec
+	// recordsSinceCompact triggers background-free compaction once the
+	// journal accumulates compactEvery records.
+	recordsSinceCompact int
+	compactEvery        int
+	quarantined         int
+}
+
+// sessionSpec is everything needed to re-materialize one session: the
+// original create request and the cumulative window padding applied
+// since.
+type sessionSpec struct {
+	Create  *CreateSessionRequest `json:"create"`
+	Padding map[string]float64    `json:"padding,omitempty"`
+	// restoredAt is the boot instant the spec was recovered from disk;
+	// zero for specs created in this process's lifetime.
+	restoredAt time.Time
+}
+
+func (sp *sessionSpec) clone() *sessionSpec {
+	out := &sessionSpec{Create: sp.Create, restoredAt: sp.restoredAt}
+	if len(sp.Padding) > 0 {
+		out.Padding = make(map[string]float64, len(sp.Padding))
+		for k, v := range sp.Padding {
+			out.Padding[k] = v
+		}
+	}
+	return out
+}
+
+// storeHooks is the write-path fault-injection seam. The fields match
+// workload.StoreFaults' methods; production stores leave them nil.
+type storeHooks struct {
+	// beforeWrite may truncate the write to its returned length (torn
+	// write) and/or fail it. op is "append" or "write".
+	beforeWrite func(op string, size int) (int, error)
+	// beforeSync may fail the fsync that follows a write.
+	beforeSync func(op string) error
+	// beforeRename may fail between an atomic write's temp file and its
+	// rename, stranding the temp file exactly as a crash would.
+	beforeRename func(op string) error
+}
+
+// manifest is the framed JSON of the MANIFEST file.
+type manifest struct {
+	Version    int    `json:"version"`
+	Generation uint64 `json:"generation"`
+}
+
+const (
+	manifestName  = "MANIFEST"
+	sessionsDir   = "sessions"
+	quarantineDir = "quarantine"
+	// defaultCompactEvery bounds journal growth: one compaction per this
+	// many appended records.
+	defaultCompactEvery = 64
+)
+
+func journalName(gen uint64) string { return fmt.Sprintf("journal-%06d.wal", gen) }
+
+// snapName maps a session name to its snapshot filename. Session names
+// are client-chosen free text, so the filename is a truncated SHA-256 —
+// fixed length, collision-resistant, and immune to path tricks; the real
+// name lives inside the snapshot payload.
+func snapName(name string) string {
+	sum := sha256.Sum256([]byte(name))
+	return hex.EncodeToString(sum[:16]) + ".snap"
+}
+
+// writeFileAtomic lands data at path through the temp+fsync+rename+dirsync
+// discipline, with the fault hooks at each stage.
+func (st *Store) writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	keep := len(data)
+	var ferr error
+	if st.hooks.beforeWrite != nil {
+		keep, ferr = st.hooks.beforeWrite("write", len(data))
+		if keep > len(data) {
+			keep = len(data)
+		}
+	}
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if keep > 0 {
+		if _, werr := f.Write(data[:keep]); werr != nil {
+			f.Close()
+			return werr
+		}
+	}
+	if ferr != nil {
+		f.Close()
+		return ferr
+	}
+	if st.hooks.beforeSync != nil {
+		if err := st.hooks.beforeSync("write"); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if st.hooks.beforeRename != nil {
+		if err := st.hooks.beforeRename("write"); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a rename or unlink inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// --- lifecycle events -------------------------------------------------
+
+// appendLocked journals one record; callers hold st.mu. On success the
+// in-memory effects have NOT been applied — callers apply them after, so
+// a journaling failure leaves the index matching the durable state.
+func (st *Store) appendLocked(typ, name string, create *CreateSessionRequest, padding map[string]float64) error {
+	st.seq++
+	rec := &record{
+		Seq:     st.seq,
+		Type:    typ,
+		Name:    name,
+		Create:  create,
+		Padding: padding,
+		Time:    time.Now().UTC().Format(time.RFC3339Nano),
+	}
+	if err := st.journal.append(rec); err != nil {
+		// The tail may now hold a torn frame. Sequence numbers must not
+		// be reused (replay treats non-monotonic seq as corruption), so
+		// the burned seq stays burned.
+		return err
+	}
+	st.recordsSinceCompact++
+	return nil
+}
+
+// Create durably records a session creation. It must succeed before the
+// server acknowledges the create: an acknowledged session survives a
+// crash.
+func (st *Store) Create(req *CreateSessionRequest) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := st.appendLocked("create", req.Name, req, nil); err != nil {
+		return err
+	}
+	st.specs[req.Name] = &sessionSpec{Create: req}
+	st.maybeCompactLocked()
+	return nil
+}
+
+// Delete durably records a session tombstone. It must succeed before the
+// server acknowledges the delete: a crash right after the 200 must not
+// resurrect the session on replay. The snapshot file (if any) is removed
+// after the tombstone lands; if that removal is lost to a crash, the
+// replayed tombstone still wins.
+func (st *Store) Delete(name string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := st.appendLocked("delete", name, nil, nil); err != nil {
+		return err
+	}
+	delete(st.specs, name)
+	snap := filepath.Join(st.dir, sessionsDir, snapName(name))
+	if err := os.Remove(snap); err != nil && !os.IsNotExist(err) {
+		st.logf("store: removing snapshot of deleted %q: %v (tombstone journaled; compaction will finish the cleanup)", name, err)
+	}
+	st.maybeCompactLocked()
+	return nil
+}
+
+// Padding durably records the session's cumulative window padding.
+// Padding is max-monotonic, so the journal carries the full cumulative
+// map — replaying any prefix of padding records yields a state the next
+// record absorbs.
+func (st *Store) Padding(name string, padding map[string]float64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sp := st.specs[name]
+	if sp == nil {
+		return fmt.Errorf("store: padding for unknown session %q", name)
+	}
+	cp := make(map[string]float64, len(padding))
+	for k, v := range padding {
+		cp[k] = v
+	}
+	if err := st.appendLocked("padding", name, nil, cp); err != nil {
+		return err
+	}
+	sp.Padding = cp
+	st.maybeCompactLocked()
+	return nil
+}
+
+// Spec returns a copy of the persisted spec for name, or nil. The server
+// uses it to lazily re-materialize sessions that were LRU-evicted from
+// memory (or never loaded after a restart).
+func (st *Store) Spec(name string) *sessionSpec {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sp := st.specs[name]
+	if sp == nil {
+		return nil
+	}
+	return sp.clone()
+}
+
+// Names returns the sorted names of every persisted session.
+func (st *Store) Names() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]string, 0, len(st.specs))
+	for name := range st.specs {
+		out = append(out, name)
+	}
+	sortStrings(out)
+	return out
+}
+
+// QuarantineSpec removes a persisted session whose spec cannot be
+// re-materialized (sources no longer build — disk rot inside a CRC-valid
+// record, or format skew): the spec bytes move to quarantine/ with a
+// reason sidecar and a tombstone is journaled so it never resurfaces.
+// It returns the report entry, or nil when the name is unknown.
+func (st *Store) QuarantineSpec(name, reason string) *report.QuarantineJSON {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sp := st.specs[name]
+	if sp == nil {
+		return nil
+	}
+	dst := st.quarantinePath(snapName(name) + ".spec")
+	if payload, err := json.Marshal(sp); err == nil {
+		if werr := os.WriteFile(dst, payload, 0o644); werr != nil {
+			st.logf("store: writing quarantined spec %s: %v", dst, werr)
+		}
+	}
+	if err := st.appendLocked("delete", name, nil, nil); err != nil {
+		st.logf("store: journaling quarantine tombstone for %q: %v", name, err)
+	}
+	delete(st.specs, name)
+	if err := os.Remove(filepath.Join(st.dir, sessionsDir, snapName(name))); err != nil && !os.IsNotExist(err) {
+		st.logf("store: removing quarantined snapshot of %q: %v", name, err)
+	}
+	rel, err := filepath.Rel(st.dir, dst)
+	if err != nil {
+		rel = dst
+	}
+	entry := &report.QuarantineJSON{File: rel, Source: "snapshot", Session: name, Reason: reason}
+	if meta, err := json.Marshal(entry); err == nil {
+		if werr := os.WriteFile(dst+".reason.json", meta, 0o644); werr != nil {
+			st.logf("store: writing quarantine reason for %q: %v", name, werr)
+		}
+	}
+	st.quarantined++
+	return entry
+}
+
+// Close flushes nothing (appends are already fsynced) and releases the
+// journal file.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.journal == nil {
+		return nil
+	}
+	err := st.journal.close()
+	st.journal = nil
+	return err
+}
+
+// --- compaction -------------------------------------------------------
+
+// maybeCompactLocked compacts when the journal has accumulated enough
+// records; a failure is logged and retried after the next append —
+// compaction is an optimization, not a durability requirement.
+func (st *Store) maybeCompactLocked() {
+	if st.recordsSinceCompact < st.compactEvery {
+		return
+	}
+	if err := st.compactLocked(); err != nil {
+		st.logf("store: compaction failed (will retry): %v", err)
+	}
+}
+
+// compactLocked folds the journal into snapshots and starts a fresh
+// generation. Ordering is the crash-safety argument:
+//
+//  1. snapshot every live session (atomic replaces)
+//  2. remove snapshots of sessions that no longer exist — before the
+//     manifest flips, while the old journal's tombstones still replay
+//  3. create + fsync the new empty journal
+//  4. flip the manifest (atomic replace) — the commit point
+//  5. remove the old journal
+//
+// A crash before 4 recovers from the old generation (snapshots are
+// absorbed by replay because creates overwrite and padding is
+// max-monotonic); a crash after 4 recovers from the new generation's
+// snapshots alone.
+func (st *Store) compactLocked() error {
+	for name, sp := range st.specs {
+		if err := st.writeSnapshotLocked(name, sp); err != nil {
+			return fmt.Errorf("snapshotting %q: %w", name, err)
+		}
+	}
+	entries, err := os.ReadDir(filepath.Join(st.dir, sessionsDir))
+	if err != nil {
+		return err
+	}
+	live := make(map[string]bool, len(st.specs))
+	for name := range st.specs {
+		live[snapName(name)] = true
+	}
+	for _, e := range entries {
+		if name := e.Name(); strings.HasSuffix(name, ".snap") && !live[name] {
+			if err := os.Remove(filepath.Join(st.dir, sessionsDir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := syncDir(filepath.Join(st.dir, sessionsDir)); err != nil {
+		return err
+	}
+
+	newGen := st.gen + 1
+	nj, err := openJournalWriter(filepath.Join(st.dir, journalName(newGen)), st.hooks)
+	if err != nil {
+		return err
+	}
+	if err := nj.f.Sync(); err != nil {
+		nj.close()
+		return err
+	}
+	if err := st.writeManifestLocked(newGen); err != nil {
+		nj.close()
+		// The new journal file is harmless: boot ignores journals of
+		// other generations and sweeps them.
+		return err
+	}
+	old := st.journal
+	st.journal, st.gen, st.seq = nj, newGen, 0
+	st.recordsSinceCompact = 0
+	if old != nil {
+		oldPath := old.path
+		old.close()
+		if err := os.Remove(oldPath); err != nil && !os.IsNotExist(err) {
+			st.logf("store: removing compacted journal %s: %v", oldPath, err)
+		}
+	}
+	if err := syncDir(st.dir); err != nil {
+		st.logf("store: syncing data dir after compaction: %v", err)
+	}
+	return nil
+}
+
+func (st *Store) writeSnapshotLocked(name string, sp *sessionSpec) error {
+	payload, err := json.Marshal(sp)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(st.dir, sessionsDir, snapName(name))
+	return st.writeFileAtomic(path, frame(payload))
+}
+
+func (st *Store) writeManifestLocked(gen uint64) error {
+	payload, err := json.Marshal(manifest{Version: 1, Generation: gen})
+	if err != nil {
+		return err
+	}
+	return st.writeFileAtomic(filepath.Join(st.dir, manifestName), frame(payload))
+}
+
+// sortStrings is a tiny insertion sort, matching sortInfos' dependency
+// discipline (stdlib-only, no sort import for two call sites).
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,434 @@
+package server
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// openTestStore opens a store on dir with an optional fault spec,
+// failing the test on the structurally-unusable-directory path.
+func openTestStore(t *testing.T, dir, faultSpec string) (*Store, *report.RecoveryJSON) {
+	t.Helper()
+	var adapter *storeFaultAdapter
+	if faultSpec != "" {
+		faults, err := workload.ParseStoreFaults(faultSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adapter = &storeFaultAdapter{
+			BeforeWrite:  faults.BeforeWrite,
+			BeforeSync:   faults.BeforeSync,
+			BeforeRename: faults.BeforeRename,
+		}
+	}
+	st, rep, err := OpenStore(dir, adapter, 0, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st, rep
+}
+
+func storeCreate(t *testing.T, st *Store, name string) {
+	t.Helper()
+	if err := st.Create(&CreateSessionRequest{Name: name, Netlist: "module " + name + "\n"}); err != nil {
+		t.Fatalf("create %s: %v", name, err)
+	}
+}
+
+func wantNames(t *testing.T, st *Store, want ...string) {
+	t.Helper()
+	got := st.Names()
+	if len(got) != len(want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestStoreRoundtrip: acknowledged lifecycle events survive a close and
+// reopen — creates come back with their payload and padding, deletes
+// stay deleted.
+func TestStoreRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openTestStore(t, dir, "")
+	storeCreate(t, st, "a")
+	storeCreate(t, st, "b")
+	storeCreate(t, st, "c")
+	if err := st.Padding("b", map[string]float64{"n1": 3e-12, "n2": 5e-12}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete("c"); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, rep := openTestStore(t, dir, "")
+	wantNames(t, st2, "a", "b")
+	if len(rep.Quarantined) != 0 {
+		t.Fatalf("clean reopen quarantined %v", rep.Quarantined)
+	}
+	sp := st2.Spec("b")
+	if sp == nil || sp.Create.Netlist != "module b\n" {
+		t.Fatalf("spec b = %+v", sp)
+	}
+	if sp.Padding["n1"] != 3e-12 || sp.Padding["n2"] != 5e-12 {
+		t.Fatalf("padding = %v", sp.Padding)
+	}
+	if st2.Spec("c") != nil {
+		t.Fatal("deleted session resurrected")
+	}
+}
+
+// TestStoreCompaction: the journal folds into snapshots and a fresh
+// generation without changing the recovered state, and stale journals
+// disappear.
+func TestStoreCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := OpenStore(dir, nil, 2, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b", "c", "d", "e"} {
+		storeCreate(t, st, name)
+	}
+	if err := st.Delete("d"); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	journals := 0
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".wal") {
+			journals++
+		}
+	}
+	if journals != 1 {
+		t.Fatalf("%d journal files after compaction, want 1", journals)
+	}
+
+	st2, rep := openTestStore(t, dir, "")
+	wantNames(t, st2, "a", "b", "c", "e")
+	if rep.Snapshots == 0 {
+		t.Fatal("no snapshots were loaded after compaction")
+	}
+	if !rep.Compacted {
+		t.Fatal("boot did not compact")
+	}
+}
+
+// TestStoreFailedAppendKeepsTailReplayable is the regression test for the
+// torn-tail repair: an append that fails mid-frame must not hide later,
+// successfully acknowledged records from replay.
+func TestStoreFailedAppendKeepsTailReplayable(t *testing.T) {
+	for _, spec := range []string{"torn:append:2", "enospc:append:2", "syncerr:append:2"} {
+		t.Run(spec, func(t *testing.T) {
+			dir := t.TempDir()
+			st, _ := openTestStore(t, dir, spec)
+			storeCreate(t, st, "a")
+			if err := st.Create(&CreateSessionRequest{Name: "b", Netlist: "module b\n"}); err == nil {
+				t.Fatal("injected fault did not fail the create")
+			}
+			// The failed create must not be acknowledged in memory either.
+			if st.Spec("b") != nil {
+				t.Fatal("failed create landed in the spec index")
+			}
+			// Later creates append after the repaired tail.
+			storeCreate(t, st, "c")
+			// Crash (no Close): reopen replays.
+			st2, _ := openTestStore(t, dir, "")
+			wantNames(t, st2, "a", "c")
+		})
+	}
+}
+
+// TestStoreCrashAfterTornAppend: a torn frame at the very tail (crash
+// mid-append, no repair ran) is the expected crash signature — replay
+// keeps everything before it and boots.
+func TestStoreCrashAfterTornAppend(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openTestStore(t, dir, "")
+	storeCreate(t, st, "a")
+	storeCreate(t, st, "b")
+	st.Close()
+	// Simulate the crash: chop the tail of the last appended frame (b's).
+	path := activeJournal(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < frameHeaderLen+2 {
+		t.Fatalf("journal too short to tear: %d bytes", len(data))
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st3, rep := openTestStore(t, dir, "")
+	if !rep.TornTail {
+		t.Fatal("torn tail not reported")
+	}
+	// b's record was the torn one; a survives.
+	wantNames(t, st3, "a")
+	if len(rep.Quarantined) != 0 {
+		t.Fatalf("a torn tail is a crash signature, not corruption: %v", rep.Quarantined)
+	}
+}
+
+// activeJournal finds the single journal file on disk without reopening
+// the store (an open would compact and empty it).
+func activeJournal(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".wal") {
+			if found != "" {
+				t.Fatalf("multiple journals: %s and %s", found, e.Name())
+			}
+			found = filepath.Join(dir, e.Name())
+		}
+	}
+	if found == "" {
+		t.Fatal("no journal file on disk")
+	}
+	return found
+}
+
+// TestStoreCrashBetweenTempAndRename: a stranded snapshot temp file (the
+// crash-between-temp-and-rename window) is swept on boot, and the state
+// recovers from the journal.
+func TestStoreCrashBetweenTempAndRename(t *testing.T) {
+	dir := t.TempDir()
+	// compactEvery=1 compacts after the first create; the crashrename
+	// fault fails that compaction's snapshot write after the temp file is
+	// fully on disk (write #1 is the boot compaction's manifest, #2 the
+	// snapshot).
+	var adapter *storeFaultAdapter
+	faults, err := workload.ParseStoreFaults("crashrename:write:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapter = &storeFaultAdapter{BeforeWrite: faults.BeforeWrite, BeforeSync: faults.BeforeSync, BeforeRename: faults.BeforeRename}
+	st, _, err := OpenStore(dir, adapter, 1, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The create itself succeeds — compaction is an optimization and its
+	// failure must not fail the lifecycle event.
+	storeCreate(t, st, "a")
+	stranded := 0
+	entries, err := os.ReadDir(filepath.Join(dir, sessionsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			stranded++
+		}
+	}
+	if stranded == 0 {
+		t.Fatal("crashrename did not strand a temp file")
+	}
+	// Crash; reopen without faults.
+	st2, _ := openTestStore(t, dir, "")
+	wantNames(t, st2, "a")
+	entries, err = os.ReadDir(filepath.Join(dir, sessionsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("stranded temp file %s survived the boot sweep", e.Name())
+		}
+	}
+}
+
+// TestStoreJournalCorruptionQuarantined: a CRC mismatch in the middle of
+// the journal (bit rot, not a crash) quarantines the unreadable region
+// with a reason instead of refusing the boot; records before it replay.
+func TestStoreJournalCorruptionQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openTestStore(t, dir, "")
+	storeCreate(t, st, "a")
+	storeCreate(t, st, "b")
+	st.Close()
+
+	path := activeJournal(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte inside the second frame: the first frame's
+	// length names the boundary.
+	n1 := binary.LittleEndian.Uint32(data[0:4])
+	off := int(frameHeaderLen+n1) + frameHeaderLen + 2
+	if off >= len(data) {
+		t.Fatalf("journal layout: %d bytes, second payload at %d", len(data), off)
+	}
+	data[off] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rep := openTestStore(t, dir, "")
+	wantNames(t, st2, "a")
+	if len(rep.Quarantined) == 0 {
+		t.Fatal("corruption was not quarantined")
+	}
+	found := false
+	for _, q := range rep.Quarantined {
+		if q.Source == "journal" && strings.Contains(q.Reason, "CRC") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no CRC quarantine entry: %+v", rep.Quarantined)
+	}
+	// The boot compaction folds the healthy state into a new generation:
+	// the next boot is clean.
+	st2.Close()
+	st3, rep3 := openTestStore(t, dir, "")
+	wantNames(t, st3, "a")
+	if len(rep3.Quarantined) != 0 {
+		t.Fatalf("quarantined garbage resurfaced: %+v", rep3.Quarantined)
+	}
+}
+
+// TestStoreSnapshotCorruptionQuarantined: one rotten snapshot loses one
+// session — with a quarantine trail — not the directory.
+func TestStoreSnapshotCorruptionQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := OpenStore(dir, nil, 1, t.Logf) // compact after every record
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeCreate(t, st, "healthy")
+	storeCreate(t, st, "rotten")
+	st.Close()
+
+	snap := filepath.Join(dir, sessionsDir, snapName("rotten"))
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rep := openTestStore(t, dir, "")
+	wantNames(t, st2, "healthy")
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0].Source != "snapshot" {
+		t.Fatalf("quarantine = %+v", rep.Quarantined)
+	}
+	// The quarantined bytes and their reason sidecar are on disk for the
+	// operator.
+	qfile := filepath.Join(dir, rep.Quarantined[0].File)
+	if _, err := os.Stat(qfile); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	if _, err := os.Stat(qfile + ".reason.json"); err != nil {
+		t.Fatalf("quarantine reason sidecar missing: %v", err)
+	}
+}
+
+// TestStoreManifestCorruptionFallsBack: an unreadable manifest is
+// quarantined and the generation is recovered from the journal files on
+// disk.
+func TestStoreManifestCorruptionFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openTestStore(t, dir, "")
+	storeCreate(t, st, "a")
+	st.Close()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("not a manifest"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, rep := openTestStore(t, dir, "")
+	wantNames(t, st2, "a")
+	found := false
+	for _, q := range rep.Quarantined {
+		if q.Source == "manifest" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("manifest corruption not quarantined: %+v", rep.Quarantined)
+	}
+}
+
+// TestStoreTombstoneOutlivesLostUnlink: a delete whose snapshot unlink is
+// lost to a crash still deletes — the replayed tombstone beats the stale
+// snapshot.
+func TestStoreTombstoneOutlivesLostUnlink(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := OpenStore(dir, nil, 1, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeCreate(t, st, "a") // compacted: snapshot on disk
+	st.Close()
+	snap := filepath.Join(dir, sessionsDir, snapName("a"))
+	saved, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with compaction disabled-ish (large interval) so the
+	// tombstone stays in the journal, delete, then "crash" and undo the
+	// snapshot unlink as a crash would.
+	st2, _, err := OpenStore(dir, nil, 1000, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	if err := os.WriteFile(snap, saved, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st3, _ := openTestStore(t, dir, "")
+	if st3.Spec("a") != nil {
+		t.Fatal("tombstoned session resurrected from a stale snapshot")
+	}
+}
+
+// TestStoreQuarantineSpec: quarantining an unreplayable spec tombstones
+// it durably and leaves the bytes + reason in quarantine/.
+func TestStoreQuarantineSpec(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openTestStore(t, dir, "")
+	storeCreate(t, st, "bad")
+	entry := st.QuarantineSpec("bad", "sources no longer build")
+	if entry == nil || entry.Session != "bad" {
+		t.Fatalf("entry = %+v", entry)
+	}
+	if st.Spec("bad") != nil {
+		t.Fatal("quarantined spec still listed")
+	}
+	st.Close()
+	st2, _ := openTestStore(t, dir, "")
+	if st2.Spec("bad") != nil {
+		t.Fatal("quarantined spec resurrected on reboot")
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, snapName("bad")+".spec")); err != nil {
+		t.Fatalf("quarantined spec bytes missing: %v", err)
+	}
+}

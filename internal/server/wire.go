@@ -63,6 +63,19 @@ type SessionInfo struct {
 	Victims      int `json:"victims"`
 	Violations   int `json:"violations"`
 	DegradedNets int `json:"degradedNets"`
+	// Persisted marks a session backed by the durable store: it survives
+	// restarts and LRU eviction only unloads it from memory.
+	Persisted bool `json:"persisted,omitempty"`
+	// Loaded reports whether the session is materialized in memory. A
+	// persisted session can be on disk only (LRU-evicted or beyond the
+	// session cap at boot); any request to it transparently reloads it.
+	Loaded bool `json:"loaded"`
+	// Restored marks an in-memory session that was rebuilt from the
+	// durable store — at boot, or lazily on access — rather than created
+	// by a client since this process started; RecoveredAt (RFC3339) is
+	// when the rebuild happened.
+	Restored    bool   `json:"restored,omitempty"`
+	RecoveredAt string `json:"recoveredAt,omitempty"`
 }
 
 // BreakerInfo reports a session circuit breaker.
@@ -125,7 +138,9 @@ type ErrorBody struct {
 type ErrorInfo struct {
 	// Kind is a stable machine-readable class: bad_request, not_found,
 	// conflict, busy, lint_rejected, overloaded, breaker_open, draining,
-	// deadline, canceled, panic, engine, session_limit.
+	// deadline, canceled, panic, engine, session_limit, storage (a
+	// lifecycle change could not be journaled; retryable), unreplayable (a
+	// persisted session failed to re-materialize and was quarantined).
 	Kind    string `json:"kind"`
 	Message string `json:"message"`
 	Session string `json:"session,omitempty"`
@@ -158,4 +173,10 @@ type ReadyResponse struct {
 	Shed int64 `json:"shed"`
 	// OpenBreakers lists sessions whose breaker is currently open.
 	OpenBreakers []string `json:"openBreakers,omitempty"`
+	// Durable reports that the server runs with a data directory;
+	// StorageDegraded that at least one journal append has failed since
+	// startup (lifecycle changes may be refused with 503 storage until the
+	// disk recovers — analysis of loaded sessions keeps working).
+	Durable         bool `json:"durable,omitempty"`
+	StorageDegraded bool `json:"storageDegraded,omitempty"`
 }

@@ -1,0 +1,41 @@
+package sta
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// FuzzParseInputTiming asserts ParseInputTiming never panics on
+// arbitrary .win input (errors are positioned "sta:" errors) and that
+// any timing map it accepts survives a WriteInputTiming round-trip.
+// Seeds cover the repo's example bus, infinite bounds, multi-window
+// sets, and a past crasher (NaN bounds defeat the inverted-window check
+// and used to reach interval.New's NaN panic).
+func FuzzParseInputTiming(f *testing.F) {
+	if seed, err := os.ReadFile("../../testdata/bus4.win"); err == nil {
+		f.Add(string(seed))
+	}
+	f.Add("input a - - 0 0\n")
+	f.Add("input a -inf:+inf 0:1 1e-12 2e-12\n")
+	f.Add("input a 0:4e-11,6e-10:6.4e-10 - 2e-11 3e-11\n")
+	f.Add("input a NaN:1 - 0 0\n")
+	f.Add("# comment\n\ninput a 0:1 0:1 0 NaN\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ParseInputTiming(strings.NewReader(src))
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "sta:") {
+				t.Fatalf("unpositioned error: %v", err)
+			}
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteInputTiming(&out, m); err != nil {
+			t.Fatalf("rendering an accepted timing map: %v", err)
+		}
+		if _, err := ParseInputTiming(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("accepted timing failed the round-trip: %v\nrendered:\n%s", err, out.Bytes())
+		}
+	})
+}

@@ -72,6 +72,7 @@ func numField(v float64) string {
 // Options.InputTiming.
 func ParseInputTiming(r io.Reader) (map[string]*Timing, error) {
 	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
 	out := make(map[string]*Timing)
 	lineNo := 0
 	for sc.Scan() {
@@ -118,7 +119,7 @@ func ParseInputTiming(r io.Reader) (map[string]*Timing, error) {
 		out[name] = t
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("sta: %w", err)
+		return nil, fmt.Errorf("sta: line %d: %w", lineNo+1, err)
 	}
 	return out, nil
 }
@@ -154,5 +155,14 @@ func parseNum(s string) (float64, error) {
 	case "-inf":
 		return math.Inf(-1), nil
 	}
-	return strconv.ParseFloat(s, 64)
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	// NaN compares false against everything, so it would slip past the
+	// inverted-window check and panic inside interval.New.
+	if math.IsNaN(v) {
+		return 0, fmt.Errorf("NaN is not a valid value")
+	}
+	return v, nil
 }

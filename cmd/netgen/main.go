@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"repro/internal/interval"
@@ -108,6 +109,11 @@ func generate(p genParams) (*workload.Generated, error) {
 		ws := make([]interval.Window, p.aggs)
 		for i := range ws {
 			lo := float64(i) * p.sep
+			// Float flags parse "NaN"; interval.New panics on it, so turn a
+			// bad -sep/-width into a usage error instead of a crash.
+			if math.IsNaN(lo) || math.IsNaN(lo+p.width) {
+				return nil, fmt.Errorf("netgen: star windows must be finite (-sep/-width)")
+			}
 			ws[i] = interval.New(lo, lo+p.width)
 		}
 		return workload.Star(workload.StarSpec{Windows: ws})

@@ -1,0 +1,205 @@
+// snavet is the repo's custom vet suite: five go/analysis-style checkers
+// that prove, at vet time, the invariants this codebase's incidents were
+// made of — context checks in per-net loops (ctxloop), sorted iteration
+// ahead of ordered output (mapdeterm), NaN guards ahead of interval.New
+// (nanguard), panic-safe semaphore release in the server (deferrelease),
+// and journal-before-acknowledge in handlers (ackorder). DESIGN.md §9 maps
+// each analyzer to the incident that motivated it.
+//
+// Two ways to run it:
+//
+//	go build -o bin/snavet ./cmd/snavet
+//	go vet -vettool=$PWD/bin/snavet ./...     # what CI runs
+//	bin/snavet [-json] [-run a,b] [pattern ...]   # standalone, default ./...
+//
+// The first form speaks the go-vet unit-checker protocol (-V=full, -flags,
+// *.cfg) and inherits vet's build cache; the second loads packages itself
+// via `go list -export` and prints the same diagnostics, optionally as
+// JSON in the shared snalint/snavet diagnostics schema.
+//
+// Findings are waived in source with `//snavet:<key> <reason>` on the
+// offending line or the line above. The reason is mandatory, unknown keys
+// and stale waivers are diagnostics themselves, and `snavet help` lists
+// every analyzer with its key.
+//
+// Exit codes (standalone mode):
+//
+//	0  clean
+//	2  diagnostics reported
+//	3  usage error
+//	4  load/typecheck failure
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/report"
+)
+
+const (
+	exitClean = 0
+	exitDiags = 2
+	exitUsage = 3
+	exitFail  = 4
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("snavet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		versionFlag = fs.String("V", "", "print version for the go command's build cache (go vet protocol)")
+		flagsFlag   = fs.Bool("flags", false, "print flag description in JSON (go vet protocol)")
+		jsonOut     = fs.Bool("json", false, "emit diagnostics as JSON in the shared snalint/snavet schema")
+		runOnly     = fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: snavet [-json] [-run a,b] [package pattern ...]\n")
+		fmt.Fprintf(stderr, "       go vet -vettool=$(which snavet) ./...\n")
+		fmt.Fprintf(stderr, "       snavet help\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	// go vet protocol: describe the executable for the build cache.
+	if *versionFlag != "" {
+		return printVersion(stdout, stderr)
+	}
+	// go vet protocol: describe pass-through flags.
+	if *flagsFlag {
+		fmt.Fprintln(stdout, `[{"Name":"json","Bool":true,"Usage":"emit diagnostics as JSON"}]`)
+		return exitClean
+	}
+
+	analyzers, code := selectAnalyzers(*runOnly, stderr)
+	if code != exitClean {
+		return code
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && rest[0] == "help" {
+		printHelp(stdout, analyzers)
+		return exitClean
+	}
+
+	// go vet protocol: a single *.cfg argument names one compilation unit.
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		diags, err := analysis.RunUnit(rest[0], analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "snavet: %v\n", err)
+			return exitFail
+		}
+		return emit(diags, *jsonOut, stdout, stderr)
+	}
+
+	// Standalone mode: load package patterns ourselves.
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.LoadAndRun(patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "snavet: %v\n", err)
+		return exitFail
+	}
+	return emit(diags, *jsonOut, stdout, stderr)
+}
+
+// printVersion implements -V=full: the go command caches vet results keyed
+// on this line, so it embeds a content hash of the executable — rebuild
+// the tool and every cached verdict is invalidated.
+func printVersion(stdout, stderr io.Writer) int {
+	name := "snavet"
+	if exe, err := os.Executable(); err == nil {
+		name = filepath.Base(exe)
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			_, cErr := io.Copy(h, f)
+			f.Close()
+			if cErr == nil {
+				fmt.Fprintf(stdout, "%s version devel buildID=%x\n", name, h.Sum(nil)[:16])
+				return exitClean
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "%s version devel buildID=unknown\n", name)
+	return exitClean
+}
+
+func selectAnalyzers(runOnly string, stderr io.Writer) ([]*analysis.Analyzer, int) {
+	all := analysis.All()
+	if runOnly == "" {
+		return all, exitClean
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(runOnly, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a := analysis.ByName(name)
+		if a == nil {
+			fmt.Fprintf(stderr, "snavet: unknown analyzer %q in -run\n", name)
+			return nil, exitUsage
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return all, exitClean
+	}
+	return out, exitClean
+}
+
+func printHelp(w io.Writer, analyzers []*analysis.Analyzer) {
+	fmt.Fprintf(w, "snavet enforces this repository's hard-won invariants at vet time.\n\n")
+	fmt.Fprintf(w, "Waive a finding with //snavet:<key> <reason> on the line or the line above.\n\n")
+	t := report.NewTable("registered analyzers", "analyzer", "waiver key", "description")
+	for _, a := range analyzers {
+		t.AddRow(a.Name, "//snavet:"+a.DirectiveName(), a.Doc)
+	}
+	t.Render(w)
+}
+
+// emit prints diagnostics and returns the exit code. In plain mode the
+// diagnostics go to stderr (the go vet convention, so `go vet -vettool`
+// interleaves them with its own output correctly); in JSON mode the
+// machine-readable report goes to stdout.
+func emit(diags []analysis.Diagnostic, jsonOut bool, stdout, stderr io.Writer) int {
+	if jsonOut {
+		out := &report.ToolDiagsJSON{Tool: "snavet", Errors: len(diags)}
+		for _, d := range diags {
+			out.Diagnostics = append(out.Diagnostics, report.ToolDiagJSON{
+				Rule:     d.Analyzer,
+				Severity: "error",
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		if err := report.WriteToolDiagsJSON(stdout, out); err != nil {
+			fmt.Fprintf(stderr, "snavet: %v\n", err)
+			return exitFail
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stderr, "%s:%d:%d: %s (%s)\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
+	}
+	if len(diags) > 0 {
+		return exitDiags
+	}
+	return exitClean
+}

@@ -29,7 +29,7 @@ func main() {
 		g, err := workload.Star(workload.StarSpec{
 			Windows: []interval.Window{
 				interval.New(0, 40*units.Pico),
-				interval.New(off, off+40*units.Pico),
+				interval.New(off, off+40*units.Pico), //snavet:nanguard off enumerates a literal table of finite picosecond offsets
 			},
 			CoupleC: 4 * units.Femto,
 			GroundC: 8 * units.Femto,

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// AckOrder enforces journal-before-acknowledge, the durability contract
+// PR 5 built the session store around: once a client sees a 2xx, the
+// mutation it acknowledges must already be in the fsynced journal, or a
+// crash re-orders history out from under an acknowledged request. In
+// internal/server, any function that both mutates durable store state
+// (Store.Create / Store.Delete / Store.Padding) and acknowledges success
+// (writeJSON with a 2xx status, or WriteHeader(2xx)) must order every
+// acknowledgement after the first mutation, in source order.
+//
+// Source order is a deliberate approximation of dominance: the handlers
+// are written straight-line (mutate, check error, acknowledge), so a 2xx
+// acknowledgement lexically before the journal call is exactly the bug
+// class — an early ack — and survives refactors that a full CFG analysis
+// would also catch. Acknowledgements with non-constant status codes are
+// ignored; the analyzer only reasons about statuses it can prove are 2xx.
+var AckOrder = &Analyzer{
+	Name: "ackorder",
+	Doc: "in internal/server, 2xx acknowledgements must follow the store's " +
+		"journal-append (journal-before-acknowledge)",
+	Run: runAckOrder,
+}
+
+// storeMutators are the Store methods that append to the journal.
+var storeMutators = map[string]bool{"Create": true, "Delete": true, "Padding": true}
+
+func runAckOrder(pass *Pass) error {
+	if !pkgMatches(pass.Pkg.Path(), "ackorder", "internal/server") {
+		return nil
+	}
+	funcDecls(pass, func(fd *ast.FuncDecl) {
+		var mutates []*ast.CallExpr
+		var acks []*ast.CallExpr
+		ast.Inspect(fd.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isStoreMutation(pass, call):
+				mutates = append(mutates, call)
+			case isSuccessAck(pass, call):
+				acks = append(acks, call)
+			}
+			return true
+		})
+		if len(mutates) == 0 {
+			return
+		}
+		first := mutates[0].Pos()
+		for _, m := range mutates[1:] {
+			if m.Pos() < first {
+				first = m.Pos()
+			}
+		}
+		for _, ack := range acks {
+			if ack.Pos() < first {
+				pass.Reportf(ack.Pos(),
+					"success acknowledged before the store mutation in %s: journal-before-acknowledge — a crash here acks state the journal never saw",
+					fd.Name.Name)
+			}
+		}
+	})
+	return nil
+}
+
+// isStoreMutation reports whether call is a journal-appending method on a
+// value of the durable store type (named type whose name is or ends in
+// "Store").
+func isStoreMutation(pass *Pass, call *ast.CallExpr) bool {
+	if !storeMutators[calleeName(call)] {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		if p, ok := t.(*types.Pointer); ok {
+			named, ok = p.Elem().(*types.Named)
+			if !ok {
+				return false
+			}
+		} else {
+			return false
+		}
+	}
+	name := named.Obj().Name()
+	return name == "Store" || strings.HasSuffix(name, "Store")
+}
+
+// isSuccessAck reports whether call acknowledges success to the client: a
+// WriteHeader with a provably-2xx argument, or a writeJSON-style helper
+// (name starting "writeJSON"/"WriteJSON") whose status argument is
+// provably 2xx.
+func isSuccessAck(pass *Pass, call *ast.CallExpr) bool {
+	name := calleeName(call)
+	switch {
+	case name == "WriteHeader":
+		return len(call.Args) == 1 && is2xx(pass, call.Args[0])
+	case strings.HasPrefix(name, "writeJSON") || strings.HasPrefix(name, "WriteJSON"):
+		for _, arg := range call.Args {
+			if is2xx(pass, arg) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// is2xx reports whether the type checker proves e is an integer constant
+// in [200, 300).
+func is2xx(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return ok && v >= 200 && v < 300
+}

@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atest"
+)
+
+// Each analyzer runs over its golden package under testdata/src: every
+// `// want` expectation must fire and nothing else may be reported. The
+// golden files include, per analyzer, at least one report case, one
+// false-positive guard (code that looks close but is clean), and one
+// reasoned //snavet: waiver.
+
+func TestCtxLoopGolden(t *testing.T)      { atest.Run(t, analysis.CtxLoop, "ctxloop") }
+func TestMapDetermGolden(t *testing.T)    { atest.Run(t, analysis.MapDeterm, "mapdeterm") }
+func TestNaNGuardGolden(t *testing.T)     { atest.Run(t, analysis.NaNGuard, "nanguard") }
+func TestDeferReleaseGolden(t *testing.T) { atest.Run(t, analysis.DeferRelease, "deferrelease") }
+func TestAckOrderGolden(t *testing.T)     { atest.Run(t, analysis.AckOrder, "ackorder") }

@@ -1,0 +1,182 @@
+// Package atest is a miniature analysistest: it loads golden packages
+// from a testdata/src GOPATH layout, runs one analyzer over them, and
+// checks the findings against `// want "regexp"` comments in the sources.
+// It reimplements the x/tools analysistest contract on the standard
+// library alone (go/parser + go/types with the source importer), because
+// this module carries no external dependencies.
+//
+// Expectation syntax, on the line a diagnostic is reported at:
+//
+//	code() // want "regexp" "second regexp"
+//
+// Every unsuppressed diagnostic must match a want pattern on its line and
+// every want pattern must be matched by exactly one diagnostic. Suppressed
+// findings (waived by //snavet: directives) are invisible, exactly as in
+// the real drivers — a golden file asserts a waiver works by carrying the
+// directive and no want.
+package atest
+
+import (
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// sharedImporter compiles imported packages from source, resolving
+// non-stdlib paths under the testdata GOPATH. It is process-global so the
+// standard library is typechecked once per test binary, not once per Run.
+var (
+	importerOnce sync.Once
+	sharedFset   *token.FileSet
+	sharedImp    types.Importer
+)
+
+func sourceImporter(testdata string) (*token.FileSet, types.Importer) {
+	importerOnce.Do(func() {
+		// The source importer resolves imports through build.Default;
+		// pointing its GOPATH at testdata makes `import "interval"` find
+		// testdata/src/interval. GO111MODULE must be off or go/build
+		// shells out to `go list`, which resolves against the enclosing
+		// module instead of the golden GOPATH. Every caller passes the
+		// same testdata root (this package's), so the global mutation is
+		// stable, and the env change is confined to this test binary.
+		os.Setenv("GO111MODULE", "off")
+		build.Default.GOPATH = testdata
+		sharedFset = token.NewFileSet()
+		sharedImp = importer.ForCompiler(sharedFset, "source", nil)
+	})
+	return sharedFset, sharedImp
+}
+
+// wantRe matches one quoted expectation in a // want comment; both
+// double-quoted and backquoted Go string literals are accepted.
+var wantRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<pkgpath> (relative to the caller's directory),
+// runs the analyzer, and reports mismatches on t.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset, imp := sourceImporter(testdata)
+
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading golden package %s: %v", pkgpath, err)
+	}
+	var files []*ast.File
+	var expects []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+		expects = append(expects, parseWants(t, fset, f)...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("golden package %s has no Go files", pkgpath)
+	}
+
+	tc := &types.Config{Importer: imp}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking %s: %v", pkgpath, err)
+	}
+
+	diags, err := analysis.Run(fset, files, pkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range analysis.Active(diags) {
+		if !claim(expects, d) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s (%s)",
+				filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	for _, ex := range expects {
+		if !ex.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+				filepath.Base(ex.file), ex.line, ex.re)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose pattern matches its message.
+func claim(expects []*expectation, d analysis.Diagnostic) bool {
+	for _, ex := range expects {
+		if ex.matched || ex.file != d.Pos.Filename || ex.line != d.Pos.Line {
+			continue
+		}
+		if ex.re.MatchString(d.Message) {
+			ex.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts // want expectations from one file's comments.
+func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			idx := strings.Index(text, "// want ")
+			if idx < 0 {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, quoted := range wantRe.FindAllString(text[idx+len("// want "):], -1) {
+				pat, err := strconv.Unquote(quoted)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, quoted, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}

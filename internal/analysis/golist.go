@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+)
+
+// Standalone driver: load whole package patterns without `go vet`.
+//
+// `go list -export -deps -json` gives everything a module-aware loader
+// needs and nothing it must compute itself: the file list of every target
+// package and the compiler's export data for every dependency. Parsing
+// and typechecking then proceed exactly as in the unit driver, so
+// `snavet ./...` and `go vet -vettool=snavet ./...` agree diagnostic for
+// diagnostic; the standalone form exists for editors, the -json pipeline,
+// and running the suite without warming vet's action cache.
+
+// listPackage is the subset of `go list -json` output the driver reads.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	Export     string
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// LoadAndRun lists the given package patterns, typechecks each non-dep
+// package against the export data of its dependencies, and runs the suite
+// over it. Diagnostics come back position-sorted across packages with
+// suppressed findings removed.
+func LoadAndRun(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,Standard,Export,DepOnly,GoFiles,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exportFile := make(map[string]string)
+	var targets []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exportFile[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			pkg := p
+			targets = append(targets, &pkg)
+		}
+	}
+
+	fset := token.NewFileSet()
+	base := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exportFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var out []Diagnostic
+	for _, p := range targets {
+		diags, err := checkListed(fset, base, p, analyzers)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		out = append(out, diags...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+func checkListed(fset *token.FileSet, imp types.Importer, p *listPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if p.Dir != "" && !os.IsPathSeparator(name[0]) {
+			path = p.Dir + string(os.PathSeparator) + name
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	tc := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	info := newTypesInfo()
+	pkg, err := tc.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := Run(fset, files, pkg, info, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return Active(diags), nil
+}

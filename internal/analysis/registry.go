@@ -1,0 +1,23 @@
+package analysis
+
+// All returns the full snavet suite in stable order. cmd/snavet runs every
+// analyzer; tests run them one at a time against their own testdata.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AckOrder,
+		CtxLoop,
+		DeferRelease,
+		MapDeterm,
+		NaNGuard,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

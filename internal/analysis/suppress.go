@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives.
+//
+// A finding is waived by writing, on the reported line or the line
+// immediately above it:
+//
+//	//snavet:<key> <reason>
+//
+// where <key> is the analyzer's directive name (`snavet help` lists them)
+// and <reason> is free text explaining why the invariant does not apply.
+// The reason is mandatory: a waiver that does not argue its case is a
+// diagnostic. So is a waiver whose key no analyzer owns, and — when the
+// owning analyzer ran — a waiver that suppressed nothing, so stale waivers
+// die with the code they excused.
+
+const directivePrefix = "//snavet:"
+
+// directive is one parsed //snavet: comment.
+type directive struct {
+	pos    token.Position
+	key    string
+	reason string
+	used   bool
+}
+
+// directiveSet indexes a package's directives by file and line.
+type directiveSet struct {
+	// byLine maps filename -> line -> directives written on that line.
+	byLine map[string]map[int][]*directive
+	all    []*directive
+}
+
+// collectDirectives scans every comment in the package (test files
+// included: a directive in a test is as binding as anywhere else, and an
+// unused one as stale).
+func collectDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
+	set := &directiveSet{byLine: make(map[string]map[int][]*directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				key, reason, _ := strings.Cut(rest, " ")
+				d := &directive{
+					pos:    fset.Position(c.Pos()),
+					key:    strings.TrimSpace(key),
+					reason: strings.TrimSpace(reason),
+				}
+				set.all = append(set.all, d)
+				lines := set.byLine[d.pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]*directive)
+					set.byLine[d.pos.Filename] = lines
+				}
+				lines[d.pos.Line] = append(lines[d.pos.Line], d)
+			}
+		}
+	}
+	return set
+}
+
+// suppress reports whether a directive with the given key covers pos —
+// same line (trailing comment) or the line directly above (standalone
+// comment) — and marks the directive used. Directives with an empty key or
+// reason never suppress; they are reported as problems instead.
+func (s *directiveSet) suppress(key string, pos token.Position) bool {
+	lines := s.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	hit := false
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range lines[line] {
+			if d.key != key || d.reason == "" {
+				continue
+			}
+			d.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// problems returns hygiene diagnostics for the package's directives:
+// unknown keys, missing reasons, and — for keys whose analyzer ran —
+// waivers that suppressed nothing.
+func (s *directiveSet) problems(analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.DirectiveName()] = true
+	}
+	var out []Diagnostic
+	report := func(d *directive, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos:      d.pos,
+			Analyzer: "snavetdirective",
+			Message:  "directive " + directivePrefix + d.key + ": " + fmt.Sprintf(format, args...),
+		})
+	}
+	for _, d := range s.all {
+		switch {
+		case d.key == "":
+			report(d, "missing analyzer key")
+		case d.reason == "":
+			report(d, "missing reason; a waiver must say why the invariant does not apply here")
+		case !known[d.key]:
+			// The analyzer for this key is not in the run set: with a
+			// single analyzer selected (tests, snavet -run) we cannot
+			// distinguish "unknown" from "not running", so only a full
+			// suite run reports unknown keys.
+			if len(analyzers) > 1 {
+				report(d, "unknown analyzer key")
+			}
+		case !d.used:
+			report(d, "unused: the %s analyzer reports nothing here; delete the stale waiver", d.key)
+		}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+// Golden cases for the ackorder analyzer: 2xx acknowledgements must
+// follow the store's journal-append in source order.
+package ackorder
+
+// Store mirrors the durable session store; the analyzer matches the
+// journal-appending mutators by method name on a *Store-named type.
+type Store struct{}
+
+func (st *Store) Create(name string) error  { return nil }
+func (st *Store) Delete(name string) error  { return nil }
+func (st *Store) Padding(name string) error { return nil }
+func (st *Store) Spec(name string) *string  { return nil }
+
+type responseWriter struct{}
+
+func (w *responseWriter) WriteHeader(code int) {}
+
+func writeJSON(w *responseWriter, status int, v any) {}
+
+const (
+	statusOK        = 200
+	statusCreated   = 201
+	statusNoContent = 204
+	statusUnavail   = 503
+)
+
+// ackFirst acknowledges creation before the journal append: reported.
+func ackFirst(w *responseWriter, st *Store, name string) {
+	writeJSON(w, statusCreated, name) // want `success acknowledged before the store mutation`
+	_ = st.Create(name)
+}
+
+// journalFirst appends, checks, then acknowledges: clean.
+func journalFirst(w *responseWriter, st *Store, name string) {
+	if err := st.Create(name); err != nil {
+		writeJSON(w, statusUnavail, err)
+		return
+	}
+	writeJSON(w, statusCreated, name)
+}
+
+// headerFirst writes the bare 2xx header before the tombstone: reported.
+func headerFirst(w *responseWriter, st *Store, name string) {
+	w.WriteHeader(statusNoContent) // want `success acknowledged before the store mutation`
+	_ = st.Delete(name)
+}
+
+// headerAfter is the correct delete ordering: clean.
+func headerAfter(w *responseWriter, st *Store, name string) {
+	if err := st.Delete(name); err != nil {
+		writeJSON(w, statusUnavail, err)
+		return
+	}
+	w.WriteHeader(statusNoContent)
+}
+
+// readOnly consults the store without mutating; acks are unconstrained:
+// clean.
+func readOnly(w *responseWriter, st *Store, name string) {
+	if st.Spec(name) == nil {
+		writeJSON(w, statusOK, nil)
+	}
+}
+
+// dynamicStatus cannot be proven 2xx, so it is not an acknowledgement the
+// analyzer constrains: clean.
+func dynamicStatus(w *responseWriter, st *Store, name string, status int) {
+	writeJSON(w, status, name)
+	_ = st.Padding(name)
+}
+
+// waived documents an intentional early ack: suppressed.
+func waived(w *responseWriter, st *Store, name string) {
+	//snavet:ackorder padding re-applies idempotently; ack-before-journal is safe here
+	writeJSON(w, statusOK, name)
+	_ = st.Padding(name)
+}

@@ -1,0 +1,79 @@
+// Golden cases for the ctxloop analyzer: working loops in a
+// context-taking function must consult the context.
+package ctxloop
+
+import "context"
+
+func work(n string) {}
+
+func helper(ctx context.Context, n string) {}
+
+// unchecked loops over real work without consulting ctx: reported.
+func unchecked(ctx context.Context, nets []string) {
+	for _, n := range nets { // want `loop does not consult ctx`
+		work(n)
+	}
+}
+
+// checkedErr consults ctx.Err per iteration: clean.
+func checkedErr(ctx context.Context, nets []string) error {
+	for _, n := range nets {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work(n)
+	}
+	return nil
+}
+
+// plumbed passes ctx into the body, which is where the check lives: clean.
+func plumbed(ctx context.Context, nets []string) {
+	for _, n := range nets {
+		helper(ctx, n)
+	}
+}
+
+// selected waits on ctx.Done in a select: clean.
+func selected(ctx context.Context, jobs chan string) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case n := <-jobs:
+			work(n)
+		}
+	}
+}
+
+// nestedCovered has an outer loop consulting ctx; the inner loop is
+// exempt because the outer iteration bounds time-to-cancel: clean.
+func nestedCovered(ctx context.Context, rounds int, nets []string) error {
+	for r := 0; r < rounds; r++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, n := range nets {
+			work(n)
+		}
+	}
+	return nil
+}
+
+// cheap loops do no calls, just arithmetic: clean.
+func cheap(ctx context.Context, xs []float64) float64 {
+	helper(ctx, "")
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// waived carries a reasoned directive: suppressed, not reported.
+func waived(ctx context.Context, nets []string) {
+	//snavet:ctxloop nets is capped at 8 entries by the caller
+	for _, n := range nets {
+		work(n)
+	}
+	_ = ctx
+}

@@ -1,0 +1,65 @@
+// Golden cases for ctxloop's entry-point rule: an exported looping entry
+// point must take a context or have an exported Ctx sibling.
+package ctxloop
+
+import "context"
+
+// Sweep loops over per-item work with no ctx and no SweepCtx: reported.
+func Sweep(nets []string) { // want `exported entry point Sweep .* no context`
+	for _, n := range nets {
+		work(n)
+	}
+}
+
+// Analyze is the convenience wrapper over AnalyzeCtx: clean.
+func Analyze(nets []string) error {
+	return AnalyzeCtx(context.Background(), nets)
+}
+
+// AnalyzeCtx is the context-aware variant; its own loop checks ctx.
+func AnalyzeCtx(ctx context.Context, nets []string) error {
+	for _, n := range nets {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work(n)
+	}
+	return nil
+}
+
+// Render loops, but the exported RenderCtx sibling offers the
+// cancellable path: clean.
+func Render(nets []string) {
+	for _, n := range nets {
+		work(n)
+	}
+}
+
+// RenderCtx is Render's context-aware sibling.
+func RenderCtx(ctx context.Context, nets []string) error {
+	for _, n := range nets {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work(n)
+	}
+	return nil
+}
+
+// Tally loops without calls (cheap aggregation): clean.
+func Tally(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// WaivedSweep is a deliberate synchronous API: waived with a reason.
+//
+//snavet:ctxloop scripted one-shot helper; callers run it to completion by design
+func WaivedSweep(nets []string) {
+	for _, n := range nets {
+		work(n)
+	}
+}

@@ -1,0 +1,89 @@
+// Golden cases for the deferrelease analyzer: acquires must be released
+// via defer before any panicking call, or explicitly with no call in
+// between.
+package deferrelease
+
+import (
+	"context"
+	"sync"
+)
+
+type state struct {
+	mu   sync.Mutex
+	busy chan struct{}
+	n    int
+}
+
+func (s *state) acquire(ctx context.Context) bool {
+	select {
+	case s.busy <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (s *state) release() { <-s.busy }
+
+func work() {}
+
+// undeferred holds the lock across a call that can panic: reported.
+func undeferred(s *state) {
+	s.mu.Lock() // want `not followed by a deferred Unlock`
+	work()
+	s.mu.Unlock()
+}
+
+// deferred is the canonical panic-safe form: clean.
+func deferred(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	work()
+}
+
+// shortCritical touches only call-free statements before the explicit
+// unlock: clean.
+func shortCritical(s *state) int {
+	s.mu.Lock()
+	s.n++
+	v := s.n
+	s.mu.Unlock()
+	return v
+}
+
+// branchRelease unlocks on a call-free branch before returning: clean.
+func branchRelease(s *state, fail bool) {
+	s.mu.Lock()
+	if fail {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+}
+
+// slotLeak takes the session slot and calls into the engine without a
+// deferred release — the PR 4 wedge: reported.
+func slotLeak(ctx context.Context, s *state) {
+	if !s.acquire(ctx) { // want `not followed by a deferred release`
+		return
+	}
+	work()
+	s.release()
+}
+
+// slotSafe defers the release immediately after acquiring: clean.
+func slotSafe(ctx context.Context, s *state) {
+	if !s.acquire(ctx) {
+		return
+	}
+	defer s.release()
+	work()
+}
+
+// waived documents a deliberate non-deferred release: suppressed.
+func waived(s *state) {
+	//snavet:deferrelease work() is panic-free by contract and the unlock must precede the broadcast
+	s.mu.Lock()
+	work()
+	s.mu.Unlock()
+}

@@ -1,0 +1,10 @@
+// Package interval is a stub of the real window algebra for nanguard's
+// golden tests: the analyzer matches interval.New by package-path suffix
+// and function name, so the stub only needs the signature.
+package interval
+
+// Window mirrors repro/internal/interval.Window.
+type Window struct{ Lo, Hi float64 }
+
+// New mirrors the real constructor, which panics on NaN bounds.
+func New(lo, hi float64) Window { return Window{Lo: lo, Hi: hi} }

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// The `go vet -vettool` unit-checker protocol.
+//
+// `go vet` drives a vettool once per compilation unit: it writes a JSON
+// config describing the unit (files, import maps, export-data locations)
+// and invokes `tool <dir>/vet.cfg`. The tool must typecheck the unit using
+// the compiler-produced export data — no go/packages, no network, no
+// module resolution of its own — report diagnostics, and write its facts
+// file (ours is empty: the suite is fact-free) so the build cache can
+// reuse results. This file implements that contract with only the
+// standard library, mirroring x/tools' unitchecker, which this module
+// cannot depend on.
+
+// UnitConfig is the JSON config `go vet` writes for one compilation unit.
+// Field names and semantics follow cmd/go's vetConfig.
+type UnitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes the suite over one vet config file. It returns the
+// unsuppressed diagnostics; a nil error with diagnostics means the
+// analysis worked and found problems. Protocol obligations (vetx output,
+// typecheck-failure tolerance) are handled here.
+func RunUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(UnitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode vet config %s: %v", cfgPath, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+
+	// The suite exports no facts, but go vet caches the vetx output file;
+	// writing it (even empty) keeps the cache happy and marks the unit
+	// analyzed.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("snavet\n"), 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: go vet only wants facts from this unit, and we
+		// have none.
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil // the compiler will report it better
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	base := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				path = importPath
+			}
+			return base.Import(path)
+		}),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+
+	diags, err := Run(fset, files, pkg, info, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return Active(diags), nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// newTypesInfo allocates the full set of type-checker result maps the
+// analyzers consult.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}

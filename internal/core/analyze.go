@@ -339,6 +339,11 @@ func (a *analyzer) prepareAll(ctx context.Context, order []*netlist.Net) error {
 	// Commit serially in victim order so maps, stats, and diagnostics are
 	// deterministic regardless of worker scheduling.
 	for i, net := range order {
+		if i&0x3f == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if errs[i] != nil {
 			if !a.opts.FailSoft {
 				return errs[i]
@@ -575,6 +580,11 @@ func (a *analyzer) evalWave(ctx context.Context, res *Result, w wave, dirty map[
 	}
 	changed := false
 	for i, oi := range todo {
+		if i&0x3f == 0 {
+			if err := ctx.Err(); err != nil {
+				return changed, err
+			}
+		}
 		net := a.order[oi]
 		if errs[i] == nil && !evals[i].done {
 			// Only reachable when a fail-fast stop drained the queue;

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/netlist"
 )
@@ -88,6 +89,10 @@ func (a *analyzer) dirtyAfterPadding(staDirty map[string]bool) (reprep []*netlis
 		evalDirty[name] = true
 		queue = append(queue, name)
 	}
+	// The propagation below only grows a set, so traversal order cannot
+	// change the result — but a deterministic worklist keeps the walk
+	// reproducible under the serial-identical guarantee, and debuggable.
+	sort.Strings(queue)
 	if !a.opts.NoPropagation {
 		for len(queue) > 0 {
 			name := queue[0]

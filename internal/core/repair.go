@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -62,22 +63,32 @@ func (r *Repair) Describe() string {
 // margin is the extra headroom demanded below the immunity limit (e.g.
 // 0.05 for 5 %); zero means repair exactly to the limit.
 func SuggestRepairs(b *bind.Design, res *Result, margin float64) ([]Repair, error) {
+	return SuggestRepairsCtx(context.Background(), b, res, margin)
+}
+
+// SuggestRepairsCtx is SuggestRepairs with cooperative cancellation: the
+// context is checked once per violation, each of which rebuilds the noise
+// context for its net.
+func SuggestRepairsCtx(ctx context.Context, b *bind.Design, res *Result, margin float64) ([]Repair, error) {
 	if margin < 0 || margin >= 1 {
 		return nil, fmt.Errorf("core: repair margin %g out of [0, 1)", margin)
 	}
 	var out []Repair
 	for _, v := range res.Violations {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		net := b.Net.FindNet(v.Net)
 		if net == nil {
 			return nil, fmt.Errorf("core: violation on unknown net %q", v.Net)
 		}
-		ctx, err := noise.BuildContext(b, net)
+		nctx, err := noise.BuildContext(b, net)
 		if err != nil {
 			return nil, err
 		}
 		target := v.Limit * (1 - margin)
 		r := Repair{Violation: v}
-		r.DominantAggressor, r.CouplingCut = couplingRepair(ctx, v, target)
+		r.DominantAggressor, r.CouplingCut = couplingRepair(nctx, v, target)
 		r.HoldResFactor = holdRepair(v, target)
 		if r.HoldResFactor > 0 && r.HoldResFactor < 1 {
 			r.UpsizeTo = upsizePick(b, net, r.HoldResFactor)

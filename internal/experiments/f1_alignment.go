@@ -34,7 +34,7 @@ func F1Alignment(cfg Config) ([]*report.Table, error) {
 	for _, offPS := range offsets {
 		off := offPS * units.Pico
 		w0 := interval.New(0, width)
-		w1 := interval.New(off, off+width)
+		w1 := interval.New(off, off+width) //snavet:nanguard off enumerates a literal table of finite picosecond offsets
 		g, err := workload.Star(workload.StarSpec{
 			Windows: []interval.Window{w0, w1},
 			CoupleC: 4 * units.Femto, GroundC: 8 * units.Femto,

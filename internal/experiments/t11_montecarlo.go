@@ -40,7 +40,7 @@ func T11MonteCarlo(cfg Config) ([]*report.Table, error) {
 		windows := make([]interval.Window, nAgg)
 		for i := range windows {
 			lo := float64(i) * sep
-			windows[i] = interval.New(lo, lo+60*units.Pico)
+			windows[i] = interval.New(lo, lo+60*units.Pico) //snavet:nanguard lo is i*sep over a literal table of finite stagger values
 		}
 		g, err := workload.Star(workload.StarSpec{
 			Windows: windows,

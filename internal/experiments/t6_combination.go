@@ -39,7 +39,7 @@ func T6Combination(cfg Config) ([]*report.Table, error) {
 			if span > 0 {
 				lo = rng.Float64() * span
 			}
-			windows[i] = interval.New(lo, lo+width)
+			windows[i] = interval.New(lo, lo+width) //snavet:nanguard lo is rng.Float64() in [0,1) scaled by a finite constant span
 		}
 		g, err := workload.Star(workload.StarSpec{Windows: windows, CoupleC: 2 * units.Femto, GroundC: 20 * units.Femto})
 		if err != nil {

@@ -34,8 +34,8 @@ func T7DeltaDelay(cfg Config) ([]*report.Table, error) {
 		off := offPS * units.Pico
 		g, err := workload.Star(workload.StarSpec{
 			Windows: []interval.Window{
-				interval.New(off, off+60*units.Pico),
-				interval.New(off, off+60*units.Pico),
+				interval.New(off, off+60*units.Pico), //snavet:nanguard off enumerates a literal table of finite picosecond offsets
+				interval.New(off, off+60*units.Pico), //snavet:nanguard off enumerates a literal table of finite picosecond offsets
 			},
 			CoupleC: 4 * units.Femto,
 			GroundC: 8 * units.Femto,

@@ -16,8 +16,10 @@ type Set struct {
 	ws []Window
 }
 
-// SetOf returns the one-window set [lo, hi].
+// SetOf returns the one-window set [lo, hi]. Like New, it panics on NaN
+// bounds — sanitation is the caller's contract.
 func SetOf(lo, hi float64) Set {
+	//snavet:nanguard SetOf is New's one-window convenience and shares its documented NaN panic contract
 	return NewSet(New(lo, hi))
 }
 

@@ -286,8 +286,15 @@ func (d *Design) Validate() error {
 		if len(i.Conns) == 0 {
 			errs = append(errs, fmt.Errorf("instance %q has no connections", i.Name))
 		}
-		for pin, c := range i.Conns {
-			if c.Net == nil {
+		// Iterate pins in sorted order so the problem report is
+		// byte-stable across runs.
+		pins := make([]string, 0, len(i.Conns))
+		for pin := range i.Conns {
+			pins = append(pins, pin)
+		}
+		sort.Strings(pins)
+		for _, pin := range pins {
+			if i.Conns[pin].Net == nil {
 				errs = append(errs, fmt.Errorf("pin %s.%s connected to nil net", i.Name, pin))
 			}
 		}

@@ -1,0 +1,45 @@
+package report
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Report output is part of the engine's determinism contract: snad caches
+// and round-trips report bytes, so two renderings of the same result must
+// be byte-identical even though core.Result carries its nets in a map.
+// This pins the invariant the mapdeterm analyzer enforces statically.
+func TestTextReportsDeterministic(t *testing.T) {
+	res := &core.Result{
+		Mode: core.ModeNoiseWindows,
+		Nets: map[string]*core.NetNoise{
+			"n3": {Net: "n3"},
+			"n1": {Net: "n1"},
+			"n2": {Net: "n2"},
+			"n0": {Net: "n0"},
+		},
+		Violations: []core.Violation{
+			{Net: "n1", Receiver: "r.A", Kind: core.KindLow, Peak: 0.7, Limit: 0.5, Slack: -0.2, Members: []string{"a0", "a1"}},
+			{Net: "n2", Receiver: "r.B", Kind: core.KindHigh, Peak: 0.6, Limit: 0.5, Slack: -0.1, Members: []string{"a1"}},
+		},
+		Diags: []core.Diag{
+			{Net: "n3", Stage: core.StagePrepare, Err: errors.New("boom")},
+		},
+	}
+	render := func() string {
+		var b bytes.Buffer
+		Violations(&b, res)
+		SlackTable(&b, res, 10)
+		Degradations(&b, res.Diags)
+		return b.String()
+	}
+	first := render()
+	for i := 0; i < 5; i++ {
+		if got := render(); got != first {
+			t.Fatalf("render %d differs from first:\n--- first\n%s\n--- got\n%s", i+1, first, got)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Shared diagnostics schema for the repo's two linters: snalint (design
+// data rules, object-positioned) and snavet (source invariants,
+// file:line-positioned). Editors and CI consume one shape for both; the
+// position fields a producer cannot fill are simply omitted.
+
+// ToolDiagJSON is one diagnostic from either tool.
+type ToolDiagJSON struct {
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	// Object names a design object (net, cell, port) for snalint rules.
+	Object string `json:"object,omitempty"`
+	// File/Line/Col position a source finding for snavet analyzers.
+	File    string `json:"file,omitempty"`
+	Line    int    `json:"line,omitempty"`
+	Col     int    `json:"col,omitempty"`
+	Message string `json:"message"`
+	Hint    string `json:"hint,omitempty"`
+}
+
+// ToolDiagsJSON is a full diagnostics report from one tool run.
+type ToolDiagsJSON struct {
+	Tool        string         `json:"tool"`
+	Errors      int            `json:"errors"`
+	Warnings    int            `json:"warnings"`
+	Infos       int            `json:"infos"`
+	Diagnostics []ToolDiagJSON `json:"diagnostics"`
+}
+
+// WriteToolDiagsJSON serializes a diagnostics report with the same
+// stable-schema conventions as WriteJSON.
+func WriteToolDiagsJSON(w io.Writer, d *ToolDiagsJSON) error {
+	if d.Diagnostics == nil {
+		d.Diagnostics = []ToolDiagJSON{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

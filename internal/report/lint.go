@@ -1,7 +1,6 @@
 package report
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 
@@ -24,32 +23,19 @@ func Lint(w io.Writer, res *lint.Result) {
 	t.Render(w)
 }
 
-type jsonDiag struct {
-	Rule     string `json:"rule"`
-	Severity string `json:"severity"`
-	Object   string `json:"object"`
-	Message  string `json:"message"`
-	Hint     string `json:"hint,omitempty"`
-}
-
-type jsonLint struct {
-	Errors      int        `json:"errors"`
-	Warnings    int        `json:"warnings"`
-	Infos       int        `json:"infos"`
-	Diagnostics []jsonDiag `json:"diagnostics"`
-}
-
-// WriteLintJSON serializes a lint result with the same stable-schema
-// conventions as WriteJSON.
+// WriteLintJSON serializes a lint result in the shared tool-diagnostics
+// schema (ToolDiagsJSON) that snavet's -json output also uses, so CI and
+// editor integrations consume one shape for both linters.
 func WriteLintJSON(w io.Writer, res *lint.Result) error {
-	out := jsonLint{
+	out := &ToolDiagsJSON{
+		Tool:        "snalint",
 		Errors:      res.Errors(),
 		Warnings:    res.Warnings(),
 		Infos:       res.Infos(),
-		Diagnostics: make([]jsonDiag, 0, res.Total()),
+		Diagnostics: make([]ToolDiagJSON, 0, res.Total()),
 	}
 	for _, d := range res.Diags {
-		out.Diagnostics = append(out.Diagnostics, jsonDiag{
+		out.Diagnostics = append(out.Diagnostics, ToolDiagJSON{
 			Rule:     d.Rule,
 			Severity: d.Sev.String(),
 			Object:   d.Object,
@@ -57,7 +43,5 @@ func WriteLintJSON(w io.Writer, res *lint.Result) error {
 			Hint:     d.Hint,
 		})
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return WriteToolDiagsJSON(w, out)
 }

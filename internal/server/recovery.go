@@ -39,6 +39,8 @@ import (
 // OpenStore opens (creating if needed) the data directory, replays the
 // journal, and returns the store plus the recovery report that
 // /v1/recovery serves.
+//
+//snavet:ctxloop boot-time journal replay before any request context exists; bounded by the on-disk store
 func OpenStore(dir string, faults *storeFaultAdapter, compactEvery int, logf func(string, ...any)) (*Store, *report.RecoveryJSON, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}

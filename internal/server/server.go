@@ -50,6 +50,7 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -319,9 +320,7 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // wait (bounded) for the cancellation to take. It returns true for a
 // clean drain and false when work had to be cancelled.
 func (s *Server) Drain(budget time.Duration) bool {
-	s.flightMu.Lock()
-	s.draining.Store(true)
-	s.flightMu.Unlock()
+	s.beginDrain()
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -343,6 +342,15 @@ func (s *Server) Drain(budget time.Duration) bool {
 		s.cfg.Logf("in-flight work ignored cancellation for %s; giving up", budget)
 	}
 	return false
+}
+
+// beginDrain flips the draining flag under flightMu (the barrier's
+// admission lock), with the unlock deferred so nothing between the lock
+// and the release can leak it.
+func (s *Server) beginDrain() {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	s.draining.Store(true)
 }
 
 // enter registers a request with the drain accounting; it fails once
@@ -568,6 +576,7 @@ func (s *Server) revive(name string) (*session, *ErrorInfo) {
 // retainOrRevive pins the named session, re-materializing it from the
 // store when it is not in memory.
 func (s *Server) retainOrRevive(name string) (*session, *ErrorInfo) {
+	//snavet:deferrelease the pin is handed to the caller, which defers releaseRef for the request's lifetime
 	if ss := s.retain(name); ss != nil {
 		return ss, nil
 	}
@@ -575,6 +584,7 @@ func (s *Server) retainOrRevive(name string) (*session, *ErrorInfo) {
 	if einfo != nil || ss == nil {
 		return nil, einfo
 	}
+	//snavet:deferrelease the pin is handed to the caller, which defers releaseRef for the request's lifetime
 	if ss = s.retain(name); ss != nil {
 		return ss, nil
 	}
@@ -651,17 +661,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+// readySnapshot counts sessions and collects the open-breaker names under
+// the session lock — released by defer so a panicking breaker probe cannot
+// wedge the server, and sorted so /readyz is byte-stable across runs.
+func (s *Server) readySnapshot() (n int, open []string) {
 	s.mu.Lock()
-	n := len(s.sessions)
-	var open []string
+	defer s.mu.Unlock()
+	n = len(s.sessions)
 	now := s.cfg.now()
 	for name, ss := range s.sessions {
 		if _, isOpen := ss.breakerOpen(now); isOpen {
 			open = append(open, name)
 		}
 	}
-	s.mu.Unlock()
+	sort.Strings(open)
+	return n, open
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	n, open := s.readySnapshot()
 	resp := ReadyResponse{
 		Status:          "ready",
 		Inflight:        len(s.sem),
@@ -862,14 +880,20 @@ func (s *Server) buildSession(req *CreateSessionRequest) (*session, *ErrorInfo) 
 	}, nil
 }
 
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+// listSnapshot collects the visible in-memory sessions under the session
+// lock — released by defer so a panic mid-listing cannot wedge the server
+// — in sorted name order so the listing is deterministic before the
+// persisted-session merge.
+func (s *Server) listSnapshot() (infos []SessionInfo, loaded map[string]bool) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	names := make([]string, 0, len(s.sessions))
 	for name := range s.sessions {
 		names = append(names, name)
 	}
-	infos := make([]SessionInfo, 0, len(names))
-	loaded := make(map[string]bool, len(names))
+	sort.Strings(names)
+	infos = make([]SessionInfo, 0, len(names))
+	loaded = make(map[string]bool, len(names))
 	now := s.cfg.now()
 	for _, name := range names {
 		ss := s.sessions[name]
@@ -881,7 +905,11 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 		infos = append(infos, ss.info(now))
 	}
-	s.mu.Unlock()
+	return infos, loaded
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	infos, loaded := s.listSnapshot()
 	if s.store != nil {
 		// Persisted sessions that are not in memory (LRU-evicted, or beyond
 		// the cap at boot) are still part of the session list: any request

@@ -809,3 +809,44 @@ func TestServerFailSoftDegradedResponse(t *testing.T) {
 }
 
 var _ = fmt.Sprintf // keep fmt linked for debug edits
+
+// readySnapshot and listSnapshot hold the registry lock with a deferred
+// unlock (a panic mid-probe must not wedge every later request — the
+// session-wedge incident class) and return name-sorted results, so
+// /readyz and the session list are byte-stable regardless of map
+// iteration order. Enforced statically by deferrelease and mapdeterm;
+// this pins the runtime behavior.
+func TestSnapshotsSortedAndDeterministic(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	future := time.Now().Add(time.Hour)
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		s.sessions[name] = &session{name: name, trippedUntil: future}
+	}
+	for i := 0; i < 5; i++ {
+		n, open := s.readySnapshot()
+		if n != 3 || !slicesEqual(open, []string{"alpha", "mid", "zeta"}) {
+			t.Fatalf("readySnapshot = %d %v, want 3 sorted names", n, open)
+		}
+		infos, loaded := s.listSnapshot()
+		if len(infos) != 3 || len(loaded) != 3 {
+			t.Fatalf("listSnapshot = %d infos, %d loaded", len(infos), len(loaded))
+		}
+		for j, want := range []string{"alpha", "mid", "zeta"} {
+			if infos[j].Name != want {
+				t.Fatalf("infos[%d] = %q, want %q", j, infos[j].Name, want)
+			}
+		}
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -64,6 +64,9 @@ func (res *Result) UpdatePaddingCtx(ctx context.Context, opts Options, changed [
 		}
 	}
 	for _, name := range changed {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		net := b.Net.FindNet(name)
 		if net == nil {
 			continue
@@ -75,6 +78,9 @@ func (res *Result) UpdatePaddingCtx(ctx context.Context, opts Options, changed [
 	// Fanout closure over instances: a re-evaluated output perturbs every
 	// instance reading it.
 	for len(queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		inst := queue[0]
 		queue = queue[1:]
 		for _, oc := range inst.Outputs() {
@@ -91,6 +97,9 @@ func (res *Result) UpdatePaddingCtx(ctx context.Context, opts Options, changed [
 	// above), then re-evaluate in levelized order so every dirty
 	// instance's inputs are final when it runs.
 	for inst := range dirtyInst {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, oc := range inst.Outputs() {
 			delete(res.nets, oc.Net.Name)
 			dirtyNets[oc.Net.Name] = true

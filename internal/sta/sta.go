@@ -223,6 +223,9 @@ func RunCtx(ctx context.Context, b *bind.Design, opts Options) (*Result, error) 
 
 	// Seed primary inputs.
 	for _, p := range b.Net.Ports() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if p.Dir != netlist.In {
 			continue
 		}
@@ -282,6 +285,9 @@ func RunCtx(ctx context.Context, b *bind.Design, opts Options) (*Result, error) 
 			// Loops that keep widening get the fully pessimistic
 			// annotation: they may switch at any time.
 			for _, inst := range lev.Feedback {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				for _, oc := range inst.Outputs() {
 					t := res.TimingOfNet(oc.Net.Name)
 					inf := interval.InfiniteSet()

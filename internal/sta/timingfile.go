@@ -24,6 +24,8 @@ import (
 // "-inf"/"+inf". All values are seconds.
 
 // WriteInputTiming renders a port-timing map in .win format.
+//
+//snavet:ctxloop file codec bounded by the timing map; cancellation belongs to the caller's writer
 func WriteInputTiming(w io.Writer, m map[string]*Timing) error {
 	bw := bufio.NewWriter(w)
 	names := make([]string, 0, len(m))
@@ -70,6 +72,8 @@ func numField(v float64) string {
 
 // ParseInputTiming reads a .win file into a port-timing map suitable for
 // Options.InputTiming.
+//
+//snavet:ctxloop file codec bounded by the input file; cancellation belongs to the caller's reader
 func ParseInputTiming(r io.Reader) (map[string]*Timing, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
@@ -139,6 +143,12 @@ func parseWinField(field string) (interval.Set, error) {
 		hi, err2 := parseNum(bounds[1])
 		if err1 != nil || err2 != nil {
 			return interval.EmptySet(), fmt.Errorf("bad window bounds %q", part)
+		}
+		// ParseFloat accepts "NaN", and NaN compares false to everything,
+		// so the inverted-window check below cannot catch it — reject it
+		// explicitly or interval.New panics on attacker-controlled input.
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			return interval.EmptySet(), fmt.Errorf("NaN window bound in %q", part)
 		}
 		if lo > hi {
 			return interval.EmptySet(), fmt.Errorf("inverted window [%g, %g]", lo, hi)

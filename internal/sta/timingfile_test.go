@@ -126,3 +126,20 @@ func TestNumFieldFormats(t *testing.T) {
 		t.Fatalf("numField = %q", numField(1.5e-12))
 	}
 }
+
+// A timing file can spell any float strconv.ParseFloat accepts, including
+// "NaN" — and NaN compares false to everything, so the inverted-window
+// check cannot reject it. It used to flow straight into interval.New,
+// which panics on NaN bounds. The parser must answer with an error, never
+// a panic. (Crasher surfaced by the nanguard analyzer.)
+func TestParseInputTimingRejectsNaN(t *testing.T) {
+	for _, src := range []string{
+		"input a NaN:1e-10 - 1e-12 1e-12\n",
+		"input a 0:NaN - 1e-12 1e-12\n",
+		"input a - nan:nan 1e-12 1e-12\n",
+	} {
+		if _, err := ParseInputTiming(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseInputTiming(%q) accepted a NaN bound", src)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/bind"
@@ -144,18 +145,22 @@ func Bus(spec BusSpec) (*Generated, error) {
 		}
 		_ = qnet
 		// Window assignment.
-		var w interval.Window
+		var lo float64
 		if spec.RandomWindows {
 			span := spec.WindowSep * float64(spec.Bits)
 			if span <= 0 {
 				span = spec.WindowWidth * float64(spec.Bits)
 			}
-			lo := rng.Float64() * span
-			w = interval.New(lo, lo+spec.WindowWidth)
+			lo = rng.Float64() * span
 		} else {
-			lo := float64(i) * spec.WindowSep
-			w = interval.New(lo, lo+spec.WindowWidth)
+			lo = float64(i) * spec.WindowSep
 		}
+		// Specs arrive from CLI flags, and float flags parse "NaN";
+		// interval.New panics on NaN, so reject it with a real error.
+		if math.IsNaN(lo) || math.IsNaN(lo+spec.WindowWidth) {
+			return nil, fmt.Errorf("workload: bus window bounds must be finite (WindowSep/WindowWidth)")
+		}
+		w := interval.New(lo, lo+spec.WindowWidth)
 		slew := sta.Range{Min: 20 * units.Pico, Max: 30 * units.Pico}
 		ws := interval.NewSet(w)
 		if spec.PhaseGap > 0 {

@@ -29,14 +29,17 @@ func TestMain(m *testing.M) {
 }
 
 // startChild execs this test binary as `snad serve -data-dir dir` in a
-// separate process and returns the process and its base URL.
-func startChild(t *testing.T, dir string) (*exec.Cmd, string) {
+// separate process and returns the process and its base URL. extra args
+// are appended to the serve command line (e.g. -workers for a
+// coordinator).
+func startChild(t *testing.T, dir string, extra ...string) (*exec.Cmd, string) {
 	t.Helper()
 	exe, err := os.Executable()
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmd := exec.Command(exe, "serve", "-listen", "127.0.0.1:0", "-data-dir", dir, "-quiet")
+	args := append([]string{"serve", "-listen", "127.0.0.1:0", "-data-dir", dir, "-quiet"}, extra...)
+	cmd := exec.Command(exe, args...)
 	cmd.Env = append(os.Environ(), "SNAD_E2E_CHILD=1")
 	out := &safeBuffer{}
 	cmd.Stdout = out

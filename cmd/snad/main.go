@@ -12,11 +12,14 @@
 //	             [-drain-budget 10s] [-breaker-trips 3]
 //	             [-breaker-cooldown 10s] [-data-dir DIR]
 //	             [-compact-every 64]
+//	             [-workers url1,url2,...] [-shards N]
 //	snad create  -server URL -name S -net design.net [-spef design.spef]
 //	             [-lib lib.nlib] [-win design.win] [-mode all|timing|noise]
 //	             [-threshold 0.02] [-corr] [-noprop] [-workers N]
 //	             [-fail-fast] [-inject-fault spec]
 //	snad analyze -server URL -name S [-delay] [-timeout 10s]
+//	snad iterate -server URL -name S [-delay] [-max-rounds 8] [-shards N]
+//	             [-local] [-timeout 60s]
 //	snad reanalyze -server URL -name S -pad net=3e-12,net2=5e-12 [-delay]
 //	snad report  -server URL -name S
 //	snad list    -server URL
@@ -30,6 +33,14 @@
 // quarantined into DIR/quarantine with a reason instead of refusing the
 // boot, and `snad recovery` reports what the last boot restored and
 // quarantined.
+//
+// With -workers, the server is also a coordinator: the listed snad
+// processes are registered as shard workers (heartbeat-probed), and
+// `snad iterate` fans the joint noise–delay fixpoint out across them,
+// surviving worker loss by re-hosting shards and, when every worker is
+// gone, degrading to conservative full-rail results rather than failing.
+// Any plain `snad serve` can be a worker — shard engines are built from
+// specs the coordinator ships, not from pre-loaded sessions.
 //
 // The server sheds load instead of queueing it unboundedly: past its
 // concurrency cap and bounded queue, requests get 429 with a Retry-After
@@ -69,6 +80,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/report"
 	"repro/internal/server"
+	"repro/internal/shard"
 )
 
 const (
@@ -88,14 +100,14 @@ func main() {
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
-		fmt.Fprintln(stderr, "snad: a subcommand is required: serve | create | analyze | reanalyze | report | list | delete | health | recovery")
+		fmt.Fprintln(stderr, "snad: a subcommand is required: serve | create | analyze | iterate | reanalyze | report | list | delete | health | recovery | workers")
 		return exitUsage
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "serve":
 		return runServe(ctx, rest, stdout, stderr)
-	case "create", "analyze", "reanalyze", "report", "list", "delete", "health", "recovery":
+	case "create", "analyze", "iterate", "reanalyze", "report", "list", "delete", "health", "recovery", "workers":
 		return runClient(ctx, cmd, rest, stdout, stderr)
 	}
 	fmt.Fprintf(stderr, "snad: unknown subcommand %q\n", cmd)
@@ -120,6 +132,8 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		dataDir      = fs.String("data-dir", "", "durable session directory; empty runs memory-only")
 		compactEvery = fs.Int("compact-every", 0, "journal records between compactions (default 64)")
 		storeFaults  = fs.String("store-inject-fault", "", "inject store write-path faults, e.g. torn:append:2 (chaos testing)")
+		workerURLs   = fs.String("workers", "", "comma-separated snad worker base URLs to coordinate over")
+		shards       = fs.Int("shards", 0, "default shard count for distributed iterate (0 = one per worker)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -141,6 +155,12 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		DataDir:           *dataDir,
 		CompactEvery:      *compactEvery,
 		StoreFaultSpec:    *storeFaults,
+		Shards:            *shards,
+		// The dialer lives here because the server package cannot import
+		// the client (the client imports the server's wire types).
+		WorkerDialer: func(name, url string) shard.Worker {
+			return client.NewShardWorker(name, url, client.RetryPolicy{})
+		},
 	})
 	if err != nil {
 		// Only a structurally unusable data directory gets here; corrupt
@@ -149,6 +169,16 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		return exitFail
 	}
 	defer srv.Close()
+	for _, u := range strings.Split(*workerURLs, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		if _, err := srv.RegisterWorker("", u); err != nil {
+			fmt.Fprintln(stderr, "snad:", err)
+			return exitUsage
+		}
+	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(stderr, "snad:", err)
@@ -204,11 +234,16 @@ func runClient(ctx context.Context, cmd string, args []string, stdout, stderr io
 		// analyze/reanalyze flags
 		delay = fs.Bool("delay", false, "include the crosstalk delta-delay section")
 		pad   = fs.String("pad", "", "reanalyze padding: net=seconds[,net=seconds...]")
+
+		// iterate flags
+		maxRounds = fs.Int("max-rounds", 0, "bound on the noise-delay fixpoint rounds (default 8)")
+		iterShard = fs.Int("shards", 0, "shard count for a distributed iterate (0 = server default)")
+		local     = fs.Bool("local", false, "force a single-process iterate even when workers are registered")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
-	needName := cmd == "create" || cmd == "analyze" || cmd == "reanalyze" || cmd == "report" || cmd == "delete"
+	needName := cmd == "create" || cmd == "analyze" || cmd == "iterate" || cmd == "reanalyze" || cmd == "report" || cmd == "delete"
 	if needName && *name == "" {
 		fmt.Fprintln(stderr, "snad: -name is required")
 		return exitUsage
@@ -270,6 +305,45 @@ func runClient(ctx context.Context, cmd string, args []string, stdout, stderr io
 			return clientFail(stderr, err)
 		}
 		return printAnalysis(stdout, resp)
+	case "iterate":
+		resp, err := c.Iterate(ctx, *name, &server.IterateRequest{
+			Delay:     *delay,
+			MaxRounds: *maxRounds,
+			Shards:    *iterShard,
+			Local:     *local,
+		}, *timeout)
+		if err != nil {
+			return clientFail(stderr, err)
+		}
+		if it := resp.Iterate; it != nil {
+			mode := "local"
+			if it.Distributed {
+				mode = fmt.Sprintf("distributed over %d worker(s), %d shard(s)", it.Workers, it.Shards)
+			}
+			state := "converged"
+			if !it.Converged {
+				state = "did not converge"
+			}
+			if it.Diverging {
+				state = "diverging: " + it.DivergeReason
+			}
+			fmt.Fprintf(stdout, "iterate %s: %d round(s), %s (%s)\n", *name, it.Rounds, state, mode)
+			if it.Resumed {
+				fmt.Fprintln(stdout, "  resumed from a persisted round checkpoint")
+			}
+			if it.Reassigns > 0 {
+				fmt.Fprintf(stdout, "  %d shard re-hosting(s) after worker loss\n", it.Reassigns)
+			}
+			if len(it.AbandonedShards) > 0 {
+				fmt.Fprintf(stdout, "  shards %v degraded to conservative full-rail results\n", it.AbandonedShards)
+			}
+		}
+		code := printAnalysis(stdout, resp)
+		// A diverging fixpoint is an incomplete answer, not a clean one.
+		if code == exitClean && resp.Iterate != nil && !resp.Iterate.Converged {
+			code = exitDegraded
+		}
+		return code
 	case "reanalyze":
 		padding, err := parsePadding(*pad)
 		if err != nil {
@@ -334,6 +408,27 @@ func runClient(ctx context.Context, cmd string, args []string, stdout, stderr io
 			return clientFail(stderr, err)
 		}
 		report.RecoveryText(stdout, rec)
+		return exitClean
+	case "workers":
+		ws, err := c.Workers(ctx)
+		if err != nil {
+			return clientFail(stderr, err)
+		}
+		if len(ws) == 0 {
+			fmt.Fprintln(stdout, "no workers registered")
+			return exitClean
+		}
+		for _, w := range ws {
+			state := "healthy"
+			if !w.Healthy {
+				state = "unhealthy"
+			}
+			seen := w.LastSeenAt
+			if seen == "" {
+				seen = "not yet probed"
+			}
+			fmt.Fprintf(stdout, "%s: %s (%s, last seen %s)\n", w.Name, w.URL, state, seen)
+		}
 		return exitClean
 	}
 	return exitUsage

@@ -59,6 +59,13 @@ type RetryPolicy struct {
 	// hint overrides the computed delay (it is the server saying exactly
 	// when capacity returns) but is still capped here.
 	MaxDelay time.Duration
+	// AttemptTimeout bounds each individual attempt (0 = unbounded; only
+	// the caller's context limits it). A stalled attempt — a hung
+	// connection, a server that accepted the request and went silent —
+	// is cut off and, for retryable requests, retried, instead of eating
+	// the whole deadline. The caller's context still bounds the overall
+	// call.
+	AttemptTimeout time.Duration
 }
 
 func (p *RetryPolicy) fill() {
@@ -171,7 +178,7 @@ func (c *Client) doRetry(ctx context.Context, method, path string, mkBody func()
 				return fmt.Errorf("snad: giving up after %d attempt(s): %w (last: %v)", attempt, err, lastErr)
 			}
 		}
-		err := c.doOnce(ctx, method, path, mkBody, out)
+		err := c.attempt(ctx, method, path, mkBody, out)
 		if err == nil {
 			return nil
 		}
@@ -187,6 +194,18 @@ func (c *Client) doRetry(ctx context.Context, method, path string, mkBody func()
 		}
 	}
 	return fmt.Errorf("snad: giving up after %d attempts: %w", c.retry.MaxAttempts, lastErr)
+}
+
+// attempt runs doOnce under the per-attempt timeout. ctx.Err() checks in
+// the retry loop use the caller's context, so an expired attempt counts
+// as a transport failure (retryable) rather than ending the whole call.
+func (c *Client) attempt(ctx context.Context, method, path string, mkBody func() (io.Reader, error), out any) error {
+	if c.retry.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.retry.AttemptTimeout)
+		defer cancel()
+	}
+	return c.doOnce(ctx, method, path, mkBody, out)
 }
 
 func (c *Client) doOnce(ctx context.Context, method, path string, mkBody func() (io.Reader, error), out any) error {

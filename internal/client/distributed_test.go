@@ -1,0 +1,173 @@
+package client
+
+// End-to-end oracle for the distributed iterate path: a coordinator snad
+// and a fleet of worker snads, all real HTTP servers, with the production
+// ShardWorker dialer in between. The healthy-fleet run must be
+// byte-identical to the single-process (Local) run — the distributed
+// engine is an implementation detail, not a different analysis.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/netlist"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/spef"
+	"repro/internal/sta"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// busCreate serializes a generated coupled bus into a create request.
+func busCreate(t *testing.T, name string) *server.CreateSessionRequest {
+	t.Helper()
+	g, err := workload.Bus(workload.BusSpec{Bits: 8, Segs: 2, WindowWidth: 80 * units.Pico})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var net, sp, win bytes.Buffer
+	if err := netlist.Write(&net, g.Design); err != nil {
+		t.Fatal(err)
+	}
+	if err := spef.Write(&sp, g.Paras); err != nil {
+		t.Fatal(err)
+	}
+	if err := sta.WriteInputTiming(&win, g.Inputs); err != nil {
+		t.Fatal(err)
+	}
+	return &server.CreateSessionRequest{
+		Name:    name,
+		Netlist: net.String(),
+		SPEF:    sp.String(),
+		Timing:  win.String(),
+		Options: server.SessionOptions{Mode: "noise"},
+	}
+}
+
+// startSnad boots a server with the production worker dialer and returns
+// its client base URL.
+func startSnad(t *testing.T, cfg server.Config) string {
+	t.Helper()
+	cfg.WorkerDialer = func(name, url string) shard.Worker {
+		return NewShardWorker(name, url, RetryPolicy{})
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDistributedIterateMatchesLocal(t *testing.T) {
+	ctx := context.Background()
+	coord := startSnad(t, server.Config{})
+	c := New(coord, RetryPolicy{MaxAttempts: 1})
+	if _, err := c.CreateSession(ctx, busCreate(t, "bus")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The oracle: a forced single-process run on the same session.
+	local, err := c.Iterate(ctx, "bus", &server.IterateRequest{Delay: true, Local: true}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Iterate == nil || local.Iterate.Distributed {
+		t.Fatalf("local run reported iterate info %+v", local.Iterate)
+	}
+
+	for _, u := range []string{startSnad(t, server.Config{}), startSnad(t, server.Config{}), startSnad(t, server.Config{})} {
+		if _, err := c.RegisterWorker(ctx, &server.RegisterWorkerRequest{URL: u}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws, err := c.Workers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 {
+		t.Fatalf("registered %d workers, want 3", len(ws))
+	}
+
+	dist, err := c.Iterate(ctx, "bus", &server.IterateRequest{Delay: true, Shards: 3}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := dist.Iterate
+	if it == nil || !it.Distributed {
+		t.Fatalf("iterate did not go distributed: %+v", it)
+	}
+	if it.Workers != 3 || it.Shards != 3 {
+		t.Fatalf("distributed over %d workers / %d shards, want 3/3", it.Workers, it.Shards)
+	}
+	if len(it.AbandonedShards) != 0 {
+		t.Fatalf("healthy fleet abandoned shards %v", it.AbandonedShards)
+	}
+	if it.Rounds != local.Iterate.Rounds || it.Converged != local.Iterate.Converged {
+		t.Fatalf("fixpoint diverged from oracle: distributed rounds=%d converged=%v, local rounds=%d converged=%v",
+			it.Rounds, it.Converged, local.Iterate.Rounds, local.Iterate.Converged)
+	}
+	if got, want := mustJSON(t, dist.Noise), mustJSON(t, local.Noise); !bytes.Equal(got, want) {
+		t.Errorf("distributed noise section differs from local oracle:\n got: %s\nwant: %s", got, want)
+	}
+	if got, want := mustJSON(t, dist.Delay), mustJSON(t, local.Delay); !bytes.Equal(got, want) {
+		t.Errorf("distributed delay section differs from local oracle:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func TestDistributedIterateSurvivesDeadWorker(t *testing.T) {
+	ctx := context.Background()
+	coord := startSnad(t, server.Config{})
+	c := New(coord, RetryPolicy{MaxAttempts: 1})
+	if _, err := c.CreateSession(ctx, busCreate(t, "bus")); err != nil {
+		t.Fatal(err)
+	}
+	local, err := c.Iterate(ctx, "bus", &server.IterateRequest{Local: true}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two live workers and one that died after registering: its httptest
+	// server is already closed, so every dispatch to it fails at the
+	// transport. The coordinator must re-host its shards onto the
+	// survivors and still produce the oracle's exact result.
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close()
+	for _, u := range []string{startSnad(t, server.Config{}), deadURL, startSnad(t, server.Config{})} {
+		if _, err := c.RegisterWorker(ctx, &server.RegisterWorkerRequest{URL: u}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dist, err := c.Iterate(ctx, "bus", &server.IterateRequest{Shards: 3}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := dist.Iterate
+	if it == nil || !it.Distributed {
+		t.Fatalf("iterate did not go distributed: %+v", it)
+	}
+	if len(it.AbandonedShards) != 0 {
+		t.Fatalf("dead worker's shards were abandoned (%v), want re-hosted", it.AbandonedShards)
+	}
+	if got, want := mustJSON(t, dist.Noise), mustJSON(t, local.Noise); !bytes.Equal(got, want) {
+		t.Errorf("re-hosted run differs from local oracle:\n got: %s\nwant: %s", got, want)
+	}
+}

@@ -1,0 +1,93 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+// ShardWorker adapts a remote snad process into a shard.Worker: each
+// protocol op posts to the worker's /v1/shard/{op} endpoint. It does NOT
+// retry — the coordinator owns the retry/re-host discipline, and stacking
+// a second retry loop under it would stretch its failure detection — but
+// it does translate the server's structured error kinds back into the
+// shard error taxonomy so the coordinator can classify failures exactly
+// as it does for in-process workers.
+type ShardWorker struct {
+	name string
+	c    *Client
+}
+
+// NewShardWorker builds a worker proxy for the snad process at base.
+// policy's AttemptTimeout bounds each op (retry counts are ignored —
+// MaxAttempts is forced to 1).
+func NewShardWorker(name, base string, policy RetryPolicy) *ShardWorker {
+	policy.MaxAttempts = 1
+	return &ShardWorker{name: name, c: New(base, policy)}
+}
+
+// Name implements shard.Worker.
+func (w *ShardWorker) Name() string { return w.name }
+
+// Do implements shard.Worker.
+func (w *ShardWorker) Do(ctx context.Context, op string, req, resp any) error {
+	err := w.c.attempt(ctx, "POST", "/v1/shard/"+url.PathEscape(op), jsonBody(req), resp)
+	if err == nil {
+		return nil
+	}
+	if ae, ok := err.(*APIError); ok {
+		switch ae.Info.Kind {
+		case "shard_broken":
+			return fmt.Errorf("%w: worker %s: %s", shard.ErrEngineBroken, w.name, ae.Info.Message)
+		case "shard_fatal", "bad_request":
+			// Deterministic: re-running the same op anywhere reproduces it.
+			return &shard.FatalError{Err: fmt.Errorf("worker %s: %s", w.name, ae.Info.Message)}
+		}
+		// Everything else (overloaded, draining, deadline, engine, ...) is
+		// transient from the coordinator's seat: retry, then re-host.
+	}
+	return err
+}
+
+// Ping implements shard.Worker via the worker's liveness endpoint.
+func (w *ShardWorker) Ping(ctx context.Context) error {
+	_, err := w.c.Health(ctx)
+	return err
+}
+
+// Iterate runs the joint noise–delay padding fixpoint on a session —
+// distributed across the server's registered workers when it has any.
+// Deterministic and checkpoint-resumable server-side, so retrying is
+// safe.
+func (c *Client) Iterate(ctx context.Context, name string, req *server.IterateRequest, timeout time.Duration) (*server.AnalyzeResponse, error) {
+	var out server.AnalyzeResponse
+	path := "/v1/sessions/" + url.PathEscape(name) + "/iterate" + timeoutQuery(timeout)
+	if err := c.doRetry(ctx, "POST", path, jsonBody(req), &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RegisterWorker announces a shard worker to the coordinator. Idempotent
+// per name (re-registering replaces the URL), so transport retries are
+// safe.
+func (c *Client) RegisterWorker(ctx context.Context, req *server.RegisterWorkerRequest) (*server.WorkerInfo, error) {
+	var out server.WorkerInfo
+	if err := c.doRetry(ctx, "POST", "/v1/workers", jsonBody(req), &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Workers fetches the coordinator's registered worker fleet.
+func (c *Client) Workers(ctx context.Context) ([]server.WorkerInfo, error) {
+	var out []server.WorkerInfo
+	if err := c.doRetry(ctx, "GET", "/v1/workers", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -171,6 +171,20 @@ type analyzer struct {
 // coupled-event construction — used by Analyze, AnalyzeDelay, and the
 // iterative engine.
 func newAnalyzer(ctx context.Context, b *bind.Design, opts Options) (*analyzer, error) {
+	a, err := newAnalyzerBase(ctx, b, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.prepareAll(ctx, a.order); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// newAnalyzerBase builds everything up to (but not including) victim
+// preparation: timing, victim ordering, and the wave schedule. The sharded
+// engine uses it directly so each shard prepares only the victims it owns.
+func newAnalyzerBase(ctx context.Context, b *bind.Design, opts Options) (*analyzer, error) {
 	opts.fill()
 	a := &analyzer{
 		b:          b,
@@ -203,9 +217,6 @@ func newAnalyzer(ctx context.Context, b *bind.Design, opts Options) (*analyzer, 
 	}
 	sort.Strings(a.namesSorted)
 	a.buildWaves()
-	if err := a.prepareAll(ctx, a.order); err != nil {
-		return nil, err
-	}
 	return a, nil
 }
 
@@ -718,8 +729,15 @@ func netLevel(n *netlist.Net) int {
 // victimOrder returns the analyzable nets in propagation-friendly order:
 // port-driven nets first, then by driving instance level (feedback last).
 func (a *analyzer) victimOrder() []*netlist.Net {
-	a.b.Net.Levelize()
-	nets := a.b.Net.Nets()
+	return victimOrderOf(a.b)
+}
+
+// victimOrderOf is the package-level form of victimOrder, shared with the
+// shard planner so partitioning sees exactly the evaluation order and wave
+// structure every engine (single-process or shard) will use.
+func victimOrderOf(b *bind.Design) []*netlist.Net {
+	b.Net.Levelize()
+	nets := b.Net.Nets()
 	out := make([]*netlist.Net, 0, len(nets))
 	for _, n := range nets {
 		if n.Driver() == nil {
@@ -945,6 +963,19 @@ func propagateKind(u liberty.Unateness, in Kind) []Kind {
 // net's combined noise and records failures sorted by slack. Iterative
 // rounds call it repeatedly; the result slices are reused.
 func (a *analyzer) checkViolations(res *Result) {
+	a.gatherChecks(res)
+	SortViolations(res.Violations)
+	SortSlacks(res.Slacks)
+}
+
+// gatherChecks runs the immunity sweep and appends violations and slacks in
+// canonical order — alphabetical net, then the net's receiver order, then
+// kind — without the final slack sort. The sort comparators are not total
+// (ties on Slack and Net are possible across receivers and kinds), so the
+// deterministic output of checkViolations depends on this exact pre-sort
+// sequence; the shard collector returns it so the coordinator can rebuild
+// the identical sequence before applying the identical sort.
+func (a *analyzer) gatherChecks(res *Result) {
 	res.Violations = res.Violations[:0]
 	res.Slacks = res.Slacks[:0]
 	for _, netName := range a.namesSorted {
@@ -993,16 +1024,29 @@ func (a *analyzer) checkViolations(res *Result) {
 			}
 		}
 	}
-	sort.Slice(res.Violations, func(i, j int) bool {
-		if res.Violations[i].Slack != res.Violations[j].Slack {
-			return res.Violations[i].Slack < res.Violations[j].Slack
+}
+
+// SortViolations orders violations by slack (tightest first), then net —
+// the exact order checkViolations has always produced. Exported so the
+// shard coordinator applies the identical sort to the identical canonical
+// sequence, keeping distributed reports byte-identical to single-process
+// ones.
+func SortViolations(v []Violation) {
+	sort.Slice(v, func(i, j int) bool {
+		if v[i].Slack != v[j].Slack {
+			return v[i].Slack < v[j].Slack
 		}
-		return res.Violations[i].Net < res.Violations[j].Net
+		return v[i].Net < v[j].Net
 	})
-	sort.Slice(res.Slacks, func(i, j int) bool {
-		if res.Slacks[i].Slack != res.Slacks[j].Slack {
-			return res.Slacks[i].Slack < res.Slacks[j].Slack
+}
+
+// SortSlacks orders receiver slacks tightest first, then by net; see
+// SortViolations for why it is exported.
+func SortSlacks(s []ReceiverSlack) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Slack != s[j].Slack {
+			return s[i].Slack < s[j].Slack
 		}
-		return res.Slacks[i].Net < res.Slacks[j].Net
+		return s[i].Net < s[j].Net
 	})
 }

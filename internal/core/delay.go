@@ -155,18 +155,26 @@ func (a *analyzer) assembleDelay() *DelayResult {
 	for _, net := range a.order {
 		res.Impacts = append(res.Impacts, a.impacts[net.Name]...)
 	}
-	sort.Slice(res.Impacts, func(i, j int) bool {
-		if res.Impacts[i].Delta != res.Impacts[j].Delta {
-			return res.Impacts[i].Delta > res.Impacts[j].Delta
-		}
-		if res.Impacts[i].Net != res.Impacts[j].Net {
-			return res.Impacts[i].Net < res.Impacts[j].Net
-		}
-		return res.Impacts[i].Rise && !res.Impacts[j].Rise
-	})
+	SortImpacts(res.Impacts)
 	sortDiags(a.diags)
 	res.Diags = a.diags
 	return res
+}
+
+// SortImpacts orders delay impacts by delta (largest first), then net, then
+// edge (rise first). The comparator is total — a net contributes at most
+// one impact per edge — so sorting a merged multi-shard impact list yields
+// exactly the single-process order. Exported for the shard coordinator.
+func SortImpacts(ims []DelayImpact) {
+	sort.Slice(ims, func(i, j int) bool {
+		if ims[i].Delta != ims[j].Delta {
+			return ims[i].Delta > ims[j].Delta
+		}
+		if ims[i].Net != ims[j].Net {
+			return ims[i].Net < ims[j].Net
+		}
+		return ims[i].Rise && !ims[j].Rise
+	})
 }
 
 // safeDelayNet evaluates one victim's delta-delay impacts with panics

@@ -24,6 +24,10 @@ const (
 	StageEvaluate = "evaluate"
 	// StageDelay covers the per-net crosstalk delta-delay evaluation.
 	StageDelay = "delay"
+	// StageShard marks a victim whose owning shard was lost and could not
+	// be reassigned within budget in a distributed run: the coordinator
+	// substituted the conservative full-rail fallback for the whole shard.
+	StageShard = "shard"
 )
 
 // Diag records one net the engine could not analyze and what it did about
@@ -49,6 +53,11 @@ func (d Diag) String() string {
 	}
 	return fmt.Sprintf("net %s: %s failed (%s): %v", d.Net, d.Stage, action, d.Err)
 }
+
+// SortDiags orders diagnostics by net name then stage — exported for the
+// shard coordinator, which merges per-shard diagnostics (disjoint victim
+// sets, so no ties) with its own shard-loss records before reporting.
+func SortDiags(diags []Diag) { sortDiags(diags) }
 
 // sortDiags orders diagnostics by net name then stage for deterministic
 // reports regardless of worker scheduling.

@@ -69,7 +69,7 @@ func AnalyzeIterativeCtx(ctx context.Context, b *bind.Design, opts Options, maxR
 	if maxRounds <= 0 {
 		maxRounds = 8
 	}
-	const tol = units.Pico / 100
+	const tol = PaddingTol
 	padding := make(map[string]float64)
 	out := &IterativeResult{Padding: padding}
 	// The analyzer and the timing engine alias this map: padding grown

@@ -1,0 +1,400 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/bind"
+	"repro/internal/netlist"
+	"repro/internal/units"
+)
+
+// Sharded analysis support. A shard owns a subset of the victim nets but
+// holds the full design: timing, RC networks, and cell models are cheap
+// relative to the noise analysis itself, and running full STA everywhere is
+// what makes a shard's view of aggressor windows bit-identical to the
+// single-process engine's. Only propagated noise crosses shard boundaries —
+// a victim's coupled events depend on aggressor *timing* (local everywhere)
+// while its propagated events read the committed combinations of its fanin
+// nets, which may be owned elsewhere. The coordinator (internal/shard)
+// ships exactly those fanin combinations between shards, wave by wave, and
+// the resulting global fixpoint is byte-identical to runFixpoint.
+//
+// ShardEngine deliberately reuses the serial engine's own loops (evalNet,
+// commitEval, reprepare, delayPass) rather than re-implementing them: the
+// equivalence argument is "same code over the same inputs in the same
+// order", not a parallel implementation to keep in sync.
+
+// PaddingTol is the padding-convergence tolerance of the iterative loop
+// (0.01 ps), exported so the distributed coordinator grows padding with
+// exactly the single-process rule.
+const PaddingTol = units.Pico / 100
+
+// DefaultMaxIter resolves Options.MaxIter the way the engine does.
+func DefaultMaxIter(maxIter int) int {
+	if maxIter <= 0 {
+		return 16
+	}
+	return maxIter
+}
+
+// DefaultMaxRounds resolves AnalyzeIterative's maxRounds default.
+func DefaultMaxRounds(maxRounds int) int {
+	if maxRounds <= 0 {
+		return 8
+	}
+	return maxRounds
+}
+
+// EffectiveVdd resolves the supply voltage an analysis of this design will
+// use — Options.Vdd when positive, the library supply otherwise. The
+// coordinator needs it to synthesize full-rail fallbacks for abandoned
+// shards that match what any engine would have produced.
+func EffectiveVdd(b *bind.Design, opts Options) float64 {
+	if opts.Vdd > 0 {
+		return opts.Vdd
+	}
+	return b.Lib.Vdd
+}
+
+// FullRail returns the conservative fallback event and combination for a
+// net the engine could not analyze, identical to the engine's internal
+// fullRailEvent/fullRailComb. Exported so the coordinator can substitute
+// the very same bound for every net of an irrecoverably lost shard.
+func FullRail(vdd float64) (Event, Combined) {
+	a := analyzer{vdd: vdd}
+	return a.fullRailEvent(), a.fullRailComb()
+}
+
+// PlanWave is one level wavefront of the evaluation schedule, by net name.
+type PlanWave struct {
+	// Nets lists the wave's nets in evaluation (victimOrder) order.
+	Nets []string
+	// Serial marks the feedback wave: its nets read each other within a
+	// pass (Gauss–Seidel), so they must all be owned by one shard.
+	Serial bool
+}
+
+// ShardPlan is the design-global schedule and connectivity the partitioner
+// and coordinator work from. It is derived deterministically from the bound
+// design alone, so every participant (coordinator, each worker, a restarted
+// coordinator) reconstructs the identical plan.
+type ShardPlan struct {
+	// Order is the global victim evaluation order.
+	Order []string
+	// Waves partitions Order into level wavefronts.
+	Waves []PlanWave
+	// Fanin maps each analyzed net to the analyzed nets its propagated
+	// events read (its driver's input nets), sorted. A shard must know the
+	// committed combinations of every fanin of an owned net before
+	// evaluating its wave; fanins it does not own are its imports.
+	Fanin map[string][]string
+	// Adjacency is the undirected affinity graph the partitioner cuts:
+	// coupling neighbours (from the RC networks) plus fanin/fanout edges,
+	// sorted and deduplicated per net. Cutting a coupling edge costs
+	// nothing at runtime (aggressor timing is local to every shard), but
+	// keeping coupled and logically adjacent nets together is what keeps
+	// boundary traffic and padding churn low.
+	Adjacency map[string][]string
+	// Feedback lists the nets of serial waves (empty for acyclic designs).
+	Feedback []string
+}
+
+// BuildShardPlan derives the evaluation schedule and the affinity graph
+// from the bound design. It runs no timing and builds no noise contexts, so
+// it is cheap enough for the coordinator to rebuild on every run.
+func BuildShardPlan(ctx context.Context, b *bind.Design) (*ShardPlan, error) {
+	order := victimOrderOf(b)
+	plan := &ShardPlan{
+		Order:     make([]string, len(order)),
+		Fanin:     make(map[string][]string, len(order)),
+		Adjacency: make(map[string][]string, len(order)),
+	}
+	inOrder := make(map[string]bool, len(order))
+	for i, n := range order {
+		plan.Order[i] = n.Name
+		inOrder[n.Name] = true
+	}
+	for lo := 0; lo < len(order); {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		lvl := netLevel(order[lo])
+		hi := lo + 1
+		for hi < len(order) && netLevel(order[hi]) == lvl {
+			hi++
+		}
+		w := PlanWave{Nets: plan.Order[lo:hi], Serial: lvl == feedbackLevel}
+		plan.Waves = append(plan.Waves, w)
+		if w.Serial {
+			plan.Feedback = append(plan.Feedback, w.Nets...)
+		}
+		lo = hi
+	}
+	adj := make(map[string]map[string]bool, len(order))
+	link := func(a, b string) {
+		if a == b || !inOrder[a] || !inOrder[b] {
+			return
+		}
+		if adj[a] == nil {
+			adj[a] = make(map[string]bool)
+		}
+		if adj[b] == nil {
+			adj[b] = make(map[string]bool)
+		}
+		adj[a][b] = true
+		adj[b][a] = true
+	}
+	for i, n := range order {
+		if i&0x3f == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		// Structural fanin: the driver instance's input nets.
+		if drv := n.Driver(); drv != nil && drv.Inst != nil {
+			var fanin []string
+			seen := make(map[string]bool)
+			for _, ic := range drv.Inst.Inputs() {
+				if ic.Net == nil || !inOrder[ic.Net.Name] || seen[ic.Net.Name] {
+					continue
+				}
+				seen[ic.Net.Name] = true
+				fanin = append(fanin, ic.Net.Name)
+				link(n.Name, ic.Net.Name)
+			}
+			sort.Strings(fanin)
+			plan.Fanin[n.Name] = fanin
+		}
+		// Coupling neighbours from the extracted parasitics.
+		if nw, err := b.Network(n.Name); err == nil {
+			for _, c := range nw.CouplingsView() {
+				if c.OtherNet != "" {
+					link(n.Name, c.OtherNet)
+				}
+			}
+		}
+	}
+	i := 0
+	for name, set := range adj {
+		if i&0x3f == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		i++
+		out := make([]string, 0, len(set))
+		for other := range set {
+			out = append(out, other)
+		}
+		sort.Strings(out)
+		plan.Adjacency[name] = out
+	}
+	return plan, nil
+}
+
+// WaveUpdate is one net's committed combination change from an EvalWave
+// call: the coordinator applies it to its authoritative state and forwards
+// it to every shard that imports the net.
+type WaveUpdate struct {
+	Net  string
+	Comb [2]Combined
+}
+
+// ShardCollect is one shard's final contribution to the merged result.
+type ShardCollect struct {
+	// Nets holds the owned victims' final noise records.
+	Nets map[string]*NetNoise
+	// Violations and Slacks are in canonical gather order (see
+	// gatherChecks) restricted to owned nets — the coordinator interleaves
+	// the shards' sequences by global alphabetical net order and then
+	// applies the identical final sorts.
+	Violations []Violation
+	Slacks     []ReceiverSlack
+	// Diags are the shard's fail-soft degradations, sorted.
+	Diags []Diag
+	// Pairs, Filtered, and Propagated are the shard's additive statistics
+	// contributions.
+	Pairs, Filtered, Propagated int
+}
+
+// ShardEngine runs the per-round noise/delay fixpoint over one partition of
+// the victim set. It is driven from outside, one wave at a time: the
+// coordinator feeds it the boundary combinations its owned nets read
+// (SetComb), asks it to evaluate the owned slice of each wave (EvalWave),
+// applies the round's padding growth (ApplyRound), and finally collects the
+// shard's slice of the result (Collect, DelayImpacts).
+type ShardEngine struct {
+	a          *analyzer
+	res        *Result
+	owned      map[string]bool
+	ownedOrder []*netlist.Net
+}
+
+// NewShardEngine builds a shard over the full design that prepares and
+// evaluates only the owned nets. The padding map seeds the timing run
+// (values are copied); an engine rebuilt after a worker loss with the
+// cumulative padding is therefore in exactly the state a surviving engine
+// reached through incremental updates, by the same rebuild-equivalence
+// contract core.Session relies on.
+func NewShardEngine(ctx context.Context, b *bind.Design, opts Options, owned []string, padding map[string]float64) (*ShardEngine, error) {
+	pad := make(map[string]float64, len(padding))
+	for net, p := range padding {
+		pad[net] = p
+	}
+	opts.STA.WindowPadding = pad
+	a, err := newAnalyzerBase(ctx, b, opts)
+	if err != nil {
+		return nil, err
+	}
+	e := &ShardEngine{a: a, owned: make(map[string]bool, len(owned))}
+	for i, name := range owned {
+		if i&0x3f == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if _, ok := a.orderIdx[name]; !ok {
+			return nil, fmt.Errorf("core: shard owns unknown net %s", name)
+		}
+		e.owned[name] = true
+	}
+	for _, net := range a.order {
+		if e.owned[net.Name] {
+			e.ownedOrder = append(e.ownedOrder, net)
+		}
+	}
+	if err := a.prepareAll(ctx, e.ownedOrder); err != nil {
+		return nil, err
+	}
+	e.res = a.newResult()
+	return e, nil
+}
+
+// NumWaves returns the wave count of the evaluation schedule.
+func (e *ShardEngine) NumWaves() int { return len(e.a.waves) }
+
+// Vdd returns the effective supply voltage of the run.
+func (e *ShardEngine) Vdd() float64 { return e.a.vdd }
+
+// SetComb installs an externally committed combination for a net — a
+// boundary import from another shard, or a restored authoritative value
+// after this engine was rebuilt mid-run. It reports whether the net exists.
+func (e *ShardEngine) SetComb(net string, comb [2]Combined) bool {
+	nn := e.res.Nets[net]
+	if nn == nil {
+		return false
+	}
+	nn.Comb = comb
+	return true
+}
+
+// EvalWave evaluates the owned slice of one wave, in global evaluation
+// order, through the serial engine's own evalNet/commitEval pair, and
+// returns the nets whose committed combination changed. The loop is the
+// serial reference loop of evalWave restricted to owned nets; fail-soft
+// degradation, statistics, and the change test are therefore identical.
+// On error the updates committed so far are still returned — an aborted
+// attempt has already mutated the engine, and the runner must remember
+// those commits so a retried dispatch reports them rather than losing
+// them (a re-evaluated net compares equal and stays silent).
+func (e *ShardEngine) EvalWave(ctx context.Context, wi int) ([]WaveUpdate, error) {
+	if wi < 0 || wi >= len(e.a.waves) {
+		return nil, fmt.Errorf("core: shard wave %d out of range", wi)
+	}
+	w := e.a.waves[wi]
+	var ups []WaveUpdate
+	k := 0
+	for i := w.lo; i < w.hi; i++ {
+		net := e.a.order[i]
+		if !e.owned[net.Name] {
+			continue
+		}
+		if k&0x3f == 0 {
+			if err := ctx.Err(); err != nil {
+				return ups, err
+			}
+		}
+		k++
+		nn := e.res.Nets[net.Name]
+		ev, err := e.a.evalNet(net, nn, e.res, &e.a.scratch)
+		c, cerr := e.a.commitEval(net, nn, ev, err)
+		if cerr != nil {
+			return ups, cerr
+		}
+		if c {
+			ups = append(ups, WaveUpdate{Net: net.Name, Comb: nn.Comb})
+		}
+	}
+	return ups, nil
+}
+
+// ApplyRound applies one round of padding growth: the changed nets' new
+// absolute padding values are written into the timing options, the timing
+// annotation is updated in place (full design, exactly as the
+// single-process iterative loop does), and every owned victim's coupled
+// events are rebuilt. Re-preparing a victim whose aggressor timing did not
+// move rebuilds identical events, so the blanket re-prepare is equivalent
+// to the single-process dirty-set one; it just trades a little work for
+// not needing the aggressor index on the coordinator.
+func (e *ShardEngine) ApplyRound(ctx context.Context, changed []string, padding map[string]float64) error {
+	for _, net := range changed {
+		e.a.opts.STA.WindowPadding[net] = padding[net]
+	}
+	if _, err := e.a.staRes.UpdatePaddingCtx(ctx, e.a.opts.STA, changed); err != nil {
+		return err
+	}
+	return e.a.reprepare(ctx, e.ownedOrder)
+}
+
+// DelayImpacts runs the crosstalk delta-delay pass over the owned victims
+// and returns their impacts in evaluation order (the order assembleDelay
+// flattens in). The impact sort comparator is total, so the coordinator
+// may sort the concatenation of all shards' lists and obtain exactly the
+// single-process order.
+func (e *ShardEngine) DelayImpacts(ctx context.Context) ([]DelayImpact, error) {
+	if err := e.a.delayPass(ctx, e.owned); err != nil {
+		return nil, err
+	}
+	var out []DelayImpact
+	for i, net := range e.ownedOrder {
+		if i&0x3f == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, e.a.impacts[net.Name]...)
+	}
+	return out, nil
+}
+
+// Collect returns the shard's slice of the final result. Violations and
+// slacks come from the canonical gather sweep — degraded and non-owned
+// victims have no noise context here, so the sweep yields exactly the
+// owned nets' canonical subsequence.
+func (e *ShardEngine) Collect(ctx context.Context) (*ShardCollect, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.a.gatherChecks(e.res)
+	out := &ShardCollect{
+		Nets:       make(map[string]*NetNoise, len(e.ownedOrder)),
+		Pairs:      e.a.stats.AggressorPairs,
+		Filtered:   e.a.stats.Filtered,
+		Propagated: e.a.propTotal,
+	}
+	for i, net := range e.ownedOrder {
+		if i&0x3f == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		out.Nets[net.Name] = e.res.Nets[net.Name]
+	}
+	out.Violations = append(out.Violations, e.res.Violations...)
+	out.Slacks = append(out.Slacks, e.res.Slacks...)
+	sortDiags(e.a.diags)
+	out.Diags = append(out.Diags, e.a.diags...)
+	return out, nil
+}

@@ -63,6 +63,7 @@ import (
 	"repro/internal/lint"
 	"repro/internal/netlist"
 	"repro/internal/report"
+	"repro/internal/shard"
 	"repro/internal/spef"
 	"repro/internal/sta"
 	"repro/internal/vlog"
@@ -109,6 +110,17 @@ type Config struct {
 	// recovery machinery; production leaves it empty.
 	StoreFaultSpec string
 
+	// WorkerDialer builds a shard.Worker for a registered worker URL. It
+	// is injected by cmd/snad (the client package implements it, and the
+	// server cannot import the client); nil disables worker registration
+	// and distributed iterate.
+	WorkerDialer func(name, url string) shard.Worker
+	// Shards is the default shard count for distributed iterate (0 = one
+	// shard per healthy worker).
+	Shards int
+	// HeartbeatEvery is the worker health-probe interval (default 2s).
+	HeartbeatEvery time.Duration
+
 	// now is the clock, injectable for breaker tests.
 	now func() time.Time
 }
@@ -137,6 +149,9 @@ func (c *Config) fill() {
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 2 * time.Second
 	}
 	if c.now == nil {
 		c.now = time.Now
@@ -177,6 +192,19 @@ type Server struct {
 	recovery      *report.RecoveryJSON
 	storeDegraded atomic.Bool
 
+	// shardMu guards the shard runners this server hosts as a worker,
+	// keyed "token/shard".
+	shardMu      sync.Mutex
+	shardRunners map[string]*shard.Runner
+
+	// workerMu guards the registered shard workers (this server as
+	// coordinator); hbStop ends the heartbeat loop, started on the first
+	// registration.
+	workerMu sync.Mutex
+	workers  map[string]*workerEntry
+	hbOnce   sync.Once
+	hbStop   chan struct{}
+
 	handler http.Handler
 }
 
@@ -187,11 +215,14 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg.fill()
 	s := &Server{
-		cfg:      cfg,
-		sem:      make(chan struct{}, cfg.MaxConcurrent),
-		queue:    make(chan struct{}, cfg.QueueDepth),
-		sessions: make(map[string]*session),
-		lastUsed: make(map[string]time.Time),
+		cfg:          cfg,
+		sem:          make(chan struct{}, cfg.MaxConcurrent),
+		queue:        make(chan struct{}, cfg.QueueDepth),
+		sessions:     make(map[string]*session),
+		lastUsed:     make(map[string]time.Time),
+		shardRunners: make(map[string]*shard.Runner),
+		workers:      make(map[string]*workerEntry),
+		hbStop:       make(chan struct{}),
 	}
 	s.forceCtx, s.forceCancel = context.WithCancel(context.Background())
 	if cfg.DataDir != "" {
@@ -224,7 +255,11 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleDelete)
 	mux.HandleFunc("POST /v1/sessions/{name}/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/sessions/{name}/reanalyze", s.handleReanalyze)
+	mux.HandleFunc("POST /v1/sessions/{name}/iterate", s.handleIterate)
 	mux.HandleFunc("GET /v1/sessions/{name}/report", s.handleReport)
+	mux.HandleFunc("POST /v1/shard/{op}", s.handleShardOp)
+	mux.HandleFunc("POST /v1/workers", s.handleRegisterWorker)
+	mux.HandleFunc("GET /v1/workers", s.handleListWorkers)
 	s.handler = s.barrier(mux)
 	return s, nil
 }
@@ -300,9 +335,12 @@ func (s *Server) quarantineSpec(name, reason string) {
 	}
 }
 
-// Close releases the store's journal handle. The server stays usable for
+// Close stops the worker heartbeat, drops hosted shard engines, and
+// releases the store's journal handle. The server stays usable for
 // in-memory reads; call it after Drain.
 func (s *Server) Close() error {
+	s.stopHeartbeat()
+	s.closeShardRunners()
 	if s.store == nil {
 		return nil
 	}
@@ -865,6 +903,7 @@ func (s *Server) buildSession(req *CreateSessionRequest) (*session, *ErrorInfo) 
 	}
 	return &session{
 		name: req.Name,
+		spec: req,
 		busy: make(chan struct{}, 1),
 		b:    b,
 		opts: core.Options{

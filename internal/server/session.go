@@ -27,6 +27,11 @@ type session struct {
 	b    *bind.Design
 	opts core.Options
 
+	// spec is the create request the session was built from, retained so
+	// a distributed iterate can ship the same sources to remote workers.
+	// Immutable after create.
+	spec *CreateSessionRequest
+
 	// padding is the cumulative per-net window padding every reanalyze has
 	// applied, mirrored from the engine after each successful delta. It is
 	// what the durable store journals, and what re-seeds the engine when a

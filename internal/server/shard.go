@@ -1,0 +1,577 @@
+package server
+
+// Distributed analysis support, both directions:
+//
+//   - snad as worker: /v1/shard/{op} hosts shard engines behind the
+//     shard.Runner protocol. Engines are keyed by (run token, shard) and
+//     built from the design spec shipped in the init request, so a worker
+//     needs no prior session state — a coordinator can aim at any idle
+//     snad process.
+//
+//   - snad as coordinator: registered workers (/v1/workers) are probed by
+//     a heartbeat, and POST /v1/sessions/{name}/iterate fans the joint
+//     noise–delay fixpoint out across the healthy ones via shard.Run. A
+//     healthy distributed run returns noise and delay sections
+//     byte-identical to the single-process path; worker loss degrades to
+//     re-hosting, then to conservative full-rail results with degradation
+//     diagnostics — never to a failed request. With a data directory, the
+//     coordinator checkpoints round state so a restarted server resumes a
+//     mid-fixpoint iterate instead of starting over.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/bind"
+	"repro/internal/core"
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+	"repro/internal/report"
+	"repro/internal/shard"
+	"repro/internal/spef"
+	"repro/internal/sta"
+	"repro/internal/vlog"
+)
+
+// workerEntry is one registered shard worker and its heartbeat state.
+// info is guarded by the server's workerMu; w is immutable after
+// registration.
+type workerEntry struct {
+	info WorkerInfo
+	w    shard.Worker
+}
+
+// RegisterWorker adds (or replaces) a shard worker. It is the programmatic
+// form of POST /v1/workers, used by cmd/snad to register the -workers
+// flag's static fleet at boot.
+func (s *Server) RegisterWorker(name, url string) (WorkerInfo, error) {
+	if s.cfg.WorkerDialer == nil {
+		return WorkerInfo{}, fmt.Errorf("server has no worker dialer; distributed analysis is disabled")
+	}
+	if url == "" {
+		return WorkerInfo{}, fmt.Errorf("worker url is required")
+	}
+	if name == "" {
+		name = url
+	}
+	entry := &workerEntry{
+		info: WorkerInfo{Name: name, URL: url, Healthy: true},
+		w:    s.cfg.WorkerDialer(name, url),
+	}
+	s.workerMu.Lock()
+	s.workers[name] = entry
+	s.workerMu.Unlock()
+	s.hbOnce.Do(func() { go s.heartbeatLoop() })
+	s.cfg.Logf("worker %q registered at %s", name, url)
+	return entry.info, nil
+}
+
+// heartbeatLoop probes every registered worker each interval. A failed
+// probe marks the worker unhealthy (iterate skips it); a later success
+// revives it — transient network trouble must not permanently shrink the
+// fleet.
+func (s *Server) heartbeatLoop() {
+	ticker := time.NewTicker(s.cfg.HeartbeatEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.hbStop:
+			return
+		case <-ticker.C:
+		}
+		for _, e := range s.workerSnapshot() {
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.HeartbeatEvery)
+			err := e.w.Ping(ctx)
+			cancel()
+			was := s.recordProbe(e, err)
+			if was && err != nil {
+				s.cfg.Logf("worker %q failed heartbeat: %v", e.info.Name, err)
+			} else if !was && err == nil {
+				s.cfg.Logf("worker %q recovered", e.info.Name)
+			}
+		}
+	}
+}
+
+// workerSnapshot copies the registered fleet in name order (probe order is
+// observable through log lines and LastSeenAt skew; keep it deterministic).
+func (s *Server) workerSnapshot() []*workerEntry {
+	s.workerMu.Lock()
+	defer s.workerMu.Unlock()
+	names := make([]string, 0, len(s.workers))
+	for name := range s.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	entries := make([]*workerEntry, len(names))
+	for i, name := range names {
+		entries[i] = s.workers[name]
+	}
+	return entries
+}
+
+// recordProbe folds one heartbeat outcome into the worker's health state,
+// reporting the previous health so the caller can log transitions.
+func (s *Server) recordProbe(e *workerEntry, err error) (was bool) {
+	s.workerMu.Lock()
+	defer s.workerMu.Unlock()
+	was = e.info.Healthy
+	e.info.Healthy = err == nil
+	if err == nil {
+		e.info.LastSeenAt = s.cfg.now().UTC().Format(time.RFC3339Nano)
+	}
+	return was
+}
+
+func (s *Server) stopHeartbeat() {
+	// hbOnce also guards the stop: closing hbStop before any registration
+	// must not panic a later (impossible post-Close, but cheap to harden)
+	// loop start.
+	s.hbOnce.Do(func() {})
+	select {
+	case <-s.hbStop:
+	default:
+		close(s.hbStop)
+	}
+}
+
+// healthyWorkers snapshots the live fleet in name order — deterministic
+// ordering feeds the partitioner's deterministic shard→worker mapping.
+func (s *Server) healthyWorkers() []shard.Worker {
+	s.workerMu.Lock()
+	defer s.workerMu.Unlock()
+	names := make([]string, 0, len(s.workers))
+	for name, e := range s.workers {
+		if e.info.Healthy {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	out := make([]shard.Worker, len(names))
+	for i, name := range names {
+		out[i] = s.workers[name].w
+	}
+	return out
+}
+
+func (s *Server) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
+	var req RegisterWorkerRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, ErrorInfo{Kind: "bad_request", Message: err.Error()}, 0)
+		return
+	}
+	info, err := s.RegisterWorker(req.Name, req.URL)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, ErrorInfo{Kind: "bad_request", Message: err.Error()}, 0)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleListWorkers(w http.ResponseWriter, r *http.Request) {
+	entries := s.workerSnapshot()
+	infos := make([]WorkerInfo, len(entries))
+	s.workerMu.Lock()
+	for i, e := range entries {
+		infos[i] = e.info
+	}
+	s.workerMu.Unlock()
+	s.writeJSON(w, http.StatusOK, infos)
+}
+
+// --- snad as worker: hosted shard runners ---
+
+func runnerKey(token string, shardID int) string {
+	return fmt.Sprintf("%s/%d", token, shardID)
+}
+
+// runnerFor looks up a hosted shard runner.
+func (s *Server) runnerFor(token string, shardID int) *shard.Runner {
+	s.shardMu.Lock()
+	defer s.shardMu.Unlock()
+	return s.shardRunners[runnerKey(token, shardID)]
+}
+
+// installRunner publishes a freshly initialized shard engine, closing any
+// previous engine registered under the same (token, shard) — a re-init
+// after a coordinator retry must not leak the replaced engine.
+func (s *Server) installRunner(token string, shardID int, r *shard.Runner) {
+	s.shardMu.Lock()
+	defer s.shardMu.Unlock()
+	key := runnerKey(token, shardID)
+	if old := s.shardRunners[key]; old != nil {
+		old.Close()
+	}
+	s.shardRunners[key] = r
+}
+
+// dropRunners closes one hosted shard engine, or — shardID < 0 — every
+// engine of the run token (coordinator teardown).
+func (s *Server) dropRunners(token string, shardID int) {
+	s.shardMu.Lock()
+	defer s.shardMu.Unlock()
+	if shardID < 0 {
+		prefix := token + "/"
+		for key, runner := range s.shardRunners {
+			if strings.HasPrefix(key, prefix) {
+				runner.Close()
+				delete(s.shardRunners, key)
+			}
+		}
+		return
+	}
+	key := runnerKey(token, shardID)
+	if runner := s.shardRunners[key]; runner != nil {
+		runner.Close()
+		delete(s.shardRunners, key)
+	}
+}
+
+// closeShardRunners drops every hosted shard engine (server shutdown).
+func (s *Server) closeShardRunners() {
+	s.shardMu.Lock()
+	defer s.shardMu.Unlock()
+	for key, r := range s.shardRunners {
+		r.Close()
+		delete(s.shardRunners, key)
+	}
+}
+
+// designFromSpec parses and binds a shipped design spec. It is the worker
+// side of buildSession's parse path, minus lint: shard init is an internal
+// protocol whose inputs already passed the coordinator session's
+// pre-flight.
+func designFromSpec(spec *shard.DesignSpec) (*bind.Design, core.Options, error) {
+	var zero core.Options
+	if (spec.Netlist == "") == (spec.Verilog == "") {
+		return nil, zero, fmt.Errorf("design spec needs exactly one of netlist or verilog")
+	}
+	lib := liberty.Generic()
+	if spec.Liberty != "" {
+		var err error
+		if lib, err = liberty.Parse(strings.NewReader(spec.Liberty)); err != nil {
+			return nil, zero, err
+		}
+	}
+	var design *netlist.Design
+	var err error
+	if spec.Verilog != "" {
+		design, err = vlog.Parse(strings.NewReader(spec.Verilog), lib)
+	} else {
+		design, err = netlist.Parse(strings.NewReader(spec.Netlist))
+	}
+	if err != nil {
+		return nil, zero, err
+	}
+	var paras *spef.Parasitics
+	if spec.SPEF != "" {
+		if paras, err = spef.Parse(strings.NewReader(spec.SPEF)); err != nil {
+			return nil, zero, err
+		}
+	}
+	var inputs map[string]*sta.Timing
+	if spec.Timing != "" {
+		if inputs, err = sta.ParseInputTiming(strings.NewReader(spec.Timing)); err != nil {
+			return nil, zero, err
+		}
+	}
+	mode, err := parseMode(spec.Options.Mode)
+	if err != nil {
+		return nil, zero, err
+	}
+	b, err := bind.New(design, lib, paras)
+	if err != nil {
+		return nil, zero, err
+	}
+	return b, core.Options{
+		Mode:             mode,
+		FilterThreshold:  spec.Options.Threshold,
+		NoPropagation:    spec.Options.NoPropagation,
+		LogicCorrelation: spec.Options.LogicCorrelation,
+		Workers:          spec.Options.Workers,
+		FailSoft:         !spec.Options.FailFast,
+		MaxIter:          spec.Options.MaxIter,
+		STA:              sta.Options{InputTiming: inputs},
+	}, nil
+}
+
+// designSpecOf converts a session's retained create request into the wire
+// spec shipped to remote workers. Runtime fault injection deliberately
+// stays local: it chaos-tests one process, not the fleet.
+func designSpecOf(req *CreateSessionRequest) *shard.DesignSpec {
+	return &shard.DesignSpec{
+		Netlist: req.Netlist,
+		Verilog: req.Verilog,
+		SPEF:    req.SPEF,
+		Liberty: req.Liberty,
+		Timing:  req.Timing,
+		Options: shard.OptionsSpec{
+			Mode:             req.Options.Mode,
+			Threshold:        req.Options.Threshold,
+			NoPropagation:    req.Options.NoPropagation,
+			LogicCorrelation: req.Options.LogicCorrelation,
+			Workers:          req.Options.Workers,
+			FailFast:         req.Options.FailFast,
+		},
+	}
+}
+
+// writeShardErr maps a runner error onto the wire so the coordinator's
+// client can reconstruct the shard error taxonomy: shard_broken asks for
+// a re-init of the same engine, shard_fatal would recur anywhere and
+// aborts the run, deadline/canceled are transient.
+func (s *Server) writeShardErr(w http.ResponseWriter, err error) {
+	var fe *shard.FatalError
+	switch {
+	case errors.Is(err, shard.ErrEngineBroken):
+		s.writeErr(w, http.StatusConflict, ErrorInfo{Kind: "shard_broken", Message: err.Error()}, 0)
+	case errors.As(err, &fe):
+		s.writeErr(w, http.StatusBadRequest, ErrorInfo{Kind: "shard_fatal", Message: err.Error()}, 0)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeErr(w, http.StatusServiceUnavailable, ErrorInfo{Kind: "deadline", Message: err.Error()}, s.cfg.RetryAfter)
+	case errors.Is(err, context.Canceled):
+		s.writeErr(w, http.StatusServiceUnavailable, ErrorInfo{Kind: "canceled", Message: err.Error()}, 0)
+	default:
+		s.writeErr(w, http.StatusInternalServerError, ErrorInfo{Kind: "engine", Message: err.Error()}, 0)
+	}
+}
+
+// handleShardOp executes one coordinator dispatch against a hosted shard
+// engine. Ops pass through the same bounded admission as analyses — a
+// worker past its concurrency budget sheds coordinator dispatches with
+// 429, and the coordinator's retry/re-host machinery absorbs it.
+func (s *Server) handleShardOp(w http.ResponseWriter, r *http.Request) {
+	op := r.PathValue("op")
+	if op == shard.OpPing {
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel, err := s.requestCtx(r)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, ErrorInfo{Kind: "bad_request", Message: err.Error()}, 0)
+		return
+	}
+	defer cancel()
+
+	badBody := func(err error) {
+		s.writeErr(w, http.StatusBadRequest, ErrorInfo{Kind: "bad_request", Message: err.Error()}, 0)
+	}
+	switch op {
+	case shard.OpInit:
+		var req shard.InitRequest
+		if err := decodeBody(r.Body, &req); err != nil {
+			badBody(err)
+			return
+		}
+		if req.Design == nil {
+			s.writeErr(w, http.StatusBadRequest, ErrorInfo{
+				Kind: "shard_fatal", Message: "init without a design spec (remote workers build their own engines)",
+			}, 0)
+			return
+		}
+		spec := req.Design
+		runner := shard.NewRunner(func(ctx context.Context, owned []string, padding map[string]float64) (*core.ShardEngine, error) {
+			b, opts, err := designFromSpec(spec)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewShardEngine(ctx, b, opts, owned, padding)
+		})
+		if err := runner.Init(ctx, &req); err != nil {
+			s.writeShardErr(w, err)
+			return
+		}
+		s.installRunner(req.Token, req.Shard, runner)
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	case shard.OpEval:
+		var req shard.EvalRequest
+		if err := decodeBody(r.Body, &req); err != nil {
+			badBody(err)
+			return
+		}
+		runner := s.runnerFor(req.Token, req.Shard)
+		if runner == nil {
+			s.writeErr(w, http.StatusBadRequest, ErrorInfo{
+				Kind: "shard_fatal", Message: fmt.Sprintf("eval on uninitialized shard %s/%d", req.Token, req.Shard),
+			}, 0)
+			return
+		}
+		resp, err := runner.Eval(ctx, &req)
+		if err != nil {
+			s.writeShardErr(w, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, resp)
+	case shard.OpRound:
+		var req shard.RoundRequest
+		if err := decodeBody(r.Body, &req); err != nil {
+			badBody(err)
+			return
+		}
+		runner := s.runnerFor(req.Token, req.Shard)
+		if runner == nil {
+			s.writeErr(w, http.StatusBadRequest, ErrorInfo{
+				Kind: "shard_fatal", Message: fmt.Sprintf("round on uninitialized shard %s/%d", req.Token, req.Shard),
+			}, 0)
+			return
+		}
+		if err := runner.Round(ctx, &req); err != nil {
+			s.writeShardErr(w, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	case shard.OpDelay:
+		var req shard.DelayRequest
+		if err := decodeBody(r.Body, &req); err != nil {
+			badBody(err)
+			return
+		}
+		runner := s.runnerFor(req.Token, req.Shard)
+		if runner == nil {
+			s.writeErr(w, http.StatusBadRequest, ErrorInfo{
+				Kind: "shard_fatal", Message: fmt.Sprintf("delay on uninitialized shard %s/%d", req.Token, req.Shard),
+			}, 0)
+			return
+		}
+		resp, err := runner.Delay(ctx, &req)
+		if err != nil {
+			s.writeShardErr(w, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, resp)
+	case shard.OpCollect:
+		var req shard.CollectRequest
+		if err := decodeBody(r.Body, &req); err != nil {
+			badBody(err)
+			return
+		}
+		runner := s.runnerFor(req.Token, req.Shard)
+		if runner == nil {
+			s.writeErr(w, http.StatusBadRequest, ErrorInfo{
+				Kind: "shard_fatal", Message: fmt.Sprintf("collect on uninitialized shard %s/%d", req.Token, req.Shard),
+			}, 0)
+			return
+		}
+		resp, err := runner.Collect(ctx, &req)
+		if err != nil {
+			s.writeShardErr(w, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, resp)
+	case shard.OpClose:
+		var req shard.CloseRequest
+		if err := decodeBody(r.Body, &req); err != nil {
+			badBody(err)
+			return
+		}
+		s.dropRunners(req.Token, req.Shard)
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	default:
+		s.writeErr(w, http.StatusNotFound, ErrorInfo{
+			Kind: "bad_request", Message: fmt.Sprintf("unknown shard op %q", op),
+		}, 0)
+	}
+}
+
+// --- snad as coordinator: the iterate endpoint ---
+
+func (s *Server) handleIterate(w http.ResponseWriter, r *http.Request) {
+	var req IterateRequest
+	if err := decodeBodyOptional(r.Body, &req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, ErrorInfo{Kind: "bad_request", Message: err.Error()}, 0)
+		return
+	}
+	s.analysis(w, r, func(ctx context.Context, ss *session) (*AnalyzeResponse, error) {
+		workers := s.healthyWorkers()
+		if !req.Local && len(workers) > 0 && ss.spec != nil {
+			return s.iterateDistributed(ctx, ss, &req, workers)
+		}
+		return s.iterateLocal(ctx, ss, &req)
+	})
+}
+
+func (s *Server) iterateLocal(ctx context.Context, ss *session, req *IterateRequest) (*AnalyzeResponse, error) {
+	out, err := core.AnalyzeIterativeCtx(ctx, ss.b, ss.opts, req.MaxRounds)
+	if err != nil {
+		return nil, err
+	}
+	resp := &AnalyzeResponse{
+		Session: ss.name,
+		Noise:   report.BuildJSON(out.Noise),
+		Iterate: &IterateInfo{
+			Rounds:        out.Rounds,
+			Converged:     out.Converged,
+			Diverging:     out.Diverging,
+			DivergeReason: out.DivergeReason,
+		},
+	}
+	if req.Delay {
+		resp.Delay = report.BuildDelayJSON(out.Delay)
+	}
+	return resp, nil
+}
+
+func (s *Server) iterateDistributed(ctx context.Context, ss *session, req *IterateRequest, workers []shard.Worker) (*AnalyzeResponse, error) {
+	shards := req.Shards
+	if shards <= 0 {
+		shards = s.cfg.Shards
+	}
+	if shards <= 0 {
+		shards = len(workers)
+	}
+	cfg := shard.Config{
+		B:         ss.b,
+		Opts:      ss.opts,
+		Workers:   workers,
+		Shards:    shards,
+		Token:     "iterate-" + ss.name,
+		Design:    designSpecOf(ss.spec),
+		MaxRounds: req.MaxRounds,
+		// Each dispatch gets the same ceiling a worker enforces on its own
+		// requests; a hung worker is declared lost instead of pinning the
+		// run forever.
+		DispatchTimeout: s.cfg.MaxRequestTimeout,
+		Logf:            s.cfg.Logf,
+	}
+	if s.store != nil {
+		// Round state persists next to the session journal: a coordinator
+		// restart resumes a mid-fixpoint iterate from its last completed
+		// round instead of redoing the run.
+		cfg.Checkpointer = &shard.FileCheckpointer{Dir: filepath.Join(s.cfg.DataDir, "iterate")}
+	}
+	out, err := shard.Run(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	resp := &AnalyzeResponse{
+		Session: ss.name,
+		Noise:   report.BuildJSON(out.Noise),
+		Iterate: &IterateInfo{
+			Rounds:          out.Rounds,
+			Converged:       out.Converged,
+			Diverging:       out.Diverging,
+			DivergeReason:   out.DivergeReason,
+			Distributed:     true,
+			Workers:         len(workers),
+			Shards:          shards,
+			Reassigns:       out.Reassigns,
+			AbandonedShards: out.AbandonedShards,
+			Resumed:         out.Resumed,
+		},
+	}
+	if req.Delay {
+		resp.Delay = report.BuildDelayJSON(out.Delay)
+	}
+	return resp, nil
+}

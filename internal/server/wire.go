@@ -104,7 +104,8 @@ type ReanalyzeRequest struct {
 	Delay bool `json:"delay,omitempty"`
 }
 
-// AnalyzeResponse is the result of an analyze or reanalyze query.
+// AnalyzeResponse is the result of an analyze, reanalyze, or iterate
+// query.
 type AnalyzeResponse struct {
 	Session string             `json:"session"`
 	Noise   *report.ResultJSON `json:"noise"`
@@ -117,6 +118,71 @@ type AnalyzeResponse struct {
 	// scratch for this request (first analysis, or recovery after a
 	// broken incremental update).
 	Rebuilt bool `json:"rebuilt,omitempty"`
+	// Iterate describes the joint noise–delay fixpoint loop (iterate
+	// only).
+	Iterate *IterateInfo `json:"iterate,omitempty"`
+}
+
+// IterateRequest runs the joint noise–delay padding fixpoint on a
+// session, distributed across registered workers when the server has any.
+// The fixpoint starts from the session's design and options; reanalyze
+// padding does not seed it.
+type IterateRequest struct {
+	// Delay includes the final delta-delay section in the response.
+	Delay bool `json:"delay,omitempty"`
+	// MaxRounds bounds the outer loop (0 = server default of 8).
+	MaxRounds int `json:"maxRounds,omitempty"`
+	// Shards overrides the shard count for a distributed run (0 = one
+	// shard per healthy worker).
+	Shards int `json:"shards,omitempty"`
+	// Local forces a single-process run even when workers are registered.
+	// A healthy distributed run returns byte-identical noise and delay
+	// sections either way; this is the escape hatch and the oracle knob.
+	Local bool `json:"local,omitempty"`
+}
+
+// IterateInfo is the loop metadata of an iterate response. The noise and
+// delay sections of the response are identical between a local and a
+// healthy distributed run; everything that can differ lives here.
+type IterateInfo struct {
+	Rounds        int    `json:"rounds"`
+	Converged     bool   `json:"converged"`
+	Diverging     bool   `json:"diverging,omitempty"`
+	DivergeReason string `json:"divergeReason,omitempty"`
+	// Distributed reports that the run fanned out to workers; Workers and
+	// Shards describe the fan-out.
+	Distributed bool `json:"distributed,omitempty"`
+	Workers     int  `json:"workers,omitempty"`
+	Shards      int  `json:"shards,omitempty"`
+	// Reassigns counts mid-run shard re-hostings after worker loss;
+	// AbandonedShards lists shards that ran out of workers and were
+	// degraded to conservative full-rail results.
+	Reassigns       int   `json:"reassigns,omitempty"`
+	AbandonedShards []int `json:"abandonedShards,omitempty"`
+	// Resumed reports that the run continued from a persisted round
+	// checkpoint instead of starting at round 1.
+	Resumed bool `json:"resumed,omitempty"`
+}
+
+// RegisterWorkerRequest announces a shard worker to the coordinator.
+// Registration is idempotent per name: re-registering replaces the URL.
+type RegisterWorkerRequest struct {
+	// Name identifies the worker (defaults to the URL).
+	Name string `json:"name,omitempty"`
+	// URL is the worker's snad base URL (e.g. "http://127.0.0.1:8351").
+	URL string `json:"url"`
+}
+
+// WorkerInfo reports one registered worker's health.
+type WorkerInfo struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	// Healthy is the last heartbeat's verdict; a worker starts healthy on
+	// registration and is probed every heartbeat interval.
+	Healthy bool `json:"healthy"`
+	// LastSeenAt is the last successful heartbeat (RFC3339); empty until
+	// the first one lands.
+	LastSeenAt string `json:"lastSeenAt,omitempty"`
 }
 
 // LintDiagJSON is one design-rule finding in a 422 rejection.
@@ -140,7 +206,10 @@ type ErrorInfo struct {
 	// conflict, busy, lint_rejected, overloaded, breaker_open, draining,
 	// deadline, canceled, panic, engine, session_limit, storage (a
 	// lifecycle change could not be journaled; retryable), unreplayable (a
-	// persisted session failed to re-materialize and was quarantined).
+	// persisted session failed to re-materialize and was quarantined),
+	// shard_broken (a shard engine needs re-init before further ops), and
+	// shard_fatal (a deterministic shard failure that would recur on any
+	// worker).
 	Kind    string `json:"kind"`
 	Message string `json:"message"`
 	Session string `json:"session,omitempty"`

@@ -1,0 +1,150 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Checkpoint is the coordinator's durable round state: everything needed
+// to resume the global noise–delay fixpoint after a coordinator restart.
+// The analysis state itself is NOT saved — padding-seeded engine rebuilds
+// are exactly equivalent to the incremental path (the core.Session rebuild
+// contract), so the cumulative padding plus the divergence-watchdog state
+// is the whole fixpoint.
+type Checkpoint struct {
+	// Token identifies the run (sessions use their name).
+	Token string `json:"token"`
+	// Round is the last fully completed round.
+	Round int `json:"round"`
+	// Padding is the cumulative per-net window padding after Round.
+	Padding []PadEntry `json:"padding,omitempty"`
+	// PrevGrowth is the round's largest per-net padding increase; nil
+	// encodes the +Inf baseline, which JSON cannot carry.
+	PrevGrowth *float64 `json:"prevGrowth,omitempty"`
+	// Stalled counts consecutive non-contracting rounds so far.
+	Stalled int `json:"stalled,omitempty"`
+	// SavedAt is the wall-clock save time (RFC3339), informational only.
+	SavedAt string `json:"savedAt,omitempty"`
+}
+
+// Checkpointer persists coordinator round state between rounds. A nil
+// Checkpointer in Config disables persistence.
+type Checkpointer interface {
+	// Save durably records cp, replacing any previous checkpoint for its
+	// token.
+	Save(cp *Checkpoint) error
+	// Load returns the checkpoint for token, or (nil, nil) when none
+	// exists.
+	Load(token string) (*Checkpoint, error)
+	// Clear removes the checkpoint for token (no error when absent).
+	Clear(token string) error
+}
+
+// FileCheckpointer stores one JSON checkpoint file per token under Dir,
+// written atomically (temp file, fsync, rename) in the durable-store
+// style, so a crash mid-save leaves the previous checkpoint intact.
+type FileCheckpointer struct {
+	Dir string
+}
+
+// ckptFile maps a token to its file, keeping the name filesystem-safe.
+func (f *FileCheckpointer) ckptFile(token string) string {
+	safe := make([]rune, 0, len(token))
+	for _, r := range token {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+			safe = append(safe, r)
+		default:
+			safe = append(safe, '_')
+		}
+	}
+	return filepath.Join(f.Dir, string(safe)+".ckpt.json")
+}
+
+// Save implements Checkpointer.
+func (f *FileCheckpointer) Save(cp *Checkpoint) error {
+	if err := os.MkdirAll(f.Dir, 0o755); err != nil {
+		return fmt.Errorf("shard: checkpoint dir: %w", err)
+	}
+	data, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return fmt.Errorf("shard: marshal checkpoint: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(f.Dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("shard: checkpoint temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("shard: write checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("shard: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("shard: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), f.ckptFile(cp.Token)); err != nil {
+		return fmt.Errorf("shard: publish checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load implements Checkpointer.
+func (f *FileCheckpointer) Load(token string) (*Checkpoint, error) {
+	data, err := os.ReadFile(f.ckptFile(token))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("shard: read checkpoint: %w", err)
+	}
+	cp := &Checkpoint{}
+	if err := json.Unmarshal(data, cp); err != nil {
+		return nil, fmt.Errorf("shard: decode checkpoint: %w", err)
+	}
+	if cp.Token != token || cp.Round < 1 {
+		return nil, fmt.Errorf("shard: checkpoint for %q is corrupt (token %q, round %d)", token, cp.Token, cp.Round)
+	}
+	return cp, nil
+}
+
+// Clear implements Checkpointer.
+func (f *FileCheckpointer) Clear(token string) error {
+	err := os.Remove(f.ckptFile(token))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// saveCheckpoint records one completed round, fail-soft: a checkpointing
+// failure must not take down a healthy analysis, so it only logs.
+func (r *run) saveCheckpoint(round int, prevGrowth float64, stalled int) {
+	c := r.cfg.Checkpointer
+	if c == nil {
+		return
+	}
+	cp := &Checkpoint{
+		Token:   r.cfg.Token,
+		Round:   round,
+		Padding: padEntries(r.padding),
+		Stalled: stalled,
+		SavedAt: time.Now().UTC().Format(time.RFC3339Nano),
+	}
+	if !math.IsInf(prevGrowth, 1) {
+		pg := prevGrowth
+		cp.PrevGrowth = &pg
+	}
+	if err := c.Save(cp); err != nil {
+		r.cfg.Logf("shard: checkpoint save for round %d failed (continuing): %v", round, err)
+	}
+}

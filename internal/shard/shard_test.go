@@ -1,0 +1,447 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/bind"
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/liberty"
+	"repro/internal/report"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// fixtureMaker regenerates one workload fixture from scratch. Workers
+// rebuild designs per engine (engines mutate design state in place, so no
+// two may share one), which is why fixtures are closures, not values: the
+// generators are deterministic, so every call yields an identical design.
+type fixtureMaker func() (*workload.Generated, error)
+
+// fixtures covers every topology class the generators offer: bus
+// coupling, multi-level fabric propagation, iterative-loop ladders,
+// window-rich stars, and correlated differential pairs.
+func fixtures() map[string]fixtureMaker {
+	return map[string]fixtureMaker{
+		"bus": func() (*workload.Generated, error) {
+			return workload.Bus(workload.BusSpec{Bits: 8, Segs: 2, WindowWidth: 80 * units.Pico})
+		},
+		"fabric": func() (*workload.Generated, error) {
+			return workload.Fabric(workload.FabricSpec{Width: 6, Levels: 3})
+		},
+		"ladder": func() (*workload.Generated, error) {
+			return workload.Ladder(workload.LadderSpec{Lines: 12, Steps: 3})
+		},
+		"star": func() (*workload.Generated, error) {
+			return workload.Star(workload.StarSpec{Windows: []interval.Window{
+				interval.New(0, 100*units.Pico),
+				interval.New(50*units.Pico, 150*units.Pico),
+				interval.New(120*units.Pico, 200*units.Pico),
+			}})
+		},
+		"differential": func() (*workload.Generated, error) {
+			return workload.Differential(workload.DifferentialSpec{Pairs: 3})
+		},
+	}
+}
+
+func bindFixture(t *testing.T, mk fixtureMaker) (*bind.Design, core.Options) {
+	t.Helper()
+	g, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Bind(liberty.Generic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, core.Options{Mode: core.ModeNoiseWindows, STA: g.STAOptions()}
+}
+
+// buildFrom adapts a fixture maker into the per-engine design builder an
+// in-process worker wants.
+func buildFrom(mk fixtureMaker) BuildDesign {
+	return func(ctx context.Context) (*bind.Design, error) {
+		g, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		return g.Bind(liberty.Generic())
+	}
+}
+
+func inprocWorkers(mk fixtureMaker, opts core.Options, n int) []Worker {
+	ws := make([]Worker, n)
+	for i := range ws {
+		ws[i] = NewInProc(fmt.Sprintf("w%d", i), buildFrom(mk), opts)
+	}
+	return ws
+}
+
+// reportBytes serializes the noise and delay results the way snad exports
+// them — the byte-identity oracle compares these, not internal structs.
+func reportBytes(t *testing.T, noise *core.Result, delay *core.DelayResult) ([]byte, []byte) {
+	t.Helper()
+	var nb, db bytes.Buffer
+	if err := report.WriteJSON(&nb, noise); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.WriteDelayJSON(&db, delay); err != nil {
+		t.Fatal(err)
+	}
+	return nb.Bytes(), db.Bytes()
+}
+
+func TestPartitionDeterministicAndComplete(t *testing.T) {
+	b, _ := bindFixture(t, fixtures()["fabric"])
+	plan, err := core.BuildShardPlan(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 3, 5} {
+		a1, err := Partition(plan, shards, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := Partition(plan, shards, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a1, a2) {
+			t.Fatalf("partition with %d shards not deterministic", shards)
+		}
+		// Exact cover: every net owned exactly once.
+		seen := make(map[string]int)
+		for s, owned := range a1.Owned {
+			for _, net := range owned {
+				if _, dup := seen[net]; dup {
+					t.Fatalf("net %s owned twice", net)
+				}
+				seen[net] = s
+			}
+		}
+		if len(seen) != len(plan.Order) {
+			t.Fatalf("%d shards: %d nets assigned, want %d", shards, len(seen), len(plan.Order))
+		}
+		for _, net := range plan.Feedback {
+			if seen[net] != 0 {
+				t.Fatalf("feedback net %s not pinned to shard 0", net)
+			}
+		}
+		// Imports are exactly the cross-shard fanins.
+		for s, imports := range a1.Imports {
+			for _, net := range imports {
+				if seen[net] == s {
+					t.Fatalf("shard %d imports net %s it owns", s, net)
+				}
+			}
+		}
+	}
+	// Different seeds may differ, but both must still cover.
+	a3, err := Partition(plan, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, owned := range a3.Owned {
+		n += len(owned)
+	}
+	if n != len(plan.Order) {
+		t.Fatalf("seed 7: %d nets assigned, want %d", n, len(plan.Order))
+	}
+}
+
+// TestDistributedMatchesSerial is the tentpole oracle: a healthy
+// distributed run over in-process workers must produce byte-identical
+// report JSON to single-process AnalyzeIterative, on every fixture, at
+// several shard counts.
+func TestDistributedMatchesSerial(t *testing.T) {
+	for name, mk := range fixtures() {
+		b, opts := bindFixture(t, mk)
+		want, err := core.AnalyzeIterative(b, opts, 0)
+		if err != nil {
+			t.Fatalf("%s: serial: %v", name, err)
+		}
+		wantNoise, wantDelay := reportBytes(t, want.Noise, want.Delay)
+		for _, shards := range []int{2, 3} {
+			got, err := Run(context.Background(), Config{
+				B:       b,
+				Opts:    opts,
+				Workers: inprocWorkers(mk, opts, 3),
+				Shards:  shards,
+				Token:   fmt.Sprintf("%s-%d", name, shards),
+			})
+			if err != nil {
+				t.Fatalf("%s/%d shards: distributed: %v", name, shards, err)
+			}
+			gotNoise, gotDelay := reportBytes(t, got.Noise, got.Delay)
+			if !bytes.Equal(gotNoise, wantNoise) {
+				t.Errorf("%s/%d shards: noise report differs from single-process\ngot:  %.600s\nwant: %.600s",
+					name, shards, gotNoise, wantNoise)
+			}
+			if !bytes.Equal(gotDelay, wantDelay) {
+				t.Errorf("%s/%d shards: delay report differs from single-process\ngot:  %.600s\nwant: %.600s",
+					name, shards, gotDelay, wantDelay)
+			}
+			if got.Rounds != want.Rounds || got.Converged != want.Converged ||
+				got.Diverging != want.Diverging || got.DivergeReason != want.DivergeReason {
+				t.Errorf("%s/%d shards: loop outcome (%d,%v,%v,%q) != serial (%d,%v,%v,%q)",
+					name, shards, got.Rounds, got.Converged, got.Diverging, got.DivergeReason,
+					want.Rounds, want.Converged, want.Diverging, want.DivergeReason)
+			}
+			if len(got.Padding) != len(want.Padding) {
+				t.Errorf("%s/%d shards: %d padded nets != %d", name, shards, len(got.Padding), len(want.Padding))
+			}
+			for net, pad := range want.Padding {
+				if got.Padding[net] != pad {
+					t.Errorf("%s/%d shards: padding[%s]=%g != %g", name, shards, net, got.Padding[net], pad)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkerFaultsStaySound drives the coordinator through the whole
+// injected-fault matrix. Every run must terminate with a sound report:
+// never an error, and never a net reported less noisy than the
+// single-process truth (degradation may only add pessimism).
+func TestWorkerFaultsStaySound(t *testing.T) {
+	mk := fixtures()["bus"]
+	b, opts := bindFixture(t, mk)
+	want, err := core.AnalyzeIterative(b, opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNoise, wantDelay := reportBytes(t, want.Noise, want.Delay)
+
+	specs := []string{
+		"drop:eval",
+		"drop:round",
+		"delay:eval:2",
+		"error:init",
+		"error:eval",
+		"error:collect",
+		"partial:eval",
+		"partial:round",
+		"kill:eval:2",
+		"kill:round",
+		"kill:delay",
+		"kill:init",
+		"error:eval:*,error:round:*,error:delay:*,error:collect:*,error:init:*",
+	}
+	for _, spec := range specs {
+		t.Run(spec, func(t *testing.T) {
+			faults, err := workload.ParseWorkerFaults(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			workers := inprocWorkers(mk, opts, 3)
+			workers[1] = NewFaultyWorker(workers[1], faults)
+			got, err := Run(context.Background(), Config{
+				B:               b,
+				Opts:            opts,
+				Workers:         workers,
+				Shards:          3,
+				Token:           "chaos",
+				DispatchTimeout: 30 * time.Millisecond,
+				Attempts:        2,
+			})
+			if err != nil {
+				t.Fatalf("run failed under %q (must degrade, not fail): %v", spec, err)
+			}
+			if len(got.Noise.Nets) != len(want.Noise.Nets) {
+				t.Fatalf("%d nets reported, want %d", len(got.Noise.Nets), len(want.Noise.Nets))
+			}
+			for net, wn := range want.Noise.Nets {
+				gn := got.Noise.Nets[net]
+				if gn == nil {
+					t.Fatalf("net %s missing from degraded report", net)
+				}
+				if gn.WorstPeak()+1e-12 < wn.WorstPeak() {
+					t.Errorf("net %s peak %g below single-process %g — degraded run lost pessimism",
+						net, gn.WorstPeak(), wn.WorstPeak())
+				}
+			}
+			if len(got.AbandonedShards) > 0 {
+				if !got.Degraded || len(got.Noise.Diags) == 0 {
+					t.Fatalf("abandoned shards %v but no degradation recorded", got.AbandonedShards)
+				}
+				if got.Noise.Stats.DegradedNets != len(got.Noise.Diags) {
+					t.Errorf("DegradedNets %d != %d diags", got.Noise.Stats.DegradedNets, len(got.Noise.Diags))
+				}
+			} else if !got.Degraded {
+				// Fully recovered (retries or re-hosting absorbed the fault):
+				// the report must be byte-identical to single-process.
+				gotNoise, gotDelay := reportBytes(t, got.Noise, got.Delay)
+				if !bytes.Equal(gotNoise, wantNoise) || !bytes.Equal(gotDelay, wantDelay) {
+					t.Errorf("recovered run differs from single-process report")
+				}
+			}
+		})
+	}
+}
+
+// TestAllWorkersLost pins the worst case: every worker dies, every shard
+// degrades, and the run still terminates with the conservative full-rail
+// report rather than an error.
+func TestAllWorkersLost(t *testing.T) {
+	mk := fixtures()["star"]
+	b, opts := bindFixture(t, mk)
+	faults, err := workload.ParseWorkerFaults("kill:eval")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults2, err := workload.ParseWorkerFaults("kill:eval")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(context.Background(), Config{
+		B:    b,
+		Opts: opts,
+		Workers: []Worker{
+			NewFaultyWorker(NewInProc("w0", buildFrom(mk), opts), faults),
+			NewFaultyWorker(NewInProc("w1", buildFrom(mk), opts), faults2),
+		},
+		Shards: 2,
+		Token:  "doom",
+	})
+	if err != nil {
+		t.Fatalf("total worker loss must degrade, not fail: %v", err)
+	}
+	if !got.Degraded || len(got.AbandonedShards) == 0 {
+		t.Fatalf("expected a degraded outcome, got %+v", got)
+	}
+	vdd := core.EffectiveVdd(b, opts)
+	for net, nn := range got.Noise.Nets {
+		if nn.WorstPeak() != vdd {
+			t.Errorf("net %s peak %g, want full-rail %g", net, nn.WorstPeak(), vdd)
+		}
+	}
+	if got.Noise.Stats.DegradedNets != len(got.Noise.Nets) {
+		t.Errorf("DegradedNets %d, want %d", got.Noise.Stats.DegradedNets, len(got.Noise.Nets))
+	}
+}
+
+// TestCheckpointResume seeds a checkpoint equal to round 1 of the serial
+// run and verifies a resumed distributed run lands on the serial
+// fixpoint: same padding, rounds, violations, and per-net combinations
+// (execution statistics legitimately differ — fresh engines re-evaluate
+// more than persistent ones).
+func TestCheckpointResume(t *testing.T) {
+	mk := fixtures()["bus"]
+	b, opts := bindFixture(t, mk)
+	full, err := core.AnalyzeIterative(b, opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Rounds < 2 {
+		t.Fatalf("fixture converges in %d rounds; resume needs >= 2", full.Rounds)
+	}
+	one, err := core.AnalyzeIterative(b, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &FileCheckpointer{Dir: t.TempDir()}
+	growth := one.MaxPadding()
+	cp := &Checkpoint{Token: "resume", Round: 1, Padding: padEntries(one.Padding), PrevGrowth: &growth}
+	if err := ck.Save(cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(context.Background(), Config{
+		B:            b,
+		Opts:         opts,
+		Workers:      inprocWorkers(mk, opts, 2),
+		Shards:       2,
+		Token:        "resume",
+		Checkpointer: ck,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Resumed {
+		t.Fatal("run did not resume from the checkpoint")
+	}
+	if got.Rounds != full.Rounds || got.Converged != full.Converged {
+		t.Fatalf("resumed run ended (%d,%v), serial (%d,%v)", got.Rounds, got.Converged, full.Rounds, full.Converged)
+	}
+	if len(got.Padding) != len(full.Padding) {
+		t.Fatalf("resumed padding has %d nets, serial %d", len(got.Padding), len(full.Padding))
+	}
+	for net, pad := range full.Padding {
+		if math.Abs(got.Padding[net]-pad) > 0 {
+			t.Errorf("padding[%s]=%g != %g", net, got.Padding[net], pad)
+		}
+	}
+	// Result content (not execution stats) must match the serial fixpoint.
+	got.Noise.Stats = core.Stats{}
+	want := *full.Noise
+	want.Stats = core.Stats{}
+	gotNoise, gotDelay := reportBytes(t, got.Noise, got.Delay)
+	wantNoise, wantDelay := reportBytes(t, &want, full.Delay)
+	if !bytes.Equal(gotNoise, wantNoise) {
+		t.Errorf("resumed noise report differs from serial fixpoint")
+	}
+	if !bytes.Equal(gotDelay, wantDelay) {
+		t.Errorf("resumed delay report differs from serial fixpoint")
+	}
+	// The completed run clears its checkpoint.
+	if cp, err := ck.Load("resume"); err != nil || cp != nil {
+		t.Fatalf("checkpoint not cleared after completion: %v %v", cp, err)
+	}
+}
+
+// TestRunnerEvalMemo pins the retry-exactness contract: re-dispatching an
+// eval Seq replays the accumulated updates instead of losing them.
+func TestRunnerEvalMemo(t *testing.T) {
+	b, opts := bindFixture(t, fixtures()["star"])
+	plan, err := core.BuildShardPlan(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(func(ctx context.Context, owned []string, padding map[string]float64) (*core.ShardEngine, error) {
+		return core.NewShardEngine(ctx, b, opts, owned, padding)
+	})
+	ctx := context.Background()
+	if err := r.Init(ctx, &InitRequest{Owned: plan.Order}); err != nil {
+		t.Fatal(err)
+	}
+	// Find a wave that actually commits something on the first pass.
+	var first *EvalResponse
+	wave, seq := -1, 0
+	for w := range plan.Waves {
+		seq++
+		out, err := r.Eval(ctx, &EvalRequest{Seq: seq, Wave: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Updates) > 0 {
+			first, wave = out, w
+			break
+		}
+	}
+	if first == nil {
+		t.Fatal("no wave committed anything; fixture too quiet for this test")
+	}
+	replay, err := r.Eval(ctx, &EvalRequest{Seq: seq, Wave: wave})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, replay) {
+		t.Fatal("duplicate Seq did not replay the memoized updates")
+	}
+	// A new Seq re-evaluates: at the fixpoint nothing changes, so the
+	// response is empty rather than a replay.
+	fresh, err := r.Eval(ctx, &EvalRequest{Seq: seq + 1, Wave: wave})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Updates) != 0 {
+		t.Fatalf("fresh Seq at fixpoint committed %d updates, want 0", len(fresh.Updates))
+	}
+}

@@ -1,0 +1,260 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bind"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Worker is one execution backend the coordinator can host shards on. The
+// two implementations are InProc (a goroutine sharing the coordinator's
+// bound design) and client.ShardWorker (a remote snad process reached over
+// HTTP). Do executes one protocol op: req and resp are the matching
+// *XxxRequest / *XxxResponse wire pairs (resp nil for ops without a
+// response body).
+type Worker interface {
+	// Name identifies the worker in logs, diags, and health tracking.
+	Name() string
+	// Do executes op with req, decoding into resp when non-nil. Errors
+	// are classified by the coordinator: FatalError aborts the run,
+	// ErrEngineBroken forces a re-init on the same worker, anything else
+	// (timeouts, transport loss) marks the worker dead.
+	Do(ctx context.Context, op string, req, resp any) error
+	// Ping probes liveness without touching any shard state.
+	Ping(ctx context.Context) error
+}
+
+// BuildDesign supplies a worker-private bound design. Shard engines
+// mutate design state in place (instance levels, timing annotations), so
+// every engine must own its design exclusively: the in-process worker
+// calls build once per shard init, mirroring a remote worker parsing its
+// own copy from the shipped DesignSpec. build must produce an identical
+// design every call — the coordinator's byte-identity guarantee rides on
+// every engine seeing the same inputs.
+type BuildDesign func(ctx context.Context) (*bind.Design, error)
+
+// InProc is a worker running in the coordinator's own process, hosting
+// one Runner (and one private design) per assigned shard.
+type InProc struct {
+	name  string
+	build BuildDesign
+	opts  core.Options
+
+	mu      sync.Mutex
+	runners map[int]*Runner
+}
+
+// NewInProc returns an in-process worker that builds a fresh design for
+// each shard engine it hosts. opts is copied per engine.
+func NewInProc(name string, build BuildDesign, opts core.Options) *InProc {
+	return &InProc{name: name, build: build, opts: opts, runners: make(map[int]*Runner)}
+}
+
+// Name implements Worker.
+func (w *InProc) Name() string { return w.name }
+
+// Ping implements Worker; an in-process worker is alive by construction.
+func (w *InProc) Ping(ctx context.Context) error { return ctx.Err() }
+
+func (w *InProc) runner(shard int, create bool) *Runner {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	r, ok := w.runners[shard]
+	if !ok && create {
+		build, opts := w.build, w.opts
+		r = NewRunner(func(ctx context.Context, owned []string, padding map[string]float64) (*core.ShardEngine, error) {
+			b, err := build(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewShardEngine(ctx, b, opts, owned, padding)
+		})
+		w.runners[shard] = r
+	}
+	return r
+}
+
+// Do implements Worker by dispatching to the shard's runner.
+func (w *InProc) Do(ctx context.Context, op string, req, resp any) error {
+	switch op {
+	case OpInit:
+		r, ok := req.(*InitRequest)
+		if !ok {
+			return badRequestError("shard: init wants *InitRequest, got %T", req)
+		}
+		return w.runner(r.Shard, true).Init(ctx, r)
+	case OpEval:
+		r, ok := req.(*EvalRequest)
+		if !ok {
+			return badRequestError("shard: eval wants *EvalRequest, got %T", req)
+		}
+		runner := w.runner(r.Shard, false)
+		if runner == nil {
+			return badRequestError("shard: eval on uninitialized shard %d", r.Shard)
+		}
+		out, err := runner.Eval(ctx, r)
+		if err != nil {
+			return err
+		}
+		*resp.(*EvalResponse) = *out
+		return nil
+	case OpRound:
+		r, ok := req.(*RoundRequest)
+		if !ok {
+			return badRequestError("shard: round wants *RoundRequest, got %T", req)
+		}
+		runner := w.runner(r.Shard, false)
+		if runner == nil {
+			return badRequestError("shard: round on uninitialized shard %d", r.Shard)
+		}
+		return runner.Round(ctx, r)
+	case OpDelay:
+		r, ok := req.(*DelayRequest)
+		if !ok {
+			return badRequestError("shard: delay wants *DelayRequest, got %T", req)
+		}
+		runner := w.runner(r.Shard, false)
+		if runner == nil {
+			return badRequestError("shard: delay on uninitialized shard %d", r.Shard)
+		}
+		out, err := runner.Delay(ctx, r)
+		if err != nil {
+			return err
+		}
+		*resp.(*DelayResponse) = *out
+		return nil
+	case OpCollect:
+		r, ok := req.(*CollectRequest)
+		if !ok {
+			return badRequestError("shard: collect wants *CollectRequest, got %T", req)
+		}
+		runner := w.runner(r.Shard, false)
+		if runner == nil {
+			return badRequestError("shard: collect on uninitialized shard %d", r.Shard)
+		}
+		out, err := runner.Collect(ctx, r)
+		if err != nil {
+			return err
+		}
+		*resp.(*CollectResponse) = *out
+		return nil
+	case OpClose:
+		r, ok := req.(*CloseRequest)
+		if !ok {
+			return badRequestError("shard: close wants *CloseRequest, got %T", req)
+		}
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if r.Shard < 0 {
+			for _, runner := range w.runners {
+				runner.Close()
+			}
+			w.runners = make(map[int]*Runner)
+			return nil
+		}
+		if runner := w.runners[r.Shard]; runner != nil {
+			runner.Close()
+			delete(w.runners, r.Shard)
+		}
+		return nil
+	default:
+		return badRequestError("shard: unknown op %q", op)
+	}
+}
+
+// FaultyWorker wraps a Worker with a workload.WorkerFaults injector. It
+// sits where the transport would fail in production: faults fire before
+// the wrapped call (drop, delay, error, kill) or after it (partial — the
+// op executed but its response was lost), and a kill is permanent.
+type FaultyWorker struct {
+	inner  Worker
+	faults *workload.WorkerFaults
+
+	mu     sync.Mutex
+	killed bool
+}
+
+// NewFaultyWorker wraps w; a nil faults injector passes everything through.
+func NewFaultyWorker(w Worker, faults *workload.WorkerFaults) *FaultyWorker {
+	return &FaultyWorker{inner: w, faults: faults}
+}
+
+// Name implements Worker.
+func (w *FaultyWorker) Name() string { return w.inner.Name() }
+
+// Killed reports whether a kill fault has fired on this worker.
+func (w *FaultyWorker) Killed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.killed
+}
+
+func (w *FaultyWorker) dead() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.killed {
+		return fmt.Errorf("workload: worker %s is dead (killed by fault injection)", w.inner.Name())
+	}
+	return nil
+}
+
+// Do implements Worker, applying any armed fault for op around the call.
+func (w *FaultyWorker) Do(ctx context.Context, op string, req, resp any) error {
+	if err := w.dead(); err != nil {
+		return err
+	}
+	act := w.faults.Intercept(op)
+	switch {
+	case act.Kill:
+		w.mu.Lock()
+		w.killed = true
+		w.mu.Unlock()
+		return fmt.Errorf("workload: worker %s died mid-%s (killed by fault injection)", w.inner.Name(), op)
+	case act.Drop:
+		<-ctx.Done()
+		return ctx.Err()
+	case act.Err != nil:
+		return act.Err
+	case act.Delay:
+		select {
+		case <-time.After(workload.WorkerFaultDelay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	err := w.inner.Do(ctx, op, req, resp)
+	if act.Partial {
+		// The op ran (and may have mutated shard state) but the response
+		// never made it back. Retries must cope with the half-applied op.
+		if err == nil {
+			err = &workload.InjectedWorkerFault{Kind: "partial", Op: op}
+		}
+	}
+	return err
+}
+
+// Ping implements Worker.
+func (w *FaultyWorker) Ping(ctx context.Context) error {
+	if err := w.dead(); err != nil {
+		return err
+	}
+	act := w.faults.Intercept(OpPing)
+	switch {
+	case act.Kill:
+		w.mu.Lock()
+		w.killed = true
+		w.mu.Unlock()
+		return fmt.Errorf("workload: worker %s died on ping (killed by fault injection)", w.inner.Name())
+	case act.Drop:
+		<-ctx.Done()
+		return ctx.Err()
+	case act.Err != nil:
+		return act.Err
+	}
+	return w.inner.Ping(ctx)
+}

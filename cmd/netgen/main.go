@@ -8,6 +8,7 @@
 //	netgen -kind fabric -fwidth 16 -levels 10 -seed 7 -out fab
 //	netgen -kind chain  -depth 8 -out chain8
 //	netgen -kind star   -aggressors 4 -sep 50e-12 -width 40e-12 -out star4
+//	netgen -kind scale  -nets 100000 -out rung100k
 //
 // Writes <out>.net, <out>.spef, and <out>.win.
 package main
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		kind     = flag.String("kind", "bus", "workload kind: bus | fabric | chain | star")
+		kind     = flag.String("kind", "bus", "workload kind: bus | fabric | chain | star | scale")
 		out      = flag.String("out", "design", "output file prefix")
 		bits     = flag.Int("bits", 16, "bus: number of lines")
 		segs     = flag.Int("segs", 2, "bus: RC segments per line")
@@ -43,6 +44,7 @@ func main() {
 		levels   = flag.Int("levels", 8, "fabric: gate ranks")
 		depth    = flag.Int("depth", 8, "chain: gate stages")
 		aggs     = flag.Int("aggressors", 4, "star: aggressor count")
+		nets     = flag.Int("nets", 10000, "scale: target total net count")
 		seed     = flag.Int64("seed", 1, "random seed")
 		format   = flag.String("format", "net", "netlist format: net | verilog")
 		defects  = flag.String("inject-defects", "", "comma-separated defects to plant for lint testing (see workload.DefectNames; \"all\" for every kind)")
@@ -52,7 +54,7 @@ func main() {
 	g, err := generate(genParams{
 		kind: *kind, bits: *bits, segs: *segs,
 		sep: *sep, width: *width, random: *random,
-		fwidth: *fwidth, levels: *levels, depth: *depth, aggs: *aggs,
+		fwidth: *fwidth, levels: *levels, depth: *depth, aggs: *aggs, nets: *nets,
 		seed: *seed, coupleC: *coupleC, groundC: *groundC,
 		phaseGap: *phaseGap, shield: *shield,
 	})
@@ -85,6 +87,7 @@ type genParams struct {
 	random           bool
 	fwidth, levels   int
 	depth, aggs      int
+	nets             int
 	seed             int64
 	coupleC, groundC float64
 	phaseGap         float64
@@ -105,6 +108,8 @@ func generate(p genParams) (*workload.Generated, error) {
 		return workload.Fabric(workload.FabricSpec{Width: p.fwidth, Levels: p.levels, Seed: p.seed})
 	case "chain":
 		return workload.Chain(workload.ChainSpec{Depth: p.depth})
+	case "scale":
+		return workload.Scale(workload.ScaleSpec{Nets: p.nets, Seed: p.seed})
 	case "star":
 		ws := make([]interval.Window, p.aggs)
 		for i := range ws {

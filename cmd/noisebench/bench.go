@@ -12,6 +12,7 @@ import (
 	"repro/internal/bind"
 	"repro/internal/core"
 	"repro/internal/liberty"
+	"repro/internal/shard"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -144,6 +145,36 @@ func runBench(ctx context.Context, path string, quick bool, stdout io.Writer) er
 		_, err := core.AnalyzeCtx(ctx, fabric, fabricOpts)
 		return err
 	})); err != nil {
+		return err
+	}
+
+	// The same bus fixture through the sharded coordinator: in-process
+	// workers sharing the bound design, so the column isolates the op
+	// protocol, partitioning, and boundary-exchange overhead relative to
+	// analyze_bus64 rather than transport or parse cost.
+	const distWorkers, distShards = 2, 4
+	dist, err := measure(ctx, "distributed_bus64", runs(20), func() error {
+		workers := make([]shard.Worker, distWorkers)
+		for i := range workers {
+			workers[i] = shard.NewInProc(fmt.Sprintf("w%d", i),
+				func(context.Context) (*bind.Design, error) { return bus, nil }, busOpts)
+		}
+		out, err := shard.Run(ctx, shard.Config{
+			B: bus, Opts: busOpts, Workers: workers, Shards: distShards, Token: "bench",
+		})
+		if err != nil {
+			return err
+		}
+		if out.Degraded {
+			return fmt.Errorf("distributed bus64 run degraded")
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	dist.Extra = map[string]float64{"workers": distWorkers, "shards": distShards}
+	if err := add(dist, nil); err != nil {
 		return err
 	}
 

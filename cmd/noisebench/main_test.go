@@ -75,8 +75,8 @@ func TestBenchOutQuick(t *testing.T) {
 	if err := json.Unmarshal(data, &records); err != nil {
 		t.Fatalf("bench output is not valid JSON: %v\n%s", err, data)
 	}
-	if len(records) != 4 {
-		t.Fatalf("got %d records, want 4:\n%s", len(records), data)
+	if len(records) != 5 {
+		t.Fatalf("got %d records, want 5:\n%s", len(records), data)
 	}
 	byName := make(map[string]benchRecord)
 	for _, r := range records {
@@ -84,6 +84,13 @@ func TestBenchOutQuick(t *testing.T) {
 			t.Fatalf("degenerate record %+v", r)
 		}
 		byName[r.Name] = r
+	}
+	dist, ok := byName["distributed_bus64"]
+	if !ok {
+		t.Fatalf("missing distributed_bus64 record:\n%s", data)
+	}
+	if dist.Extra["workers"] < 2 || dist.Extra["shards"] < 2 {
+		t.Fatalf("distributed record not actually sharded: %+v", dist)
 	}
 	scr, ok := byName["iterative_scratch"]
 	if !ok {

@@ -20,17 +20,22 @@ import (
 )
 
 // Design is the resolved, analyzable view of one design. After New it is
-// safe for concurrent readers: the networks are immutable and the lazy
-// analysis cache is mutex-guarded, so parallel noise analysis can share
-// one Design.
+// immutable apart from two guarded caches (the RC analysis cache here
+// and the netlist's levelization cache), so it is safe for concurrent
+// readers: parallel noise analysis — and since the levelization became
+// cached, even multiple concurrent engines — can share one Design.
+//
+// Per-net state is stored densely, indexed by netlist.Net.ID, so the
+// hot paths resolve a net's parasitics with a slice index instead of a
+// string-map lookup.
 type Design struct {
 	Net *netlist.Design
 	Lib *liberty.Library
 
-	nets map[string]*rc.Network
+	nets []*rc.Network // indexed by netlist.Net.ID()
 
 	mu       sync.Mutex
-	analyses map[string]*rc.Analysis
+	analyses []*rc.Analysis // indexed by netlist.Net.ID(); nil until computed
 }
 
 // PinNode returns the RC node name a connection lands on.
@@ -53,8 +58,8 @@ func New(d *netlist.Design, lib *liberty.Library, p *spef.Parasitics) (*Design, 
 	b := &Design{
 		Net:      d,
 		Lib:      lib,
-		nets:     make(map[string]*rc.Network, d.NumNets()),
-		analyses: make(map[string]*rc.Analysis, d.NumNets()),
+		nets:     make([]*rc.Network, d.NumNets()),
+		analyses: make([]*rc.Analysis, d.NumNets()),
 	}
 	// Resolve instances against the library and check pin directions.
 	for _, inst := range d.Insts() {
@@ -104,7 +109,7 @@ func New(d *netlist.Design, lib *liberty.Library, p *spef.Parasitics) (*Design, 
 			}
 			nw.AddLoadCap(node, pin.Cap)
 		}
-		b.nets[net.Name] = nw
+		b.nets[net.ID()] = nw
 	}
 	return b, nil
 }
@@ -132,32 +137,44 @@ func lumpedNetwork(net *netlist.Net) *rc.Network {
 
 // Network returns the RC network of a net.
 func (b *Design) Network(net string) (*rc.Network, error) {
-	nw, ok := b.nets[net]
-	if !ok {
+	n := b.Net.FindNet(net)
+	if n == nil || int(n.ID()) >= len(b.nets) {
 		return nil, fmt.Errorf("bind: no network for net %q", net)
 	}
-	return nw, nil
+	return b.nets[n.ID()], nil
+}
+
+// NetworkOf returns the RC network of a net already resolved in the
+// netlist, skipping the name lookup.
+func (b *Design) NetworkOf(n *netlist.Net) *rc.Network {
+	return b.nets[n.ID()]
 }
 
 // Analysis returns the (cached) RC tree analysis of a net. It is safe to
 // call from concurrent goroutines.
 func (b *Design) Analysis(net string) (*rc.Analysis, error) {
+	n := b.Net.FindNet(net)
+	if n == nil || int(n.ID()) >= len(b.nets) {
+		return nil, fmt.Errorf("bind: no network for net %q", net)
+	}
+	return b.AnalysisOf(n)
+}
+
+// AnalysisOf is Analysis for a net already resolved in the netlist.
+func (b *Design) AnalysisOf(n *netlist.Net) (*rc.Analysis, error) {
+	id := n.ID()
 	b.mu.Lock()
-	a, ok := b.analyses[net]
+	a := b.analyses[id]
 	b.mu.Unlock()
-	if ok {
+	if a != nil {
 		return a, nil
 	}
-	nw, err := b.Network(net)
-	if err != nil {
-		return nil, err
-	}
-	a, err = nw.Analyze()
+	a, err := b.nets[id].Analyze()
 	if err != nil {
 		return nil, err
 	}
 	b.mu.Lock()
-	b.analyses[net] = a
+	b.analyses[id] = a
 	b.mu.Unlock()
 	return a, nil
 }
@@ -191,12 +208,12 @@ func (b *Design) LoadCapOf(net string) (float64, error) {
 // WireDelayTo returns the Elmore delay from a net's driver to a load
 // connection's pin node.
 func (b *Design) WireDelayTo(lc *netlist.Conn) (float64, error) {
-	a, err := b.Analysis(lc.Net.Name)
+	a, err := b.AnalysisOf(lc.Net)
 	if err != nil {
 		return 0, err
 	}
 	node := PinNode(lc)
-	nw, _ := b.Network(lc.Net.Name)
+	nw := b.NetworkOf(lc.Net)
 	if !nw.HasNode(node) {
 		// Pin cap was lumped at the driver; no extra wire delay.
 		return 0, nil

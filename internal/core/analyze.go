@@ -124,32 +124,39 @@ type analyzer struct {
 	// order is the victim evaluation order (victimOrder); orderIdx maps a
 	// net name back to its position; waves partitions order into level
 	// wavefronts; namesSorted caches the alphabetical net order used by
-	// the violation check.
+	// the violation check, and sortedPos the matching order positions.
 	order       []*netlist.Net
 	orderIdx    map[string]int
 	waves       []wave
 	namesSorted []string
-	ctxs        map[string]*noise.Context
+	sortedPos   []int
+	// Per-victim state lives in dense slices indexed by evaluation-order
+	// position, not name-keyed maps: at millions of nets the per-entry
+	// map overhead (hashing, bucket churn) dominated steady-state
+	// allocations and lookups on the fixpoint hot path.
+	ctxs []*noise.Context
 	// coupled events are timing-dependent but iteration-invariant within
-	// a round.
-	coupled    map[string]*[2][]Event
-	prepCounts map[string]prepCount
+	// a round. A nil entry means the victim is not prepared (shards
+	// prepare only the nets they own).
+	coupled    []*[2][]Event
+	prepCounts []prepCount
 	// propCount tracks the propagated events each net's latest evaluation
 	// built; propTotal is their running sum, so Stats.Propagated reflects
 	// the final pass without a per-pass recount even when an incremental
 	// round skips clean nets.
-	propCount map[string]int
+	propCount []int
 	propTotal int
-	// impacts holds the latest delta-delay impacts per net (0–2 entries);
-	// assembleDelay flattens and sorts them into a DelayResult.
-	impacts map[string][]DelayImpact
+	// impacts holds the latest delta-delay impacts per net (0–2 entries),
+	// by order position (nil until the first delay pass); assembleDelay
+	// flattens and sorts them into a DelayResult.
+	impacts [][]DelayImpact
 	// corr maps nets to their primary-input dependence for logic
 	// correlation (nil when the option is off).
 	corr  map[string]sourceMap
 	stats Stats
 	// degraded marks nets substituted with the full-rail fallback; diags
 	// records why. Both are written serially (commit or fixpoint loop).
-	degraded map[string]bool
+	degraded []bool
 	diags    []Diag
 	// Reusable buffers: the serial-path combiner scratch, per-worker
 	// combiner scratch for parallel waves, and the wave work/result
@@ -187,14 +194,9 @@ func newAnalyzer(ctx context.Context, b *bind.Design, opts Options) (*analyzer, 
 func newAnalyzerBase(ctx context.Context, b *bind.Design, opts Options) (*analyzer, error) {
 	opts.fill()
 	a := &analyzer{
-		b:          b,
-		opts:       opts,
-		vdd:        opts.Vdd,
-		ctxs:       make(map[string]*noise.Context),
-		coupled:    make(map[string]*[2][]Event),
-		prepCounts: make(map[string]prepCount),
-		propCount:  make(map[string]int),
-		degraded:   make(map[string]bool),
+		b:    b,
+		opts: opts,
+		vdd:  opts.Vdd,
 	}
 	if a.vdd <= 0 {
 		a.vdd = b.Lib.Vdd
@@ -216,6 +218,16 @@ func newAnalyzerBase(ctx context.Context, b *bind.Design, opts Options) (*analyz
 		a.namesSorted[i] = net.Name
 	}
 	sort.Strings(a.namesSorted)
+	a.sortedPos = make([]int, len(a.namesSorted))
+	for i, name := range a.namesSorted {
+		a.sortedPos[i] = a.orderIdx[name]
+	}
+	n := len(a.order)
+	a.ctxs = make([]*noise.Context, n)
+	a.coupled = make([]*[2][]Event, n)
+	a.prepCounts = make([]prepCount, n)
+	a.propCount = make([]int, n)
+	a.degraded = make([]bool, n)
 	a.buildWaves()
 	return a, nil
 }
@@ -241,9 +253,12 @@ func (a *analyzer) newResult() *Result {
 		Mode: a.opts.Mode,
 		Nets: make(map[string]*NetNoise, len(a.order)),
 		STA:  a.staRes,
+		byID: make([]*NetNoise, a.b.Net.NumNets()),
 	}
 	for _, net := range a.order {
-		res.Nets[net.Name] = &NetNoise{Net: net.Name}
+		nn := &NetNoise{Net: net.Name}
+		res.Nets[net.Name] = nn
+		res.byID[net.ID()] = nn
 	}
 	return res
 }
@@ -291,15 +306,16 @@ func (a *analyzer) prepareAll(ctx context.Context, order []*netlist.Net) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			pos := a.orderIdx[net.Name]
 			p, err := a.safePrepare(net)
 			if err != nil {
 				if !a.opts.FailSoft {
 					return err
 				}
-				a.degradeNet(net.Name, StagePrepare, err)
+				a.degradeNet(pos, net.Name, StagePrepare, err)
 				continue
 			}
-			a.commitPrepared(net, p)
+			a.commitPrepared(pos, p)
 		}
 		return nil
 	}
@@ -355,11 +371,12 @@ func (a *analyzer) prepareAll(ctx context.Context, order []*netlist.Net) error {
 				return err
 			}
 		}
+		pos := a.orderIdx[net.Name]
 		if errs[i] != nil {
 			if !a.opts.FailSoft {
 				return errs[i]
 			}
-			a.degradeNet(net.Name, StagePrepare, errs[i])
+			a.degradeNet(pos, net.Name, StagePrepare, errs[i])
 			continue
 		}
 		if prepared[i] == nil {
@@ -367,7 +384,7 @@ func (a *analyzer) prepareAll(ctx context.Context, order []*netlist.Net) error {
 			// then the error above has already returned.
 			return fmt.Errorf("core: net %s was not prepared", net.Name)
 		}
-		a.commitPrepared(net, prepared[i])
+		a.commitPrepared(pos, prepared[i])
 	}
 	return nil
 }
@@ -402,15 +419,15 @@ func (a *analyzer) fullRailComb() Combined {
 // checked (its noise context may not exist); the Diag plus the full-rail
 // bound mark the whole net as failing, which downstream propagation and
 // the exit-code policy treat conservatively.
-func (a *analyzer) degradeNet(net, stage string, err error) {
-	if a.degraded[net] {
+func (a *analyzer) degradeNet(pos int, net, stage string, err error) {
+	if a.degraded[pos] {
 		return
 	}
-	a.degraded[net] = true
+	a.degraded[pos] = true
 	a.diags = append(a.diags, Diag{Net: net, Stage: stage, Err: err, Degraded: true})
 	e := a.fullRailEvent()
-	a.ctxs[net] = nil
-	a.coupled[net] = &[2][]Event{{e}, {e}}
+	a.ctxs[pos] = nil
+	a.coupled[pos] = &[2][]Event{{e}, {e}}
 }
 
 // preparedNet is the output of the per-victim preparation stage.
@@ -422,22 +439,22 @@ type preparedNet struct {
 }
 
 // commitPrepared stores one victim's preparation into the analyzer state
-// (serially, so maps and stats need no locks). Re-committing a victim in a
-// later iterative round replaces its statistics contribution.
-func (a *analyzer) commitPrepared(net *netlist.Net, p *preparedNet) {
-	a.ctxs[net.Name] = p.ctx
-	a.coupled[net.Name] = &p.events
-	old := a.prepCounts[net.Name]
+// (serially, so shared slices and stats need no locks). Re-committing a
+// victim in a later iterative round replaces its statistics contribution.
+func (a *analyzer) commitPrepared(pos int, p *preparedNet) {
+	a.ctxs[pos] = p.ctx
+	a.coupled[pos] = &p.events
+	old := a.prepCounts[pos]
 	a.stats.AggressorPairs += p.pairs - old.pairs
 	a.stats.Filtered += p.filtered - old.filtered
-	a.prepCounts[net.Name] = prepCount{pairs: p.pairs, filtered: p.filtered}
+	a.prepCounts[pos] = prepCount{pairs: p.pairs, filtered: p.filtered}
 }
 
 // setPropCount records the propagated-event count of one net's latest
 // evaluation, keeping the running total in sync.
-func (a *analyzer) setPropCount(net string, n int) {
-	a.propTotal += n - a.propCount[net]
-	a.propCount[net] = n
+func (a *analyzer) setPropCount(pos, n int) {
+	a.propTotal += n - a.propCount[pos]
+	a.propCount[pos] = n
 }
 
 // Analyze runs static noise analysis over the whole design.
@@ -531,9 +548,9 @@ func (a *analyzer) evalWave(ctx context.Context, res *Result, w wave, dirty map[
 				}
 			}
 			net := a.order[oi]
-			nn := res.Nets[net.Name]
-			ev, err := a.evalNet(net, nn, res, &a.scratch)
-			c, cerr := a.commitEval(net, nn, ev, err)
+			nn := res.byID[net.ID()]
+			ev, err := a.evalNet(oi, net, nn, res, &a.scratch)
+			c, cerr := a.commitEval(oi, net, nn, ev, err)
 			if cerr != nil {
 				return changed, cerr
 			}
@@ -576,8 +593,9 @@ func (a *analyzer) evalWave(ctx context.Context, res *Result, w wave, dirty map[
 					stop.Store(true)
 					return
 				}
-				net := a.order[todo[i]]
-				evals[i], errs[i] = a.evalNet(net, res.Nets[net.Name], res, cb)
+				oi := todo[i]
+				net := a.order[oi]
+				evals[i], errs[i] = a.evalNet(oi, net, res.byID[net.ID()], res, cb)
 				if errs[i] != nil && !a.opts.FailSoft {
 					stop.Store(true)
 					return
@@ -608,7 +626,7 @@ func (a *analyzer) evalWave(ctx context.Context, res *Result, w wave, dirty map[
 			}
 			return changed, fmt.Errorf("core: net %s was not evaluated", net.Name)
 		}
-		c, cerr := a.commitEval(net, res.Nets[net.Name], evals[i], errs[i])
+		c, cerr := a.commitEval(oi, net, res.byID[net.ID()], evals[i], errs[i])
 		if cerr != nil {
 			return changed, cerr
 		}
@@ -637,14 +655,14 @@ type netEval struct {
 // own record, owned by its worker during a parallel wave) and reads other
 // nets' committed combinations from strictly earlier waves; all shared
 // analyzer state it touches is immutable during a wave.
-func (a *analyzer) evalNet(net *netlist.Net, nn *NetNoise, res *Result, cb *combiner) (ev netEval, err error) {
+func (a *analyzer) evalNet(oi int, net *netlist.Net, nn *NetNoise, res *Result, cb *combiner) (ev netEval, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("core: panic evaluating net %s: %v", net.Name, r)
 		}
 	}()
 	ev.done = true
-	if a.degraded[net.Name] {
+	if a.degraded[oi] {
 		// Pin the fallback once (a prepare-stage degradation reaches the
 		// fixpoint loop before any combination was stored); afterwards the
 		// net is inert.
@@ -655,7 +673,7 @@ func (a *analyzer) evalNet(net *netlist.Net, nn *NetNoise, res *Result, cb *comb
 		}
 		return ev, nil
 	}
-	ev.propagated = a.buildEvents(net, nn, res)
+	ev.propagated = a.buildEvents(oi, net, nn, res)
 	for _, k := range Kinds {
 		ev.comb[k] = cb.combineConstrained(nn.Events[k], a.vdd, a.conflictFunc(nn.Events[k], k), a.occupancy())
 	}
@@ -667,18 +685,18 @@ func (a *analyzer) evalNet(net *netlist.Net, nn *NetNoise, res *Result, cb *comb
 // commitEval applies one computed evaluation to the shared state. It runs
 // serially in victim order, which keeps stats, degradation bookkeeping,
 // and fail-fast error selection deterministic.
-func (a *analyzer) commitEval(net *netlist.Net, nn *NetNoise, ev netEval, evalErr error) (bool, error) {
+func (a *analyzer) commitEval(oi int, net *netlist.Net, nn *NetNoise, ev netEval, evalErr error) (bool, error) {
 	if evalErr != nil {
 		if !a.opts.FailSoft {
 			return false, evalErr
 		}
 		// Pin the net at the fallback; its events are replaced so later
 		// passes (and delay analysis) see the same bound.
-		a.degradeNet(net.Name, StageEvaluate, evalErr)
+		a.degradeNet(oi, net.Name, StageEvaluate, evalErr)
 		fallback := a.fullRailComb()
-		nn.Events = *a.coupled[net.Name]
+		nn.Events = *a.coupled[oi]
 		nn.Comb = [2]Combined{fallback, fallback}
-		a.setPropCount(net.Name, 0)
+		a.setPropCount(oi, 0)
 		return true, nil
 	}
 	if ev.skip {
@@ -686,13 +704,13 @@ func (a *analyzer) commitEval(net *netlist.Net, nn *NetNoise, ev netEval, evalEr
 	}
 	if ev.pin {
 		fallback := a.fullRailComb()
-		nn.Events = *a.coupled[net.Name]
+		nn.Events = *a.coupled[oi]
 		nn.Comb = [2]Combined{fallback, fallback}
-		a.setPropCount(net.Name, 0)
+		a.setPropCount(oi, 0)
 		return true, nil
 	}
 	nn.Comb = ev.comb
-	a.setPropCount(net.Name, ev.propagated)
+	a.setPropCount(oi, ev.propagated)
 	return ev.changed, nil
 }
 
@@ -871,11 +889,11 @@ func (a *analyzer) eventWindow(aggWin interval.Window, wireDelay, slew float64) 
 // iteration into nn.Events, reusing its backing arrays: cached coupled
 // events plus freshly derived propagated events. It returns the number of
 // propagated events built.
-func (a *analyzer) buildEvents(net *netlist.Net, nn *NetNoise, res *Result) int {
+func (a *analyzer) buildEvents(oi int, net *netlist.Net, nn *NetNoise, res *Result) int {
 	events := &nn.Events
 	events[KindLow] = events[KindLow][:0]
 	events[KindHigh] = events[KindHigh][:0]
-	if c := a.coupled[net.Name]; c != nil {
+	if c := a.coupled[oi]; c != nil {
 		events[KindLow] = append(events[KindLow], c[KindLow]...)
 		events[KindHigh] = append(events[KindHigh], c[KindHigh]...)
 	}
@@ -900,7 +918,7 @@ func (a *analyzer) buildEvents(net *netlist.Net, nn *NetNoise, res *Result) int 
 		if ic == nil {
 			continue
 		}
-		inNoise := res.Nets[ic.Net.Name]
+		inNoise := res.byID[ic.Net.ID()]
 		if inNoise == nil {
 			continue
 		}
@@ -978,9 +996,11 @@ func (a *analyzer) checkViolations(res *Result) {
 func (a *analyzer) gatherChecks(res *Result) {
 	res.Violations = res.Violations[:0]
 	res.Slacks = res.Slacks[:0]
-	for _, netName := range a.namesSorted {
-		nn := res.Nets[netName]
-		ctx := a.ctxs[netName]
+	for _, oi := range a.sortedPos {
+		net := a.order[oi]
+		netName := net.Name
+		nn := res.byID[net.ID()]
+		ctx := a.ctxs[oi]
 		if ctx == nil {
 			continue
 		}

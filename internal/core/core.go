@@ -197,6 +197,11 @@ type Result struct {
 	Diags []Diag
 	// STA is the timing annotation used (switching windows, slews).
 	STA *sta.Result
+	// byID indexes the analyzed nets' records by netlist ID for the
+	// engine's hot loops. Only results built by an analyzer carry it;
+	// merged shard results leave it nil and are never fed back into
+	// engine loops.
+	byID []*NetNoise
 }
 
 // NoiseOf returns the noise record for a net (nil if not analyzed).

@@ -126,7 +126,7 @@ func AnalyzeDelayCtx(ctx context.Context, b *bind.Design, opts Options) (*DelayR
 // round's dirty set.
 func (a *analyzer) delayPass(ctx context.Context, dirty map[string]bool) error {
 	if a.impacts == nil {
-		a.impacts = make(map[string][]DelayImpact, len(a.order))
+		a.impacts = make([][]DelayImpact, len(a.order))
 	}
 	for ni, net := range a.order {
 		if ni&0x3f == 0 {
@@ -137,13 +137,13 @@ func (a *analyzer) delayPass(ctx context.Context, dirty map[string]bool) error {
 		if dirty != nil && !dirty[net.Name] {
 			continue
 		}
-		ims, err := a.safeDelayNet(net, a.impacts[net.Name][:0])
-		a.impacts[net.Name] = ims
+		ims, err := a.safeDelayNet(ni, net, a.impacts[ni][:0])
+		a.impacts[ni] = ims
 		if err != nil {
 			if !a.opts.FailSoft {
 				return err
 			}
-			a.degradeNet(net.Name, StageDelay, err)
+			a.degradeNet(ni, net.Name, StageDelay, err)
 		}
 	}
 	return nil
@@ -152,8 +152,8 @@ func (a *analyzer) delayPass(ctx context.Context, dirty map[string]bool) error {
 // assembleDelay flattens the per-net impacts into a sorted DelayResult.
 func (a *analyzer) assembleDelay() *DelayResult {
 	res := &DelayResult{Mode: a.opts.Mode}
-	for _, net := range a.order {
-		res.Impacts = append(res.Impacts, a.impacts[net.Name]...)
+	for ni := range a.order {
+		res.Impacts = append(res.Impacts, a.impacts[ni]...)
 	}
 	SortImpacts(res.Impacts)
 	sortDiags(a.diags)
@@ -182,14 +182,14 @@ func SortImpacts(ims []DelayImpact) {
 // (typically the net's previous slice, truncated) and returns it; on a
 // panic the impacts appended so far survive, matching the historical
 // partial-append behaviour.
-func (a *analyzer) safeDelayNet(net *netlist.Net, ims []DelayImpact) (out []DelayImpact, err error) {
+func (a *analyzer) safeDelayNet(ni int, net *netlist.Net, ims []DelayImpact) (out []DelayImpact, err error) {
 	out = ims
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("core: panic in delay analysis of net %s: %v", net.Name, r)
 		}
 	}()
-	events := a.coupled[net.Name]
+	events := a.coupled[ni]
 	if events == nil {
 		return out, nil
 	}

@@ -42,8 +42,8 @@ func (a *analyzer) incrIndexes() {
 		return
 	}
 	a.aggIndex = make(map[string][]string)
-	for _, net := range a.order {
-		ctx := a.ctxs[net.Name]
+	for ni, net := range a.order {
+		ctx := a.ctxs[ni]
 		if ctx == nil {
 			continue
 		}
@@ -121,7 +121,7 @@ func (a *analyzer) dirtyAfterPadding(staDirty map[string]bool) (reprep []*netlis
 // noise context, with the same panic isolation and fault-injection hook as
 // the initial preparation. Degraded victims (nil context) are skipped —
 // their full-rail fallback stands.
-func (a *analyzer) safeReprepare(net *netlist.Net) (p *preparedNet, err error) {
+func (a *analyzer) safeReprepare(pos int, net *netlist.Net) (p *preparedNet, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("core: panic preparing net %s: %v", net.Name, r)
@@ -132,7 +132,7 @@ func (a *analyzer) safeReprepare(net *netlist.Net) (p *preparedNet, err error) {
 			return nil, err
 		}
 	}
-	nctx := a.ctxs[net.Name]
+	nctx := a.ctxs[pos]
 	if nctx == nil {
 		return nil, nil
 	}
@@ -148,16 +148,17 @@ func (a *analyzer) reprepare(ctx context.Context, victims []*netlist.Net) error 
 				return err
 			}
 		}
-		p, err := a.safeReprepare(net)
+		pos := a.orderIdx[net.Name]
+		p, err := a.safeReprepare(pos, net)
 		if err != nil {
 			if !a.opts.FailSoft {
 				return err
 			}
-			a.degradeNet(net.Name, StagePrepare, err)
+			a.degradeNet(pos, net.Name, StagePrepare, err)
 			continue
 		}
 		if p != nil {
-			a.commitPrepared(net, p)
+			a.commitPrepared(pos, p)
 		}
 	}
 	return nil

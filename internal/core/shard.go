@@ -317,9 +317,9 @@ func (e *ShardEngine) EvalWave(ctx context.Context, wi int) ([]WaveUpdate, error
 			}
 		}
 		k++
-		nn := e.res.Nets[net.Name]
-		ev, err := e.a.evalNet(net, nn, e.res, &e.a.scratch)
-		c, cerr := e.a.commitEval(net, nn, ev, err)
+		nn := e.res.byID[net.ID()]
+		ev, err := e.a.evalNet(i, net, nn, e.res, &e.a.scratch)
+		c, cerr := e.a.commitEval(i, net, nn, ev, err)
 		if cerr != nil {
 			return ups, cerr
 		}
@@ -364,7 +364,7 @@ func (e *ShardEngine) DelayImpacts(ctx context.Context) ([]DelayImpact, error) {
 				return nil, err
 			}
 		}
-		out = append(out, e.a.impacts[net.Name]...)
+		out = append(out, e.a.impacts[e.a.orderIdx[net.Name]]...)
 	}
 	return out, nil
 }

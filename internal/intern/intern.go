@@ -1,0 +1,136 @@
+// Package intern provides a process-wide string interner. Design
+// databases at the million-net scale repeat the same identifiers many
+// times over (net names appear in the netlist, the parasitics, the
+// timing annotation, and every diagnostic); interning stores each
+// distinct name once and hands out a dense 32-bit symbol that is cheap
+// to hash, compare, and use as a map key or slice index.
+//
+// The table is sharded for concurrent use: the streaming loaders intern
+// from parallel section parsers. Symbols are never freed — the table
+// grows monotonically for the life of the process, which is the right
+// trade for a batch analysis tool and documented in DESIGN.md §11.
+package intern
+
+import (
+	"sync"
+)
+
+// Sym is a dense handle for an interned string. Two strings are equal
+// iff their Syms are equal. The zero Sym is a valid symbol (the first
+// string interned on shard 0), so absence must be tracked separately
+// (see Lookup).
+type Sym uint32
+
+const (
+	shardBits = 6
+	numShards = 1 << shardBits
+	shardMask = numShards - 1
+)
+
+type shard struct {
+	mu   sync.RWMutex
+	syms map[string]Sym
+	strs []string
+}
+
+var table [numShards]*shard
+
+func init() {
+	for i := range table {
+		table[i] = &shard{syms: make(map[string]Sym)}
+	}
+}
+
+// fnv1a is FNV-1a over the bytes of s; only the low bits pick a shard,
+// so the cheap 32-bit variant is plenty.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Intern returns the symbol for s, creating it on first use.
+func Intern(s string) Sym {
+	sh := table[fnv1a(s)&shardMask]
+	sh.mu.RLock()
+	sym, ok := sh.syms[s]
+	sh.mu.RUnlock()
+	if ok {
+		return sym
+	}
+	return sh.intern(s)
+}
+
+// InternBytes is Intern for a byte slice. On the hit path it performs
+// no allocation (the compiler elides the string conversion used only as
+// a map key); on the miss path the bytes are copied into a fresh
+// canonical string.
+func InternBytes(b []byte) Sym {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	sh := table[h&shardMask]
+	sh.mu.RLock()
+	sym, ok := sh.syms[string(b)]
+	sh.mu.RUnlock()
+	if ok {
+		return sym
+	}
+	return sh.intern(string(b))
+}
+
+func (sh *shard) intern(s string) Sym {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sym, ok := sh.syms[s]; ok {
+		return sym
+	}
+	idx := len(sh.strs)
+	sh.strs = append(sh.strs, s)
+	sym := Sym(uint32(idx)<<shardBits | fnv1a(s)&shardMask)
+	sh.syms[s] = sym
+	return sym
+}
+
+// Lookup returns the symbol for s without creating one. The second
+// result reports whether s has been interned.
+func Lookup(s string) (Sym, bool) {
+	sh := table[fnv1a(s)&shardMask]
+	sh.mu.RLock()
+	sym, ok := sh.syms[s]
+	sh.mu.RUnlock()
+	return sym, ok
+}
+
+// String returns the canonical string for sym. It panics on a symbol
+// that was never issued.
+func (sym Sym) String() string {
+	sh := table[sym&shardMask]
+	sh.mu.RLock()
+	s := sh.strs[sym>>shardBits]
+	sh.mu.RUnlock()
+	return s
+}
+
+// Canon returns the canonical (interned) copy of s, so equal names
+// across a design share one backing string.
+func Canon(s string) string {
+	return Intern(s).String()
+}
+
+// Len reports the number of distinct strings interned so far, for
+// tests and capacity diagnostics.
+func Len() int {
+	n := 0
+	for _, sh := range table {
+		sh.mu.RLock()
+		n += len(sh.strs)
+		sh.mu.RUnlock()
+	}
+	return n
+}

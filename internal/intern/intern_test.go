@@ -1,0 +1,73 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternRoundTrip(t *testing.T) {
+	a := Intern("alpha")
+	b := Intern("beta")
+	if a == b {
+		t.Fatalf("distinct strings got the same sym %v", a)
+	}
+	if Intern("alpha") != a {
+		t.Fatalf("re-intern changed sym")
+	}
+	if got := a.String(); got != "alpha" {
+		t.Fatalf("String(alpha) = %q", got)
+	}
+	if InternBytes([]byte("alpha")) != a {
+		t.Fatalf("InternBytes disagrees with Intern")
+	}
+	if sym, ok := Lookup("alpha"); !ok || sym != a {
+		t.Fatalf("Lookup(alpha) = %v, %v", sym, ok)
+	}
+	if _, ok := Lookup("never-interned-aa2c1d"); ok {
+		t.Fatalf("Lookup invented a symbol")
+	}
+	if Canon("alpha") != a.String() {
+		t.Fatalf("Canon not canonical")
+	}
+}
+
+func TestInternConcurrent(t *testing.T) {
+	const workers, n = 8, 2000
+	var wg sync.WaitGroup
+	syms := make([][]Sym, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			syms[w] = make([]Sym, n)
+			for i := 0; i < n; i++ {
+				syms[w][i] = Intern(fmt.Sprintf("net_%d", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := 0; i < n; i++ {
+			if syms[w][i] != syms[0][i] {
+				t.Fatalf("worker %d got different sym for net_%d", w, i)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		want := fmt.Sprintf("net_%d", i)
+		if got := syms[0][i].String(); got != want {
+			t.Fatalf("sym for %q resolves to %q", want, got)
+		}
+	}
+}
+
+func BenchmarkInternHit(b *testing.B) {
+	Intern("bench_hot_name")
+	buf := []byte("bench_hot_name")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		InternBytes(buf)
+	}
+}

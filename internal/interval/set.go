@@ -60,7 +60,9 @@ func NewSet(windows ...Window) Set {
 		}
 		merged = append(merged, w)
 	}
-	return Set{ws: append([]Window(nil), merged...)}
+	// merged aliases the local filtered copy, never the caller's slice, so
+	// it can back the set directly without another copy.
+	return Set{ws: merged}
 }
 
 // Windows returns a copy of the set's windows in ascending order.
@@ -107,9 +109,43 @@ func (s Set) Overlaps(w Window) bool {
 	return i < len(s.ws) && s.ws[i].Overlaps(w)
 }
 
-// Union returns the set covering every instant in s or o.
+// Union returns the set covering every instant in s or o, by a linear
+// merge of the two sorted member lists (sets are immutable, so the empty
+// cases can share the other operand's backing outright).
 func (s Set) Union(o Set) Set {
-	return NewSet(append(s.Windows(), o.ws...)...)
+	if len(s.ws) == 0 {
+		return o
+	}
+	if len(o.ws) == 0 {
+		return s
+	}
+	out := make([]Window, 0, len(s.ws)+len(o.ws))
+	i, j := 0, 0
+	for i < len(s.ws) || j < len(o.ws) {
+		var w Window
+		switch {
+		case i == len(s.ws):
+			w = o.ws[j]
+			j++
+		case j == len(o.ws):
+			w = s.ws[i]
+			i++
+		case o.ws[j].Lo < s.ws[i].Lo || (o.ws[j].Lo == s.ws[i].Lo && o.ws[j].Hi < s.ws[i].Hi):
+			w = o.ws[j]
+			j++
+		default:
+			w = s.ws[i]
+			i++
+		}
+		if n := len(out); n > 0 && out[n-1].Hi >= w.Lo {
+			if w.Hi > out[n-1].Hi {
+				out[n-1].Hi = w.Hi
+			}
+			continue
+		}
+		out = append(out, w)
+	}
+	return Set{ws: out}
 }
 
 // Add returns the set with window w merged in.
@@ -150,13 +186,24 @@ func (s Set) Shift(dt float64) Set {
 }
 
 // ShiftRange translates every member by an uncertain delay in [dMin, dMax]
-// and re-normalizes (widened members may now touch).
+// and re-normalizes in one pass: the shift is monotone, so the members stay
+// sorted and only adjacent ones can come to touch.
 func (s Set) ShiftRange(dMin, dMax float64) Set {
-	out := make([]Window, len(s.ws))
-	for i, w := range s.ws {
-		out[i] = w.ShiftRange(dMin, dMax)
+	out := make([]Window, 0, len(s.ws))
+	for _, w := range s.ws {
+		sw := w.ShiftRange(dMin, dMax)
+		if sw.IsEmpty() {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].Hi >= sw.Lo {
+			if sw.Hi > out[n-1].Hi {
+				out[n-1].Hi = sw.Hi
+			}
+			continue
+		}
+		out = append(out, sw)
 	}
-	return NewSet(out...)
+	return Set{ws: out}
 }
 
 // Complement returns the instants of span not covered by the set.

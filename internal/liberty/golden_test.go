@@ -1,0 +1,109 @@
+package liberty
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/iotest"
+)
+
+// librariesEqual compares via the deterministic Write rendering plus
+// the fields Write does not cover.
+func librariesEqual(t *testing.T, got, want *Library) {
+	t.Helper()
+	if got.Name != want.Name || got.Vdd != want.Vdd {
+		t.Fatalf("header differs: %s/%g vs %s/%g", got.Name, got.Vdd, want.Name, want.Vdd)
+	}
+	var gw, ww bytes.Buffer
+	if err := Write(&gw, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&ww, want); err != nil {
+		t.Fatal(err)
+	}
+	if gw.String() != ww.String() {
+		t.Fatalf("library text differs:\n--- got ---\n%s\n--- want ---\n%s", gw.String(), ww.String())
+	}
+}
+
+func TestParseMatchesReference(t *testing.T) {
+	var src bytes.Buffer
+	if err := Write(&src, Generic()); err != nil {
+		t.Fatal(err)
+	}
+	text := src.String()
+
+	want, err := parseReference(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	librariesEqual(t, got, want)
+
+	frag, err := Parse(iotest.OneByteReader(strings.NewReader(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	librariesEqual(t, frag, want)
+
+	// A library-level directive between cell sections must apply to the
+	// live state in file order.
+	mixed := "library l\nvdd 1.0\ncell A\npin Y out\ndrive 100\nhold 100\nend\nvdd 2.5\ncell B\npin Y out\ndrive 1\nhold 1\nend\n"
+	wm, err := parseReference(strings.NewReader(mixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, err := Parse(strings.NewReader(mixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	librariesEqual(t, gm, wm)
+	if gm.Vdd != 2.5 {
+		t.Fatalf("late vdd not applied: %g", gm.Vdd)
+	}
+}
+
+func TestParseErrorsMatchReference(t *testing.T) {
+	cases := []string{
+		"",
+		"nonsense\n",
+		"library a b\n",
+		"library a\nlibrary b\n",
+		"vdd 1.0\n",
+		"library a\nvdd x\n",
+		"default_immunity 1 1 1\n",
+		"cell A\n",
+		"library a\ncell A\ncell B\n",
+		"library a\ncell A\n",
+		"library a\ncell A\npin P sideways\nend\n",
+		"library a\npin P out\n",
+		"library a\ncell A\npin P in xyz\nend\n",
+		"library a\ncell A\ndrive x\nend\n",
+		"library a\ncell A\nimmunity P 1 1 1\nend\n",
+		"library a\ncell A\narc A Y diagonal\nend\n",
+		"library a\ncell A\ntransfer 1 2 3\nend\n",
+		"library a\ncell A\narc A Y pos\ntransfer 1 2\nend\n",
+		"library a\ncell A\ntable delay_rise 1 1 1 1 1\nend\n",
+		"library a\ncell A\narc A Y pos\ntable sideways 1 1 1 1 1\nend\n",
+		"library a\ncell A\narc A Y pos\ntable delay_rise 2 2 1 1\nend\n",
+		"end\n",
+		"library a\ncell A\npin Y out\ndrive 1\nhold 1\nend\ncell A\npin Y out\ndrive 1\nhold 1\nend\n",
+		"library a\ncell A\nvdd x\nend\n",
+	}
+	for i, src := range cases {
+		_, wantErr := parseReference(strings.NewReader(src))
+		_, gotErr := Parse(strings.NewReader(src))
+		if wantErr == nil {
+			t.Fatalf("case %d: reference accepted %q", i, src)
+		}
+		if gotErr == nil {
+			t.Fatalf("case %d: streaming parser accepted %q, want %v", i, src, wantErr)
+		}
+		if gotErr.Error() != wantErr.Error() {
+			t.Errorf("case %d: error mismatch\n  got:  %v\n  want: %v", i, gotErr, wantErr)
+		}
+	}
+}

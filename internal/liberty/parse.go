@@ -2,10 +2,15 @@ package liberty
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+
+	"repro/internal/textio"
 )
 
 // The ".nlib" text format carries a library in a line-oriented form:
@@ -27,170 +32,346 @@ import (
 // and #-comments are ignored. All quantities are base SI units.
 
 // Parse reads a library in .nlib format.
+//
+// The reader is streaming and parallel: lines are scanned from chunked
+// reads, cell…end sections are batched and parsed by a worker pool, and
+// the cells are committed serially in file order — so the resulting
+// library and any error (position and text) match a sequential parse.
+// Sections containing library-level directives fall back to the serial
+// machine.
 func Parse(r io.Reader) (*Library, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
-	var lib *Library
-	var cell *Cell
-	var arc *Arc
-	lineNo := 0
-	for sc.Scan() {
+	m := &libMachine{}
+	m.onCell = func(c *Cell, endLine int) error {
+		if err := m.lib.AddCell(c); err != nil {
+			return fmt.Errorf("liberty: line %d: %v", endLine, err)
+		}
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	const batchCells = 64
+
+	lr := textio.NewLineReader(r)
+	var (
+		batch      []cellBlock
+		block      cellBlock
+		collecting bool
+		lineNo     = 0
+	)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		results := make([]cellResult, len(batch))
+		nw := workers
+		if nw > len(batch) {
+			nw = len(batch)
+		}
+		if nw <= 1 {
+			for i := range batch {
+				results[i] = parseCellBlock(batch[i], m.lib)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for w := 0; w < nw; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < len(batch); i += nw {
+						results[i] = parseCellBlock(batch[i], m.lib)
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+		batch = batch[:0]
+		for _, res := range results {
+			for _, cl := range res.cells {
+				if err := m.onCell(cl.cell, cl.endLine); err != nil {
+					return err
+				}
+			}
+			if res.err != nil {
+				return res.err
+			}
+		}
+		return nil
+	}
+
+	for {
+		line, ok, err := lr.Next()
+		if err != nil {
+			return nil, fmt.Errorf("liberty: line %d: %w", lineNo+1, err)
+		}
+		if !ok {
+			break
+		}
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		trim := bytes.TrimSpace(line)
+		if len(trim) == 0 || trim[0] == '#' {
 			continue
 		}
-		f := strings.Fields(line)
-		fail := func(format string, args ...any) error {
-			return fmt.Errorf("liberty: line %d: %s", lineNo, fmt.Sprintf(format, args...))
-		}
-		switch f[0] {
-		case "library":
-			if len(f) != 2 || lib != nil {
-				return nil, fail("bad or duplicate library line")
-			}
-			lib = NewLibrary(f[1], 0)
-		case "vdd":
-			if lib == nil || len(f) != 2 {
-				return nil, fail("bad vdd line")
-			}
-			v, err := strconv.ParseFloat(f[1], 64)
-			if err != nil {
-				return nil, fail("bad vdd: %v", err)
-			}
-			lib.Vdd = v
-		case "default_immunity":
-			if lib == nil {
-				return nil, fail("default_immunity before library")
-			}
-			ic, err := parseImmunity(f[1:])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			lib.DefaultImmunity = ic
-		case "cell":
-			if lib == nil || len(f) != 2 {
-				return nil, fail("bad cell line")
-			}
-			if cell != nil {
-				return nil, fail("cell %q not closed with end", cell.Name)
-			}
-			cell = &Cell{Name: f[1], Pins: make(map[string]*Pin)}
-			arc = nil
-		case "pin":
-			if cell == nil {
-				return nil, fail("pin outside cell")
-			}
-			switch {
-			case len(f) == 4 && f[2] == "in":
-				c, err := strconv.ParseFloat(f[3], 64)
-				if err != nil {
-					return nil, fail("bad pin cap: %v", err)
+		if collecting {
+			block.lines = append(block.lines, trim)
+			block.nos = append(block.nos, lineNo)
+			switch string(textio.FirstField(trim)) {
+			case "library", "vdd", "default_immunity":
+				// Library-level directive inside a cell section: run the
+				// whole section on the live serial state.
+				block.global = true
+			case "end":
+				collecting = false
+				if block.global {
+					if err := flush(); err != nil {
+						return nil, err
+					}
+					if err := m.runBlock(block); err != nil {
+						return nil, err
+					}
+				} else {
+					batch = append(batch, block)
+					if len(batch) >= batchCells {
+						if err := flush(); err != nil {
+							return nil, err
+						}
+					}
 				}
-				cell.Pins[f[1]] = &Pin{Name: f[1], Dir: Input, Cap: c}
-			case len(f) == 3 && f[2] == "out":
-				cell.Pins[f[1]] = &Pin{Name: f[1], Dir: Output}
-			default:
-				return nil, fail("pin wants NAME in CAP or NAME out")
+				block = cellBlock{}
 			}
-		case "drive", "hold":
-			if cell == nil || len(f) != 2 {
-				return nil, fail("bad %s line", f[0])
-			}
-			v, err := strconv.ParseFloat(f[1], 64)
-			if err != nil {
-				return nil, fail("bad %s: %v", f[0], err)
-			}
-			if f[0] == "drive" {
-				cell.DriveRes = v
-			} else {
-				cell.HoldRes = v
-			}
-		case "immunity":
-			if cell == nil || len(f) < 3 {
-				return nil, fail("bad immunity line")
-			}
-			pin := cell.Pins[f[1]]
-			if pin == nil || pin.Dir != Input {
-				return nil, fail("immunity for unknown input pin %q", f[1])
-			}
-			ic, err := parseImmunity(f[2:])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			pin.Immunity = ic
-		case "arc":
-			if cell == nil || len(f) != 4 {
-				return nil, fail("arc wants FROM TO pos|neg|both")
-			}
-			var u Unateness
-			switch f[3] {
-			case "pos":
-				u = PositiveUnate
-			case "neg":
-				u = NegativeUnate
-			case "both":
-				u = NonUnate
-			default:
-				return nil, fail("bad unateness %q", f[3])
-			}
-			arc = &Arc{From: f[1], To: f[2], Unate: u}
-			cell.Arcs = append(cell.Arcs, arc)
-		case "transfer":
-			if arc == nil || len(f) != 4 {
-				return nil, fail("transfer wants THRESHOLD DCGAIN TCHAR after an arc")
-			}
-			nums, err := parseFloats(f[1:])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			tc, err := NewTransferCurve(nums[0], nums[1], nums[2])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			arc.Transfer = tc
-		case "table":
-			if arc == nil || len(f) < 4 {
-				return nil, fail("table outside arc")
-			}
-			tbl, err := parseTable(f[2:])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			switch f[1] {
-			case "delay_rise":
-				arc.DelayRise = tbl
-			case "delay_fall":
-				arc.DelayFall = tbl
-			case "slew_rise":
-				arc.SlewRise = tbl
-			case "slew_fall":
-				arc.SlewFall = tbl
-			default:
-				return nil, fail("unknown table kind %q", f[1])
-			}
-		case "end":
-			if cell == nil {
-				return nil, fail("end outside cell")
-			}
-			if err := lib.AddCell(cell); err != nil {
-				return nil, fail("%v", err)
-			}
-			cell, arc = nil, nil
-		default:
-			return nil, fail("unknown keyword %q", f[0])
+			continue
+		}
+		if string(textio.FirstField(trim)) == "cell" {
+			collecting = true
+			block = cellBlock{lines: [][]byte{trim}, nos: []int{lineNo}}
+			continue
+		}
+		if err := flush(); err != nil {
+			return nil, err
+		}
+		if err := m.step(trim, lineNo); err != nil {
+			return nil, err
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("liberty: line %d: %w", lineNo+1, err)
+	if err := flush(); err != nil {
+		return nil, err
 	}
-	if lib == nil {
+	if collecting {
+		// Input ended inside a cell section: replay it serially so the
+		// unterminated-cell error comes out exactly as before.
+		if err := m.runBlock(block); err != nil {
+			return nil, err
+		}
+	}
+	if m.lib == nil {
 		return nil, fmt.Errorf("liberty: no library line")
 	}
-	if cell != nil {
-		return nil, fmt.Errorf("liberty: cell %q not closed with end", cell.Name)
+	if m.cell != nil {
+		return nil, fmt.Errorf("liberty: cell %q not closed with end", m.cell.Name)
 	}
-	return lib, nil
+	return m.lib, nil
+}
+
+// cellBlock is one collected cell…end section.
+type cellBlock struct {
+	lines  [][]byte
+	nos    []int
+	global bool
+}
+
+type cellAndLine struct {
+	cell    *Cell
+	endLine int
+}
+
+type cellResult struct {
+	cells []cellAndLine
+	err   error
+}
+
+// parseCellBlock runs one section through a private machine. The
+// library pointer is shared read-only: every line a worker can reach
+// only consults lib for nil-ness and mutates cell-local state.
+func parseCellBlock(b cellBlock, lib *Library) cellResult {
+	wm := &libMachine{lib: lib}
+	var res cellResult
+	wm.onCell = func(c *Cell, endLine int) error {
+		res.cells = append(res.cells, cellAndLine{cell: c, endLine: endLine})
+		return nil
+	}
+	res.err = wm.runBlock(b)
+	return res
+}
+
+// libMachine is the sequential .nlib line interpreter; one instance
+// tracks the live state and per-section worker instances parse cells.
+type libMachine struct {
+	lib    *Library
+	cell   *Cell
+	arc    *Arc
+	onCell func(c *Cell, endLine int) error
+	fields [][]byte
+}
+
+func (m *libMachine) runBlock(b cellBlock) error {
+	for i, line := range b.lines {
+		if err := m.step(line, b.nos[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// step interprets one trimmed, non-blank, non-comment line.
+func (m *libMachine) step(line []byte, lineNo int) error {
+	fb := textio.SplitFields(line, m.fields[:0])
+	m.fields = fb
+	// Tokens escape into retained structures only where the old parser
+	// retained them; convert up front for clarity — libraries are tiny
+	// compared to netlists and parasitics.
+	f := make([]string, len(fb))
+	for i, b := range fb {
+		f[i] = string(b)
+	}
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("liberty: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	switch f[0] {
+	case "library":
+		if len(f) != 2 || m.lib != nil {
+			return fail("bad or duplicate library line")
+		}
+		m.lib = NewLibrary(f[1], 0)
+	case "vdd":
+		if m.lib == nil || len(f) != 2 {
+			return fail("bad vdd line")
+		}
+		v, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			return fail("bad vdd: %v", err)
+		}
+		m.lib.Vdd = v
+	case "default_immunity":
+		if m.lib == nil {
+			return fail("default_immunity before library")
+		}
+		ic, err := parseImmunity(f[1:])
+		if err != nil {
+			return fail("%v", err)
+		}
+		m.lib.DefaultImmunity = ic
+	case "cell":
+		if m.lib == nil || len(f) != 2 {
+			return fail("bad cell line")
+		}
+		if m.cell != nil {
+			return fail("cell %q not closed with end", m.cell.Name)
+		}
+		m.cell = &Cell{Name: f[1], Pins: make(map[string]*Pin)}
+		m.arc = nil
+	case "pin":
+		if m.cell == nil {
+			return fail("pin outside cell")
+		}
+		switch {
+		case len(f) == 4 && f[2] == "in":
+			c, err := strconv.ParseFloat(f[3], 64)
+			if err != nil {
+				return fail("bad pin cap: %v", err)
+			}
+			m.cell.Pins[f[1]] = &Pin{Name: f[1], Dir: Input, Cap: c}
+		case len(f) == 3 && f[2] == "out":
+			m.cell.Pins[f[1]] = &Pin{Name: f[1], Dir: Output}
+		default:
+			return fail("pin wants NAME in CAP or NAME out")
+		}
+	case "drive", "hold":
+		if m.cell == nil || len(f) != 2 {
+			return fail("bad %s line", f[0])
+		}
+		v, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			return fail("bad %s: %v", f[0], err)
+		}
+		if f[0] == "drive" {
+			m.cell.DriveRes = v
+		} else {
+			m.cell.HoldRes = v
+		}
+	case "immunity":
+		if m.cell == nil || len(f) < 3 {
+			return fail("bad immunity line")
+		}
+		pin := m.cell.Pins[f[1]]
+		if pin == nil || pin.Dir != Input {
+			return fail("immunity for unknown input pin %q", f[1])
+		}
+		ic, err := parseImmunity(f[2:])
+		if err != nil {
+			return fail("%v", err)
+		}
+		pin.Immunity = ic
+	case "arc":
+		if m.cell == nil || len(f) != 4 {
+			return fail("arc wants FROM TO pos|neg|both")
+		}
+		var u Unateness
+		switch f[3] {
+		case "pos":
+			u = PositiveUnate
+		case "neg":
+			u = NegativeUnate
+		case "both":
+			u = NonUnate
+		default:
+			return fail("bad unateness %q", f[3])
+		}
+		m.arc = &Arc{From: f[1], To: f[2], Unate: u}
+		m.cell.Arcs = append(m.cell.Arcs, m.arc)
+	case "transfer":
+		if m.arc == nil || len(f) != 4 {
+			return fail("transfer wants THRESHOLD DCGAIN TCHAR after an arc")
+		}
+		nums, err := parseFloats(f[1:])
+		if err != nil {
+			return fail("%v", err)
+		}
+		tc, err := NewTransferCurve(nums[0], nums[1], nums[2])
+		if err != nil {
+			return fail("%v", err)
+		}
+		m.arc.Transfer = tc
+	case "table":
+		if m.arc == nil || len(f) < 4 {
+			return fail("table outside arc")
+		}
+		tbl, err := parseTable(f[2:])
+		if err != nil {
+			return fail("%v", err)
+		}
+		switch f[1] {
+		case "delay_rise":
+			m.arc.DelayRise = tbl
+		case "delay_fall":
+			m.arc.DelayFall = tbl
+		case "slew_rise":
+			m.arc.SlewRise = tbl
+		case "slew_fall":
+			m.arc.SlewFall = tbl
+		default:
+			return fail("unknown table kind %q", f[1])
+		}
+	case "end":
+		if m.cell == nil {
+			return fail("end outside cell")
+		}
+		c := m.cell
+		m.cell, m.arc = nil, nil
+		if err := m.onCell(c, lineNo); err != nil {
+			return err
+		}
+	default:
+		return fail("unknown keyword %q", f[0])
+	}
+	return nil
 }
 
 func parseFloats(fields []string) ([]float64, error) {

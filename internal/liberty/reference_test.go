@@ -1,0 +1,178 @@
+package liberty
+
+// This file preserves the original sequential .nlib parser as a
+// test-only reference implementation for the golden equivalence tests.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+func parseReference(r io.Reader) (*Library, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	var lib *Library
+	var cell *Cell
+	var arc *Arc
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("liberty: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch f[0] {
+		case "library":
+			if len(f) != 2 || lib != nil {
+				return nil, fail("bad or duplicate library line")
+			}
+			lib = NewLibrary(f[1], 0)
+		case "vdd":
+			if lib == nil || len(f) != 2 {
+				return nil, fail("bad vdd line")
+			}
+			v, err := strconv.ParseFloat(f[1], 64)
+			if err != nil {
+				return nil, fail("bad vdd: %v", err)
+			}
+			lib.Vdd = v
+		case "default_immunity":
+			if lib == nil {
+				return nil, fail("default_immunity before library")
+			}
+			ic, err := parseImmunity(f[1:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			lib.DefaultImmunity = ic
+		case "cell":
+			if lib == nil || len(f) != 2 {
+				return nil, fail("bad cell line")
+			}
+			if cell != nil {
+				return nil, fail("cell %q not closed with end", cell.Name)
+			}
+			cell = &Cell{Name: f[1], Pins: make(map[string]*Pin)}
+			arc = nil
+		case "pin":
+			if cell == nil {
+				return nil, fail("pin outside cell")
+			}
+			switch {
+			case len(f) == 4 && f[2] == "in":
+				c, err := strconv.ParseFloat(f[3], 64)
+				if err != nil {
+					return nil, fail("bad pin cap: %v", err)
+				}
+				cell.Pins[f[1]] = &Pin{Name: f[1], Dir: Input, Cap: c}
+			case len(f) == 3 && f[2] == "out":
+				cell.Pins[f[1]] = &Pin{Name: f[1], Dir: Output}
+			default:
+				return nil, fail("pin wants NAME in CAP or NAME out")
+			}
+		case "drive", "hold":
+			if cell == nil || len(f) != 2 {
+				return nil, fail("bad %s line", f[0])
+			}
+			v, err := strconv.ParseFloat(f[1], 64)
+			if err != nil {
+				return nil, fail("bad %s: %v", f[0], err)
+			}
+			if f[0] == "drive" {
+				cell.DriveRes = v
+			} else {
+				cell.HoldRes = v
+			}
+		case "immunity":
+			if cell == nil || len(f) < 3 {
+				return nil, fail("bad immunity line")
+			}
+			pin := cell.Pins[f[1]]
+			if pin == nil || pin.Dir != Input {
+				return nil, fail("immunity for unknown input pin %q", f[1])
+			}
+			ic, err := parseImmunity(f[2:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			pin.Immunity = ic
+		case "arc":
+			if cell == nil || len(f) != 4 {
+				return nil, fail("arc wants FROM TO pos|neg|both")
+			}
+			var u Unateness
+			switch f[3] {
+			case "pos":
+				u = PositiveUnate
+			case "neg":
+				u = NegativeUnate
+			case "both":
+				u = NonUnate
+			default:
+				return nil, fail("bad unateness %q", f[3])
+			}
+			arc = &Arc{From: f[1], To: f[2], Unate: u}
+			cell.Arcs = append(cell.Arcs, arc)
+		case "transfer":
+			if arc == nil || len(f) != 4 {
+				return nil, fail("transfer wants THRESHOLD DCGAIN TCHAR after an arc")
+			}
+			nums, err := parseFloats(f[1:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			tc, err := NewTransferCurve(nums[0], nums[1], nums[2])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			arc.Transfer = tc
+		case "table":
+			if arc == nil || len(f) < 4 {
+				return nil, fail("table outside arc")
+			}
+			tbl, err := parseTable(f[2:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			switch f[1] {
+			case "delay_rise":
+				arc.DelayRise = tbl
+			case "delay_fall":
+				arc.DelayFall = tbl
+			case "slew_rise":
+				arc.SlewRise = tbl
+			case "slew_fall":
+				arc.SlewFall = tbl
+			default:
+				return nil, fail("unknown table kind %q", f[1])
+			}
+		case "end":
+			if cell == nil {
+				return nil, fail("end outside cell")
+			}
+			if err := lib.AddCell(cell); err != nil {
+				return nil, fail("%v", err)
+			}
+			cell, arc = nil, nil
+		default:
+			return nil, fail("unknown keyword %q", f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("liberty: line %d: %w", lineNo+1, err)
+	}
+	if lib == nil {
+		return nil, fmt.Errorf("liberty: no library line")
+	}
+	if cell != nil {
+		return nil, fmt.Errorf("liberty: cell %q not closed with end", cell.Name)
+	}
+	return lib, nil
+}

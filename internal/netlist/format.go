@@ -92,6 +92,7 @@ func Parse(r io.Reader) (*Design, error) {
 	if d == nil {
 		return nil, fmt.Errorf("netlist: no design line")
 	}
+	d.Compact()
 	return d, nil
 }
 

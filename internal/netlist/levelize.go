@@ -37,14 +37,34 @@ func (l *Levelization) Ordered() []*Inst {
 // reads). Instances left over after the peel are on combinational cycles
 // and are reported in Feedback with Level == -1. Each instance's Level
 // field is updated in place.
+//
+// The result is cached: repeated calls on an unmodified design return
+// the same Levelization without recomputing, which also makes a bound
+// design safe to share across concurrent engines (the first Levelize
+// wins; later calls are read-only). Callers must treat the returned
+// structure as immutable. Any builder mutation invalidates the cache.
 func (d *Design) Levelize() *Levelization {
-	insts := d.Insts()
-	indeg := make(map[*Inst]int, len(insts))
+	d.cache.Lock()
+	defer d.cache.Unlock()
+	if d.cache.lev != nil && d.cache.levVer == d.version {
+		return d.cache.lev
+	}
+	lev := d.levelize()
+	d.cache.lev, d.cache.levVer = lev, d.version
+	return lev
+}
+
+// levelize is the uncached Kahn peel over dense instance IDs: indegrees
+// live in one int32 slice indexed by Inst.ID, and fanout traversal goes
+// straight through the maintained output/load connection views, so the
+// peel allocates only the level slices themselves.
+func (d *Design) levelize() *Levelization {
+	insts := d.instsByID
+	indeg := make([]int32, len(insts))
 	for _, i := range insts {
 		i.Level = -1
-		indeg[i] = 0
 	}
-	// Count fanin edges: one per (driving instance, reading instance)
+	// Count fanin edges: one per (driving instance, reading input conn)
 	// pair, with multiplicity — multiplicity is harmless for Kahn as long
 	// as decrements match. Self-edges count too: an instance driving its
 	// own input is a one-gate combinational cycle, and its indegree can
@@ -52,15 +72,15 @@ func (d *Design) Levelize() *Levelization {
 	// leveled), so it correctly lands in Feedback rather than getting a
 	// bogus finite level.
 	for _, i := range insts {
-		for _, c := range i.Inputs() {
+		for _, c := range i.ins {
 			if drv := c.Net.Driver(); drv != nil && drv.Inst != nil {
-				indeg[i]++
+				indeg[i.id]++
 			}
 		}
 	}
 	frontier := make([]*Inst, 0, len(insts))
 	for _, i := range insts {
-		if indeg[i] == 0 {
+		if indeg[i.id] == 0 {
 			frontier = append(frontier, i)
 		}
 	}
@@ -74,20 +94,18 @@ func (d *Design) Levelize() *Levelization {
 		lev.Levels = append(lev.Levels, frontier)
 		var next []*Inst
 		for _, i := range frontier {
-			for _, fo := range d.FanoutInsts(i) {
-				if fo.Level >= 0 {
-					continue
-				}
-				// Decrement once per edge from i to fo.
-				edges := 0
-				for _, c := range fo.Inputs() {
-					if drv := c.Net.Driver(); drv != nil && drv.Inst == i {
-						edges++
+			for _, oc := range i.outs {
+				for _, lc := range oc.Net.Loads() {
+					fo := lc.Inst
+					if fo == nil || fo.Level >= 0 {
+						continue
 					}
-				}
-				indeg[fo] -= edges
-				if indeg[fo] == 0 {
-					next = append(next, fo)
+					// One decrement per (i → input conn of fo) edge,
+					// matching the count above.
+					indeg[fo.id]--
+					if indeg[fo.id] == 0 {
+						next = append(next, fo)
+					}
 				}
 			}
 		}

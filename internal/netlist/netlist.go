@@ -8,11 +8,25 @@
 // against a liberty.Library only by the analysis layers. This keeps the
 // design database usable for structural tooling (generators, format
 // conversion) without library bindings.
+//
+// Storage is struct-of-arrays at heart: Net/Inst/Conn/Port objects live
+// in chunked arenas (pointer-stable, one allocation per chunk), carry
+// dense creation-order int32 IDs for slice-indexed side tables, and are
+// looked up by interned name symbols (internal/intern) rather than raw
+// strings. Driver, load, and pin-direction views are maintained
+// incrementally at build time instead of being recomputed per call, so
+// the analysis layers can traverse the graph allocation-free and — once
+// construction is done — concurrently. The mutating builder methods
+// (AddPort, AddInst, Connect) are not safe for concurrent use; all
+// read-side accessors, including the cached Levelize, are.
 package netlist
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+
+	"repro/internal/intern"
 )
 
 // Dir is the direction of a pin or port from the perspective of the
@@ -45,7 +59,14 @@ type Conn struct {
 	Pin  string // pin name when Inst is non-nil
 	Dir  Dir
 	Net  *Net
+
+	id int32 // dense creation-order ID within the design
 }
+
+// ID returns the connection's dense creation-order index, in
+// [0, Design.NumConns). IDs are stable for the life of the design and
+// suitable for slice-indexed side tables.
+func (c *Conn) ID() int32 { return c.id }
 
 // Driver reports whether this connection drives the net: an instance
 // output pin, or a design input port.
@@ -69,28 +90,33 @@ func (c *Conn) Name() string {
 type Net struct {
 	Name  string
 	Conns []*Conn
+
+	id    int32
+	drv   *Conn   // first driving connection, maintained by addConn
+	loads []*Conn // non-driving connections in insertion order
 }
+
+// ID returns the net's dense creation-order index, in
+// [0, Design.NumNets). IDs are stable for the life of the design.
+func (n *Net) ID() int32 { return n.id }
 
 // Driver returns the unique driving connection, or nil if the net is
 // undriven. Validate enforces uniqueness.
-func (n *Net) Driver() *Conn {
-	for _, c := range n.Conns {
-		if c.Driver() {
-			return c
-		}
-	}
-	return nil
-}
+func (n *Net) Driver() *Conn { return n.drv }
 
-// Loads returns the non-driving connections in insertion order.
-func (n *Net) Loads() []*Conn {
-	out := make([]*Conn, 0, len(n.Conns))
-	for _, c := range n.Conns {
-		if !c.Driver() {
-			out = append(out, c)
+// Loads returns the non-driving connections in insertion order. The
+// returned slice is shared with the net; callers must not modify it.
+func (n *Net) Loads() []*Conn { return n.loads }
+
+func (n *Net) addConn(c *Conn) {
+	n.Conns = append(n.Conns, c)
+	if c.Driver() {
+		if n.drv == nil {
+			n.drv = c
 		}
+	} else {
+		n.loads = append(n.loads, c)
 	}
-	return out
 }
 
 // Inst is a placed occurrence of a library cell.
@@ -102,31 +128,39 @@ type Inst struct {
 	// Level is filled in by Levelize: topological depth from primary
 	// inputs, or -1 for instances on combinational loops.
 	Level int
+
+	id   int32
+	ins  []*Conn // input connections sorted by pin name
+	outs []*Conn // output connections sorted by pin name
 }
+
+// ID returns the instance's dense creation-order index, in
+// [0, Design.NumInsts). IDs are stable for the life of the design.
+func (i *Inst) ID() int32 { return i.id }
 
 // Inputs returns the instance's input connections sorted by pin name.
-func (i *Inst) Inputs() []*Conn {
-	return i.connsByDir(In)
-}
+// The returned slice is shared with the instance; callers must not
+// modify it.
+func (i *Inst) Inputs() []*Conn { return i.ins }
 
 // Outputs returns the instance's output connections sorted by pin name.
-func (i *Inst) Outputs() []*Conn {
-	return i.connsByDir(Out)
-}
+// The returned slice is shared with the instance; callers must not
+// modify it.
+func (i *Inst) Outputs() []*Conn { return i.outs }
 
-func (i *Inst) connsByDir(d Dir) []*Conn {
-	names := make([]string, 0, len(i.Conns))
-	for name, c := range i.Conns {
-		if c.Dir == d {
-			names = append(names, name)
-		}
+func (i *Inst) addConn(c *Conn) {
+	into := &i.ins
+	if c.Dir == Out {
+		into = &i.outs
 	}
-	sort.Strings(names)
-	out := make([]*Conn, len(names))
-	for k, name := range names {
-		out[k] = i.Conns[name]
-	}
-	return out
+	// Insertion sort by pin name: pin counts are tiny and this keeps the
+	// sorted views always valid instead of rebuilding them per call.
+	s := *into
+	k := sort.Search(len(s), func(j int) bool { return s[j].Pin > c.Pin })
+	s = append(s, nil)
+	copy(s[k+1:], s[k:])
+	s[k] = c
+	*into = s
 }
 
 // Port is a top-level design port.
@@ -136,132 +170,286 @@ type Port struct {
 	Conn *Conn
 }
 
+// arena is a chunked, pointer-stable allocator: one heap allocation per
+// chunk instead of one per object. Pointers into earlier chunks are
+// never invalidated by growth.
+type arena[T any] struct {
+	chunks [][]T
+}
+
+const arenaChunk = 4096
+
+func (a *arena[T]) alloc() *T {
+	n := len(a.chunks)
+	if n == 0 || len(a.chunks[n-1]) == cap(a.chunks[n-1]) {
+		a.chunks = append(a.chunks, make([]T, 0, arenaChunk))
+		n++
+	}
+	c := &a.chunks[n-1]
+	*c = append(*c, *new(T))
+	return &(*c)[len(*c)-1]
+}
+
 // Design is the netlist database. Construct with New and the Add/Connect
 // builder methods, then call Validate before analysis.
 type Design struct {
-	Name  string
-	ports map[string]*Port
-	nets  map[string]*Net
-	insts map[string]*Inst
+	Name string
+
+	ports map[intern.Sym]*Port
+	nets  map[intern.Sym]*Net
+	insts map[intern.Sym]*Inst
+
+	// Dense creation-order views; index == ID.
+	netsByID  []*Net
+	instsByID []*Inst
+	portsByID []*Port
+	numConns  int
+
+	netArena  arena[Net]
+	instArena arena[Inst]
+	connArena arena[Conn]
+	portArena arena[Port]
+
+	// version counts builder mutations; the lazy caches below are keyed
+	// on it.
+	version uint64
+
+	cache struct {
+		sync.Mutex
+		sortedVer uint64
+		ports     []*Port
+		nets      []*Net
+		insts     []*Inst
+		levVer    uint64
+		lev       *Levelization
+	}
 }
 
 // New returns an empty design.
 func New(name string) *Design {
 	return &Design{
 		Name:  name,
-		ports: make(map[string]*Port),
-		nets:  make(map[string]*Net),
-		insts: make(map[string]*Inst),
+		ports: make(map[intern.Sym]*Port),
+		nets:  make(map[intern.Sym]*Net),
+		insts: make(map[intern.Sym]*Inst),
+	}
+}
+
+// Grow pre-sizes the name indexes for a design of about nets nets and
+// insts instances, so bulk loaders avoid incremental map growth.
+func (d *Design) Grow(nets, insts int) {
+	if nets > len(d.nets) {
+		m := make(map[intern.Sym]*Net, nets)
+		for k, v := range d.nets {
+			m[k] = v
+		}
+		d.nets = m
+		d.netsByID = append(make([]*Net, 0, nets), d.netsByID...)
+	}
+	if insts > len(d.insts) {
+		m := make(map[intern.Sym]*Inst, insts)
+		for k, v := range d.insts {
+			m[k] = v
+		}
+		d.insts = m
+		d.instsByID = append(make([]*Inst, 0, insts), d.instsByID...)
 	}
 }
 
 // AddPort declares a top-level port and connects it to the net of the same
 // name (created if needed). It errors on duplicates.
 func (d *Design) AddPort(name string, dir Dir) (*Port, error) {
-	if _, dup := d.ports[name]; dup {
-		return nil, fmt.Errorf("netlist: duplicate port %q", name)
+	return d.AddPortSym(intern.Intern(name), dir)
+}
+
+// AddPortSym is AddPort keyed by an interned name symbol; bulk loaders
+// use it to skip re-hashing names they interned during parsing.
+func (d *Design) AddPortSym(sym intern.Sym, dir Dir) (*Port, error) {
+	if _, dup := d.ports[sym]; dup {
+		return nil, fmt.Errorf("netlist: duplicate port %q", sym.String())
 	}
-	net := d.Net(name)
-	c := &Conn{Port: name, Dir: dir, Net: net}
-	net.Conns = append(net.Conns, c)
-	p := &Port{Name: name, Dir: dir, Conn: c}
-	d.ports[name] = p
+	d.version++
+	name := sym.String()
+	net := d.NetSym(sym)
+	c := d.connArena.alloc()
+	*c = Conn{Port: name, Dir: dir, Net: net, id: int32(d.numConns)}
+	d.numConns++
+	net.addConn(c)
+	p := d.portArena.alloc()
+	*p = Port{Name: name, Dir: dir, Conn: c}
+	d.ports[sym] = p
+	d.portsByID = append(d.portsByID, p)
 	return p, nil
 }
 
 // AddInst declares an instance of the named cell. It errors on duplicates.
 func (d *Design) AddInst(name, cell string) (*Inst, error) {
-	if _, dup := d.insts[name]; dup {
-		return nil, fmt.Errorf("netlist: duplicate instance %q", name)
+	return d.AddInstSym(intern.Intern(name), intern.Intern(cell))
+}
+
+// AddInstSym is AddInst keyed by interned name symbols.
+func (d *Design) AddInstSym(sym, cell intern.Sym) (*Inst, error) {
+	if _, dup := d.insts[sym]; dup {
+		return nil, fmt.Errorf("netlist: duplicate instance %q", sym.String())
 	}
-	i := &Inst{Name: name, Cell: cell, Conns: make(map[string]*Conn), Level: -1}
-	d.insts[name] = i
+	d.version++
+	i := d.instArena.alloc()
+	*i = Inst{Name: sym.String(), Cell: cell.String(), Conns: make(map[string]*Conn), Level: -1, id: int32(len(d.instsByID))}
+	d.insts[sym] = i
+	d.instsByID = append(d.instsByID, i)
 	return i, nil
 }
 
 // Net returns the net with the given name, creating it on first use.
 func (d *Design) Net(name string) *Net {
-	if n, ok := d.nets[name]; ok {
+	return d.NetSym(intern.Intern(name))
+}
+
+// NetSym is Net keyed by an interned name symbol.
+func (d *Design) NetSym(sym intern.Sym) *Net {
+	if n, ok := d.nets[sym]; ok {
 		return n
 	}
-	n := &Net{Name: name}
-	d.nets[name] = n
+	d.version++
+	n := d.netArena.alloc()
+	*n = Net{Name: sym.String(), id: int32(len(d.netsByID))}
+	d.nets[sym] = n
+	d.netsByID = append(d.netsByID, n)
 	return n
 }
 
 // FindNet returns the named net or nil.
-func (d *Design) FindNet(name string) *Net { return d.nets[name] }
+func (d *Design) FindNet(name string) *Net {
+	sym, ok := intern.Lookup(name)
+	if !ok {
+		return nil
+	}
+	return d.nets[sym]
+}
 
 // FindInst returns the named instance or nil.
-func (d *Design) FindInst(name string) *Inst { return d.insts[name] }
+func (d *Design) FindInst(name string) *Inst {
+	sym, ok := intern.Lookup(name)
+	if !ok {
+		return nil
+	}
+	return d.insts[sym]
+}
 
 // FindPort returns the named port or nil.
-func (d *Design) FindPort(name string) *Port { return d.ports[name] }
+func (d *Design) FindPort(name string) *Port {
+	sym, ok := intern.Lookup(name)
+	if !ok {
+		return nil
+	}
+	return d.ports[sym]
+}
+
+// NetByID, InstByID, PortByID return objects by dense ID. They panic on
+// out-of-range IDs, like a slice index.
+func (d *Design) NetByID(id int32) *Net   { return d.netsByID[id] }
+func (d *Design) InstByID(id int32) *Inst { return d.instsByID[id] }
+func (d *Design) PortByID(id int32) *Port { return d.portsByID[id] }
 
 // Connect attaches pin pin of instance inst to net net with direction dir.
 // The net is created if needed. It errors if the instance is unknown or the
 // pin is already connected.
 func (d *Design) Connect(inst, pin, net string, dir Dir) error {
-	i, ok := d.insts[inst]
+	i, ok := d.insts[intern.Intern(inst)]
 	if !ok {
 		return fmt.Errorf("netlist: connect to unknown instance %q", inst)
 	}
-	if _, dup := i.Conns[pin]; dup {
-		return fmt.Errorf("netlist: pin %s.%s already connected", inst, pin)
+	return d.connect(i, intern.Canon(pin), d.Net(net), dir)
+}
+
+// ConnectSym is Connect keyed by interned symbols.
+func (d *Design) ConnectSym(inst, pin, net intern.Sym, dir Dir) error {
+	i, ok := d.insts[inst]
+	if !ok {
+		return fmt.Errorf("netlist: connect to unknown instance %q", inst.String())
 	}
-	n := d.Net(net)
-	c := &Conn{Inst: i, Pin: pin, Dir: dir, Net: n}
+	return d.connect(i, pin.String(), d.NetSym(net), dir)
+}
+
+func (d *Design) connect(i *Inst, pin string, n *Net, dir Dir) error {
+	if _, dup := i.Conns[pin]; dup {
+		return fmt.Errorf("netlist: pin %s.%s already connected", i.Name, pin)
+	}
+	d.version++
+	c := d.connArena.alloc()
+	*c = Conn{Inst: i, Pin: pin, Dir: dir, Net: n, id: int32(d.numConns)}
+	d.numConns++
 	i.Conns[pin] = c
-	n.Conns = append(n.Conns, c)
+	i.addConn(c)
+	n.addConn(c)
 	return nil
 }
 
-// Ports returns the ports sorted by name.
+// Ports returns the ports sorted by name. The returned slice is a shared
+// cache; callers must not modify it.
 func (d *Design) Ports() []*Port {
-	names := make([]string, 0, len(d.ports))
-	for n := range d.ports {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	out := make([]*Port, len(names))
-	for i, n := range names {
-		out[i] = d.ports[n]
-	}
-	return out
+	d.refreshSorted()
+	return d.cache.ports
 }
 
-// Nets returns the nets sorted by name.
+// Nets returns the nets sorted by name. The returned slice is a shared
+// cache; callers must not modify it.
 func (d *Design) Nets() []*Net {
-	names := make([]string, 0, len(d.nets))
-	for n := range d.nets {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	out := make([]*Net, len(names))
-	for i, n := range names {
-		out[i] = d.nets[n]
-	}
-	return out
+	d.refreshSorted()
+	return d.cache.nets
 }
 
-// Insts returns the instances sorted by name.
+// Insts returns the instances sorted by name. The returned slice is a
+// shared cache; callers must not modify it.
 func (d *Design) Insts() []*Inst {
-	names := make([]string, 0, len(d.insts))
-	for n := range d.insts {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	out := make([]*Inst, len(names))
-	for i, n := range names {
-		out[i] = d.insts[n]
-	}
-	return out
+	d.refreshSorted()
+	return d.cache.insts
 }
 
-// NumNets, NumInsts, NumPorts report database sizes.
-func (d *Design) NumNets() int  { return len(d.nets) }
-func (d *Design) NumInsts() int { return len(d.insts) }
-func (d *Design) NumPorts() int { return len(d.ports) }
+func (d *Design) refreshSorted() {
+	d.cache.Lock()
+	defer d.cache.Unlock()
+	if d.cache.sortedVer == d.version && d.cache.nets != nil {
+		return
+	}
+	d.cache.ports = append(make([]*Port, 0, len(d.portsByID)), d.portsByID...)
+	sort.Slice(d.cache.ports, func(a, b int) bool { return d.cache.ports[a].Name < d.cache.ports[b].Name })
+	d.cache.nets = append(make([]*Net, 0, len(d.netsByID)), d.netsByID...)
+	sort.Slice(d.cache.nets, func(a, b int) bool { return d.cache.nets[a].Name < d.cache.nets[b].Name })
+	d.cache.insts = append(make([]*Inst, 0, len(d.instsByID)), d.instsByID...)
+	sort.Slice(d.cache.insts, func(a, b int) bool { return d.cache.insts[a].Name < d.cache.insts[b].Name })
+	d.cache.sortedVer = d.version
+}
+
+// NumNets, NumInsts, NumPorts, NumConns report database sizes.
+func (d *Design) NumNets() int  { return len(d.netsByID) }
+func (d *Design) NumInsts() int { return len(d.instsByID) }
+func (d *Design) NumPorts() int { return len(d.portsByID) }
+func (d *Design) NumConns() int { return d.numConns }
+
+// Compact repacks every net's connection lists into shared CSR-style
+// backing arrays in net-ID order. Bulk loaders call it once after
+// construction: the per-net slices grown incrementally during parsing
+// are replaced by three contiguous arrays (conns, loads) that the
+// garbage collector scans as single objects. Slices are full-capacity
+// clipped, so a later Connect still works (append copies out instead of
+// clobbering a neighbor's storage).
+func (d *Design) Compact() {
+	total := 0
+	for _, n := range d.netsByID {
+		total += len(n.Conns)
+	}
+	conns := make([]*Conn, 0, total)
+	loads := make([]*Conn, 0, total)
+	for _, n := range d.netsByID {
+		c0 := len(conns)
+		conns = append(conns, n.Conns...)
+		n.Conns = conns[c0:len(conns):len(conns)]
+		l0 := len(loads)
+		loads = append(loads, n.loads...)
+		n.loads = loads[l0:len(loads):len(loads)]
+	}
+}
 
 // Validate checks structural sanity: every net has exactly one driver,
 // every instance pin is connected to a net that knows about it, and every
@@ -312,22 +500,22 @@ func (d *Design) Validate() error {
 // FanoutInsts returns the instances that read any output net of i, sorted
 // by name, without duplicates.
 func (d *Design) FanoutInsts(i *Inst) []*Inst {
-	seen := make(map[string]*Inst)
+	var out []*Inst
 	for _, oc := range i.Outputs() {
 		for _, lc := range oc.Net.Loads() {
 			if lc.Inst != nil {
-				seen[lc.Inst.Name] = lc.Inst
+				out = append(out, lc.Inst)
 			}
 		}
 	}
-	names := make([]string, 0, len(seen))
-	for n := range seen {
-		names = append(names, n)
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	// Dedup after the sort; fanout lists are small.
+	k := 0
+	for _, inst := range out {
+		if k == 0 || out[k-1] != inst {
+			out[k] = inst
+			k++
+		}
 	}
-	sort.Strings(names)
-	out := make([]*Inst, len(names))
-	for k, n := range names {
-		out[k] = seen[n]
-	}
-	return out
+	return out[:k]
 }

@@ -34,38 +34,64 @@ type edge struct {
 type Network struct {
 	Name  string
 	names []string
-	idx   map[string]int
-	root  int // -1 until set
-	res   []edge
-	gcap  []float64 // grounded wire cap per node
-	load  []float64 // attached pin load cap per node
-	coup  []Coupling
-	// coupTo caches the summed coupling capacitance per partner net, so
-	// CouplingTo is a lookup instead of a scan over every capacitor.
-	coupTo map[string]float64
+	// idx maps node name to index, but only once the net outgrows
+	// linear scanning: extracted signal nets overwhelmingly have a
+	// handful of nodes, and at million-net scale one map per net is the
+	// dominant memory and allocation cost of the parasitics database.
+	idx  map[string]int
+	root int // -1 until set
+	res  []edge
+	gcap []float64 // grounded wire cap per node
+	load []float64 // attached pin load cap per node
+	coup []Coupling
 }
+
+// smallNodes is the node count up to which lookup stays a linear scan.
+const smallNodes = 16
 
 // NewNetwork returns an empty network.
 func NewNetwork(name string) *Network {
-	return &Network{Name: name, idx: make(map[string]int), root: -1, coupTo: make(map[string]float64)}
+	return &Network{Name: name, root: -1}
+}
+
+// lookup returns the index of a node name, scanning small nets and
+// consulting the map on large ones.
+func (n *Network) lookup(name string) (int, bool) {
+	if n.idx != nil {
+		i, ok := n.idx[name]
+		return i, ok
+	}
+	for i, nm := range n.names {
+		if nm == name {
+			return i, true
+		}
+	}
+	return 0, false
 }
 
 // Node interns a node name and returns its index.
 func (n *Network) Node(name string) int {
-	if i, ok := n.idx[name]; ok {
+	if i, ok := n.lookup(name); ok {
 		return i
 	}
 	i := len(n.names)
 	n.names = append(n.names, name)
-	n.idx[name] = i
 	n.gcap = append(n.gcap, 0)
 	n.load = append(n.load, 0)
+	if n.idx != nil {
+		n.idx[name] = i
+	} else if len(n.names) > smallNodes {
+		n.idx = make(map[string]int, 2*smallNodes)
+		for j, nm := range n.names {
+			n.idx[nm] = j
+		}
+	}
 	return i
 }
 
 // HasNode reports whether the named node exists.
 func (n *Network) HasNode(name string) bool {
-	_, ok := n.idx[name]
+	_, ok := n.lookup(name)
 	return ok
 }
 
@@ -109,10 +135,6 @@ func (n *Network) AddLoadCap(node string, f float64) {
 func (n *Network) AddCoupling(node, otherNet, otherNode string, f float64) {
 	n.Node(node)
 	n.coup = append(n.coup, Coupling{Node: node, OtherNet: otherNet, OtherNode: otherNode, F: f})
-	if n.coupTo == nil {
-		n.coupTo = make(map[string]float64)
-	}
-	n.coupTo[otherNet] += f
 }
 
 // Couplings returns a copy of the coupling capacitors. Hot paths should
@@ -151,8 +173,16 @@ func (n *Network) CouplingCap() float64 {
 }
 
 // CouplingTo returns the summed coupling capacitance toward one other net.
+// Partner counts per net are small, so this scans rather than caching a
+// per-net map.
 func (n *Network) CouplingTo(other string) float64 {
-	return n.coupTo[other]
+	var s float64
+	for _, x := range n.coup {
+		if x.OtherNet == other {
+			s += x.F
+		}
+	}
+	return s
 }
 
 // TotalCap is the capacitance a quiet victim's driver must hold: grounded
@@ -168,7 +198,7 @@ func (n *Network) TotalCap() float64 {
 func (n *Network) capAt(i int) float64 {
 	c := n.gcap[i] + n.load[i]
 	for _, x := range n.coup {
-		if n.idx[x.Node] == i {
+		if j, ok := n.lookup(x.Node); ok && j == i {
 			c += x.F
 		}
 	}
@@ -319,7 +349,7 @@ func pathAccumulateConst(order, parent []int, parentR []float64) []float64 {
 
 // ElmoreTo returns the Elmore delay from the driver to the named node.
 func (a *Analysis) ElmoreTo(node string) (float64, error) {
-	i, ok := a.net.idx[node]
+	i, ok := a.net.lookup(node)
 	if !ok {
 		return 0, fmt.Errorf("rc: net %q: unknown node %q", a.net.Name, node)
 	}
@@ -328,7 +358,7 @@ func (a *Analysis) ElmoreTo(node string) (float64, error) {
 
 // M2To returns the second moment of the step response at the named node.
 func (a *Analysis) M2To(node string) (float64, error) {
-	i, ok := a.net.idx[node]
+	i, ok := a.net.lookup(node)
 	if !ok {
 		return 0, fmt.Errorf("rc: net %q: unknown node %q", a.net.Name, node)
 	}
@@ -337,7 +367,7 @@ func (a *Analysis) M2To(node string) (float64, error) {
 
 // ResTo returns the path resistance from the driver to the named node.
 func (a *Analysis) ResTo(node string) (float64, error) {
-	i, ok := a.net.idx[node]
+	i, ok := a.net.lookup(node)
 	if !ok {
 		return 0, fmt.Errorf("rc: net %q: unknown node %q", a.net.Name, node)
 	}
@@ -365,7 +395,7 @@ func (a *Analysis) MaxElmore() float64 {
 // sqrt(2·m2 − m1²)·ln(9) when the discriminant is positive, falling back to
 // the Elmore delay otherwise.
 func (a *Analysis) SlewDegradation(node string) (float64, error) {
-	i, ok := a.net.idx[node]
+	i, ok := a.net.lookup(node)
 	if !ok {
 		return 0, fmt.Errorf("rc: net %q: unknown node %q", a.net.Name, node)
 	}

@@ -193,9 +193,11 @@ type Server struct {
 	storeDegraded atomic.Bool
 
 	// shardMu guards the shard runners this server hosts as a worker,
-	// keyed "token/shard".
+	// keyed "token/shard", and the per-run-token design cache shared by
+	// the token's engines (a bound design is immutable after binding).
 	shardMu      sync.Mutex
 	shardRunners map[string]*shard.Runner
+	shardDesigns map[string]*sharedDesign
 
 	// workerMu guards the registered shard workers (this server as
 	// coordinator); hbStop ends the heartbeat loop, started on the first
@@ -221,6 +223,7 @@ func New(cfg Config) (*Server, error) {
 		sessions:     make(map[string]*session),
 		lastUsed:     make(map[string]time.Time),
 		shardRunners: make(map[string]*shard.Runner),
+		shardDesigns: make(map[string]*sharedDesign),
 		workers:      make(map[string]*workerEntry),
 		hbStop:       make(chan struct{}),
 	}

@@ -216,14 +216,15 @@ func (s *Server) installRunner(token string, shardID int, r *shard.Runner) {
 func (s *Server) dropRunners(token string, shardID int) {
 	s.shardMu.Lock()
 	defer s.shardMu.Unlock()
+	prefix := token + "/"
 	if shardID < 0 {
-		prefix := token + "/"
 		for key, runner := range s.shardRunners {
 			if strings.HasPrefix(key, prefix) {
 				runner.Close()
 				delete(s.shardRunners, key)
 			}
 		}
+		delete(s.shardDesigns, token)
 		return
 	}
 	key := runnerKey(token, shardID)
@@ -231,6 +232,13 @@ func (s *Server) dropRunners(token string, shardID int) {
 		runner.Close()
 		delete(s.shardRunners, key)
 	}
+	// Drop the token's shared design with its last engine.
+	for key := range s.shardRunners {
+		if strings.HasPrefix(key, prefix) {
+			return
+		}
+	}
+	delete(s.shardDesigns, token)
 }
 
 // closeShardRunners drops every hosted shard engine (server shutdown).
@@ -241,6 +249,44 @@ func (s *Server) closeShardRunners() {
 		r.Close()
 		delete(s.shardRunners, key)
 	}
+	clear(s.shardDesigns)
+}
+
+// sharedDesign is one run token's parsed-and-bound design, shared by
+// every shard engine the token hosts on this worker. A bound design is
+// immutable after binding (levelization and RC-analysis caches are
+// internally guarded), so sharing it is safe; everything mutable —
+// timing annotation, padding, noise state — is private to each engine.
+type sharedDesign struct {
+	b    *bind.Design
+	opts core.Options
+}
+
+// designForToken returns the run token's shared design, parsing the spec
+// on the token's first init. Every init of one token ships an identical
+// spec, so a concurrent double-parse (possible on racing first inits)
+// yields identical designs and the first store wins. Parse failures are
+// not cached: they are deterministic, and a retried init simply fails
+// the same way without poisoning later tokens.
+func (s *Server) designForToken(token string, spec *shard.DesignSpec) (*bind.Design, core.Options, error) {
+	s.shardMu.Lock()
+	e := s.shardDesigns[token]
+	s.shardMu.Unlock()
+	if e != nil {
+		return e.b, e.opts, nil
+	}
+	b, opts, err := designFromSpec(spec)
+	if err != nil {
+		return nil, opts, err
+	}
+	s.shardMu.Lock()
+	if prev := s.shardDesigns[token]; prev != nil {
+		b, opts = prev.b, prev.opts
+	} else {
+		s.shardDesigns[token] = &sharedDesign{b: b, opts: opts}
+	}
+	s.shardMu.Unlock()
+	return b, opts, nil
 }
 
 // designFromSpec parses and binds a shipped design spec. It is the worker
@@ -380,9 +426,9 @@ func (s *Server) handleShardOp(w http.ResponseWriter, r *http.Request) {
 			}, 0)
 			return
 		}
-		spec := req.Design
+		spec, token := req.Design, req.Token
 		runner := shard.NewRunner(func(ctx context.Context, owned []string, padding map[string]float64) (*core.ShardEngine, error) {
-			b, opts, err := designFromSpec(spec)
+			b, opts, err := s.designForToken(token, spec)
 			if err != nil {
 				return nil, err
 			}

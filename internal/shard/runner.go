@@ -23,10 +23,13 @@ func fatalUnlessCtx(err error) error {
 	return &FatalError{Err: err}
 }
 
-// BuildEngine constructs a shard engine over the worker's private copy of
-// the design. In-process workers rebuild from their BuildDesign source;
-// the snad server builds one from the InitRequest's DesignSpec. Engines
-// mutate design state in place, so no two engines may share a design.
+// BuildEngine constructs a shard engine over the worker's design. A
+// bound design is immutable after binding (its levelization and RC
+// analysis caches are internally guarded), so a worker hosting several
+// shards of one run shares a single design across their engines:
+// in-process workers memoize their BuildDesign source, and the snad
+// server caches one parsed design per run token. All per-engine mutable
+// state (timing, padding, noise) is private to the engine.
 type BuildEngine func(ctx context.Context, owned []string, padding map[string]float64) (*core.ShardEngine, error)
 
 // Runner hosts one shard's engine behind the op protocol. It owns the two

@@ -19,9 +19,10 @@ import (
 )
 
 // fixtureMaker regenerates one workload fixture from scratch. Workers
-// rebuild designs per engine (engines mutate design state in place, so no
-// two may share one), which is why fixtures are closures, not values: the
-// generators are deterministic, so every call yields an identical design.
+// build their (shared, immutable-after-bind) design lazily from a
+// closure, not a value, mirroring a remote worker parsing its own copy:
+// the generators are deterministic, so every call yields an identical
+// design.
 type fixtureMaker func() (*workload.Generated, error)
 
 // fixtures covers every topology class the generators offer: bus

@@ -29,17 +29,20 @@ type Worker interface {
 	Ping(ctx context.Context) error
 }
 
-// BuildDesign supplies a worker-private bound design. Shard engines
-// mutate design state in place (instance levels, timing annotations), so
-// every engine must own its design exclusively: the in-process worker
-// calls build once per shard init, mirroring a remote worker parsing its
-// own copy from the shipped DesignSpec. build must produce an identical
-// design every call — the coordinator's byte-identity guarantee rides on
-// every engine seeing the same inputs.
+// BuildDesign supplies a worker's bound design. A bound design is
+// immutable after binding apart from its internal guarded caches
+// (levelization, RC analyses), so one design is shared by every shard
+// engine this worker hosts: the in-process worker calls build once and
+// reuses the result across its shard inits, mirroring a remote snad
+// worker caching one parsed design per run token. Per-engine mutable
+// state (timing annotations, window padding, noise state) lives in the
+// engine itself. build must produce an identical design every call —
+// the coordinator's byte-identity guarantee rides on every engine
+// seeing the same inputs.
 type BuildDesign func(ctx context.Context) (*bind.Design, error)
 
 // InProc is a worker running in the coordinator's own process, hosting
-// one Runner (and one private design) per assigned shard.
+// one Runner per assigned shard, all sharing one bound design.
 type InProc struct {
 	name  string
 	build BuildDesign
@@ -47,10 +50,13 @@ type InProc struct {
 
 	mu      sync.Mutex
 	runners map[int]*Runner
+	// b is the worker's shared bound design, built on first shard init.
+	b *bind.Design
 }
 
-// NewInProc returns an in-process worker that builds a fresh design for
-// each shard engine it hosts. opts is copied per engine.
+// NewInProc returns an in-process worker that builds its design once, on
+// the first shard init, and shares it across every engine it hosts. opts
+// is copied per engine.
 func NewInProc(name string, build BuildDesign, opts core.Options) *InProc {
 	return &InProc{name: name, build: build, opts: opts, runners: make(map[int]*Runner)}
 }
@@ -61,14 +67,38 @@ func (w *InProc) Name() string { return w.name }
 // Ping implements Worker; an in-process worker is alive by construction.
 func (w *InProc) Ping(ctx context.Context) error { return ctx.Err() }
 
+// design returns the worker's shared bound design, building it on first
+// use. Only a successful build is cached — a cancelled or failed build
+// must stay retryable. Concurrent first inits may build twice; the first
+// store wins and the loser's copy is dropped (identical by contract).
+func (w *InProc) design(ctx context.Context) (*bind.Design, error) {
+	w.mu.Lock()
+	b := w.b
+	w.mu.Unlock()
+	if b != nil {
+		return b, nil
+	}
+	b, err := w.build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	if w.b == nil {
+		w.b = b
+	}
+	b = w.b
+	w.mu.Unlock()
+	return b, nil
+}
+
 func (w *InProc) runner(shard int, create bool) *Runner {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	r, ok := w.runners[shard]
 	if !ok && create {
-		build, opts := w.build, w.opts
+		opts := w.opts
 		r = NewRunner(func(ctx context.Context, owned []string, padding map[string]float64) (*core.ShardEngine, error) {
-			b, err := build(ctx)
+			b, err := w.design(ctx)
 			if err != nil {
 				return nil, err
 			}

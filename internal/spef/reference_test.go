@@ -1,0 +1,182 @@
+package spef
+
+// This file preserves the original sequential whole-scan parser as a
+// test-only reference implementation. The golden equivalence tests check
+// that the streaming parallel Parse produces databases and errors
+// identical to this implementation.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// parseReference reads the SPEF subset line by line in one goroutine.
+func parseReference(r io.Reader) (*Parasitics, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	p := NewParasitics("")
+	var cur *Net
+	section := ""
+	cScale, rScale := 1.0, 1.0
+	nameMap := make(map[string]string)
+	expand := func(tok string) string {
+		if !strings.HasPrefix(tok, "*") {
+			return tok
+		}
+		key := tok[1:]
+		suffix := ""
+		if i := strings.IndexByte(key, ':'); i >= 0 {
+			key, suffix = key[:i], key[i:]
+		}
+		if mapped, ok := nameMap[key]; ok {
+			return mapped + suffix
+		}
+		return tok
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		f := strings.Fields(line)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("spef: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch f[0] {
+		case "*SPEF":
+		case "*DESIGN":
+			if len(f) < 2 {
+				return nil, fail("*DESIGN wants a name")
+			}
+			p.Design = strings.Trim(f[1], `"`)
+		case "*NAME_MAP":
+			section = "*NAME_MAP"
+		case "*T_UNIT", "*C_UNIT", "*R_UNIT":
+			if len(f) != 3 {
+				return nil, fail("%s wants VALUE UNIT", f[0])
+			}
+			v, err := strconv.ParseFloat(f[1], 64)
+			if err != nil {
+				return nil, fail("bad unit value: %v", err)
+			}
+			scale, err := unitScale(f[2])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			switch f[0] {
+			case "*C_UNIT":
+				cScale = v * scale
+			case "*R_UNIT":
+				rScale = v * scale
+			}
+		case "*D_NET":
+			if len(f) != 3 {
+				return nil, fail("*D_NET wants NET TOTALCAP")
+			}
+			f[1] = expand(f[1])
+			if cur != nil {
+				return nil, fail("*D_NET %q inside unterminated net %q", f[1], cur.Name)
+			}
+			tc, err := strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fail("bad total cap: %v", err)
+			}
+			if tc < 0 {
+				return nil, fail("negative total cap %g on net %q", tc, f[1])
+			}
+			cur = &Net{Name: f[1], TotalCap: tc * cScale}
+			section = ""
+		case "*CONN", "*CAP", "*RES":
+			if cur == nil {
+				return nil, fail("%s outside *D_NET", f[0])
+			}
+			section = f[0]
+		case "*END":
+			if cur == nil {
+				return nil, fail("*END outside *D_NET")
+			}
+			if err := p.AddNet(cur); err != nil {
+				return nil, fail("%v", err)
+			}
+			cur, section = nil, ""
+		case "*P", "*I":
+			if cur == nil || section != "*CONN" {
+				return nil, fail("%s outside *CONN", f[0])
+			}
+			if len(f) != 3 {
+				return nil, fail("%s wants PIN DIR", f[0])
+			}
+			dir, err := parseConnDir(f[2])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			pin := expand(f[1])
+			cur.Conns = append(cur.Conns, Conn{
+				Pin:    pin,
+				IsPort: f[0] == "*P",
+				Dir:    dir,
+				Node:   pin,
+			})
+		default:
+			switch section {
+			case "*NAME_MAP":
+				if cur != nil {
+					return nil, fail("*NAME_MAP entry inside *D_NET")
+				}
+				if len(f) != 2 || !strings.HasPrefix(f[0], "*") {
+					return nil, fail("bad *NAME_MAP entry %q", line)
+				}
+				nameMap[f[0][1:]] = f[1]
+			case "*CAP":
+				switch len(f) {
+				case 3:
+					v, err := strconv.ParseFloat(f[2], 64)
+					if err != nil {
+						return nil, fail("bad cap: %v", err)
+					}
+					if v < 0 {
+						return nil, fail("negative cap %g at node %q", v, f[1])
+					}
+					cur.Caps = append(cur.Caps, CapEntry{Node: expand(f[1]), F: v * cScale})
+				case 4:
+					v, err := strconv.ParseFloat(f[3], 64)
+					if err != nil {
+						return nil, fail("bad coupling cap: %v", err)
+					}
+					if v < 0 {
+						return nil, fail("negative coupling cap %g at node %q", v, f[1])
+					}
+					cur.Caps = append(cur.Caps, CapEntry{Node: expand(f[1]), Other: expand(f[2]), F: v * cScale})
+				default:
+					return nil, fail("bad *CAP entry")
+				}
+			case "*RES":
+				if len(f) != 4 {
+					return nil, fail("bad *RES entry")
+				}
+				v, err := strconv.ParseFloat(f[3], 64)
+				if err != nil {
+					return nil, fail("bad resistance: %v", err)
+				}
+				if v < 0 {
+					return nil, fail("negative resistance %g between %q and %q", v, f[1], f[2])
+				}
+				cur.Ress = append(cur.Ress, ResEntry{A: expand(f[1]), B: expand(f[2]), Ohms: v * rScale})
+			default:
+				return nil, fail("unexpected line %q", line)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("spef: line %d: %w", lineNo+1, err)
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("spef: line %d: net %q not terminated with *END", lineNo, cur.Name)
+	}
+	return p, nil
+}

@@ -19,11 +19,16 @@ package spef
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+
+	"repro/internal/textio"
 )
 
 // ConnDir is the direction recorded for a *CONN entry.
@@ -164,175 +169,362 @@ func (p *Parasitics) Nets() []*Net {
 func (p *Parasitics) NumNets() int { return len(p.nets) }
 
 // Parse reads the SPEF subset.
+//
+// The reader is streaming and parallel: lines are scanned from chunked
+// reads (never materializing the file), *D_NET…*END sections are batched
+// and parsed by a worker pool against a snapshot of the header state,
+// and the parsed nets are committed serially in file order — so the
+// resulting database and any error (position and text) are identical to
+// a sequential parse. Sections containing global directives (*DESIGN,
+// unit lines) and top-level lines between sections fall back to the
+// serial machine, preserving exact semantics on pathological inputs.
 func Parse(r io.Reader) (*Parasitics, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
 	p := NewParasitics("")
-	var cur *Net
-	section := ""
-	cScale, rScale := 1.0, 1.0
-	nameMap := make(map[string]string)
-	// expand resolves *<index> name-map references anywhere in a node
-	// path, including the prefix of an "*1:3"-style pin node.
-	expand := func(tok string) string {
-		if !strings.HasPrefix(tok, "*") {
-			return tok
+	m := newMachine(p)
+	m.onNet = func(n *Net, endLine int) error {
+		if err := p.AddNet(n); err != nil {
+			return fmt.Errorf("spef: line %d: %v", endLine, err)
 		}
-		key := tok[1:]
-		suffix := ""
-		if i := strings.IndexByte(key, ':'); i >= 0 {
-			key, suffix = key[:i], key[i:]
-		}
-		if mapped, ok := nameMap[key]; ok {
-			return mapped + suffix
-		}
-		return tok
+		return nil
 	}
-	lineNo := 0
-	for sc.Scan() {
+	workers := runtime.GOMAXPROCS(0)
+	const batchBlocks = 256
+
+	lr := textio.NewLineReader(r)
+	var (
+		batch      []blockRec
+		block      blockRec
+		collecting bool
+		lineNo     = 0
+	)
+	// flush parses the pending batch in parallel and commits the nets in
+	// file order.
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		results := make([]blockResult, len(batch))
+		nw := workers
+		if nw > len(batch) {
+			nw = len(batch)
+		}
+		if nw <= 1 {
+			for i := range batch {
+				results[i] = parseBlock(batch[i], m.cScale, m.rScale, m.nameMap)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for w := 0; w < nw; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < len(batch); i += nw {
+						results[i] = parseBlock(batch[i], m.cScale, m.rScale, m.nameMap)
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+		batch = batch[:0]
+		for _, res := range results {
+			for _, nl := range res.nets {
+				if err := m.onNet(nl.net, nl.endLine); err != nil {
+					return err
+				}
+			}
+			if res.err != nil {
+				return res.err
+			}
+		}
+		return nil
+	}
+
+	for {
+		line, ok, err := lr.Next()
+		if err != nil {
+			return nil, fmt.Errorf("spef: line %d: %w", lineNo+1, err)
+		}
+		if !ok {
+			break
+		}
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "//") {
+		trim := bytes.TrimSpace(line)
+		if len(trim) == 0 || bytes.HasPrefix(trim, []byte("//")) {
 			continue
 		}
-		f := strings.Fields(line)
-		fail := func(format string, args ...any) error {
-			return fmt.Errorf("spef: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		if collecting {
+			block.lines = append(block.lines, trim)
+			block.nos = append(block.nos, lineNo)
+			kw := textio.FirstField(trim)
+			switch string(kw) {
+			case "*T_UNIT", "*C_UNIT", "*R_UNIT", "*DESIGN":
+				// Global directive inside a section: this block must run
+				// on the live serial state.
+				block.global = true
+			case "*END":
+				collecting = false
+				if block.global {
+					if err := flush(); err != nil {
+						return nil, err
+					}
+					if err := m.runBlock(block); err != nil {
+						return nil, err
+					}
+				} else {
+					batch = append(batch, block)
+					if len(batch) >= batchBlocks {
+						if err := flush(); err != nil {
+							return nil, err
+						}
+					}
+				}
+				block = blockRec{}
+			}
+			continue
 		}
-		switch f[0] {
-		case "*SPEF":
-			// Version string; ignored.
-		case "*DESIGN":
-			if len(f) < 2 {
-				return nil, fail("*DESIGN wants a name")
-			}
-			p.Design = strings.Trim(f[1], `"`)
-		case "*NAME_MAP":
-			section = "*NAME_MAP"
-		case "*T_UNIT", "*C_UNIT", "*R_UNIT":
-			if len(f) != 3 {
-				return nil, fail("%s wants VALUE UNIT", f[0])
-			}
-			v, err := strconv.ParseFloat(f[1], 64)
-			if err != nil {
-				return nil, fail("bad unit value: %v", err)
-			}
-			scale, err := unitScale(f[2])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			switch f[0] {
-			case "*C_UNIT":
-				cScale = v * scale
-			case "*R_UNIT":
-				rScale = v * scale
-			}
-		case "*D_NET":
-			if len(f) != 3 {
-				return nil, fail("*D_NET wants NET TOTALCAP")
-			}
-			f[1] = expand(f[1])
-			if cur != nil {
-				return nil, fail("*D_NET %q inside unterminated net %q", f[1], cur.Name)
-			}
-			tc, err := strconv.ParseFloat(f[2], 64)
-			if err != nil {
-				return nil, fail("bad total cap: %v", err)
-			}
-			if tc < 0 {
-				return nil, fail("negative total cap %g on net %q", tc, f[1])
-			}
-			cur = &Net{Name: f[1], TotalCap: tc * cScale}
-			section = ""
-		case "*CONN", "*CAP", "*RES":
-			if cur == nil {
-				return nil, fail("%s outside *D_NET", f[0])
-			}
-			section = f[0]
-		case "*END":
-			if cur == nil {
-				return nil, fail("*END outside *D_NET")
-			}
-			if err := p.AddNet(cur); err != nil {
-				return nil, fail("%v", err)
-			}
-			cur, section = nil, ""
-		case "*P", "*I":
-			if cur == nil || section != "*CONN" {
-				return nil, fail("%s outside *CONN", f[0])
-			}
-			if len(f) != 3 {
-				return nil, fail("%s wants PIN DIR", f[0])
-			}
-			dir, err := parseConnDir(f[2])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			pin := expand(f[1])
-			cur.Conns = append(cur.Conns, Conn{
-				Pin:    pin,
-				IsPort: f[0] == "*P",
-				Dir:    dir,
-				Node:   pin,
-			})
-		default:
-			switch section {
-			case "*NAME_MAP":
-				// Entries look like "*12 actual/name".
-				if cur != nil {
-					return nil, fail("*NAME_MAP entry inside *D_NET")
-				}
-				if len(f) != 2 || !strings.HasPrefix(f[0], "*") {
-					return nil, fail("bad *NAME_MAP entry %q", line)
-				}
-				nameMap[f[0][1:]] = f[1]
-			case "*CAP":
-				switch len(f) {
-				case 3: // idx node cap
-					v, err := strconv.ParseFloat(f[2], 64)
-					if err != nil {
-						return nil, fail("bad cap: %v", err)
-					}
-					if v < 0 {
-						return nil, fail("negative cap %g at node %q", v, f[1])
-					}
-					cur.Caps = append(cur.Caps, CapEntry{Node: expand(f[1]), F: v * cScale})
-				case 4: // idx node other cap
-					v, err := strconv.ParseFloat(f[3], 64)
-					if err != nil {
-						return nil, fail("bad coupling cap: %v", err)
-					}
-					if v < 0 {
-						return nil, fail("negative coupling cap %g at node %q", v, f[1])
-					}
-					cur.Caps = append(cur.Caps, CapEntry{Node: expand(f[1]), Other: expand(f[2]), F: v * cScale})
-				default:
-					return nil, fail("bad *CAP entry")
-				}
-			case "*RES":
-				if len(f) != 4 {
-					return nil, fail("bad *RES entry")
-				}
-				v, err := strconv.ParseFloat(f[3], 64)
-				if err != nil {
-					return nil, fail("bad resistance: %v", err)
-				}
-				if v < 0 {
-					return nil, fail("negative resistance %g between %q and %q", v, f[1], f[2])
-				}
-				cur.Ress = append(cur.Ress, ResEntry{A: expand(f[1]), B: expand(f[2]), Ohms: v * rScale})
-			default:
-				return nil, fail("unexpected line %q", line)
-			}
+		if string(textio.FirstField(trim)) == "*D_NET" {
+			collecting = true
+			block = blockRec{lines: [][]byte{trim}, nos: []int{lineNo}}
+			continue
+		}
+		// Any other top-level line runs serially against live state; the
+		// batch is committed first so errors keep file order.
+		if err := flush(); err != nil {
+			return nil, err
+		}
+		if err := m.step(trim, lineNo); err != nil {
+			return nil, err
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("spef: line %d: %w", lineNo+1, err)
+	if err := flush(); err != nil {
+		return nil, err
 	}
-	if cur != nil {
-		return nil, fmt.Errorf("spef: line %d: net %q not terminated with *END", lineNo, cur.Name)
+	if collecting {
+		// Input ended inside a section: replay it serially so the
+		// unterminated-net error comes out exactly as before.
+		if err := m.runBlock(block); err != nil {
+			return nil, err
+		}
+	}
+	if m.cur != nil {
+		return nil, fmt.Errorf("spef: line %d: net %q not terminated with *END", lineNo, m.cur.Name)
 	}
 	return p, nil
+}
+
+// blockRec is one collected *D_NET…*END section: trimmed line views and
+// their absolute line numbers. The views alias reader chunks that stay
+// referenced until the block is parsed.
+type blockRec struct {
+	lines  [][]byte
+	nos    []int
+	global bool // contains a global directive; must run serially
+}
+
+type netAndLine struct {
+	net     *Net
+	endLine int
+}
+
+type blockResult struct {
+	nets []netAndLine
+	err  error
+}
+
+// parseBlock runs one section through a private machine seeded with a
+// snapshot of the header state. The name map is shared read-only: map
+// mutations inside a section always error before writing.
+func parseBlock(b blockRec, cScale, rScale float64, nameMap map[string]string) blockResult {
+	wm := newMachine(new(Parasitics))
+	wm.cScale, wm.rScale = cScale, rScale
+	wm.nameMap = nameMap
+	var res blockResult
+	wm.onNet = func(n *Net, endLine int) error {
+		res.nets = append(res.nets, netAndLine{net: n, endLine: endLine})
+		return nil
+	}
+	res.err = wm.runBlock(b)
+	return res
+}
+
+// machine is the sequential SPEF line interpreter. One instance tracks
+// the live global state; per-block worker instances run with snapshots.
+type machine struct {
+	p       *Parasitics
+	cur     *Net
+	section string
+	cScale  float64
+	rScale  float64
+	nameMap map[string]string
+	onNet   func(n *Net, endLine int) error
+	fields  [][]byte // reusable scratch
+}
+
+func newMachine(p *Parasitics) *machine {
+	return &machine{p: p, cScale: 1, rScale: 1, nameMap: make(map[string]string)}
+}
+
+func (m *machine) runBlock(b blockRec) error {
+	for i, line := range b.lines {
+		if err := m.step(line, b.nos[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// expand resolves *<index> name-map references anywhere in a node path,
+// including the prefix of an "*1:3"-style pin node.
+func (m *machine) expand(tok []byte) string {
+	if len(tok) == 0 || tok[0] != '*' {
+		return string(tok)
+	}
+	key := tok[1:]
+	suffix := []byte(nil)
+	if i := bytes.IndexByte(key, ':'); i >= 0 {
+		key, suffix = key[:i], key[i:]
+	}
+	if mapped, ok := m.nameMap[string(key)]; ok {
+		return mapped + string(suffix)
+	}
+	return string(tok)
+}
+
+// step interprets one trimmed, non-blank, non-comment line.
+func (m *machine) step(line []byte, lineNo int) error {
+	f := textio.SplitFields(line, m.fields[:0])
+	m.fields = f
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("spef: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	switch string(f[0]) {
+	case "*SPEF":
+		// Version string; ignored.
+	case "*DESIGN":
+		if len(f) < 2 {
+			return fail("*DESIGN wants a name")
+		}
+		m.p.Design = strings.Trim(string(f[1]), `"`)
+	case "*NAME_MAP":
+		m.section = "*NAME_MAP"
+	case "*T_UNIT", "*C_UNIT", "*R_UNIT":
+		if len(f) != 3 {
+			return fail("%s wants VALUE UNIT", f[0])
+		}
+		v, err := strconv.ParseFloat(string(f[1]), 64)
+		if err != nil {
+			return fail("bad unit value: %v", err)
+		}
+		scale, err := unitScale(string(f[2]))
+		if err != nil {
+			return fail("%v", err)
+		}
+		switch string(f[0]) {
+		case "*C_UNIT":
+			m.cScale = v * scale
+		case "*R_UNIT":
+			m.rScale = v * scale
+		}
+	case "*D_NET":
+		if len(f) != 3 {
+			return fail("*D_NET wants NET TOTALCAP")
+		}
+		name := m.expand(f[1])
+		if m.cur != nil {
+			return fail("*D_NET %q inside unterminated net %q", name, m.cur.Name)
+		}
+		tc, err := strconv.ParseFloat(string(f[2]), 64)
+		if err != nil {
+			return fail("bad total cap: %v", err)
+		}
+		if tc < 0 {
+			return fail("negative total cap %g on net %q", tc, name)
+		}
+		m.cur = &Net{Name: name, TotalCap: tc * m.cScale}
+		m.section = ""
+	case "*CONN", "*CAP", "*RES":
+		if m.cur == nil {
+			return fail("%s outside *D_NET", f[0])
+		}
+		m.section = string(f[0])
+	case "*END":
+		if m.cur == nil {
+			return fail("*END outside *D_NET")
+		}
+		n := m.cur
+		m.cur, m.section = nil, ""
+		if err := m.onNet(n, lineNo); err != nil {
+			return err
+		}
+	case "*P", "*I":
+		if m.cur == nil || m.section != "*CONN" {
+			return fail("%s outside *CONN", f[0])
+		}
+		if len(f) != 3 {
+			return fail("%s wants PIN DIR", f[0])
+		}
+		dir, err := parseConnDir(string(f[2]))
+		if err != nil {
+			return fail("%v", err)
+		}
+		pin := m.expand(f[1])
+		m.cur.Conns = append(m.cur.Conns, Conn{
+			Pin:    pin,
+			IsPort: f[0][1] == 'P',
+			Dir:    dir,
+			Node:   pin,
+		})
+	default:
+		switch m.section {
+		case "*NAME_MAP":
+			// Entries look like "*12 actual/name".
+			if m.cur != nil {
+				return fail("*NAME_MAP entry inside *D_NET")
+			}
+			if len(f) != 2 || f[0][0] != '*' {
+				return fail("bad *NAME_MAP entry %q", line)
+			}
+			m.nameMap[string(f[0][1:])] = string(f[1])
+		case "*CAP":
+			switch len(f) {
+			case 3: // idx node cap
+				v, err := strconv.ParseFloat(string(f[2]), 64)
+				if err != nil {
+					return fail("bad cap: %v", err)
+				}
+				if v < 0 {
+					return fail("negative cap %g at node %q", v, f[1])
+				}
+				m.cur.Caps = append(m.cur.Caps, CapEntry{Node: m.expand(f[1]), F: v * m.cScale})
+			case 4: // idx node other cap
+				v, err := strconv.ParseFloat(string(f[3]), 64)
+				if err != nil {
+					return fail("bad coupling cap: %v", err)
+				}
+				if v < 0 {
+					return fail("negative coupling cap %g at node %q", v, f[1])
+				}
+				m.cur.Caps = append(m.cur.Caps, CapEntry{Node: m.expand(f[1]), Other: m.expand(f[2]), F: v * m.cScale})
+			default:
+				return fail("bad *CAP entry")
+			}
+		case "*RES":
+			if len(f) != 4 {
+				return fail("bad *RES entry")
+			}
+			v, err := strconv.ParseFloat(string(f[3]), 64)
+			if err != nil {
+				return fail("bad resistance: %v", err)
+			}
+			if v < 0 {
+				return fail("negative resistance %g between %q and %q", v, f[1], f[2])
+			}
+			m.cur.Ress = append(m.cur.Ress, ResEntry{A: m.expand(f[1]), B: m.expand(f[2]), Ohms: v * m.rScale})
+		default:
+			return fail("unexpected line %q", line)
+		}
+	}
+	return nil
 }
 
 func parseConnDir(s string) (ConnDir, error) {

@@ -1,0 +1,166 @@
+package vlog
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"testing/iotest"
+
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+)
+
+// designsEqual fails the test unless the two designs are structurally
+// identical, including connection creation order on every net — the
+// equivalence bar for the streaming parser.
+func designsEqual(t *testing.T, got, want *netlist.Design) {
+	t.Helper()
+	if got.Name != want.Name {
+		t.Fatalf("design name %q != %q", got.Name, want.Name)
+	}
+	if got.NumNets() != want.NumNets() || got.NumInsts() != want.NumInsts() ||
+		got.NumPorts() != want.NumPorts() || got.NumConns() != want.NumConns() {
+		t.Fatalf("counts differ: nets %d/%d insts %d/%d ports %d/%d conns %d/%d",
+			got.NumNets(), want.NumNets(), got.NumInsts(), want.NumInsts(),
+			got.NumPorts(), want.NumPorts(), got.NumConns(), want.NumConns())
+	}
+	var gw, ww bytes.Buffer
+	if err := netlist.Write(&gw, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := netlist.Write(&ww, want); err != nil {
+		t.Fatal(err)
+	}
+	if gw.String() != ww.String() {
+		t.Fatalf("netlist text differs:\n--- got ---\n%s\n--- want ---\n%s", gw.String(), ww.String())
+	}
+	wantNets := want.Nets()
+	for i, gn := range got.Nets() {
+		wn := wantNets[i]
+		if gn.Name != wn.Name || gn.ID() != wn.ID() {
+			t.Fatalf("net %d: %q id %d != %q id %d", i, gn.Name, gn.ID(), wn.Name, wn.ID())
+		}
+		if len(gn.Conns) != len(wn.Conns) {
+			t.Fatalf("net %q: %d conns != %d", gn.Name, len(gn.Conns), len(wn.Conns))
+		}
+		for j, gc := range gn.Conns {
+			wc := wn.Conns[j]
+			gi, wi := "", ""
+			if gc.Inst != nil {
+				gi = gc.Inst.Name
+			}
+			if wc.Inst != nil {
+				wi = wc.Inst.Name
+			}
+			if gi != wi || gc.Port != wc.Port || gc.Pin != wc.Pin || gc.Dir != wc.Dir {
+				t.Fatalf("net %q conn %d: {%q %q %q %v} != {%q %q %q %v}",
+					gn.Name, j, gi, gc.Port, gc.Pin, gc.Dir, wi, wc.Port, wc.Pin, wc.Dir)
+			}
+		}
+		gd, wd := gn.Driver(), wn.Driver()
+		if (gd == nil) != (wd == nil) {
+			t.Fatalf("net %q: driver nil mismatch", gn.Name)
+		}
+	}
+	wantInsts := want.Insts()
+	for i, gi := range got.Insts() {
+		wi := wantInsts[i]
+		if gi.Name != wi.Name || gi.Cell != wi.Cell || gi.ID() != wi.ID() {
+			t.Fatalf("inst %d: %s(%s) id %d != %s(%s) id %d",
+				i, gi.Name, gi.Cell, gi.ID(), wi.Name, wi.Cell, wi.ID())
+		}
+	}
+}
+
+// chainSource synthesizes a large valid module so the golden test
+// crosses several splitter batches and exercises the parallel path.
+func chainSource(n int) string {
+	var b strings.Builder
+	b.WriteString("module chain (a, y);\n  input a;\n  output y;\n")
+	for i := 0; i < n-1; i++ {
+		fmt.Fprintf(&b, "  wire n%d;\n", i)
+	}
+	prev := "a"
+	for i := 0; i < n; i++ {
+		out := fmt.Sprintf("n%d", i)
+		if i == n-1 {
+			out = "y"
+		}
+		fmt.Fprintf(&b, "  INV_X1 u%d (.A(%s), .Y(%s));\n", i, prev, out)
+		prev = out
+	}
+	b.WriteString("endmodule\n")
+	return b.String()
+}
+
+func TestParseMatchesReference(t *testing.T) {
+	bus4, err := os.ReadFile("../../testdata/bus4.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := map[string]string{
+		"sample":  sample,
+		"bus4":    string(bus4),
+		"escaped": "module m (\\a$1 );\n  input \\a$1 ;\nendmodule\n",
+		"chain":   chainSource(3000),
+	}
+	lib := liberty.Generic()
+	for name, src := range srcs {
+		t.Run(name, func(t *testing.T) {
+			want, err := parseReference(strings.NewReader(src), lib)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Parse(strings.NewReader(src), lib)
+			if err != nil {
+				t.Fatal(err)
+			}
+			designsEqual(t, got, want)
+
+			// The splitter must behave identically when reads are
+			// fragmented arbitrarily.
+			frag, err := Parse(iotest.OneByteReader(strings.NewReader(src)), lib)
+			if err != nil {
+				t.Fatal(err)
+			}
+			designsEqual(t, frag, want)
+		})
+	}
+}
+
+// TestParseErrorsMatchReference checks the streaming parser reports the
+// same positioned error text as the reference on singly-broken inputs.
+func TestParseErrorsMatchReference(t *testing.T) {
+	cases := []string{
+		"",
+		"wire x;\n",
+		"module t (a);\n  input a;\n",
+		"module t (a);\n  input a;\n  FOO u0 (.A(a));\nendmodule\n",
+		"module t (a);\n  input a;\n  INV_X1 u0 (.Q(a), .Y(y));\nendmodule\n",
+		"module t (a);\n  input a;\n  INV_X1 u0 (a, y);\nendmodule\n",
+		"module t (a, b);\n  input a;\nendmodule\n",
+		"module t (a);\n  input a;\n  INV_X1 u0 (.A(a), .Y(y));\n  INV_X1 u0 (.A(a), .Y(z));\nendmodule\n",
+		"module t (a);\n  input a, a;\nendmodule\n",
+		"module t (a);\n  input (;\nendmodule\n",
+		"module t;\nendmodule\n",
+		"module t (a);\n  input a;\n  /* no end",
+		"module t (a)\n",
+		"module\n",
+	}
+	lib := liberty.Generic()
+	for i, src := range cases {
+		_, wantErr := parseReference(strings.NewReader(src), lib)
+		_, gotErr := Parse(strings.NewReader(src), lib)
+		if wantErr == nil {
+			t.Fatalf("case %d: reference accepted %q", i, src)
+		}
+		if gotErr == nil {
+			t.Fatalf("case %d: streaming parser accepted %q, want error %v", i, src, wantErr)
+		}
+		if gotErr.Error() != wantErr.Error() {
+			t.Errorf("case %d: error mismatch\n  got:  %v\n  want: %v", i, gotErr, wantErr)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package vlog
+
+// This file preserves the original sequential whole-input parser as a
+// test-only reference implementation. The golden equivalence tests in
+// golden_test.go check that the streaming parallel Parse produces
+// designs (and, on singly-broken inputs, errors) identical to this
+// implementation.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+
+	"repro/internal/liberty"
+	"repro/internal/netlist"
+)
+
+// parseReference reads one structural module sequentially.
+func parseReference(r io.Reader, lib *liberty.Library) (*netlist.Design, error) {
+	toks, err := refTokenize(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &refParser{toks: toks, lib: lib}
+	return p.module()
+}
+
+type refToken struct {
+	text string
+	line int
+}
+
+// refTokenize splits the source into identifiers, punctuation, and
+// escaped names, stripping // and /* */ comments.
+func refTokenize(r io.Reader) ([]refToken, error) {
+	br := bufio.NewReader(r)
+	var toks []refToken
+	line := 1
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, refToken{text: cur.String(), line: line})
+			cur.Reset()
+		}
+	}
+	for {
+		c, _, err := br.ReadRune()
+		if err == io.EOF {
+			flush()
+			return toks, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("vlog: %w", err)
+		}
+		switch {
+		case c == '\n':
+			flush()
+			line++
+		case unicode.IsSpace(c):
+			flush()
+		case c == '/':
+			n, _, err := br.ReadRune()
+			if err == nil && n == '/' {
+				flush()
+				for {
+					c2, _, err2 := br.ReadRune()
+					if err2 != nil || c2 == '\n' {
+						line++
+						break
+					}
+				}
+			} else if err == nil && n == '*' {
+				flush()
+				prev := rune(0)
+				for {
+					c2, _, err2 := br.ReadRune()
+					if err2 != nil {
+						return nil, fmt.Errorf("vlog: line %d: unterminated block comment", line)
+					}
+					if c2 == '\n' {
+						line++
+					}
+					if prev == '*' && c2 == '/' {
+						break
+					}
+					prev = c2
+				}
+			} else {
+				return nil, fmt.Errorf("vlog: line %d: stray '/'", line)
+			}
+		case strings.ContainsRune("(),;.", c):
+			flush()
+			toks = append(toks, refToken{text: string(c), line: line})
+		case c == '\\':
+			// Escaped identifier: runs to whitespace.
+			flush()
+			for {
+				c2, _, err2 := br.ReadRune()
+				if err2 != nil || unicode.IsSpace(c2) {
+					if c2 == '\n' {
+						line++
+					}
+					break
+				}
+				cur.WriteRune(c2)
+			}
+			flush()
+		default:
+			cur.WriteRune(c)
+		}
+	}
+}
+
+type refParser struct {
+	toks []refToken
+	pos  int
+	lib  *liberty.Library
+}
+
+func (p *refParser) peek() (refToken, bool) {
+	if p.pos >= len(p.toks) {
+		return refToken{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *refParser) lastLine() int {
+	if len(p.toks) == 0 {
+		return 1
+	}
+	return p.toks[len(p.toks)-1].line
+}
+
+func (p *refParser) next() (refToken, error) {
+	t, ok := p.peek()
+	if !ok {
+		return refToken{}, fmt.Errorf("vlog: line %d: unexpected end of input", p.lastLine())
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *refParser) expect(text string) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.text != text {
+		return fmt.Errorf("vlog: line %d: expected %q, found %q", t.line, text, t.text)
+	}
+	return nil
+}
+
+func (p *refParser) module() (*netlist.Design, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	name, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	d := netlist.New(name.text)
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	headerPorts := []string{}
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.text == ")" {
+			break
+		}
+		if t.text == "," {
+			continue
+		}
+		headerPorts = append(headerPorts, t.text)
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	declared := map[string]bool{}
+
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("vlog: line %d: missing endmodule", p.lastLine())
+		}
+		switch t.text {
+		case "endmodule":
+			p.pos++
+			for _, hp := range headerPorts {
+				if !declared[hp] {
+					return nil, fmt.Errorf("vlog: line %d: port %q in header but never declared", t.line, hp)
+				}
+			}
+			return d, nil
+		case "input", "output":
+			p.pos++
+			names, err := p.nameList()
+			if err != nil {
+				return nil, err
+			}
+			dir := netlist.In
+			if t.text == "output" {
+				dir = netlist.Out
+			}
+			for _, n := range names {
+				if _, err := d.AddPort(n, dir); err != nil {
+					return nil, fmt.Errorf("vlog: line %d: %w", t.line, err)
+				}
+				declared[n] = true
+			}
+		case "wire":
+			p.pos++
+			names, err := p.nameList()
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range names {
+				d.Net(n)
+			}
+		default:
+			if err := p.instance(d); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (p *refParser) nameList() ([]string, error) {
+	var out []string
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch t.text {
+		case ";":
+			return out, nil
+		case ",":
+		case "(", ")", ".":
+			return nil, fmt.Errorf("vlog: line %d: unexpected %q in declaration", t.line, t.text)
+		default:
+			out = append(out, t.text)
+		}
+	}
+}
+
+func (p *refParser) instance(d *netlist.Design) error {
+	cellTok, err := p.next()
+	if err != nil {
+		return err
+	}
+	cell := p.lib.Cell(cellTok.text)
+	if cell == nil {
+		return fmt.Errorf("vlog: line %d: unknown cell %q (behavioral Verilog is not supported)", cellTok.line, cellTok.text)
+	}
+	nameTok, err := p.next()
+	if err != nil {
+		return err
+	}
+	if _, err := d.AddInst(nameTok.text, cell.Name); err != nil {
+		return fmt.Errorf("vlog: line %d: %w", nameTok.line, err)
+	}
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	for {
+		t, err := p.next()
+		if err != nil {
+			return err
+		}
+		if t.text == ")" {
+			break
+		}
+		if t.text == "," {
+			continue
+		}
+		if t.text != "." {
+			return fmt.Errorf("vlog: line %d: positional connections are not supported (found %q)", t.line, t.text)
+		}
+		pinTok, err := p.next()
+		if err != nil {
+			return err
+		}
+		pin := cell.Pin(pinTok.text)
+		if pin == nil {
+			return fmt.Errorf("vlog: line %d: cell %s has no pin %q", pinTok.line, cell.Name, pinTok.text)
+		}
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		netTok, err := p.next()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		dir := netlist.In
+		if pin.Dir == liberty.Output {
+			dir = netlist.Out
+		}
+		if err := d.Connect(nameTok.text, pinTok.text, netTok.text, dir); err != nil {
+			return fmt.Errorf("vlog: line %d: %w", netTok.line, err)
+		}
+	}
+	return p.expect(";")
+}

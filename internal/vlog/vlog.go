@@ -14,319 +14,670 @@
 // liberty.Library the netlist is implemented in. Unsupported Verilog
 // (behavioral code, buses/vectors, parameters, assigns, multiple modules)
 // is rejected with a positioned error rather than misread.
+//
+// The reader is streaming and parallel: a cheap byte-level scan splits
+// the input into ';'-terminated statements (comment- and
+// escaped-identifier-aware, so a ';' inside either never splits), a
+// worker pool lexes and parses statement batches into records feeding
+// the string interner, and the records are applied to the design
+// serially in statement order — so the resulting design, including
+// creation-order IDs, is identical to a sequential parse. The input is
+// never materialized as one []byte and identifiers are interned rather
+// than allocated per token.
 package vlog
 
 import (
 	"bufio"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"sync"
 	"unicode"
+	"unicode/utf8"
 
+	"repro/internal/intern"
 	"repro/internal/liberty"
 	"repro/internal/netlist"
 )
 
 // Parse reads one structural module against the given library.
 func Parse(r io.Reader, lib *liberty.Library) (*netlist.Design, error) {
-	toks, err := tokenize(r)
-	if err != nil {
-		return nil, err
+	sp := newSplitter(r)
+	workers := runtime.GOMAXPROCS(0)
+	const batchSize = 1024
+
+	var (
+		d           *netlist.Design
+		headerPorts []intern.Sym
+		declared    = map[intern.Sym]bool{}
+		lastTok     = 0 // line of the last token seen anywhere
+		segIndex    = 0 // global statement segment counter
+		segs        []segment
+		parsed      [][]stmtRec
+		lastLines   []int
+	)
+	for {
+		var err error
+		segs, err = sp.nextBatch(segs[:0], batchSize)
+		if err != nil {
+			return nil, err
+		}
+		if len(segs) == 0 {
+			break
+		}
+		if cap(parsed) < len(segs) {
+			parsed = make([][]stmtRec, len(segs))
+			lastLines = make([]int, len(segs))
+		}
+		parsed = parsed[:len(segs)]
+		lastLines = lastLines[:len(segs)]
+		first := segIndex == 0
+		parseBatch(segs, first, lib, workers, parsed, lastLines)
+		segIndex += len(segs)
+
+		for i := range parsed {
+			if lastLines[i] > 0 {
+				lastTok = lastLines[i]
+			}
+			for _, rec := range parsed[i] {
+				switch rec.kind {
+				case kErr:
+					return nil, rec.err
+				case kHeader:
+					d = netlist.New(rec.name.String())
+					headerPorts = rec.names
+				case kDecl:
+					for _, nm := range rec.names {
+						if _, err := d.AddPortSym(nm, rec.dir); err != nil {
+							return nil, fmt.Errorf("vlog: line %d: %w", rec.line, err)
+						}
+						declared[nm] = true
+					}
+				case kWire:
+					for _, nm := range rec.names {
+						d.NetSym(nm)
+					}
+				case kInst:
+					if _, err := d.AddInstSym(rec.name, rec.cell); err != nil {
+						return nil, fmt.Errorf("vlog: line %d: %w", rec.line, err)
+					}
+					for _, c := range rec.conns {
+						if err := d.ConnectSym(rec.name, c.pinSym, c.netSym, c.dir); err != nil {
+							return nil, fmt.Errorf("vlog: line %d: %w", c.line, err)
+						}
+					}
+				case kEnd:
+					for _, hp := range headerPorts {
+						if !declared[hp] {
+							return nil, fmt.Errorf("vlog: line %d: port %q in header but never declared", rec.line, hp.String())
+						}
+					}
+					d.Compact()
+					return d, nil
+				}
+			}
+		}
 	}
-	p := &parser{toks: toks, lib: lib}
-	return p.module()
+	if lastTok == 0 {
+		// No tokens at all: same report as asking for "module" at EOF.
+		return nil, fmt.Errorf("vlog: line 1: unexpected end of input")
+	}
+	return nil, fmt.Errorf("vlog: line %d: missing endmodule", lastTok)
 }
 
-type token struct {
-	text string
+// parseBatch parses each segment of a batch into statement records,
+// fanning out across workers when there is enough work to matter.
+func parseBatch(segs []segment, first bool, lib *liberty.Library, workers int, out [][]stmtRec, lastLines []int) {
+	if workers <= 1 || len(segs) < 4 {
+		var lx lexer
+		for i := range segs {
+			out[i], lastLines[i] = parseSegment(&lx, segs[i], first && i == 0, lib)
+		}
+		return
+	}
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var lx lexer
+			for i := w; i < len(segs); i += workers {
+				out[i], lastLines[i] = parseSegment(&lx, segs[i], first && i == 0, lib)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// --- statement records -------------------------------------------------
+
+type stmtKind int
+
+const (
+	kErr stmtKind = iota
+	kHeader
+	kDecl
+	kWire
+	kInst
+	kEnd
+)
+
+type connRec struct {
+	pinSym intern.Sym
+	netSym intern.Sym
+	dir    netlist.Dir
+	line   int // net token line, for Connect error positions
+}
+
+type stmtRec struct {
+	kind  stmtKind
+	err   error        // kErr only
+	line  int          // keyword/name/endmodule line for apply-time errors
+	name  intern.Sym   // design name (kHeader) or instance name (kInst)
+	cell  intern.Sym   // canonical cell name (kInst)
+	dir   netlist.Dir  // kDecl
+	names []intern.Sym // header ports (kHeader) or declared names (kDecl/kWire)
+	conns []connRec    // kInst
+}
+
+// --- input splitting ---------------------------------------------------
+
+// segment is one ';'-terminated statement (or the trailing input after
+// the last ';'), with the line number of its first byte.
+type segment struct {
+	data []byte
 	line int
 }
 
-// tokenize splits the source into identifiers, punctuation, and escaped
-// names, stripping // and /* */ comments.
-func tokenize(r io.Reader) ([]token, error) {
-	br := bufio.NewReader(r)
-	var toks []token
-	line := 1
-	var cur strings.Builder
-	flush := func() {
-		if cur.Len() > 0 {
-			toks = append(toks, token{text: cur.String(), line: line})
-			cur.Reset()
-		}
-	}
-	for {
-		c, _, err := br.ReadRune()
-		if err == io.EOF {
-			flush()
-			return toks, nil
-		}
-		if err != nil {
-			return nil, fmt.Errorf("vlog: %w", err)
-		}
-		switch {
-		case c == '\n':
-			flush()
-			line++
-		case unicode.IsSpace(c):
-			flush()
-		case c == '/':
-			n, _, err := br.ReadRune()
-			if err == nil && n == '/' {
-				flush()
-				for {
-					c2, _, err2 := br.ReadRune()
-					if err2 != nil || c2 == '\n' {
-						line++
-						break
-					}
-				}
-			} else if err == nil && n == '*' {
-				flush()
-				prev := rune(0)
-				for {
-					c2, _, err2 := br.ReadRune()
-					if err2 != nil {
-						return nil, fmt.Errorf("vlog: line %d: unterminated block comment", line)
-					}
-					if c2 == '\n' {
-						line++
-					}
-					if prev == '*' && c2 == '/' {
-						break
-					}
-					prev = c2
-				}
-			} else {
-				return nil, fmt.Errorf("vlog: line %d: stray '/'", line)
-			}
-		case strings.ContainsRune("(),;.", c):
-			flush()
-			toks = append(toks, token{text: string(c), line: line})
-		case c == '\\':
-			// Escaped identifier: runs to whitespace.
-			flush()
-			for {
-				c2, _, err2 := br.ReadRune()
-				if err2 != nil || unicode.IsSpace(c2) {
-					if c2 == '\n' {
-						line++
-					}
-					break
-				}
-				cur.WriteRune(c2)
-			}
-			flush()
-		default:
-			cur.WriteRune(c)
-		}
-	}
+const (
+	stCode = iota
+	stLineComment
+	stBlockComment
+	stEsc
+)
+
+// splitter finds statement boundaries with a byte-level state machine:
+// a ';' splits only in code state, never inside //, /* */ or an escaped
+// identifier. It validates comment structure as it goes, so segments
+// handed to the parsing workers always contain complete comments.
+type splitter struct {
+	r     io.Reader
+	buf   []byte
+	start int // offset of the current segment's first byte
+	pos   int // scan cursor
+	n     int // valid bytes in buf
+	line  int // line number at pos
+	segLn int // line number at start
+	state int
+	star  bool // in a block comment, previous byte was '*'
+	eof   bool
+	done  bool
 }
 
-type parser struct {
-	toks []token
+func newSplitter(r io.Reader) *splitter {
+	return &splitter{r: r, buf: make([]byte, 256*1024), line: 1, segLn: 1}
+}
+
+// fill compacts the unscanned tail to the front of the buffer and reads
+// more input. Segment views handed out earlier become invalid, so the
+// caller only refills between batches.
+func (s *splitter) fill() error {
+	if s.start > 0 {
+		copy(s.buf, s.buf[s.start:s.n])
+		s.n -= s.start
+		s.pos -= s.start
+		s.start = 0
+	}
+	if s.n == len(s.buf) {
+		// One statement larger than the window: grow it.
+		nb := make([]byte, 2*len(s.buf))
+		copy(nb, s.buf[:s.n])
+		s.buf = nb
+	}
+	for !s.eof && s.n < len(s.buf) {
+		m, err := s.r.Read(s.buf[s.n:])
+		s.n += m
+		if err == io.EOF {
+			s.eof = true
+		} else if err != nil {
+			return fmt.Errorf("vlog: %w", err)
+		}
+		if m > 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// nextBatch returns up to max segments. The views are valid until the
+// next nextBatch call. An empty batch means end of input.
+func (s *splitter) nextBatch(dst []segment, max int) ([]segment, error) {
+	if s.done {
+		return dst, nil
+	}
+	for len(dst) < max {
+		if s.pos >= s.n {
+			if s.eof {
+				if s.state == stBlockComment {
+					return dst, fmt.Errorf("vlog: line %d: unterminated block comment", s.line)
+				}
+				if s.start < s.n {
+					dst = append(dst, segment{data: s.buf[s.start:s.n], line: s.segLn})
+					s.start = s.n
+				}
+				s.done = true
+				return dst, nil
+			}
+			if len(dst) > 0 {
+				// Drain what we have before compacting the buffer, so
+				// the returned views stay valid.
+				return dst, nil
+			}
+			if err := s.fill(); err != nil {
+				return dst, err
+			}
+			continue
+		}
+		c := s.buf[s.pos]
+		switch s.state {
+		case stCode:
+			switch c {
+			case '\n':
+				s.line++
+			case ';':
+				dst = append(dst, segment{data: s.buf[s.start : s.pos+1], line: s.segLn})
+				s.start = s.pos + 1
+				s.segLn = s.line
+			case '/':
+				if s.pos+1 >= s.n && !s.eof {
+					if len(dst) > 0 {
+						return dst, nil // drain, then refill for lookahead
+					}
+					if err := s.fill(); err != nil {
+						return dst, err
+					}
+					continue // re-examine with lookahead available
+				}
+				if s.pos+1 >= s.n {
+					return dst, fmt.Errorf("vlog: line %d: stray '/'", s.line)
+				}
+				switch s.buf[s.pos+1] {
+				case '/':
+					s.state = stLineComment
+					s.pos++
+				case '*':
+					s.state = stBlockComment
+					s.star = false
+					s.pos++
+				default:
+					return dst, fmt.Errorf("vlog: line %d: stray '/'", s.line)
+				}
+			case '\\':
+				s.state = stEsc
+			}
+		case stLineComment:
+			if c == '\n' {
+				s.line++
+				s.state = stCode
+			}
+		case stBlockComment:
+			if c == '\n' {
+				s.line++
+			}
+			if s.star && c == '/' {
+				s.state = stCode
+			}
+			s.star = c == '*'
+		case stEsc:
+			// Escaped identifiers run to whitespace; the splitter only
+			// needs ASCII spacing to find real ';' boundaries.
+			if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f' {
+				if c == '\n' {
+					s.line++
+				}
+				s.state = stCode
+			}
+		}
+		s.pos++
+	}
+	return dst, nil
+}
+
+// --- lexing ------------------------------------------------------------
+
+type tokView struct {
+	text []byte
+	line int
+}
+
+// lexer carries reusable token scratch across segments of one worker.
+type lexer struct {
+	toks []tokView
+}
+
+func isPunct(c byte) bool {
+	return c == '(' || c == ')' || c == ',' || c == ';' || c == '.'
+}
+
+// lex tokenizes one segment: identifiers, single-char punctuation
+// "(),;.", escaped names with the backslash stripped, comments skipped.
+// Token views alias the segment bytes.
+func (lx *lexer) lex(data []byte, line int) []tokView {
+	dst := lx.toks[:0]
+	i, n := 0, len(data)
+	for i < n {
+		c := data[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f':
+			i++
+		case c == '/':
+			// Comment structure was validated by the splitter.
+			if i+1 < n && data[i+1] == '/' {
+				i += 2
+				for i < n && data[i] != '\n' {
+					i++
+				}
+			} else if i+1 < n && data[i+1] == '*' {
+				i += 2
+				star := false
+				for i < n {
+					ch := data[i]
+					if ch == '\n' {
+						line++
+					}
+					i++
+					if star && ch == '/' {
+						break
+					}
+					star = ch == '*'
+				}
+			} else {
+				i++
+			}
+		case isPunct(c):
+			dst = append(dst, tokView{text: data[i : i+1], line: line})
+			i++
+		case c == '\\':
+			// Escaped identifier: runs to whitespace, backslash stripped;
+			// the terminating space is consumed. Empty names vanish. Like
+			// the original rune tokenizer, a newline terminator bumps the
+			// line counter before the token is recorded.
+			i++
+			st := i
+			end := -1
+			for i < n {
+				r, sz := rune(data[i]), 1
+				if data[i] >= utf8.RuneSelf {
+					r, sz = utf8.DecodeRune(data[i:])
+				}
+				if unicode.IsSpace(r) {
+					end = i
+					if r == '\n' {
+						line++
+					}
+					i += sz
+					break
+				}
+				i += sz
+			}
+			if end < 0 {
+				end = i
+			}
+			if end > st {
+				dst = append(dst, tokView{text: data[st:end], line: line})
+			}
+		default:
+			st := i
+			for i < n {
+				ch := data[i]
+				if ch == '/' || ch == '\\' || isPunct(ch) {
+					break
+				}
+				if ch < utf8.RuneSelf {
+					if ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r' || ch == '\v' || ch == '\f' {
+						break
+					}
+					i++
+					continue
+				}
+				r, sz := utf8.DecodeRune(data[i:])
+				if unicode.IsSpace(r) {
+					break
+				}
+				i += sz
+			}
+			if i > st {
+				dst = append(dst, tokView{text: data[st:i], line: line})
+			} else {
+				// A lone non-ASCII whitespace rune: skip it.
+				_, sz := utf8.DecodeRune(data[i:])
+				i += sz
+			}
+		}
+	}
+	lx.toks = dst
+	return dst
+}
+
+// --- segment parsing ---------------------------------------------------
+
+type segParser struct {
+	toks []tokView
 	pos  int
 	lib  *liberty.Library
 }
 
-func (p *parser) peek() (token, bool) {
-	if p.pos >= len(p.toks) {
-		return token{}, false
-	}
-	return p.toks[p.pos], true
-}
-
-// lastLine is the line of the final token — the best position available
-// for truncated-input errors.
-func (p *parser) lastLine() int {
+func (p *segParser) lastLine() int {
 	if len(p.toks) == 0 {
 		return 1
 	}
 	return p.toks[len(p.toks)-1].line
 }
 
-func (p *parser) next() (token, error) {
-	t, ok := p.peek()
-	if !ok {
-		return token{}, fmt.Errorf("vlog: line %d: unexpected end of input", p.lastLine())
+func (p *segParser) next() (tokView, error) {
+	if p.pos >= len(p.toks) {
+		return tokView{}, fmt.Errorf("vlog: line %d: unexpected end of input", p.lastLine())
 	}
+	t := p.toks[p.pos]
 	p.pos++
 	return t, nil
 }
 
-func (p *parser) expect(text string) error {
+func (p *segParser) expect(text string) error {
 	t, err := p.next()
 	if err != nil {
 		return err
 	}
-	if t.text != text {
+	if string(t.text) != text {
 		return fmt.Errorf("vlog: line %d: expected %q, found %q", t.line, text, t.text)
 	}
 	return nil
 }
 
-func (p *parser) module() (*netlist.Design, error) {
+func tokIs(t tokView, s string) bool { return string(t.text) == s }
+
+// parseSegment lexes one segment and parses its statements into
+// records. It returns the records and the line of the segment's last
+// token (0 when the segment has none).
+func parseSegment(lx *lexer, seg segment, first bool, lib *liberty.Library) ([]stmtRec, int) {
+	toks := lx.lex(seg.data, seg.line)
+	if len(toks) == 0 {
+		return nil, 0
+	}
+	p := &segParser{toks: toks, lib: lib}
+	var recs []stmtRec
+	if first {
+		rec := p.header()
+		recs = append(recs, rec)
+		if rec.kind == kErr {
+			return recs, p.lastLine()
+		}
+	}
+	for p.pos < len(p.toks) {
+		rec := p.statement()
+		recs = append(recs, rec)
+		if rec.kind == kErr || rec.kind == kEnd {
+			break
+		}
+	}
+	return recs, p.lastLine()
+}
+
+func errRec(err error) stmtRec { return stmtRec{kind: kErr, err: err} }
+
+// header consumes "module NAME ( ports ) ;".
+func (p *segParser) header() stmtRec {
 	if err := p.expect("module"); err != nil {
-		return nil, err
+		return errRec(err)
 	}
 	name, err := p.next()
 	if err != nil {
-		return nil, err
+		return errRec(err)
 	}
-	d := netlist.New(name.text)
-	// Header port list (names only; directions come from declarations).
+	rec := stmtRec{kind: kHeader, name: intern.InternBytes(name.text)}
 	if err := p.expect("("); err != nil {
-		return nil, err
+		return errRec(err)
 	}
-	headerPorts := []string{}
 	for {
 		t, err := p.next()
 		if err != nil {
-			return nil, err
+			return errRec(err)
 		}
-		if t.text == ")" {
+		if tokIs(t, ")") {
 			break
 		}
-		if t.text == "," {
+		if tokIs(t, ",") {
 			continue
 		}
-		headerPorts = append(headerPorts, t.text)
+		rec.names = append(rec.names, intern.InternBytes(t.text))
 	}
 	if err := p.expect(";"); err != nil {
-		return nil, err
+		return errRec(err)
 	}
-	declared := map[string]bool{}
+	return rec
+}
 
-	for {
-		t, ok := p.peek()
-		if !ok {
-			return nil, fmt.Errorf("vlog: line %d: missing endmodule", p.lastLine())
+func (p *segParser) statement() stmtRec {
+	t := p.toks[p.pos]
+	switch {
+	case tokIs(t, "endmodule"):
+		p.pos++
+		return stmtRec{kind: kEnd, line: t.line}
+	case tokIs(t, "input"), tokIs(t, "output"):
+		p.pos++
+		names, err := p.nameList()
+		if err != nil {
+			return errRec(err)
 		}
-		switch t.text {
-		case "endmodule":
-			p.pos++
-			for _, hp := range headerPorts {
-				if !declared[hp] {
-					return nil, fmt.Errorf("vlog: line %d: port %q in header but never declared", t.line, hp)
-				}
-			}
-			return d, nil
-		case "input", "output":
-			p.pos++
-			names, err := p.nameList()
-			if err != nil {
-				return nil, err
-			}
-			dir := netlist.In
-			if t.text == "output" {
-				dir = netlist.Out
-			}
-			for _, n := range names {
-				if _, err := d.AddPort(n, dir); err != nil {
-					return nil, fmt.Errorf("vlog: line %d: %w", t.line, err)
-				}
-				declared[n] = true
-			}
-		case "wire":
-			p.pos++
-			names, err := p.nameList()
-			if err != nil {
-				return nil, err
-			}
-			for _, n := range names {
-				d.Net(n)
-			}
-		default:
-			if err := p.instance(d); err != nil {
-				return nil, err
-			}
+		dir := netlist.In
+		if tokIs(t, "output") {
+			dir = netlist.Out
 		}
+		return stmtRec{kind: kDecl, line: t.line, dir: dir, names: names}
+	case tokIs(t, "wire"):
+		p.pos++
+		names, err := p.nameList()
+		if err != nil {
+			return errRec(err)
+		}
+		return stmtRec{kind: kWire, line: t.line, names: names}
+	default:
+		return p.instance()
 	}
 }
 
 // nameList consumes "a, b, c ;".
-func (p *parser) nameList() ([]string, error) {
-	var out []string
+func (p *segParser) nameList() ([]intern.Sym, error) {
+	var out []intern.Sym
 	for {
 		t, err := p.next()
 		if err != nil {
 			return nil, err
 		}
-		switch t.text {
-		case ";":
+		switch {
+		case tokIs(t, ";"):
 			return out, nil
-		case ",":
-		case "(", ")", ".":
+		case tokIs(t, ","):
+		case tokIs(t, "("), tokIs(t, ")"), tokIs(t, "."):
 			return nil, fmt.Errorf("vlog: line %d: unexpected %q in declaration", t.line, t.text)
 		default:
-			out = append(out, t.text)
+			out = append(out, intern.InternBytes(t.text))
 		}
 	}
 }
 
 // instance consumes "CELL name ( .PIN(net), ... ) ;".
-func (p *parser) instance(d *netlist.Design) error {
+func (p *segParser) instance() stmtRec {
 	cellTok, err := p.next()
 	if err != nil {
-		return err
+		return errRec(err)
 	}
-	cell := p.lib.Cell(cellTok.text)
+	cellSym := intern.InternBytes(cellTok.text)
+	cellName := cellSym.String()
+	cell := p.lib.Cell(cellName)
 	if cell == nil {
-		return fmt.Errorf("vlog: line %d: unknown cell %q (behavioral Verilog is not supported)", cellTok.line, cellTok.text)
+		return errRec(fmt.Errorf("vlog: line %d: unknown cell %q (behavioral Verilog is not supported)", cellTok.line, cellName))
 	}
 	nameTok, err := p.next()
 	if err != nil {
-		return err
+		return errRec(err)
 	}
-	inst, err := d.AddInst(nameTok.text, cell.Name)
-	if err != nil {
-		return fmt.Errorf("vlog: line %d: %w", nameTok.line, err)
-	}
-	_ = inst
+	rec := stmtRec{kind: kInst, line: nameTok.line, name: intern.InternBytes(nameTok.text), cell: cellSym}
 	if err := p.expect("("); err != nil {
-		return err
+		return errRec(err)
 	}
 	for {
 		t, err := p.next()
 		if err != nil {
-			return err
+			return errRec(err)
 		}
-		if t.text == ")" {
+		if tokIs(t, ")") {
 			break
 		}
-		if t.text == "," {
+		if tokIs(t, ",") {
 			continue
 		}
-		if t.text != "." {
-			return fmt.Errorf("vlog: line %d: positional connections are not supported (found %q)", t.line, t.text)
+		if !tokIs(t, ".") {
+			return errRec(fmt.Errorf("vlog: line %d: positional connections are not supported (found %q)", t.line, t.text))
 		}
 		pinTok, err := p.next()
 		if err != nil {
-			return err
+			return errRec(err)
 		}
-		pin := cell.Pin(pinTok.text)
+		pinSym := intern.InternBytes(pinTok.text)
+		pin := cell.Pin(pinSym.String())
 		if pin == nil {
-			return fmt.Errorf("vlog: line %d: cell %s has no pin %q", pinTok.line, cell.Name, pinTok.text)
+			return errRec(fmt.Errorf("vlog: line %d: cell %s has no pin %q", pinTok.line, cell.Name, pinSym.String()))
 		}
 		if err := p.expect("("); err != nil {
-			return err
+			return errRec(err)
 		}
 		netTok, err := p.next()
 		if err != nil {
-			return err
+			return errRec(err)
 		}
 		if err := p.expect(")"); err != nil {
-			return err
+			return errRec(err)
 		}
 		dir := netlist.In
 		if pin.Dir == liberty.Output {
 			dir = netlist.Out
 		}
-		if err := d.Connect(nameTok.text, pinTok.text, netTok.text, dir); err != nil {
-			return fmt.Errorf("vlog: line %d: %w", netTok.line, err)
-		}
+		rec.conns = append(rec.conns, connRec{
+			pinSym: pinSym, netSym: intern.InternBytes(netTok.text), dir: dir, line: netTok.line,
+		})
 	}
-	return p.expect(";")
+	if err := p.expect(";"); err != nil {
+		return errRec(err)
+	}
+	return rec
 }
 
 // Write renders the design as one structural module.

@@ -1,0 +1,43 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// ScaleSpec parameterizes the capacity-ladder workload: a coupled
+// parallel bus sized by total net count rather than bit count, used by
+// `noisebench -scale` and the netgen `scale` kind to exercise the
+// engine at 10k/100k/1M nets.
+type ScaleSpec struct {
+	// Nets is the target total net count. Each bus bit contributes four
+	// nets (input, bus line, received, output), so the realized count is
+	// Nets rounded down to a multiple of four; minimum 8.
+	Nets int
+	// Seed feeds the bus generator (windows stay deterministic; the seed
+	// only matters if a caller flips on randomization downstream).
+	Seed int64
+}
+
+// Scale generates the capacity-ladder design: a single-segment coupled
+// bus whose adjacent lines' switching windows overlap, so every interior
+// line sees two live aggressors — the canonical crosstalk arrangement,
+// stretched to whatever net count the ladder rung asks for. Generation
+// is O(Nets) and deterministic, so every rung (and every re-run of a
+// rung) analyzes an identical design.
+func Scale(spec ScaleSpec) (*Generated, error) {
+	bits := spec.Nets / 4
+	if bits < 2 {
+		return nil, fmt.Errorf("workload: scale rung needs at least 8 nets, have %d", spec.Nets)
+	}
+	return Bus(BusSpec{
+		Bits: bits,
+		Segs: 1,
+		// Stagger under the width: adjacent windows overlap, so the
+		// windowed combination has real work on every victim.
+		WindowSep:   25 * units.Pico,
+		WindowWidth: 100 * units.Pico,
+		Seed:        spec.Seed,
+	})
+}

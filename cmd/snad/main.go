@@ -13,6 +13,8 @@
 //	             [-breaker-cooldown 10s] [-data-dir DIR]
 //	             [-compact-every 64]
 //	             [-workers url1,url2,...] [-shards N]
+//	             [-job-workers 2] [-job-queue 16] [-job-max-attempts 3]
+//	             [-job-deadline 5m]
 //	snad create  -server URL -name S -net design.net [-spef design.spef]
 //	             [-lib lib.nlib] [-win design.win] [-mode all|timing|noise]
 //	             [-threshold 0.02] [-corr] [-noprop] [-workers N]
@@ -26,6 +28,20 @@
 //	snad delete  -server URL -name S
 //	snad health  -server URL
 //	snad recovery -server URL
+//	snad submit  -server URL -name S -type analyze|reanalyze|iterate|sweep
+//	             [-delay] [-pad net=3e-12,...] [-max-rounds 8] [-shards N]
+//	             [-local] [-sweep mode:threshold,...] [-deadline 90s]
+//	             [-max-attempts 3] [-wait] [-json]
+//	snad jobs    -server URL [-json]
+//	snad job     -server URL -id job-000001 [-wait] [-json]
+//	snad cancel  -server URL -id job-000001
+//
+// submit enqueues an asynchronous job: the 202 is written only after the
+// job spec is journaled (with -data-dir), so an acknowledged job survives
+// a crash — in-flight jobs are re-enqueued at the next boot and iterate
+// jobs resume from their last round checkpoint. Jobs that panic or
+// degrade the engine on every attempt are quarantined as failed poison
+// jobs with per-attempt diagnostics instead of retrying forever.
 //
 // With -data-dir, session lifecycle (creates, reanalyze padding, deletes)
 // is journaled to disk before it is acknowledged and replayed on the next
@@ -100,7 +116,7 @@ func main() {
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
-		fmt.Fprintln(stderr, "snad: a subcommand is required: serve | create | analyze | iterate | reanalyze | report | list | delete | health | recovery | workers")
+		fmt.Fprintln(stderr, "snad: a subcommand is required: serve | create | analyze | iterate | reanalyze | report | list | delete | health | recovery | workers | submit | jobs | job | cancel")
 		return exitUsage
 	}
 	cmd, rest := args[0], args[1:]
@@ -109,6 +125,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return runServe(ctx, rest, stdout, stderr)
 	case "create", "analyze", "iterate", "reanalyze", "report", "list", "delete", "health", "recovery", "workers":
 		return runClient(ctx, cmd, rest, stdout, stderr)
+	case "submit", "jobs", "job", "cancel":
+		return runJobs(ctx, cmd, rest, stdout, stderr)
 	}
 	fmt.Fprintf(stderr, "snad: unknown subcommand %q\n", cmd)
 	return exitUsage
@@ -134,6 +152,11 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		storeFaults  = fs.String("store-inject-fault", "", "inject store write-path faults, e.g. torn:append:2 (chaos testing)")
 		workerURLs   = fs.String("workers", "", "comma-separated snad worker base URLs to coordinate over")
 		shards       = fs.Int("shards", 0, "default shard count for distributed iterate (0 = one per worker)")
+		jobWorkers   = fs.Int("job-workers", 0, "async job worker pool size (default 2)")
+		jobQueue     = fs.Int("job-queue", 0, "max queued async jobs; submits past it are shed (default 16)")
+		jobAttempts  = fs.Int("job-max-attempts", 0, "default retry budget per async job (default 3)")
+		jobDeadline  = fs.Duration("job-deadline", 0, "default per-attempt execution budget per async job (default 5m)")
+		jobFaults    = fs.String("job-inject-fault", "", "inject job execution faults, e.g. panic:analyze:2 (chaos testing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -156,6 +179,11 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		CompactEvery:      *compactEvery,
 		StoreFaultSpec:    *storeFaults,
 		Shards:            *shards,
+		JobWorkers:        *jobWorkers,
+		JobQueueDepth:     *jobQueue,
+		JobMaxAttempts:    *jobAttempts,
+		JobDeadline:       *jobDeadline,
+		JobFaultSpec:      *jobFaults,
 		// The dialer lives here because the server package cannot import
 		// the client (the client imports the server's wire types).
 		WorkerDialer: func(name, url string) shard.Worker {

@@ -110,9 +110,11 @@ type Client struct {
 	http  *http.Client
 	retry RetryPolicy
 
-	// sleep and jitter are injectable for tests.
+	// sleep, jitter, and now are injectable for tests (now anchors
+	// HTTP-date Retry-After parsing).
 	sleep  func(ctx context.Context, d time.Duration) error
 	jitter func(d time.Duration) time.Duration
+	now    func() time.Time
 }
 
 // New builds a client for the server at base (e.g. "http://127.0.0.1:8347").
@@ -137,7 +139,29 @@ func New(base string, policy RetryPolicy) *Client {
 			// herd after a drain or breaker trip) across the window.
 			return d/2 + time.Duration(rand.Int63n(int64(d)+1))
 		},
+		now: time.Now,
 	}
+}
+
+// parseRetryAfter interprets a Retry-After header value per RFC 9110
+// §10.2.3: either a non-negative integral number of seconds ("120") or an
+// HTTP-date ("Fri, 07 Aug 2026 11:30:00 GMT" and the obsolete RFC 850 /
+// asctime forms, which http.ParseTime covers). A date in the past, a zero
+// delay, or an unparseable value all return 0 — "no usable hint", letting
+// the exponential backoff decide.
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	if secs, err := strconv.ParseInt(v, 10, 64); err == nil {
+		if secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+		return 0
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // backoff computes the wait before attempt n (0-based), preferring the
@@ -239,9 +263,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, mkBody func() 
 			ae.Info = eb.Error
 		}
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, err := strconv.ParseInt(ra, 10, 64); err == nil && secs > 0 {
-				ae.retryAfter = time.Duration(secs) * time.Second
-			}
+			ae.retryAfter = parseRetryAfter(ra, c.now())
 		}
 		return ae
 	}

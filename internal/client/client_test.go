@@ -245,6 +245,53 @@ func TestBackoffJitterClampedToMaxDelay(t *testing.T) {
 	}
 }
 
+// TestParseRetryAfter pins the RFC 9110 §10.2.3 contract: Retry-After is
+// either delay-seconds or an HTTP-date, and anything unusable (garbage,
+// zero, a date already past) means "no hint" rather than an error.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+	}{
+		{"3", 3 * time.Second},
+		{"120", 2 * time.Minute},
+		{"0", 0},
+		{"-5", 0},
+		{now.Add(30 * time.Second).Format(http.TimeFormat), 30 * time.Second},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0},                       // already past
+		{now.Add(time.Hour).Format("Monday, 02-Jan-06 15:04:05 MST"), time.Hour}, // RFC 850
+		{now.Add(2 * time.Second).Format(time.ANSIC), 2 * time.Second},           // asctime
+		{"soon", 0},
+		{"", 0},
+	} {
+		if got := parseRetryAfter(tc.in, now); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestRetryOnSheddingHonorsHTTPDateRetryAfter is the end-to-end half of
+// the regression: a server hinting with an HTTP-date (the form proxies
+// and some load balancers emit) must steer the backoff exactly like the
+// integral-seconds form.
+func TestRetryOnSheddingHonorsHTTPDateRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	ts, calls := shedding(2, now.Add(3*time.Second).Format(http.TimeFormat), "overloaded")
+	defer ts.Close()
+	c, slept := testClient(ts.URL, RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, MaxDelay: 10 * time.Second})
+	c.now = func() time.Time { return now }
+	if _, err := c.Analyze(context.Background(), "s", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+	if len(*slept) != 2 || (*slept)[0] != 3*time.Second || (*slept)[1] != 3*time.Second {
+		t.Fatalf("slept = %v, want [3s 3s] from the HTTP-date hint", *slept)
+	}
+}
+
 func TestJitterSpreadsDefaultBackoff(t *testing.T) {
 	c := New("http://unused", RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: 10 * time.Second})
 	for i := 0; i < 100; i++ {

@@ -1,0 +1,335 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/report"
+)
+
+func waitJobHTTP(t *testing.T, base, id string, state string) *report.JobJSON {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, data := do(t, "GET", base+"/v1/jobs/"+id, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job status %s: %d: %s", id, resp.StatusCode, data)
+		}
+		var j report.JobJSON
+		if err := json.Unmarshal(data, &j); err != nil {
+			t.Fatalf("job body: %v\n%s", err, data)
+		}
+		if (state == "" && j.Terminal()) || j.State == state {
+			return &j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s (want %s): %s", id, j.State, state, data)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func submitJob(t *testing.T, base string, spec jobs.Spec) *report.JobJSON {
+	t.Helper()
+	resp, data := do(t, "POST", base+"/v1/jobs", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, data)
+	}
+	var j report.JobJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		t.Fatalf("submit body: %v\n%s", err, data)
+	}
+	return &j
+}
+
+func TestJobLifecycleHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	createSession(t, ts.URL, "bus", SessionOptions{})
+
+	ack := submitJob(t, ts.URL, jobs.Spec{Session: "bus", Type: "analyze", Delay: true})
+	if ack.State != "queued" || ack.ID == "" {
+		t.Fatalf("202 ack = %+v", ack)
+	}
+	done := waitJobHTTP(t, ts.URL, ack.ID, "done")
+	var result AnalyzeResponse
+	if err := json.Unmarshal(done.Result, &result); err != nil {
+		t.Fatalf("job result: %v", err)
+	}
+	if result.Noise == nil || result.Noise.Stats.Victims == 0 || result.Delay == nil {
+		t.Fatalf("job result missing sections: %+v", result)
+	}
+
+	// The job's analysis is the session's cached report now.
+	resp, data := do(t, "GET", ts.URL+"/v1/sessions/bus/report", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report after job: %d: %s", resp.StatusCode, data)
+	}
+
+	// Listing includes the job; readyz exposes the gauges.
+	resp, data = do(t, "GET", ts.URL+"/v1/jobs", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: %d", resp.StatusCode)
+	}
+	var list JobsResponse
+	if err := json.Unmarshal(data, &list); err != nil || len(list.Jobs) != 1 || list.Jobs[0].ID != ack.ID {
+		t.Fatalf("list = %s (%v)", data, err)
+	}
+	resp, data = do(t, "GET", ts.URL+"/readyz", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), `"jobsQueued"`) {
+		t.Fatalf("readyz lacks job gauges: %d %s", resp.StatusCode, data)
+	}
+}
+
+func TestJobSweepHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	createSession(t, ts.URL, "bus", SessionOptions{})
+
+	ack := submitJob(t, ts.URL, jobs.Spec{Session: "bus", Type: "sweep", Sweep: []jobs.SweepPoint{
+		{Mode: "all"}, {Mode: "noise"}, {Mode: "timing", Threshold: 0.05},
+	}})
+	done := waitJobHTTP(t, ts.URL, ack.ID, "done")
+	var result SweepResult
+	if err := json.Unmarshal(done.Result, &result); err != nil {
+		t.Fatalf("sweep result: %v", err)
+	}
+	if len(result.Points) != 3 || result.Points[0].Mode != "all" || result.Points[2].Threshold != 0.05 {
+		t.Fatalf("sweep points = %+v", result.Points)
+	}
+	// Noise-window mode is never more pessimistic than all-aggressors.
+	if nv, av := len(result.Points[1].Noise.Violations), len(result.Points[0].Noise.Violations); nv > av {
+		t.Fatalf("noise mode found more violations than all mode: %d > %d", nv, av)
+	}
+}
+
+func TestJobUnknownSessionFailsFast(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	ack := submitJob(t, ts.URL, jobs.Spec{Session: "ghost", Type: "analyze"})
+	failed := waitJobHTTP(t, ts.URL, ack.ID, "failed")
+	// Permanent failure: one attempt, no quarantine, cause in the error.
+	if failed.Attempts != 1 || failed.Quarantined || !strings.Contains(failed.Error, "ghost") {
+		t.Fatalf("unknown-session job = %+v", failed)
+	}
+}
+
+func TestJobValidationAndNotFound(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := do(t, "POST", ts.URL+"/v1/jobs", jobs.Spec{Session: "s", Type: "bogus"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec: %d: %s", resp.StatusCode, data)
+	}
+	wantErrKind(t, data, "bad_request")
+	resp, data = do(t, "GET", ts.URL+"/v1/jobs/job-999999", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing job: %d", resp.StatusCode)
+	}
+	wantErrKind(t, data, "not_found")
+	resp, data = do(t, "DELETE", ts.URL+"/v1/jobs/job-999999", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel missing job: %d", resp.StatusCode)
+	}
+	wantErrKind(t, data, "not_found")
+}
+
+// A poison job (injected to panic on every attempt) must quarantine with
+// Diag records while the server keeps serving — interactive and batch.
+func TestJobPoisonQuarantineKeepsServing(t *testing.T) {
+	_, ts := newTestServer(t, Config{JobFaultSpec: "panic:reanalyze:*"})
+	createSession(t, ts.URL, "bus", SessionOptions{})
+
+	ack := submitJob(t, ts.URL, jobs.Spec{
+		Session: "bus", Type: "reanalyze",
+		Padding:     map[string]float64{"b0": 10e-12},
+		MaxAttempts: 2,
+	})
+	failed := waitJobHTTP(t, ts.URL, ack.ID, "failed")
+	if !failed.Quarantined || len(failed.Diags) != 2 {
+		t.Fatalf("poison job = %+v", failed)
+	}
+	for _, d := range failed.Diags {
+		if d.Stage != "panic" {
+			t.Fatalf("diag = %+v", d)
+		}
+	}
+
+	// The server survived: interactive analyze works, and so does a job
+	// of a type the fault spec does not match.
+	resp, data := do(t, "POST", ts.URL+"/v1/sessions/bus/analyze", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze after poison: %d: %s", resp.StatusCode, data)
+	}
+	good := submitJob(t, ts.URL, jobs.Spec{Session: "bus", Type: "analyze"})
+	waitJobHTTP(t, ts.URL, good.ID, "done")
+
+	// Metrics expose the quarantine.
+	resp, data = do(t, "GET", ts.URL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	for _, want := range []string{"snad_jobs_quarantined_total 1", "snad_jobs_done_total 1", "snad_jobs_queued 0"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, data)
+		}
+	}
+}
+
+// Bounded job admission: past JobQueueDepth waiting jobs, POST /v1/jobs
+// sheds with 429 + Retry-After.
+func TestJobQueueSheds(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		JobWorkers:    1,
+		JobQueueDepth: 1,
+		JobFaultSpec:  "hang:analyze:*",
+	})
+	createSession(t, ts.URL, "bus", SessionOptions{})
+
+	running := submitJob(t, ts.URL, jobs.Spec{Session: "bus", Type: "analyze"})
+	waitJobHTTP(t, ts.URL, running.ID, "running")
+	submitJob(t, ts.URL, jobs.Spec{Session: "bus", Type: "analyze"})
+
+	resp, data := do(t, "POST", ts.URL+"/v1/jobs", jobs.Spec{Session: "bus", Type: "analyze"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: %d: %s", resp.StatusCode, data)
+	}
+	wantErrKind(t, data, "overloaded")
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// DELETE cancels the hung job: 202 while the attempt unwinds, then
+	// the job lands canceled without burning its retry budget further.
+	resp, data = do(t, "DELETE", ts.URL+"/v1/jobs/"+running.ID, nil)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel running: %d: %s", resp.StatusCode, data)
+	}
+	canceled := waitJobHTTP(t, ts.URL, running.ID, "canceled")
+	if canceled.Quarantined {
+		t.Fatalf("canceled job = %+v", canceled)
+	}
+	// Canceling a terminal job conflicts.
+	resp, data = do(t, "DELETE", ts.URL+"/v1/jobs/"+running.ID, nil)
+	if resp.StatusCode != http.StatusOK {
+		// Already canceled is idempotent 200; anything else is a bug.
+		t.Fatalf("re-cancel: %d: %s", resp.StatusCode, data)
+	}
+}
+
+// Jobs survive a server restart: a running job interrupted by shutdown
+// re-enqueues (drain refunds the attempt) and completes under the next
+// process.
+func TestJobsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{DataDir: dir, JobFaultSpec: "hang:iterate:*"})
+	createSession(t, ts1.URL, "bus", SessionOptions{})
+	ack := submitJob(t, ts1.URL, jobs.Spec{Session: "bus", Type: "iterate", Local: true})
+	waitJobHTTP(t, ts1.URL, ack.ID, "running")
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	_, ts2 := newTestServer(t, Config{DataDir: dir})
+	done := waitJobHTTP(t, ts2.URL, ack.ID, "done")
+	if done.Attempts != 1 {
+		t.Fatalf("restarted job = %+v (want the drained attempt refunded)", done)
+	}
+	var result AnalyzeResponse
+	if err := json.Unmarshal(done.Result, &result); err != nil || result.Iterate == nil {
+		t.Fatalf("iterate job result: %v: %s", err, done.Result)
+	}
+}
+
+// Submits refused by a sick disk are 503 storage with nothing enqueued —
+// the no-lost-ack contract over HTTP.
+func TestJobSubmitStorageFault(t *testing.T) {
+	dir := t.TempDir()
+	// The fault rules count appends across both WALs; the session create
+	// consumes the first append, so the second lands on the job submit.
+	_, ts := newTestServer(t, Config{DataDir: dir, StoreFaultSpec: "enospc:append:2"})
+	createSession(t, ts.URL, "bus", SessionOptions{})
+	resp, data := do(t, "POST", ts.URL+"/v1/jobs", jobs.Spec{Session: "bus", Type: "analyze"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit under fault: %d: %s", resp.StatusCode, data)
+	}
+	wantErrKind(t, data, "storage")
+	var list JobsResponse
+	_, data = do(t, "GET", ts.URL+"/v1/jobs", nil)
+	if err := json.Unmarshal(data, &list); err != nil || len(list.Jobs) != 0 {
+		t.Fatalf("refused submit left jobs: %s", data)
+	}
+}
+
+func TestJobReanalyzePersistsPadding(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{DataDir: dir})
+	createSession(t, ts1.URL, "bus", SessionOptions{})
+	ack := submitJob(t, ts1.URL, jobs.Spec{
+		Session: "bus", Type: "reanalyze",
+		Padding: map[string]float64{"b0": 15e-12},
+	})
+	done := waitJobHTTP(t, ts1.URL, ack.ID, "done")
+	var result AnalyzeResponse
+	if err := json.Unmarshal(done.Result, &result); err != nil || result.ChangedNets == 0 {
+		t.Fatalf("reanalyze job = %v: %s", err, done.Result)
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The padding journaled by the job replays into the restored session:
+	// re-applying the same delta is absorbed (0 changed nets).
+	_, ts2 := newTestServer(t, Config{DataDir: dir})
+	resp, data := do(t, "POST", ts2.URL+"/v1/sessions/bus/reanalyze", ReanalyzeRequest{
+		Padding: map[string]float64{"b0": 15e-12},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reanalyze after restart: %d: %s", resp.StatusCode, data)
+	}
+	var rr AnalyzeResponse
+	if err := json.Unmarshal(data, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.ChangedNets != 0 {
+		t.Fatalf("padding not persisted by job: %d nets changed on replayed delta", rr.ChangedNets)
+	}
+}
+
+func TestMetricsServesWhileDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	if !s.Drain(time.Second) {
+		t.Fatal("empty server did not drain cleanly")
+	}
+	resp, data := do(t, "GET", ts.URL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), "snad_draining 1") {
+		t.Fatalf("metrics while draining: %d\n%s", resp.StatusCode, data)
+	}
+	// Regular endpoints are refused.
+	resp, data = do(t, "GET", ts.URL+"/v1/jobs", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("list while draining: %d", resp.StatusCode)
+	}
+	wantErrKind(t, data, "draining")
+}
+
+// Iterate jobs checkpoint at round boundaries under the jobs data dir,
+// keyed by job ID, and the checkpoint is cleared once the job finishes.
+func TestJobIterateCheckpointCleared(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{DataDir: dir})
+	createSession(t, ts.URL, "bus", SessionOptions{})
+	ack := submitJob(t, ts.URL, jobs.Spec{Session: "bus", Type: "iterate", Local: true, MaxRounds: 3})
+	waitJobHTTP(t, ts.URL, ack.ID, "done")
+	entries, err := filepath.Glob(fmt.Sprintf("%s/jobs/checkpoints/*", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("checkpoints left after terminal job: %v", entries)
+	}
+}

@@ -1,41 +1,18 @@
 package server
 
 import (
-	"encoding/binary"
 	"encoding/json"
-	"errors"
 	"fmt"
-	"hash/crc32"
-	"io"
-	"os"
+
+	"repro/internal/wal"
 )
 
-// The journal is an append-only sequence of framed records. Every frame
-// is
-//
-//	[4 bytes little-endian payload length][4 bytes IEEE CRC32 of payload][payload]
-//
-// so a reader can detect exactly where a crash mid-append (torn write) or
-// later corruption (bit rot, truncation) left the file: a frame whose
-// header or payload runs past EOF is a torn tail, and a frame whose CRC
-// does not match is corruption. The distinction matters for recovery
-// policy — a torn tail is the expected signature of a crash and is
-// silently discarded after replaying everything before it, while a CRC
-// mismatch in the middle of the file is quarantined with a reason.
-//
-// Payloads are JSON record objects (see record). JSON costs a few bytes
-// over a binary encoding but makes quarantined records and on-disk
-// journals inspectable with nothing but cat — worth it at session
-// lifecycle rates (a record per create/delete, not per analysis).
+// The session journal rides on internal/wal's shared framing and
+// crash-safety machinery (frames, torn-tail repair, fail-soft scans);
+// this file owns only the session-specific record schema and the
+// monotonic-sequence check layered on a raw scan.
 
-const (
-	frameHeaderLen = 8
-	// maxFramePayload bounds one record. Create payloads carry whole
-	// design databases inline, so the bound is generous; its real job is
-	// rejecting the absurd lengths a corrupted header decodes to before
-	// a reader tries to allocate them.
-	maxFramePayload = 1 << 30
-)
+const frameHeaderLen = wal.FrameHeaderLen
 
 // record is one journaled session lifecycle event.
 type record struct {
@@ -59,145 +36,9 @@ type record struct {
 	Time string `json:"time,omitempty"`
 }
 
-// frame wraps a payload in the length+CRC header.
-func frame(payload []byte) []byte {
-	buf := make([]byte, frameHeaderLen+len(payload))
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
-	copy(buf[frameHeaderLen:], payload)
-	return buf
-}
-
-// frameErr classifies why reading a frame failed.
-type frameErr struct {
-	torn   bool // ran past EOF: crash mid-append
-	reason string
-}
-
-func (e *frameErr) Error() string { return e.reason }
-
-// readFrame reads one frame from r. io.EOF means a clean end exactly at
-// a frame boundary; a *frameErr reports a torn tail or corruption.
-func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [frameHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if errors.Is(err, io.EOF) {
-			return nil, io.EOF
-		}
-		return nil, &frameErr{torn: true, reason: fmt.Sprintf("torn frame header: %v", err)}
-	}
-	n := binary.LittleEndian.Uint32(hdr[0:4])
-	if n > maxFramePayload {
-		return nil, &frameErr{reason: fmt.Sprintf("frame length %d exceeds limit %d (corrupt header)", n, maxFramePayload)}
-	}
-	payload := make([]byte, n)
-	if m, err := io.ReadFull(r, payload); err != nil {
-		return nil, &frameErr{torn: true, reason: fmt.Sprintf("torn frame payload (%d of %d bytes): %v", m, n, err)}
-	}
-	want := binary.LittleEndian.Uint32(hdr[4:8])
-	if got := crc32.ChecksumIEEE(payload); got != want {
-		return nil, &frameErr{reason: fmt.Sprintf("frame CRC mismatch: stored %08x, computed %08x", want, got)}
-	}
-	return payload, nil
-}
-
-// journalWriter appends framed records to an open journal file, fsyncing
-// each append so an acknowledged record survives a crash. It tracks the
-// end offset of the last good frame: a failed append (torn write, fsync
-// error) leaves a partial frame at the tail, and appending after one
-// would hide every later record from replay — which stops at the first
-// unreadable frame — so the writer truncates back to the good offset
-// before the next append. If even the truncate fails, the journal is
-// broken and refuses all further appends rather than acknowledging
-// records a replay would never see.
-type journalWriter struct {
-	f     *os.File
-	path  string
-	hooks storeHooks
-	// off is the file offset after the last fully synced frame.
-	off int64
-	// broken refuses appends after an unrepairable tail.
-	broken error
-}
-
-func openJournalWriter(path string, hooks storeHooks) (*journalWriter, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	fi, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	return &journalWriter{f: f, path: path, hooks: hooks, off: fi.Size()}, nil
-}
-
-// append frames, writes, and fsyncs one record. On failure the partial
-// frame is truncated away so the tail stays replayable; the store
-// surfaces the error and the record is never acknowledged.
-func (j *journalWriter) append(rec *record) error {
-	if j.broken != nil {
-		return fmt.Errorf("journal is broken (previous append left an unrepairable tail: %w)", j.broken)
-	}
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("encoding journal record: %w", err)
-	}
-	buf := frame(payload)
-	if err := j.writeFrame(buf); err != nil {
-		j.repairTail()
-		return err
-	}
-	j.off += int64(len(buf))
-	return nil
-}
-
-func (j *journalWriter) writeFrame(buf []byte) error {
-	keep := len(buf)
-	var ferr error
-	if j.hooks.beforeWrite != nil {
-		keep, ferr = j.hooks.beforeWrite("append", len(buf))
-		if keep > len(buf) {
-			keep = len(buf)
-		}
-	}
-	if keep > 0 {
-		if _, werr := j.f.Write(buf[:keep]); werr != nil {
-			return fmt.Errorf("appending journal record: %w", werr)
-		}
-	}
-	if ferr != nil {
-		return fmt.Errorf("appending journal record: %w", ferr)
-	}
-	if j.hooks.beforeSync != nil {
-		if err := j.hooks.beforeSync("append"); err != nil {
-			return fmt.Errorf("syncing journal: %w", err)
-		}
-	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("syncing journal: %w", err)
-	}
-	return nil
-}
-
-// repairTail truncates a failed append's partial frame so later records
-// stay reachable by replay.
-func (j *journalWriter) repairTail() {
-	if err := j.f.Truncate(j.off); err != nil {
-		j.broken = err
-		return
-	}
-	// Make the truncate durable; an unsynced truncate could resurrect the
-	// partial frame after a crash, but everything before off is still
-	// intact, so replay would at worst rediscover the torn tail.
-	j.f.Sync()
-}
-
-func (j *journalWriter) close() error { return j.f.Close() }
-
 // journalScan is the result of reading one journal file to its end (or
-// to the first unreadable byte).
+// to the first unreadable byte), with frames decoded into session
+// records.
 type journalScan struct {
 	records []*record
 	// torn reports the file ended in a partial frame (crash mid-append).
@@ -221,30 +62,13 @@ type badRecord struct {
 // abnormality is reported in the scan for the recovery layer to
 // quarantine.
 func scanJournal(path string) (*journalScan, error) {
-	f, err := os.Open(path)
+	raw, err := wal.Scan(path)
 	if err != nil {
-		if errors.Is(err, os.ErrNotExist) {
-			return &journalScan{}, nil
-		}
 		return nil, err
 	}
-	defer f.Close()
-	scan := &journalScan{}
+	scan := &journalScan{torn: raw.Torn, corrupt: raw.Corrupt}
 	var lastSeq uint64
-	for {
-		payload, err := readFrame(f)
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				return scan, nil
-			}
-			var fe *frameErr
-			if errors.As(err, &fe) && fe.torn {
-				scan.torn = true
-			} else {
-				scan.corrupt = err.Error()
-			}
-			return scan, nil
-		}
+	for _, payload := range raw.Frames {
 		var rec record
 		if derr := json.Unmarshal(payload, &rec); derr != nil {
 			scan.badRecords = append(scan.badRecords, badRecord{payload: payload, reason: fmt.Sprintf("undecodable record: %v", derr)})
@@ -257,4 +81,5 @@ func scanJournal(path string) (*journalScan, error) {
 		lastSeq = rec.Seq
 		scan.records = append(scan.records, &rec)
 	}
+	return scan, nil
 }

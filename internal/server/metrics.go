@@ -1,0 +1,55 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// handleMetrics is GET /metrics: Prometheus text exposition (format
+// 0.0.4), hand-written against the stdlib — the repo's no-dependency
+// discipline extends to observability. The endpoint stays answerable
+// while draining, like the health probes: shutdown is exactly when a
+// scraper most wants the gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	n, open := s.readySnapshot()
+	jm := s.jobs.MetricsSnapshot()
+
+	b01 := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	var sb strings.Builder
+	gauge := func(name, help string, value any) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, value)
+	}
+	counter := func(name, help string, value any) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, value)
+	}
+
+	gauge("snad_inflight_requests", "Requests currently being served.", s.inflightN.Load())
+	gauge("snad_running_analyses", "Analyses currently holding a worker slot.", len(s.sem))
+	gauge("snad_queued_requests", "Requests waiting for a worker slot.", s.queuedN.Load())
+	gauge("snad_request_capacity", "Concurrent analysis worker slots.", s.cfg.MaxConcurrent)
+	gauge("snad_request_queue_depth", "Admission queue capacity.", s.cfg.QueueDepth)
+	counter("snad_shed_requests_total", "Requests shed by bounded admission (429).", s.shedN.Load())
+	gauge("snad_sessions_loaded", "Sessions materialized in memory.", n)
+	gauge("snad_breakers_open", "Sessions with an open circuit breaker.", len(open))
+	gauge("snad_draining", "1 while a graceful drain is in progress.", b01(s.draining.Load()))
+	gauge("snad_durable", "1 when a durable data directory is configured.", b01(s.store != nil))
+	gauge("snad_storage_degraded", "1 after any journal append has failed.", b01(s.storeDegraded.Load() || jm.StorageDegraded))
+
+	gauge("snad_jobs_queued", "Async jobs waiting for a job worker.", jm.Queued)
+	gauge("snad_jobs_running", "Async jobs currently executing.", jm.Running)
+	gauge("snad_job_queue_depth", "Async job queue capacity.", s.cfg.JobQueueDepth)
+	counter("snad_jobs_done_total", "Async jobs completed successfully.", jm.Done)
+	counter("snad_jobs_failed_total", "Async jobs that exhausted retries or failed permanently.", jm.Failed)
+	counter("snad_jobs_canceled_total", "Async jobs canceled by request.", jm.Canceled)
+	counter("snad_jobs_quarantined_total", "Poison jobs parked after repeated panics, crashes, or degradations.", jm.Quarantined)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, sb.String())
+}

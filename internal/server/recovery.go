@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/report"
+	"repro/internal/wal"
 )
 
 // Recovery: opening a data directory replays the durable state back into
@@ -102,8 +103,8 @@ type storeFaultAdapter struct {
 	BeforeRename func(op string) error
 }
 
-func (a *storeFaultAdapter) hooks() storeHooks {
-	return storeHooks{beforeWrite: a.BeforeWrite, beforeSync: a.BeforeSync, beforeRename: a.BeforeRename}
+func (a *storeFaultAdapter) hooks() wal.Hooks {
+	return wal.Hooks{BeforeWrite: a.BeforeWrite, BeforeSync: a.BeforeSync, BeforeRename: a.BeforeRename}
 }
 
 // sweepTempFiles removes stranded *.tmp files — the debris of a crash
@@ -137,7 +138,7 @@ func (st *Store) readManifest(rep *report.RecoveryJSON) (uint64, bool) {
 		return st.highestJournalGen(), true // fresh directory
 	}
 	if err == nil {
-		payload, ferr := readFrame(bytes.NewReader(data))
+		payload, ferr := wal.ReadFrame(bytes.NewReader(data))
 		if ferr == nil {
 			var m manifest
 			if json.Unmarshal(payload, &m) == nil && m.Version == 1 {
@@ -208,7 +209,7 @@ func (st *Store) loadSnapshots(rep *report.RecoveryJSON, restoredAt time.Time) {
 			st.quarantineFile(rep, path, "snapshot", "", err.Error())
 			continue
 		}
-		payload, ferr := readFrame(bytes.NewReader(data))
+		payload, ferr := wal.ReadFrame(bytes.NewReader(data))
 		if ferr != nil {
 			st.quarantineFile(rep, path, "snapshot", "", ferr.Error())
 			continue

@@ -57,8 +57,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"path/filepath"
+
 	"repro/internal/bind"
 	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/liberty"
 	"repro/internal/lint"
 	"repro/internal/netlist"
@@ -107,8 +110,27 @@ type Config struct {
 	CompactEvery int
 	// StoreFaultSpec injects faults into the store's write path (see
 	// workload.ParseStoreFaults). It exists for chaos-testing the
-	// recovery machinery; production leaves it empty.
+	// recovery machinery; production leaves it empty. The same faults
+	// apply to the job journal's write path.
 	StoreFaultSpec string
+
+	// JobWorkers sizes the async job worker pool — deliberately separate
+	// from MaxConcurrent so queued batch work cannot starve interactive
+	// requests (default 2).
+	JobWorkers int
+	// JobQueueDepth caps jobs waiting for a job worker; POST /v1/jobs
+	// past it is shed with 429 (default 16).
+	JobQueueDepth int
+	// JobMaxAttempts is the default retry budget for jobs that don't set
+	// their own (default 3).
+	JobMaxAttempts int
+	// JobDeadline is the default per-attempt execution budget for jobs
+	// that don't set their own (default 5m — batch work gets more room
+	// than MaxRequestTimeout gives an interactive request).
+	JobDeadline time.Duration
+	// JobFaultSpec injects faults into job execution attempts (see
+	// workload.ParseJobFaults); chaos testing only.
+	JobFaultSpec string
 
 	// WorkerDialer builds a shard.Worker for a registered worker URL. It
 	// is injected by cmd/snad (the client package implements it, and the
@@ -153,6 +175,18 @@ func (c *Config) fill() {
 	if c.HeartbeatEvery <= 0 {
 		c.HeartbeatEvery = 2 * time.Second
 	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.JobQueueDepth <= 0 {
+		c.JobQueueDepth = 16
+	}
+	if c.JobMaxAttempts <= 0 {
+		c.JobMaxAttempts = 3
+	}
+	if c.JobDeadline <= 0 {
+		c.JobDeadline = 5 * time.Minute
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -192,6 +226,9 @@ type Server struct {
 	recovery      *report.RecoveryJSON
 	storeDegraded atomic.Bool
 
+	// jobs owns the durable async job queue and its worker pool.
+	jobs *jobs.Manager
+
 	// shardMu guards the shard runners this server hosts as a worker,
 	// keyed "token/shard", and the per-run-token design cache shared by
 	// the token's engines (a bound design is immutable after binding).
@@ -228,19 +265,19 @@ func New(cfg Config) (*Server, error) {
 		hbStop:       make(chan struct{}),
 	}
 	s.forceCtx, s.forceCancel = context.WithCancel(context.Background())
+	faults, err := workload.ParseStoreFaults(cfg.StoreFaultSpec)
+	if err != nil {
+		return nil, err
+	}
+	var adapter *storeFaultAdapter
+	if faults != nil {
+		adapter = &storeFaultAdapter{
+			BeforeWrite:  faults.BeforeWrite,
+			BeforeSync:   faults.BeforeSync,
+			BeforeRename: faults.BeforeRename,
+		}
+	}
 	if cfg.DataDir != "" {
-		faults, err := workload.ParseStoreFaults(cfg.StoreFaultSpec)
-		if err != nil {
-			return nil, err
-		}
-		var adapter *storeFaultAdapter
-		if faults != nil {
-			adapter = &storeFaultAdapter{
-				BeforeWrite:  faults.BeforeWrite,
-				BeforeSync:   faults.BeforeSync,
-				BeforeRename: faults.BeforeRename,
-			}
-		}
 		st, rep, err := OpenStore(cfg.DataDir, adapter, cfg.CompactEvery, cfg.Logf)
 		if err != nil {
 			return nil, err
@@ -248,6 +285,39 @@ func New(cfg Config) (*Server, error) {
 		s.store, s.recovery = st, rep
 		s.restoreSessions()
 	}
+	jobFaults, err := workload.ParseJobFaults(cfg.JobFaultSpec)
+	if err != nil {
+		return nil, err
+	}
+	jcfg := jobs.Config{
+		Workers:            cfg.JobWorkers,
+		MaxQueued:          cfg.JobQueueDepth,
+		DefaultMaxAttempts: cfg.JobMaxAttempts,
+		DefaultDeadline:    cfg.JobDeadline,
+		Exec:               s.execJob,
+		OnFinal:            s.jobFinal,
+		Logf:               cfg.Logf,
+	}
+	if jobFaults != nil {
+		jcfg.Fault = jobFaults.Fire
+	}
+	if cfg.DataDir != "" {
+		// The job journal shares the data directory (and the injected
+		// write-path faults) with the session store, but is its own WAL:
+		// the two subsystems fail and recover independently.
+		jcfg.Dir = filepath.Join(cfg.DataDir, "jobs")
+		if adapter != nil {
+			jcfg.Hooks = adapter.hooks()
+		}
+	}
+	jm, err := jobs.Open(jcfg)
+	if err != nil {
+		if s.store != nil {
+			s.store.Close()
+		}
+		return nil, err
+	}
+	s.jobs = jm
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
@@ -260,6 +330,11 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/sessions/{name}/reanalyze", s.handleReanalyze)
 	mux.HandleFunc("POST /v1/sessions/{name}/iterate", s.handleIterate)
 	mux.HandleFunc("GET /v1/sessions/{name}/report", s.handleReport)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/shard/{op}", s.handleShardOp)
 	mux.HandleFunc("POST /v1/workers", s.handleRegisterWorker)
 	mux.HandleFunc("GET /v1/workers", s.handleListWorkers)
@@ -344,6 +419,9 @@ func (s *Server) quarantineSpec(name, reason string) {
 func (s *Server) Close() error {
 	s.stopHeartbeat()
 	s.closeShardRunners()
+	if s.jobs != nil {
+		s.jobs.Close(2 * time.Second)
+	}
 	if s.store == nil {
 		return nil
 	}
@@ -362,6 +440,14 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // clean drain and false when work had to be cancelled.
 func (s *Server) Drain(budget time.Duration) bool {
 	s.beginDrain()
+	// Job workers drain in parallel with the HTTP in-flight wait: running
+	// attempts are cancelled through their contexts (iterate jobs keep
+	// their round-boundary checkpoints) and requeued for the next boot.
+	jobsDone := make(chan struct{})
+	go func() {
+		s.jobs.Close(budget)
+		close(jobsDone)
+	}()
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -369,6 +455,7 @@ func (s *Server) Drain(budget time.Duration) bool {
 	}()
 	select {
 	case <-done:
+		<-jobsDone
 		return true
 	case <-time.After(budget):
 	}
@@ -382,6 +469,7 @@ func (s *Server) Drain(budget time.Duration) bool {
 	case <-time.After(budget):
 		s.cfg.Logf("in-flight work ignored cancellation for %s; giving up", budget)
 	}
+	<-jobsDone
 	return false
 }
 
@@ -420,7 +508,7 @@ func (s *Server) barrier(next http.Handler) http.Handler {
 		// readiness are separate questions from admission); everything
 		// else is refused once the drain starts so the listener can empty
 		// out.
-		if probe := r.URL.Path == "/healthz" || r.URL.Path == "/readyz"; !probe {
+		if probe := r.URL.Path == "/healthz" || r.URL.Path == "/readyz" || r.URL.Path == "/metrics"; !probe {
 			if !s.enter() {
 				s.writeErr(w, http.StatusServiceUnavailable, ErrorInfo{
 					Kind: "draining", Message: "server is draining; no new work accepted",
@@ -721,6 +809,7 @@ func (s *Server) readySnapshot() (n int, open []string) {
 
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	n, open := s.readySnapshot()
+	jm := s.jobs.MetricsSnapshot()
 	resp := ReadyResponse{
 		Status:          "ready",
 		Inflight:        len(s.sem),
@@ -731,7 +820,9 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		Shed:            s.shedN.Load(),
 		OpenBreakers:    open,
 		Durable:         s.store != nil,
-		StorageDegraded: s.storeDegraded.Load(),
+		StorageDegraded: s.storeDegraded.Load() || jm.StorageDegraded,
+		JobsQueued:      jm.Queued,
+		JobsRunning:     jm.Running,
 	}
 	if s.draining.Load() {
 		resp.Status = "draining"

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/report"
+	"repro/internal/wal"
 )
 
 // Store is the durable session store: an append-only write-ahead journal
@@ -53,10 +54,10 @@ import (
 type Store struct {
 	dir   string
 	logf  func(format string, args ...any)
-	hooks storeHooks
+	hooks wal.Hooks
 
 	mu      sync.Mutex
-	journal *journalWriter
+	journal *wal.Writer
 	gen     uint64
 	seq     uint64
 	specs   map[string]*sessionSpec
@@ -89,19 +90,6 @@ func (sp *sessionSpec) clone() *sessionSpec {
 	return out
 }
 
-// storeHooks is the write-path fault-injection seam. The fields match
-// workload.StoreFaults' methods; production stores leave them nil.
-type storeHooks struct {
-	// beforeWrite may truncate the write to its returned length (torn
-	// write) and/or fail it. op is "append" or "write".
-	beforeWrite func(op string, size int) (int, error)
-	// beforeSync may fail the fsync that follows a write.
-	beforeSync func(op string) error
-	// beforeRename may fail between an atomic write's temp file and its
-	// rename, stranding the temp file exactly as a crash would.
-	beforeRename func(op string) error
-}
-
 // manifest is the framed JSON of the MANIFEST file.
 type manifest struct {
 	Version    int    `json:"version"`
@@ -131,61 +119,7 @@ func snapName(name string) string {
 // writeFileAtomic lands data at path through the temp+fsync+rename+dirsync
 // discipline, with the fault hooks at each stage.
 func (st *Store) writeFileAtomic(path string, data []byte) error {
-	tmp := path + ".tmp"
-	keep := len(data)
-	var ferr error
-	if st.hooks.beforeWrite != nil {
-		keep, ferr = st.hooks.beforeWrite("write", len(data))
-		if keep > len(data) {
-			keep = len(data)
-		}
-	}
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	if keep > 0 {
-		if _, werr := f.Write(data[:keep]); werr != nil {
-			f.Close()
-			return werr
-		}
-	}
-	if ferr != nil {
-		f.Close()
-		return ferr
-	}
-	if st.hooks.beforeSync != nil {
-		if err := st.hooks.beforeSync("write"); err != nil {
-			f.Close()
-			return err
-		}
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if st.hooks.beforeRename != nil {
-		if err := st.hooks.beforeRename("write"); err != nil {
-			return err
-		}
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return err
-	}
-	return syncDir(filepath.Dir(path))
-}
-
-// syncDir fsyncs a directory so a rename or unlink inside it is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return wal.WriteFileAtomic(path, data, st.hooks)
 }
 
 // --- lifecycle events -------------------------------------------------
@@ -203,7 +137,11 @@ func (st *Store) appendLocked(typ, name string, create *CreateSessionRequest, pa
 		Padding: padding,
 		Time:    time.Now().UTC().Format(time.RFC3339Nano),
 	}
-	if err := st.journal.append(rec); err != nil {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("encoding journal record: %w", err)
+	}
+	if err := st.journal.Append(payload); err != nil {
 		// The tail may now hold a torn frame. Sequence numbers must not
 		// be reused (replay treats non-monotonic seq as corruption), so
 		// the burned seq stays burned.
@@ -342,7 +280,7 @@ func (st *Store) Close() error {
 	if st.journal == nil {
 		return nil
 	}
-	err := st.journal.close()
+	err := st.journal.Close()
 	st.journal = nil
 	return err
 }
@@ -396,21 +334,21 @@ func (st *Store) compactLocked() error {
 			}
 		}
 	}
-	if err := syncDir(filepath.Join(st.dir, sessionsDir)); err != nil {
+	if err := wal.SyncDir(filepath.Join(st.dir, sessionsDir)); err != nil {
 		return err
 	}
 
 	newGen := st.gen + 1
-	nj, err := openJournalWriter(filepath.Join(st.dir, journalName(newGen)), st.hooks)
+	nj, err := wal.OpenWriter(filepath.Join(st.dir, journalName(newGen)), st.hooks)
 	if err != nil {
 		return err
 	}
-	if err := nj.f.Sync(); err != nil {
-		nj.close()
+	if err := nj.Sync(); err != nil {
+		nj.Close()
 		return err
 	}
 	if err := st.writeManifestLocked(newGen); err != nil {
-		nj.close()
+		nj.Close()
 		// The new journal file is harmless: boot ignores journals of
 		// other generations and sweeps them.
 		return err
@@ -419,13 +357,13 @@ func (st *Store) compactLocked() error {
 	st.journal, st.gen, st.seq = nj, newGen, 0
 	st.recordsSinceCompact = 0
 	if old != nil {
-		oldPath := old.path
-		old.close()
+		oldPath := old.Path()
+		old.Close()
 		if err := os.Remove(oldPath); err != nil && !os.IsNotExist(err) {
 			st.logf("store: removing compacted journal %s: %v", oldPath, err)
 		}
 	}
-	if err := syncDir(st.dir); err != nil {
+	if err := wal.SyncDir(st.dir); err != nil {
 		st.logf("store: syncing data dir after compaction: %v", err)
 	}
 	return nil
@@ -437,7 +375,7 @@ func (st *Store) writeSnapshotLocked(name string, sp *sessionSpec) error {
 		return err
 	}
 	path := filepath.Join(st.dir, sessionsDir, snapName(name))
-	return st.writeFileAtomic(path, frame(payload))
+	return st.writeFileAtomic(path, wal.Frame(payload))
 }
 
 func (st *Store) writeManifestLocked(gen uint64) error {
@@ -445,7 +383,7 @@ func (st *Store) writeManifestLocked(gen uint64) error {
 	if err != nil {
 		return err
 	}
-	return st.writeFileAtomic(filepath.Join(st.dir, manifestName), frame(payload))
+	return st.writeFileAtomic(filepath.Join(st.dir, manifestName), wal.Frame(payload))
 }
 
 // sortStrings is a tiny insertion sort, matching sortInfos' dependency

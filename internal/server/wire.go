@@ -248,4 +248,13 @@ type ReadyResponse struct {
 	// disk recovers — analysis of loaded sessions keeps working).
 	Durable         bool `json:"durable,omitempty"`
 	StorageDegraded bool `json:"storageDegraded,omitempty"`
+	// JobsQueued/JobsRunning are the async job subsystem's gauges: jobs
+	// waiting for a job worker and jobs currently executing.
+	JobsQueued  int `json:"jobsQueued"`
+	JobsRunning int `json:"jobsRunning"`
+}
+
+// JobsResponse is the body of GET /v1/jobs.
+type JobsResponse struct {
+	Jobs []report.JobJSON `json:"jobs"`
 }

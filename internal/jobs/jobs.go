@@ -140,8 +140,8 @@ func (s *Spec) Validate() error {
 		}
 	}
 	for i, pt := range s.Sweep {
-		if pt.Threshold < 0 || pt.Threshold != pt.Threshold {
-			return fmt.Errorf("bad threshold %v in sweep point %d", pt.Threshold, i)
+		if pt.Threshold < 0 || pt.Threshold != pt.Threshold || pt.Threshold-pt.Threshold != 0 { // negative, NaN, or Inf
+			return fmt.Errorf("bad threshold %v in sweep point %d (want finite >= 0)", pt.Threshold, i)
 		}
 	}
 	if s.Deadline != "" {
@@ -359,12 +359,18 @@ func Open(cfg Config) (*Manager, error) {
 		if err := m.replay(); err != nil {
 			return nil, err
 		}
-		m.compactLocked() // prune + drop any torn tail before the first append
-		w, err := wal.OpenWriter(m.journalPath(), m.cfg.Hooks)
-		if err != nil {
-			return nil, fmt.Errorf("jobs: opening journal: %w", err)
+		// Boot compaction prunes and drops any torn tail before the first
+		// append; it leaves the journal writer open (on the compacted file,
+		// or the old one when the replace failed), so only open one here
+		// when it could not.
+		m.compactLocked()
+		if m.journal == nil {
+			w, err := wal.OpenWriter(m.journalPath(), m.cfg.Hooks)
+			if err != nil {
+				return nil, fmt.Errorf("jobs: opening journal: %w", err)
+			}
+			m.journal = w
 		}
-		m.journal = w
 		m.recoverInterrupted()
 	}
 	for i := 0; i < cfg.Workers; i++ {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -102,6 +103,9 @@ func TestSpecValidation(t *testing.T) {
 		{Session: "s", Type: "analyze", Deadline: "-5s"},  // negative
 		{Session: "s", Type: "analyze", MaxAttempts: -1},  // negative
 		{Session: "s", Type: "reanalyze", Padding: map[string]float64{"b1": -1}},
+		{Session: "s", Type: "reanalyze", Padding: map[string]float64{"b1": math.Inf(1)}},
+		{Session: "s", Type: "sweep", Sweep: []SweepPoint{{Threshold: math.NaN()}}},
+		{Session: "s", Type: "sweep", Sweep: []SweepPoint{{Threshold: math.Inf(1)}}},
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {
@@ -474,6 +478,39 @@ func TestChaosCompactionCrashRename(t *testing.T) {
 	got, err := m2.Get(id)
 	if err != nil || got.State != string(StateDone) || string(got.Result) != `{"ok":true}` {
 		t.Fatalf("acked job lost after compaction crashes: %+v, %v", got, err)
+	}
+}
+
+// A failed compaction must not reset the journal's sequence space: the
+// old file — whose tail holds sequence numbers past the unwritten
+// snapshot's — stays authoritative, so records fsync-acked AFTER the
+// failure (here: a whole second job) still replay in order after a
+// restart. Under the old reset-on-failure behavior the second job's
+// submit record landed with a seq at or below the file's last one and
+// boot replay quarantined it — a lost ack.
+func TestChaosFailedCompactionDoesNotLoseLaterAcks(t *testing.T) {
+	dir := t.TempDir()
+	m := openManager(t, dir, okExec(nil), func(c *Config) {
+		c.CompactEvery = 1
+		c.Hooks = chaosHooks(t, "crashrename:write:*")
+	})
+	first := submit(t, m, &Spec{Session: "s", Type: "analyze"})
+	waitState(t, m, first, StateDone)
+	// Several compactions (submit, finalize) have failed by now; the
+	// next ack must land past the journal's existing tail.
+	second := submit(t, m, &Spec{Session: "s", Type: "analyze"})
+	waitState(t, m, second, StateDone)
+	m.Close(2 * time.Second)
+
+	m2 := openManager(t, dir, okExec(nil))
+	for _, id := range []string{first, second} {
+		snap, err := m2.Get(id)
+		if err != nil || snap.State != string(StateDone) {
+			t.Fatalf("job %s lost after failed compactions: %+v, %v", id, snap, err)
+		}
+	}
+	if m2.bootQuarantined != 0 {
+		t.Fatalf("replay quarantined %d record(s) from a journal that should be monotonic", m2.bootQuarantined)
 	}
 }
 

@@ -421,10 +421,31 @@ func (m *Manager) compactLocked() {
 	}
 	path := m.journalPath()
 	if err := wal.WriteFileAtomic(path, buf, m.cfg.Hooks); err != nil {
-		// The old journal is intact (rename is all-or-nothing); reopen it
-		// and carry on appending.
+		// The old journal is intact (rename is all-or-nothing) and its
+		// tail holds sequence numbers past this snapshot's: reopen it and
+		// keep appending in the OLD sequence space. Resetting m.seq (or
+		// the compaction counter, or pruning jobs) here would hand later
+		// fsync-acked records seqs at or below the file's last one, and
+		// the next boot's replay would quarantine them as out-of-order —
+		// a lost ack.
 		m.storageDegraded.Store(true)
 		m.cfg.Logf("jobs: compaction failed (will retry): %v", err)
+		w, werr := wal.OpenWriter(path, m.cfg.Hooks)
+		if werr != nil {
+			m.cfg.Logf("jobs: reopening journal after failed compaction: %v", werr)
+			return
+		}
+		m.journal = w
+		return
+	}
+	// The rename committed: the snapshot is the journal now, and only now
+	// do the new sequence space and the retention pruning take effect.
+	m.seq = seq
+	m.recordsSinceCompact = 0
+	for _, id := range ids {
+		if !keep[id] {
+			delete(m.jobs, id)
+		}
 	}
 	w, err := wal.OpenWriter(path, m.cfg.Hooks)
 	if err != nil {
@@ -433,13 +454,6 @@ func (m *Manager) compactLocked() {
 		return
 	}
 	m.journal = w
-	m.seq = seq
-	m.recordsSinceCompact = 0
-	for _, id := range ids {
-		if !keep[id] {
-			delete(m.jobs, id)
-		}
-	}
 }
 
 // quarantineRecord preserves an unreplayable journal record with a

@@ -24,6 +24,7 @@ func runJobs(ctx context.Context, cmd string, args []string, stdout, stderr io.W
 	var (
 		serverURL = fs.String("server", "http://127.0.0.1:8347", "snad server base URL")
 		retries   = fs.Int("retries", 0, "max attempts for retryable failures (default 4)")
+		tenant    = fs.String("tenant", "", "tenant ID for fair scheduling (X-Snad-Tenant)")
 
 		// submit flags
 		name        = fs.String("name", "", "session the job runs against")
@@ -38,6 +39,9 @@ func runJobs(ctx context.Context, cmd string, args []string, stdout, stderr io.W
 		maxAttempts = fs.Int("max-attempts", 0, "retry budget (default: server's)")
 		wait        = fs.Bool("wait", false, "block until the job reaches a terminal state")
 
+		// jobs flags
+		state = fs.String("state", "", "jobs: filter by state (queued|running|done|failed|canceled|quarantined)")
+
 		// job/cancel flags
 		id      = fs.String("id", "", "job id (e.g. job-000001)")
 		jsonOut = fs.Bool("json", false, "emit the raw job snapshot as JSON")
@@ -46,6 +50,7 @@ func runJobs(ctx context.Context, cmd string, args []string, stdout, stderr io.W
 		return exitUsage
 	}
 	c := client.New(*serverURL, client.RetryPolicy{MaxAttempts: *retries})
+	c.SetTenant(*tenant)
 	switch cmd {
 	case "submit":
 		if *name == "" {
@@ -88,7 +93,7 @@ func runJobs(ctx context.Context, cmd string, args []string, stdout, stderr io.W
 		}
 		return waitAndPrint(ctx, c, snap.ID, *jsonOut, stdout, stderr)
 	case "jobs":
-		list, err := c.Jobs(ctx)
+		list, err := c.Jobs(ctx, *state)
 		if err != nil {
 			return clientFail(stderr, err)
 		}

@@ -15,6 +15,7 @@
 //	             [-workers url1,url2,...] [-shards N]
 //	             [-job-workers 2] [-job-queue 16] [-job-max-attempts 3]
 //	             [-job-deadline 5m]
+//	             [-mem-budget 512MB] [-tenant-cap N] [-job-tenant-cap N]
 //	snad create  -server URL -name S -net design.net [-spef design.spef]
 //	             [-lib lib.nlib] [-win design.win] [-mode all|timing|noise]
 //	             [-threshold 0.02] [-corr] [-noprop] [-workers N]
@@ -32,7 +33,7 @@
 //	             [-delay] [-pad net=3e-12,...] [-max-rounds 8] [-shards N]
 //	             [-local] [-sweep mode:threshold,...] [-deadline 90s]
 //	             [-max-attempts 3] [-wait] [-json]
-//	snad jobs    -server URL [-json]
+//	snad jobs    -server URL [-state queued|running|done|failed|canceled|quarantined] [-json]
 //	snad job     -server URL -id job-000001 [-wait] [-json]
 //	snad cancel  -server URL -id job-000001
 //
@@ -60,8 +61,14 @@
 //
 // The server sheds load instead of queueing it unboundedly: past its
 // concurrency cap and bounded queue, requests get 429 with a Retry-After
-// hint. The client commands absorb shedding with exponential backoff and
-// jitter. SIGTERM/SIGINT starts a graceful drain: the listener stops
+// hint. With -mem-budget, sessions over identical sources share one
+// cached bound design and creates that would exceed the budget shed with
+// 503 "budget" instead of growing without bound. Requests tagged with a
+// tenant ID (-tenant on client commands, or the X-Snad-Tenant header)
+// are scheduled round-robin across tenants, so one bulk tenant cannot
+// starve interactive users. The client commands absorb shedding with
+// exponential backoff and jitter. SIGTERM/SIGINT starts a graceful
+// drain: the listener stops
 // accepting, in-flight analyses get -drain-budget to finish, and whatever
 // remains is cancelled through the engine's cooperative-cancellation path.
 //
@@ -154,9 +161,13 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		shards       = fs.Int("shards", 0, "default shard count for distributed iterate (0 = one per worker)")
 		jobWorkers   = fs.Int("job-workers", 0, "async job worker pool size (default 2)")
 		jobQueue     = fs.Int("job-queue", 0, "max queued async jobs; submits past it are shed (default 16)")
+		jobKeep      = fs.Int("job-keep-done", 0, "terminal jobs retained for status queries (default 64)")
 		jobAttempts  = fs.Int("job-max-attempts", 0, "default retry budget per async job (default 3)")
 		jobDeadline  = fs.Duration("job-deadline", 0, "default per-attempt execution budget per async job (default 5m)")
 		jobFaults    = fs.String("job-inject-fault", "", "inject job execution faults, e.g. panic:analyze:2 (chaos testing)")
+		memBudget    = fs.String("mem-budget", "", "byte budget for cached designs, e.g. 512MB or 2GiB (empty = unlimited); past it, creates shed with 503 instead of growing")
+		tenantCap    = fs.Int("tenant-cap", 0, "max concurrent analyses per tenant (0 = the concurrency cap)")
+		jobTenantCap = fs.Int("job-tenant-cap", 0, "max concurrently running async jobs per tenant (0 = the job worker count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -166,6 +177,11 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	}
 	if *quiet {
 		logf = func(string, ...any) {}
+	}
+	budget, err := parseBytes(*memBudget)
+	if err != nil {
+		fmt.Fprintln(stderr, "snad:", err)
+		return exitUsage
 	}
 	srv, err := server.New(server.Config{
 		MaxSessions:       *maxSessions,
@@ -181,9 +197,13 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		Shards:            *shards,
 		JobWorkers:        *jobWorkers,
 		JobQueueDepth:     *jobQueue,
+		JobKeepDone:       *jobKeep,
 		JobMaxAttempts:    *jobAttempts,
 		JobDeadline:       *jobDeadline,
 		JobFaultSpec:      *jobFaults,
+		MemBudget:         budget,
+		TenantCap:         *tenantCap,
+		JobTenantCap:      *jobTenantCap,
 		// The dialer lives here because the server package cannot import
 		// the client (the client imports the server's wire types).
 		WorkerDialer: func(name, url string) shard.Worker {
@@ -245,6 +265,7 @@ func runClient(ctx context.Context, cmd string, args []string, stdout, stderr io
 		name      = fs.String("name", "", "session name")
 		retries   = fs.Int("retries", 0, "max attempts for retryable failures (default 4)")
 		timeout   = fs.Duration("timeout", 0, "per-request analysis deadline sent to the server")
+		tenant    = fs.String("tenant", "", "tenant ID for fair scheduling (X-Snad-Tenant)")
 
 		// create flags
 		netPath   = fs.String("net", "", "netlist file (.net or .v)")
@@ -277,6 +298,7 @@ func runClient(ctx context.Context, cmd string, args []string, stdout, stderr io
 		return exitUsage
 	}
 	c := client.New(*serverURL, client.RetryPolicy{MaxAttempts: *retries})
+	c.SetTenant(*tenant)
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "snad:", err)
 		return exitFail
@@ -507,6 +529,42 @@ func printAnalysis(stdout io.Writer, resp *server.AnalyzeResponse) int {
 		return exitDegraded
 	}
 	return exitClean
+}
+
+// parseBytes parses a human byte size: a plain integer, or one with a
+// KB/MB/GB (decimal) or KiB/MiB/GiB (binary) suffix, case-insensitive.
+// Empty means 0 (unlimited).
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	suffixes := []struct {
+		suffix string
+		mult   int64
+	}{
+		{"kib", 1 << 10}, {"mib", 1 << 20}, {"gib", 1 << 30},
+		{"kb", 1e3}, {"mb", 1e6}, {"gb", 1e9},
+		{"b", 1},
+	}
+	lower := strings.ToLower(s)
+	mult := int64(1)
+	num := lower
+	for _, sf := range suffixes {
+		if strings.HasSuffix(lower, sf.suffix) {
+			mult = sf.mult
+			num = strings.TrimSpace(strings.TrimSuffix(lower, sf.suffix))
+			break
+		}
+	}
+	n, err := strconv.ParseInt(num, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad byte size %q (want e.g. 1073741824, 512MB, or 2GiB)", s)
+	}
+	if mult > 1 && n > (1<<62)/mult {
+		return 0, fmt.Errorf("byte size %q overflows", s)
+	}
+	return n * mult, nil
 }
 
 // parsePadding parses "net=seconds,net=seconds" into a padding map.

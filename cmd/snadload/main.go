@@ -1,0 +1,686 @@
+// Command snadload is the overload proof harness for the snad service:
+// it drives thousands of concurrent mixed clients — interactive
+// analyses, async job submit/wait cycles, and session churn — across
+// multiple tenants against a real snad process, and writes a
+// BENCH_service.json scorecard (throughput, latency percentiles per
+// class, shed rates, peak server RSS).
+//
+// The point is not raw numbers but the overload contract: with
+// -mem-budget set below the load's footprint the server must shed with
+// 503 + Retry-After (kind "budget") and keep serving, never OOM-die and
+// never return an unflagged corrupt result. snadload classifies every
+// response as ok, shed (a well-formed retryable refusal), or error
+// (anything else), and -fail-on-errors turns the error count into the
+// exit code for CI.
+//
+// Usage:
+//
+//	snadload [-snad PATH | -server URL] [-clients N] [-tenants N]
+//	         [-duration 30s] [-bits N] [-variants N]
+//	         [-mix interactive:8,jobs:1,churn:1]
+//	         [-mem-budget 64MiB] [-tenant-cap N] [-job-tenant-cap N]
+//	         [-store-inject-fault spec] [-job-inject-fault spec]
+//	         [-out BENCH_service.json] [-fail-on-errors]
+//
+// Without -server, snadload spawns `PATH serve` on a loopback port with
+// a temporary data dir, passes the governance and chaos flags through,
+// and SIGTERMs it (graceful drain) when the load window closes. With
+// -server, an existing deployment is targeted and the spawn-only
+// readings (peak RSS) are zero.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/jobs"
+	"repro/internal/netlist"
+	"repro/internal/server"
+	"repro/internal/spef"
+	"repro/internal/sta"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+const (
+	exitClean = 0
+	exitFail  = 1
+	exitUsage = 2
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("snadload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		snadPath  = fs.String("snad", "snad", "snad binary to spawn (ignored with -server)")
+		serverURL = fs.String("server", "", "target an existing server instead of spawning one")
+		clients   = fs.Int("clients", 256, "concurrent load clients")
+		tenants   = fs.Int("tenants", 4, "distinct tenant IDs (clients are dealt round-robin)")
+		duration  = fs.Duration("duration", 30*time.Second, "load window")
+		bits      = fs.Int("bits", 8, "coupled-bus width of the shared fixture design")
+		variants  = fs.Int("variants", 6, "distinct churn designs (each is one design-cache entry)")
+		mix       = fs.String("mix", "interactive:8,jobs:1,churn:1", "client class weights")
+		opTimeout = fs.Duration("op-timeout", 30*time.Second, "per-operation deadline")
+
+		// Pass-through server governance and chaos knobs (spawn only).
+		memBudget   = fs.String("mem-budget", "", "server -mem-budget passthrough, e.g. 64MiB")
+		tenantCap   = fs.Int("tenant-cap", 0, "server -tenant-cap passthrough")
+		jobTenCap   = fs.Int("job-tenant-cap", 0, "server -job-tenant-cap passthrough")
+		maxConc     = fs.Int("max-concurrent", 0, "server -max-concurrent passthrough")
+		queueDepth  = fs.Int("queue", 0, "server -queue passthrough")
+		jobWorkers  = fs.Int("job-workers", 0, "server -job-workers passthrough")
+		jobQueue    = fs.Int("job-queue", 0, "server -job-queue passthrough")
+		jobKeep     = fs.Int("job-keep-done", 4096, "server -job-keep-done passthrough (deep: WaitJob polls must not lose terminal jobs to pruning)")
+		maxSessions = fs.Int("max-sessions", 0, "server -max-sessions passthrough")
+		storeFaults = fs.String("store-inject-fault", "", "server -store-inject-fault passthrough (chaos)")
+		jobFaults   = fs.String("job-inject-fault", "", "server -job-inject-fault passthrough (chaos)")
+
+		out     = fs.String("out", "BENCH_service.json", "scorecard path (empty = stdout only)")
+		failErr = fs.Bool("fail-on-errors", false, "exit 1 when any non-shed error occurred")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	weights, err := parseMix(*mix)
+	if err != nil {
+		fmt.Fprintln(stderr, "snadload:", err)
+		return exitUsage
+	}
+	if *clients < 1 || *tenants < 1 || *variants < 1 {
+		fmt.Fprintln(stderr, "snadload: -clients, -tenants, and -variants must be positive")
+		return exitUsage
+	}
+
+	// Generate the fixture designs up front: variant 0 is the shared base
+	// design every tenant's long-lived session binds (one cache entry for
+	// all of them); the rest are churn designs with distinct cache keys,
+	// so session churn genuinely grows and shrinks the charged bytes.
+	sources := make([]sessionSources, *variants)
+	for i := range sources {
+		src, err := genSources(*bits + i)
+		if err != nil {
+			fmt.Fprintln(stderr, "snadload: fixture:", err)
+			return exitFail
+		}
+		sources[i] = src
+	}
+
+	// Spawn or attach.
+	base := *serverURL
+	var child *exec.Cmd
+	if base == "" {
+		dir, err := os.MkdirTemp("", "snadload-*")
+		if err != nil {
+			fmt.Fprintln(stderr, "snadload:", err)
+			return exitFail
+		}
+		defer os.RemoveAll(dir)
+		sargs := []string{"serve", "-listen", "127.0.0.1:0", "-data-dir", filepath.Join(dir, "data"), "-quiet"}
+		for _, p := range []struct {
+			flag, val string
+		}{
+			{"-mem-budget", *memBudget},
+			{"-tenant-cap", intArg(*tenantCap)},
+			{"-job-tenant-cap", intArg(*jobTenCap)},
+			{"-max-concurrent", intArg(*maxConc)},
+			{"-queue", intArg(*queueDepth)},
+			{"-job-workers", intArg(*jobWorkers)},
+			{"-job-queue", intArg(*jobQueue)},
+			{"-job-keep-done", intArg(*jobKeep)},
+			{"-max-sessions", intArg(*maxSessions)},
+			{"-store-inject-fault", *storeFaults},
+			{"-job-inject-fault", *jobFaults},
+		} {
+			if p.val != "" {
+				sargs = append(sargs, p.flag, p.val)
+			}
+		}
+		child, base, err = spawn(*snadPath, sargs, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "snadload:", err)
+			return exitFail
+		}
+		defer func() {
+			if child.Process != nil {
+				child.Process.Kill()
+				child.Wait()
+			}
+		}()
+	}
+
+	// One shared transport for every logical client: the default two idle
+	// connections per host would collapse into ephemeral-port churn at
+	// thousands of clients against one loopback address.
+	httpc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *clients * 2,
+		MaxIdleConnsPerHost: *clients * 2,
+	}}
+	newClient := func(policy client.RetryPolicy, tenant string) *client.Client {
+		c := client.New(base, policy)
+		c.SetHTTPClient(httpc)
+		c.SetTenant(tenant)
+		return c
+	}
+
+	setup := newClient(client.RetryPolicy{}, "")
+	wctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = setup.WaitReady(wctx)
+	cancel()
+	if err != nil {
+		fmt.Fprintln(stderr, "snadload:", err)
+		return exitFail
+	}
+
+	// One long-lived session per tenant, all over identical sources: the
+	// shared design cache should bind the design once and hand every
+	// tenant a reference.
+	for t := 0; t < *tenants; t++ {
+		c := newClient(client.RetryPolicy{}, tenantID(t))
+		cctx, cancel := context.WithTimeout(context.Background(), *opTimeout)
+		_, err := c.CreateSession(cctx, sources[0].request("base-"+tenantID(t)))
+		cancel()
+		if err != nil {
+			fmt.Fprintln(stderr, "snadload: base session:", err)
+			return exitFail
+		}
+	}
+
+	fmt.Fprintf(stdout, "snadload: %d clients, %d tenants, %s window against %s\n",
+		*clients, *tenants, *duration, base)
+
+	// The load window. Every client runs a closed loop of its class's
+	// operation until the deadline; latencies and outcomes land in the
+	// per-class recorders.
+	rec := map[string]*recorder{
+		classInteractive: newRecorder(),
+		classJobs:        newRecorder(),
+		classChurn:       newRecorder(),
+	}
+	deadline := time.Now().Add(*duration)
+	lctx, lcancel := context.WithDeadline(context.Background(), deadline)
+	var wg sync.WaitGroup
+	var churnSeq atomic.Int64
+	for i := 0; i < *clients; i++ {
+		cls := weights.classOf(i)
+		tenant := tenantID(i % *tenants)
+		c := newClient(client.RetryPolicy{MaxAttempts: 1}, tenant)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			for {
+				if time.Until(deadline) < 50*time.Millisecond {
+					return
+				}
+				switch cls {
+				case classInteractive:
+					oneInteractive(lctx, c, tenant, *opTimeout, rec[cls])
+				case classJobs:
+					oneJob(lctx, c, tenant, *opTimeout, rec[cls])
+				case classChurn:
+					// Churn clients draw from the non-base variants so
+					// every create charges a genuinely new cache entry.
+					v := 0
+					if len(sources) > 1 {
+						v = 1 + rng.Intn(len(sources)-1)
+					}
+					name := fmt.Sprintf("churn-%s-%d", tenant, churnSeq.Add(1))
+					oneChurn(lctx, c, name, sources[v], *opTimeout, rec[cls])
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	lcancel()
+
+	// Post-load snapshot, before the server is torn down.
+	bench := &benchDoc{
+		Clients:  *clients,
+		Tenants:  *tenants,
+		Duration: duration.Seconds(),
+		Mix:      *mix,
+		Bits:     *bits,
+		Variants: *variants,
+		Chaos:    *storeFaults != "" || *jobFaults != "",
+		Classes:  map[string]classDoc{},
+	}
+	for name, r := range rec {
+		bench.Classes[name] = r.doc(duration.Seconds())
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if rz, err := setup.Ready(sctx); err == nil {
+		bench.Server = &serverDoc{
+			MemBudget:      rz.MemBudget,
+			MemCharged:     rz.MemCharged,
+			CachedDesigns:  rz.CachedDesigns,
+			CacheHits:      rz.CacheHits,
+			CacheEvictions: rz.CacheEvictions,
+			BudgetSheds:    rz.BudgetSheds,
+			AdmissionSheds: rz.Shed,
+		}
+	}
+	cancel()
+	if child != nil {
+		bench.PeakRSSBytes = peakRSS(child.Process.Pid)
+		// Graceful drain: the server must come down clean under SIGTERM
+		// even straight out of overload.
+		child.Process.Signal(syscall.SIGTERM)
+		done := make(chan error, 1)
+		go func() { done <- child.Wait() }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			fmt.Fprintln(stderr, "snadload: server did not drain within 30s; killing")
+			child.Process.Kill()
+			<-done
+			bench.DrainTimedOut = true
+		}
+	}
+
+	blob, _ := json.MarshalIndent(bench, "", "  ")
+	blob = append(blob, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fmt.Fprintln(stderr, "snadload:", err)
+			return exitFail
+		}
+	}
+	stdout.Write(blob)
+
+	var errTotal int64
+	classNames := make([]string, 0, len(bench.Classes))
+	for name := range bench.Classes {
+		classNames = append(classNames, name)
+	}
+	sort.Strings(classNames)
+	for _, name := range classNames {
+		c := bench.Classes[name]
+		if c.Errors > 0 {
+			errTotal += c.Errors
+			for _, s := range c.ErrorSamples {
+				fmt.Fprintf(stderr, "snadload: %s error: %s\n", name, s)
+			}
+		}
+	}
+	if bench.DrainTimedOut {
+		fmt.Fprintln(stderr, "snadload: FAIL: server did not drain")
+		return exitFail
+	}
+	if *failErr && errTotal > 0 {
+		fmt.Fprintf(stderr, "snadload: FAIL: %d non-shed errors\n", errTotal)
+		return exitFail
+	}
+	return exitClean
+}
+
+// --- client classes -----------------------------------------------------
+
+const (
+	classInteractive = "interactive"
+	classJobs        = "jobs"
+	classChurn       = "churn"
+)
+
+// oneInteractive is one synchronous analyze round-trip against the
+// tenant's long-lived session.
+func oneInteractive(ctx context.Context, c *client.Client, tenant string, opTimeout time.Duration, r *recorder) {
+	octx, cancel := context.WithTimeout(ctx, opTimeout)
+	defer cancel()
+	start := time.Now()
+	resp, err := c.Analyze(octx, "base-"+tenant, &server.AnalyzeRequest{}, 0)
+	if err == nil && (resp == nil || resp.Noise == nil) {
+		err = fmt.Errorf("analyze returned no noise section")
+	}
+	r.observe(ctx, start, err)
+}
+
+// oneJob is one async submit → wait-terminal cycle. The latency covers
+// the whole cycle including queue wait — that is what a job caller sees.
+func oneJob(ctx context.Context, c *client.Client, tenant string, opTimeout time.Duration, r *recorder) {
+	octx, cancel := context.WithTimeout(ctx, opTimeout)
+	defer cancel()
+	start := time.Now()
+	snap, err := c.SubmitJob(octx, &jobs.Spec{Session: "base-" + tenant, Type: "analyze"})
+	if err == nil {
+		snap, err = c.WaitJob(octx, snap.ID)
+		if err == nil && snap.State != "done" {
+			if snap.Error != "" || snap.Quarantined {
+				// An honestly flagged failure — under injected chaos the
+				// server is allowed (expected!) to fail jobs, as long as
+				// the failure is reported, never silently corrupted.
+				r.flag()
+				return
+			}
+			err = fmt.Errorf("job %s ended %s with no error cause", snap.ID, snap.State)
+		}
+	}
+	r.observe(ctx, start, err)
+}
+
+// oneChurn creates a transient session over one of the variant designs,
+// analyzes it once, and deletes it. Create is the budget-charged step;
+// delete releases the cache reference so eviction can reclaim it.
+func oneChurn(ctx context.Context, c *client.Client, name string, src sessionSources, opTimeout time.Duration, r *recorder) {
+	octx, cancel := context.WithTimeout(ctx, opTimeout)
+	defer cancel()
+	start := time.Now()
+	_, err := c.CreateSession(octx, src.request(name))
+	if err == nil {
+		_, err = c.Analyze(octx, name, &server.AnalyzeRequest{}, 0)
+		// Best-effort delete regardless of the analyze outcome — a
+		// leaked churn session would pin cache bytes for the whole run.
+		dctx, dcancel := context.WithTimeout(context.Background(), opTimeout)
+		if derr := c.Delete(dctx, name); err == nil && derr != nil {
+			err = derr
+		}
+		dcancel()
+	}
+	r.observe(ctx, start, err)
+}
+
+// --- outcome recording --------------------------------------------------
+
+type recorder struct {
+	mu      sync.Mutex
+	lat     []float64 // seconds, successful ops only
+	ok      int64
+	shed    int64
+	flagged int64
+	errors  int64
+	samples []string
+}
+
+// flag records an operation whose failure the server reported honestly
+// (e.g. a chaos-injected job failure with its cause attached) — allowed
+// under the overload contract, unlike a silent error.
+func (r *recorder) flag() {
+	r.mu.Lock()
+	r.flagged++
+	r.mu.Unlock()
+}
+
+func newRecorder() *recorder { return &recorder{} }
+
+// observe classifies one operation. A retryable APIError is a shed —
+// the server refusing load with a well-formed 429/503 — and anything
+// else non-nil is an error, except a cancellation caused by the load
+// window closing, which is neither.
+func (r *recorder) observe(loadCtx context.Context, start time.Time, err error) {
+	d := time.Since(start).Seconds()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case err == nil:
+		r.ok++
+		r.lat = append(r.lat, d)
+	case isShed(err):
+		r.shed++
+	case loadCtx.Err() != nil:
+		// Window closed mid-operation; not the server's fault.
+	default:
+		r.errors++
+		if len(r.samples) < 5 {
+			r.samples = append(r.samples, err.Error())
+		}
+	}
+}
+
+func isShed(err error) bool {
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		return ae.Retryable()
+	}
+	return false
+}
+
+func (r *recorder) doc(windowSec float64) classDoc {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sort.Float64s(r.lat)
+	d := classDoc{
+		OK:           r.ok,
+		Shed:         r.shed,
+		Flagged:      r.flagged,
+		Errors:       r.errors,
+		ErrorSamples: r.samples,
+	}
+	if windowSec > 0 {
+		d.Throughput = float64(r.ok) / windowSec
+	}
+	if total := r.ok + r.shed + r.flagged + r.errors; total > 0 {
+		d.ShedRate = float64(r.shed) / float64(total)
+	}
+	d.P50Ms = pctMs(r.lat, 0.50)
+	d.P95Ms = pctMs(r.lat, 0.95)
+	d.P99Ms = pctMs(r.lat, 0.99)
+	return d
+}
+
+func pctMs(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i] * 1000
+}
+
+// --- scorecard ----------------------------------------------------------
+
+type benchDoc struct {
+	Clients  int     `json:"clients"`
+	Tenants  int     `json:"tenants"`
+	Duration float64 `json:"durationSec"`
+	Mix      string  `json:"mix"`
+	Bits     int     `json:"bits"`
+	Variants int     `json:"variants"`
+	Chaos    bool    `json:"chaos"`
+
+	Classes map[string]classDoc `json:"classes"`
+	Server  *serverDoc          `json:"server,omitempty"`
+	// PeakRSSBytes is the spawned server's VmHWM; 0 with -server.
+	PeakRSSBytes  int64 `json:"peakRSSBytes"`
+	DrainTimedOut bool  `json:"drainTimedOut,omitempty"`
+}
+
+type classDoc struct {
+	OK   int64 `json:"ok"`
+	Shed int64 `json:"shed"`
+	// Flagged counts failures the server reported honestly with a cause
+	// (chaos-injected job failures, quarantines); Errors counts
+	// everything else — the contract violations.
+	Flagged    int64   `json:"flagged"`
+	Errors     int64   `json:"errors"`
+	Throughput float64 `json:"throughputPerSec"`
+	ShedRate   float64 `json:"shedRate"`
+	P50Ms      float64 `json:"p50Ms"`
+	P95Ms      float64 `json:"p95Ms"`
+	P99Ms      float64 `json:"p99Ms"`
+
+	ErrorSamples []string `json:"errorSamples,omitempty"`
+}
+
+type serverDoc struct {
+	MemBudget      int64 `json:"memBudget"`
+	MemCharged     int64 `json:"memCharged"`
+	CachedDesigns  int   `json:"cachedDesigns"`
+	CacheHits      int64 `json:"cacheHits"`
+	CacheEvictions int64 `json:"cacheEvictions"`
+	BudgetSheds    int64 `json:"budgetSheds"`
+	AdmissionSheds int64 `json:"admissionSheds"`
+}
+
+// --- fixture ------------------------------------------------------------
+
+type sessionSources struct {
+	netlist, spefSrc, timing string
+}
+
+func genSources(bits int) (sessionSources, error) {
+	g, err := workload.Bus(workload.BusSpec{Bits: bits, Segs: 2, WindowWidth: 80 * units.Pico})
+	if err != nil {
+		return sessionSources{}, err
+	}
+	var net, sp, win bytes.Buffer
+	if err := netlist.Write(&net, g.Design); err != nil {
+		return sessionSources{}, err
+	}
+	if err := spef.Write(&sp, g.Paras); err != nil {
+		return sessionSources{}, err
+	}
+	if err := sta.WriteInputTiming(&win, g.Inputs); err != nil {
+		return sessionSources{}, err
+	}
+	return sessionSources{netlist: net.String(), spefSrc: sp.String(), timing: win.String()}, nil
+}
+
+func (s sessionSources) request(name string) *server.CreateSessionRequest {
+	return &server.CreateSessionRequest{
+		Name: name, Netlist: s.netlist, SPEF: s.spefSrc, Timing: s.timing,
+	}
+}
+
+// --- plumbing -----------------------------------------------------------
+
+func tenantID(i int) string { return "t" + strconv.Itoa(i) }
+
+func intArg(v int) string {
+	if v == 0 {
+		return ""
+	}
+	return strconv.Itoa(v)
+}
+
+// mixWeights deals client indexes into classes proportionally to the
+// configured weights.
+type mixWeights struct {
+	classes []string
+	weights []int
+	total   int
+}
+
+func parseMix(s string) (*mixWeights, error) {
+	m := &mixWeights{}
+	for _, item := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(item), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -mix item %q (want class:weight)", item)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad -mix weight %q", val)
+		}
+		switch name {
+		case classInteractive, classJobs, classChurn:
+		default:
+			return nil, fmt.Errorf("unknown -mix class %q", name)
+		}
+		m.classes = append(m.classes, name)
+		m.weights = append(m.weights, w)
+		m.total += w
+	}
+	if m.total == 0 {
+		return nil, fmt.Errorf("-mix weights sum to zero")
+	}
+	return m, nil
+}
+
+func (m *mixWeights) classOf(i int) string {
+	slot := i % m.total
+	for k, w := range m.weights {
+		if slot < w {
+			return m.classes[k]
+		}
+		slot -= w
+	}
+	return m.classes[len(m.classes)-1]
+}
+
+var listenRe = regexp.MustCompile(`listening on (\S+)`)
+
+// spawn starts `snad serve` and parses its listen handshake.
+func spawn(path string, args []string, stderr io.Writer) (*exec.Cmd, string, error) {
+	cmd := exec.Command(path, args...)
+	out := &lockedBuffer{}
+	cmd.Stdout = out
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		return nil, "", fmt.Errorf("spawn %s: %w", path, err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if m := listenRe.FindStringSubmatch(out.String()); m != nil {
+			return cmd, "http://" + m[1], nil
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, "", fmt.Errorf("server never reported its address; output: %s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// peakRSS reads a process's resident high-water mark (VmHWM) from
+// /proc; 0 on platforms without it.
+func peakRSS(pid int) int64 {
+	f, err := os.Open(fmt.Sprintf("/proc/%d/status", pid))
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "VmHWM:"); ok {
+			kb, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimSpace(rest), " kB"), 10, 64)
+			if err != nil {
+				return 0
+			}
+			return kb * 1024
+		}
+	}
+	return 0
+}

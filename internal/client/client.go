@@ -97,7 +97,7 @@ func (e *APIError) Error() string {
 // Retryable reports whether repeating the request can succeed.
 func (e *APIError) Retryable() bool {
 	switch e.Info.Kind {
-	case "overloaded", "draining", "breaker_open", "deadline", "canceled", "busy", "storage":
+	case "overloaded", "draining", "breaker_open", "deadline", "canceled", "busy", "storage", "budget", "session_limit":
 		return true
 	}
 	// A 503 without a parseable body is still a capacity signal.
@@ -109,6 +109,10 @@ type Client struct {
 	base  string
 	http  *http.Client
 	retry RetryPolicy
+	// tenant, when set, is stamped on every request as the X-Snad-Tenant
+	// header: the server's admission gate and job pool schedule fairly
+	// across tenants, so tagging traffic is how a caller gets its slice.
+	tenant string
 
 	// sleep, jitter, and now are injectable for tests (now anchors
 	// HTTP-date Retry-After parsing).
@@ -142,6 +146,18 @@ func New(base string, policy RetryPolicy) *Client {
 		now: time.Now,
 	}
 }
+
+// SetHTTPClient replaces the underlying HTTP client. The default is a
+// zero http.Client on the shared DefaultTransport, whose two idle
+// connections per host collapse into connection churn when thousands of
+// logical clients target one server — load harnesses pass one tuned
+// shared transport instead. Call it once after New.
+func (c *Client) SetHTTPClient(h *http.Client) { c.http = h }
+
+// SetTenant tags every subsequent request with the tenant ID ("" clears
+// the tag). Call it once after New; the client is then safe for
+// concurrent use as usual.
+func (c *Client) SetTenant(tenant string) { c.tenant = tenant }
 
 // parseRetryAfter interprets a Retry-After header value per RFC 9110
 // §10.2.3: either a non-negative integral number of seconds ("120") or an
@@ -246,6 +262,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, mkBody func() 
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.tenant != "" {
+		req.Header.Set(server.TenantHeader, c.tenant)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -365,6 +384,17 @@ func (c *Client) Recovery(ctx context.Context) (*report.RecoveryJSON, error) {
 func (c *Client) Health(ctx context.Context) (*server.HealthResponse, error) {
 	var out server.HealthResponse
 	if err := c.doOnce(ctx, "GET", "/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ready fetches the /readyz snapshot — gate occupancy, shed counters,
+// and the memory-governance gauges. A draining server answers 503, which
+// surfaces as an error here; use Health for liveness during a drain.
+func (c *Client) Ready(ctx context.Context) (*server.ReadyResponse, error) {
+	var out server.ReadyResponse
+	if err := c.doOnce(ctx, "GET", "/readyz", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -34,10 +34,16 @@ func (c *Client) JobStatus(ctx context.Context, id string) (*report.JobJSON, err
 }
 
 // Jobs lists every job the server remembers (all non-terminal jobs plus
-// the retained tail of terminal ones).
-func (c *Client) Jobs(ctx context.Context) ([]report.JobJSON, error) {
+// the retained tail of terminal ones). A non-empty state filters to one
+// lifecycle state — "queued", "running", "done", "failed", "canceled" —
+// or the pseudo-state "quarantined" (poison jobs parked as failed).
+func (c *Client) Jobs(ctx context.Context, state string) ([]report.JobJSON, error) {
+	path := "/v1/jobs"
+	if state != "" {
+		path += "?state=" + url.QueryEscape(state)
+	}
 	var out server.JobsResponse
-	if err := c.doRetry(ctx, "GET", "/v1/jobs", nil, &out, true); err != nil {
+	if err := c.doRetry(ctx, "GET", path, nil, &out, true); err != nil {
 		return nil, err
 	}
 	return out.Jobs, nil

@@ -134,3 +134,24 @@ func Len() int {
 	}
 	return n
 }
+
+// Stats reports the table's size: distinct symbols and the bytes held
+// by their canonical strings (content plus headers plus the lookup-map
+// entries). The server's /metrics endpoint exposes both as gauges so
+// operators can watch the monotonic interner alongside the budgeted
+// design cache.
+func Stats() (syms int, bytes int64) {
+	const strHeader = 16 // string header: pointer + length
+	for _, sh := range table {
+		sh.mu.RLock()
+		syms += len(sh.strs)
+		for _, s := range sh.strs {
+			// Each string appears twice (slice + map key) but shares one
+			// backing array; one content count plus two headers plus the
+			// map's value and bucket overhead.
+			bytes += int64(len(s)) + 2*strHeader + 4 + 16
+		}
+		sh.mu.RUnlock()
+	}
+	return syms, bytes
+}

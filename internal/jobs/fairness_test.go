@@ -1,0 +1,141 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gatedExec records the tenant of each claim in order and blocks until
+// the test feeds it a token, so claim order is fully deterministic.
+type gatedExec struct {
+	mu      sync.Mutex
+	order   []string
+	started chan string
+	proceed chan struct{}
+}
+
+func newGatedExec() *gatedExec {
+	return &gatedExec{
+		started: make(chan string, 16),
+		proceed: make(chan struct{}),
+	}
+}
+
+func (g *gatedExec) exec(ctx context.Context, id string, spec *Spec, attempt int) (json.RawMessage, bool, error) {
+	g.mu.Lock()
+	g.order = append(g.order, spec.Tenant)
+	g.mu.Unlock()
+	g.started <- spec.Tenant
+	select {
+	case <-g.proceed:
+	case <-ctx.Done():
+	}
+	return json.RawMessage(`{}`), false, nil
+}
+
+func (g *gatedExec) waitStart(t *testing.T) string {
+	t.Helper()
+	select {
+	case tenant := <-g.started:
+		return tenant
+	case <-time.After(5 * time.Second):
+		t.Fatal("no job claimed a worker in time")
+		return ""
+	}
+}
+
+// TestTenantRoundRobinClaimOrder pins the dispatch order: with one
+// worker and tenant A's backlog queued ahead of tenant B's single job,
+// the round-robin ring interleaves B instead of draining A first. A
+// global-FIFO scheduler would run A,A,A,B.
+func TestTenantRoundRobinClaimOrder(t *testing.T) {
+	g := newGatedExec()
+	m := openManager(t, t.TempDir(), g.exec, func(c *Config) {
+		c.Workers = 1
+		c.TenantCap = 1
+	})
+
+	a1 := submit(t, m, &Spec{Session: "s", Type: "analyze", Tenant: "A"})
+	// Wait until a1 occupies the worker so the backlog below is queued
+	// behind it deterministically.
+	g.waitStart(t)
+	ids := []string{a1}
+	for _, tenant := range []string{"A", "A", "B"} {
+		ids = append(ids, submit(t, m, &Spec{Session: "s", Type: "analyze", Tenant: tenant}))
+	}
+
+	// Release the worker one job at a time.
+	for i := 0; i < len(ids); i++ {
+		g.proceed <- struct{}{}
+		if i < len(ids)-1 {
+			g.waitStart(t)
+		}
+	}
+	for _, id := range ids {
+		waitState(t, m, id, StateDone)
+	}
+
+	g.mu.Lock()
+	got := append([]string(nil), g.order...)
+	g.mu.Unlock()
+	want := []string{"A", "A", "B", "A"}
+	if len(got) != len(want) {
+		t.Fatalf("claim order = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("claim order = %v, want %v (round-robin must interleave tenant B)", got, want)
+		}
+	}
+}
+
+// TestTenantCapLeavesWorkersForOthers pins the running cap: with two
+// workers and TenantCap 1, tenant A's second job must NOT take the
+// second worker — it goes to tenant B, and A's backlog waits for A's
+// own slot.
+func TestTenantCapLeavesWorkersForOthers(t *testing.T) {
+	g := newGatedExec()
+	m := openManager(t, t.TempDir(), g.exec, func(c *Config) {
+		c.Workers = 2
+		c.TenantCap = 1
+	})
+
+	a1 := submit(t, m, &Spec{Session: "s", Type: "analyze", Tenant: "A"})
+	g.waitStart(t)
+	a2 := submit(t, m, &Spec{Session: "s", Type: "analyze", Tenant: "A"})
+	b1 := submit(t, m, &Spec{Session: "s", Type: "analyze", Tenant: "B"})
+
+	// The free worker must claim b1, skipping the capped tenant A.
+	if tenant := g.waitStart(t); tenant != "B" {
+		t.Fatalf("second worker claimed tenant %q, want B (tenant A is at its cap)", tenant)
+	}
+	// a2 must still be queued while both run.
+	if snap, err := m.Get(a2); err != nil || snap.State != string(StateQueued) {
+		t.Fatalf("a2 = %+v (err %v), want queued behind A's cap", snap, err)
+	}
+
+	close(g.proceed) // release everyone; a2 claims A's freed slot
+	for _, id := range []string{a1, b1, a2} {
+		waitState(t, m, id, StateDone)
+	}
+}
+
+// TestTenantCapClamp pins the config normalization: zero, negative, and
+// over-Workers caps all clamp to Workers so single-tenant deployments
+// keep full throughput.
+func TestTenantCapClamp(t *testing.T) {
+	for _, cap := range []int{0, -2, 99} {
+		cfg := Config{Dir: t.TempDir(), Workers: 3, TenantCap: cap, Exec: okExec(nil), Logf: t.Logf}
+		m, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.cfg.TenantCap != 3 {
+			t.Fatalf("TenantCap %d normalized to %d, want Workers (3)", cap, m.cfg.TenantCap)
+		}
+		m.Close(time.Second)
+	}
+}

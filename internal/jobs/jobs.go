@@ -78,6 +78,11 @@ func (s State) Terminal() bool {
 type Spec struct {
 	// Session names the session the job runs against.
 	Session string `json:"session"`
+	// Tenant attributes the job for fair scheduling: workers round-robin
+	// across tenants with queued jobs, so one tenant flooding the queue
+	// cannot starve another's submissions. Empty is the shared anonymous
+	// tenant. Journaled with the spec, so fairness survives a restart.
+	Tenant string `json:"tenant,omitempty"`
 	// Type is "analyze", "reanalyze", "iterate", or "sweep".
 	Type string `json:"type"`
 	// Delay includes the crosstalk delta-delay section in the result.
@@ -176,6 +181,12 @@ type Config struct {
 	// MaxQueued bounds waiting jobs; Submit past it returns ErrQueueFull
 	// (default 16).
 	MaxQueued int
+	// TenantCap bounds how many of one tenant's jobs may run at once:
+	// set below Workers, a late-arriving tenant gets a worker as soon as
+	// the flooding tenant hits its cap, not after the flood drains. 0 or
+	// > Workers means Workers — single-tenant deployments keep full
+	// throughput.
+	TenantCap int
 	// DefaultMaxAttempts is the retry budget for specs that don't set
 	// one (default 3).
 	DefaultMaxAttempts int
@@ -212,6 +223,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxQueued <= 0 {
 		c.MaxQueued = 16
+	}
+	if c.TenantCap <= 0 || c.TenantCap > c.Workers {
+		c.TenantCap = c.Workers
 	}
 	if c.DefaultMaxAttempts <= 0 {
 		c.DefaultMaxAttempts = 3
@@ -311,9 +325,16 @@ type Manager struct {
 	seq     uint64
 	nextID  uint64
 	jobs    map[string]*job
-	// queue holds queued job IDs in FIFO order; cond wakes workers on
-	// pushes and on shutdown.
-	queue               []string
+	// Tenant-fair dispatch: queues holds queued job IDs per tenant in
+	// FIFO order, ring lists the tenants with queued work, and workers
+	// claim round-robin from rr, skipping tenants whose runningBy count
+	// is at TenantCap. The invariant "tenant in ring iff its queue is
+	// non-empty" is maintained by enqueueLocked/popLocked; cond wakes
+	// workers on pushes, slot releases, and shutdown.
+	queues              map[string][]string
+	ring                []string
+	rr                  int
+	runningBy           map[string]int
 	cond                *sync.Cond
 	recordsSinceCompact int
 	closed              bool
@@ -343,9 +364,11 @@ func Open(cfg Config) (*Manager, error) {
 		return nil, fmt.Errorf("jobs: Config.Exec is required")
 	}
 	m := &Manager{
-		cfg:  cfg,
-		dir:  cfg.Dir,
-		jobs: make(map[string]*job),
+		cfg:       cfg,
+		dir:       cfg.Dir,
+		jobs:      make(map[string]*job),
+		queues:    make(map[string][]string),
+		runningBy: make(map[string]int),
 	}
 	m.nextID = 1
 	m.cond = sync.NewCond(&m.mu)
@@ -419,7 +442,7 @@ func (m *Manager) Submit(spec *Spec) (*report.JobJSON, error) {
 		submittedAt: time.Now().UTC(),
 	}
 	m.jobs[id] = j
-	m.queue = append(m.queue, id)
+	m.enqueueLocked(id)
 	snap := m.snapshotLocked(j)
 	m.maybeCompactLocked()
 	m.mu.Unlock()
@@ -595,10 +618,14 @@ func (m *Manager) worker() {
 			return
 		}
 		m.runJob(j)
+		m.releaseSlot(j.spec.Tenant)
 	}
 }
 
-// next blocks for the next queued job, or nil at shutdown.
+// next blocks for the next claimable job, or nil at shutdown. A job is
+// claimable when its tenant is under TenantCap; claiming charges the
+// tenant's running slot for the whole runJob (including retry backoffs
+// — the worker is occupied either way), released by releaseSlot.
 func (m *Manager) next() *job {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -606,16 +633,86 @@ func (m *Manager) next() *job {
 		if m.closed {
 			return nil
 		}
-		for len(m.queue) > 0 {
-			id := m.queue[0]
-			m.queue = m.queue[1:]
-			if j := m.jobs[id]; j != nil && j.state == StateQueued {
-				return j
-			}
-			// Canceled (or pruned) while waiting; skip.
+		if j := m.popLocked(); j != nil {
+			return j
 		}
 		m.cond.Wait()
 	}
+}
+
+// popLocked claims the next runnable job round-robin across tenants,
+// dropping stale queue entries (canceled or pruned while waiting) and
+// skipping tenants at their running cap. Callers hold m.mu.
+func (m *Manager) popLocked() *job {
+	scanned := 0
+	for scanned < len(m.ring) {
+		if m.rr >= len(m.ring) {
+			m.rr = 0
+		}
+		t := m.ring[m.rr]
+		q := m.queues[t]
+		for len(q) > 0 {
+			if j := m.jobs[q[0]]; j != nil && j.state == StateQueued {
+				break
+			}
+			q = q[1:]
+		}
+		if len(q) == 0 {
+			// Only stale entries remained: drop the tenant's ring slot
+			// without advancing rr (the next tenant slides into this
+			// index) and without counting it as scanned.
+			delete(m.queues, t)
+			m.ring = append(m.ring[:m.rr], m.ring[m.rr+1:]...)
+			continue
+		}
+		m.queues[t] = q
+		if m.runningBy[t] >= m.cfg.TenantCap {
+			m.rr = (m.rr + 1) % len(m.ring)
+			scanned++
+			continue
+		}
+		j := m.jobs[q[0]]
+		if len(q) == 1 {
+			delete(m.queues, t)
+			m.ring = append(m.ring[:m.rr], m.ring[m.rr+1:]...)
+			if len(m.ring) > 0 {
+				m.rr %= len(m.ring)
+			}
+		} else {
+			m.queues[t] = q[1:]
+			m.rr = (m.rr + 1) % len(m.ring)
+		}
+		m.runningBy[t]++
+		return j
+	}
+	return nil
+}
+
+// enqueueLocked appends a queued job to its tenant's queue, registering
+// the tenant in the dispatch ring on its first entry. Callers hold m.mu.
+func (m *Manager) enqueueLocked(id string) {
+	tenant := ""
+	if j := m.jobs[id]; j != nil {
+		tenant = j.spec.Tenant
+	}
+	if len(m.queues[tenant]) == 0 {
+		m.ring = append(m.ring, tenant)
+	}
+	m.queues[tenant] = append(m.queues[tenant], id)
+}
+
+// releaseSlot returns a tenant's running slot and wakes a waiting
+// worker — the release may make a previously capped tenant's queued
+// jobs claimable even though nothing new was enqueued.
+func (m *Manager) releaseSlot(tenant string) {
+	m.mu.Lock()
+	if n := m.runningBy[tenant] - 1; n > 0 {
+		m.runningBy[tenant] = n
+	} else {
+		delete(m.runningBy, tenant)
+	}
+	m.mu.Unlock()
+	m.cond.Signal()
 }
 
 // runJob drives one job through its attempt loop to a terminal state —
@@ -866,6 +963,7 @@ func (m *Manager) snapshotLocked(j *job) *report.JobJSON {
 		ID:              j.id,
 		Session:         j.spec.Session,
 		Type:            j.spec.Type,
+		Tenant:          j.spec.Tenant,
 		State:           string(j.state),
 		Attempts:        j.attempts,
 		MaxAttempts:     j.maxAttempts,

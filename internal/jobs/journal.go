@@ -327,7 +327,7 @@ func (m *Manager) recoverInterrupted() {
 				m.bootRequeued++
 			}
 			j.state = StateQueued
-			m.queue = append(m.queue, id)
+			m.enqueueLocked(id)
 			m.cfg.Logf("jobs: %s re-enqueued after restart (attempt %d/%d)", id, j.attempts, j.maxAttempts)
 		}
 	}

@@ -1,0 +1,56 @@
+package liberty
+
+import "unsafe"
+
+// MemBytes estimates the library's heap footprint in bytes: every cell
+// with its pin map, immunity curves, and characterized arc tables. The
+// dominant term for real libraries is the NLDM surfaces (four Table2D
+// per arc); strings and map buckets are approximated. Deterministic
+// and allocation-free.
+func (l *Library) MemBytes() int64 {
+	const (
+		ptr       = int64(unsafe.Sizeof(uintptr(0)))
+		strHeader = int64(unsafe.Sizeof(""))
+	)
+	b := int64(unsafe.Sizeof(*l)) + strHeader + int64(len(l.Name))
+	b += l.DefaultImmunity.memBytes()
+	b += int64(len(l.cells)) * (strHeader + ptr + 16)
+	for _, c := range l.cells {
+		b += int64(unsafe.Sizeof(*c)) + int64(len(c.Name))
+		b += int64(len(c.Pins)) * (strHeader + ptr + 16)
+		for name, p := range c.Pins {
+			b += int64(len(name)) + int64(unsafe.Sizeof(*p)) + int64(len(p.Name))
+			b += p.Immunity.memBytes()
+		}
+		b += int64(cap(c.Arcs)) * ptr
+		for _, a := range c.Arcs {
+			b += int64(unsafe.Sizeof(*a)) + int64(len(a.From)+len(a.To))
+			b += a.DelayRise.memBytes() + a.DelayFall.memBytes()
+			b += a.SlewRise.memBytes() + a.SlewFall.memBytes()
+			if a.Transfer != nil {
+				b += int64(unsafe.Sizeof(*a.Transfer))
+			}
+		}
+	}
+	return b
+}
+
+func (t *Table2D) memBytes() int64 {
+	if t == nil {
+		return 0
+	}
+	b := int64(unsafe.Sizeof(*t))
+	b += int64(cap(t.Slews)+cap(t.Loads)) * 8
+	b += int64(cap(t.Vals)) * int64(unsafe.Sizeof([]float64(nil)))
+	for _, row := range t.Vals {
+		b += int64(cap(row)) * 8
+	}
+	return b
+}
+
+func (c *ImmunityCurve) memBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return int64(unsafe.Sizeof(*c)) + int64(cap(c.Widths)+cap(c.Peaks))*8
+}

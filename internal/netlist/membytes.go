@@ -1,0 +1,74 @@
+package netlist
+
+import (
+	"unsafe"
+
+	"repro/internal/intern"
+)
+
+// MemBytes estimates the resident heap footprint of the design database
+// in bytes: the object arenas at chunk granularity, the name indexes,
+// the dense ID views, and the per-object variable parts (connection
+// slices, pin maps, name strings). It is an estimator, not an
+// accounting of every allocation — map bucket overhead is approximated
+// and shared interned string backing may be counted once per design —
+// but it is deterministic, cheap (one pass over the dense views, no
+// allocation), and tracks the real footprint closely enough to budget
+// a shared design cache against.
+func (d *Design) MemBytes() int64 {
+	b := int64(unsafe.Sizeof(*d))
+	b += arenaBytes(&d.netArena)
+	b += arenaBytes(&d.instArena)
+	b += arenaBytes(&d.connArena)
+	b += arenaBytes(&d.portArena)
+	symBytes := int64(unsafe.Sizeof(intern.Sym(0)))
+	b += mapBytes(len(d.ports), symBytes)
+	b += mapBytes(len(d.nets), symBytes)
+	b += mapBytes(len(d.insts), symBytes)
+	b += int64(cap(d.netsByID)+cap(d.instsByID)+cap(d.portsByID)) * ptrBytes
+	for _, n := range d.netsByID {
+		b += int64(cap(n.Conns)+cap(n.loads)) * ptrBytes
+		b += strBytes(n.Name)
+	}
+	for _, i := range d.instsByID {
+		b += mapBytes(len(i.Conns), strHeaderBytes)
+		b += int64(cap(i.ins)+cap(i.outs)) * ptrBytes
+		b += strBytes(i.Name) + strBytes(i.Cell)
+		for pin := range i.Conns {
+			b += int64(len(pin))
+		}
+	}
+	for _, p := range d.portsByID {
+		b += strBytes(p.Name)
+	}
+	// Conn.Port/Pin strings share backing with the pin-map keys and port
+	// names counted above; only the headers (already inside the arena
+	// element size) remain.
+	return b
+}
+
+const (
+	ptrBytes       = int64(unsafe.Sizeof(uintptr(0)))
+	strHeaderBytes = int64(unsafe.Sizeof(""))
+	// mapEntryOverhead approximates Go map bucket cost beyond key+value:
+	// tophash bytes, overflow pointers, and load-factor slack.
+	mapEntryOverhead = 16
+)
+
+func strBytes(s string) int64 { return strHeaderBytes + int64(len(s)) }
+
+func mapBytes(n int, keySize int64) int64 {
+	if n == 0 {
+		return 0
+	}
+	return int64(n) * (keySize + ptrBytes + mapEntryOverhead)
+}
+
+func arenaBytes[T any](a *arena[T]) int64 {
+	var elem T
+	var b int64
+	for _, c := range a.chunks {
+		b += int64(cap(c)) * int64(unsafe.Sizeof(elem))
+	}
+	return b
+}

@@ -18,6 +18,8 @@ type JobJSON struct {
 	// "reanalyze", "iterate", or "sweep".
 	Session string `json:"session"`
 	Type    string `json:"type"`
+	// Tenant attributes the job for fair scheduling ("" = anonymous).
+	Tenant string `json:"tenant,omitempty"`
 	// State is the job's position in the lifecycle state machine:
 	// "queued", "running", "done", "failed", or "canceled".
 	State string `json:"state"`

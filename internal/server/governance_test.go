@@ -1,0 +1,440 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// doTenant is do with an X-Snad-Tenant header attached.
+func doTenant(t *testing.T, method, url, tenant string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// waitFor polls cond until true or a generous deadline.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestSharedDesignCache pins the tentpole's sharing contract: two
+// sessions over byte-identical sources bind ONE design (pointer identity
+// in the cache), and deleting one must not unbind the other.
+func TestSharedDesignCache(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	p := busPayload(t, "a", 4, SessionOptions{})
+	resp, data := do(t, "POST", ts.URL+"/v1/sessions", p)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create a: %d: %s", resp.StatusCode, data)
+	}
+	p.Name = "b" // same sources, different name
+	resp, data = do(t, "POST", ts.URL+"/v1/sessions", p)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create b: %d: %s", resp.StatusCode, data)
+	}
+
+	s.mu.Lock()
+	ea, eb := s.sessions["a"].entry, s.sessions["b"].entry
+	s.mu.Unlock()
+	if ea == nil || ea != eb {
+		t.Fatalf("sessions over identical sources must share one cache entry (a=%p b=%p)", ea, eb)
+	}
+	cs := s.cache.stats()
+	if cs.Entries != 1 || cs.Misses != 1 || cs.Hits != 1 {
+		t.Fatalf("cache stats = %+v, want 1 entry, 1 miss, 1 hit", cs)
+	}
+
+	// Deleting a releases its reference but must not unbind b.
+	resp, data = do(t, "DELETE", ts.URL+"/v1/sessions/a", nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete a: %d: %s", resp.StatusCode, data)
+	}
+	resp, data = do(t, "POST", ts.URL+"/v1/sessions/b/analyze", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze b after deleting a: %d: %s", resp.StatusCode, data)
+	}
+	cs = s.cache.stats()
+	if cs.Entries != 1 || cs.Referenced != 1 {
+		t.Fatalf("after delete: stats = %+v, want the shared entry still resident and referenced", cs)
+	}
+}
+
+// TestMemBudgetShedEvictRecover measures two designs, then sizes the
+// budget so either fits alone but not both: the second create must shed
+// 503 "budget" with Retry-After, and after the first session is deleted
+// the same create must succeed by evicting the now-idle design.
+func TestMemBudgetShedEvictRecover(t *testing.T) {
+	// Measure on an unbudgeted server.
+	m, mts := newTestServer(t, Config{})
+	resp, data := do(t, "POST", mts.URL+"/v1/sessions", busPayload(t, "m4", 4, SessionOptions{}))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("measure m4: %d: %s", resp.StatusCode, data)
+	}
+	sizeA := m.cache.stats().Charged
+	resp, data = do(t, "POST", mts.URL+"/v1/sessions", busPayload(t, "m6", 6, SessionOptions{}))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("measure m6: %d: %s", resp.StatusCode, data)
+	}
+	sizeB := m.cache.stats().Charged - sizeA
+	if sizeA <= 0 || sizeB <= 0 {
+		t.Fatalf("design sizes = %d, %d; MemBytes estimators broken?", sizeA, sizeB)
+	}
+
+	s, ts := newTestServer(t, Config{MemBudget: sizeA + sizeB - 1})
+	resp, data = do(t, "POST", ts.URL+"/v1/sessions", busPayload(t, "a", 4, SessionOptions{}))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create a: %d: %s", resp.StatusCode, data)
+	}
+
+	// b does not fit beside the referenced a: 503 kind "budget" with a
+	// well-formed Retry-After.
+	resp, data = do(t, "POST", ts.URL+"/v1/sessions", busPayload(t, "b", 6, SessionOptions{}))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-budget create: %d: %s", resp.StatusCode, data)
+	}
+	wantErrKind(t, data, "budget")
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra <= 0 {
+		t.Fatalf("budget shed Retry-After = %q, want positive integer seconds", resp.Header.Get("Retry-After"))
+	}
+	if cs := s.cache.stats(); cs.BudgetSheds == 0 {
+		t.Fatalf("stats = %+v, want a budget shed counted", cs)
+	}
+
+	// Delete a → its design goes idle → the retried create evicts it.
+	resp, data = do(t, "DELETE", ts.URL+"/v1/sessions/a", nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete a: %d: %s", resp.StatusCode, data)
+	}
+	resp, data = do(t, "POST", ts.URL+"/v1/sessions", busPayload(t, "b", 6, SessionOptions{}))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create b after delete: %d: %s", resp.StatusCode, data)
+	}
+	cs := s.cache.stats()
+	if cs.Evictions == 0 || cs.Charged > s.cache.budget {
+		t.Fatalf("stats = %+v, want an idle eviction and charged <= budget", cs)
+	}
+}
+
+// TestSingleFlightRevive is the re-materialization stampede regression:
+// N concurrent requests hit a session that was LRU-evicted (and whose
+// design was dropped from the cache), and the slow parse/lint/bind must
+// run exactly once — every other request coalesces onto it.
+func TestSingleFlightRevive(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{DataDir: dir, MaxSessions: 1, MaxConcurrent: 8, QueueDepth: 32})
+	resp, data := do(t, "POST", ts.URL+"/v1/sessions", busPayload(t, "a", 4, SessionOptions{}))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create a: %d: %s", resp.StatusCode, data)
+	}
+	// Creating b LRU-evicts the idle session a (MaxSessions 1); a's spec
+	// stays on disk.
+	resp, data = do(t, "POST", ts.URL+"/v1/sessions", busPayload(t, "b", 5, SessionOptions{}))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create b: %d: %s", resp.StatusCode, data)
+	}
+	// Drop a's now-idle design from the cache so the revive is a true
+	// rebuild, not a warm hit.
+	s.cache.mu.Lock()
+	for k, e := range s.cache.entries {
+		if e.refs == 0 {
+			delete(s.cache.entries, k)
+			s.cache.charged -= e.bytes
+		}
+	}
+	s.cache.mu.Unlock()
+
+	// Count builds and slow them down so the stampede window is wide. Set
+	// before any goroutine fires; acquire reads it under the cache mutex.
+	var builds atomic.Int32
+	s.cache.buildHook = func() {
+		builds.Add(1)
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	const N = 8
+	var wg sync.WaitGroup
+	codes := make([]int, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, data := do(t, "POST", ts.URL+"/v1/sessions/a/analyze", nil)
+			codes[i] = resp.StatusCode
+			if resp.StatusCode != http.StatusOK {
+				t.Logf("analyze %d: %d: %s", i, resp.StatusCode, data)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Fatalf("concurrent revive request %d: status %d", i, c)
+		}
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("builds = %d, want exactly 1 (single-flight)", n)
+	}
+}
+
+// TestTenantStarvation drives a bulk tenant that floods the one-worker
+// gate with slow analyses and asserts an interactive tenant still gets
+// through promptly — round-robin dispatch, not FIFO behind the flood.
+func TestTenantStarvation(t *testing.T) {
+	const bulkN = 10
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 64, MaxSessions: bulkN + 4})
+	// Each bulk client gets its own session over the same slow sources
+	// (16-bit bus, "sleep:*" per-net sleeps) so EVERY bulk analyze is a
+	// slow first-analysis — a single shared session would be incremental
+	// (and instant) after the first one, and the backlog would drain
+	// before the live request could demonstrate anything. The live
+	// session is a fast 4-bit bus.
+	slow := busPayload(t, "", 16, SessionOptions{InjectFault: "sleep:*"})
+	for i := 0; i < bulkN; i++ {
+		slow.Name = fmt.Sprintf("slow-%d", i)
+		resp, data := do(t, "POST", ts.URL+"/v1/sessions", slow)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %s: %d: %s", slow.Name, resp.StatusCode, data)
+		}
+	}
+	createSession(t, ts.URL, "fast", SessionOptions{})
+	// Warm the fast engine so the interactive request below measures
+	// scheduling, not first-build cost.
+	if resp, data := do(t, "POST", ts.URL+"/v1/sessions/fast/analyze", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm fast: %d: %s", resp.StatusCode, data)
+	}
+
+	var bulkDone atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < bulkN; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			doTenant(t, "POST", ts.URL+"/v1/sessions/slow-"+strconv.Itoa(i)+"/analyze", "bulk", nil)
+			bulkDone.Add(1)
+		}(i)
+	}
+	// Fire live only once the whole flood is in the gate — one bulk
+	// running, nine queued — so the dispatch order is deterministic.
+	waitFor(t, func() bool {
+		running, queued := s.gate.snapshot()
+		return running == 1 && queued == bulkN-1
+	})
+
+	resp, data := doTenant(t, "POST", ts.URL+"/v1/sessions/fast/analyze", "live", nil)
+	doneWhenLiveFinished := bulkDone.Load()
+	wg.Wait()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live analyze under flood: %d: %s", resp.StatusCode, data)
+	}
+	// Round-robin admits live after at most a couple of bulk slots (the
+	// running one plus one ring rotation); global FIFO would make it
+	// wait out the entire nine-deep backlog.
+	if doneWhenLiveFinished > 4 {
+		t.Fatalf("live request waited behind %d of %d bulk requests — starved behind the flood", doneWhenLiveFinished, bulkN)
+	}
+}
+
+// TestShedPathsCarryRetryAfter is the shed-consistency table: every
+// refusal the server can emit under load — admission queue full, memory
+// budget, draining, breaker, session cap, storage failure, job queue
+// full — must be a 429/503 with a positive integer Retry-After and a
+// structured JSON error body of the right kind.
+func TestShedPathsCarryRetryAfter(t *testing.T) {
+	cases := []struct {
+		name       string
+		wantStatus int
+		wantKind   string
+		fire       func(t *testing.T) (*http.Response, []byte)
+	}{
+		{
+			name: "admission queue full", wantStatus: http.StatusTooManyRequests, wantKind: "overloaded",
+			fire: func(t *testing.T) (*http.Response, []byte) {
+				s, ts := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 1})
+				createSession(t, ts.URL, "slow", SessionOptions{InjectFault: "sleep:*"})
+				var wg sync.WaitGroup
+				for i := 0; i < 2; i++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						do(t, "POST", ts.URL+"/v1/sessions/slow/analyze", nil)
+					}()
+				}
+				t.Cleanup(wg.Wait)
+				waitFor(t, func() bool {
+					running, queued := s.gate.snapshot()
+					return running == 1 && queued == 1
+				})
+				return do(t, "POST", ts.URL+"/v1/sessions/slow/analyze", nil)
+			},
+		},
+		{
+			name: "memory budget", wantStatus: http.StatusServiceUnavailable, wantKind: "budget",
+			fire: func(t *testing.T) (*http.Response, []byte) {
+				_, ts := newTestServer(t, Config{MemBudget: 1})
+				return do(t, "POST", ts.URL+"/v1/sessions", busPayload(t, "a", 4, SessionOptions{}))
+			},
+		},
+		{
+			name: "draining", wantStatus: http.StatusServiceUnavailable, wantKind: "draining",
+			fire: func(t *testing.T) (*http.Response, []byte) {
+				s, ts := newTestServer(t, Config{})
+				s.Drain(time.Second)
+				return do(t, "POST", ts.URL+"/v1/sessions", busPayload(t, "a", 4, SessionOptions{}))
+			},
+		},
+		{
+			name: "breaker open", wantStatus: http.StatusServiceUnavailable, wantKind: "breaker_open",
+			fire: func(t *testing.T) (*http.Response, []byte) {
+				_, ts := newTestServer(t, Config{BreakerTrips: 1})
+				// Fail-soft degrades one net per run; a single degraded
+				// result trips the one-strike breaker.
+				createSession(t, ts.URL, "flaky", SessionOptions{InjectFault: "panic:b1"})
+				resp, data := do(t, "POST", ts.URL+"/v1/sessions/flaky/analyze", nil)
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("degraded analyze: %d: %s", resp.StatusCode, data)
+				}
+				return do(t, "POST", ts.URL+"/v1/sessions/flaky/analyze", nil)
+			},
+		},
+		{
+			name: "session cap with all sessions busy", wantStatus: http.StatusServiceUnavailable, wantKind: "session_limit",
+			fire: func(t *testing.T) (*http.Response, []byte) {
+				s, ts := newTestServer(t, Config{MaxSessions: 1, MaxConcurrent: 2, QueueDepth: 4})
+				createSession(t, ts.URL, "slow", SessionOptions{InjectFault: "sleep:*"})
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					do(t, "POST", ts.URL+"/v1/sessions/slow/analyze", nil)
+				}()
+				t.Cleanup(wg.Wait)
+				waitFor(t, func() bool {
+					s.mu.Lock()
+					defer s.mu.Unlock()
+					ss := s.sessions["slow"]
+					return ss != nil && ss.refs > 0
+				})
+				return do(t, "POST", ts.URL+"/v1/sessions", busPayload(t, "b", 4, SessionOptions{}))
+			},
+		},
+		{
+			name: "storage failure", wantStatus: http.StatusServiceUnavailable, wantKind: "storage",
+			fire: func(t *testing.T) (*http.Response, []byte) {
+				_, ts := newTestServer(t, Config{DataDir: t.TempDir(), StoreFaultSpec: "enospc:append:1"})
+				return do(t, "POST", ts.URL+"/v1/sessions", busPayload(t, "a", 4, SessionOptions{}))
+			},
+		},
+		{
+			name: "job queue full", wantStatus: http.StatusTooManyRequests, wantKind: "overloaded",
+			fire: func(t *testing.T) (*http.Response, []byte) {
+				s, ts := newTestServer(t, Config{JobWorkers: 1, JobQueueDepth: 1})
+				createSession(t, ts.URL, "slow", SessionOptions{InjectFault: "sleep:*"})
+				submit := map[string]string{"session": "slow", "type": "analyze"}
+				for i := 0; i < 2; i++ {
+					resp, data := do(t, "POST", ts.URL+"/v1/jobs", submit)
+					if resp.StatusCode != http.StatusAccepted {
+						t.Fatalf("submit %d: %d: %s", i, resp.StatusCode, data)
+					}
+				}
+				waitFor(t, func() bool {
+					jm := s.jobs.MetricsSnapshot()
+					return jm.Running == 1 && jm.Queued == 1
+				})
+				return do(t, "POST", ts.URL+"/v1/jobs", submit)
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := tc.fire(t)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d: %s", resp.StatusCode, tc.wantStatus, data)
+			}
+			wantErrKind(t, data, tc.wantKind)
+			ra := resp.Header.Get("Retry-After")
+			if secs, err := strconv.Atoi(ra); err != nil || secs <= 0 {
+				t.Fatalf("Retry-After = %q, want positive integer seconds", ra)
+			}
+		})
+	}
+}
+
+// TestJobsStateFilter covers GET /v1/jobs?state=: valid states filter,
+// states with no members return empty lists, and an unknown state is a
+// 400 — the snad jobs -state flag rides on this.
+func TestJobsStateFilter(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	createSession(t, ts.URL, "bus", SessionOptions{})
+	// One job that completes, one against a missing session that fails.
+	for _, sess := range []string{"bus", "ghost"} {
+		resp, data := do(t, "POST", ts.URL+"/v1/jobs", map[string]string{"session": sess, "type": "analyze"})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %s: %d: %s", sess, resp.StatusCode, data)
+		}
+	}
+	listState := func(state string) int {
+		_, data := do(t, "GET", ts.URL+"/v1/jobs?state="+state, nil)
+		var out JobsResponse
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("state=%s: %v: %s", state, err, data)
+		}
+		for _, j := range out.Jobs {
+			if state != "quarantined" && j.State != state {
+				t.Fatalf("state=%s returned job in state %s", state, j.State)
+			}
+		}
+		return len(out.Jobs)
+	}
+	waitFor(t, func() bool {
+		return listState("done") == 1 && listState("failed") == 1
+	})
+	for state, want := range map[string]int{"done": 1, "failed": 1, "queued": 0, "running": 0, "canceled": 0, "quarantined": 0} {
+		if got := listState(state); got != want {
+			t.Fatalf("state=%s returned %d jobs, want %d", state, got, want)
+		}
+	}
+
+	resp, data := do(t, "GET", ts.URL+"/v1/jobs?state=bogus", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus state: %d: %s", resp.StatusCode, data)
+	}
+	wantErrKind(t, data, "bad_request")
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"path/filepath"
+	"time"
 
 	"repro/internal/bind"
 	"repro/internal/core"
@@ -63,8 +64,17 @@ func (s *Server) jobFinal(id string, state jobs.State) {
 // session, unreplayable spec — are marked Permanent so the manager
 // fails fast instead of burning the retry budget.
 func (s *Server) execJob(ctx context.Context, id string, spec *jobs.Spec, attempt int) (json.RawMessage, bool, error) {
+	start := time.Now()
+	defer func() { s.histJobRun.Observe(time.Since(start).Seconds()) }()
 	ss, einfo := s.retainOrRevive(spec.Session)
 	if einfo != nil {
+		if einfo.Kind == "budget" || einfo.Kind == "session_limit" {
+			// The design didn't fit the memory budget — or the session
+			// registry was full of busy sessions — right now; that is
+			// transient load, so let the manager's retry/backoff absorb it
+			// instead of failing the job permanently.
+			return nil, false, errors.New(einfo.Message)
+		}
 		return nil, false, jobs.Permanent(errors.New(einfo.Message))
 	}
 	if ss == nil {
@@ -277,6 +287,12 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, ErrorInfo{Kind: "bad_request", Message: err.Error()}, 0)
 		return
 	}
+	// The transport-level tenant wins over the body's: proxies stamp the
+	// header per caller, and a spec replayed from a template must not
+	// smuggle another tenant's identity.
+	if t := tenantOf(r); t != "" {
+		spec.Tenant = t
+	}
 	snap, err := s.jobs.Submit(&spec)
 	if err != nil {
 		var se *jobs.StorageError
@@ -288,9 +304,11 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 				Session: spec.Session,
 			}, s.cfg.RetryAfter)
 		case errors.Is(err, jobs.ErrDraining):
+			// Retry-After points the client at this server's replacement:
+			// a drain precedes either a restart or a peer taking over.
 			s.writeErr(w, http.StatusServiceUnavailable, ErrorInfo{
 				Kind: "draining", Message: "server is draining; no new jobs accepted",
-			}, 0)
+			}, s.cfg.RetryAfter)
 		case errors.As(err, &se):
 			s.storeDegraded.Store(true)
 			s.writeErr(w, http.StatusServiceUnavailable, ErrorInfo{
@@ -306,8 +324,36 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusAccepted, snap)
 }
 
+// handleListJobs is GET /v1/jobs, optionally filtered with ?state=:
+// one of the lifecycle states, or the pseudo-state "quarantined"
+// (failed jobs parked as poison — the ones an operator triages first).
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, JobsResponse{Jobs: s.jobs.List()})
+	all := s.jobs.List()
+	state := r.URL.Query().Get("state")
+	if state == "" {
+		s.writeJSON(w, http.StatusOK, JobsResponse{Jobs: all})
+		return
+	}
+	switch state {
+	case "queued", "running", "done", "failed", "canceled", "quarantined":
+	default:
+		s.writeErr(w, http.StatusBadRequest, ErrorInfo{
+			Kind:    "bad_request",
+			Message: fmt.Sprintf("unknown state filter %q (want queued|running|done|failed|canceled|quarantined)", state),
+		}, 0)
+		return
+	}
+	filtered := make([]report.JobJSON, 0, len(all))
+	for _, j := range all {
+		if state == "quarantined" {
+			if j.Quarantined {
+				filtered = append(filtered, j)
+			}
+		} else if j.State == state {
+			filtered = append(filtered, j)
+		}
+	}
+	s.writeJSON(w, http.StatusOK, JobsResponse{Jobs: filtered})
 }
 
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {

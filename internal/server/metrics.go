@@ -3,7 +3,10 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"runtime"
 	"strings"
+
+	"repro/internal/intern"
 )
 
 // handleMetrics is GET /metrics: Prometheus text exposition (format
@@ -14,6 +17,8 @@ import (
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	n, open := s.readySnapshot()
 	jm := s.jobs.MetricsSnapshot()
+	running, queued := s.gate.snapshot()
+	cs := s.cache.stats()
 
 	b01 := func(v bool) int {
 		if v {
@@ -30,8 +35,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 
 	gauge("snad_inflight_requests", "Requests currently being served.", s.inflightN.Load())
-	gauge("snad_running_analyses", "Analyses currently holding a worker slot.", len(s.sem))
-	gauge("snad_queued_requests", "Requests waiting for a worker slot.", s.queuedN.Load())
+	gauge("snad_running_analyses", "Analyses currently holding a worker slot.", running)
+	gauge("snad_queued_requests", "Requests waiting for a worker slot.", queued)
 	gauge("snad_request_capacity", "Concurrent analysis worker slots.", s.cfg.MaxConcurrent)
 	gauge("snad_request_queue_depth", "Admission queue capacity.", s.cfg.QueueDepth)
 	counter("snad_shed_requests_total", "Requests shed by bounded admission (429).", s.shedN.Load())
@@ -48,6 +53,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("snad_jobs_failed_total", "Async jobs that exhausted retries or failed permanently.", jm.Failed)
 	counter("snad_jobs_canceled_total", "Async jobs canceled by request.", jm.Canceled)
 	counter("snad_jobs_quarantined_total", "Poison jobs parked after repeated panics, crashes, or degradations.", jm.Quarantined)
+
+	// Memory governance: the shared design cache and its byte budget.
+	gauge("snad_mem_budget_bytes", "Configured server memory budget for cached designs (0 = unlimited).", cs.Budget)
+	gauge("snad_mem_charged_bytes", "Bytes charged to resident cached designs.", cs.Charged)
+	gauge("snad_cached_designs", "Bound designs resident in the shared cache.", cs.Entries)
+	gauge("snad_cached_designs_referenced", "Cached designs currently referenced by at least one session or shard token.", cs.Referenced)
+	counter("snad_design_cache_hits_total", "Session builds served from the shared design cache (including single-flight coalesces).", cs.Hits)
+	counter("snad_design_cache_misses_total", "Session builds that parsed and bound a new design.", cs.Misses)
+	counter("snad_design_cache_evictions_total", "Idle cached designs evicted for budget headroom.", cs.Evictions)
+	counter("snad_budget_sheds_total", "Requests shed with 503 because the memory budget could not fit their design.", cs.BudgetSheds)
+
+	// Go runtime gauges: the load harness and the CI smoke job read heap
+	// occupancy next to the cache's own accounting.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge("snad_go_heap_alloc_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).", ms.HeapAlloc)
+	gauge("snad_go_heap_sys_bytes", "Bytes of heap obtained from the OS (runtime.MemStats.HeapSys).", ms.HeapSys)
+	gauge("snad_go_goroutines", "Live goroutines.", runtime.NumGoroutine())
+	syms, symBytes := intern.Stats()
+	gauge("snad_interned_symbols", "Strings interned in the global symbol table.", syms)
+	gauge("snad_interned_bytes", "Estimated bytes held by the global symbol table.", symBytes)
+
+	// Per-stage latency histograms.
+	s.histAdmission.Write(&sb)
+	s.histAnalysis.Write(&sb)
+	s.histFsync.Write(&sb)
+	s.histJobRun.Write(&sb)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

@@ -64,6 +64,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/liberty"
 	"repro/internal/lint"
+	"repro/internal/metrics"
 	"repro/internal/netlist"
 	"repro/internal/report"
 	"repro/internal/shard"
@@ -98,6 +99,19 @@ type Config struct {
 	// BreakerCooldown is how long a tripped session sheds requests before
 	// going half-open (default 10s).
 	BreakerCooldown time.Duration
+	// MemBudget is the server-wide byte budget for cached bound designs
+	// (serve -mem-budget). Creating or re-materializing a session charges
+	// the design's measured size against it; when idle-entry eviction
+	// cannot make room the request sheds with 503 kind "budget" instead
+	// of growing until the OOM killer arrives. 0 disables budgeting.
+	MemBudget int64
+	// TenantCap caps one tenant's simultaneously running interactive
+	// analyses, so round-robin admission stays fair even against a tenant
+	// that floods the queue (default MaxConcurrent — no per-tenant cap).
+	TenantCap int
+	// JobTenantCap caps one tenant's simultaneously running jobs in the
+	// async worker pool (default JobWorkers — no per-tenant cap).
+	JobTenantCap int
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 
@@ -121,6 +135,11 @@ type Config struct {
 	// JobQueueDepth caps jobs waiting for a job worker; POST /v1/jobs
 	// past it is shed with 429 (default 16).
 	JobQueueDepth int
+	// JobKeepDone bounds terminal-job retention for status queries
+	// (default 64). High-throughput batch callers that poll for results
+	// need retention deeper than their poll interval times the completion
+	// rate, or a finished job can be pruned before its submitter sees it.
+	JobKeepDone int
 	// JobMaxAttempts is the default retry budget for jobs that don't set
 	// their own (default 3).
 	JobMaxAttempts int
@@ -197,10 +216,16 @@ func (c *Config) fill() {
 type Server struct {
 	cfg Config
 
-	// sem holds a token per running analysis; queue holds a token per
-	// waiting request. Together they are the bounded admission gate.
-	sem   chan struct{}
-	queue chan struct{}
+	// gate is the bounded, tenant-fair admission controller: at most
+	// MaxConcurrent analyses run, at most QueueDepth wait, and waiters
+	// are granted round-robin across tenants with a per-tenant running
+	// cap (tenant.go).
+	gate *admission
+
+	// cache is the content-addressed shared design cache: sessions and
+	// shard run tokens hold refcounted entries, and the optional byte
+	// budget governs create/re-materialize admission (cache.go).
+	cache *designCache
 
 	// flightMu orders request entry against the drain flag so Drain's
 	// WaitGroup wait cannot race a late arrival.
@@ -208,8 +233,13 @@ type Server struct {
 	draining  atomic.Bool
 	inflight  sync.WaitGroup
 	inflightN atomic.Int64
-	queuedN   atomic.Int64
 	shedN     atomic.Int64
+
+	// Per-stage latency histograms served by GET /metrics.
+	histAdmission *metrics.Histogram
+	histAnalysis  *metrics.Histogram
+	histFsync     *metrics.Histogram
+	histJobRun    *metrics.Histogram
 
 	// forceCtx is cancelled when a drain exceeds its budget; every
 	// request context is derived to die with it.
@@ -255,14 +285,19 @@ func New(cfg Config) (*Server, error) {
 	cfg.fill()
 	s := &Server{
 		cfg:          cfg,
-		sem:          make(chan struct{}, cfg.MaxConcurrent),
-		queue:        make(chan struct{}, cfg.QueueDepth),
+		gate:         newAdmission(cfg.MaxConcurrent, cfg.QueueDepth, cfg.TenantCap),
+		cache:        newDesignCache(cfg.MemBudget, cfg.now, cfg.Logf),
 		sessions:     make(map[string]*session),
 		lastUsed:     make(map[string]time.Time),
 		shardRunners: make(map[string]*shard.Runner),
 		shardDesigns: make(map[string]*sharedDesign),
 		workers:      make(map[string]*workerEntry),
 		hbStop:       make(chan struct{}),
+
+		histAdmission: metrics.NewHistogram("snad_admission_wait_seconds", "Time requests spend waiting for a worker slot.", nil),
+		histAnalysis:  metrics.NewHistogram("snad_analysis_seconds", "Engine time of completed analysis requests.", nil),
+		histFsync:     metrics.NewHistogram("snad_journal_fsync_seconds", "Durable session-journal append latency (fsync included).", nil),
+		histJobRun:    metrics.NewHistogram("snad_job_run_seconds", "Wall time of async job execution attempts.", nil),
 	}
 	s.forceCtx, s.forceCancel = context.WithCancel(context.Background())
 	faults, err := workload.ParseStoreFaults(cfg.StoreFaultSpec)
@@ -292,6 +327,8 @@ func New(cfg Config) (*Server, error) {
 	jcfg := jobs.Config{
 		Workers:            cfg.JobWorkers,
 		MaxQueued:          cfg.JobQueueDepth,
+		KeepDone:           cfg.JobKeepDone,
+		TenantCap:          cfg.JobTenantCap,
 		DefaultMaxAttempts: cfg.JobMaxAttempts,
 		DefaultDeadline:    cfg.JobDeadline,
 		Exec:               s.execJob,
@@ -360,10 +397,17 @@ func (s *Server) restoreSessions() {
 		}
 		ss, einfo := s.materialize(name, sp)
 		if einfo != nil {
+			if einfo.Kind == "budget" {
+				// Out of memory budget, not an unreplayable spec: leave it
+				// on disk for lazy revive once memory frees up.
+				s.cfg.Logf("restore: %q stays on disk (memory budget): %s", name, einfo.Message)
+				continue
+			}
 			s.quarantineSpec(name, einfo.Message)
 			continue
 		}
 		if einfo := s.insert(ss); einfo != nil {
+			s.cache.release(ss.entry)
 			s.cfg.Logf("restore: %q stays on disk: %s", name, einfo.Message)
 			continue
 		}
@@ -561,22 +605,25 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return w.ResponseWriter.Write(p)
 }
 
-// admit implements bounded admission for the heavy endpoints. It returns
-// a release function on success; otherwise it has already written the
-// shed response. Waiting in the queue respects the request context and
-// the drain signal.
+// admit implements bounded, tenant-fair admission for the heavy
+// endpoints. It returns a release function on success; otherwise it has
+// already written the shed response. Waiting in the queue respects the
+// request context and the drain signal; grants rotate round-robin
+// across tenants (tenant.go), so one flooding tenant cannot starve the
+// rest of the queue.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) (func(), bool) {
-	select {
-	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, true
-	default:
+	tenant := tenantOf(r)
+	start := time.Now()
+	if s.gate.tryAcquire(tenant) {
+		s.histAdmission.Observe(time.Since(start).Seconds())
+		return func() { s.gate.release(tenant) }, true
 	}
-	// No worker free: try to take a queue slot. A full queue means the
-	// server is past its configured backlog — shed immediately rather
-	// than building an invisible line of doomed requests.
-	select {
-	case s.queue <- struct{}{}:
-	default:
+	// No slot free for this tenant: try to join the wait queue. A full
+	// queue means the server is past its configured backlog — shed
+	// immediately rather than building an invisible line of doomed
+	// requests.
+	wt := s.gate.enqueue(tenant)
+	if wt == nil {
 		s.shedN.Add(1)
 		s.writeErr(w, http.StatusTooManyRequests, ErrorInfo{
 			Kind:    "overloaded",
@@ -584,23 +631,26 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (func(), bool) {
 		}, s.cfg.RetryAfter)
 		return nil, false
 	}
-	s.queuedN.Add(1)
-	defer func() {
-		s.queuedN.Add(-1)
-		<-s.queue
-	}()
 	select {
-	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, true
+	case <-wt.ready:
+		s.histAdmission.Observe(time.Since(start).Seconds())
+		return func() { s.gate.release(tenant) }, true
 	case <-r.Context().Done():
+		if !s.gate.abandon(wt) {
+			// The grant raced the expiry; the slot is ours to return.
+			s.gate.release(tenant)
+		}
 		s.writeErr(w, http.StatusServiceUnavailable, ErrorInfo{
 			Kind: "deadline", Message: "request expired while queued for a worker",
 		}, s.cfg.RetryAfter)
 		return nil, false
 	case <-s.forceCtx.Done():
+		if !s.gate.abandon(wt) {
+			s.gate.release(tenant)
+		}
 		s.writeErr(w, http.StatusServiceUnavailable, ErrorInfo{
 			Kind: "draining", Message: "server drained while request was queued",
-		}, 0)
+		}, s.cfg.RetryAfter)
 		return nil, false
 	}
 }
@@ -657,6 +707,14 @@ func (s *Server) retain(name string) *session {
 // restart. The rebuild (parse, lint, bind) happens outside the registry
 // lock; insertion tolerates losing a race with a concurrent revive of the
 // same name. Returns (nil, nil) when the store has no such session.
+//
+// The returned session is PINNED (refs incremented before it becomes
+// visible in the registry) and the caller must releaseRef it. Handing it
+// back unpinned would reopen an overload race: under heavy session churn
+// every other loaded session can be pinned by in-flight requests, which
+// makes a freshly revived refs==0 session the only LRU-eviction candidate
+// — it would be evicted between revive and the caller's retain, turning a
+// perfectly durable session into a spurious 404.
 func (s *Server) revive(name string) (*session, *ErrorInfo) {
 	if s.store == nil {
 		return nil, nil
@@ -669,6 +727,12 @@ func (s *Server) revive(name string) (*session, *ErrorInfo) {
 		sp.restoredAt = time.Time{} // a revive is recovered "now", not at boot
 		ss, einfo := s.materialize(name, sp)
 		if einfo != nil {
+			if einfo.Kind == "budget" {
+				// A budget shed is load, not rot: the spec still builds
+				// once memory frees up. Do NOT quarantine; surface the
+				// transient error for the caller to map onto 503.
+				return nil, einfo
+			}
 			s.quarantineSpec(name, einfo.Message)
 			return nil, &ErrorInfo{
 				Kind:    "unreplayable",
@@ -676,10 +740,15 @@ func (s *Server) revive(name string) (*session, *ErrorInfo) {
 				Session: name,
 			}
 		}
+		// Born pinned: the ref must exist before insert makes the session
+		// visible, or a concurrent insert could evict it first.
+		ss.refs = 1
 		if einfo := s.insert(ss); einfo != nil {
+			s.cache.release(ss.entry)
 			if einfo.Kind == "conflict" {
 				// A concurrent request revived it first; use theirs.
-				if cur := s.lookup(name); cur != nil {
+				//snavet:deferrelease the pin is handed to the caller, which defers releaseRef for the request's lifetime
+				if cur := s.retain(name); cur != nil {
 					return cur, nil
 				}
 				continue
@@ -689,12 +758,15 @@ func (s *Server) revive(name string) (*session, *ErrorInfo) {
 		// A DELETE may have tombstoned the spec between our read and the
 		// insert; honor the tombstone rather than resurrecting.
 		if s.store.Spec(name) == nil {
-			s.mu.Lock()
-			if s.sessions[name] == ss {
-				delete(s.sessions, name)
-				delete(s.lastUsed, name)
-			}
-			s.mu.Unlock()
+			func() {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				if s.sessions[name] == ss {
+					if ss.refs--; ss.refs == 0 {
+						s.dropSessionLocked(ss)
+					}
+				}
+			}()
 			return nil, nil
 		}
 		s.cfg.Logf("session %q re-materialized from disk", name)
@@ -703,27 +775,30 @@ func (s *Server) revive(name string) (*session, *ErrorInfo) {
 }
 
 // retainOrRevive pins the named session, re-materializing it from the
-// store when it is not in memory.
+// store when it is not in memory. The caller must releaseRef the result.
 func (s *Server) retainOrRevive(name string) (*session, *ErrorInfo) {
 	//snavet:deferrelease the pin is handed to the caller, which defers releaseRef for the request's lifetime
 	if ss := s.retain(name); ss != nil {
 		return ss, nil
 	}
-	ss, einfo := s.revive(name)
-	if einfo != nil || ss == nil {
-		return nil, einfo
-	}
-	//snavet:deferrelease the pin is handed to the caller, which defers releaseRef for the request's lifetime
-	if ss = s.retain(name); ss != nil {
-		return ss, nil
-	}
-	return nil, nil
+	// revive returns the session already pinned; the caller defers
+	// releaseRef just the same.
+	return s.revive(name)
 }
 
 func (s *Server) releaseRef(ss *session) {
 	s.mu.Lock()
 	ss.refs--
 	s.mu.Unlock()
+}
+
+// dropSessionLocked removes a session from the registry and releases
+// its design-cache reference. Callers hold s.mu (the cache mutex is a
+// leaf below it).
+func (s *Server) dropSessionLocked(ss *session) {
+	delete(s.sessions, ss.name)
+	delete(s.lastUsed, ss.name)
+	s.cache.release(ss.entry)
 }
 
 // insert registers a new session, evicting the least-recently-used idle
@@ -764,8 +839,7 @@ func (s *Server) insert(ss *session) *ErrorInfo {
 		} else {
 			s.cfg.Logf("evicting idle session %q (LRU) for %q", victim, ss.name)
 		}
-		delete(s.sessions, victim)
-		delete(s.lastUsed, victim)
+		s.dropSessionLocked(s.sessions[victim])
 	}
 	s.sessions[ss.name] = ss
 	s.lastUsed[ss.name] = s.cfg.now()
@@ -810,10 +884,12 @@ func (s *Server) readySnapshot() (n int, open []string) {
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	n, open := s.readySnapshot()
 	jm := s.jobs.MetricsSnapshot()
+	running, queued := s.gate.snapshot()
+	cs := s.cache.stats()
 	resp := ReadyResponse{
 		Status:          "ready",
-		Inflight:        len(s.sem),
-		Queued:          int(s.queuedN.Load()),
+		Inflight:        running,
+		Queued:          queued,
 		Capacity:        s.cfg.MaxConcurrent,
 		QueueDepth:      s.cfg.QueueDepth,
 		Sessions:        n,
@@ -823,6 +899,12 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		StorageDegraded: s.storeDegraded.Load() || jm.StorageDegraded,
 		JobsQueued:      jm.Queued,
 		JobsRunning:     jm.Running,
+		MemBudget:       cs.Budget,
+		MemCharged:      cs.Charged,
+		CachedDesigns:   cs.Entries,
+		CacheHits:       cs.Hits,
+		CacheEvictions:  cs.Evictions,
+		BudgetSheds:     cs.BudgetSheds,
 	}
 	if s.draining.Load() {
 		resp.Status = "draining"
@@ -864,17 +946,24 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	ss, einfo := s.buildSession(&req)
 	if einfo != nil {
 		status := http.StatusBadRequest
+		var retry time.Duration
 		switch einfo.Kind {
 		case "lint_rejected":
 			status = http.StatusUnprocessableEntity
+		case "budget":
+			// The design did not fit the memory budget even after idle
+			// eviction: shed, don't grow until the OOM killer decides.
+			status = http.StatusServiceUnavailable
+			retry = s.cfg.RetryAfter
 		}
-		s.writeErr(w, status, *einfo, 0)
+		s.writeErr(w, status, *einfo, retry)
 		return
 	}
 	if s.store != nil {
 		// A persisted session that was LRU-evicted from memory still
 		// exists; its name is not reusable until it is deleted.
 		if s.store.Spec(req.Name) != nil {
+			s.cache.release(ss.entry)
 			s.writeErr(w, http.StatusConflict, ErrorInfo{
 				Kind: "conflict", Message: fmt.Sprintf("session %q already exists (persisted)", req.Name), Session: req.Name,
 			}, 0)
@@ -891,6 +980,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		ss.refs = 1
 	}
 	if einfo := s.insert(ss); einfo != nil {
+		s.cache.release(ss.entry)
 		status := http.StatusConflict
 		if einfo.Kind == "session_limit" {
 			status = http.StatusServiceUnavailable
@@ -903,12 +993,13 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.store != nil {
-		if err := s.store.Create(&req); err != nil {
+		if err := s.storeCreate(&req); err != nil {
 			s.storeDegraded.Store(true)
-			s.mu.Lock()
-			delete(s.sessions, ss.name)
-			delete(s.lastUsed, ss.name)
-			s.mu.Unlock()
+			func() {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				s.dropSessionLocked(ss)
+			}()
 			s.cfg.Logf("session %q create not journaled, refused: %v", ss.name, err)
 			s.writeErr(w, http.StatusServiceUnavailable, ErrorInfo{
 				Kind:    "storage",
@@ -926,7 +1017,13 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusCreated, ss.info(s.cfg.now()))
 }
 
-// buildSession parses, lints, and binds the request's databases.
+// buildSession resolves the request into a session: cheap per-session
+// inputs (timing annotation, mode, fault spec) are parsed here, and the
+// expensive immutable part — the parsed, linted, bound design — is
+// acquired from the shared content-addressed cache, which builds it at
+// most once per distinct source set. The returned session holds one
+// cache reference; every path that discards the session must release it
+// (dropSessionLocked, or cache.release on pre-insert failures).
 func (s *Server) buildSession(req *CreateSessionRequest) (*session, *ErrorInfo) {
 	if req.Name == "" {
 		return nil, &ErrorInfo{Kind: "bad_request", Message: "session name is required"}
@@ -937,30 +1034,8 @@ func (s *Server) buildSession(req *CreateSessionRequest) (*session, *ErrorInfo) 
 	bad := func(err error) *ErrorInfo {
 		return &ErrorInfo{Kind: "bad_request", Message: err.Error(), Session: req.Name}
 	}
-	lib := liberty.Generic()
-	if req.Liberty != "" {
-		var err error
-		if lib, err = liberty.Parse(strings.NewReader(req.Liberty)); err != nil {
-			return nil, bad(err)
-		}
-	}
-	var design *netlist.Design
-	var err error
-	if req.Verilog != "" {
-		design, err = vlog.Parse(strings.NewReader(req.Verilog), lib)
-	} else {
-		design, err = netlist.Parse(strings.NewReader(req.Netlist))
-	}
-	if err != nil {
-		return nil, bad(err)
-	}
-	var paras *spef.Parasitics
-	if req.SPEF != "" {
-		if paras, err = spef.Parse(strings.NewReader(req.SPEF)); err != nil {
-			return nil, bad(err)
-		}
-	}
 	var inputs map[string]*sta.Timing
+	var err error
 	if req.Timing != "" {
 		if inputs, err = sta.ParseInputTiming(strings.NewReader(req.Timing)); err != nil {
 			return nil, bad(err)
@@ -974,15 +1049,76 @@ func (s *Server) buildSession(req *CreateSessionRequest) (*session, *ErrorInfo) 
 	if err != nil {
 		return nil, bad(err)
 	}
-	// The same pre-flight the CLI runs: noise results computed from a
-	// broken database are worse than no results, so error-severity lint
-	// findings reject the create with the findings attached.
+	src := sourcesOf(req)
+	//snavet:deferrelease the entry reference is owned by the returned session and released by dropSessionLocked (or by the caller on insert failure)
+	entry, einfo := s.cache.acquire(src, func() (*bind.Design, *ErrorInfo) {
+		return buildDesign(src, inputs)
+	})
+	if einfo != nil {
+		// The error object may be shared with coalesced waiters of the
+		// same build; annotate a copy with this request's session name.
+		e := *einfo
+		e.Session = req.Name
+		return nil, &e
+	}
+	return &session{
+		name:  req.Name,
+		spec:  req,
+		busy:  make(chan struct{}, 1),
+		b:     entry.b,
+		entry: entry,
+		opts: core.Options{
+			Mode:             mode,
+			FilterThreshold:  req.Options.Threshold,
+			NoPropagation:    req.Options.NoPropagation,
+			LogicCorrelation: req.Options.LogicCorrelation,
+			Workers:          req.Options.Workers,
+			FailSoft:         !req.Options.FailFast,
+			PrepareHook:      faults.Hook(),
+			STA:              sta.Options{InputTiming: inputs},
+		},
+	}, nil
+}
+
+// buildDesign is the cache-miss build path: parse every database, run
+// the lint pre-flight, and bind. Errors carry no session name — the
+// result may be shared by coalesced acquires from different sessions,
+// so callers annotate a copy. A lint rejection fails the build (noise
+// results computed from a broken database are worse than no results)
+// and is deliberately not cached: it is deterministic, cheap to rerun,
+// and caching failures would pin rejected source text in memory.
+func buildDesign(src designSources, inputs map[string]*sta.Timing) (*bind.Design, *ErrorInfo) {
+	bad := func(err error) *ErrorInfo {
+		return &ErrorInfo{Kind: "bad_request", Message: err.Error()}
+	}
+	lib := liberty.Generic()
+	if src.Liberty != "" {
+		var err error
+		if lib, err = liberty.Parse(strings.NewReader(src.Liberty)); err != nil {
+			return nil, bad(err)
+		}
+	}
+	var design *netlist.Design
+	var err error
+	if src.Verilog != "" {
+		design, err = vlog.Parse(strings.NewReader(src.Verilog), lib)
+	} else {
+		design, err = netlist.Parse(strings.NewReader(src.Netlist))
+	}
+	if err != nil {
+		return nil, bad(err)
+	}
+	var paras *spef.Parasitics
+	if src.SPEF != "" {
+		if paras, err = spef.Parse(strings.NewReader(src.SPEF)); err != nil {
+			return nil, bad(err)
+		}
+	}
 	lres := lint.Run(&lint.Input{Design: design, Lib: lib, Paras: paras, Inputs: inputs}, lint.Config{})
 	if lres.HasErrors() {
 		info := &ErrorInfo{
 			Kind:    "lint_rejected",
 			Message: fmt.Sprintf("design rejected by lint: %d error(s)", lres.Errors()),
-			Session: req.Name,
 		}
 		for _, d := range lres.Diags {
 			info.Lint = append(info.Lint, LintDiagJSON{
@@ -995,22 +1131,7 @@ func (s *Server) buildSession(req *CreateSessionRequest) (*session, *ErrorInfo) 
 	if err != nil {
 		return nil, bad(err)
 	}
-	return &session{
-		name: req.Name,
-		spec: req,
-		busy: make(chan struct{}, 1),
-		b:    b,
-		opts: core.Options{
-			Mode:             mode,
-			FilterThreshold:  req.Options.Threshold,
-			NoPropagation:    req.Options.NoPropagation,
-			LogicCorrelation: req.Options.LogicCorrelation,
-			Workers:          req.Options.Workers,
-			FailSoft:         !req.Options.FailFast,
-			PrepareHook:      faults.Hook(),
-			STA:              sta.Options{InputTiming: inputs},
-		},
-	}, nil
+	return b, nil
 }
 
 // listSnapshot collects the visible in-memory sessions under the session
@@ -1059,19 +1180,16 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	ss := s.lookup(name)
-	if ss == nil {
-		var einfo *ErrorInfo
-		ss, einfo = s.revive(name)
-		if einfo != nil {
-			s.writeErr(w, http.StatusNotFound, *einfo, 0)
-			return
-		}
-		if ss == nil {
-			s.writeNotFound(w, name)
-			return
-		}
+	ss, einfo := s.retainOrRevive(name)
+	if einfo != nil {
+		s.writeReviveErr(w, einfo)
+		return
 	}
+	if ss == nil {
+		s.writeNotFound(w, name)
+		return
+	}
+	defer s.releaseRef(ss)
 	s.writeJSON(w, http.StatusOK, ss.info(s.cfg.now()))
 }
 
@@ -1107,7 +1225,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if persisted {
 		// The tombstone must be durable BEFORE the 200: a crash right
 		// after the reply must not resurrect the session on replay.
-		if err := s.store.Delete(name); err != nil {
+		if err := s.storeDelete(name); err != nil {
 			s.storeDegraded.Store(true)
 			s.mu.Lock()
 			if inMem {
@@ -1123,30 +1241,31 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.mu.Lock()
-	if cur := s.sessions[name]; cur == ss || !inMem {
-		delete(s.sessions, name)
-		delete(s.lastUsed, name)
-	}
-	s.mu.Unlock()
+	func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if cur := s.sessions[name]; cur != nil && (cur == ss || !inMem) {
+			// Dropping the session releases its design-cache reference;
+			// another session over the same sources keeps the entry alive
+			// (its refcount is per-holder, not per-design).
+			s.dropSessionLocked(cur)
+		}
+	}()
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	ss := s.lookup(name)
-	if ss == nil {
-		var einfo *ErrorInfo
-		ss, einfo = s.revive(name)
-		if einfo != nil {
-			s.writeErr(w, http.StatusNotFound, *einfo, 0)
-			return
-		}
-		if ss == nil {
-			s.writeNotFound(w, name)
-			return
-		}
+	ss, einfo := s.retainOrRevive(name)
+	if einfo != nil {
+		s.writeReviveErr(w, einfo)
+		return
 	}
+	if ss == nil {
+		s.writeNotFound(w, name)
+		return
+	}
+	defer s.releaseRef(ss)
 	body := ss.report()
 	if body == nil {
 		// The report cache is warm state, not durable state: a session
@@ -1243,9 +1362,50 @@ func (s *Server) persistPadding(ss *session) {
 	if s.store == nil || !ss.persisted {
 		return
 	}
-	if err := s.store.Padding(ss.name, ss.padding); err != nil {
+	if err := s.storePadding(ss.name, ss.padding); err != nil {
 		s.storeDegraded.Store(true)
 		s.cfg.Logf("session %q padding not journaled (analysis succeeded; the delta is safely re-appliable): %v", ss.name, err)
+	}
+}
+
+// storeCreate, storeDelete, and storePadding wrap the durable store's
+// journal mutations with the fsync-latency histogram: every journaled
+// record is one fsync'd append, so timing these three seams covers the
+// whole write path.
+func (s *Server) storeCreate(req *CreateSessionRequest) error {
+	start := time.Now()
+	err := s.store.Create(req)
+	s.histFsync.Observe(time.Since(start).Seconds())
+	return err
+}
+
+func (s *Server) storeDelete(name string) error {
+	start := time.Now()
+	err := s.store.Delete(name)
+	s.histFsync.Observe(time.Since(start).Seconds())
+	return err
+}
+
+func (s *Server) storePadding(name string, padding map[string]float64) error {
+	start := time.Now()
+	err := s.store.Padding(name, padding)
+	s.histFsync.Observe(time.Since(start).Seconds())
+	return err
+}
+
+// writeReviveErr maps a failed lazy revive onto a response: a budget
+// shed is transient load (503 + Retry-After — the spec is intact and
+// builds once memory frees), anything else means the spec was
+// quarantined as unreplayable (404 with the detail).
+func (s *Server) writeReviveErr(w http.ResponseWriter, einfo *ErrorInfo) {
+	switch einfo.Kind {
+	case "budget", "session_limit":
+		// Both are transient capacity refusals — the memory budget or the
+		// loaded-session cap is full right now — not statements about the
+		// session's existence; shed with Retry-After like any overload.
+		s.writeErr(w, http.StatusServiceUnavailable, *einfo, s.cfg.RetryAfter)
+	default:
+		s.writeErr(w, http.StatusNotFound, *einfo, 0)
 	}
 }
 
@@ -1256,7 +1416,7 @@ func (s *Server) analysis(w http.ResponseWriter, r *http.Request, work func(cont
 	name := r.PathValue("name")
 	ss, einfo := s.retainOrRevive(name)
 	if einfo != nil {
-		s.writeErr(w, http.StatusNotFound, *einfo, 0)
+		s.writeReviveErr(w, einfo)
 		return
 	}
 	if ss == nil {
@@ -1312,6 +1472,8 @@ func (s *Server) analysis(w http.ResponseWriter, r *http.Request, work func(cont
 		// leak the busy slot and wedge every later request to the session
 		// (the barrier turns the panic itself into a structured 500).
 		defer ss.release()
+		astart := time.Now()
+		defer func() { s.histAnalysis.Observe(time.Since(astart).Seconds()) }()
 		return work(ctx, ss)
 	}()
 

@@ -27,6 +27,11 @@ type session struct {
 	b    *bind.Design
 	opts core.Options
 
+	// entry is the shared design-cache entry b came from; the session
+	// holds one reference for its lifetime in the registry, released by
+	// whichever path removes it (dropSessionLocked, create unwind).
+	entry *designEntry
+
 	// spec is the create request the session was built from, retained so
 	// a distributed iterate can ship the same sources to remote workers.
 	// Immutable after create.

@@ -30,13 +30,9 @@ import (
 
 	"repro/internal/bind"
 	"repro/internal/core"
-	"repro/internal/liberty"
-	"repro/internal/netlist"
 	"repro/internal/report"
 	"repro/internal/shard"
-	"repro/internal/spef"
 	"repro/internal/sta"
-	"repro/internal/vlog"
 )
 
 // workerEntry is one registered shard worker and its heartbeat state.
@@ -224,7 +220,7 @@ func (s *Server) dropRunners(token string, shardID int) {
 				delete(s.shardRunners, key)
 			}
 		}
-		delete(s.shardDesigns, token)
+		s.dropTokenDesignLocked(token)
 		return
 	}
 	key := runnerKey(token, shardID)
@@ -238,7 +234,17 @@ func (s *Server) dropRunners(token string, shardID int) {
 			return
 		}
 	}
-	delete(s.shardDesigns, token)
+	s.dropTokenDesignLocked(token)
+}
+
+// dropTokenDesignLocked releases a token's design-cache reference along
+// with its shardDesigns slot. Callers hold shardMu; the cache mutex is
+// a leaf, so taking it under shardMu is within the lock order.
+func (s *Server) dropTokenDesignLocked(token string) {
+	if e := s.shardDesigns[token]; e != nil {
+		s.cache.release(e.entry)
+		delete(s.shardDesigns, token)
+	}
 }
 
 // closeShardRunners drops every hosted shard engine (server shutdown).
@@ -249,93 +255,102 @@ func (s *Server) closeShardRunners() {
 		r.Close()
 		delete(s.shardRunners, key)
 	}
-	clear(s.shardDesigns)
+	for token := range s.shardDesigns {
+		s.dropTokenDesignLocked(token)
+	}
 }
 
-// sharedDesign is one run token's parsed-and-bound design, shared by
-// every shard engine the token hosts on this worker. A bound design is
-// immutable after binding (levelization and RC-analysis caches are
+// sharedDesign is one run token's referenced design-cache entry, shared
+// by every shard engine the token hosts on this worker. A bound design
+// is immutable after binding (levelization and RC-analysis caches are
 // internally guarded), so sharing it is safe; everything mutable —
 // timing annotation, padding, noise state — is private to each engine.
+// The token holds one cache reference, released when its last engine
+// drops (dropRunners/closeShardRunners).
 type sharedDesign struct {
-	b    *bind.Design
-	opts core.Options
+	entry *designEntry
+	opts  core.Options
 }
 
-// designForToken returns the run token's shared design, parsing the spec
-// on the token's first init. Every init of one token ships an identical
-// spec, so a concurrent double-parse (possible on racing first inits)
-// yields identical designs and the first store wins. Parse failures are
-// not cached: they are deterministic, and a retried init simply fails
-// the same way without poisoning later tokens.
+// budgetShedError carries a design-cache budget shed through the shard
+// runner's error classification. The runner wraps builder failures in
+// FatalError (deterministic errors recur on any worker), but a budget
+// shed is load, not determinism — errors.As finds this through the
+// FatalError unwrap chain and writeShardErr maps it back to a 503 the
+// coordinator treats as a transient worker loss.
+type budgetShedError struct{ einfo *ErrorInfo }
+
+func (e *budgetShedError) Error() string { return e.einfo.Message }
+
+// designForToken returns the run token's shared design, building it
+// through the content-addressed design cache on the token's first init.
+// A coordinator driving a session and the workers hosting its shards
+// thus share one bound design per process, and two runs over the same
+// sources share one design across tokens. Racing first inits coalesce
+// in the cache's single-flight build; the install race's loser releases
+// its duplicate reference. Build failures are not cached: they are
+// deterministic, and a retried init simply fails the same way.
 func (s *Server) designForToken(token string, spec *shard.DesignSpec) (*bind.Design, core.Options, error) {
 	s.shardMu.Lock()
 	e := s.shardDesigns[token]
 	s.shardMu.Unlock()
 	if e != nil {
-		return e.b, e.opts, nil
+		return e.entry.b, e.opts, nil
 	}
-	b, opts, err := designFromSpec(spec)
-	if err != nil {
-		return nil, opts, err
-	}
-	s.shardMu.Lock()
-	if prev := s.shardDesigns[token]; prev != nil {
-		b, opts = prev.b, prev.opts
-	} else {
-		s.shardDesigns[token] = &sharedDesign{b: b, opts: opts}
-	}
-	s.shardMu.Unlock()
-	return b, opts, nil
-}
-
-// designFromSpec parses and binds a shipped design spec. It is the worker
-// side of buildSession's parse path, minus lint: shard init is an internal
-// protocol whose inputs already passed the coordinator session's
-// pre-flight.
-func designFromSpec(spec *shard.DesignSpec) (*bind.Design, core.Options, error) {
 	var zero core.Options
-	if (spec.Netlist == "") == (spec.Verilog == "") {
-		return nil, zero, fmt.Errorf("design spec needs exactly one of netlist or verilog")
-	}
-	lib := liberty.Generic()
-	if spec.Liberty != "" {
-		var err error
-		if lib, err = liberty.Parse(strings.NewReader(spec.Liberty)); err != nil {
-			return nil, zero, err
-		}
-	}
-	var design *netlist.Design
-	var err error
-	if spec.Verilog != "" {
-		design, err = vlog.Parse(strings.NewReader(spec.Verilog), lib)
-	} else {
-		design, err = netlist.Parse(strings.NewReader(spec.Netlist))
-	}
+	opts, inputs, err := specOpts(spec)
 	if err != nil {
 		return nil, zero, err
 	}
-	var paras *spef.Parasitics
-	if spec.SPEF != "" {
-		if paras, err = spef.Parse(strings.NewReader(spec.SPEF)); err != nil {
-			return nil, zero, err
+	src := designSources{
+		Netlist: spec.Netlist,
+		Verilog: spec.Verilog,
+		SPEF:    spec.SPEF,
+		Liberty: spec.Liberty,
+		Timing:  spec.Timing,
+	}
+	//snavet:deferrelease the entry reference is handed to the run token's sharedDesign (released on token drop) or released explicitly on the lost race below; acquire failure returns a nil entry
+	entry, einfo := s.cache.acquire(src, func() (*bind.Design, *ErrorInfo) {
+		return buildDesign(src, inputs)
+	})
+	if einfo != nil {
+		if einfo.Kind == "budget" {
+			return nil, zero, &budgetShedError{einfo: einfo}
 		}
+		return nil, zero, fmt.Errorf("%s", einfo.Message)
+	}
+	s.shardMu.Lock()
+	if prev := s.shardDesigns[token]; prev != nil {
+		s.shardMu.Unlock()
+		s.cache.release(entry)
+		return prev.entry.b, prev.opts, nil
+	}
+	s.shardDesigns[token] = &sharedDesign{entry: entry, opts: opts}
+	s.shardMu.Unlock()
+	return entry.b, opts, nil
+}
+
+// specOpts derives the engine options (and the parsed input timing they
+// embed) from a shipped design spec. The design itself builds through
+// the shared cache — including lint, which the coordinator's session
+// already passed; re-running it on a cache miss is cheap defensive
+// hardening, not a behavior change.
+func specOpts(spec *shard.DesignSpec) (core.Options, map[string]*sta.Timing, error) {
+	var zero core.Options
+	if (spec.Netlist == "") == (spec.Verilog == "") {
+		return zero, nil, fmt.Errorf("design spec needs exactly one of netlist or verilog")
+	}
+	mode, err := parseMode(spec.Options.Mode)
+	if err != nil {
+		return zero, nil, err
 	}
 	var inputs map[string]*sta.Timing
 	if spec.Timing != "" {
 		if inputs, err = sta.ParseInputTiming(strings.NewReader(spec.Timing)); err != nil {
-			return nil, zero, err
+			return zero, nil, err
 		}
 	}
-	mode, err := parseMode(spec.Options.Mode)
-	if err != nil {
-		return nil, zero, err
-	}
-	b, err := bind.New(design, lib, paras)
-	if err != nil {
-		return nil, zero, err
-	}
-	return b, core.Options{
+	return core.Options{
 		Mode:             mode,
 		FilterThreshold:  spec.Options.Threshold,
 		NoPropagation:    spec.Options.NoPropagation,
@@ -344,7 +359,7 @@ func designFromSpec(spec *shard.DesignSpec) (*bind.Design, core.Options, error) 
 		FailSoft:         !spec.Options.FailFast,
 		MaxIter:          spec.Options.MaxIter,
 		STA:              sta.Options{InputTiming: inputs},
-	}, nil
+	}, inputs, nil
 }
 
 // designSpecOf converts a session's retained create request into the wire
@@ -374,7 +389,12 @@ func designSpecOf(req *CreateSessionRequest) *shard.DesignSpec {
 // aborts the run, deadline/canceled are transient.
 func (s *Server) writeShardErr(w http.ResponseWriter, err error) {
 	var fe *shard.FatalError
+	var be *budgetShedError
 	switch {
+	case errors.As(err, &be):
+		// Before the FatalError case: the runner wraps builder errors as
+		// fatal, but a memory-budget shed is transient worker load.
+		s.writeErr(w, http.StatusServiceUnavailable, *be.einfo, s.cfg.RetryAfter)
 	case errors.Is(err, shard.ErrEngineBroken):
 		s.writeErr(w, http.StatusConflict, ErrorInfo{Kind: "shard_broken", Message: err.Error()}, 0)
 	case errors.As(err, &fe):

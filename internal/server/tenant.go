@@ -1,0 +1,188 @@
+package server
+
+// Tenant-fair bounded admission. The old gate was a pair of buffered
+// channels (worker semaphore + wait queue): correct, but FIFO across
+// all callers, so one bulk tenant flooding the queue starves every
+// interactive user behind it. admission keeps the same outer contract —
+// at most capacity running, at most queueCap waiting, overflow shed
+// immediately — and replaces global FIFO with:
+//
+//   - per-tenant FIFO wait queues (order within a tenant is preserved),
+//   - round-robin grants across tenants with waiters, and
+//   - a per-tenant running cap (tenantCap), so even with an empty ring a
+//     single tenant cannot occupy every worker slot.
+//
+// With tenantCap == capacity (the default) and one tenant, the behavior
+// is indistinguishable from the old gate. The tenant ID is free text
+// from the X-Snad-Tenant header; absent means the "" tenant, so
+// untagged traffic shares one fair slice instead of bypassing fairness.
+
+import (
+	"net/http"
+	"sync"
+)
+
+// TenantHeader carries the tenant ID on requests and job submissions
+// (exported for the client and load harness).
+const TenantHeader = "X-Snad-Tenant"
+
+func tenantOf(r *http.Request) string { return r.Header.Get(TenantHeader) }
+
+// waiter is one queued admission request. ready closes when the slot is
+// granted; granted is guarded by the admission mutex and arbitrates the
+// grant-vs-abandon race.
+type waiter struct {
+	tenant  string
+	ready   chan struct{}
+	granted bool
+}
+
+type admission struct {
+	capacity  int
+	queueCap  int
+	tenantCap int
+
+	mu        sync.Mutex
+	running   int
+	queued    int
+	runningBy map[string]int
+	queues    map[string][]*waiter
+	// ring lists tenants that have (or recently had) waiters; dispatch
+	// round-robins over it from rr, dropping drained tenants lazily.
+	ring []string
+	rr   int
+}
+
+func newAdmission(capacity, queueCap, tenantCap int) *admission {
+	if tenantCap <= 0 || tenantCap > capacity {
+		tenantCap = capacity
+	}
+	return &admission{
+		capacity:  capacity,
+		queueCap:  queueCap,
+		tenantCap: tenantCap,
+		runningBy: make(map[string]int),
+		queues:    make(map[string][]*waiter),
+	}
+}
+
+// tryAcquire takes a slot without waiting. It fails when capacity is
+// exhausted, the tenant is at its running cap, or the tenant already
+// has waiters (a newcomer must not barge past its own tenant's queue;
+// other tenants' waiters are at their cap or a slot would have been
+// dispatched to them already).
+func (a *admission) tryAcquire(tenant string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.running >= a.capacity || a.runningBy[tenant] >= a.tenantCap || len(a.queues[tenant]) > 0 {
+		return false
+	}
+	a.running++
+	a.runningBy[tenant]++
+	return true
+}
+
+// enqueue registers a waiter, or returns nil when the wait queue is at
+// queueCap (the caller sheds with 429).
+func (a *admission) enqueue(tenant string) *waiter {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.queued >= a.queueCap {
+		return nil
+	}
+	w := &waiter{tenant: tenant, ready: make(chan struct{})}
+	if len(a.queues[tenant]) == 0 {
+		a.ring = append(a.ring, tenant)
+	}
+	a.queues[tenant] = append(a.queues[tenant], w)
+	a.queued++
+	// A slot may be free right now (e.g. other tenants capped); dispatch
+	// so the new waiter doesn't wait for the next release.
+	a.dispatchLocked()
+	return w
+}
+
+// abandon withdraws a waiter whose request expired or was drained. It
+// reports true when the waiter was still queued; false means the grant
+// already happened and the caller owns a slot it must release.
+func (a *admission) abandon(w *waiter) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if w.granted {
+		return false
+	}
+	q := a.queues[w.tenant]
+	for i, x := range q {
+		if x == w {
+			a.queues[w.tenant] = append(q[:i], q[i+1:]...)
+			a.queued--
+			break
+		}
+	}
+	// A drained tenant's ring entry is removed lazily by dispatch.
+	return true
+}
+
+// release returns a slot and dispatches the next waiter.
+func (a *admission) release(tenant string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.running--
+	if n := a.runningBy[tenant] - 1; n > 0 {
+		a.runningBy[tenant] = n
+	} else {
+		delete(a.runningBy, tenant)
+	}
+	a.dispatchLocked()
+}
+
+// dispatchLocked grants free slots round-robin across tenants with
+// waiters, skipping tenants at their running cap and dropping drained
+// ring entries. Callers hold a.mu.
+func (a *admission) dispatchLocked() {
+	for a.running < a.capacity && a.queued > 0 {
+		granted := false
+		scanned := 0
+		for scanned < len(a.ring) {
+			if a.rr >= len(a.ring) {
+				a.rr = 0
+			}
+			t := a.ring[a.rr]
+			q := a.queues[t]
+			if len(q) == 0 {
+				// Drained tenant: drop its ring slot without advancing
+				// rr (the next tenant slides into this index).
+				a.ring = append(a.ring[:a.rr], a.ring[a.rr+1:]...)
+				delete(a.queues, t)
+				continue
+			}
+			if a.runningBy[t] >= a.tenantCap {
+				a.rr = (a.rr + 1) % len(a.ring)
+				scanned++
+				continue
+			}
+			a.queues[t] = q[1:]
+			a.queued--
+			w := q[0]
+			w.granted = true
+			a.running++
+			a.runningBy[t]++
+			close(w.ready)
+			a.rr = (a.rr + 1) % len(a.ring)
+			granted = true
+			break
+		}
+		if !granted {
+			// Every waiting tenant is at its cap; the next release
+			// re-dispatches.
+			return
+		}
+	}
+}
+
+// snapshot reports the gate's occupancy for /readyz and /metrics.
+func (a *admission) snapshot() (running, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.running, a.queued
+}

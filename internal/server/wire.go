@@ -205,8 +205,10 @@ type ErrorInfo struct {
 	// Kind is a stable machine-readable class: bad_request, not_found,
 	// conflict, busy, lint_rejected, overloaded, breaker_open, draining,
 	// deadline, canceled, panic, engine, session_limit, storage (a
-	// lifecycle change could not be journaled; retryable), unreplayable (a
-	// persisted session failed to re-materialize and was quarantined),
+	// lifecycle change could not be journaled; retryable), budget (the
+	// server-wide memory budget cannot fit another design; retryable
+	// once sessions are deleted or go idle), unreplayable (a persisted
+	// session failed to re-materialize and was quarantined),
 	// shard_broken (a shard engine needs re-init before further ops), and
 	// shard_fatal (a deterministic shard failure that would recur on any
 	// worker).
@@ -252,6 +254,17 @@ type ReadyResponse struct {
 	// waiting for a job worker and jobs currently executing.
 	JobsQueued  int `json:"jobsQueued"`
 	JobsRunning int `json:"jobsRunning"`
+	// Memory governance: MemBudget is the configured byte budget (0 =
+	// unlimited); MemCharged the bytes charged to cached designs;
+	// CachedDesigns the entries resident in the shared design cache;
+	// CacheHits/CacheEvictions/BudgetSheds its lifetime counters. A
+	// BudgetShed is a request refused with 503 kind "budget".
+	MemBudget      int64 `json:"memBudget"`
+	MemCharged     int64 `json:"memCharged"`
+	CachedDesigns  int   `json:"cachedDesigns"`
+	CacheHits      int64 `json:"cacheHits"`
+	CacheEvictions int64 `json:"cacheEvictions"`
+	BudgetSheds    int64 `json:"budgetSheds"`
 }
 
 // JobsResponse is the body of GET /v1/jobs.

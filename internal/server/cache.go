@@ -38,6 +38,7 @@ package server
 // never acquire server locks itself.
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
@@ -170,9 +171,13 @@ func (c *designCache) budgetErr(need int64) *ErrorInfo {
 // design with build() on a miss. Exactly one build runs per key at a
 // time; concurrent acquires wait for it and share the result (including
 // a failure — a deterministic parse/lint error is the same for every
-// waiter, and failed builds are not cached). The caller owns one
-// reference and must release() it.
-func (c *designCache) acquire(src designSources, build func() (*bind.Design, *ErrorInfo)) (*designEntry, *ErrorInfo) {
+// waiter, and failed builds are not cached). Coalesced waiters respect
+// ctx: a caller whose request expires while a slow build is in flight
+// withdraws (shedding with kind "canceled") instead of tying up its
+// handler goroutine and admission slot until the build completes. The
+// build itself is never canceled — other waiters still want it. The
+// caller owns one reference and must release() it.
+func (c *designCache) acquire(ctx context.Context, src designSources, build func() (*bind.Design, *ErrorInfo)) (*designEntry, *ErrorInfo) {
 	key := src.key()
 	c.mu.Lock()
 	if e := c.entries[key]; e != nil {
@@ -187,10 +192,33 @@ func (c *designCache) acquire(src designSources, build func() (*bind.Design, *Er
 		bc.waiters++
 		c.hits++
 		c.mu.Unlock()
-		<-bc.done
-		// The builder granted this waiter's reference under the lock, so
-		// the entry cannot have been evicted in between.
-		return bc.entry, bc.einfo
+		select {
+		case <-bc.done:
+			// The builder granted this waiter's reference under the lock,
+			// so the entry cannot have been evicted in between.
+			return bc.entry, bc.einfo
+		case <-ctx.Done():
+			canceled := &ErrorInfo{
+				Kind:    "canceled",
+				Message: fmt.Sprintf("request expired while waiting for an in-flight design build: %v", ctx.Err()),
+			}
+			c.mu.Lock()
+			if c.building[key] == bc {
+				// The build is still in flight: withdraw before the
+				// builder counts this waiter's reference.
+				bc.waiters--
+				c.hits--
+				c.mu.Unlock()
+				return nil, canceled
+			}
+			c.mu.Unlock()
+			// The builder already read waiters and granted this waiter's
+			// reference; done is about to close (it closes right after
+			// the builder drops the lock). Take the grant and return it.
+			<-bc.done
+			c.release(bc.entry)
+			return nil, canceled
+		}
 	}
 	// Miss. Pre-check the budget with the cheap lower bound (source
 	// bytes) so a hopeless build sheds before burning CPU and peak RSS.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,6 +12,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/bind"
 )
 
 // doTenant is do with an X-Snad-Tenant header attached.
@@ -212,6 +215,50 @@ func TestSingleFlightRevive(t *testing.T) {
 	if n := builds.Load(); n != 1 {
 		t.Fatalf("builds = %d, want exactly 1 (single-flight)", n)
 	}
+}
+
+// TestCoalescedAcquireHonorsCancel pins the waiter-withdrawal contract:
+// an acquire that coalesces onto an in-flight build and whose context
+// expires mid-build must return a "canceled" shed instead of blocking
+// until the build finishes — and the builder must not grant the departed
+// waiter a reference.
+func TestCoalescedAcquireHonorsCancel(t *testing.T) {
+	req := busPayload(t, "a", 4, SessionOptions{})
+	src := sourcesOf(&req)
+	c := newDesignCache(0, time.Now, t.Logf)
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	c.buildHook = func() { close(started); <-unblock }
+	build := func() (*bind.Design, *ErrorInfo) { return buildDesign(src, nil) }
+
+	var e1 *designEntry
+	var einfo1 *ErrorInfo
+	builderDone := make(chan struct{})
+	go func() {
+		defer close(builderDone)
+		e1, einfo1 = c.acquire(context.Background(), src, build)
+	}()
+	<-started // the build call is registered and parked in the hook
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e2, einfo2 := c.acquire(ctx, src, build) // coalesces, then withdraws
+	if e2 != nil || einfo2 == nil || einfo2.Kind != "canceled" {
+		t.Fatalf("canceled waiter: entry=%v einfo=%+v, want nil entry and kind \"canceled\"", e2, einfo2)
+	}
+
+	close(unblock)
+	<-builderDone
+	if einfo1 != nil || e1 == nil {
+		t.Fatalf("builder: entry=%v einfo=%+v, want a successful build", e1, einfo1)
+	}
+	c.mu.Lock()
+	refs := e1.refs
+	c.mu.Unlock()
+	if refs != 1 {
+		t.Fatalf("entry refs = %d, want 1 (the withdrawn waiter must not hold a reference)", refs)
+	}
+	c.release(e1) // must not underflow: exactly the builder's reference remains
 }
 
 // TestTenantStarvation drives a bulk tenant that floods the one-worker

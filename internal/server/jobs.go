@@ -66,13 +66,14 @@ func (s *Server) jobFinal(id string, state jobs.State) {
 func (s *Server) execJob(ctx context.Context, id string, spec *jobs.Spec, attempt int) (json.RawMessage, bool, error) {
 	start := time.Now()
 	defer func() { s.histJobRun.Observe(time.Since(start).Seconds()) }()
-	ss, einfo := s.retainOrRevive(spec.Session)
+	ss, einfo := s.retainOrRevive(ctx, spec.Session)
 	if einfo != nil {
-		if einfo.Kind == "budget" || einfo.Kind == "session_limit" {
-			// The design didn't fit the memory budget — or the session
-			// registry was full of busy sessions — right now; that is
-			// transient load, so let the manager's retry/backoff absorb it
-			// instead of failing the job permanently.
+		if einfo.Kind == "budget" || einfo.Kind == "session_limit" || einfo.Kind == "canceled" {
+			// The design didn't fit the memory budget, the session
+			// registry was full of busy sessions, or this attempt's
+			// context expired mid-revive; all transient, so let the
+			// manager's retry/backoff absorb it instead of failing the
+			// job permanently.
 			return nil, false, errors.New(einfo.Message)
 		}
 		return nil, false, jobs.Permanent(errors.New(einfo.Message))

@@ -395,7 +395,7 @@ func (s *Server) restoreSessions() {
 		if sp == nil {
 			continue
 		}
-		ss, einfo := s.materialize(name, sp)
+		ss, einfo := s.materialize(context.Background(), name, sp)
 		if einfo != nil {
 			if einfo.Kind == "budget" {
 				// Out of memory budget, not an unreplayable spec: leave it
@@ -421,8 +421,8 @@ func (s *Server) restoreSessions() {
 // seeds the engine on first analyze (core.NewSession applies seeded
 // padding in its full analysis, and the session oracle pins that this
 // equals create-then-reanalyze).
-func (s *Server) materialize(name string, sp *sessionSpec) (*session, *ErrorInfo) {
-	ss, einfo := s.buildSession(sp.Create)
+func (s *Server) materialize(ctx context.Context, name string, sp *sessionSpec) (*session, *ErrorInfo) {
+	ss, einfo := s.buildSession(ctx, sp.Create)
 	if einfo != nil {
 		return nil, einfo
 	}
@@ -715,7 +715,7 @@ func (s *Server) retain(name string) *session {
 // makes a freshly revived refs==0 session the only LRU-eviction candidate
 // — it would be evicted between revive and the caller's retain, turning a
 // perfectly durable session into a spurious 404.
-func (s *Server) revive(name string) (*session, *ErrorInfo) {
+func (s *Server) revive(ctx context.Context, name string) (*session, *ErrorInfo) {
 	if s.store == nil {
 		return nil, nil
 	}
@@ -725,12 +725,13 @@ func (s *Server) revive(name string) (*session, *ErrorInfo) {
 			return nil, nil
 		}
 		sp.restoredAt = time.Time{} // a revive is recovered "now", not at boot
-		ss, einfo := s.materialize(name, sp)
+		ss, einfo := s.materialize(ctx, name, sp)
 		if einfo != nil {
-			if einfo.Kind == "budget" {
-				// A budget shed is load, not rot: the spec still builds
-				// once memory frees up. Do NOT quarantine; surface the
-				// transient error for the caller to map onto 503.
+			if einfo.Kind == "budget" || einfo.Kind == "canceled" {
+				// A budget shed is load and a canceled wait is the
+				// caller's own deadline — neither is rot: the spec still
+				// builds. Do NOT quarantine; surface the transient error
+				// for the caller to map onto 503.
 				return nil, einfo
 			}
 			s.quarantineSpec(name, einfo.Message)
@@ -776,14 +777,14 @@ func (s *Server) revive(name string) (*session, *ErrorInfo) {
 
 // retainOrRevive pins the named session, re-materializing it from the
 // store when it is not in memory. The caller must releaseRef the result.
-func (s *Server) retainOrRevive(name string) (*session, *ErrorInfo) {
+func (s *Server) retainOrRevive(ctx context.Context, name string) (*session, *ErrorInfo) {
 	//snavet:deferrelease the pin is handed to the caller, which defers releaseRef for the request's lifetime
 	if ss := s.retain(name); ss != nil {
 		return ss, nil
 	}
 	// revive returns the session already pinned; the caller defers
 	// releaseRef just the same.
-	return s.revive(name)
+	return s.revive(ctx, name)
 }
 
 func (s *Server) releaseRef(ss *session) {
@@ -943,7 +944,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, ErrorInfo{Kind: "bad_request", Message: err.Error()}, 0)
 		return
 	}
-	ss, einfo := s.buildSession(&req)
+	ss, einfo := s.buildSession(r.Context(), &req)
 	if einfo != nil {
 		status := http.StatusBadRequest
 		var retry time.Duration
@@ -953,6 +954,11 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		case "budget":
 			// The design did not fit the memory budget even after idle
 			// eviction: shed, don't grow until the OOM killer decides.
+			status = http.StatusServiceUnavailable
+			retry = s.cfg.RetryAfter
+		case "canceled":
+			// The request expired while coalesced on an in-flight build;
+			// the design is intact and likely cached by the retry.
 			status = http.StatusServiceUnavailable
 			retry = s.cfg.RetryAfter
 		}
@@ -1024,7 +1030,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 // most once per distinct source set. The returned session holds one
 // cache reference; every path that discards the session must release it
 // (dropSessionLocked, or cache.release on pre-insert failures).
-func (s *Server) buildSession(req *CreateSessionRequest) (*session, *ErrorInfo) {
+func (s *Server) buildSession(ctx context.Context, req *CreateSessionRequest) (*session, *ErrorInfo) {
 	if req.Name == "" {
 		return nil, &ErrorInfo{Kind: "bad_request", Message: "session name is required"}
 	}
@@ -1051,7 +1057,7 @@ func (s *Server) buildSession(req *CreateSessionRequest) (*session, *ErrorInfo) 
 	}
 	src := sourcesOf(req)
 	//snavet:deferrelease the entry reference is owned by the returned session and released by dropSessionLocked (or by the caller on insert failure)
-	entry, einfo := s.cache.acquire(src, func() (*bind.Design, *ErrorInfo) {
+	entry, einfo := s.cache.acquire(ctx, src, func() (*bind.Design, *ErrorInfo) {
 		return buildDesign(src, inputs)
 	})
 	if einfo != nil {
@@ -1180,7 +1186,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	ss, einfo := s.retainOrRevive(name)
+	ss, einfo := s.retainOrRevive(r.Context(), name)
 	if einfo != nil {
 		s.writeReviveErr(w, einfo)
 		return
@@ -1256,7 +1262,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	ss, einfo := s.retainOrRevive(name)
+	ss, einfo := s.retainOrRevive(r.Context(), name)
 	if einfo != nil {
 		s.writeReviveErr(w, einfo)
 		return
@@ -1399,10 +1405,11 @@ func (s *Server) storePadding(name string, padding map[string]float64) error {
 // quarantined as unreplayable (404 with the detail).
 func (s *Server) writeReviveErr(w http.ResponseWriter, einfo *ErrorInfo) {
 	switch einfo.Kind {
-	case "budget", "session_limit":
-		// Both are transient capacity refusals — the memory budget or the
-		// loaded-session cap is full right now — not statements about the
-		// session's existence; shed with Retry-After like any overload.
+	case "budget", "session_limit", "canceled":
+		// All transient refusals — the memory budget or loaded-session
+		// cap is full right now, or the request expired while coalesced
+		// on an in-flight rebuild — not statements about the session's
+		// existence; shed with Retry-After like any overload.
 		s.writeErr(w, http.StatusServiceUnavailable, *einfo, s.cfg.RetryAfter)
 	default:
 		s.writeErr(w, http.StatusNotFound, *einfo, 0)
@@ -1414,7 +1421,7 @@ func (s *Server) writeReviveErr(w http.ResponseWriter, einfo *ErrorInfo) {
 // work, breaker accounting, and error mapping.
 func (s *Server) analysis(w http.ResponseWriter, r *http.Request, work func(context.Context, *session) (*AnalyzeResponse, error)) {
 	name := r.PathValue("name")
-	ss, einfo := s.retainOrRevive(name)
+	ss, einfo := s.retainOrRevive(r.Context(), name)
 	if einfo != nil {
 		s.writeReviveErr(w, einfo)
 		return

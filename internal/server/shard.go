@@ -290,7 +290,7 @@ func (e *budgetShedError) Error() string { return e.einfo.Message }
 // in the cache's single-flight build; the install race's loser releases
 // its duplicate reference. Build failures are not cached: they are
 // deterministic, and a retried init simply fails the same way.
-func (s *Server) designForToken(token string, spec *shard.DesignSpec) (*bind.Design, core.Options, error) {
+func (s *Server) designForToken(ctx context.Context, token string, spec *shard.DesignSpec) (*bind.Design, core.Options, error) {
 	s.shardMu.Lock()
 	e := s.shardDesigns[token]
 	s.shardMu.Unlock()
@@ -310,7 +310,7 @@ func (s *Server) designForToken(token string, spec *shard.DesignSpec) (*bind.Des
 		Timing:  spec.Timing,
 	}
 	//snavet:deferrelease the entry reference is handed to the run token's sharedDesign (released on token drop) or released explicitly on the lost race below; acquire failure returns a nil entry
-	entry, einfo := s.cache.acquire(src, func() (*bind.Design, *ErrorInfo) {
+	entry, einfo := s.cache.acquire(ctx, src, func() (*bind.Design, *ErrorInfo) {
 		return buildDesign(src, inputs)
 	})
 	if einfo != nil {
@@ -448,7 +448,7 @@ func (s *Server) handleShardOp(w http.ResponseWriter, r *http.Request) {
 		}
 		spec, token := req.Design, req.Token
 		runner := shard.NewRunner(func(ctx context.Context, owned []string, padding map[string]float64) (*core.ShardEngine, error) {
-			b, opts, err := s.designForToken(token, spec)
+			b, opts, err := s.designForToken(ctx, token, spec)
 			if err != nil {
 				return nil, err
 			}

@@ -47,10 +47,16 @@ type admission struct {
 	queued    int
 	runningBy map[string]int
 	queues    map[string][]*waiter
-	// ring lists tenants that have (or recently had) waiters; dispatch
-	// round-robins over it from rr, dropping drained tenants lazily.
-	ring []string
-	rr   int
+	// ring lists tenants awaiting grants; dispatch round-robins over it
+	// from rr. inRing mirrors ring's membership so enqueue never adds a
+	// duplicate slot (a duplicate would hand that tenant extra turns and
+	// grow the ring without bound under drain-then-refill churn). A
+	// tenant whose queue drains by grant leaves the ring immediately;
+	// one drained by abandon leaves lazily on the next dispatch scan,
+	// with inRing keeping enqueue honest in between.
+	ring   []string
+	inRing map[string]bool
+	rr     int
 }
 
 func newAdmission(capacity, queueCap, tenantCap int) *admission {
@@ -63,6 +69,7 @@ func newAdmission(capacity, queueCap, tenantCap int) *admission {
 		tenantCap: tenantCap,
 		runningBy: make(map[string]int),
 		queues:    make(map[string][]*waiter),
+		inRing:    make(map[string]bool),
 	}
 }
 
@@ -91,8 +98,9 @@ func (a *admission) enqueue(tenant string) *waiter {
 		return nil
 	}
 	w := &waiter{tenant: tenant, ready: make(chan struct{})}
-	if len(a.queues[tenant]) == 0 {
+	if !a.inRing[tenant] {
 		a.ring = append(a.ring, tenant)
+		a.inRing[tenant] = true
 	}
 	a.queues[tenant] = append(a.queues[tenant], w)
 	a.queued++
@@ -114,12 +122,17 @@ func (a *admission) abandon(w *waiter) bool {
 	q := a.queues[w.tenant]
 	for i, x := range q {
 		if x == w {
-			a.queues[w.tenant] = append(q[:i], q[i+1:]...)
+			if len(q) == 1 {
+				delete(a.queues, w.tenant)
+			} else {
+				a.queues[w.tenant] = append(q[:i], q[i+1:]...)
+			}
 			a.queued--
 			break
 		}
 	}
-	// A drained tenant's ring entry is removed lazily by dispatch.
+	// A drained tenant's ring entry is removed lazily by dispatch;
+	// inRing stays set until then so enqueue does not add a duplicate.
 	return true
 }
 
@@ -150,10 +163,11 @@ func (a *admission) dispatchLocked() {
 			t := a.ring[a.rr]
 			q := a.queues[t]
 			if len(q) == 0 {
-				// Drained tenant: drop its ring slot without advancing
-				// rr (the next tenant slides into this index).
+				// Tenant drained by abandon: drop its ring slot without
+				// advancing rr (the next tenant slides into this index).
 				a.ring = append(a.ring[:a.rr], a.ring[a.rr+1:]...)
 				delete(a.queues, t)
+				delete(a.inRing, t)
 				continue
 			}
 			if a.runningBy[t] >= a.tenantCap {
@@ -161,14 +175,24 @@ func (a *admission) dispatchLocked() {
 				scanned++
 				continue
 			}
-			a.queues[t] = q[1:]
-			a.queued--
 			w := q[0]
+			if len(q) == 1 {
+				// Granting the last waiter: leave the ring now, keeping
+				// the "tenant in ring iff it has waiters (or a pending
+				// lazy removal)" invariant. rr stays put — the next
+				// tenant slides into this index.
+				delete(a.queues, t)
+				delete(a.inRing, t)
+				a.ring = append(a.ring[:a.rr], a.ring[a.rr+1:]...)
+			} else {
+				a.queues[t] = q[1:]
+				a.rr = (a.rr + 1) % len(a.ring)
+			}
+			a.queued--
 			w.granted = true
 			a.running++
 			a.runningBy[t]++
 			close(w.ready)
-			a.rr = (a.rr + 1) % len(a.ring)
 			granted = true
 			break
 		}

@@ -111,6 +111,74 @@ func TestAdmissionNoBargingPastOwnQueue(t *testing.T) {
 	}
 }
 
+// ringSize reports the gate's ring length and whether any tenant holds
+// more than one slot (the duplicate-slot bug gave such tenants extra
+// round-robin turns and grew the ring without bound).
+func ringState(a *admission) (size int, dup bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	seen := make(map[string]bool, len(a.ring))
+	for _, t := range a.ring {
+		if seen[t] {
+			dup = true
+		}
+		seen[t] = true
+	}
+	return len(a.ring), dup
+}
+
+func TestAdmissionRingStableUnderChurn(t *testing.T) {
+	// Steady at-capacity single-tenant load: every cycle queues one
+	// waiter, drains it by grant, and refills. The ring must not grow and
+	// the tenant must never occupy two slots.
+	a := newAdmission(1, 8, 1)
+	if !a.tryAcquire("") {
+		t.Fatal("slot")
+	}
+	for i := 0; i < 100; i++ {
+		w := a.enqueue("")
+		if w == nil {
+			t.Fatalf("cycle %d: waiter refused", i)
+		}
+		a.release("") // grants w, emptying the queue
+		if !granted(w) {
+			t.Fatalf("cycle %d: waiter not granted", i)
+		}
+		if size, dup := ringState(a); size > 1 || dup {
+			t.Fatalf("cycle %d: ring size %d (dup=%v), want <= 1 with no duplicates", i, size, dup)
+		}
+	}
+	// Same churn via the abandon path: enqueue then withdraw.
+	for i := 0; i < 100; i++ {
+		w := a.enqueue("t")
+		if w == nil {
+			t.Fatalf("abandon cycle %d: waiter refused", i)
+		}
+		if !a.abandon(w) {
+			t.Fatalf("abandon cycle %d: abandon should win (slot busy)", i)
+		}
+		if size, dup := ringState(a); size > 1 || dup {
+			t.Fatalf("abandon cycle %d: ring size %d (dup=%v)", i, size, dup)
+		}
+	}
+	// An abandon-drained tenant leaves no stale queue map key behind.
+	a.mu.Lock()
+	if q, ok := a.queues["t"]; ok {
+		a.mu.Unlock()
+		t.Fatalf("abandoned tenant left queues entry %v", q)
+	}
+	a.mu.Unlock()
+	// Fairness still intact after churn: a second tenant's waiter is not
+	// starved by the churned tenant's next waiter.
+	w1 := a.enqueue("")
+	w2 := a.enqueue("live")
+	a.release("")
+	a.release("")
+	if !granted(w1) || !granted(w2) {
+		t.Fatal("both tenants should be granted after churn")
+	}
+}
+
 func TestAdmissionAbandon(t *testing.T) {
 	a := newAdmission(1, 8, 1)
 	if !a.tryAcquire("a") {
